@@ -1,0 +1,47 @@
+// Ablation: double-buffered DMA/compute overlap (Section III: "new
+// measurements can be processed in parallel to the compute-K module")
+// versus fully serial load -> compute -> store, across chunk sizes.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("ABLATION: DMA double-buffering (somatosensory dataset, "
+              "Gauss/Newton, approx=1, calc_freq=0)\n\n");
+
+  bench::PreparedDataset p = bench::prepare(neural::somatosensory_spec());
+
+  core::TextTable table({"chunks", "batches", "overlapped [s]",
+                         "serial [s]", "overlap saves"});
+  for (std::uint32_t chunks : {1u, 2u, 4u, 5u, 10u}) {
+    if (p.iterations() % chunks != 0) continue;
+    core::AcceleratorConfig cfg;
+    cfg.x_dim = std::uint32_t(p.x_dim());
+    cfg.z_dim = std::uint32_t(p.z_dim());
+    cfg.chunks = chunks;
+    cfg.batches = std::uint32_t(p.iterations()) / chunks;
+    cfg.calc_freq = 0;
+    cfg.approx = 1;
+    cfg.policy = 1;
+
+    hls::HlsParams overlapped;
+    hls::HlsParams serial;
+    serial.double_buffering = false;
+
+    auto run_a = core::Accelerator(hls::DatapathSpec{}, cfg, overlapped)
+                     .run(p.dataset.model, p.dataset.test_measurements);
+    auto run_b = core::Accelerator(hls::DatapathSpec{}, cfg, serial)
+                     .run(p.dataset.model, p.dataset.test_measurements);
+    const double saved = 100.0 * (run_b.seconds - run_a.seconds) /
+                         run_b.seconds;
+    table.add_row({std::to_string(chunks), std::to_string(cfg.batches),
+                   core::fixed(run_a.seconds, 4), core::fixed(run_b.seconds, 4),
+                   core::fixed(saved, 2) + " %"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Small chunks pay DMA setup per batch; overlap hides the "
+              "streaming cost behind compute in every configuration.\n");
+  return 0;
+}

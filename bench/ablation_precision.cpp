@@ -1,0 +1,41 @@
+// Ablation: numeric format (float32 / FX32 / FX64) of the Gauss/Newton
+// datapath across all three datasets — accuracy vs resources vs energy,
+// extending Table III's datatype rows to every dataset.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("ABLATION: datapath numeric format across datasets "
+              "(Gauss/Newton, calc_freq=0, approx=3, policy=1)\n\n");
+
+  core::TextTable table({"dataset", "format", "MSE", "MAX DIFF [%]",
+                         "saturations", "DSP", "power [W]", "energy [J]"});
+  for (const auto& spec : neural::all_dataset_specs()) {
+    bench::PreparedDataset p = bench::prepare(spec);
+    auto cfg = bench::base_config(p);
+    cfg.calc_freq = 0;
+    cfg.approx = 3;
+    cfg.policy = 1;
+    for (hls::NumericType dtype :
+         {hls::NumericType::kFloat32, hls::NumericType::kFx32,
+          hls::NumericType::kFx64}) {
+      auto run = core::make_gauss_newton(cfg, dtype).run(
+          p.dataset.model, p.dataset.test_measurements);
+      auto m = core::compare_trajectories(p.reference, run.states);
+      table.add_row({p.name(), hls::to_string(dtype), core::sci(m.mse),
+                     core::sci(m.max_diff_pct),
+                     std::to_string(run.fixed_point_saturations),
+                     std::to_string(run.resources.dsp),
+                     core::fixed(run.power_w, 3),
+                     core::fixed(run.energy_j, 3)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: FX32's Q15.16 resolution floors accuracy on "
+              "every dataset; FX64 reaches (or beats) float32 at ~2x the "
+              "DSP cost; float32 is the power/accuracy sweet spot.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Helpers shared by the table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/kalmmind.hpp"
+
+namespace kalmmind::bench {
+
+// A dataset bundled with its float64 reference trajectory (the comparison
+// target of every accuracy metric).
+struct PreparedDataset {
+  neural::NeuralDataset dataset;
+  std::vector<linalg::Vector<double>> reference;
+
+  const std::string& name() const { return dataset.spec.name; }
+  std::size_t x_dim() const { return dataset.model.x_dim(); }
+  std::size_t z_dim() const { return dataset.model.z_dim(); }
+  std::size_t iterations() const { return dataset.test_measurements.size(); }
+};
+
+inline PreparedDataset prepare(const neural::DatasetSpec& spec) {
+  PreparedDataset p;
+  p.dataset = neural::build_dataset(spec);
+  p.reference = core::to_double_trajectory(
+      kalman::run_reference(p.dataset.model, p.dataset.test_measurements)
+          .states);
+  return p;
+}
+
+inline std::vector<PreparedDataset> prepare_all() {
+  std::vector<PreparedDataset> out;
+  for (const auto& spec : neural::all_dataset_specs()) out.push_back(prepare(spec));
+  return out;
+}
+
+// Run the paper's float32 Gauss baseline and score it.
+inline core::AccuracyMetrics baseline_metrics(const PreparedDataset& p) {
+  auto fmodel = p.dataset.model.cast<float>();
+  std::vector<linalg::Vector<float>> fz;
+  fz.reserve(p.dataset.test_measurements.size());
+  for (const auto& z : p.dataset.test_measurements)
+    fz.push_back(z.cast<float>());
+  auto out = kalman::run_baseline(std::move(fmodel), fz);
+  return core::compare_trajectories(p.reference,
+                                    core::to_double_trajectory(out.states));
+}
+
+inline core::AcceleratorConfig base_config(const PreparedDataset& p) {
+  return core::AcceleratorConfig::for_run(std::uint32_t(p.x_dim()),
+                                          std::uint32_t(p.z_dim()),
+                                          p.iterations());
+}
+
+}  // namespace kalmmind::bench

@@ -1,0 +1,116 @@
+// Extension experiment (Section VI): KalmMind under *online model
+// adaptation* on a drifting recording.
+//
+// The paper argues (a) BCI decoders retrain the KF model continuously, and
+// (b) KalmMind can serve as the KF engine of such decoders.  This bench
+// quantifies it: the somatosensory dataset's test window is re-encoded
+// with slowly rotating tuning; a static KF degrades while the adaptive KF
+// (EW-RLS refresh of H/R) tracks.  Because the refreshed model keeps S
+// moving, the seed policies are exercised for real — the last-calculated
+// seed (eq. 5) falls behind the previous-iteration seed (eq. 4).
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "neural/decode_quality.hpp"
+#include "neural/drift.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+struct Scenario {
+  neural::NeuralDataset dataset;
+  std::vector<linalg::Vector<double>> measurements;  // drifted
+};
+
+Scenario make_scenario() {
+  auto spec = neural::somatosensory_spec();
+  spec.test_steps = 300;  // long enough for drift to bite
+  Scenario sc;
+  sc.dataset = neural::build_dataset(spec);
+
+  // Re-encode the test kinematics with drifting tuning, then apply the
+  // dataset's channel centering so the decoder sees the same units.
+  linalg::Rng rng(spec.seed + 1);
+  auto encoder = neural::make_encoder(spec.encoding, rng);
+  neural::DriftConfig drift;
+  drift.rotation_per_step = 0.004;  // ~69 degrees over the window
+  drift.gain_decay_per_step = 1.0;
+  sc.measurements = neural::encode_with_drift(
+      encoder, drift, sc.dataset.test_kinematics, rng);
+  for (auto& z : sc.measurements)
+    for (std::size_t j = 0; j < z.size(); ++j)
+      z[j] -= sc.dataset.channel_means[j];
+  return sc;
+}
+
+// Velocity-decoding correlation against ground-truth kinematics.
+double velocity_correlation(
+    const std::vector<linalg::Vector<double>>& states,
+    const std::vector<neural::KinematicState>& truth) {
+  return neural::assess_decode(states, truth).velocity_correlation;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXTENSION: adaptive decoding under tuning drift "
+              "(somatosensory, 300 iterations, 0.23 deg/step rotation)\n\n");
+  Scenario sc = make_scenario();
+  auto fmodel = sc.dataset.model.cast<float>();
+  std::vector<linalg::Vector<float>> fz;
+  for (const auto& z : sc.measurements) fz.push_back(z.cast<float>());
+
+  core::TextTable table({"decoder", "velocity corr (all)",
+                         "velocity corr (last 100)", "model updates"});
+
+  auto report = [&](const char* name,
+                    const std::vector<linalg::Vector<float>>& states,
+                    std::size_t updates) {
+    auto d = core::to_double_trajectory(states);
+    std::vector<linalg::Vector<double>> tail(d.end() - 100, d.end());
+    std::vector<neural::KinematicState> truth_tail(
+        sc.dataset.test_kinematics.end() - 100,
+        sc.dataset.test_kinematics.end());
+    table.add_row({name,
+                   core::fixed(velocity_correlation(d,
+                                                    sc.dataset.test_kinematics),
+                               3),
+                   core::fixed(velocity_correlation(tail, truth_tail), 3),
+                   std::to_string(updates)});
+  };
+
+  {  // static decoder (trained model, never refreshed)
+    kalman::KalmanFilter<float> filter(
+        fmodel, std::make_unique<kalman::CalculationStrategy<float>>(
+                    kalman::CalcMethod::kGauss));
+    report("static KF (Gauss)", filter.run(fz).states, 0);
+  }
+  for (std::uint32_t policy : {0u, 1u}) {
+    kalman::AdaptiveConfig acfg;
+    acfg.forgetting = 0.99;
+    acfg.update_period = 10;
+    acfg.warmup = 30;
+    kalman::AdaptiveKalmanFilter<float> filter(
+        fmodel,
+        std::make_unique<kalman::InterleavedStrategy<float>>(
+            kalman::CalcMethod::kGauss,
+            kalman::InterleaveConfig{0, 3,
+                                     policy ? kalman::SeedPolicy::kPreviousIteration
+                                            : kalman::SeedPolicy::kLastCalculated}),
+        acfg);
+    auto out = filter.run(fz);
+    report(policy ? "adaptive KF + Gauss/Newton (policy 1, eq.4)"
+                  : "adaptive KF + Gauss/Newton (policy 0, eq.5)",
+           out.states, filter.model_updates());
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: the static decoder's tail correlation "
+              "collapses as tuning rotates away from the trained model; "
+              "the adaptive decoders hold, and the eq. (4) seed tracks the "
+              "moving S at approx=3 while eq. (5) relies on an "
+              "increasingly stale calculated inverse.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Extension experiment: SEU (bit-flip) resilience of the accelerator's
+// PLM contents.
+//
+// A body-worn FPGA relay station takes occasional radiation-induced bit
+// flips in its BRAMs.  This bench injects single upsets into different
+// PLMs of the float32 Gauss/Newton datapath mid-run and measures the MSE
+// against the clean run:
+//   * flips in the *measurement* stream are transient — one iteration of
+//     extra innovation, washed out immediately;
+//   * flips in the *model* PLMs (H, R) persist until the next model reload
+//     — the quantitative case for periodic PLM scrubbing in the relay
+//     station.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "hls/fault.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+struct FaultRun {
+  double mse_before_fault = 0.0;  // iterations 0..49
+  double mse_after_fault = 0.0;   // iterations 50..99 (fault at 50)
+  double mse_tail = 0.0;          // iterations 90..99 (has it decayed?)
+};
+
+FaultRun run_with_fault(const bench::PreparedDataset& p,
+                        const char* target, int bit) {
+  // Quantize once; inject into the float32 copies as the BRAM upset would.
+  auto fmodel = p.dataset.model.cast<float>();
+  std::vector<linalg::Vector<float>> fz;
+  for (const auto& z : p.dataset.test_measurements)
+    fz.push_back(z.cast<float>());
+
+  kalman::KalmanFilter<float> filter(
+      fmodel, std::make_unique<kalman::InterleavedStrategy<float>>(
+                  kalman::CalcMethod::kGauss,
+                  kalman::InterleaveConfig{
+                      0, 3, kalman::SeedPolicy::kPreviousIteration}));
+
+  FaultRun result;
+  double se[3] = {0, 0, 0};
+  std::size_t cnt[3] = {0, 0, 0};
+  for (std::size_t n = 0; n < fz.size(); ++n) {
+    if (n == 50) {
+      if (std::string(target) == "measurement") {
+        linalg::Matrix<float> one(1, fz[n].size());
+        for (std::size_t j = 0; j < fz[n].size(); ++j) one(0, j) = fz[n][j];
+        hls::inject_seu(one, 0, fz[n].size() / 2, bit);
+        for (std::size_t j = 0; j < fz[n].size(); ++j) fz[n][j] = one(0, j);
+      } else if (std::string(target) == "H") {
+        // Persistent model fault: rebuild the filter with corrupted H but
+        // carry the state over (the PLM flips under a running filter).
+        auto resumed = fmodel;
+        hls::inject_seu(resumed.h, resumed.h.rows() / 2, 2, bit);
+        resumed.x0 = filter.state();
+        resumed.p0 = filter.covariance();
+        filter = kalman::KalmanFilter<float>(
+            resumed, std::make_unique<kalman::InterleavedStrategy<float>>(
+                         kalman::CalcMethod::kGauss,
+                         kalman::InterleaveConfig{
+                             0, 3, kalman::SeedPolicy::kPreviousIteration}));
+      }
+    }
+    const auto& x = filter.step(fz[n]);
+    const auto& ref = p.reference[n];
+    double e = 0.0;
+    for (std::size_t j = 0; j < ref.size(); ++j) {
+      const double d = double(x[j]) - ref[j];
+      e += d * d;
+    }
+    const int bucket = n < 50 ? 0 : (n < 90 ? 1 : 2);
+    se[bucket] += e;
+    cnt[bucket] += ref.size();
+  }
+  result.mse_before_fault = se[0] / double(cnt[0]);
+  result.mse_after_fault = se[1] / double(cnt[1]);
+  result.mse_tail = se[2] / double(cnt[2]);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("EXTENSION: SEU resilience of PLM contents "
+              "(somatosensory dataset, fault injected at iteration 50)\n\n");
+  bench::PreparedDataset p = bench::prepare(neural::somatosensory_spec());
+
+  core::TextTable table({"fault target", "bit", "MSE iters 0-49",
+                         "MSE iters 50-89", "MSE iters 90-99", "verdict"});
+  struct Case {
+    const char* target;
+    int bit;
+    const char* what;
+  };
+  for (const Case& c :
+       {Case{"none", 0, ""}, Case{"measurement", 12, "mantissa"},
+        Case{"measurement", 30, "exponent"}, Case{"H", 12, "mantissa"},
+        Case{"H", 30, "exponent"}}) {
+    auto r = run_with_fault(p, c.target, c.bit);
+    const char* verdict;
+    if (std::string(c.target) == "none") {
+      verdict = "clean baseline";
+    } else if (!std::isfinite(r.mse_tail)) {
+      verdict = "CATASTROPHIC (needs ECC)";
+    } else if (r.mse_tail < 100.0 * r.mse_before_fault) {
+      verdict = "washed out (transient)";
+    } else if (r.mse_tail < 0.1 * r.mse_after_fault) {
+      verdict = "decaying (slow transient)";
+    } else {
+      verdict = "PERSISTS (scrub the PLM)";
+    }
+    table.add_row({c.target, std::string(c.target) == "none"
+                                 ? "-"
+                                 : std::to_string(c.bit) + " (" + c.what + ")",
+                   core::sci(r.mse_before_fault),
+                   core::sci(r.mse_after_fault), core::sci(r.mse_tail),
+                   verdict});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: measurement upsets (even exponent bits) wash "
+              "out within iterations; model-PLM upsets persist until a "
+              "reload — quantifying the value of periodic PLM scrubbing in "
+              "the relay station.\n");
+  return 0;
+}

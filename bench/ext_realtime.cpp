@@ -1,0 +1,64 @@
+// Extension experiment: per-iteration real-time behavior against the 50 ms
+// BCI deadline (Section V's real-time constraint, examined at iteration
+// granularity instead of the paper's 100-iteration total).
+//
+// Shows a subtlety the amortized numbers hide: interleaved schedules with
+// calc_freq > 0 are real-time *on average* but their Gauss iterations
+// individually blow the deadline, requiring measurement buffering — while
+// approximation-only schedules (calc_freq=0 after warm-up, LITE) hold the
+// deadline every iteration.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/realtime.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("EXTENSION: per-iteration real-time analysis, 50 ms deadline "
+              "(motor dataset, z=164, 100 KF iterations)\n\n");
+  bench::PreparedDataset motor = bench::prepare(neural::motor_spec());
+  hls::HlsParams params;
+  hls::LatencyModel model(params);
+
+  struct Row {
+    const char* label;
+    std::uint32_t calc_freq;
+    std::uint32_t approx;
+  };
+  const Row rows[] = {
+      {"Gauss every iteration", 1, 1},
+      {"calc_freq=4, approx=2", 4, 2},
+      {"calc_freq=0, approx=1 (LITE-like)", 0, 1},
+      {"calc_freq=0, approx=2", 0, 2},
+      {"calc_freq=0, approx=4", 0, 4},
+  };
+
+  core::TextTable table({"schedule", "worst iter [ms]", "mean iter [ms]",
+                         "misses /100", "max backlog", "sustainable?"});
+  for (const auto& row : rows) {
+    auto cfg = bench::base_config(motor);
+    cfg.calc_freq = row.calc_freq;
+    cfg.approx = row.approx;
+    cfg.policy = 1;
+    auto run = core::make_gauss_newton(cfg).run(
+        motor.dataset.model, motor.dataset.test_measurements);
+    auto report = core::analyze_realtime(model, hls::DatapathSpec{},
+                                         motor.x_dim(), motor.z_dim(),
+                                         run.events, 0.05);
+    table.add_row({row.label,
+                   core::fixed(1e3 * report.worst_iteration_s, 1),
+                   core::fixed(1e3 * report.mean_iteration_s, 1),
+                   std::to_string(report.misses),
+                   std::to_string(report.max_backlog),
+                   report.sustainable ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: only the pure-approximation schedules meet the 50 ms "
+      "deadline at every iteration at z=164; periodic Gauss iterations "
+      "(~120 ms) must be buffered by the chunked DMA, and Gauss-every-"
+      "iteration is not sustainable at all — the per-iteration case for "
+      "the Newton path beyond the paper's amortized numbers.\n");
+  return 0;
+}

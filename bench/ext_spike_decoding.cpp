@@ -1,0 +1,81 @@
+// Extension experiment: the accelerator on *Poisson spike counts* rather
+// than Gaussian rates — the discrete, signal-dependent-variance statistics
+// of real recordings (the paper's datasets are binned spike counts).
+//
+// Shows (a) the KF decodes the mismatched observations (standard
+// practice), and (b) the KalmMind accuracy/latency knobs behave the same
+// on count data: the trained model's S is what matters, not the emission
+// noise law.
+#include <cstdio>
+
+#include "common.hpp"
+#include "neural/decode_quality.hpp"
+#include "neural/spikes.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("EXTENSION: decoding Poisson spike counts "
+              "(somatosensory tuning, z=52, 100 KF iterations)\n\n");
+
+  // Generate a spike-count session from the somatosensory preset's tuning.
+  auto spec = neural::somatosensory_spec();
+  linalg::Rng rng(spec.seed);
+  const std::size_t total = spec.train_steps + spec.test_steps;
+  auto kin = neural::generate_kinematics(spec.kinematics, total, rng);
+  auto encoder = neural::make_encoder(spec.encoding, rng);
+  auto counts = neural::encode_spike_counts(encoder, neural::SpikeConfig{},
+                                            kin, rng);
+
+  // Mean-center on the training split (standard preprocessing).
+  linalg::Vector<double> means(spec.encoding.channels);
+  for (std::size_t n = 0; n < spec.train_steps; ++n)
+    for (std::size_t j = 0; j < means.size(); ++j) means[j] += counts[n][j];
+  for (std::size_t j = 0; j < means.size(); ++j)
+    means[j] /= double(spec.train_steps);
+  for (auto& c : counts)
+    for (std::size_t j = 0; j < means.size(); ++j) c[j] -= means[j];
+
+  std::vector<neural::KinematicState> train_kin(
+      kin.begin(), kin.begin() + spec.train_steps);
+  std::vector<linalg::Vector<double>> train_counts(
+      counts.begin(), counts.begin() + spec.train_steps);
+  auto model = neural::train_kalman_model(
+      neural::stack_states(train_kin),
+      neural::stack_observations(train_counts));
+  std::vector<linalg::Vector<double>> test_counts(
+      counts.begin() + spec.train_steps, counts.end());
+  std::vector<neural::KinematicState> test_kin(
+      kin.begin() + spec.train_steps, kin.end());
+
+  auto reference = core::to_double_trajectory(
+      kalman::run_reference(model, test_counts).states);
+
+  core::TextTable table({"config", "MSE vs reference", "velocity corr",
+                         "latency [s]"});
+  for (auto [cf, ap] : {std::pair{1u, 0u}, std::pair{0u, 1u},
+                        std::pair{0u, 2u}, std::pair{0u, 4u}}) {
+    auto cfg = core::AcceleratorConfig::for_run(
+        std::uint32_t(model.x_dim()), std::uint32_t(model.z_dim()),
+        test_counts.size());
+    cfg.calc_freq = cf;
+    cfg.approx = ap == 0 ? 1 : ap;
+    cfg.policy = 1;
+    if (cf == 1) cfg.approx = 1;  // pure-Gauss row
+    auto run = core::make_gauss_newton(cfg).run(model, test_counts);
+    auto m = core::compare_trajectories(reference, run.states);
+    auto q = neural::assess_decode(run.states, test_kin);
+    std::string label = cf == 1 ? "Gauss every iteration"
+                                : "Newton approx=" + std::to_string(cfg.approx);
+    table.add_row({label, core::sci(m.mse),
+                   core::fixed(q.velocity_correlation, 3),
+                   core::fixed(run.seconds, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Expected shape: identical knob behavior to the Gaussian-rate "
+              "datasets — accuracy tunes over orders of magnitude with "
+              "approx, decode correlation is unchanged across configs "
+              "(the decode ceiling is the model mismatch, not the "
+              "inversion).\n");
+  return 0;
+}

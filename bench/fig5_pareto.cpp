@@ -1,0 +1,57 @@
+// Regenerates FIG. 5: "Latency vs. accuracy with the Gauss/Newton
+// accelerator" — per dataset, the (latency, MSE) scatter of the full sweep
+// and its Pareto frontier at the 78 MHz FPGA clock.
+//
+// Paper shape: the least-latency Pareto point is approx=1/calc_freq=0; the
+// best-accuracy point has approx >= 2; several Pareto points beat the
+// baseline's accuracy at lower latency than Gauss-every-iteration.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("FIG. 5: latency vs. accuracy (Gauss/Newton, MSE metric)\n\n");
+
+  core::DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  core::DseOptions options;
+
+  for (const auto& spec : neural::all_dataset_specs()) {
+    bench::PreparedDataset p = bench::prepare(spec);
+    auto points = explorer.sweep(p.dataset, options);
+    auto front = core::pareto_front(points, core::Metric::kMse);
+    auto baseline = bench::baseline_metrics(p);
+
+    std::printf("[%s]  all %zu swept points as (latency_s, mse) series:\n",
+                p.name().c_str(), points.size());
+    for (const auto& pt : points) {
+      std::printf("  point %.4f %s cf=%u ap=%u pol=%u\n", pt.latency_s,
+                  core::sci(pt.metrics.mse).c_str(), pt.config.calc_freq,
+                  pt.config.approx, pt.config.policy);
+    }
+
+    core::TextTable table({"latency [s]", "MSE", "calc_freq", "approx",
+                           "policy", "beats baseline?"});
+    for (std::size_t idx : front) {
+      const auto& pt = points[idx];
+      table.add_row({core::fixed(pt.latency_s, 3), core::sci(pt.metrics.mse),
+                     std::to_string(pt.config.calc_freq),
+                     std::to_string(pt.config.approx),
+                     std::to_string(pt.config.policy),
+                     pt.metrics.mse < baseline.mse ? "yes" : "no"});
+    }
+    std::printf("Pareto frontier (baseline MSE %s):\n%s\n",
+                core::sci(baseline.mse).c_str(), table.to_string().c_str());
+
+    if (!front.empty()) {
+      const auto& fastest = points[front.front()];
+      const auto& most_accurate = points[front.back()];
+      std::printf("  fastest Pareto point: cf=%u ap=%u (paper: cf=0 ap=1); "
+                  "most accurate: ap=%u (paper: ap>=2)\n\n",
+                  fastest.config.calc_freq, fastest.config.approx,
+                  most_accurate.config.approx);
+    }
+  }
+  return 0;
+}

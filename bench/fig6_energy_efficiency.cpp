@@ -1,0 +1,84 @@
+// Regenerates FIG. 6: "Accuracy vs. energy efficiency" plus the paper's
+// headline ratios.  Energy efficiency = 1 / energy (J^-1) as in the paper.
+//
+// Paper headline numbers (shapes to reproduce):
+//   * Gauss/Newton ~10x more energy-efficient than the Intel i7 and ~655x
+//     more than CVA6 software;
+//   * SSKF ~346x more efficient than Gauss/Newton but ~1e9x less accurate
+//     (and ~1e3x less accurate than LITE);
+//   * SSKF/Newton up to 15.3x more efficient than Gauss-Only while spanning
+//     the widest accuracy range.
+#include <cstdio>
+
+#include "table3_data.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+const bench::ImplementationSummary* find(
+    const std::vector<bench::ImplementationSummary>& impls,
+    const std::string& name) {
+  for (const auto& impl : impls)
+    if (impl.name == name) return &impl;
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  bench::PreparedDataset motor = bench::prepare(neural::motor_spec());
+  std::printf("FIG. 6: accuracy vs energy efficiency (motor dataset, 100 KF "
+              "iterations)\n\n");
+
+  auto impls = bench::collect_implementations(motor);
+
+  // Scatter series: every implementation contributes its best-accuracy
+  // point and (if distinct) its best-energy point.
+  core::TextTable table({"Implementation", "MSE", "Energy [J]",
+                         "Efficiency [1/J]", "point"});
+  for (const auto& impl : impls) {
+    const auto& acc = impl.best_accuracy_point();
+    table.add_row({impl.name, core::sci(acc.mse), core::fixed(acc.energy_j, 4),
+                   core::sci(1.0 / acc.energy_j), "best-accuracy"});
+    const auto& eff = impl.best_energy_point();
+    if (&eff != &acc) {
+      table.add_row({impl.name, core::sci(eff.mse),
+                     core::fixed(eff.energy_j, 4), core::sci(1.0 / eff.energy_j),
+                     "best-energy"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Headline ratios.
+  const auto* gn = find(impls, "Gauss/Newton");
+  const auto* i7 = find(impls, "Intel i7");
+  const auto* cva6 = find(impls, "CVA6");
+  const auto* sskf = find(impls, "SSKF");
+  const auto* sskf_newton = find(impls, "SSKF/Newton");
+  const auto* gauss_only = find(impls, "Gauss-Only");
+  const auto* lite = find(impls, "LITE");
+  if (gn && i7 && cva6 && sskf && sskf_newton && gauss_only && lite) {
+    const double gn_energy = gn->energy_min();
+    std::printf("Headline ratios (ours vs paper):\n");
+    std::printf("  Gauss/Newton vs Intel i7 energy efficiency: %7.1fx  "
+                "(paper ~10x)\n",
+                i7->energy_min() / gn_energy);
+    std::printf("  Gauss/Newton vs CVA6 energy efficiency:     %7.1fx  "
+                "(paper ~655x)\n",
+                cva6->energy_min() / gn_energy);
+    std::printf("  SSKF vs Gauss/Newton energy efficiency:     %7.1fx  "
+                "(paper ~346x)\n",
+                gn_energy / sskf->energy_min());
+    std::printf("  SSKF/Newton vs Gauss-Only energy efficiency:%7.1fx  "
+                "(paper ~15.3x)\n",
+                gauss_only->energy_min() / sskf_newton->energy_min());
+    std::printf("  SSKF accuracy vs Gauss/Newton:              %.1e x worse "
+                "(paper ~1e9x)\n",
+                sskf->mse_min() / gn->mse_min());
+    std::printf("  SSKF accuracy vs LITE:                      %.1e x worse "
+                "(paper ~1e3x)\n",
+                sskf->mse_min() / lite->mse_min());
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Kernel-level microbenchmarks (google-benchmark): wall-clock cost of the
+// matrix kernels and inversion methods at the paper's three measurement
+// dimensions (z = 46, 52, 164).  These sanity-check the relative costs the
+// HLS latency model assumes (Newton step ~ 2 matmuls; Gauss ~ 2n^3; QR the
+// most expensive calculation).
+#include <benchmark/benchmark.h>
+
+#include "fixedpoint/fixed.hpp"
+#include "linalg/linalg.hpp"
+
+using namespace kalmmind::linalg;
+using kalmmind::fixedpoint::Fx32;
+
+namespace {
+
+template <typename T>
+Matrix<T> bench_spd(std::size_t n) {
+  Rng rng(42);
+  return random_spd<double>(n, rng, 2.0).template cast<T>();
+}
+
+void BM_MatMulFloat(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Rng rng(1);
+  auto a = random_matrix<float>(n, n, rng);
+  auto b = random_matrix<float>(n, n, rng);
+  Matrix<float> c;
+  for (auto _ : state) {
+    c.fill(0.0f);
+    multiply_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatMulFloat)->Arg(46)->Arg(52)->Arg(164);
+
+void BM_MatMulFx32(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Rng rng(1);
+  auto a = random_matrix<Fx32>(n, n, rng);
+  auto b = random_matrix<Fx32>(n, n, rng);
+  Matrix<Fx32> c;
+  for (auto _ : state) {
+    c.fill(Fx32(0));
+    multiply_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatMulFx32)->Arg(52)->Arg(164);
+
+void BM_InvertGauss(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  auto s = bench_spd<float>(n);
+  for (auto _ : state) {
+    auto inv = invert_gauss(s);
+    benchmark::DoNotOptimize(inv.data());
+  }
+}
+BENCHMARK(BM_InvertGauss)->Arg(46)->Arg(52)->Arg(164);
+
+void BM_InvertCholesky(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  auto s = bench_spd<float>(n);
+  for (auto _ : state) {
+    auto inv = invert_cholesky(s);
+    benchmark::DoNotOptimize(inv.data());
+  }
+}
+BENCHMARK(BM_InvertCholesky)->Arg(46)->Arg(52)->Arg(164);
+
+void BM_InvertQr(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  auto s = bench_spd<float>(n);
+  for (auto _ : state) {
+    auto inv = invert_qr(s);
+    benchmark::DoNotOptimize(inv.data());
+  }
+}
+BENCHMARK(BM_InvertQr)->Arg(46)->Arg(52)->Arg(164);
+
+void BM_InvertLuDouble(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  auto s = bench_spd<double>(n);
+  for (auto _ : state) {
+    auto inv = invert_lu(s);
+    benchmark::DoNotOptimize(inv.data());
+  }
+}
+BENCHMARK(BM_InvertLuDouble)->Arg(164);
+
+void BM_NewtonStep(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  auto s = bench_spd<float>(n);
+  auto v = invert_gauss(s);
+  Matrix<float> scratch, out(n, n);
+  for (auto _ : state) {
+    newton_step_into(out, v, s, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_NewtonStep)->Arg(46)->Arg(52)->Arg(164);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Regenerates TABLE II: "Accuracy Ranges with Three Neural Datasets".
+//
+// The Gauss/Newton accelerator is swept over approx in [1,6], calc_freq in
+// [0,6] and both seed policies on each dataset; the min/max of each metric
+// over the sweep is the configurable accuracy range.  The last row is the
+// float32 Gauss baseline of each dataset.
+//
+// Paper shape: every dataset's range brackets (and its best config beats)
+// the baseline; NHP datasets land in different ranges than the rat dataset.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("TABLE II: accuracy ranges of the Gauss/Newton accelerator\n");
+  std::printf("(sweep: approx 1-6 x calc_freq 0-6 x policy {0,1}, 100 KF "
+              "iterations per point)\n\n");
+
+  core::TextTable table({"Dataset", "MSE", "MAE", "Max Diff."});
+  std::vector<core::AccuracyMetrics> baselines;
+  std::vector<std::string> names;
+
+  core::DesignSpaceExplorer explorer{hls::DatapathSpec{}};  // Gauss/Newton f32
+  for (const auto& spec : neural::all_dataset_specs()) {
+    bench::PreparedDataset p = bench::prepare(spec);
+    auto points = explorer.sweep(p.dataset);
+
+    auto mse = core::metric_range(points, core::Metric::kMse);
+    auto mae = core::metric_range(points, core::Metric::kMae);
+    auto maxd = core::metric_range(points, core::Metric::kMaxDiff);
+    table.add_row({p.name(),
+                   core::sci(mse.min_value) + " - " + core::sci(mse.max_value),
+                   core::sci(mae.min_value) + " - " + core::sci(mae.max_value),
+                   core::sci(maxd.min_value) + " - " +
+                       core::sci(maxd.max_value)});
+    baselines.push_back(bench::baseline_metrics(p));
+    names.push_back(p.name());
+
+    std::printf("  [%s] swept %zu points, %zu finite; best MSE %s vs "
+                "baseline %s -> %s\n",
+                p.name().c_str(), points.size(), mse.finite_points,
+                core::sci(mse.min_value).c_str(),
+                core::sci(baselines.back().mse).c_str(),
+                mse.min_value < baselines.back().mse
+                    ? "accelerator BEATS the float32 Gauss baseline"
+                    : "baseline holds");
+  }
+
+  std::string b_mse, b_mae, b_max;
+  for (std::size_t i = 0; i < baselines.size(); ++i) {
+    const char* sep = i ? "  " : "";
+    b_mse += sep + core::sci(baselines[i].mse);
+    b_mae += sep + core::sci(baselines[i].mae);
+    b_max += sep + core::sci(baselines[i].max_diff_pct);
+  }
+  table.add_row({"Baseline (per dataset)", b_mse, b_mae, b_max});
+
+  std::printf("\n%s\n", table.to_string().c_str());
+  return 0;
+}

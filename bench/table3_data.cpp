@@ -1,0 +1,221 @@
+#include "table3_data.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "soc/software.hpp"
+
+namespace kalmmind::bench {
+
+namespace {
+
+using core::Accelerator;
+using core::AcceleratorConfig;
+
+double finite_or(double v, double fallback) {
+  return std::isfinite(v) ? v : fallback;
+}
+
+}  // namespace
+
+double ImplementationSummary::perf_min() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) v = std::min(v, p.seconds);
+  return v;
+}
+double ImplementationSummary::perf_max() const {
+  double v = 0.0;
+  for (const auto& p : points) v = std::max(v, p.seconds);
+  return v;
+}
+double ImplementationSummary::energy_min() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& p : points) v = std::min(v, p.energy_j);
+  return v;
+}
+double ImplementationSummary::energy_max() const {
+  double v = 0.0;
+  for (const auto& p : points) v = std::max(v, p.energy_j);
+  return v;
+}
+double ImplementationSummary::mse_min() const {
+  double v = std::numeric_limits<double>::infinity();
+  for (const auto& p : points)
+    if (std::isfinite(p.mse)) v = std::min(v, p.mse);
+  return v;
+}
+double ImplementationSummary::mse_max() const {
+  double v = 0.0;
+  for (const auto& p : points)
+    if (std::isfinite(p.mse)) v = std::max(v, p.mse);
+  return v;
+}
+const ImplPoint& ImplementationSummary::best_accuracy_point() const {
+  if (points.empty()) throw std::logic_error("no points");
+  const ImplPoint* best = &points.front();
+  for (const auto& p : points)
+    if (finite_or(p.mse, std::numeric_limits<double>::infinity()) <
+        finite_or(best->mse, std::numeric_limits<double>::infinity()))
+      best = &p;
+  return *best;
+}
+const ImplPoint& ImplementationSummary::best_energy_point() const {
+  if (points.empty()) throw std::logic_error("no points");
+  const ImplPoint* best = &points.front();
+  for (const auto& p : points)
+    if (p.energy_j < best->energy_j) best = &p;
+  return *best;
+}
+
+namespace {
+
+// Sweep one accelerator datapath over the given knob values and summarize.
+ImplementationSummary sweep_datapath(
+    const PreparedDataset& motor, std::string type, std::string name,
+    const hls::DatapathSpec& spec,
+    const std::vector<std::uint32_t>& calc_freqs,
+    const std::vector<std::uint32_t>& approxes,
+    const std::vector<std::uint32_t>& policies) {
+  ImplementationSummary impl;
+  impl.type = std::move(type);
+  impl.name = std::move(name);
+
+  const AcceleratorConfig base = base_config(motor);
+  bool first = true;
+  for (std::uint32_t cf : calc_freqs) {
+    for (std::uint32_t ap : approxes) {
+      for (std::uint32_t pol : policies) {
+        AcceleratorConfig cfg = base;
+        cfg.calc_freq = cf;
+        cfg.approx = ap;
+        cfg.policy = pol;
+        Accelerator accel(spec, cfg);
+        auto run = accel.run(motor.dataset.model,
+                             motor.dataset.test_measurements);
+        if (first) {
+          impl.resources = run.resources;
+          impl.power_w = run.power_w;
+          first = false;
+        }
+        auto m = core::compare_trajectories(motor.reference, run.states);
+        impl.points.push_back({run.seconds, run.energy_j, m.mse, cfg});
+      }
+    }
+  }
+  return impl;
+}
+
+ImplementationSummary software_row(const PreparedDataset& motor,
+                                   const hls::SoftwareTimingModel& platform) {
+  ImplementationSummary impl;
+  impl.type = "Software";
+  impl.name = platform.name;
+  impl.software = true;
+  impl.has_resources = false;
+  impl.power_w = platform.power_w;
+  auto run = soc::run_software_kf(platform, motor.dataset.model,
+                                  motor.dataset.test_measurements);
+  auto m = core::compare_trajectories(motor.reference, run.states);
+  impl.points.push_back({run.seconds, run.energy_j, m.mse, {}});
+  return impl;
+}
+
+}  // namespace
+
+std::vector<ImplementationSummary> collect_implementations(
+    const PreparedDataset& motor) {
+  using hls::ApproxUnit;
+  using hls::CalcUnit;
+  using hls::DatapathSpec;
+  using hls::NumericType;
+
+  std::vector<ImplementationSummary> impls;
+
+  // --- software rows ---
+  std::printf("  [table3] software baselines...\n");
+  impls.push_back(software_row(motor, hls::intel_i7_model()));
+  {
+    // CVA6 runs the same software; its FPGA footprint is the synthesized
+    // core (Zaruba & Benini / paper Table III).
+    ImplementationSummary cva6 = software_row(motor, hls::cva6_model());
+    cva6.has_resources = true;
+    cva6.resources = {43996, 29922, 36.0, 27};
+    impls.push_back(std::move(cva6));
+  }
+
+  const std::vector<std::uint32_t> wide_cf = {0, 1, 2, 4, 6};
+  const std::vector<std::uint32_t> wide_ap = {1, 2, 3, 4, 6};
+  const std::vector<std::uint32_t> both_pol = {0, 1};
+  const std::vector<std::uint32_t> small_cf = {0, 1, 4};
+  const std::vector<std::uint32_t> small_ap = {1, 3, 6};
+  const std::vector<std::uint32_t> pol1 = {1};
+
+  // --- calc/approx dual-path datapaths ---
+  std::printf("  [table3] Gauss/Newton sweep...\n");
+  impls.push_back(sweep_datapath(motor, "Hw: Calc./Approx.", "Gauss/Newton",
+                                 DatapathSpec{}, wide_cf, wide_ap, both_pol));
+  std::printf("  [table3] Cholesky/Newton sweep...\n");
+  impls.push_back(sweep_datapath(
+      motor, "Hw: Calc./Approx.", "Cholesky/Newton",
+      DatapathSpec{CalcUnit::kCholesky, ApproxUnit::kNewton,
+                   NumericType::kFloat32},
+      small_cf, small_ap, pol1));
+  std::printf("  [table3] QR/Newton sweep...\n");
+  impls.push_back(sweep_datapath(
+      motor, "Hw: Calc./Approx.", "QR/Newton",
+      DatapathSpec{CalcUnit::kQr, ApproxUnit::kNewton, NumericType::kFloat32},
+      small_cf, small_ap, pol1));
+
+  // --- datatype variants ---
+  std::printf("  [table3] fixed-point datapaths...\n");
+  impls.push_back(sweep_datapath(
+      motor, "Hw: Datapath", "Gauss/Newton FX32",
+      DatapathSpec{CalcUnit::kGauss, ApproxUnit::kNewton, NumericType::kFx32},
+      {0}, {3}, pol1));
+  impls.push_back(sweep_datapath(
+      motor, "Hw: Datapath", "Gauss/Newton FX64",
+      DatapathSpec{CalcUnit::kGauss, ApproxUnit::kNewton, NumericType::kFx64},
+      small_cf, small_ap, pol1));
+
+  // --- one-way datapaths ---
+  std::printf("  [table3] LITE / SSKF / Taylor / Gauss-Only...\n");
+  {
+    DatapathSpec lite;
+    lite.calc = CalcUnit::kNone;
+    lite.approx = ApproxUnit::kNewton;
+    lite.lite = true;
+    impls.push_back(sweep_datapath(motor, "Hw: One-way", "LITE", lite, {0},
+                                   {1}, pol1));
+    lite.dtype = NumericType::kFx64;
+    impls.push_back(sweep_datapath(motor, "Hw: One-way", "LITE FX64", lite,
+                                   {0}, {1}, pol1));
+  }
+  impls.push_back(sweep_datapath(
+      motor, "Hw: One-way", "SSKF/Newton",
+      DatapathSpec{CalcUnit::kConstant, ApproxUnit::kNewton,
+                   NumericType::kFloat32},
+      {0}, {0, 1, 2, 3, 4, 6}, pol1));
+  {
+    DatapathSpec sskf;
+    sskf.calc = CalcUnit::kNone;
+    sskf.approx = ApproxUnit::kNone;
+    sskf.constant_gain = true;
+    impls.push_back(
+        sweep_datapath(motor, "Hw: One-way", "SSKF", sskf, {0}, {0}, {0}));
+  }
+  impls.push_back(sweep_datapath(
+      motor, "Hw: One-way", "Taylor",
+      DatapathSpec{CalcUnit::kNone, ApproxUnit::kTaylor,
+                   NumericType::kFloat32},
+      {0}, {0}, {0}));
+  impls.push_back(sweep_datapath(
+      motor, "Hw: One-way", "Gauss-Only",
+      DatapathSpec{CalcUnit::kGauss, ApproxUnit::kNone, NumericType::kFloat32},
+      {1}, {0}, {0}));
+
+  return impls;
+}
+
+}  // namespace kalmmind::bench

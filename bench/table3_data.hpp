@@ -1,0 +1,47 @@
+// Shared data collection for TABLE III and FIG. 6: run every KF
+// implementation (software platforms + the full accelerator family) on the
+// motor dataset and summarize resources, power, performance/energy ranges
+// and accuracy ranges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace kalmmind::bench {
+
+struct ImplPoint {
+  double seconds = 0.0;
+  double energy_j = 0.0;
+  double mse = 0.0;
+  core::AcceleratorConfig config;
+};
+
+struct ImplementationSummary {
+  std::string type;  // "Software" / "Hardware: Calc./Approx." / ...
+  std::string name;
+  bool software = false;
+  bool has_resources = true;  // i7 has none
+  hls::ResourceEstimate resources;
+  double power_w = 0.0;
+  std::vector<ImplPoint> points;  // one per swept configuration
+
+  double perf_min() const;
+  double perf_max() const;
+  double energy_min() const;
+  double energy_max() const;
+  double mse_min() const;
+  double mse_max() const;
+  // The point with the best accuracy (for the Fig. 6 scatter).
+  const ImplPoint& best_accuracy_point() const;
+  // The point with the least energy.
+  const ImplPoint& best_energy_point() const;
+};
+
+// Runs everything (a couple of minutes on one core).  Progress lines go to
+// stdout so the caller sees motion.
+std::vector<ImplementationSummary> collect_implementations(
+    const PreparedDataset& motor);
+
+}  // namespace kalmmind::bench

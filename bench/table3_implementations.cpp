@@ -1,0 +1,68 @@
+// Regenerates TABLE III: "FPGA Resources and Performance across KF
+// Implementations/Accelerators" — motor dataset, 100 KF iterations.
+//
+// Paper shape to reproduce:
+//   * all accelerators except Gauss-Only finish 100 iterations in < 5 s
+//     (min-latency configs) and consume < ~200 mW;
+//   * SSKF is the cheapest and least accurate; Gauss-Only the slowest
+//     calculation path; SSKF/Newton spans the widest accuracy range;
+//   * FX64 has the most DSPs, FX32 the lowest power among Gauss/Newton.
+#include <cstdio>
+
+#include "table3_data.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+std::string range(double lo, double hi, bool scientific) {
+  auto f = [&](double v) {
+    if (scientific) return core::sci(v);
+    return core::fixed(v, v < 0.1 ? 4 : (v < 10 ? 2 : 1));
+  };
+  if (lo == hi) return f(lo);
+  return f(lo) + " - " + f(hi);
+}
+
+}  // namespace
+
+int main() {
+  bench::PreparedDataset motor = bench::prepare(neural::motor_spec());
+  std::printf("TABLE III: KF implementations on the motor dataset "
+              "(z=164, 100 KF iterations, %0.f MHz accelerator clock)\n\n",
+              hls::HlsParams{}.clock_hz / 1e6);
+
+  auto impls = bench::collect_implementations(motor);
+
+  core::TextTable table({"Type", "Method", "LUT", "FF", "BRAM", "DSP",
+                         "Power [W]", "Perf. [sec]", "Energy [J]",
+                         "Accuracy [MSE]"});
+  for (const auto& impl : impls) {
+    table.add_row({impl.type, impl.name,
+                   impl.has_resources ? std::to_string(impl.resources.lut)
+                                      : "N/A",
+                   impl.has_resources ? std::to_string(impl.resources.ff)
+                                      : "N/A",
+                   impl.has_resources ? core::fixed(impl.resources.bram, 1)
+                                      : "N/A",
+                   impl.has_resources ? std::to_string(impl.resources.dsp)
+                                      : "N/A",
+                   core::fixed(impl.power_w, 3),
+                   range(impl.perf_min(), impl.perf_max(), false),
+                   range(impl.energy_min(), impl.energy_max(), false),
+                   range(impl.mse_min(), impl.mse_max(), true)});
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  // The paper's two headline constraints.
+  std::printf("Constraint checks:\n");
+  for (const auto& impl : impls) {
+    if (impl.software) continue;
+    const bool realtime = impl.perf_min() < 5.0;
+    const bool low_power = impl.power_w <= 0.25;
+    std::printf("  %-18s  real-time(<5s): %-3s  low-power(<=~200mW): %s\n",
+                impl.name.c_str(), realtime ? "yes" : "NO",
+                low_power ? "yes" : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Auto-tuning workflow: sweep the design space once, then let the
+// AutoTuner answer deployment questions ("best accuracy under my latency
+// budget?", "cheapest config that is accurate enough?"), and persist the
+// trained model for the deployed device.
+#include <cstdio>
+
+#include "core/kalmmind.hpp"
+#include "io/csv.hpp"
+#include "io/model_io.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  neural::NeuralDataset dataset =
+      neural::build_dataset(neural::hippocampus_spec());
+  std::printf("auto-tuning a Gauss/Newton accelerator for '%s' (z=%zu)\n\n",
+              dataset.spec.name.c_str(), dataset.model.z_dim());
+
+  core::DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  auto points = explorer.sweep(dataset);
+  core::AutoTuner tuner(points);
+
+  auto describe = [](const char* question,
+                     const std::optional<core::DsePoint>& pick) {
+    if (!pick) {
+      std::printf("%-46s -> no feasible configuration\n", question);
+      return;
+    }
+    std::printf("%-46s -> calc_freq=%u approx=%u policy=%u "
+                "(%.3f s, MSE %s, %.3f J)\n",
+                question, pick->config.calc_freq, pick->config.approx,
+                pick->config.policy, pick->latency_s,
+                core::sci(pick->metrics.mse).c_str(), pick->energy_j);
+  };
+
+  describe("best accuracy within 0.2 s",
+           tuner.best_accuracy_within_latency(0.2));
+  describe("best accuracy within 0.5 s",
+           tuner.best_accuracy_within_latency(0.5));
+  describe("fastest with MSE <= 1e-9",
+           tuner.fastest_within_accuracy(1e-9));
+  describe("best accuracy within 0.05 J",
+           tuner.best_accuracy_within_energy(0.05));
+  describe("knee of the Pareto frontier", tuner.knee_point());
+  describe("impossible: MSE <= 1e-30",
+           tuner.fastest_within_accuracy(1e-30));
+
+  // Persist the artifacts a deployment would ship: the trained model
+  // (preloaded into the relay station) and the sweep data (for plots).
+  io::save_model_file("hippocampus_decoder.kmmodel", dataset.model);
+  io::write_dse_csv_file("hippocampus_dse.csv", points);
+  auto reloaded = io::load_model_file("hippocampus_decoder.kmmodel");
+  std::printf("\nsaved hippocampus_decoder.kmmodel (reload check: %s) and "
+              "hippocampus_dse.csv (%zu sweep points)\n",
+              reloaded.h == dataset.model.h ? "bit-exact" : "MISMATCH",
+              points.size());
+  return 0;
+}

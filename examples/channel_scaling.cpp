@@ -1,0 +1,51 @@
+// Channel-count scaling study — the paper's motivation: electrode counts
+// grow exponentially, and the z^3 inversion dominates.  This example
+// sweeps synthetic datasets from 32 to 192 channels and compares
+// Gauss-every-iteration against the interleaved Gauss/Newton configuration
+// at the real-time boundary.
+#include <cstdio>
+
+#include "core/kalmmind.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  std::printf("channel-count scaling: Gauss-Only vs interleaved "
+              "Gauss/Newton (approx=2, calc_freq=0)\n\n");
+
+  core::TextTable table({"channels", "Gauss-Only [s]", "Gauss/Newton [s]",
+                         "speedup", "GN MSE", "GN real-time (<5s)?"});
+  for (std::size_t z : {32u, 64u, 96u, 128u, 164u, 192u}) {
+    neural::DatasetSpec spec = neural::motor_spec();
+    spec.name = "motor-z" + std::to_string(z);
+    spec.encoding.channels = z;
+    spec.train_steps = std::max<std::size_t>(2 * z + 200, 800);
+    spec.test_steps = 50;  // keep the example quick
+    auto ds = neural::build_dataset(spec);
+    auto ref = core::to_double_trajectory(
+        kalman::run_reference(ds.model, ds.test_measurements).states);
+
+    auto cfg = core::AcceleratorConfig::for_run(
+        6, std::uint32_t(z), ds.test_measurements.size());
+    cfg.calc_freq = 0;
+    cfg.approx = 2;
+    cfg.policy = 1;
+
+    auto gn =
+        core::make_gauss_newton(cfg).run(ds.model, ds.test_measurements);
+    auto go = core::make_gauss_only(cfg).run(ds.model, ds.test_measurements);
+    auto m = core::compare_trajectories(ref, gn.states);
+
+    // Scale the 50-iteration run to the paper's 100-iteration budget.
+    const double gn_s = 2.0 * gn.seconds;
+    const double go_s = 2.0 * go.seconds;
+    table.add_row({std::to_string(z), core::fixed(go_s, 2),
+                   core::fixed(gn_s, 2), core::fixed(go_s / gn_s, 2),
+                   core::sci(m.mse), gn_s < 5.0 ? "yes" : "no"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("The z^3 calculation path falls out of the real-time budget "
+              "first; the Newton path's 8-MAC array stretches the usable "
+              "channel count.\n");
+  return 0;
+}

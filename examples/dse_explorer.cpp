@@ -1,0 +1,41 @@
+// Design-space exploration demo: sweep the Gauss/Newton accelerator's
+// runtime knobs on the somatosensory dataset and print the Pareto-optimal
+// latency/accuracy configurations (the Fig. 5 analysis, as a library call).
+#include <cstdio>
+
+#include "core/kalmmind.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  neural::NeuralDataset dataset =
+      neural::build_dataset(neural::somatosensory_spec());
+  std::printf("sweeping %s (z=%zu) over calc_freq x approx x policy...\n",
+              dataset.spec.name.c_str(), dataset.model.z_dim());
+
+  hls::DatapathSpec spec;  // Gauss/Newton float32 (the default)
+  core::DesignSpaceExplorer explorer(spec);
+  core::DseOptions options;
+  std::vector<core::DsePoint> points = explorer.sweep(dataset, options);
+
+  std::vector<std::size_t> front = core::pareto_front(points, core::Metric::kMse);
+
+  core::TextTable table({"calc_freq", "approx", "policy", "latency [s]",
+                         "MSE", "MAX DIFF [%]"});
+  for (std::size_t idx : front) {
+    const auto& p = points[idx];
+    table.add_row({std::to_string(p.config.calc_freq),
+                   std::to_string(p.config.approx),
+                   std::to_string(p.config.policy),
+                   core::fixed(p.latency_s, 3), core::sci(p.metrics.mse),
+                   core::sci(p.metrics.max_diff_pct)});
+  }
+  std::printf("\nPareto-optimal configurations (minimizing latency & MSE):\n%s",
+              table.to_string().c_str());
+
+  core::MetricRange range = core::metric_range(points, core::Metric::kMse);
+  std::printf("\nfull sweep: %zu points, MSE range %s .. %s\n",
+              points.size(), core::sci(range.min_value).c_str(),
+              core::sci(range.max_value).c_str());
+  return 0;
+}

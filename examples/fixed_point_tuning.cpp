@@ -1,0 +1,48 @@
+// Datatype exploration: the same Gauss/Newton accelerator synthesized for
+// float32, FX32 (Q15.16) and FX64 (Q31.32), compared on accuracy, range
+// overflow (saturations), resources and energy — the datatype rows of
+// Table III as a library workflow.
+#include <cstdio>
+
+#include "core/kalmmind.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  neural::NeuralDataset dataset =
+      neural::build_dataset(neural::somatosensory_spec());
+  auto reference = core::to_double_trajectory(
+      kalman::run_reference(dataset.model, dataset.test_measurements).states);
+
+  core::AcceleratorConfig cfg = core::AcceleratorConfig::for_run(
+      std::uint32_t(dataset.model.x_dim()),
+      std::uint32_t(dataset.model.z_dim()),
+      dataset.test_measurements.size());
+  cfg.calc_freq = 0;
+  cfg.approx = 3;
+  cfg.policy = 1;
+
+  core::TextTable table({"datatype", "MSE", "saturations", "LUT", "FF",
+                         "BRAM", "DSP", "power [W]", "energy [J]"});
+  for (hls::NumericType dtype :
+       {hls::NumericType::kFloat32, hls::NumericType::kFx32,
+        hls::NumericType::kFx64}) {
+    core::Accelerator accel = core::make_gauss_newton(cfg, dtype);
+    auto run = accel.run(dataset.model, dataset.test_measurements);
+    auto m = core::compare_trajectories(reference, run.states);
+    table.add_row({hls::to_string(dtype), core::sci(m.mse),
+                   std::to_string(run.fixed_point_saturations),
+                   std::to_string(run.resources.lut),
+                   std::to_string(run.resources.ff),
+                   core::fixed(run.resources.bram, 1),
+                   std::to_string(run.resources.dsp),
+                   core::fixed(run.power_w, 3), core::fixed(run.energy_j, 3)});
+  }
+  std::printf("Gauss/Newton accelerator across datapath datatypes "
+              "(%s dataset, %s):\n%s",
+              dataset.spec.name.c_str(), cfg.to_string().c_str(),
+              table.to_string().c_str());
+  std::printf("\nFX32's Q15.16 resolution (~1.5e-5) floors its accuracy; "
+              "FX64 narrows the gap at ~2x the DSP cost.\n");
+  return 0;
+}

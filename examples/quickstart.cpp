@@ -1,0 +1,69 @@
+// Quickstart: decode synthetic motor-cortex data with a Gauss/Newton
+// KalmMind accelerator and compare it against the float64 reference.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API: build a dataset, configure the
+// accelerator registers, run, and score.
+#include <cstdio>
+
+#include "core/kalmmind.hpp"
+
+using namespace kalmmind;
+
+int main() {
+  // 1. Build the motor-cortex dataset (x=6 kinematic states, z=164
+  //    channels) and train the KF model on its training split.
+  neural::DatasetSpec spec = neural::motor_spec();
+  spec.test_steps = 100;  // the paper runs 100 KF iterations
+  neural::NeuralDataset dataset = neural::build_dataset(spec);
+  std::printf("dataset '%s': x=%zu z=%zu, %zu test iterations\n",
+              dataset.spec.name.c_str(), dataset.model.x_dim(),
+              dataset.model.z_dim(), dataset.test_measurements.size());
+
+  // 2. Reference trajectory (float64 + LU, the NumPy role).
+  auto reference = kalman::run_reference(dataset.model,
+                                         dataset.test_measurements);
+  auto reference_d = core::to_double_trajectory(reference.states);
+
+  // 3. Configure a float32 Gauss/Newton accelerator: calculate the inverse
+  //    only at the first iteration (calc_freq=0), then approximate with 2
+  //    Newton iterations seeded from the previous KF iteration (policy=1).
+  core::AcceleratorConfig cfg = core::AcceleratorConfig::for_run(
+      6, 164, dataset.test_measurements.size());
+  cfg.calc_freq = 0;
+  cfg.approx = 2;
+  cfg.policy = 1;
+  core::Accelerator accel = core::make_gauss_newton(cfg);
+
+  // 4. Run and score.
+  core::AcceleratorRunResult run =
+      accel.run(dataset.model, dataset.test_measurements);
+  core::AccuracyMetrics m = core::compare_trajectories(reference_d, run.states);
+
+  std::printf("config: %s\n", cfg.to_string().c_str());
+  std::printf("latency : %.4f s (%llu cycles at %.0f MHz)\n", run.seconds,
+              (unsigned long long)run.latency.total_cycles,
+              accel.params().clock_hz / 1e6);
+  std::printf("power   : %.3f W,  energy: %.3f J\n", run.power_w,
+              run.energy_j);
+  std::printf("accuracy: MSE %s  MAE %s  MAX-DIFF %s%%\n",
+              core::sci(m.mse).c_str(), core::sci(m.mae).c_str(),
+              core::sci(m.max_diff_pct).c_str());
+
+  // 5. Compare with the float32 Gauss baseline.
+  auto baseline = kalman::run_baseline(dataset.model.cast<float>(),
+                                       [&] {
+                                         std::vector<linalg::VectorF> z;
+                                         for (const auto& v :
+                                              dataset.test_measurements)
+                                           z.push_back(v.cast<float>());
+                                         return z;
+                                       }());
+  core::AccuracyMetrics bm = core::compare_trajectories(
+      reference_d, core::to_double_trajectory(baseline.states));
+  std::printf("float32 Gauss baseline: MSE %s\n", core::sci(bm.mse).c_str());
+  std::printf("accelerator %s the baseline\n",
+              m.mse <= bm.mse ? "matches or beats" : "trails");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// The KalmMind accelerator model: one object = one synthesized accelerator
+// instance (a DatapathSpec fixed at "design time") driven by the runtime
+// register file (AcceleratorConfig).
+//
+// run() executes the accelerator bit-faithfully in its numeric format
+// (float32 / float64 / FX32 / FX64) and, from the same execution trace,
+// produces the cycle-accurate latency, resource, power and energy numbers
+// of the HLS model — the quantities Table III and Figs. 5/6 report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "hls/hls.hpp"
+#include "kalman/kalman.hpp"
+
+namespace kalmmind::core {
+
+struct AcceleratorRunResult {
+  // Decoded state trajectory, converted to double for metric evaluation.
+  std::vector<linalg::Vector<double>> states;
+  // Per-iteration inversion telemetry (which path ran, Newton iterations).
+  std::vector<kalman::InverseEvent> events;
+
+  hls::LatencyBreakdown latency;
+  double seconds = 0.0;
+  double power_w = 0.0;
+  double energy_j = 0.0;
+  hls::ResourceEstimate resources;
+
+  // Fixed-point datapaths: saturation events observed during the run
+  // (nonzero means the Q-format range was exceeded somewhere).
+  std::uint64_t fixed_point_saturations = 0;
+};
+
+class Accelerator {
+ public:
+  Accelerator(hls::DatapathSpec spec, AcceleratorConfig config,
+              hls::HlsParams params = {});
+
+  // Execute one invocation: exactly config.total_iterations() measurements.
+  // The model is supplied in double precision (as trained) and quantized to
+  // the datapath's format inside, like the DMA load into the PLMs.
+  AcceleratorRunResult run(
+      const kalman::KalmanModel<double>& model,
+      const std::vector<linalg::Vector<double>>& measurements) const;
+
+  const hls::DatapathSpec& spec() const { return spec_; }
+  const AcceleratorConfig& config() const { return config_; }
+  const hls::HlsParams& params() const { return params_; }
+  hls::ResourceEstimate resources() const;
+
+  // Replace the register file (e.g. between DSE sweep points).  Design-time
+  // properties (the datapath) cannot change.
+  void set_config(AcceleratorConfig config);
+
+ private:
+  template <typename T>
+  AcceleratorRunResult run_typed(
+      const kalman::KalmanModel<double>& model,
+      const std::vector<linalg::Vector<double>>& measurements) const;
+
+  hls::DatapathSpec spec_;
+  AcceleratorConfig config_;
+  hls::HlsParams params_;
+  hls::ResourceModelConfig resource_config_;
+};
+
+// Factory helpers for the Table III accelerator family.
+Accelerator make_gauss_newton(AcceleratorConfig config,
+                              hls::NumericType dtype = hls::NumericType::kFloat32);
+Accelerator make_cholesky_newton(AcceleratorConfig config);
+Accelerator make_qr_newton(AcceleratorConfig config);
+Accelerator make_lite(AcceleratorConfig config,
+                      hls::NumericType dtype = hls::NumericType::kFloat32);
+Accelerator make_sskf(AcceleratorConfig config);
+Accelerator make_sskf_newton(AcceleratorConfig config);
+Accelerator make_taylor(AcceleratorConfig config);
+Accelerator make_gauss_only(AcceleratorConfig config);
+
+}  // namespace kalmmind::core

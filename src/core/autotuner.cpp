@@ -1,0 +1,93 @@
+#include "core/autotuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kalmmind::core {
+
+AutoTuner::AutoTuner(std::vector<DsePoint> points)
+    : points_(std::move(points)) {}
+
+namespace {
+
+bool usable(const DsePoint& p, Metric metric) {
+  return p.metrics.finite && std::isfinite(metric_value(p.metrics, metric));
+}
+
+}  // namespace
+
+std::optional<DsePoint> AutoTuner::best_accuracy_within_latency(
+    double budget_s, Metric metric) const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (!usable(p, metric) || p.latency_s > budget_s) continue;
+    if (!best || metric_value(p.metrics, metric) <
+                     metric_value(best->metrics, metric)) {
+      best = &p;
+    }
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+std::optional<DsePoint> AutoTuner::fastest_within_accuracy(
+    double target, Metric metric) const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (!usable(p, metric) || metric_value(p.metrics, metric) > target)
+      continue;
+    if (!best || p.latency_s < best->latency_s) best = &p;
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+std::optional<DsePoint> AutoTuner::best_accuracy_within_energy(
+    double budget_j, Metric metric) const {
+  const DsePoint* best = nullptr;
+  for (const auto& p : points_) {
+    if (!usable(p, metric) || p.energy_j > budget_j) continue;
+    if (!best || metric_value(p.metrics, metric) <
+                     metric_value(best->metrics, metric)) {
+      best = &p;
+    }
+  }
+  if (!best) return std::nullopt;
+  return *best;
+}
+
+std::optional<DsePoint> AutoTuner::knee_point(Metric metric) const {
+  auto front = pareto_front(points_, metric);
+  if (front.empty()) return std::nullopt;
+  if (front.size() <= 2) return points_[front.front()];
+
+  // Work in (latency, log10(metric)) space, normalized to [0,1]^2 — the
+  // accuracy axis of the paper's Fig. 5 is logarithmic.
+  const auto value = [&](std::size_t idx) {
+    return std::log10(
+        std::max(metric_value(points_[idx].metrics, metric), 1e-300));
+  };
+  const double lat0 = points_[front.front()].latency_s;
+  const double lat1 = points_[front.back()].latency_s;
+  const double v0 = value(front.front());
+  const double v1 = value(front.back());
+  const double lat_span = std::max(lat1 - lat0, 1e-12);
+  const double v_span = std::max(std::fabs(v1 - v0), 1e-12);
+
+  double best_dist = -1.0;
+  std::size_t best_idx = front.front();
+  for (std::size_t idx : front) {
+    const double x = (points_[idx].latency_s - lat0) / lat_span;
+    const double y = (value(idx) - v0) / (v1 - v0 >= 0 ? v_span : -v_span);
+    // Distance from the line through (0,0) and (1,1): |x - y| / sqrt(2).
+    const double dist = std::fabs(x - y);
+    if (dist > best_dist) {
+      best_dist = dist;
+      best_idx = idx;
+    }
+  }
+  return points_[best_idx];
+}
+
+}  // namespace kalmmind::core

@@ -1,0 +1,43 @@
+// Configuration auto-tuning on top of the DSE results: pick the register
+// settings that meet an application constraint (the "which accelerator /
+// which knobs for my BCI?" question the paper's Section V analysis feeds).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/dse.hpp"
+
+namespace kalmmind::core {
+
+class AutoTuner {
+ public:
+  // Takes the swept points (from DesignSpaceExplorer::sweep).  Non-finite
+  // (diverged) points are never selected.
+  explicit AutoTuner(std::vector<DsePoint> points);
+
+  // Most accurate configuration whose latency is <= budget_s.
+  std::optional<DsePoint> best_accuracy_within_latency(
+      double budget_s, Metric metric = Metric::kMse) const;
+
+  // Fastest configuration whose metric value is <= target.
+  std::optional<DsePoint> fastest_within_accuracy(
+      double target, Metric metric = Metric::kMse) const;
+
+  // Most accurate configuration whose energy is <= budget_j.
+  std::optional<DsePoint> best_accuracy_within_energy(
+      double budget_j, Metric metric = Metric::kMse) const;
+
+  // The "knee" of the Pareto frontier: the point with the largest
+  // normalized distance from the line joining the frontier's extremes —
+  // the natural default when no hard constraint is given.  Empty only if
+  // no finite point exists.
+  std::optional<DsePoint> knee_point(Metric metric = Metric::kMse) const;
+
+  const std::vector<DsePoint>& points() const { return points_; }
+
+ private:
+  std::vector<DsePoint> points_;
+};
+
+}  // namespace kalmmind::core

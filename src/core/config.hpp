@@ -1,0 +1,86 @@
+// The accelerator's 7 memory-mapped configuration registers (Fig. 3a) as a
+// value type, with the same semantics the hardware gives them:
+//
+//   x_dim, z_dim : matrix/vector dimensions expected by the PLMs
+//   chunks       : measurement vectors loaded per DMA transaction
+//   batches      : DMA transactions per accelerator invocation
+//                  (total KF iterations = chunks * batches)
+//   approx       : internal Newton iterations per approximation step
+//   calc_freq    : calculate the inverse at every n % calc_freq == 0;
+//                  0 => only at the first iteration
+//   policy       : 0 => seed from last calculated inverse (eq. 5)
+//                  1 => seed from previous KF iteration     (eq. 4)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "kalman/interleaved.hpp"
+
+namespace kalmmind::core {
+
+struct AcceleratorConfig {
+  std::uint32_t x_dim = 6;
+  std::uint32_t z_dim = 164;
+  std::uint32_t chunks = 10;
+  std::uint32_t batches = 10;
+  std::uint32_t approx = 1;
+  std::uint32_t calc_freq = 0;
+  std::uint32_t policy = 0;
+
+  std::uint64_t total_iterations() const {
+    return std::uint64_t(chunks) * batches;
+  }
+
+  kalman::SeedPolicy seed_policy() const {
+    return policy == 0 ? kalman::SeedPolicy::kLastCalculated
+                       : kalman::SeedPolicy::kPreviousIteration;
+  }
+
+  kalman::InterleaveConfig interleave() const {
+    return {calc_freq, approx, seed_policy()};
+  }
+
+  void validate() const {
+    if (x_dim == 0 || z_dim == 0)
+      throw std::invalid_argument("AcceleratorConfig: zero dimension");
+    if (chunks == 0 || batches == 0)
+      throw std::invalid_argument("AcceleratorConfig: zero chunks/batches");
+    if (policy > 1)
+      throw std::invalid_argument("AcceleratorConfig: policy must be 0 or 1");
+    // approx == 0 is legal: the approximation path then returns its seed
+    // unchanged (the SSKF/Newton datapath uses this to serve the constant
+    // inverse without any Newton refinement).
+  }
+
+  // Factor `iterations` into chunks * batches with chunks bounded by the
+  // PLM chunk capacity (largest divisor <= max_chunks).
+  static AcceleratorConfig for_run(std::uint32_t x_dim, std::uint32_t z_dim,
+                                   std::uint64_t iterations,
+                                   std::uint32_t max_chunks = 8) {
+    if (iterations == 0)
+      throw std::invalid_argument("AcceleratorConfig::for_run: 0 iterations");
+    std::uint32_t chunks = 1;
+    for (std::uint32_t c = 1; c <= max_chunks && c <= iterations; ++c) {
+      if (iterations % c == 0) chunks = c;
+    }
+    AcceleratorConfig cfg;
+    cfg.x_dim = x_dim;
+    cfg.z_dim = z_dim;
+    cfg.chunks = chunks;
+    cfg.batches = std::uint32_t(iterations / chunks);
+    return cfg;
+  }
+
+  std::string to_string() const {
+    return "x=" + std::to_string(x_dim) + " z=" + std::to_string(z_dim) +
+           " chunks=" + std::to_string(chunks) +
+           " batches=" + std::to_string(batches) +
+           " approx=" + std::to_string(approx) +
+           " calc_freq=" + std::to_string(calc_freq) +
+           " policy=" + std::to_string(policy);
+  }
+};
+
+}  // namespace kalmmind::core

@@ -1,0 +1,172 @@
+#include "core/dse.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "kalman/reference.hpp"
+
+namespace kalmmind::core {
+
+DesignSpaceExplorer::DesignSpaceExplorer(hls::DatapathSpec spec,
+                                         hls::HlsParams params)
+    : spec_(spec), params_(params) {}
+
+std::vector<DsePoint> DesignSpaceExplorer::sweep(
+    const neural::NeuralDataset& dataset, const DseOptions& options) const {
+  if (options.approx_values.empty() || options.calc_freq_values.empty() ||
+      options.policy_values.empty()) {
+    throw std::invalid_argument("DesignSpaceExplorer::sweep: empty sweep axis");
+  }
+
+  // Reference trajectory, shared read-only by all workers.
+  const auto reference_output =
+      kalman::run_reference(dataset.model, dataset.test_measurements);
+  const auto reference = to_double_trajectory(reference_output.states);
+
+  // Materialize the config list.
+  std::vector<AcceleratorConfig> configs;
+  const AcceleratorConfig base = AcceleratorConfig::for_run(
+      std::uint32_t(dataset.model.x_dim()), std::uint32_t(dataset.model.z_dim()),
+      dataset.test_measurements.size());
+  for (std::uint32_t cf : options.calc_freq_values) {
+    for (std::uint32_t ap : options.approx_values) {
+      for (std::uint32_t pol : options.policy_values) {
+        AcceleratorConfig cfg = base;
+        cfg.calc_freq = cf;
+        cfg.approx = ap;
+        cfg.policy = pol;
+        configs.push_back(cfg);
+      }
+    }
+  }
+
+  std::vector<DsePoint> points(configs.size());
+  std::atomic<std::size_t> next{0};
+  const unsigned workers = std::max(
+      1u, options.parallelism != 0 ? options.parallelism
+                                   : std::thread::hardware_concurrency());
+
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= configs.size()) return;
+      Accelerator accel(spec_, configs[i], params_);
+      AcceleratorRunResult r =
+          accel.run(dataset.model, dataset.test_measurements);
+      DsePoint p;
+      p.config = configs[i];
+      p.metrics = compare_trajectories(reference, r.states);
+      p.latency_s = r.seconds;
+      p.power_w = r.power_w;
+      p.energy_j = r.energy_j;
+      points[i] = p;
+    }
+  };
+
+  if (workers == 1 || configs.size() == 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+  }
+  return points;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points,
+                                      Metric metric) {
+  // Sort candidate indices by latency, then sweep keeping strictly
+  // improving accuracy.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].metrics.finite &&
+        std::isfinite(metric_value(points[i].metrics, metric))) {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].latency_s != points[b].latency_s)
+      return points[a].latency_s < points[b].latency_s;
+    return metric_value(points[a].metrics, metric) <
+           metric_value(points[b].metrics, metric);
+  });
+  std::vector<std::size_t> front;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    const double v = metric_value(points[idx].metrics, metric);
+    if (v < best) {
+      front.push_back(idx);
+      best = v;
+    }
+  }
+  return front;
+}
+
+std::vector<std::vector<std::optional<std::size_t>>> best_policy_grid(
+    const std::vector<DsePoint>& points, const DseOptions& options,
+    Metric metric) {
+  std::vector<std::vector<std::optional<std::size_t>>> grid(
+      options.calc_freq_values.size(),
+      std::vector<std::optional<std::size_t>>(options.approx_values.size()));
+
+  auto cf_index = [&](std::uint32_t cf) -> std::size_t {
+    auto it = std::find(options.calc_freq_values.begin(),
+                        options.calc_freq_values.end(), cf);
+    return std::size_t(it - options.calc_freq_values.begin());
+  };
+  auto ap_index = [&](std::uint32_t ap) -> std::size_t {
+    auto it = std::find(options.approx_values.begin(),
+                        options.approx_values.end(), ap);
+    return std::size_t(it - options.approx_values.begin());
+  };
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const std::size_t r = cf_index(p.config.calc_freq);
+    const std::size_t c = ap_index(p.config.approx);
+    if (r >= grid.size() || c >= grid[r].size()) continue;
+    auto& cell = grid[r][c];
+    if (!cell.has_value()) {
+      cell = i;
+      continue;
+    }
+    const auto& incumbent = points[*cell];
+    const bool candidate_finite = p.metrics.finite;
+    const bool incumbent_finite = incumbent.metrics.finite;
+    if (candidate_finite != incumbent_finite) {
+      if (candidate_finite) cell = i;
+      continue;
+    }
+    if (metric_value(p.metrics, metric) <
+        metric_value(incumbent.metrics, metric)) {
+      cell = i;
+    }
+  }
+  return grid;
+}
+
+MetricRange metric_range(const std::vector<DsePoint>& points, Metric metric) {
+  MetricRange range;
+  range.min_value = std::numeric_limits<double>::infinity();
+  range.max_value = -std::numeric_limits<double>::infinity();
+  for (const auto& p : points) {
+    if (!p.metrics.finite) continue;
+    const double v = metric_value(p.metrics, metric);
+    if (!std::isfinite(v)) continue;
+    range.min_value = std::min(range.min_value, v);
+    range.max_value = std::max(range.max_value, v);
+    ++range.finite_points;
+  }
+  if (range.finite_points == 0) {
+    range.min_value = range.max_value =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  return range;
+}
+
+}  // namespace kalmmind::core

@@ -1,0 +1,94 @@
+// Design-space exploration (Section V): sweep the runtime knobs
+// (calc_freq x approx x policy) of one accelerator datapath over a neural
+// dataset, score every point against the float64 reference, and extract
+// Pareto-optimal (latency, accuracy) configurations.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "neural/dataset.hpp"
+
+namespace kalmmind::core {
+
+struct DsePoint {
+  AcceleratorConfig config;
+  AccuracyMetrics metrics;
+  double latency_s = 0.0;
+  double power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+enum class Metric { kMse, kMae, kMaxDiff, kAvgDiff };
+
+inline const char* to_string(Metric m) {
+  switch (m) {
+    case Metric::kMse: return "MSE";
+    case Metric::kMae: return "MAE";
+    case Metric::kMaxDiff: return "MAX DIFF";
+    case Metric::kAvgDiff: return "AVG DIFF";
+  }
+  return "?";
+}
+
+inline double metric_value(const AccuracyMetrics& a, Metric m) {
+  switch (m) {
+    case Metric::kMse: return a.mse;
+    case Metric::kMae: return a.mae;
+    case Metric::kMaxDiff: return a.max_diff_pct;
+    case Metric::kAvgDiff: return a.avg_diff_pct;
+  }
+  return a.mse;
+}
+
+struct DseOptions {
+  std::vector<std::uint32_t> approx_values = {1, 2, 3, 4, 5, 6};
+  std::vector<std::uint32_t> calc_freq_values = {0, 1, 2, 3, 4, 5, 6};
+  std::vector<std::uint32_t> policy_values = {0, 1};
+  // Worker threads for the sweep; 0 = hardware concurrency.
+  unsigned parallelism = 0;
+};
+
+class DesignSpaceExplorer {
+ public:
+  explicit DesignSpaceExplorer(hls::DatapathSpec spec,
+                               hls::HlsParams params = {});
+
+  // Run every (calc_freq, approx, policy) combination on the dataset's test
+  // window and score against the reference filter.
+  std::vector<DsePoint> sweep(const neural::NeuralDataset& dataset,
+                              const DseOptions& options = {}) const;
+
+  const hls::DatapathSpec& spec() const { return spec_; }
+
+ private:
+  hls::DatapathSpec spec_;
+  hls::HlsParams params_;
+};
+
+// Pareto frontier minimizing (latency_s, metric); non-finite points are
+// excluded.  Returned indices refer into `points`, sorted by latency.
+std::vector<std::size_t> pareto_front(const std::vector<DsePoint>& points,
+                                      Metric metric = Metric::kMse);
+
+// Fig. 4 grid: for each (calc_freq, approx) cell keep the better of the two
+// seed policies under `metric`.  grid[cf_index][approx_index] indexes into
+// `points` (std::nullopt if that cell was not swept).
+std::vector<std::vector<std::optional<std::size_t>>> best_policy_grid(
+    const std::vector<DsePoint>& points, const DseOptions& options,
+    Metric metric);
+
+// Min/max of a metric over the sweep, ignoring non-finite points
+// (the Table II "accuracy ranges").
+struct MetricRange {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::size_t finite_points = 0;
+};
+MetricRange metric_range(const std::vector<DsePoint>& points, Metric metric);
+
+}  // namespace kalmmind::core

@@ -1,0 +1,21 @@
+// KalmMind public API umbrella header.
+//
+//   #include "core/kalmmind.hpp"
+//
+// pulls in the whole stack: linear algebra, fixed point, Kalman filtering,
+// the neural-data generator, the HLS models and the accelerator/DSE layer.
+#pragma once
+
+#include "core/accelerator.hpp"
+#include "core/autotuner.hpp"
+#include "core/config.hpp"
+#include "core/dse.hpp"
+#include "core/metrics.hpp"
+#include "core/realtime.hpp"
+#include "core/report.hpp"
+#include "kalman/analysis.hpp"
+#include "fixedpoint/fixed.hpp"
+#include "hls/hls.hpp"
+#include "kalman/kalman.hpp"
+#include "linalg/linalg.hpp"
+#include "neural/neural.hpp"

@@ -1,0 +1,61 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kalmmind::core {
+
+AccuracyMetrics compare_trajectories(
+    const std::vector<linalg::Vector<double>>& reference,
+    const std::vector<linalg::Vector<double>>& candidate) {
+  if (reference.size() != candidate.size() || reference.empty()) {
+    throw std::invalid_argument(
+        "compare_trajectories: trajectories must be same nonzero length");
+  }
+  AccuracyMetrics m;
+  double se_sum = 0.0, ae_sum = 0.0, rel_sum = 0.0, rel_max = 0.0;
+  std::size_t count = 0;
+
+  // Normalization scale for the relative metrics: the paper normalizes by
+  // the reference output.  Elements below 0.1% of the trajectory's peak
+  // magnitude are normalized by that floor instead, so zero-crossings of
+  // the reference do not blow the percentage up.
+  double ref_scale = 0.0;
+  for (const auto& r : reference)
+    for (std::size_t j = 0; j < r.size(); ++j)
+      ref_scale = std::max(ref_scale, std::fabs(r[j]));
+  const double floor = std::max(1e-9, 1e-3 * ref_scale);
+
+  for (std::size_t n = 0; n < reference.size(); ++n) {
+    const auto& r = reference[n];
+    const auto& c = candidate[n];
+    if (r.size() != c.size()) {
+      throw std::invalid_argument("compare_trajectories: state size mismatch");
+    }
+    for (std::size_t j = 0; j < r.size(); ++j) {
+      const double err = c[j] - r[j];
+      if (!std::isfinite(err)) {
+        m.finite = false;
+        m.mse = m.mae = m.max_diff_pct = m.avg_diff_pct =
+            std::numeric_limits<double>::infinity();
+        return m;
+      }
+      const double ae = std::fabs(err);
+      se_sum += err * err;
+      ae_sum += ae;
+      const double rel = ae / std::max(std::fabs(r[j]), floor);
+      rel_sum += rel;
+      rel_max = std::max(rel_max, rel);
+      ++count;
+    }
+  }
+  m.mse = se_sum / double(count);
+  m.mae = ae_sum / double(count);
+  m.max_diff_pct = 100.0 * rel_max;
+  m.avg_diff_pct = 100.0 * rel_sum / double(count);
+  return m;
+}
+
+}  // namespace kalmmind::core

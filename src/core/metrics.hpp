@@ -1,0 +1,47 @@
+// The paper's accuracy metrics (Section V / Table I):
+//   MSE       mean squared error across all state elements and iterations
+//   MAE       mean absolute error
+//   MAX DIFF  maximum |error| normalized by the reference value, in percent
+//   AVG DIFF  mean   |error| normalized by the reference value, in percent
+// All metrics compare a filter's state trajectory against the float64
+// reference trajectory (never against ground-truth kinematics).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::core {
+
+struct AccuracyMetrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double max_diff_pct = 0.0;
+  double avg_diff_pct = 0.0;
+  bool finite = true;  // false if the candidate trajectory diverged
+
+  // "better accuracy" in the paper's sense for a given metric.
+  static bool better_mse(const AccuracyMetrics& a, const AccuracyMetrics& b) {
+    if (a.finite != b.finite) return a.finite;
+    return a.mse < b.mse;
+  }
+};
+
+// Compare a candidate trajectory (any scalar type, converted to double by
+// the caller) against the reference trajectory.
+AccuracyMetrics compare_trajectories(
+    const std::vector<linalg::Vector<double>>& reference,
+    const std::vector<linalg::Vector<double>>& candidate);
+
+// Convert a trajectory of arbitrary scalar to double for comparison.
+template <typename T>
+std::vector<linalg::Vector<double>> to_double_trajectory(
+    const std::vector<linalg::Vector<T>>& states) {
+  std::vector<linalg::Vector<double>> out;
+  out.reserve(states.size());
+  for (const auto& s : states) out.push_back(s.template cast<double>());
+  return out;
+}
+
+}  // namespace kalmmind::core

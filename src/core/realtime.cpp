@@ -1,0 +1,65 @@
+#include "core/realtime.hpp"
+
+#include <algorithm>
+
+namespace kalmmind::core {
+
+RealTimeReport analyze_realtime(const hls::LatencyModel& model,
+                                const hls::DatapathSpec& spec,
+                                std::uint64_t x_dim, std::uint64_t z_dim,
+                                const std::vector<kalman::InverseEvent>& events,
+                                double deadline_s) {
+  RealTimeReport report;
+  report.deadline_s = deadline_s;
+
+  double total_s = 0.0;
+  double backlog_s = 0.0;  // work in the queue, in seconds of service time
+  for (std::size_t n = 0; n < events.size(); ++n) {
+    const auto& ev = events[n];
+    std::uint64_t cycles =
+        model.common_cycles(x_dim, z_dim, spec.constant_gain);
+    switch (ev.path) {
+      case kalman::InversePath::kCalculation:
+        cycles += model.calc_cycles(spec.calc == hls::CalcUnit::kNone
+                                        ? hls::CalcUnit::kGauss
+                                        : spec.calc,
+                                    z_dim);
+        break;
+      case kalman::InversePath::kApproximation:
+        if (spec.approx == hls::ApproxUnit::kTaylor) {
+          cycles += model.taylor_cycles(z_dim, 2);
+        } else {
+          cycles += model.newton_cycles(z_dim, ev.newton_iterations);
+        }
+        break;
+      case kalman::InversePath::kNone:
+        break;
+    }
+
+    IterationTiming timing;
+    timing.kf_iteration = n;
+    timing.cycles = cycles;
+    timing.seconds = model.params().seconds(cycles);
+    timing.meets_deadline = timing.seconds <= deadline_s;
+    if (!timing.meets_deadline) ++report.misses;
+    report.worst_iteration_s =
+        std::max(report.worst_iteration_s, timing.seconds);
+    total_s += timing.seconds;
+
+    // Queueing view: one measurement arrives per deadline period; service
+    // takes timing.seconds.  Backlog grows by (service - period) and
+    // drains when iterations run shorter than the period.
+    backlog_s = std::max(0.0, backlog_s + timing.seconds - deadline_s);
+    report.max_backlog = std::max(
+        report.max_backlog, std::size_t(backlog_s / deadline_s + 0.999999));
+
+    report.iterations.push_back(timing);
+  }
+  if (!events.empty()) {
+    report.mean_iteration_s = total_s / double(events.size());
+  }
+  report.sustainable = report.mean_iteration_s <= deadline_s;
+  return report;
+}
+
+}  // namespace kalmmind::core

@@ -1,0 +1,32 @@
+// Plain-text table formatting for the benchmark binaries that regenerate
+// the paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kalmmind::core {
+
+// Scientific notation like the paper's tables: "3.8e-12".
+std::string sci(double v, int significant_digits = 2);
+
+// Fixed-point decimal: "12.507".
+std::string fixed(double v, int decimals = 3);
+
+// Simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kalmmind::core

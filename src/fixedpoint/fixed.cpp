@@ -1,0 +1,9 @@
+// Anchor TU for the fixed-point library.
+#include "fixedpoint/fixed.hpp"
+
+namespace kalmmind::fixedpoint {
+
+static_assert(Fx32::kFracBits == 16 && Fx32::kIntBits == 15);
+static_assert(Fx64::kFracBits == 32 && Fx64::kIntBits == 31);
+
+}  // namespace kalmmind::fixedpoint

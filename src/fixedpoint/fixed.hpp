@@ -1,0 +1,215 @@
+// Saturating binary fixed-point arithmetic modeling the FX32/FX64
+// accelerator datapaths of Table III (Pereira et al. style Q-format
+// arithmetic).
+//
+//   Fx32 = Q15.16  (int32 storage, 16 fractional bits)
+//   Fx64 = Q31.32  (int64 storage, 32 fractional bits)
+//
+// Multiplication/division widen to a double-width intermediate, round to
+// nearest, and saturate to the storage range — matching the usual HLS
+// ap_fixed<W, I, AP_RND, AP_SAT> semantics.  Saturation events are counted
+// in thread-local stats so tests and the DSE can detect range overflow
+// instead of silently wrapping.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+
+#include "linalg/scalar.hpp"
+
+namespace kalmmind::fixedpoint {
+
+struct FixedStats {
+  std::uint64_t saturations = 0;
+  std::uint64_t divisions_by_zero = 0;
+
+  void reset() { *this = FixedStats{}; }
+};
+
+namespace detail {
+// One stats block per storage width, thread-local so parallel sweeps don't
+// race.
+template <typename Storage>
+inline thread_local FixedStats stats;
+
+template <typename Storage>
+struct WideOf;
+template <>
+struct WideOf<std::int32_t> {
+  using type = std::int64_t;
+};
+template <>
+struct WideOf<std::int64_t> {
+  using type = __int128;
+};
+}  // namespace detail
+
+template <int FracBits, typename Storage>
+class Fixed {
+  static_assert(std::is_signed_v<Storage>, "Fixed needs signed storage");
+  static_assert(FracBits > 0 && FracBits < int(sizeof(Storage) * 8 - 1),
+                "FracBits out of range");
+
+ public:
+  using storage_type = Storage;
+  using wide_type = typename detail::WideOf<Storage>::type;
+  static constexpr int kFracBits = FracBits;
+  static constexpr int kIntBits = int(sizeof(Storage) * 8) - 1 - FracBits;
+  static constexpr Storage kOne = Storage(1) << FracBits;
+
+  constexpr Fixed() = default;
+
+  // Integer construction: Fixed(2) == 2.0.  Required by the generic linalg
+  // code (T(0), T(1), T(2)).
+  constexpr Fixed(int v) : raw_(saturate(wide_type(v) << FracBits)) {}
+
+  // Floating-point construction rounds to nearest representable value.
+  explicit Fixed(double v) : raw_(from_double_raw(v)) {}
+  explicit Fixed(float v) : raw_(from_double_raw(double(v))) {}
+
+  static constexpr Fixed from_raw(Storage raw) {
+    Fixed f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  Storage raw() const { return raw_; }
+
+  double to_double() const {
+    return double(raw_) / double(wide_type(1) << FracBits);
+  }
+  explicit operator double() const { return to_double(); }
+  explicit operator float() const { return float(to_double()); }
+
+  static constexpr Fixed max_value() {
+    return from_raw(std::numeric_limits<Storage>::max());
+  }
+  static constexpr Fixed min_value() {
+    return from_raw(std::numeric_limits<Storage>::min());
+  }
+  // Smallest positive increment (one LSB).
+  static constexpr Fixed resolution() { return from_raw(Storage(1)); }
+
+  static FixedStats& stats() { return detail::stats<Storage>; }
+
+  friend Fixed operator+(Fixed a, Fixed b) {
+    return from_raw(saturate(wide_type(a.raw_) + wide_type(b.raw_)));
+  }
+  friend Fixed operator-(Fixed a, Fixed b) {
+    return from_raw(saturate(wide_type(a.raw_) - wide_type(b.raw_)));
+  }
+  friend Fixed operator-(Fixed a) {
+    return from_raw(saturate(-wide_type(a.raw_)));
+  }
+
+  friend Fixed operator*(Fixed a, Fixed b) {
+    wide_type prod = wide_type(a.raw_) * wide_type(b.raw_);
+    // Round to nearest: add half an LSB before the arithmetic shift.
+    prod += wide_type(1) << (FracBits - 1);
+    return from_raw(saturate(prod >> FracBits));
+  }
+
+  friend Fixed operator/(Fixed a, Fixed b) {
+    if (b.raw_ == 0) {
+      ++stats().divisions_by_zero;
+      return a.raw_ >= 0 ? max_value() : min_value();
+    }
+    wide_type num = wide_type(a.raw_) << FracBits;
+    // Round the quotient toward nearest.
+    const wide_type half = wide_type(b.raw_ > 0 ? b.raw_ : -b.raw_) / 2;
+    if ((num >= 0) == (b.raw_ > 0)) {
+      num += half;
+    } else {
+      num -= half;
+    }
+    return from_raw(saturate(num / wide_type(b.raw_)));
+  }
+
+  Fixed& operator+=(Fixed b) { return *this = *this + b; }
+  Fixed& operator-=(Fixed b) { return *this = *this - b; }
+  Fixed& operator*=(Fixed b) { return *this = *this * b; }
+  Fixed& operator/=(Fixed b) { return *this = *this / b; }
+
+  friend bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Fixed a, Fixed b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend bool operator>(Fixed a, Fixed b) { return a.raw_ > b.raw_; }
+  friend bool operator<=(Fixed a, Fixed b) { return a.raw_ <= b.raw_; }
+  friend bool operator>=(Fixed a, Fixed b) { return a.raw_ >= b.raw_; }
+
+  Fixed abs() const { return raw_ < 0 ? -*this : *this; }
+
+  // Square root via the double-precision core, rounded back to the Q format.
+  // Models the HLS sqrt IP (whose latency, not value, differs from this);
+  // only Cholesky on fixed-point datapaths uses it.
+  Fixed sqrt() const {
+    if (raw_ <= 0) return Fixed(0);
+    return Fixed(std::sqrt(to_double()));
+  }
+
+  std::string to_string() const { return std::to_string(to_double()); }
+
+ private:
+  static constexpr Storage saturate(wide_type v) {
+    constexpr wide_type lo = std::numeric_limits<Storage>::min();
+    constexpr wide_type hi = std::numeric_limits<Storage>::max();
+    if (v > hi) {
+      ++detail::stats<Storage>.saturations;
+      return Storage(hi);
+    }
+    if (v < lo) {
+      ++detail::stats<Storage>.saturations;
+      return Storage(lo);
+    }
+    return Storage(v);
+  }
+
+  static Storage from_double_raw(double v) {
+    if (std::isnan(v)) return 0;
+    const double scaled = v * double(wide_type(1) << FracBits);
+    if (scaled >= double(std::numeric_limits<Storage>::max())) {
+      ++detail::stats<Storage>.saturations;
+      return std::numeric_limits<Storage>::max();
+    }
+    if (scaled <= double(std::numeric_limits<Storage>::min())) {
+      ++detail::stats<Storage>.saturations;
+      return std::numeric_limits<Storage>::min();
+    }
+    return Storage(std::llround(scaled));
+  }
+
+  Storage raw_ = 0;
+};
+
+// The two datapath formats evaluated in the paper.
+using Fx32 = Fixed<16, std::int32_t>;  // Q15.16
+using Fx64 = Fixed<32, std::int64_t>;  // Q31.32
+
+}  // namespace kalmmind::fixedpoint
+
+// ScalarTraits specialization so the generic linalg/kalman code runs
+// unchanged over fixed-point matrices.
+namespace kalmmind::linalg {
+
+template <int FracBits, typename Storage>
+struct ScalarTraits<fixedpoint::Fixed<FracBits, Storage>> {
+  using F = fixedpoint::Fixed<FracBits, Storage>;
+
+  static constexpr bool is_fixed_point = true;
+
+  static double to_double(F v) { return v.to_double(); }
+  static F from_double(double v) { return F(v); }
+  static F abs(F v) { return v.abs(); }
+  static F sqrt(F v) { return v.sqrt(); }
+  static F pivot_floor() {
+    // A pivot below a few LSBs cannot be divided by meaningfully.
+    return F::from_raw(Storage(4));
+  }
+  static constexpr F zero() { return F(0); }
+  static constexpr F one() { return F(1); }
+};
+
+}  // namespace kalmmind::linalg

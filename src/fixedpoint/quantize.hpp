@@ -1,0 +1,70 @@
+// Quantization analysis for the fixed-point datapaths: given the actual
+// value ranges a KF model and its data exercise, report per-format
+// quantization error and recommend the minimum Q format — the "how many
+// integer bits does my dataset need?" question of fixed-point accelerator
+// design (Pereira et al.).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "fixedpoint/fixed.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::fixedpoint {
+
+struct QuantizationStats {
+  double max_abs_value = 0.0;   // dynamic range the data needs
+  double max_abs_error = 0.0;   // worst-case round-off at this format
+  double rms_error = 0.0;
+  std::uint64_t overflow_count = 0;  // values outside the format's range
+};
+
+// Measure the error of representing `m` in the format Fx (per element:
+// round-trip through the fixed-point type).
+template <typename Fx>
+QuantizationStats analyze_quantization(const linalg::Matrix<double>& m) {
+  QuantizationStats stats;
+  const double limit = Fx::max_value().to_double();
+  double sq_sum = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double v = m(i, j);
+      stats.max_abs_value = std::max(stats.max_abs_value, std::fabs(v));
+      if (std::fabs(v) > limit) ++stats.overflow_count;
+      const double err = Fx(v).to_double() - v;
+      stats.max_abs_error = std::max(stats.max_abs_error, std::fabs(err));
+      sq_sum += err * err;
+    }
+  }
+  stats.rms_error = m.size() ? std::sqrt(sq_sum / double(m.size())) : 0.0;
+  return stats;
+}
+
+// Minimum integer bits needed to hold |values| <= max_abs (signed format).
+inline int required_integer_bits(double max_abs) {
+  if (max_abs <= 0.0) return 1;
+  return int(std::floor(std::log2(max_abs))) + 1;
+}
+
+// For a W-bit signed format holding |values| <= max_abs, the fractional
+// bits left over (can be negative: the width cannot hold the range).
+inline int available_fraction_bits(int total_bits, double max_abs) {
+  return total_bits - 1 - required_integer_bits(max_abs);
+}
+
+// Human-readable recommendation for a dataset's value range.
+inline std::string recommend_format(double max_abs, int total_bits) {
+  const int ib = required_integer_bits(max_abs);
+  const int fb = available_fraction_bits(total_bits, max_abs);
+  if (fb < 1) {
+    return "no signed Q format of " + std::to_string(total_bits) +
+           " bits holds |v| <= " + std::to_string(max_abs);
+  }
+  return "Q" + std::to_string(ib) + "." + std::to_string(fb) + " (" +
+         std::to_string(total_bits) + "-bit, resolution 2^-" +
+         std::to_string(fb) + ")";
+}
+
+}  // namespace kalmmind::fixedpoint

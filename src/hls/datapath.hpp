@@ -1,0 +1,101 @@
+// Datapath description shared by the latency, resource and power models —
+// which calculation unit (path A), which approximation unit (path B) and
+// which numeric format an accelerator instantiates (Table III rows).
+#pragma once
+
+#include <string>
+
+namespace kalmmind::hls {
+
+enum class CalcUnit {
+  kNone,      // no calculation hardware (LITE, Taylor, SSKF)
+  kGauss,     // Gauss-Jordan elimination array
+  kCholesky,  // Cholesky factor + triangular inverse (needs sqrt core)
+  kQr,        // Householder QR (needs sqrt + extra reflectors)
+  kConstant,  // pre-loaded constant inverse (SSKF-Inverse path A)
+};
+
+enum class ApproxUnit {
+  kNone,    // no approximation hardware (Gauss-Only, SSKF)
+  kNewton,  // 8-MAC Newton-Raphson array
+  kTaylor,  // diagonal-series expansion unit
+};
+
+enum class NumericType { kFloat32, kFloat64, kFx32, kFx64 };
+
+inline const char* to_string(CalcUnit u) {
+  switch (u) {
+    case CalcUnit::kNone: return "none";
+    case CalcUnit::kGauss: return "gauss";
+    case CalcUnit::kCholesky: return "cholesky";
+    case CalcUnit::kQr: return "qr";
+    case CalcUnit::kConstant: return "const";
+  }
+  return "?";
+}
+
+inline const char* to_string(ApproxUnit u) {
+  switch (u) {
+    case ApproxUnit::kNone: return "none";
+    case ApproxUnit::kNewton: return "newton";
+    case ApproxUnit::kTaylor: return "taylor";
+  }
+  return "?";
+}
+
+inline const char* to_string(NumericType t) {
+  switch (t) {
+    case NumericType::kFloat32: return "float32";
+    case NumericType::kFloat64: return "float64";
+    case NumericType::kFx32: return "fx32";
+    case NumericType::kFx64: return "fx64";
+  }
+  return "?";
+}
+
+inline int word_bytes(NumericType t) {
+  return (t == NumericType::kFloat32 || t == NumericType::kFx32) ? 4 : 8;
+}
+
+// Hardware composition of one accelerator instance.
+struct DatapathSpec {
+  CalcUnit calc = CalcUnit::kGauss;
+  ApproxUnit approx = ApproxUnit::kNewton;
+  NumericType dtype = NumericType::kFloat32;
+  bool constant_gain = false;  // SSKF: no compute-K module at all
+  bool lite = false;           // LITE: single-iteration Newton, minimal PLMs
+
+  std::string name() const {
+    if (constant_gain) {
+      return dtype == NumericType::kFloat32 ? "SSKF"
+                                            : std::string("SSKF ") +
+                                                  to_string(dtype);
+    }
+    std::string n;
+    if (lite) {
+      n = "LITE";
+    } else if (calc == CalcUnit::kNone) {
+      n = to_string(approx);
+      n[0] = char(n[0] - 'a' + 'A');
+    } else if (approx == ApproxUnit::kNone) {
+      n = std::string(to_string(calc)) + "-Only";
+      n[0] = char(n[0] - 'a' + 'A');
+    } else if (calc == CalcUnit::kConstant) {
+      n = "SSKF/Newton";
+    } else {
+      n = std::string(to_string(calc)) + "/" + to_string(approx);
+      n[0] = char(n[0] - 'a' + 'A');
+      auto slash = n.find('/');
+      n[slash + 1] = char(n[slash + 1] - 'a' + 'A');
+    }
+    switch (dtype) {
+      case NumericType::kFloat32: break;
+      case NumericType::kFloat64: n += " F64"; break;
+      case NumericType::kFx32: n += " FX32"; break;
+      case NumericType::kFx64: n += " FX64"; break;
+    }
+    return n;
+  }
+};
+
+}  // namespace kalmmind::hls

@@ -1,0 +1,72 @@
+// Single-event-upset (SEU) fault injection.
+//
+// FPGA BRAMs in a body-worn device take radiation-induced bit flips; a
+// design that keeps a Kalman filter's state and model in PLMs should know
+// how it degrades.  These helpers flip individual mantissa/exponent/sign
+// bits of float32 PLM contents; tests and bench_ext_fault_injection use
+// them to show the KF's natural fault behavior: flips in *state* decay
+// geometrically (the filter re-estimates), flips in *model* PLMs persist
+// until the next reload (the case for periodic scrubbing).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::hls {
+
+struct SeuEvent {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  int bit = 0;          // 0 = mantissa LSB ... 31 = sign
+  float before = 0.0f;
+  float after = 0.0f;
+};
+
+// Flip bit `bit` of a float32 (IEEE-754 single).
+inline float flip_bit(float value, int bit) {
+  std::uint32_t raw;
+  std::memcpy(&raw, &value, sizeof(raw));
+  raw ^= (std::uint32_t(1) << (bit & 31));
+  float out;
+  std::memcpy(&out, &raw, sizeof(out));
+  return out;
+}
+
+// Flip a specific bit of a specific element.
+inline SeuEvent inject_seu(linalg::Matrix<float>& m, std::size_t row,
+                           std::size_t col, int bit) {
+  SeuEvent ev;
+  ev.row = row;
+  ev.col = col;
+  ev.bit = bit;
+  ev.before = m.at(row, col);
+  ev.after = flip_bit(ev.before, bit);
+  m.at(row, col) = ev.after;
+  return ev;
+}
+
+// Flip a uniformly random bit of a uniformly random element.
+inline SeuEvent inject_random_seu(linalg::Matrix<float>& m,
+                                  linalg::Rng& rng) {
+  std::uniform_int_distribution<std::size_t> row(0, m.rows() - 1);
+  std::uniform_int_distribution<std::size_t> col(0, m.cols() - 1);
+  std::uniform_int_distribution<int> bit(0, 31);
+  return inject_seu(m, row(rng), col(rng), bit(rng));
+}
+
+// Flip a random *low-mantissa* bit (bits 0..19): the common, survivable
+// kind of upset (exponent/sign flips are catastrophic and rarer targets of
+// selective hardening).
+inline SeuEvent inject_mantissa_seu(linalg::Matrix<float>& m,
+                                    linalg::Rng& rng) {
+  std::uniform_int_distribution<std::size_t> row(0, m.rows() - 1);
+  std::uniform_int_distribution<std::size_t> col(0, m.cols() - 1);
+  std::uniform_int_distribution<int> bit(0, 19);
+  return inject_seu(m, row(rng), col(rng), bit(rng));
+}
+
+}  // namespace kalmmind::hls

@@ -1,0 +1,11 @@
+// Umbrella header for the HLS/FPGA modeling substrate.
+#pragma once
+
+#include "hls/datapath.hpp"
+#include "hls/fault.hpp"
+#include "hls/latency.hpp"
+#include "hls/params.hpp"
+#include "hls/power.hpp"
+#include "hls/report.hpp"
+#include "hls/resources.hpp"
+#include "hls/workload.hpp"

@@ -1,0 +1,91 @@
+// Cycle-level latency model of the accelerator (Fig. 3a/3b).
+//
+// The compute function is fully pipelined at II = 1 with non-unrolled
+// innermost accumulation loops (Section IV), so every matrix operation
+// outside the inverse retires ~1 MAC per cycle; the Newton array retires
+// `newton_mac_units` MACs per cycle; the calculation units carry their
+// II multipliers.  DMA is modeled per ESP transaction (setup + bytes/cycle)
+// and overlaps compute through the double buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "hls/datapath.hpp"
+#include "hls/params.hpp"
+#include "hls/workload.hpp"
+
+namespace kalmmind::hls {
+
+struct LatencyBreakdown {
+  std::uint64_t load_cycles = 0;     // model + measurement DMA-in
+  std::uint64_t compute_cycles = 0;  // KF datapath
+  std::uint64_t store_cycles = 0;    // state/covariance DMA-out
+  std::uint64_t total_cycles = 0;    // with load/compute overlap applied
+
+  double seconds(const HlsParams& p) const { return p.seconds(total_cycles); }
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(HlsParams params) : params_(params) {}
+
+  const HlsParams& params() const { return params_; }
+
+  // Cycles for the always-on KF ops of one iteration (everything but the
+  // S-inversion; constant-gain datapaths use the reduced loop).
+  std::uint64_t common_cycles(std::uint64_t x, std::uint64_t z,
+                              bool constant_gain) const {
+    const std::uint64_t macs =
+        constant_gain ? sskf_common_macs(x, z) : kf_common_macs(x, z);
+    // ~12 separate loop nests make up the non-inverse datapath.
+    return macs + 12 * params_.loop_overhead_cycles;
+  }
+
+  // Cycles for one calculation-path inversion.
+  std::uint64_t calc_cycles(CalcUnit unit, std::uint64_t z) const {
+    switch (unit) {
+      case CalcUnit::kGauss:
+        return std::uint64_t(double(gauss_ops(z)) * params_.gauss_ii) +
+               params_.loop_overhead_cycles;
+      case CalcUnit::kCholesky:
+        return std::uint64_t(double(cholesky_ops(z)) * params_.cholesky_ii) +
+               params_.loop_overhead_cycles;
+      case CalcUnit::kQr:
+        return std::uint64_t(double(qr_ops(z)) * params_.qr_ii) +
+               params_.loop_overhead_cycles;
+      case CalcUnit::kConstant:
+        return params_.loop_overhead_cycles;  // PLM read only
+      case CalcUnit::kNone:
+        return 0;
+    }
+    return 0;
+  }
+
+  // Cycles for `iterations` internal Newton steps on the MAC array.
+  std::uint64_t newton_cycles(std::uint64_t z, std::uint64_t iterations) const {
+    const double per_cycle =
+        double(params_.newton_mac_units) * params_.newton_mac_efficiency;
+    const double macs = double(newton_ops_per_iteration(z)) * iterations;
+    return std::uint64_t(macs / per_cycle) +
+           iterations * params_.loop_overhead_cycles;
+  }
+
+  std::uint64_t taylor_cycles(std::uint64_t z, std::uint64_t order) const {
+    const double per_cycle =
+        double(params_.newton_mac_units) * params_.newton_mac_efficiency;
+    return std::uint64_t(double(taylor_ops(z, order)) / per_cycle) +
+           params_.loop_overhead_cycles;
+  }
+
+  // One DMA transaction of `words` data words.
+  std::uint64_t dma_cycles(std::uint64_t words, int bytes_per_word) const {
+    const double bytes = double(words) * bytes_per_word;
+    return params_.dma_setup_cycles +
+           std::uint64_t(bytes / params_.dma_bytes_per_cycle);
+  }
+
+ private:
+  HlsParams params_;
+};
+
+}  // namespace kalmmind::hls

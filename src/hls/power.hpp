@@ -1,0 +1,43 @@
+// FPGA power / energy model.
+//
+// Average power is estimated as static leakage plus resource-proportional
+// dynamic power at the 78 MHz clock, scaled by the datapath's duty cycle
+// (fraction of cycles the big arrays actually toggle).  Coefficients are
+// calibrated against the paper's measured Table III powers; the point of
+// the model is preserving *ratios* across datapaths, which the resource
+// proportionality provides.
+#pragma once
+
+#include "hls/resources.hpp"
+
+namespace kalmmind::hls {
+
+struct PowerCoefficients {
+  double static_w = 0.028;
+  double per_lut_w = 1.05e-6;
+  double per_ff_w = 0.65e-6;
+  double per_bram_w = 1.9e-4;  // per 36Kb unit
+  double per_dsp_w = 2.4e-4;
+};
+
+struct PowerModel {
+  PowerCoefficients coeff;
+
+  // `activity` in [0,1]: sustained toggle rate of the datapath (0.0 =>
+  // clock-gated idle, 1.0 => every unit busy every cycle).
+  double average_power_w(const ResourceEstimate& res,
+                         double activity = 1.0) const {
+    const double dynamic = coeff.per_lut_w * double(res.lut) +
+                           coeff.per_ff_w * double(res.ff) +
+                           coeff.per_bram_w * res.bram +
+                           coeff.per_dsp_w * double(res.dsp);
+    return coeff.static_w + activity * dynamic;
+  }
+
+  double energy_j(const ResourceEstimate& res, double seconds,
+                  double activity = 1.0) const {
+    return average_power_w(res, activity) * seconds;
+  }
+};
+
+}  // namespace kalmmind::hls

@@ -1,0 +1,73 @@
+#include "hls/report.hpp"
+
+#include <sstream>
+
+namespace kalmmind::hls {
+
+LatencyReport build_latency_report(
+    const LatencyModel& model, const DatapathSpec& spec, std::uint64_t x_dim,
+    std::uint64_t z_dim, const std::vector<kalman::InverseEvent>& events,
+    std::size_t taylor_order) {
+  LatencyReport report;
+
+  BreakdownEntry common{"predict/update (common KF ops)", 0, 0, 0.0};
+  BreakdownEntry calc{std::string(to_string(spec.calc)) + " (path A)", 0, 0,
+                      0.0};
+  BreakdownEntry approx{std::string(to_string(spec.approx)) + " (path B)", 0,
+                        0, 0.0};
+  BreakdownEntry constant{"constant inverse (PLM read)", 0, 0, 0.0};
+
+  for (const auto& ev : events) {
+    common.cycles += model.common_cycles(x_dim, z_dim, spec.constant_gain);
+    ++common.invocations;
+    switch (ev.path) {
+      case kalman::InversePath::kCalculation:
+        calc.cycles += model.calc_cycles(
+            spec.calc == CalcUnit::kNone ? CalcUnit::kGauss : spec.calc,
+            z_dim);
+        ++calc.invocations;
+        break;
+      case kalman::InversePath::kApproximation:
+        if (spec.approx == ApproxUnit::kTaylor) {
+          approx.cycles += model.taylor_cycles(z_dim, taylor_order);
+        } else {
+          approx.cycles += model.newton_cycles(z_dim, ev.newton_iterations);
+        }
+        ++approx.invocations;
+        break;
+      case kalman::InversePath::kNone:
+        if (!spec.constant_gain) {
+          constant.cycles += model.params().loop_overhead_cycles;
+        }
+        ++constant.invocations;
+        break;
+    }
+  }
+
+  for (auto* entry : {&common, &calc, &approx, &constant}) {
+    if (entry->invocations > 0) report.entries.push_back(*entry);
+    report.compute_cycles += entry->cycles;
+  }
+  for (auto& entry : report.entries) {
+    entry.share = report.compute_cycles
+                      ? double(entry.cycles) / double(report.compute_cycles)
+                      : 0.0;
+  }
+  report.seconds = model.params().seconds(report.compute_cycles);
+  return report;
+}
+
+std::string LatencyReport::to_string() const {
+  std::ostringstream out;
+  out << "compute: " << compute_cycles << " cycles (" << seconds << " s)\n";
+  for (const auto& e : entries) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-34s %14llu cycles  x%-5llu %5.1f%%\n",
+                  e.module.c_str(), (unsigned long long)e.cycles,
+                  (unsigned long long)e.invocations, 100.0 * e.share);
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace kalmmind::hls

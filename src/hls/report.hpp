@@ -1,0 +1,39 @@
+// Per-module latency breakdown of one accelerator invocation — the kind
+// of cycle report an HLS tool emits, generated from the same models the
+// accelerator charges, so users can see *where* a configuration spends
+// its cycles (common KF ops vs path A vs path B vs DMA).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/datapath.hpp"
+#include "hls/latency.hpp"
+#include "kalman/strategy.hpp"
+
+namespace kalmmind::hls {
+
+struct BreakdownEntry {
+  std::string module;        // "predict/update (common)", "gauss calc", ...
+  std::uint64_t cycles = 0;
+  std::uint64_t invocations = 0;  // times this module ran
+  double share = 0.0;             // fraction of total compute cycles
+};
+
+struct LatencyReport {
+  std::vector<BreakdownEntry> entries;
+  std::uint64_t compute_cycles = 0;
+  double seconds = 0.0;
+
+  std::string to_string() const;
+};
+
+// Build the report from the per-iteration inversion telemetry of a run
+// (FilterOutput/AcceleratorRunResult events) and the datapath description.
+LatencyReport build_latency_report(
+    const LatencyModel& model, const DatapathSpec& spec, std::uint64_t x_dim,
+    std::uint64_t z_dim, const std::vector<kalman::InverseEvent>& events,
+    std::size_t taylor_order = 2);
+
+}  // namespace kalmmind::hls

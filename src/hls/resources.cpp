@@ -1,0 +1,144 @@
+#include "hls/resources.hpp"
+
+#include <cmath>
+
+namespace kalmmind::hls {
+
+namespace {
+
+// Scale factors of arithmetic-unit footprints relative to float32.
+struct TypeScale {
+  double lut;
+  double ff;
+  double dsp;
+};
+
+TypeScale type_scale(NumericType t) {
+  switch (t) {
+    case NumericType::kFloat32:
+      return {1.0, 1.0, 1.0};
+    case NumericType::kFloat64:
+      return {2.3, 2.2, 2.4};
+    case NumericType::kFx32:
+      // Integer datapaths need far fewer LUT/FF than float at the same
+      // width; a 32x32 multiply still costs ~3/5 of a float32 MAC's DSPs.
+      return {0.55, 0.45, 0.85};
+    case NumericType::kFx64:
+      // 64x64 integer multiplies are DSP-hungry (Table III: FX64 has the
+      // most DSPs of all datapaths).
+      return {1.25, 1.05, 2.1};
+  }
+  return {1.0, 1.0, 1.0};
+}
+
+ResourceEstimate scaled(std::uint64_t lut, std::uint64_t ff, std::uint64_t dsp,
+                        const TypeScale& s) {
+  return {std::uint64_t(std::llround(double(lut) * s.lut)),
+          std::uint64_t(std::llround(double(ff) * s.ff)), 0.0,
+          std::uint64_t(std::llround(double(dsp) * s.dsp))};
+}
+
+// 36Kb BRAMs for one `words`-deep buffer split over `banks` banks.
+// Each bank rounds up independently to half a BRAM (18Kb granule); the
+// 1.3x factor accounts for the double-buffering and write-port duplication
+// the ESP PLM generator adds on top of raw capacity.
+double plm_bram(std::uint64_t words, int bytes_per_word, unsigned banks) {
+  if (words == 0) return 0.0;
+  const double bytes_per_bank =
+      double(words) * bytes_per_word / double(banks);
+  const double half_brams = std::ceil(1.3 * bytes_per_bank / (18.0 * 1024 / 8));
+  return 0.5 * half_brams * banks;
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const DatapathSpec& spec,
+                                    const ResourceModelConfig& config) {
+  const TypeScale ts = type_scale(spec.dtype);
+  const int wb = word_bytes(spec.dtype);
+  const std::uint64_t x = config.max_x_dim;
+  const std::uint64_t z = config.max_z_dim;
+  const std::uint64_t zz = z * z;
+
+  ResourceEstimate total;
+
+  // ESP wrapper: DMA engine, register file, interrupt logic, FSMs.
+  total += {3000, 2600, 2.0, 2};
+
+  // Small-matrix PLMs (F, Q, P double-buffered, x, z chunk, H) — these stay
+  // in a handful of BRAMs.
+  const std::uint64_t small_words =
+      4 * x * x + 2 * x + config.chunk_capacity * z + z * x;
+  total.bram += plm_bram(small_words, wb, 2);
+
+  if (spec.constant_gain) {
+    // SSKF: constant gain K (x*z) only; reduced datapath (predict +
+    // correct), no S, no inversion hardware.
+    total += scaled(4800, 3900, 88, ts);
+    total.bram += plm_bram(x * z, wb, config.plm_banks);
+    return total;
+  }
+
+  // Full KF common datapath (one hardware loop nest per matrix op of
+  // Fig. 3b) + the R and S PLMs every variant needs.
+  total += scaled(8200, 6900, 95, ts);
+  total.bram += plm_bram(zz, wb, config.plm_banks);  // R
+  total.bram += plm_bram(zz, wb, config.plm_banks);  // S
+
+  if (spec.lite) {
+    // LITE trims the generic datapath: no calc unit, single-seed Newton
+    // with one V buffer pair, smaller control.
+    total += scaled(2400, 2100, 11 * config.newton_mac_units, ts);
+    total.bram += 2 * plm_bram(zz, wb, config.plm_banks);  // V, scratch
+    // LITE also drops half the generic control/datapath muxing.
+    total.lut = std::uint64_t(double(total.lut) * 0.82);
+    total.ff = std::uint64_t(double(total.ff) * 0.85);
+    return total;
+  }
+
+  switch (spec.calc) {
+    case CalcUnit::kGauss:
+      // Elimination row engine + pipelined divider.
+      total += scaled(3400, 2900, 58, ts);
+      total.bram += plm_bram(zz, wb, config.plm_banks);  // working copy
+      total.bram += plm_bram(zz, wb, config.plm_banks);  // inverse out
+      break;
+    case CalcUnit::kCholesky:
+      // Factor engine + sqrt core + two triangular buffers beyond Gauss's.
+      total += scaled(3700, 4300, 74, ts);
+      total.bram += 4 * plm_bram(zz, wb, config.plm_banks);
+      break;
+    case CalcUnit::kQr:
+      // Householder reflectors need Q accumulation (z x z), v vector and
+      // wider muxing — the LUT-heaviest calc unit.
+      total += scaled(6100, 4100, 64, ts);
+      total.bram += 4.5 * plm_bram(zz, wb, config.plm_banks);
+      break;
+    case CalcUnit::kConstant:
+      total += scaled(600, 500, 0, ts);
+      total.bram += plm_bram(zz, wb, config.plm_banks);  // preloaded S^-1
+      break;
+    case CalcUnit::kNone:
+      break;
+  }
+
+  switch (spec.approx) {
+    case ApproxUnit::kNewton:
+      // The parallel MAC array + seed bookkeeping.
+      total += scaled(800 + 820 * config.newton_mac_units,
+                      700 + 730 * config.newton_mac_units,
+                      11 * config.newton_mac_units, ts);
+      total.bram += 3 * plm_bram(zz, wb, config.plm_banks);  // V0/V1/scratch
+      break;
+    case ApproxUnit::kTaylor:
+      total += scaled(3100, 3400, 68, ts);
+      total.bram += 2 * plm_bram(zz, wb, config.plm_banks);
+      break;
+    case ApproxUnit::kNone:
+      break;
+  }
+
+  return total;
+}
+
+}  // namespace kalmmind::hls

@@ -1,0 +1,45 @@
+// FPGA resource model (Table III columns LUT/FF/BRAM/DSP).
+//
+// Resources are estimated additively from the units a DatapathSpec
+// instantiates plus a private-local-memory (PLM) inventory sized from the
+// maximum supported matrix dimensions.  Per-unit costs are calibrated to
+// published Vivado HLS operator footprints on UltraScale (and sanity-
+// checked against the paper's Table III); BRAM is counted in 36Kb units
+// with 18Kb halves, like Vivado reports.
+#pragma once
+
+#include <cstdint>
+
+#include "hls/datapath.hpp"
+
+namespace kalmmind::hls {
+
+struct ResourceEstimate {
+  std::uint64_t lut = 0;
+  std::uint64_t ff = 0;
+  double bram = 0.0;  // 36Kb units, halves allowed
+  std::uint64_t dsp = 0;
+
+  ResourceEstimate& operator+=(const ResourceEstimate& o) {
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    dsp += o.dsp;
+    return *this;
+  }
+};
+
+struct ResourceModelConfig {
+  // Maximum matrix dimensions the PLMs are sized for at design time.
+  std::uint64_t max_x_dim = 8;
+  std::uint64_t max_z_dim = 164;
+  std::uint64_t chunk_capacity = 8;  // measurement vectors per DMA chunk
+  unsigned plm_banks = 8;            // read/write ports per PLM
+  unsigned newton_mac_units = 8;
+};
+
+// Estimate the FPGA footprint of one accelerator instance.
+ResourceEstimate estimate_resources(const DatapathSpec& spec,
+                                    const ResourceModelConfig& config = {});
+
+}  // namespace kalmmind::hls

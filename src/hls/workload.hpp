@@ -1,0 +1,66 @@
+// Operation counts of the KF datapath (Fig. 3b).  Both the accelerator
+// latency model and the software timing models consume these, so hardware
+// and software rows of Table III are charged for the same arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace kalmmind::hls {
+
+// MAC counts for the KF iteration *excluding* the S-inversion.
+//   predict:  F*x (x^2),  F*P*F^t (2x^3),  +Q (x^2)
+//   S:        H*P' (z*x^2), (HP)*H^t (z^2*x), +R (z^2)
+//   gain:     P'*H^t (x^2*z), K = (P'H^t)*Sinv (x*z^2)
+//   update:   H*x' (z*x), y (z), K*y (x*z), x+Ky (x)
+//             K*H (x^2*z), (I-KH)*P' (x^3)
+inline std::uint64_t kf_common_macs(std::uint64_t x, std::uint64_t z) {
+  return 3 * x * x * x + 2 * x * x        // predict
+         + z * x * x + z * z * x + z * z  // S
+         + x * x * z + x * z * z          // gain (minus inverse)
+         + z * x + z + x * z + x          // state update
+         + x * x * z + x * x * x;         // covariance update
+}
+
+// Constant-gain (SSKF) iteration: predict x, innovate, correct only.
+inline std::uint64_t sskf_common_macs(std::uint64_t x, std::uint64_t z) {
+  return x * x + z * x + z + x * z + x;
+}
+
+// Gauss-Jordan inversion on an n x n matrix: per pivot column, a pivot
+// search (n), a row normalization (2n divisions) and (n-1) row
+// eliminations of 2n MACs each.
+inline std::uint64_t gauss_ops(std::uint64_t n) {
+  return n * (n + 2 * n + (n - 1) * 2 * n);
+}
+
+// Cholesky route: factorization (n^3/3), triangular inverse (n^3/6),
+// L^-t * L^-1 with symmetry (n^3/3).
+inline std::uint64_t cholesky_ops(std::uint64_t n) {
+  return n * n * n / 3 + n * n * n / 6 + n * n * n / 3;
+}
+
+// Householder QR route: factorization (4/3 n^3 for R + 2n^3 for Q
+// accumulation) + back substitution of n columns (n^3/2).
+inline std::uint64_t qr_ops(std::uint64_t n) {
+  return 4 * n * n * n / 3 + 2 * n * n * n + n * n * n / 2;
+}
+
+// One Newton internal iteration: two n x n x n multiplies (2I - A*V, then
+// V * (...)).
+inline std::uint64_t newton_ops_per_iteration(std::uint64_t n) {
+  return 2 * n * n * n;
+}
+
+// Taylor expansion of order m: (m-1) n x n x n multiplies plus the
+// diagonal scalings.
+inline std::uint64_t taylor_ops(std::uint64_t n, std::uint64_t order) {
+  return (order > 0 ? order - 1 : 0) * n * n * n + 2 * n * n;
+}
+
+// Total software FLOPs (MACs counted as 2 flops) for one KF iteration with
+// a Gauss inversion — what the CVA6 / i7 baselines execute.
+inline double kf_software_flops(std::uint64_t x, std::uint64_t z) {
+  return 2.0 * double(kf_common_macs(x, z) + gauss_ops(z));
+}
+
+}  // namespace kalmmind::hls

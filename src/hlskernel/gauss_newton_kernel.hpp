@@ -1,0 +1,344 @@
+// Synthesizable-style implementation of the Gauss/Newton accelerator
+// (Fig. 3) — the C++ one would hand to Vivado HLS, kept in HLS idiom:
+//
+//   * compile-time maximum dimensions (PLMs are sized at design time),
+//   * plain C arrays as the private local memories,
+//   * static loop nests with runtime trip counts <= the maxima,
+//   * an explicitly 8-lane multiply-accumulate inner loop in the Newton
+//     path (the paper's 8 parallel MAC units),
+//   * a double-buffered state/covariance pair swapped per KF iteration,
+//   * no dynamic allocation, no exceptions, no virtual dispatch inside
+//     the kernel.
+//
+// `#pragma HLS`-style directives are preserved as comments at the spots
+// they would be applied.  The kernel is functionally cross-validated
+// against the library model (core::Accelerator) in
+// tests/hlskernel/kernel_test.cpp; its op-level structure is exactly what
+// hls::LatencyModel charges for.
+//
+// The object holds ~0.8 MB of PLM arrays at the motor-cortex sizing —
+// allocate it on the heap (std::make_unique), never on a stack frame.
+#pragma once
+
+#include <cstddef>
+
+namespace kalmmind::hlskernel {
+
+// T is the datapath arithmetic type: float (the paper's default 32-bit
+// float accelerators) or a fixedpoint::Fixed instantiation (the FX32/FX64
+// datapaths).  T needs +,-,*,/ and comparisons; no std::math is used.
+template <typename T, int MAX_X, int MAX_Z>
+class DatapathKernel {
+ public:
+  static_assert(MAX_X > 0 && MAX_Z > 0, "dimensions must be positive");
+
+  // The 7 memory-mapped registers (Fig. 3a).
+  struct Registers {
+    int x_dim = MAX_X;
+    int z_dim = MAX_Z;
+    int chunks = 1;
+    int batches = 1;
+    int approx = 1;
+    int calc_freq = 0;
+    int policy = 0;
+  };
+
+  // Returns false (and stays idle) on an invalid register file — the
+  // hardware would raise a status-register error bit.
+  bool configure(const Registers& regs) {
+    if (regs.x_dim <= 0 || regs.x_dim > MAX_X) return false;
+    if (regs.z_dim <= 0 || regs.z_dim > MAX_Z) return false;
+    if (regs.chunks <= 0 || regs.batches <= 0) return false;
+    if (regs.approx < 0 || regs.calc_freq < 0) return false;
+    if (regs.policy != 0 && regs.policy != 1) return false;
+    regs_ = regs;
+    configured_ = true;
+    return true;
+  }
+
+  const Registers& registers() const { return regs_; }
+  bool configured() const { return configured_; }
+
+  // --- load: model matrices into the PLMs (row-major T buffers) ---
+  void load_model(const T* f, const T* q, const T* h,
+                  const T* r, const T* x0, const T* p0) {
+    const int x = regs_.x_dim, z = regs_.z_dim;
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) {
+        f_[i][j] = f[i * x + j];
+        q_[i][j] = q[i * x + j];
+        p_[0][i][j] = p0[i * x + j];
+      }
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < x; ++j) h_[i][j] = h[i * x + j];
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < z; ++j) r_[i][j] = r[i * z + j];
+    for (int i = 0; i < x; ++i) x_[0][i] = x0[i];
+    buffer_ = 0;
+    iteration_ = 0;
+    seed_ready_ = false;
+  }
+
+  // --- compute + store: run chunks*batches KF iterations ---
+  // `measurements`: [iterations][z_dim] row-major; `states_out`:
+  // [iterations][x_dim] row-major.  The chunk/batch structure mirrors the
+  // DMA transactions; functionally the iterations are sequential.
+  void run(const T* measurements, T* states_out) {
+    const int total = regs_.chunks * regs_.batches;
+    for (int n = 0; n < total; ++n) {
+      step(measurements + std::size_t(n) * regs_.z_dim);
+      const T* x_new = x_[buffer_];
+      for (int i = 0; i < regs_.x_dim; ++i)
+        states_out[std::size_t(n) * regs_.x_dim + i] = x_new[i];
+    }
+  }
+
+  // Final covariance readback (store function sends it once per
+  // invocation).
+  void read_covariance(T* p_out) const {
+    const int x = regs_.x_dim;
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) p_out[i * x + j] = p_[buffer_][i][j];
+  }
+
+  // Telemetry the tests use to check the schedule.
+  int calculation_count() const { return calc_count_; }
+  int approximation_count() const { return approx_count_; }
+
+ private:
+  // Number of parallel MAC lanes in the Newton array (Section IV).
+  static constexpr int kMacLanes = 8;
+
+  void step(const T* z_in) {
+    const int x = regs_.x_dim, z = regs_.z_dim;
+    const int cur = buffer_, nxt = 1 - buffer_;
+
+    // ---- predict: xp = F * x ----
+    // #pragma HLS pipeline II=1 (innermost accumulation not unrolled)
+    T xp[MAX_X] = {};
+    for (int i = 0; i < x; ++i) {
+      T acc = T(0);
+      for (int j = 0; j < x; ++j) acc += f_[i][j] * x_[cur][j];
+      xp[i] = acc;
+    }
+
+    // ---- predict: PP = F*P*F^t + Q ----
+    T fp[MAX_X][MAX_X] = {};
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < x; ++k) acc += f_[i][k] * p_[cur][k][j];
+        fp[i][j] = acc;
+      }
+    T pp[MAX_X][MAX_X] = {};
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) {
+        T acc = q_[i][j];
+        for (int k = 0; k < x; ++k) acc += fp[i][k] * f_[j][k];
+        pp[i][j] = acc;
+      }
+
+    // ---- S = H*PP*H^t + R ----
+    // hp is z x x: one fully pipelined nest; S accumulates along x.
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < x; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < x; ++k) acc += h_[i][k] * pp[k][j];
+        hp_[i][j] = acc;
+      }
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < z; ++j) {
+        T acc = r_[i][j];
+        for (int k = 0; k < x; ++k) acc += hp_[i][k] * h_[j][k];
+        s_[i][j] = acc;
+      }
+
+    // ---- invert S: path A (Gauss) or path B (Newton) ----
+    const bool calculate =
+        (regs_.calc_freq > 0 ? iteration_ % regs_.calc_freq == 0
+                             : iteration_ == 0) ||
+        !seed_ready_;
+    if (calculate) {
+      gauss_invert();
+      for (int i = 0; i < z; ++i)
+        for (int j = 0; j < z; ++j) v_calc_[i][j] = sinv_[i][j];
+      seed_ready_ = true;
+      ++calc_count_;
+    } else {
+      newton_approximate();
+      ++approx_count_;
+    }
+    // Both policies' bookkeeping: the freshest inverse seeds eq. (4).
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < z; ++j) v_prev_[i][j] = sinv_[i][j];
+
+    // ---- K = PP * H^t * Sinv ----
+    T pht[MAX_X][MAX_Z] = {};
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < z; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < x; ++k) acc += pp[i][k] * h_[j][k];
+        pht[i][j] = acc;
+      }
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < z; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < z; ++k) acc += pht[i][k] * sinv_[k][j];
+        k_[i][j] = acc;
+      }
+
+    // ---- update: x = xp + K*(z - H*xp) ----
+    for (int i = 0; i < z; ++i) {
+      T acc = T(0);
+      for (int k = 0; k < x; ++k) acc += h_[i][k] * xp[k];
+      y_[i] = z_in[i] - acc;
+    }
+    for (int i = 0; i < x; ++i) {
+      T acc = xp[i];
+      for (int k = 0; k < z; ++k) acc += k_[i][k] * y_[k];
+      x_[nxt][i] = acc;
+    }
+
+    // ---- update: P = (I - K*H) * PP ----
+    T kh[MAX_X][MAX_X] = {};
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < z; ++k) acc += k_[i][k] * h_[k][j];
+        kh[i][j] = (i == j ? T(1) - acc : T(0) - acc);
+      }
+    for (int i = 0; i < x; ++i)
+      for (int j = 0; j < x; ++j) {
+        T acc = T(0);
+        for (int k = 0; k < x; ++k) acc += kh[i][k] * pp[k][j];
+        p_[nxt][i][j] = acc;
+      }
+
+    buffer_ = nxt;  // swap the double buffers
+    ++iteration_;
+  }
+
+  // Path A: in-place Gauss-Jordan with partial pivoting, refactored so the
+  // row-update loops pipeline at II=1 (the only recurrences are the pivot
+  // search and the reciprocal).
+  void gauss_invert() {
+    const int z = regs_.z_dim;
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < z; ++j) {
+        work_[i][j] = s_[i][j];
+        sinv_[i][j] = (i == j) ? T(1) : T(0);
+      }
+    for (int col = 0; col < z; ++col) {
+      // Pivot search (sequential recurrence).
+      int pivot_row = col;
+      T best = work_[col][col] < T(0) ? -work_[col][col] : work_[col][col];
+      for (int r = col + 1; r < z; ++r) {
+        const T mag = work_[r][col] < T(0) ? -work_[r][col] : work_[r][col];
+        if (mag > best) {
+          best = mag;
+          pivot_row = r;
+        }
+      }
+      if (pivot_row != col) {
+        for (int j = 0; j < z; ++j) {
+          const T tw = work_[col][j];
+          work_[col][j] = work_[pivot_row][j];
+          work_[pivot_row][j] = tw;
+          const T ti = sinv_[col][j];
+          sinv_[col][j] = sinv_[pivot_row][j];
+          sinv_[pivot_row][j] = ti;
+        }
+      }
+      // One reciprocal per column; row scaling pipelines.
+      const T recip = T(1) / work_[col][col];
+      // #pragma HLS pipeline II=1
+      for (int j = 0; j < z; ++j) {
+        work_[col][j] *= recip;
+        sinv_[col][j] *= recip;
+      }
+      for (int r = 0; r < z; ++r) {
+        if (r == col) continue;
+        const T factor = work_[r][col];
+        // #pragma HLS pipeline II=1
+        for (int j = 0; j < z; ++j) {
+          work_[r][j] -= factor * work_[col][j];
+          sinv_[r][j] -= factor * sinv_[col][j];
+        }
+      }
+    }
+  }
+
+  // Path B: `approx` Newton iterations, seed per `policy`, inner products
+  // split over kMacLanes parallel accumulators (the MAC array).
+  void newton_approximate() {
+    const int z = regs_.z_dim;
+    const auto& seed = regs_.policy == 1 ? v_prev_ : v_calc_;
+    for (int i = 0; i < z; ++i)
+      for (int j = 0; j < z; ++j) sinv_[i][j] = seed[i][j];
+
+    for (int it = 0; it < regs_.approx; ++it) {
+      // scratch = 2I - S * V
+      for (int i = 0; i < z; ++i)
+        for (int j = 0; j < z; ++j) {
+          scratch_[i][j] =
+              (i == j ? T(2) : T(0)) - mac_dot(s_[i], sinv_, j, z);
+        }
+      // V = V * scratch
+      for (int i = 0; i < z; ++i)
+        for (int j = 0; j < z; ++j)
+          work_[i][j] = mac_dot(sinv_[i], scratch_, j, z);
+      for (int i = 0; i < z; ++i)
+        for (int j = 0; j < z; ++j) sinv_[i][j] = work_[i][j];
+    }
+  }
+
+  // row . column(b, j) with kMacLanes parallel partial sums — the unroll
+  // pattern the 8-MAC array implements.
+  static T mac_dot(const T* row, const T (*b)[MAX_Z], int j, int z) {
+    T lanes[kMacLanes] = {};
+    // #pragma HLS unroll factor=8 (lane loop), pipeline II=1 (k loop)
+    for (int k = 0; k < z; k += kMacLanes) {
+      for (int l = 0; l < kMacLanes; ++l) {
+        if (k + l < z) lanes[l] += row[k + l] * b[k + l][j];
+      }
+    }
+    // Adder tree.
+    T sum = T(0);
+    for (int l = 0; l < kMacLanes; ++l) sum += lanes[l];
+    return sum;
+  }
+
+  Registers regs_;
+  bool configured_ = false;
+  int buffer_ = 0;
+  int iteration_ = 0;
+  bool seed_ready_ = false;
+  int calc_count_ = 0;
+  int approx_count_ = 0;
+
+  // ---- PLMs (design-time sized, BRAM-mapped in hardware) ----
+  T f_[MAX_X][MAX_X] = {};
+  T q_[MAX_X][MAX_X] = {};
+  T h_[MAX_Z][MAX_X] = {};
+  T r_[MAX_Z][MAX_Z] = {};
+  T p_[2][MAX_X][MAX_X] = {};   // double-buffered covariance
+  T x_[2][MAX_X] = {};          // double-buffered state
+  T hp_[MAX_Z][MAX_X] = {};
+  T s_[MAX_Z][MAX_Z] = {};
+  T sinv_[MAX_Z][MAX_Z] = {};
+  T v_prev_[MAX_Z][MAX_Z] = {};  // eq. (4) seed
+  T v_calc_[MAX_Z][MAX_Z] = {};  // eq. (5) seed
+  T scratch_[MAX_Z][MAX_Z] = {};
+  T work_[MAX_Z][MAX_Z] = {};
+  T k_[MAX_X][MAX_Z] = {};
+  T y_[MAX_Z] = {};
+};
+
+// Convenience aliases.
+template <int MAX_X, int MAX_Z>
+using GaussNewtonKernel = DatapathKernel<float, MAX_X, MAX_Z>;
+
+// The design-time instantiation covering all three paper datasets.
+using MotorScaleKernel = GaussNewtonKernel<8, 164>;
+
+}  // namespace kalmmind::hlskernel

@@ -1,0 +1,14 @@
+// Anchor TU: instantiate the paper-scale kernels so ODR issues and
+// template errors surface at library build time.
+#include "hlskernel/gauss_newton_kernel.hpp"
+
+#include "fixedpoint/fixed.hpp"
+
+namespace kalmmind::hlskernel {
+
+template class DatapathKernel<float, 8, 164>;
+template class DatapathKernel<float, 8, 52>;
+template class DatapathKernel<float, 8, 46>;
+template class DatapathKernel<fixedpoint::Fx64, 8, 52>;
+
+}  // namespace kalmmind::hlskernel

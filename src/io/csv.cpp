@@ -1,0 +1,86 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace kalmmind::io {
+
+namespace {
+
+void require_stream(const std::ostream& out, const std::string& what) {
+  if (!out) throw std::runtime_error("io: failed writing " + what);
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const linalg::Matrix<double>& m) {
+  out.precision(17);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (j) out << ',';
+      out << m(i, j);
+    }
+    out << '\n';
+  }
+  require_stream(out, "matrix csv");
+}
+
+void write_trajectory_csv(std::ostream& out,
+                          const std::vector<linalg::Vector<double>>& states,
+                          const std::vector<std::string>& column_names) {
+  out.precision(17);
+  out << "iteration";
+  const std::size_t dim = states.empty() ? 0 : states.front().size();
+  for (std::size_t j = 0; j < dim; ++j) {
+    out << ',';
+    if (j < column_names.size()) {
+      out << column_names[j];
+    } else {
+      out << "x" << j;
+    }
+  }
+  out << '\n';
+  for (std::size_t n = 0; n < states.size(); ++n) {
+    if (states[n].size() != dim) {
+      throw std::invalid_argument("write_trajectory_csv: ragged trajectory");
+    }
+    out << n;
+    for (std::size_t j = 0; j < dim; ++j) out << ',' << states[n][j];
+    out << '\n';
+  }
+  require_stream(out, "trajectory csv");
+}
+
+void write_dse_csv(std::ostream& out,
+                   const std::vector<core::DsePoint>& points) {
+  out.precision(17);
+  out << "calc_freq,approx,policy,latency_s,power_w,energy_j,"
+         "mse,mae,max_diff_pct,avg_diff_pct,finite\n";
+  for (const auto& p : points) {
+    out << p.config.calc_freq << ',' << p.config.approx << ','
+        << p.config.policy << ',' << p.latency_s << ',' << p.power_w << ','
+        << p.energy_j << ',' << p.metrics.mse << ',' << p.metrics.mae << ','
+        << p.metrics.max_diff_pct << ',' << p.metrics.avg_diff_pct << ','
+        << (p.metrics.finite ? 1 : 0) << '\n';
+  }
+  require_stream(out, "dse csv");
+}
+
+void write_trajectory_csv_file(
+    const std::string& path,
+    const std::vector<linalg::Vector<double>>& states,
+    const std::vector<std::string>& column_names) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("io: cannot open " + path);
+  write_trajectory_csv(out, states, column_names);
+}
+
+void write_dse_csv_file(const std::string& path,
+                        const std::vector<core::DsePoint>& points) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("io: cannot open " + path);
+  write_dse_csv(out, points);
+}
+
+}  // namespace kalmmind::io

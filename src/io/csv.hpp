@@ -1,0 +1,37 @@
+// CSV export for matrices, trajectories and DSE sweeps — the artifacts a
+// user plots to recreate the paper's figures graphically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/dse.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::io {
+
+// Matrix as plain rows of comma-separated values.
+void write_csv(std::ostream& out, const linalg::Matrix<double>& m);
+
+// Trajectory: one row per iteration, one column per state element, with an
+// `iteration` index column and optional column names.
+void write_trajectory_csv(std::ostream& out,
+                          const std::vector<linalg::Vector<double>>& states,
+                          const std::vector<std::string>& column_names = {});
+
+// DSE sweep: one row per point with the config knobs and every metric —
+// directly plottable as Fig. 4 grids or Fig. 5 scatters.
+void write_dse_csv(std::ostream& out,
+                   const std::vector<core::DsePoint>& points);
+
+// Convenience file-writing wrappers (throw std::runtime_error on I/O
+// failure).
+void write_trajectory_csv_file(
+    const std::string& path,
+    const std::vector<linalg::Vector<double>>& states,
+    const std::vector<std::string>& column_names = {});
+void write_dse_csv_file(const std::string& path,
+                        const std::vector<core::DsePoint>& points);
+
+}  // namespace kalmmind::io

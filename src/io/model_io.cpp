@@ -1,0 +1,93 @@
+#include "io/model_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace kalmmind::io {
+
+namespace {
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("model_io: truncated header");
+  return v;
+}
+
+void write_matrix(std::ostream& out, const linalg::Matrix<double>& m) {
+  out.write(reinterpret_cast<const char*>(m.data()),
+            std::streamsize(m.size() * sizeof(double)));
+}
+
+void read_matrix(std::istream& in, linalg::Matrix<double>& m,
+                 std::size_t rows, std::size_t cols) {
+  m.resize(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          std::streamsize(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("model_io: truncated matrix payload");
+}
+
+}  // namespace
+
+void save_model(std::ostream& out, const kalman::KalmanModel<double>& model) {
+  model.validate();
+  out.write(kModelMagic, sizeof(kModelMagic));
+  write_u64(out, model.x_dim());
+  write_u64(out, model.z_dim());
+  write_matrix(out, model.f);
+  write_matrix(out, model.q);
+  write_matrix(out, model.h);
+  write_matrix(out, model.r);
+  out.write(reinterpret_cast<const char*>(model.x0.data()),
+            std::streamsize(model.x0.size() * sizeof(double)));
+  write_matrix(out, model.p0);
+  if (!out) throw std::runtime_error("model_io: write failed");
+}
+
+kalman::KalmanModel<double> load_model(std::istream& in) {
+  char magic[sizeof(kModelMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    throw std::runtime_error("model_io: bad magic (not a KalmMind model)");
+  }
+  const std::size_t x = read_u64(in);
+  const std::size_t z = read_u64(in);
+  if (x == 0 || z == 0 || x > 1u << 16 || z > 1u << 20) {
+    throw std::runtime_error("model_io: implausible dimensions");
+  }
+  kalman::KalmanModel<double> model;
+  read_matrix(in, model.f, x, x);
+  read_matrix(in, model.q, x, x);
+  read_matrix(in, model.h, z, x);
+  read_matrix(in, model.r, z, z);
+  model.x0.resize(x);
+  in.read(reinterpret_cast<char*>(model.x0.data()),
+          std::streamsize(x * sizeof(double)));
+  if (!in) throw std::runtime_error("model_io: truncated x0");
+  read_matrix(in, model.p0, x, x);
+  model.validate();
+  return model;
+}
+
+void save_model_file(const std::string& path,
+                     const kalman::KalmanModel<double>& model) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("model_io: cannot open " + path);
+  save_model(out, model);
+}
+
+kalman::KalmanModel<double> load_model_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("model_io: cannot open " + path);
+  return load_model(in);
+}
+
+}  // namespace kalmmind::io

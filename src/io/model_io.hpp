@@ -1,0 +1,24 @@
+// Binary serialization of trained Kalman models, so a decoder trained in
+// one session can be deployed (e.g. preloaded into accelerator PLMs) in
+// another.  Format: magic + version + dims + row-major float64 payloads,
+// little-endian, with size checks on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "kalman/model.hpp"
+
+namespace kalmmind::io {
+
+inline constexpr char kModelMagic[8] = {'K', 'M', 'I', 'N', 'D', 'M', 'D',
+                                        '1'};
+
+void save_model(std::ostream& out, const kalman::KalmanModel<double>& model);
+kalman::KalmanModel<double> load_model(std::istream& in);
+
+void save_model_file(const std::string& path,
+                     const kalman::KalmanModel<double>& model);
+kalman::KalmanModel<double> load_model_file(const std::string& path);
+
+}  // namespace kalmmind::io

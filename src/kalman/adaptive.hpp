@@ -1,0 +1,197 @@
+// Adaptive KF decoding (Section VI): real BCI decoders retrain the KF
+// model online (ReFIT / dual-KF / RL-assisted decoders) because neural
+// tuning drifts within a session.  AdaptiveKalmanFilter keeps the
+// reorganized KF core but refreshes the observation model between
+// iterations with exponentially-forgotten recursive least squares:
+//
+//   A_n = lambda * A_{n-1} + x'_n x'_n^t          (x_dim x x_dim)
+//   B_n = lambda * B_{n-1} + z_n  x'_n^t          (z_dim x x_dim)
+//   every `update_period` iterations:
+//     H_rls = B A^-1, rescaled to the trained ||H||_F  (see below)
+//     H <- (1 - eta) * H + eta * H_rls
+//     optionally R <- EW covariance of the prior innovations z - H x'.
+//
+// The rescaling anchors the unidentifiable scale direction: z = H x fits
+// equally as (cH)(x/c), so self-supervised refreshes drift in scale (H
+// inflates while x̂ shrinks).  Closed-loop systems anchor the output gain
+// against the application; we anchor ||H||_F to its trained value, letting
+// rotation/shape adapt while the scale stays pinned.
+//
+// The regression target is the *prior* prediction x' = F x̂_{n-1}: it
+// depends only on past measurements, so the same-step measurement noise
+// cannot leak into H (regressing on the posterior creates the classic
+// dual-KF runaway: H absorbs noise, R̂ shrinks, the gain grows, repeat).
+// The decoded prior stands in for the (unavailable) true kinematics, as
+// closed-loop recalibration does.  The learning rate eta and the
+// off-by-default R update keep the loop contractive.
+//
+// Because H (and optionally R) now *change*, S_n keeps moving — the
+// regime where the KalmMind seed policies matter most (and where
+// constant-inverse methods like SSKF/Taylor break down).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "kalman/filter.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/norms.hpp"
+
+namespace kalmmind::kalman {
+
+struct AdaptiveConfig {
+  double forgetting = 0.995;        // lambda of the EW-RLS accumulators
+  std::size_t update_period = 10;   // iterations between model refreshes
+  std::size_t warmup = 20;          // iterations before the first refresh
+  double learning_rate = 0.5;       // eta: blend of old H and RLS estimate
+  bool update_r = false;            // also refresh R from the innovations
+  double r_floor = 1e-4;            // diagonal floor keeping R SPD
+};
+
+template <typename T>
+class AdaptiveKalmanFilter {
+ public:
+  AdaptiveKalmanFilter(KalmanModel<T> model, InverseStrategyPtr<T> strategy,
+                       AdaptiveConfig config = {})
+      : filter_(std::move(model), std::move(strategy)), config_(config) {
+    if (config_.update_period == 0) {
+      throw std::invalid_argument("AdaptiveKalmanFilter: zero update period");
+    }
+    anchor_norm_ = linalg::frobenius_norm(filter_.model().h);
+    reset_accumulators();
+  }
+
+  const Vector<T>& step(const Vector<T>& z) {
+    const Vector<T>& x = filter_.step(z);
+    accumulate(filter_.last_prediction(), z);
+    ++since_update_;
+    ++total_steps_;
+    if (total_steps_ >= config_.warmup &&
+        since_update_ >= config_.update_period) {
+      refresh_model();
+      since_update_ = 0;
+    }
+    return x;
+  }
+
+  FilterOutput<T> run(const std::vector<Vector<T>>& measurements) {
+    filter_.reset();
+    reset_accumulators();
+    total_steps_ = 0;
+    since_update_ = 0;
+    model_updates_ = 0;
+    FilterOutput<T> out;
+    out.states.reserve(measurements.size());
+    out.events.reserve(measurements.size());
+    for (const auto& z : measurements) {
+      out.states.push_back(step(z));
+      out.events.push_back(filter_.strategy().last_event());
+    }
+    out.final_covariance = filter_.covariance();
+    return out;
+  }
+
+  const KalmanModel<T>& model() const { return filter_.model(); }
+  std::size_t model_updates() const { return model_updates_; }
+
+ private:
+  void reset_accumulators() {
+    const std::size_t x = filter_.model().x_dim();
+    const std::size_t z = filter_.model().z_dim();
+    a_.resize(x, x);
+    // Small ridge so the first solves are well-posed.
+    for (std::size_t i = 0; i < x; ++i)
+      a_(i, i) = linalg::ScalarTraits<T>::from_double(1e-3);
+    b_.resize(z, x);
+    r_acc_.resize(z, z);
+    r_weight_ = 0.0;
+  }
+
+  static bool finite(const Vector<T>& v) {
+    for (std::size_t i = 0; i < v.size(); ++i)
+      if (!std::isfinite(linalg::to_double(v[i]))) return false;
+    return true;
+  }
+
+  void accumulate(const Vector<T>& x, const Vector<T>& z) {
+    // A diverged filter (e.g. an inversion strategy losing its seed basin)
+    // must not poison the RLS accumulators — the run keeps going and the
+    // divergence shows up in the metrics instead of as a crash.
+    if (!finite(x) || !finite(z)) return;
+    const T lambda = linalg::ScalarTraits<T>::from_double(config_.forgetting);
+    const std::size_t xd = x.size();
+    const std::size_t zd = z.size();
+
+    // Innovation against the *current* H, for the R estimate.
+    Vector<T> hx;
+    linalg::multiply_into(hx, filter_.model().h, x);
+
+    a_ *= lambda;
+    for (std::size_t i = 0; i < xd; ++i)
+      for (std::size_t j = 0; j < xd; ++j) a_(i, j) += x[i] * x[j];
+    b_ *= lambda;
+    for (std::size_t i = 0; i < zd; ++i)
+      for (std::size_t j = 0; j < xd; ++j) b_(i, j) += z[i] * x[j];
+    r_acc_ *= lambda;
+    for (std::size_t i = 0; i < zd; ++i) {
+      const T ri = z[i] - hx[i];
+      for (std::size_t j = 0; j <= i; ++j) {
+        const T v = ri * (z[j] - hx[j]);
+        r_acc_(i, j) += v;
+        if (i != j) r_acc_(j, i) += v;
+      }
+    }
+    r_weight_ = config_.forgetting * r_weight_ + 1.0;
+  }
+
+  void refresh_model() {
+    // H_rls = B A^-1 (A is x_dim x x_dim, tiny), blended into H.  A
+    // singular A (not enough finite samples accumulated) skips the update.
+    Matrix<T> a_inv;
+    try {
+      a_inv = linalg::invert_lu(a_);
+    } catch (const linalg::SingularMatrixError&) {
+      return;
+    }
+    Matrix<T> h_rls;
+    linalg::multiply_into(h_rls, b_, a_inv);
+    // Pin the unidentifiable scale direction to the trained norm.
+    const double rls_norm = linalg::frobenius_norm(h_rls);
+    if (rls_norm > 0.0) {
+      h_rls *= linalg::ScalarTraits<T>::from_double(anchor_norm_ / rls_norm);
+    }
+    const T eta = linalg::ScalarTraits<T>::from_double(config_.learning_rate);
+    Matrix<T> new_h = filter_.model().h;
+    for (std::size_t i = 0; i < new_h.rows(); ++i)
+      for (std::size_t j = 0; j < new_h.cols(); ++j)
+        new_h(i, j) += eta * (h_rls(i, j) - new_h(i, j));
+
+    Matrix<T> new_r = filter_.model().r;
+    if (config_.update_r) {
+      new_r = r_acc_;
+      const T scale = linalg::ScalarTraits<T>::from_double(
+          1.0 / std::max(r_weight_, 1.0));
+      new_r *= scale;
+      const T floor = linalg::ScalarTraits<T>::from_double(config_.r_floor);
+      for (std::size_t i = 0; i < new_r.rows(); ++i) new_r(i, i) += floor;
+    }
+
+    filter_.update_observation_model(std::move(new_h), std::move(new_r));
+    ++model_updates_;
+  }
+
+  KalmanFilter<T> filter_;
+  AdaptiveConfig config_;
+  double anchor_norm_ = 1.0;  // trained ||H||_F, the scale anchor
+  Matrix<T> a_;      // EW sum of x x^t
+  Matrix<T> b_;      // EW sum of z x^t
+  Matrix<T> r_acc_;  // EW sum of innovation outer products
+  double r_weight_ = 0.0;
+  std::size_t since_update_ = 0;
+  std::size_t total_steps_ = 0;
+  std::size_t model_updates_ = 0;
+};
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,172 @@
+// The reorganized Kalman filter core (Fig. 3b).  The computation order
+// isolates `compute K` behind an InverseStrategy, exactly like the
+// accelerator's swappable path A / path B module:
+//
+//   predict:  x' = F x ,  P' = F P F^t + Q
+//   gain:     S  = H P' H^t + R ,  Sinv = strategy(S, n) ,  K = P' H^t Sinv
+//   update:   y  = z - H x' ,  x = x' + K y ,  P = (I - K H) P'
+//
+// The filter is generic over the scalar type (float32 accelerator
+// datapaths, float64 reference, FX32/FX64 fixed point).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "kalman/model.hpp"
+#include "kalman/strategy.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::kalman {
+
+// Per-run output: the state trajectory plus the per-iteration inversion
+// telemetry the latency model consumes.
+template <typename T>
+struct FilterOutput {
+  std::vector<Vector<T>> states;       // x̂_n for every iteration
+  Matrix<T> final_covariance;          // P after the last iteration
+  std::vector<InverseEvent> events;    // which path ran at each iteration
+
+  std::size_t iterations() const { return states.size(); }
+};
+
+struct FilterOptions {
+  // Use the Joseph-form covariance update
+  //   P = (I - K H) P' (I - K H)^t + K R K^t
+  // instead of the cheaper (I - K H) P'.  Joseph form keeps P positive
+  // semidefinite for *any* gain, which keeps the filter bounded when the
+  // inversion strategy is a crude approximation (IFKF).  The accelerator
+  // datapaths use the plain update, like Fig. 2.
+  bool joseph_update = false;
+};
+
+template <typename T>
+class KalmanFilter {
+ public:
+  KalmanFilter(KalmanModel<T> model, InverseStrategyPtr<T> strategy,
+               FilterOptions options = {})
+      : model_(std::move(model)),
+        strategy_(std::move(strategy)),
+        options_(options) {
+    model_.validate();
+    if (!strategy_) {
+      throw std::invalid_argument("KalmanFilter: null inverse strategy");
+    }
+    reset();
+  }
+
+  void reset() {
+    x_ = model_.x0;
+    x_pred_ = model_.x0;
+    p_ = model_.p0;
+    iteration_ = 0;
+    strategy_->reset();
+  }
+
+  // One KF iteration with measurement z; returns the new state estimate.
+  const Vector<T>& step(const Vector<T>& z) {
+    if (z.size() != model_.z_dim()) {
+      throw std::invalid_argument("KalmanFilter::step: bad measurement size");
+    }
+    // Predict.
+    linalg::multiply_into(x_pred_, model_.f, x_);
+    const Vector<T>& x_pred = x_pred_;
+    Matrix<T> fp, p_pred;
+    linalg::multiply_into(fp, model_.f, p_);
+    linalg::multiply_bt_into(p_pred, fp, model_.f);
+    p_pred += model_.q;
+
+    // Innovation covariance S = H P' H^t + R.
+    Matrix<T> hp, s;
+    linalg::multiply_into(hp, model_.h, p_pred);
+    linalg::multiply_bt_into(s, hp, model_.h);
+    s += model_.r;
+
+    // Kalman gain K = P' H^t S^-1.
+    Matrix<T> s_inv = strategy_->invert(s, iteration_);
+    Matrix<T> pht;
+    linalg::multiply_bt_into(pht, p_pred, model_.h);  // P' H^t, x_dim x z_dim
+    Matrix<T> k;
+    linalg::multiply_into(k, pht, s_inv);
+
+    // Update state: x = x' + K (z - H x').
+    Vector<T> hx;
+    linalg::multiply_into(hx, model_.h, x_pred);
+    Vector<T> innovation = z;
+    innovation -= hx;
+    Vector<T> correction;
+    linalg::multiply_into(correction, k, innovation);
+    x_ = x_pred;
+    x_ += correction;
+
+    // Update covariance.
+    Matrix<T> kh;
+    linalg::multiply_into(kh, k, model_.h);
+    Matrix<T> i_minus_kh = linalg::identity_minus(kh);
+    if (options_.joseph_update) {
+      // P = (I-KH) P' (I-KH)^t + K R K^t
+      Matrix<T> tmp;
+      linalg::multiply_into(tmp, i_minus_kh, p_pred);
+      linalg::multiply_bt_into(p_, tmp, i_minus_kh);
+      Matrix<T> kr;
+      linalg::multiply_into(kr, k, model_.r);
+      Matrix<T> krk;
+      linalg::multiply_bt_into(krk, kr, k);
+      p_ += krk;
+    } else {
+      linalg::multiply_into(p_, i_minus_kh, p_pred);
+    }
+
+    ++iteration_;
+    return x_;
+  }
+
+  // Run the filter over a measurement sequence from the initial state.
+  FilterOutput<T> run(const std::vector<Vector<T>>& measurements) {
+    reset();
+    FilterOutput<T> out;
+    out.states.reserve(measurements.size());
+    out.events.reserve(measurements.size());
+    for (const auto& z : measurements) {
+      out.states.push_back(step(z));
+      out.events.push_back(strategy_->last_event());
+    }
+    out.final_covariance = p_;
+    return out;
+  }
+
+  // Replace the observation model mid-run (adaptive decoding: the trained
+  // H/R are refreshed online).  Shapes must match the original model; the
+  // state and covariance carry over.
+  void update_observation_model(Matrix<T> h, Matrix<T> r) {
+    if (h.rows() != model_.z_dim() || h.cols() != model_.x_dim() ||
+        r.rows() != model_.z_dim() || r.cols() != model_.z_dim()) {
+      throw std::invalid_argument(
+          "update_observation_model: shape mismatch");
+    }
+    model_.h = std::move(h);
+    model_.r = std::move(r);
+  }
+
+  const Vector<T>& state() const { return x_; }
+  // The prior prediction x' = F x of the most recent step (before the
+  // measurement update).  Adaptive decoders regress on this instead of the
+  // posterior to avoid absorbing same-step measurement noise into H.
+  const Vector<T>& last_prediction() const { return x_pred_; }
+  const Matrix<T>& covariance() const { return p_; }
+  std::size_t iteration() const { return iteration_; }
+  const KalmanModel<T>& model() const { return model_; }
+  InverseStrategy<T>& strategy() { return *strategy_; }
+
+ private:
+  KalmanModel<T> model_;
+  InverseStrategyPtr<T> strategy_;
+  FilterOptions options_;
+  Vector<T> x_;
+  Vector<T> x_pred_;
+  Matrix<T> p_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,186 @@
+// KalmMind's central technique (Section III): interleave a *calculation*
+// method and the Newton *approximation* across KF iterations, with the
+// Newton seed taken from an inverse computed at an earlier KF iteration.
+//
+// Configuration mirrors the accelerator's registers:
+//   calc_freq : calculate at every KF iteration n with n % calc_freq == 0;
+//               calc_freq == 0 -> calculate only at iteration 0.
+//   approx    : number of internal Newton iterations on approximation steps.
+//   policy    : seed selection.
+//               kLastCalculated (register value 0, eq. 5): V0 = S_j^-1 where
+//                 j is the most recent *calculated* iteration.
+//               kPreviousIteration (register value 1, eq. 4): V0 = S_{n-1}^-1,
+//                 whatever produced it.
+//
+// The seed policies work because S_n = H P_n H^t + R varies slowly across
+// consecutive iterations (P_n converges; for BCI data the measurement
+// statistics are strongly spatio-temporally correlated), so an earlier
+// inverse sits well inside the eq. (3) convergence basin.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "kalman/calculation_strategies.hpp"
+#include "kalman/strategy.hpp"
+#include "linalg/newton.hpp"
+
+namespace kalmmind::kalman {
+
+enum class SeedPolicy {
+  kLastCalculated = 0,     // eq. (5)
+  kPreviousIteration = 1,  // eq. (4)
+};
+
+inline const char* to_string(SeedPolicy p) {
+  return p == SeedPolicy::kLastCalculated ? "last-calculated"
+                                          : "previous-iteration";
+}
+
+struct InterleaveConfig {
+  std::size_t calc_freq = 0;  // 0 => calculate only at iteration 0
+  std::size_t approx = 1;     // internal Newton iterations per approx step
+  SeedPolicy policy = SeedPolicy::kLastCalculated;
+
+  // True iff KF iteration n runs the calculation path (path A).
+  bool is_calculation_iteration(std::size_t n) const {
+    if (calc_freq == 0) return n == 0;
+    return n % calc_freq == 0;
+  }
+};
+
+template <typename T>
+class InterleavedStrategy final : public InverseStrategy<T> {
+ public:
+  InterleavedStrategy(CalcMethod calc_method, InterleaveConfig config)
+      : calc_method_(calc_method), config_(config) {}
+
+  Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) override {
+    if (config_.is_calculation_iteration(kf_iteration) || !seed_ready_) {
+      // Path A.  (The very first invert must calculate even if the
+      // schedule says otherwise — there is no seed yet.)  A singular (or
+      // NaN-poisoned) S yields a NaN inverse rather than an exception —
+      // matching what the hardware elimination array would emit, and
+      // letting a diverged DSE point score `inf` instead of aborting the
+      // sweep.
+      Matrix<T> inv;
+      try {
+        inv = calculate_inverse(calc_method_, s);
+      } catch (const linalg::SingularMatrixError&) {
+        inv = Matrix<T>(
+            s.rows(), s.cols(),
+            linalg::ScalarTraits<T>::from_double(
+                std::numeric_limits<double>::quiet_NaN()));
+      } catch (const linalg::NotPositiveDefiniteError&) {
+        inv = Matrix<T>(
+            s.rows(), s.cols(),
+            linalg::ScalarTraits<T>::from_double(
+                std::numeric_limits<double>::quiet_NaN()));
+      }
+      last_calculated_ = inv;
+      previous_ = inv;
+      seed_ready_ = true;
+      last_event_ = {InversePath::kCalculation, 0};
+      return inv;
+    }
+    // Path B: Newton from the policy-selected seed.
+    const Matrix<T>& seed = config_.policy == SeedPolicy::kPreviousIteration
+                                ? previous_
+                                : last_calculated_;
+    Matrix<T> inv = linalg::newton_invert(s, seed, config_.approx);
+    previous_ = inv;
+    last_event_ = {InversePath::kApproximation, config_.approx};
+    return inv;
+  }
+
+  InverseEvent last_event() const override { return last_event_; }
+
+  void reset() override {
+    seed_ready_ = false;
+    last_calculated_ = Matrix<T>();
+    previous_ = Matrix<T>();
+    last_event_ = {};
+  }
+
+  std::string name() const override {
+    return std::string(to_string(calc_method_)) +
+           "/newton(calc_freq=" + std::to_string(config_.calc_freq) +
+           ",approx=" + std::to_string(config_.approx) +
+           ",policy=" + to_string(config_.policy) + ")";
+  }
+
+  const InterleaveConfig& config() const { return config_; }
+  CalcMethod calc_method() const { return calc_method_; }
+
+ private:
+  CalcMethod calc_method_;
+  InterleaveConfig config_;
+  bool seed_ready_ = false;
+  Matrix<T> last_calculated_;  // S_j^-1, eq. (5) seed
+  Matrix<T> previous_;         // S_{n-1}^-1, eq. (4) seed
+  InverseEvent last_event_;
+};
+
+// The LITE datapath of Table III: Newton with exactly one internal
+// iteration seeded from the previous KF iteration; the very first seed is
+// preloaded from main memory (here: supplied at construction, e.g. the
+// exact S_0^-1 computed offline in double precision).
+template <typename T>
+class LiteStrategy final : public InverseStrategy<T> {
+ public:
+  explicit LiteStrategy(Matrix<T> preloaded_seed)
+      : initial_seed_(std::move(preloaded_seed)), previous_(initial_seed_) {}
+
+  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
+    Matrix<T> inv = linalg::newton_invert(s, previous_, 1);
+    previous_ = inv;
+    return inv;
+  }
+
+  InverseEvent last_event() const override {
+    return {InversePath::kApproximation, 1};
+  }
+
+  void reset() override { previous_ = initial_seed_; }
+
+  std::string name() const override { return "lite"; }
+
+ private:
+  Matrix<T> initial_seed_;
+  Matrix<T> previous_;
+};
+
+// The SSKF/Newton datapath: a constant S_const^-1 (precomputed from the
+// converged innovation covariance), optionally refined by `approx` Newton
+// iterations against the *current* S_n.  approx == 0 reproduces the pure
+// constant-inverse behavior.
+template <typename T>
+class ConstantInverseStrategy final : public InverseStrategy<T> {
+ public:
+  ConstantInverseStrategy(Matrix<T> constant_inverse, std::size_t approx)
+      : constant_inverse_(std::move(constant_inverse)), approx_(approx) {}
+
+  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
+    if (approx_ == 0) return constant_inverse_;
+    return linalg::newton_invert(s, constant_inverse_, approx_);
+  }
+
+  InverseEvent last_event() const override {
+    if (approx_ == 0) return {InversePath::kNone, 0};
+    return {InversePath::kApproximation, approx_};
+  }
+
+  void reset() override {}
+
+  std::string name() const override {
+    return "sskf-inverse(approx=" + std::to_string(approx_) + ")";
+  }
+
+ private:
+  Matrix<T> constant_inverse_;
+  std::size_t approx_;
+};
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,15 @@
+// Anchor TU with explicit instantiations for the common filter scalars.
+#include "kalman/kalman.hpp"
+
+namespace kalmmind::kalman {
+
+template class KalmanFilter<float>;
+template class KalmanFilter<double>;
+template class InterleavedStrategy<float>;
+template class InterleavedStrategy<double>;
+template class ConstantGainFilter<float>;
+template class ConstantGainFilter<double>;
+template SteadyState<double> solve_steady_state<double>(
+    const KalmanModel<double>&, double, std::size_t);
+
+}  // namespace kalmmind::kalman

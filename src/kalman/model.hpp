@@ -1,0 +1,64 @@
+// The Kalman-filter model: the five constant matrices of Fig. 2 plus the
+// initial state.  In the traditional KF used for BCI decoding (Wu et al.
+// 2002) F, Q, H, R stay constant across iterations and constitute the
+// trained decoder; only x and P evolve.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::kalman {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+template <typename T>
+struct KalmanModel {
+  Matrix<T> f;  // x_dim x x_dim  state transition
+  Matrix<T> q;  // x_dim x x_dim  process noise covariance
+  Matrix<T> h;  // z_dim x x_dim  observation model
+  Matrix<T> r;  // z_dim x z_dim  observation noise covariance
+  Vector<T> x0; // initial state
+  Matrix<T> p0; // initial state covariance
+
+  std::size_t x_dim() const { return f.rows(); }
+  std::size_t z_dim() const { return h.rows(); }
+
+  // Throws std::invalid_argument if any shape is inconsistent.  Called by
+  // every filter constructor so misconfigured models fail fast.
+  void validate() const {
+    const std::size_t x = x_dim();
+    const std::size_t z = z_dim();
+    if (x == 0 || z == 0) {
+      throw std::invalid_argument("KalmanModel: empty dimensions");
+    }
+    if (f.rows() != x || f.cols() != x)
+      throw std::invalid_argument("KalmanModel: F must be x_dim x x_dim");
+    if (q.rows() != x || q.cols() != x)
+      throw std::invalid_argument("KalmanModel: Q must be x_dim x x_dim");
+    if (h.rows() != z || h.cols() != x)
+      throw std::invalid_argument("KalmanModel: H must be z_dim x x_dim");
+    if (r.rows() != z || r.cols() != z)
+      throw std::invalid_argument("KalmanModel: R must be z_dim x z_dim");
+    if (x0.size() != x)
+      throw std::invalid_argument("KalmanModel: x0 must have x_dim entries");
+    if (p0.rows() != x || p0.cols() != x)
+      throw std::invalid_argument("KalmanModel: P0 must be x_dim x x_dim");
+  }
+
+  // Convert the model to another scalar type (e.g. float64 trained model ->
+  // float32 / fixed-point accelerator PLM contents).
+  template <typename U>
+  KalmanModel<U> cast() const {
+    return KalmanModel<U>{f.template cast<U>(),  q.template cast<U>(),
+                          h.template cast<U>(),  r.template cast<U>(),
+                          x0.template cast<U>(), p0.template cast<U>()};
+  }
+};
+
+using KalmanModelF = KalmanModel<float>;
+using KalmanModelD = KalmanModel<double>;
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,40 @@
+// The float64 reference implementation every accuracy metric compares to —
+// the role NumPy (Gauss + LU factorization) plays in the paper.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kalman/calculation_strategies.hpp"
+#include "kalman/filter.hpp"
+
+namespace kalmmind::kalman {
+
+// Double precision + LU inversion, matching numpy.linalg.inv.
+inline KalmanFilter<double> make_reference_filter(KalmanModel<double> model) {
+  return KalmanFilter<double>(
+      std::move(model),
+      std::make_unique<CalculationStrategy<double>>(CalcMethod::kLu));
+}
+
+inline FilterOutput<double> run_reference(
+    const KalmanModel<double>& model,
+    const std::vector<Vector<double>>& measurements) {
+  return make_reference_filter(model).run(measurements);
+}
+
+// The paper's *baseline*: the same arithmetic precision as the accelerators
+// (float32) with Gauss-Jordan inversion at every iteration.
+inline KalmanFilter<float> make_baseline_filter(KalmanModel<float> model) {
+  return KalmanFilter<float>(
+      std::move(model),
+      std::make_unique<CalculationStrategy<float>>(CalcMethod::kGauss));
+}
+
+inline FilterOutput<float> run_baseline(
+    const KalmanModel<float>& model,
+    const std::vector<Vector<float>>& measurements) {
+  return make_baseline_filter(model).run(measurements);
+}
+
+}  // namespace kalmmind::kalman

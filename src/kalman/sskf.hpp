@@ -1,0 +1,142 @@
+// Steady-State Kalman Filter (Malik et al., TNSRE 2010).
+//
+// With a constant model (F, Q, H, R) the covariance recursion converges to
+// a fixed point of the discrete algebraic Riccati equation; the Kalman gain
+// converges with it.  The SSKF precomputes that steady-state gain offline
+// and runs the online filter with a constant K — eliminating `compute K`
+// (and the matrix inverse) entirely, which is why the SSKF accelerator is
+// the energy-efficiency winner (and accuracy loser) of Table III / Fig. 6.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "kalman/filter.hpp"
+#include "kalman/model.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::kalman {
+
+// Converged quantities of the covariance recursion.
+template <typename T>
+struct SteadyState {
+  Matrix<T> k;       // steady-state Kalman gain       (x_dim x z_dim)
+  Matrix<T> s;       // steady-state innovation cov.   (z_dim x z_dim)
+  Matrix<T> s_inv;   // its exact inverse
+  Matrix<T> p_pred;  // steady-state predicted covariance (x_dim x x_dim)
+  std::size_t iterations = 0;  // recursion steps until convergence
+};
+
+// Iterate the (data-independent) covariance recursion until the gain
+// stops moving: ||K_n - K_{n-1}||_F < tol * max(1, ||K_n||_F).
+template <typename T>
+SteadyState<T> solve_steady_state(const KalmanModel<T>& model,
+                                  double tol = 1e-12,
+                                  std::size_t max_iterations = 10000) {
+  model.validate();
+  Matrix<T> p = model.p0;
+  Matrix<T> k_prev;
+  SteadyState<T> out;
+
+  for (std::size_t n = 0; n < max_iterations; ++n) {
+    // Predict covariance.
+    Matrix<T> fp, p_pred;
+    linalg::multiply_into(fp, model.f, p);
+    linalg::multiply_bt_into(p_pred, fp, model.f);
+    p_pred += model.q;
+
+    // Gain.
+    Matrix<T> hp, s;
+    linalg::multiply_into(hp, model.h, p_pred);
+    linalg::multiply_bt_into(s, hp, model.h);
+    s += model.r;
+    Matrix<T> s_inv = linalg::invert_lu(s);
+    Matrix<T> pht;
+    linalg::multiply_bt_into(pht, p_pred, model.h);
+    Matrix<T> k;
+    linalg::multiply_into(k, pht, s_inv);
+
+    // Update covariance.
+    Matrix<T> kh;
+    linalg::multiply_into(kh, k, model.h);
+    Matrix<T> i_minus_kh = linalg::identity_minus(kh);
+    linalg::multiply_into(p, i_minus_kh, p_pred);
+
+    if (n > 0) {
+      Matrix<T> dk = k;
+      dk -= k_prev;
+      const double knorm = linalg::frobenius_norm(k);
+      if (linalg::frobenius_norm(dk) < tol * std::max(1.0, knorm)) {
+        out.k = std::move(k);
+        out.s = std::move(s);
+        out.s_inv = std::move(s_inv);
+        out.p_pred = std::move(p_pred);
+        out.iterations = n + 1;
+        return out;
+      }
+    }
+    k_prev = k;
+  }
+  throw std::runtime_error("solve_steady_state: no convergence after " +
+                           std::to_string(max_iterations) + " iterations");
+}
+
+// Online SSKF: constant gain, no covariance update, no inversion.
+template <typename T>
+class ConstantGainFilter {
+ public:
+  ConstantGainFilter(KalmanModel<T> model, Matrix<T> gain)
+      : model_(std::move(model)), k_(std::move(gain)) {
+    model_.validate();
+    if (k_.rows() != model_.x_dim() || k_.cols() != model_.z_dim()) {
+      throw std::invalid_argument("ConstantGainFilter: bad gain shape");
+    }
+    reset();
+  }
+
+  void reset() { x_ = model_.x0; }
+
+  const Vector<T>& step(const Vector<T>& z) {
+    if (z.size() != model_.z_dim()) {
+      throw std::invalid_argument("ConstantGainFilter::step: bad z size");
+    }
+    Vector<T> x_pred;
+    linalg::multiply_into(x_pred, model_.f, x_);
+    Vector<T> hx;
+    linalg::multiply_into(hx, model_.h, x_pred);
+    Vector<T> innovation = z;
+    innovation -= hx;
+    Vector<T> correction;
+    linalg::multiply_into(correction, k_, innovation);
+    x_ = x_pred;
+    x_ += correction;
+    return x_;
+  }
+
+  FilterOutput<T> run(const std::vector<Vector<T>>& measurements) {
+    reset();
+    FilterOutput<T> out;
+    out.states.reserve(measurements.size());
+    out.events.reserve(measurements.size());
+    for (const auto& z : measurements) {
+      out.states.push_back(step(z));
+      out.events.push_back({InversePath::kNone, 0});
+    }
+    return out;
+  }
+
+  const Vector<T>& state() const { return x_; }
+  const Matrix<T>& gain() const { return k_; }
+  const KalmanModel<T>& model() const { return model_; }
+
+ private:
+  KalmanModel<T> model_;
+  Matrix<T> k_;
+  Vector<T> x_;
+};
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,54 @@
+// Pluggable innovation-covariance inversion — the "compute K" module of the
+// reorganized KF (Fig. 1 / Fig. 3b).  Each strategy receives S_n and the KF
+// iteration index and returns (an approximation of) S_n^{-1}.
+//
+// Stateful strategies (Newton seed propagation, interleaving, LITE) keep
+// their state between calls; reset() returns them to the first-iteration
+// state so one object can be reused across runs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::kalman {
+
+using linalg::Matrix;
+
+// Which of the two accelerator datapaths (Fig. 3b) an inversion used.
+// The latency model charges different cycle costs per path.
+enum class InversePath {
+  kCalculation,    // path A: Gauss / Cholesky / QR / preloaded constant
+  kApproximation,  // path B: Newton MAC array
+  kNone,           // no inversion ran at all (constant-K SSKF)
+};
+
+// Telemetry for one inversion, consumed by the HLS latency model and the
+// benchmarks.
+struct InverseEvent {
+  InversePath path = InversePath::kNone;
+  std::size_t newton_iterations = 0;  // internal iterations on path B
+};
+
+template <typename T>
+class InverseStrategy {
+ public:
+  virtual ~InverseStrategy() = default;
+
+  // Invert S for KF iteration `kf_iteration` (0-based).
+  virtual Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) = 0;
+
+  // What the last invert() call executed (for cycle accounting).
+  virtual InverseEvent last_event() const = 0;
+
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+template <typename T>
+using InverseStrategyPtr = std::unique_ptr<InverseStrategy<T>>;
+
+}  // namespace kalmmind::kalman

@@ -1,0 +1,93 @@
+// Cholesky factorization for symmetric positive-definite matrices and the
+// SPD inverse built on it.  The innovation covariance S = H P H^t + R is
+// SPD by construction, which is what makes the Cholesky/Newton datapath of
+// Table III legal.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/errors.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::linalg {
+
+// Lower-triangular factor L with A = L * L^t.
+template <typename T>
+Matrix<T> cholesky_factor(const Matrix<T>& a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("cholesky_factor: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix<T> l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      T acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (!(to_double(acc) > 0.0)) {
+          throw NotPositiveDefiniteError(
+              "cholesky_factor: non-positive diagonal at " + std::to_string(i));
+        }
+        l(i, j) = scalar_sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+// Solve A x = b given the Cholesky factor L (A = L L^t).
+template <typename T>
+Vector<T> cholesky_solve(const Matrix<T>& l, const Vector<T>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: size mismatch");
+  }
+  Vector<T> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    y[i] = acc / l(i, i);
+  }
+  Vector<T> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l(j, ii) * x[j];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+// SPD inverse via L^-1: A^-1 = L^-t * L^-1.  Exploits symmetry: only the
+// lower triangle is computed, then mirrored.
+template <typename T>
+Matrix<T> invert_cholesky(const Matrix<T>& a) {
+  const std::size_t n = a.rows();
+  Matrix<T> l = cholesky_factor(a);
+
+  // Invert the lower-triangular factor in place into `linv`.
+  Matrix<T> linv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    linv(i, i) = T(1) / l(i, i);
+    for (std::size_t j = 0; j < i; ++j) {
+      T acc = T(0);
+      for (std::size_t k = j; k < i; ++k) acc -= l(i, k) * linv(k, j);
+      linv(i, j) = acc / l(i, i);
+    }
+  }
+
+  // A^-1 = L^-t L^-1 ; entry (i,j) = sum_k linv(k,i)*linv(k,j), k >= max(i,j).
+  Matrix<T> inv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      T acc = T(0);
+      for (std::size_t k = i; k < n; ++k) acc += linv(k, i) * linv(k, j);
+      inv(i, j) = acc;
+      inv(j, i) = acc;
+    }
+  }
+  return inv;
+}
+
+}  // namespace kalmmind::linalg

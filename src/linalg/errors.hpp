@@ -1,0 +1,21 @@
+// Error types thrown by the factorization / inversion routines.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace kalmmind::linalg {
+
+class SingularMatrixError : public std::domain_error {
+ public:
+  explicit SingularMatrixError(const std::string& what)
+      : std::domain_error(what) {}
+};
+
+class NotPositiveDefiniteError : public std::domain_error {
+ public:
+  explicit NotPositiveDefiniteError(const std::string& what)
+      : std::domain_error(what) {}
+};
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,124 @@
+// Gauss-Jordan matrix inversion with partial pivoting — the paper's
+// *calculation* workhorse ("Gauss", Higham 2011) and, in float32, the
+// baseline every accelerator is compared against.
+//
+// The elimination mirrors the refactored HLS path A of the accelerator:
+// one pass per pivot, inner row updates fully vectorizable, divisions only
+// on the pivot row (those divisions are the float32 error source that the
+// Newton path is able to repair — Section V of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/errors.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::linalg {
+
+// Invert `a` in place into the returned matrix using Gauss-Jordan with
+// partial pivoting. Throws SingularMatrixError if a pivot underflows the
+// scalar's pivot floor.
+template <typename T>
+Matrix<T> invert_gauss(Matrix<T> a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("invert_gauss: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix<T> inv = Matrix<T>::identity(n);
+  const T floor = ScalarTraits<T>::pivot_floor();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: find the largest magnitude entry on/below the diagonal.
+    std::size_t pivot_row = col;
+    T best = scalar_abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T mag = scalar_abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (!(best > floor)) {
+      throw SingularMatrixError("invert_gauss: singular pivot at column " +
+                                std::to_string(col));
+    }
+    if (pivot_row != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(col, j), a(pivot_row, j));
+        std::swap(inv(col, j), inv(pivot_row, j));
+      }
+    }
+
+    // Normalize the pivot row (the float divisions the paper talks about).
+    const T pivot = a(col, col);
+    T* arow = a.row(col);
+    T* irow = inv.row(col);
+    for (std::size_t j = 0; j < n; ++j) {
+      arow[j] = arow[j] / pivot;
+      irow[j] = irow[j] / pivot;
+    }
+
+    // Eliminate the column from every other row.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const T factor = a(r, col);
+      if (factor == T(0)) continue;
+      T* ar = a.row(r);
+      T* ir = inv.row(r);
+      for (std::size_t j = 0; j < n; ++j) {
+        ar[j] -= factor * arow[j];
+        ir[j] -= factor * irow[j];
+      }
+    }
+  }
+  return inv;
+}
+
+// Solve a*x = b by Gaussian elimination with partial pivoting (no full
+// inverse). Used by tests and by the software-baseline timing models.
+template <typename T>
+Vector<T> solve_gauss(Matrix<T> a, Vector<T> b) {
+  if (!a.is_square() || a.rows() != b.size()) {
+    throw std::invalid_argument("solve_gauss: dimension mismatch");
+  }
+  const std::size_t n = a.rows();
+  const T floor = ScalarTraits<T>::pivot_floor();
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot_row = col;
+    T best = scalar_abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T mag = scalar_abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (!(best > floor)) {
+      throw SingularMatrixError("solve_gauss: singular pivot at column " +
+                                std::to_string(col));
+    }
+    if (pivot_row != col) {
+      for (std::size_t j = col; j < n; ++j) std::swap(a(col, j), a(pivot_row, j));
+      std::swap(b[col], b[pivot_row]);
+    }
+    const T pivot = a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T factor = a(r, col) / pivot;
+      if (factor == T(0)) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  Vector<T> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    T acc = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= a(ii, j) * x[j];
+    x[ii] = acc / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,26 @@
+// Anchor TU for the (mostly header-only) linalg library; also hosts
+// explicit instantiations of the hot kernels for the common scalar types so
+// downstream TUs link against one optimized copy.
+#include "linalg/linalg.hpp"
+
+namespace kalmmind::linalg {
+
+template class Matrix<float>;
+template class Matrix<double>;
+template class Vector<float>;
+template class Vector<double>;
+
+template void multiply_into<float>(Matrix<float>&, const Matrix<float>&,
+                                   const Matrix<float>&);
+template void multiply_into<double>(Matrix<double>&, const Matrix<double>&,
+                                    const Matrix<double>&);
+template void two_i_minus_product_into<float>(Matrix<float>&,
+                                              const Matrix<float>&,
+                                              const Matrix<float>&);
+template void two_i_minus_product_into<double>(Matrix<double>&,
+                                               const Matrix<double>&,
+                                               const Matrix<double>&);
+template Matrix<float> invert_gauss<float>(Matrix<float>);
+template Matrix<double> invert_gauss<double>(Matrix<double>);
+
+}  // namespace kalmmind::linalg

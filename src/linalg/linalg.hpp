@@ -1,0 +1,14 @@
+// Umbrella header for the linear-algebra substrate.
+#pragma once
+
+#include "linalg/cholesky.hpp"
+#include "linalg/errors.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/newton.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random.hpp"
+#include "linalg/scalar.hpp"

@@ -1,0 +1,116 @@
+// LU factorization with partial pivoting, plus solve and inverse built on
+// it.  This is the "NumPy reference" method of the paper: the float64
+// reference Kalman filter inverts S via LU (like numpy.linalg.inv).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "linalg/errors.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::linalg {
+
+// Compact LU decomposition: P*A = L*U with L unit-lower stored below the
+// diagonal of `lu` and U on/above it; `perm[i]` gives the source row of
+// pivoted row i.
+template <typename T>
+struct LuDecomposition {
+  Matrix<T> lu;
+  std::vector<std::size_t> perm;
+  int sign = 1;  // permutation parity; used by determinant()
+
+  std::size_t dim() const { return lu.rows(); }
+
+  // Solve A x = b using the stored factors.
+  Vector<T> solve(const Vector<T>& b) const {
+    const std::size_t n = dim();
+    if (b.size() != n) {
+      throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    }
+    Vector<T> y(n);
+    // Forward substitution with permutation applied: L y = P b.
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu(i, j) * y[j];
+      y[i] = acc;
+    }
+    // Back substitution: U x = y.
+    Vector<T> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= lu(ii, j) * x[j];
+      x[ii] = acc / lu(ii, ii);
+    }
+    return x;
+  }
+
+  Matrix<T> inverse() const {
+    const std::size_t n = dim();
+    Matrix<T> inv(n, n);
+    Vector<T> e(n);
+    for (std::size_t col = 0; col < n; ++col) {
+      e.fill(T(0));
+      e[col] = T(1);
+      Vector<T> x = solve(e);
+      for (std::size_t i = 0; i < n; ++i) inv(i, col) = x[i];
+    }
+    return inv;
+  }
+
+  T determinant() const {
+    T det = sign >= 0 ? T(1) : T(-1);
+    for (std::size_t i = 0; i < dim(); ++i) det *= lu(i, i);
+    return det;
+  }
+};
+
+template <typename T>
+LuDecomposition<T> lu_decompose(Matrix<T> a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("lu_decompose: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  const T floor = ScalarTraits<T>::pivot_floor();
+  LuDecomposition<T> out;
+  out.perm.resize(n);
+  std::iota(out.perm.begin(), out.perm.end(), std::size_t{0});
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot_row = col;
+    T best = scalar_abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T mag = scalar_abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (!(best > floor)) {
+      throw SingularMatrixError("lu_decompose: singular pivot at column " +
+                                std::to_string(col));
+    }
+    if (pivot_row != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot_row, j));
+      std::swap(out.perm[col], out.perm[pivot_row]);
+      out.sign = -out.sign;
+    }
+    const T pivot = a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const T factor = a(r, col) / pivot;
+      a(r, col) = factor;  // store L below the diagonal
+      if (factor == T(0)) continue;
+      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+    }
+  }
+  out.lu = std::move(a);
+  return out;
+}
+
+template <typename T>
+Matrix<T> invert_lu(const Matrix<T>& a) {
+  return lu_decompose(a).inverse();
+}
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,246 @@
+// Dense row-major matrix and vector types used across the whole project.
+//
+// The types are deliberately simple value types (Core Guidelines C.10):
+// dynamic shape, contiguous storage, checked accessors in debug builds and
+// unchecked operator() on the hot paths.  All heavy kernels live in
+// linalg/ops.hpp so this header stays cheap to include.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/scalar.hpp"
+
+namespace kalmmind::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+
+  Matrix(std::size_t rows, std::size_t cols, T fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  // Row-major brace construction:  Matrix<double> m(2, 2, {1, 2, 3, 4});
+  Matrix(std::size_t rows, std::size_t cols, std::initializer_list<T> init)
+      : rows_(rows), cols_(cols), data_(init) {
+    if (data_.size() != rows * cols) {
+      throw std::invalid_argument("Matrix initializer size mismatch: got " +
+                                  std::to_string(data_.size()) + ", want " +
+                                  std::to_string(rows * cols));
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T(1);
+    return m;
+  }
+
+  static Matrix constant(std::size_t rows, std::size_t cols, T value) {
+    return Matrix(rows, cols, value);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool is_square() const { return rows_ == cols_; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T* row(std::size_t i) { return data_.data() + i * cols_; }
+  const T* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  // Bounds-checked access for non-hot paths.
+  T& at(std::size_t i, std::size_t j) {
+    check_index(i, j);
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    check_index(i, j);
+    return data_[i * cols_ + j];
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T(0));
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  // Element-wise arithmetic. Shape mismatches are programming errors, so
+  // they throw (they are cheap to check and easy to hit when composing
+  // filter variants).
+  Matrix& operator+=(const Matrix& other) {
+    require_same_shape(other, "+=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& other) {
+    require_same_shape(other, "-=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(T scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, T scalar) { return lhs *= scalar; }
+  friend Matrix operator*(T scalar, Matrix rhs) { return rhs *= scalar; }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  // Lossy element-wise conversion between scalar types (e.g. double model
+  // matrices -> float32 accelerator PLM contents).
+  template <typename U>
+  Matrix<U> cast() const {
+    Matrix<U> out(rows_, cols_);
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+      out.data()[k] = static_cast<U>(ScalarTraits<T>::to_double(data_[k]));
+    }
+    return out;
+  }
+
+ private:
+  void check_index(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+      throw std::out_of_range("Matrix index (" + std::to_string(i) + "," +
+                              std::to_string(j) + ") out of range for " +
+                              std::to_string(rows_) + "x" +
+                              std::to_string(cols_));
+    }
+  }
+  void require_same_shape(const Matrix& other, const char* op) const {
+    if (!same_shape(other)) {
+      throw std::invalid_argument(std::string("Matrix shape mismatch in ") +
+                                  op);
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+class Vector {
+ public:
+  using value_type = T;
+
+  Vector() = default;
+  explicit Vector(std::size_t n) : data_(n, T(0)) {}
+  Vector(std::size_t n, T fill) : data_(n, fill) {}
+  Vector(std::initializer_list<T> init) : data_(init) {}
+  explicit Vector(std::vector<T> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::size_t i) {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  T& at(std::size_t i) { return data_.at(i); }
+  const T& at(std::size_t i) const { return data_.at(i); }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+  void resize(std::size_t n) { data_.assign(n, T(0)); }
+
+  const std::vector<T>& values() const { return data_; }
+
+  Vector& operator+=(const Vector& other) {
+    require_same_size(other, "+=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+    return *this;
+  }
+  Vector& operator-=(const Vector& other) {
+    require_same_size(other, "-=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+    return *this;
+  }
+  Vector& operator*=(T scalar) {
+    for (auto& v : data_) v *= scalar;
+    return *this;
+  }
+
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, T scalar) { return lhs *= scalar; }
+  friend Vector operator*(T scalar, Vector rhs) { return rhs *= scalar; }
+
+  friend bool operator==(const Vector& a, const Vector& b) {
+    return a.data_ == b.data_;
+  }
+
+  template <typename U>
+  Vector<U> cast() const {
+    Vector<U> out(data_.size());
+    for (std::size_t k = 0; k < data_.size(); ++k) {
+      out[k] = static_cast<U>(ScalarTraits<T>::to_double(data_[k]));
+    }
+    return out;
+  }
+
+ private:
+  void require_same_size(const Vector& other, const char* op) const {
+    if (data_.size() != other.data_.size()) {
+      throw std::invalid_argument(std::string("Vector size mismatch in ") +
+                                  op);
+    }
+  }
+
+  std::vector<T> data_;
+};
+
+using MatrixF = Matrix<float>;
+using MatrixD = Matrix<double>;
+using VectorF = Vector<float>;
+using VectorD = Vector<double>;
+
+}  // namespace kalmmind::linalg

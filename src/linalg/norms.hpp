@@ -1,0 +1,116 @@
+// Matrix and vector norms plus the Newton-seed admissibility check from
+// eq. (3) of the paper:  ||I - A*V0||_2 < 1.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::linalg {
+
+// Maximum absolute column sum.
+template <typename T>
+double one_norm(const Matrix<T>& m) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      sum += std::fabs(to_double(m(i, j)));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+// Maximum absolute row sum.
+template <typename T>
+double inf_norm(const Matrix<T>& m) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      sum += std::fabs(to_double(m(i, j)));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+template <typename T>
+double frobenius_norm(const Matrix<T>& m) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const double v = to_double(m(i, j));
+      sum += v * v;
+    }
+  return std::sqrt(sum);
+}
+
+template <typename T>
+double max_abs(const Matrix<T>& m) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      best = std::max(best, std::fabs(to_double(m(i, j))));
+  return best;
+}
+
+template <typename T>
+double two_norm(const Vector<T>& v) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double x = to_double(v[i]);
+    sum += x * x;
+  }
+  return std::sqrt(sum);
+}
+
+// Spectral-norm estimate by power iteration on M^t M.  Exact enough for the
+// eq. (3) convergence predicate; `iters` trades accuracy for time.
+template <typename T>
+double two_norm_estimate(const Matrix<T>& m, int iters = 30) {
+  if (m.empty()) return 0.0;
+  Matrix<double> md = m.template cast<double>();
+  Vector<double> x(md.cols(), 1.0);
+  double norm = 0.0;
+  Vector<double> y, z;
+  for (int it = 0; it < iters; ++it) {
+    multiply_into(y, md, x);                       // y = M x
+    Matrix<double> mt = md.transposed();
+    multiply_into(z, mt, y);                       // z = M^t M x
+    norm = two_norm(z);
+    if (norm == 0.0) return 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) x[i] = z[i] / norm;
+  }
+  // ||M||_2^2 is the dominant eigenvalue of M^t M.
+  multiply_into(y, md, x);
+  return two_norm(y);
+}
+
+// Residual ||I - A*V||_F: 0 for an exact inverse, and the quantity Newton
+// squares at every internal iteration.
+template <typename T>
+double inverse_residual(const Matrix<T>& a, const Matrix<T>& v) {
+  Matrix<T> av;
+  multiply_into(av, a, v);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < av.rows(); ++i)
+    for (std::size_t j = 0; j < av.cols(); ++j) {
+      const double want = (i == j) ? 1.0 : 0.0;
+      const double diff = want - to_double(av(i, j));
+      sum += diff * diff;
+    }
+  return std::sqrt(sum);
+}
+
+// Eq. (3): the Newton iteration converges iff ||I - A*V0||_2 < 1.
+template <typename T>
+bool newton_seed_admissible(const Matrix<T>& a, const Matrix<T>& v0) {
+  Matrix<T> av;
+  multiply_into(av, a, v0);
+  Matrix<T> residual = identity_minus(av);
+  return two_norm_estimate(residual) < 1.0;
+}
+
+}  // namespace kalmmind::linalg

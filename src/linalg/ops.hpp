@@ -1,0 +1,181 @@
+// Dense kernels: matrix multiply (plain / transposed variants), mat-vec,
+// and small helpers.  The i-k-j loop order keeps the inner loop contiguous
+// in both operands, which is what makes the z=164 sweeps in the benchmarks
+// tractable without an external BLAS.
+#pragma once
+
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::linalg {
+
+namespace detail {
+inline void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+}  // namespace detail
+
+// C = A * B
+template <typename T>
+void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.cols() == b.rows(), "multiply_into: inner dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_into: aliasing output");
+  c.resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    T* ci = c.row(i);
+    const T* ai = a.row(i);
+    for (std::size_t p = 0; p < k; ++p) {
+      const T aip = ai[p];
+      const T* bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+template <typename T>
+Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  multiply_into(c, a, b);
+  return c;
+}
+
+// C = A * B^t  (keeps B row-major friendly: inner loop runs along B's rows)
+template <typename T>
+void multiply_bt_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.cols() == b.cols(), "multiply_bt_into: dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_bt_into: aliasing output");
+  c.resize(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const T* ai = a.row(i);
+    T* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const T* bj = b.row(j);
+      T acc = T(0);
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+template <typename T>
+Matrix<T> multiply_bt(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  multiply_bt_into(c, a, b);
+  return c;
+}
+
+// C = A^t * B
+template <typename T>
+void multiply_at_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.rows() == b.rows(), "multiply_at_into: dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_at_into: aliasing output");
+  c.resize(a.cols(), b.cols());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const T* ap = a.row(p);
+    const T* bp = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      T* ci = c.row(i);
+      const T api = ap[i];
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+template <typename T>
+Matrix<T> multiply_at(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  multiply_at_into(c, a, b);
+  return c;
+}
+
+// y = A * x
+template <typename T>
+void multiply_into(Vector<T>& y, const Matrix<T>& a, const Vector<T>& x) {
+  detail::require(a.cols() == x.size(), "matvec: dim mismatch");
+  detail::require(&y != &x, "matvec: aliasing output");
+  y.resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* ai = a.row(i);
+    T acc = T(0);
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+template <typename T>
+Vector<T> multiply(const Matrix<T>& a, const Vector<T>& x) {
+  Vector<T> y;
+  multiply_into(y, a, x);
+  return y;
+}
+
+template <typename T>
+T dot(const Vector<T>& a, const Vector<T>& b) {
+  detail::require(a.size() == b.size(), "dot: size mismatch");
+  T acc = T(0);
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// B = 2*I - A*V   (the Newton-iteration kernel, fused to avoid a temporary)
+template <typename T>
+void two_i_minus_product_into(Matrix<T>& out, const Matrix<T>& a,
+                              const Matrix<T>& v) {
+  detail::require(a.is_square() && v.is_square() && a.rows() == v.rows(),
+                  "two_i_minus_product_into: need square same-size matrices");
+  detail::require(&out != &a && &out != &v,
+                  "two_i_minus_product_into: aliasing output");
+  const std::size_t n = a.rows();
+  out.resize(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    T* oi = out.row(i);
+    const T* ai = a.row(i);
+    for (std::size_t p = 0; p < n; ++p) {
+      const T aip = ai[p];
+      const T* vp = v.row(p);
+      for (std::size_t j = 0; j < n; ++j) oi[j] -= aip * vp[j];
+    }
+    oi[i] += T(2);
+  }
+}
+
+// Symmetrize in place: A = (A + A^t)/2. Covariance updates drift from exact
+// symmetry in low precision; the filters re-symmetrize P to stay stable.
+template <typename T>
+void symmetrize(Matrix<T>& a) {
+  detail::require(a.is_square(), "symmetrize: need square matrix");
+  const T half = ScalarTraits<T>::from_double(0.5);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const T avg = (a(i, j) + a(j, i)) * half;
+      a(i, j) = avg;
+      a(j, i) = avg;
+    }
+  }
+}
+
+// out = I - M (square)
+template <typename T>
+Matrix<T> identity_minus(const Matrix<T>& m) {
+  detail::require(m.is_square(), "identity_minus: need square matrix");
+  Matrix<T> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      out(i, j) = (i == j ? T(1) - m(i, j) : T(0) - m(i, j));
+  return out;
+}
+
+// Extract the diagonal as a vector.
+template <typename T>
+Vector<T> diagonal(const Matrix<T>& m) {
+  const std::size_t n = std::min(m.rows(), m.cols());
+  Vector<T> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = m(i, i);
+  return d;
+}
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,127 @@
+// Householder QR decomposition, least-squares solve, and square-matrix
+// inverse (A^-1 = R^-1 Q^t) — the calculation path of the QR/Newton
+// datapath in Table III.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/errors.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::linalg {
+
+template <typename T>
+struct QrDecomposition {
+  Matrix<T> q;  // m x m orthogonal
+  Matrix<T> r;  // m x n upper trapezoidal
+
+  // Solve A x = b in the least-squares sense (exact when A is square and
+  // nonsingular): x = R^-1 (Q^t b) restricted to the first n rows.
+  Vector<T> solve(const Vector<T>& b) const {
+    const std::size_t m = q.rows();
+    const std::size_t n = r.cols();
+    if (b.size() != m) {
+      throw std::invalid_argument("QrDecomposition::solve: size mismatch");
+    }
+    // y = Q^t b
+    Vector<T> y(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc = T(0);
+      for (std::size_t k = 0; k < m; ++k) acc += q(k, i) * b[k];
+      y[i] = acc;
+    }
+    const T floor = ScalarTraits<T>::pivot_floor();
+    Vector<T> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = y[ii];
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= r(ii, j) * x[j];
+      if (!(scalar_abs(r(ii, ii)) > floor)) {
+        throw SingularMatrixError("QrDecomposition::solve: rank deficient");
+      }
+      x[ii] = acc / r(ii, ii);
+    }
+    return x;
+  }
+};
+
+// Householder QR: A (m x n, m >= n) = Q * R.
+template <typename T>
+QrDecomposition<T> qr_decompose(const Matrix<T>& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    throw std::invalid_argument("qr_decompose: need rows >= cols");
+  }
+  Matrix<T> r = a;
+  Matrix<T> q = Matrix<T>::identity(m);
+  Vector<T> v(m);
+
+  for (std::size_t col = 0; col < n && col + 1 < m; ++col) {
+    // Build the Householder vector for column `col`.
+    double norm_sq = 0.0;
+    for (std::size_t i = col; i < m; ++i) {
+      const double x = to_double(r(i, col));
+      norm_sq += x * x;
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm == 0.0) continue;
+
+    const double head = to_double(r(col, col));
+    const double alpha = head >= 0.0 ? -norm : norm;
+    double vnorm_sq = 0.0;
+    for (std::size_t i = col; i < m; ++i) {
+      double vi = to_double(r(i, col));
+      if (i == col) vi -= alpha;
+      v[i] = from_double<T>(vi);
+      vnorm_sq += vi * vi;
+    }
+    if (vnorm_sq == 0.0) continue;
+    const T beta = from_double<T>(2.0 / vnorm_sq);
+
+    // R <- (I - beta v v^t) R, applied to the trailing columns.
+    for (std::size_t j = col; j < n; ++j) {
+      T dot_acc = T(0);
+      for (std::size_t i = col; i < m; ++i) dot_acc += v[i] * r(i, j);
+      const T scale = beta * dot_acc;
+      for (std::size_t i = col; i < m; ++i) r(i, j) -= scale * v[i];
+    }
+    // Q <- Q (I - beta v v^t)  (accumulate reflections on the right).
+    for (std::size_t i = 0; i < m; ++i) {
+      T dot_acc = T(0);
+      for (std::size_t k = col; k < m; ++k) dot_acc += q(i, k) * v[k];
+      const T scale = beta * dot_acc;
+      for (std::size_t k = col; k < m; ++k) q(i, k) -= scale * v[k];
+    }
+  }
+  return {std::move(q), std::move(r)};
+}
+
+// Square inverse via QR: A^-1 = R^-1 * Q^t.
+template <typename T>
+Matrix<T> invert_qr(const Matrix<T>& a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("invert_qr: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  QrDecomposition<T> qr = qr_decompose(a);
+  const T floor = ScalarTraits<T>::pivot_floor();
+
+  // Back-substitute each column of Q^t through R.
+  Matrix<T> inv(n, n);
+  Vector<T> x(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      T acc = qr.q(col, ii);  // (Q^t)(ii, col)
+      for (std::size_t j = ii + 1; j < n; ++j) acc -= qr.r(ii, j) * x[j];
+      if (!(scalar_abs(qr.r(ii, ii)) > floor)) {
+        throw SingularMatrixError("invert_qr: rank deficient");
+      }
+      x[ii] = acc / qr.r(ii, ii);
+    }
+    for (std::size_t i = 0; i < n; ++i) inv(i, col) = x[i];
+  }
+  return inv;
+}
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,62 @@
+// Deterministic random matrix/vector generation used by tests, the neural
+// data generator and the benchmarks.  Everything takes an explicit engine so
+// results are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "linalg/matrix.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::linalg {
+
+using Rng = std::mt19937_64;
+
+template <typename T = double>
+Matrix<T> random_matrix(std::size_t rows, std::size_t cols, Rng& rng,
+                        double lo = -1.0, double hi = 1.0) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  Matrix<T> m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = from_double<T>(dist(rng));
+  return m;
+}
+
+template <typename T = double>
+Vector<T> random_vector(std::size_t n, Rng& rng, double lo = -1.0,
+                        double hi = 1.0) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  Vector<T> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = from_double<T>(dist(rng));
+  return v;
+}
+
+// Random symmetric positive-definite matrix: B B^t + ridge*I.  `ridge`
+// controls conditioning — larger values give better-conditioned matrices
+// (mimicking the strong diagonal the measurement noise R contributes to S).
+template <typename T = double>
+Matrix<T> random_spd(std::size_t n, Rng& rng, double ridge = 0.5) {
+  Matrix<T> b = random_matrix<T>(n, n, rng);
+  Matrix<T> spd;
+  multiply_bt_into(spd, b, b);  // B * B^t, PSD by construction
+  const T r = from_double<T>(ridge);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += r;
+  return spd;
+}
+
+// Random diagonally dominant matrix (the regime IFKF assumes).
+template <typename T = double>
+Matrix<T> random_diag_dominant(std::size_t n, Rng& rng,
+                               double dominance = 2.0) {
+  Matrix<T> m = random_matrix<T>(n, n, rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != i) row_sum += std::fabs(to_double(m(i, j)));
+    m(i, i) = from_double<T>(dominance * (row_sum + 1.0));
+  }
+  return m;
+}
+
+}  // namespace kalmmind::linalg

@@ -1,0 +1,56 @@
+// Scalar abstraction used by every generic linear-algebra routine.
+//
+// The library runs the same algorithms over float, double and the
+// fixed-point types in fixedpoint/fixed.hpp.  ScalarTraits<T> is the single
+// customization point: conversions to/from double, absolute value, square
+// root and a "machine epsilon"-like resolution used for pivot checks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace kalmmind::linalg {
+
+template <typename T>
+struct ScalarTraits {
+  static_assert(std::is_floating_point_v<T>,
+                "Specialize ScalarTraits for non-floating-point scalars");
+
+  static constexpr bool is_fixed_point = false;
+
+  static double to_double(T v) { return static_cast<double>(v); }
+  static T from_double(double v) { return static_cast<T>(v); }
+  static T abs(T v) { return std::fabs(v); }
+  static T sqrt(T v) { return std::sqrt(v); }
+  // Smallest magnitude treated as a usable pivot / divisor.
+  static T pivot_floor() {
+    return static_cast<T>(std::numeric_limits<T>::epsilon() * 64);
+  }
+  static constexpr T zero() { return T(0); }
+  static constexpr T one() { return T(1); }
+};
+
+// Convenience helpers so call sites read naturally.
+template <typename T>
+double to_double(T v) {
+  return ScalarTraits<T>::to_double(v);
+}
+
+template <typename T>
+T from_double(double v) {
+  return ScalarTraits<T>::from_double(v);
+}
+
+template <typename T>
+T scalar_abs(T v) {
+  return ScalarTraits<T>::abs(v);
+}
+
+template <typename T>
+T scalar_sqrt(T v) {
+  return ScalarTraits<T>::sqrt(v);
+}
+
+}  // namespace kalmmind::linalg

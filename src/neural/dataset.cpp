@@ -1,0 +1,101 @@
+#include "neural/dataset.hpp"
+
+#include <stdexcept>
+
+namespace kalmmind::neural {
+
+NeuralDataset build_dataset(const DatasetSpec& spec) {
+  if (spec.train_steps < 2 * spec.encoding.channels) {
+    throw std::invalid_argument(
+        "build_dataset: train_steps must be >= 2 * channels");
+  }
+  linalg::Rng rng(spec.seed);
+
+  // One continuous session, split train | test so the test window starts
+  // where training ended (matching model.x0).
+  const std::size_t total = spec.train_steps + spec.test_steps;
+  std::vector<KinematicState> kin =
+      generate_kinematics(spec.kinematics, total, rng);
+  PopulationEncoder encoder = make_encoder(spec.encoding, rng);
+  std::vector<Vector<double>> obs = encoder.encode(kin, rng);
+
+  // Mean-center the observations per channel (means estimated on the
+  // training split only, applied to both splits).
+  const std::size_t z_dim = spec.encoding.channels;
+  Vector<double> means(z_dim);
+  for (std::size_t n = 0; n < spec.train_steps; ++n)
+    for (std::size_t j = 0; j < z_dim; ++j) means[j] += obs[n][j];
+  for (std::size_t j = 0; j < z_dim; ++j) means[j] /= double(spec.train_steps);
+  for (auto& z : obs)
+    for (std::size_t j = 0; j < z_dim; ++j) z[j] -= means[j];
+
+  std::vector<KinematicState> train_kin(kin.begin(),
+                                        kin.begin() + spec.train_steps);
+  std::vector<Vector<double>> train_obs(obs.begin(),
+                                        obs.begin() + spec.train_steps);
+
+  NeuralDataset ds;
+  ds.spec = spec;
+  ds.channel_means = std::move(means);
+  ds.model = train_kalman_model(stack_states(train_kin),
+                                stack_observations(train_obs), spec.training);
+  ds.test_kinematics.assign(kin.begin() + spec.train_steps, kin.end());
+  ds.test_measurements.assign(obs.begin() + spec.train_steps, obs.end());
+  return ds;
+}
+
+DatasetSpec motor_spec() {
+  DatasetSpec spec;
+  spec.name = "motor";
+  spec.seed = 2025;
+  spec.encoding.channels = 164;
+  spec.encoding.tuning = TuningKind::kVelocity;
+  spec.encoding.modulation_depth = 1.2;
+  spec.encoding.noise_std = 1.2;
+  spec.encoding.independent_noise_std = 3.0;
+  spec.encoding.spatial_corr_length = 3.0;
+  spec.encoding.temporal_corr = 0.5;
+  spec.train_steps = 2000;
+  return spec;
+}
+
+DatasetSpec somatosensory_spec() {
+  DatasetSpec spec;
+  spec.name = "somatosensory";
+  spec.seed = 7042;
+  spec.encoding.channels = 52;
+  spec.encoding.tuning = TuningKind::kVelocity;
+  // Somatosensory responses lag and are noisier per channel.
+  spec.encoding.modulation_depth = 1.0;
+  spec.encoding.noise_std = 1.5;
+  spec.encoding.independent_noise_std = 3.2;
+  spec.encoding.spatial_corr_length = 2.5;
+  spec.encoding.temporal_corr = 0.6;
+  spec.train_steps = 1500;
+  return spec;
+}
+
+DatasetSpec hippocampus_spec() {
+  DatasetSpec spec;
+  spec.name = "hippocampus";
+  spec.seed = 5150;
+  spec.encoding.channels = 46;
+  spec.encoding.tuning = TuningKind::kPosition;
+  // Open-field foraging: slower kinematics, longer holds.
+  spec.kinematics.spring = 3.0;
+  spec.kinematics.damping = 2.5;
+  spec.kinematics.hold_steps = 45;
+  spec.encoding.modulation_depth = 0.9;
+  spec.encoding.noise_std = 1.6;
+  spec.encoding.independent_noise_std = 3.6;
+  spec.encoding.spatial_corr_length = 2.0;
+  spec.encoding.temporal_corr = 0.7;
+  spec.train_steps = 1500;
+  return spec;
+}
+
+std::vector<DatasetSpec> all_dataset_specs() {
+  return {motor_spec(), somatosensory_spec(), hippocampus_spec()};
+}
+
+}  // namespace kalmmind::neural

@@ -1,0 +1,58 @@
+// Dataset presets and the end-to-end pipeline:
+//   kinematics -> population encoding -> train/test split -> trained KF model
+//
+// The three presets mirror the paper's evaluation datasets:
+//   motor          NHP motor cortex,        z = 164, velocity tuning
+//   somatosensory  NHP somatosensory ctx.,  z =  52, velocity tuning
+//   hippocampus    rat hippocampus,         z =  46, position tuning
+// (See DESIGN.md for the substitution rationale.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kalman/model.hpp"
+#include "neural/encoding.hpp"
+#include "neural/kinematics.hpp"
+#include "neural/training.hpp"
+
+namespace kalmmind::neural {
+
+struct DatasetSpec {
+  std::string name;
+  KinematicsConfig kinematics;
+  EncodingConfig encoding;
+  std::size_t train_steps = 2000;
+  std::size_t test_steps = 100;  // the paper runs 100 KF iterations
+  std::uint64_t seed = 1;
+  TrainingOptions training;
+
+  std::size_t x_dim() const { return kStateDim; }
+  std::size_t z_dim() const { return encoding.channels; }
+};
+
+// A fully materialized dataset: the trained model plus the held-out test
+// window the filters decode.
+struct NeuralDataset {
+  DatasetSpec spec;
+  kalman::KalmanModel<double> model;
+  std::vector<Vector<double>> test_measurements;   // z_n per iteration
+  std::vector<KinematicState> test_kinematics;     // ground truth (examples)
+  // Per-channel means subtracted from every measurement (the standard
+  // preprocessing of Wu/Glaser: without it the baseline firing rate leaks
+  // into R and destroys the conditioning of S).
+  Vector<double> channel_means;
+};
+
+// Deterministically build a dataset from its spec (same spec + seed =>
+// identical dataset).
+NeuralDataset build_dataset(const DatasetSpec& spec);
+
+// The paper's three evaluation datasets.
+DatasetSpec motor_spec();
+DatasetSpec somatosensory_spec();
+DatasetSpec hippocampus_spec();
+std::vector<DatasetSpec> all_dataset_specs();
+
+}  // namespace kalmmind::neural

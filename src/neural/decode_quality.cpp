@@ -1,0 +1,72 @@
+#include "neural/decode_quality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kalmmind::neural {
+
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) {
+    throw std::invalid_argument(
+        "pearson_correlation: need two equally sized sequences (n >= 2)");
+  }
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= double(a.size());
+  mb /= double(b.size());
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  const double denom = std::sqrt(va * vb);
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+DecodeQuality assess_decode(
+    const std::vector<linalg::Vector<double>>& decoded,
+    const std::vector<KinematicState>& truth) {
+  if (decoded.size() != truth.size() || decoded.size() < 2) {
+    throw std::invalid_argument(
+        "assess_decode: trajectories must have equal length >= 2");
+  }
+  const std::size_t n = decoded.size();
+  auto column = [&](const auto& seq, std::size_t dim) {
+    std::vector<double> out(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      if (seq[t].size() != kStateDim) {
+        throw std::invalid_argument("assess_decode: bad state dimension");
+      }
+      out[t] = seq[t][dim];
+    }
+    return out;
+  };
+
+  DecodeQuality q;
+  q.position_correlation =
+      0.5 * (pearson_correlation(column(decoded, 0), column(truth, 0)) +
+             pearson_correlation(column(decoded, 1), column(truth, 1)));
+  q.velocity_correlation =
+      0.5 * (pearson_correlation(column(decoded, 2), column(truth, 2)) +
+             pearson_correlation(column(decoded, 3), column(truth, 3)));
+
+  double se = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t dim : {2u, 3u}) {
+      const double err = decoded[t][dim] - truth[t][dim];
+      se += err * err;
+    }
+  }
+  q.velocity_rmse = std::sqrt(se / double(2 * n));
+  return q;
+}
+
+}  // namespace kalmmind::neural

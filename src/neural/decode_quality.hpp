@@ -1,0 +1,32 @@
+// Decode-quality metrics against ground-truth kinematics (Pearson
+// correlation per kinematic dimension — the standard BCI decoding score,
+// e.g. Glaser et al.'s comparisons).  Distinct from core/metrics.hpp,
+// which scores *numerical fidelity* against the float64 reference filter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "neural/kinematics.hpp"
+
+namespace kalmmind::neural {
+
+// Pearson correlation between two equally long sequences.
+double pearson_correlation(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+struct DecodeQuality {
+  double position_correlation = 0.0;  // mean of px, py correlations
+  double velocity_correlation = 0.0;  // mean of vx, vy correlations
+  double velocity_rmse = 0.0;
+};
+
+// Score a decoded state trajectory against the true kinematics.  Both
+// sequences must have the same length; states must be 6-dimensional
+// (px py vx vy ax ay).
+DecodeQuality assess_decode(
+    const std::vector<linalg::Vector<double>>& decoded,
+    const std::vector<KinematicState>& truth);
+
+}  // namespace kalmmind::neural

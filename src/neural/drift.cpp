@@ -1,0 +1,38 @@
+#include "neural/drift.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kalmmind::neural {
+
+std::vector<Vector<double>> encode_with_drift(
+    const PopulationEncoder& encoder, const DriftConfig& drift,
+    const std::vector<KinematicState>& kinematics, linalg::Rng& rng) {
+  PopulationEncoder drifting = encoder;
+  std::vector<Vector<double>> out;
+  out.reserve(kinematics.size());
+  Vector<double> noise_state(encoder.config.channels);
+
+  double angle = 0.0;
+  double gain = 1.0;
+  for (std::size_t n = 0; n < kinematics.size(); ++n) {
+    // Rotate the (vx, vy) and (px, py) tuning planes of every channel and
+    // apply the gain drift.  Rebuilding from the pristine encoder keeps
+    // the rotation exact (no accumulation error).
+    const double c = std::cos(angle), s = std::sin(angle);
+    for (std::size_t i = 0; i < encoder.config.channels; ++i) {
+      for (std::size_t pair : {0u, 2u, 4u}) {
+        const double a = encoder.tuning_matrix(i, pair);
+        const double b = encoder.tuning_matrix(i, pair + 1);
+        drifting.tuning_matrix(i, pair) = gain * (c * a - s * b);
+        drifting.tuning_matrix(i, pair + 1) = gain * (s * a + c * b);
+      }
+    }
+    out.push_back(drifting.encode_one(kinematics[n], noise_state, rng));
+    angle += drift.rotation_per_step;
+    gain *= drift.gain_decay_per_step;
+  }
+  return out;
+}
+
+}  // namespace kalmmind::neural

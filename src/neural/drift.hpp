@@ -1,0 +1,31 @@
+// Non-stationary neural recordings.
+//
+// Real BCI sessions drift: electrodes move, units appear/disappear, tuning
+// rotates (the reason closed-loop decoders retrain the KF model online —
+// Degenhart 2020, Gilja 2012, discussed in Section VI of the paper).  This
+// module wraps a PopulationEncoder with a slow rotation of every channel's
+// preferred direction plus a gain drift, producing test measurements whose
+// generating model moves away from the trained one at a controlled rate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "neural/encoding.hpp"
+
+namespace kalmmind::neural {
+
+struct DriftConfig {
+  // Radians of preferred-direction rotation per time step.
+  double rotation_per_step = 0.002;
+  // Multiplicative gain change per step (1.0 = none).
+  double gain_decay_per_step = 0.9995;
+};
+
+// Encode a kinematic trajectory with a drifting copy of `encoder`.
+// Step n sees tuning rotated by n*rotation and scaled by gain_decay^n.
+std::vector<Vector<double>> encode_with_drift(
+    const PopulationEncoder& encoder, const DriftConfig& drift,
+    const std::vector<KinematicState>& kinematics, linalg::Rng& rng);
+
+}  // namespace kalmmind::neural

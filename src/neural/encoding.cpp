@@ -1,0 +1,144 @@
+#include "neural/encoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::neural {
+
+namespace {
+
+// Spatial noise covariance: exponential decay with electrode distance on a
+// linear array, sigma^2 * exp(-|i-j| / corr_length), plus a small ridge so
+// the Cholesky factorization is robust.
+Matrix<double> spatial_noise_covariance(const EncodingConfig& c) {
+  const std::size_t z = c.channels;
+  Matrix<double> cov(z, z);
+  const double var = c.noise_std * c.noise_std;
+  const double ind_var = c.independent_noise_std * c.independent_noise_std;
+  for (std::size_t i = 0; i < z; ++i) {
+    for (std::size_t j = 0; j < z; ++j) {
+      if (c.spatial_corr_length <= 0.0) {
+        cov(i, j) = (i == j) ? var : 0.0;
+      } else {
+        const double dist = double(i > j ? i - j : j - i);
+        cov(i, j) = var * std::exp(-dist / c.spatial_corr_length);
+      }
+    }
+    cov(i, i) += ind_var + 1e-9 * var + 1e-12;
+  }
+  return cov;
+}
+
+}  // namespace
+
+PopulationEncoder make_encoder(const EncodingConfig& config,
+                               linalg::Rng& rng) {
+  if (config.channels == 0) {
+    throw std::invalid_argument("make_encoder: need at least one channel");
+  }
+  PopulationEncoder enc;
+  enc.config = config;
+  enc.tuning_matrix.resize(config.channels, kStateDim);
+  enc.baseline.resize(config.channels);
+
+  std::uniform_real_distribution<double> angle(0.0, 2.0 * M_PI);
+  std::normal_distribution<double> gain_jitter(1.0, 0.25);
+  std::uniform_real_distribution<double> place(-10.0, 10.0);
+
+  for (std::size_t i = 0; i < config.channels; ++i) {
+    enc.baseline[i] = config.baseline_rate;
+    const double g = config.modulation_depth * std::fabs(gain_jitter(rng));
+    switch (config.tuning) {
+      case TuningKind::kVelocity: {
+        // Preferred-direction cosine tuning on velocity with a weak
+        // speed/acceleration component (Georgopoulos-style).
+        const double theta = angle(rng);
+        enc.tuning_matrix(i, 2) = g * std::cos(theta);
+        enc.tuning_matrix(i, 3) = g * std::sin(theta);
+        enc.tuning_matrix(i, 4) = 0.15 * g * std::cos(theta);
+        enc.tuning_matrix(i, 5) = 0.15 * g * std::sin(theta);
+        // Weak positional gradient so position is observable too.
+        enc.tuning_matrix(i, 0) = 0.1 * g * std::cos(theta);
+        enc.tuning_matrix(i, 1) = 0.1 * g * std::sin(theta);
+        break;
+      }
+      case TuningKind::kPosition: {
+        // Linearized place tuning: rate grows along a random spatial
+        // gradient (a first-order model of place fields).
+        const double theta = angle(rng);
+        enc.tuning_matrix(i, 0) = g * std::cos(theta);
+        enc.tuning_matrix(i, 1) = g * std::sin(theta);
+        enc.tuning_matrix(i, 2) = 0.2 * g * std::cos(theta);
+        enc.tuning_matrix(i, 3) = 0.2 * g * std::sin(theta);
+        // Hippocampal rates barely encode acceleration.
+        enc.tuning_matrix(i, 4) = 0.0;
+        enc.tuning_matrix(i, 5) = 0.0;
+        break;
+      }
+    }
+  }
+  enc.noise_chol = linalg::cholesky_factor(spatial_noise_covariance(config));
+  return enc;
+}
+
+Vector<double> PopulationEncoder::encode_one(const KinematicState& state,
+                                             Vector<double>& noise_state,
+                                             linalg::Rng& rng) const {
+  const std::size_t z = config.channels;
+  if (state.size() != kStateDim) {
+    throw std::invalid_argument("encode: bad kinematic dimension");
+  }
+  if (noise_state.size() != z) {
+    throw std::invalid_argument("encode: noise state has wrong size");
+  }
+  std::normal_distribution<double> white(0.0, 1.0);
+
+  // AR(1) innovations scaled so the stationary variance matches the spatial
+  // covariance: n_t = rho * n_{t-1} + sqrt(1-rho^2) * L w_t.
+  const double rho = config.temporal_corr;
+  const double innov_scale = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+
+  Vector<double> w(z);
+  for (std::size_t i = 0; i < z; ++i) w[i] = white(rng);
+  for (std::size_t i = 0; i < z; ++i) {
+    double acc = 0.0;  // (L * w)_i, lower-triangular multiply
+    for (std::size_t j = 0; j <= i; ++j) acc += noise_chol(i, j) * w[j];
+    noise_state[i] = rho * noise_state[i] + innov_scale * acc;
+  }
+
+  Vector<double> rates(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    double acc = baseline[i] + noise_state[i];
+    for (std::size_t j = 0; j < kStateDim; ++j)
+      acc += tuning_matrix(i, j) * state[j];
+    rates[i] = acc;
+  }
+  return rates;
+}
+
+std::vector<Vector<double>> PopulationEncoder::encode(
+    const std::vector<KinematicState>& kinematics, linalg::Rng& rng) const {
+  Vector<double> noise(config.channels);
+  std::vector<Vector<double>> out;
+  out.reserve(kinematics.size());
+  for (const auto& state : kinematics)
+    out.push_back(encode_one(state, noise, rng));
+  return out;
+}
+
+Matrix<double> stack_observations(const std::vector<Vector<double>>& obs) {
+  if (obs.empty()) return {};
+  Matrix<double> zmat(obs.size(), obs.front().size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    if (obs[i].size() != zmat.cols()) {
+      throw std::invalid_argument("stack_observations: ragged observations");
+    }
+    for (std::size_t j = 0; j < zmat.cols(); ++j) zmat(i, j) = obs[i][j];
+  }
+  return zmat;
+}
+
+}  // namespace kalmmind::neural

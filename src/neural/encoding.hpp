@@ -1,0 +1,68 @@
+// Synthetic neural population encoding.
+//
+// Each channel is a recording site with a linear tuning to the kinematic
+// state (preferred-direction velocity tuning for motor/somatosensory
+// cortex, place-field-like position tuning for hippocampus) plus noise
+// that is *spatially correlated across channels* (neighbouring electrodes
+// pick up overlapping populations) and *temporally smooth* (AR-1).  These
+// correlations are exactly the property Section III says the seed policies
+// exploit, so the generator makes them explicit and tunable.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "neural/kinematics.hpp"
+
+namespace kalmmind::neural {
+
+// What aspect of the state a region's channels are tuned to.
+enum class TuningKind {
+  kVelocity,  // motor / somatosensory cortex: preferred-direction velocity
+  kPosition,  // hippocampus: place-like position tuning
+};
+
+struct EncodingConfig {
+  std::size_t channels = 164;
+  TuningKind tuning = TuningKind::kVelocity;
+  double baseline_rate = 10.0;    // Hz offset per channel
+  double modulation_depth = 1.2;  // tuning gain (per-channel SNR ~ 1)
+  // Spatially correlated noise (shared population activity picked up by
+  // neighbouring electrodes) ...
+  double noise_std = 2.0;
+  double spatial_corr_length = 6.0;  // channels; 0 => no correlated part
+  // ... plus per-channel independent noise (spiking variability, thermal
+  // front-end noise).  Keeps R, and hence S, well conditioned — as real
+  // binned spike counts are.
+  double independent_noise_std = 2.0;
+  double temporal_corr = 0.5;  // AR(1) coefficient of the correlated noise
+};
+
+// Frozen per-channel tuning (so train and test splits share the encoder).
+struct PopulationEncoder {
+  EncodingConfig config;
+  Matrix<double> tuning_matrix;      // channels x 6 "true H"
+  Vector<double> baseline;           // channels
+  Matrix<double> noise_chol;         // Cholesky factor of spatial noise cov.
+
+  // Emit firing-rate observations for a kinematic trajectory.
+  std::vector<Vector<double>> encode(
+      const std::vector<KinematicState>& kinematics, linalg::Rng& rng) const;
+
+  // Streaming form: encode one sample, carrying the AR(1) noise state
+  // across calls (`noise_state` must be channel-sized, zero-initialized
+  // before the first call).  Used by the non-stationary generator, whose
+  // tuning changes between samples.
+  Vector<double> encode_one(const KinematicState& state,
+                            Vector<double>& noise_state,
+                            linalg::Rng& rng) const;
+};
+
+PopulationEncoder make_encoder(const EncodingConfig& config, linalg::Rng& rng);
+
+// Pack observations into a (steps x channels) matrix (training helper).
+Matrix<double> stack_observations(const std::vector<Vector<double>>& obs);
+
+}  // namespace kalmmind::neural

@@ -1,0 +1,57 @@
+#include "neural/kinematics.hpp"
+
+#include <stdexcept>
+
+namespace kalmmind::neural {
+
+std::vector<KinematicState> generate_kinematics(const KinematicsConfig& config,
+                                                std::size_t steps, Rng& rng) {
+  if (config.dt <= 0.0 || config.hold_steps == 0) {
+    throw std::invalid_argument("generate_kinematics: bad config");
+  }
+  std::uniform_real_distribution<double> target_dist(-config.workspace,
+                                                     config.workspace);
+  std::normal_distribution<double> accel_noise(0.0, config.process_noise);
+
+  double px = 0.0, py = 0.0, vx = 0.0, vy = 0.0, ax = 0.0, ay = 0.0;
+  double tx = target_dist(rng), ty = target_dist(rng);
+
+  std::vector<KinematicState> out;
+  out.reserve(steps);
+  for (std::size_t n = 0; n < steps; ++n) {
+    if (n > 0 && n % config.hold_steps == 0) {
+      tx = target_dist(rng);
+      ty = target_dist(rng);
+    }
+    // Spring-damper acceleration toward the target plus white noise.
+    ax = config.spring * (tx - px) - config.damping * vx + accel_noise(rng);
+    ay = config.spring * (ty - py) - config.damping * vy + accel_noise(rng);
+    vx += ax * config.dt;
+    vy += ay * config.dt;
+    px += vx * config.dt;
+    py += vy * config.dt;
+
+    KinematicState s(kStateDim);
+    s[0] = px;
+    s[1] = py;
+    s[2] = vx;
+    s[3] = vy;
+    s[4] = ax;
+    s[5] = ay;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Matrix<double> stack_states(const std::vector<KinematicState>& states) {
+  Matrix<double> x(states.size(), kStateDim);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].size() != kStateDim) {
+      throw std::invalid_argument("stack_states: bad state dimension");
+    }
+    for (std::size_t j = 0; j < kStateDim; ++j) x(i, j) = states[i][j];
+  }
+  return x;
+}
+
+}  // namespace kalmmind::neural

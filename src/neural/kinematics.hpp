@@ -1,0 +1,46 @@
+// Synthetic 2-D reaching kinematics.
+//
+// The paper's decoders estimate a 6-dimensional kinematic state
+// (position, velocity, acceleration in x/y — the Wu et al. 2002 cursor
+// model).  We generate smooth stochastic reaches with a spring-damper
+// point mass driven toward randomly re-sampled targets: trajectories are
+// smooth, autocorrelated and bounded — the statistical regime the KF state
+// model is good at, and the source of the temporal correlation the
+// KalmMind seed policies exploit.
+#pragma once
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::neural {
+
+using linalg::Matrix;
+using linalg::Rng;
+using linalg::Vector;
+
+inline constexpr std::size_t kStateDim = 6;  // px py vx vy ax ay
+
+struct KinematicsConfig {
+  double dt = 0.05;            // 50 ms bins (real-time BCI budget, Sec. V)
+  double spring = 4.0;         // pull toward the current target [1/s^2]
+  double damping = 3.0;        // velocity damping [1/s]
+  double workspace = 6.0;      // targets drawn from [-w, w]^2 [cm]
+  double process_noise = 0.4;  // white acceleration noise [cm/s^2]
+  std::size_t hold_steps = 30; // steps between target re-draws
+};
+
+// One kinematic sample: [px, py, vx, vy, ax, ay].
+using KinematicState = Vector<double>;
+
+// Generate `steps` samples of smooth reaching movement.
+std::vector<KinematicState> generate_kinematics(const KinematicsConfig& config,
+                                                std::size_t steps, Rng& rng);
+
+// Pack a kinematic trajectory into a (steps x 6) matrix (training helper).
+Matrix<double> stack_states(const std::vector<KinematicState>& states);
+
+}  // namespace kalmmind::neural

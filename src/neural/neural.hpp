@@ -1,0 +1,10 @@
+// Umbrella header for the synthetic-neural-data substrate.
+#pragma once
+
+#include "neural/dataset.hpp"
+#include "neural/decode_quality.hpp"
+#include "neural/drift.hpp"
+#include "neural/encoding.hpp"
+#include "neural/kinematics.hpp"
+#include "neural/spikes.hpp"
+#include "neural/training.hpp"

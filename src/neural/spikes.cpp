@@ -1,0 +1,37 @@
+#include "neural/spikes.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace kalmmind::neural {
+
+std::vector<Vector<double>> encode_spike_counts(
+    const PopulationEncoder& encoder, const SpikeConfig& config,
+    const std::vector<KinematicState>& kinematics, linalg::Rng& rng) {
+  if (config.bin_seconds <= 0.0 || config.max_rate_hz <= 0.0) {
+    throw std::invalid_argument("encode_spike_counts: bad config");
+  }
+  const std::size_t z = encoder.config.channels;
+  std::vector<Vector<double>> out;
+  out.reserve(kinematics.size());
+
+  for (const auto& state : kinematics) {
+    if (state.size() != kStateDim) {
+      throw std::invalid_argument("encode_spike_counts: bad state dimension");
+    }
+    Vector<double> counts(z);
+    for (std::size_t i = 0; i < z; ++i) {
+      double rate = encoder.baseline[i];
+      for (std::size_t j = 0; j < kStateDim; ++j)
+        rate += encoder.tuning_matrix(i, j) * state[j];
+      rate = std::clamp(rate, 0.0, config.max_rate_hz);
+      std::poisson_distribution<int> poisson(rate * config.bin_seconds);
+      counts[i] = double(poisson(rng));
+    }
+    out.push_back(std::move(counts));
+  }
+  return out;
+}
+
+}  // namespace kalmmind::neural

@@ -1,0 +1,32 @@
+// Poisson spike-count observations.
+//
+// The datasets the paper decodes are *binned spike counts* (Glaser et al.).
+// The Gaussian rate model in encoding.hpp is the KF's idealization; this
+// module emits integer Poisson counts from the same tuning, so the library
+// can also be exercised with the discrete, signal-dependent-variance
+// statistics of real recordings (the KF is then a mismatched-but-standard
+// decoder, exactly as in practice).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "neural/encoding.hpp"
+
+namespace kalmmind::neural {
+
+struct SpikeConfig {
+  double bin_seconds = 0.05;  // 50 ms bins
+  // Firing rates are clamped to [0, max_rate_hz] before sampling (neurons
+  // cannot fire negatively or arbitrarily fast).
+  double max_rate_hz = 200.0;
+};
+
+// Emit binned spike counts: counts[n][i] ~ Poisson(rate_i(x_n) * bin).
+// The rate is the encoder's (noise-free) tuning response; Poisson sampling
+// supplies the variability.
+std::vector<Vector<double>> encode_spike_counts(
+    const PopulationEncoder& encoder, const SpikeConfig& config,
+    const std::vector<KinematicState>& kinematics, linalg::Rng& rng);
+
+}  // namespace kalmmind::neural

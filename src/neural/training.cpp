@@ -1,0 +1,90 @@
+#include "neural/training.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind::neural {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+// Solve the multivariate regression  B = argmin ||Y - X B^t||  via normal
+// equations: B = (Y^t X)(X^t X)^-1.  X is (n x p), Y is (n x m), B is (m x p).
+Matrix<double> least_squares(const Matrix<double>& x, const Matrix<double>& y) {
+  Matrix<double> xtx = linalg::multiply_at(x, x);  // p x p
+  // least_squares is only used with p = 6, so LU on xtx is trivial.
+  Matrix<double> xtx_inv = linalg::invert_lu(xtx);
+  Matrix<double> xty = linalg::multiply_at(x, y);  // p x m
+  // B = (Y^t X)(X^t X)^-1 = (X^t Y)^t (X^t X)^-1.
+  return linalg::multiply_at(xty, xtx_inv);        // m x p
+}
+
+// Residual covariance of  Y - X B^t,  (m x m) / (n - 1).
+Matrix<double> residual_covariance(const Matrix<double>& x,
+                                   const Matrix<double>& y,
+                                   const Matrix<double>& b) {
+  Matrix<double> pred = linalg::multiply_bt(x, b);  // n x m
+  Matrix<double> resid = y;
+  resid -= pred;
+  Matrix<double> cov = linalg::multiply_at(resid, resid);
+  const double scale = 1.0 / double(std::max<std::size_t>(x.rows() - 1, 1));
+  cov *= scale;
+  return cov;
+}
+
+Matrix<double> rows_slice(const Matrix<double>& m, std::size_t begin,
+                          std::size_t count) {
+  Matrix<double> out(count, m.cols());
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = m(begin + i, j);
+  return out;
+}
+
+}  // namespace
+
+kalman::KalmanModel<double> train_kalman_model(
+    const Matrix<double>& kinematics, const Matrix<double>& observations,
+    const TrainingOptions& options) {
+  const std::size_t n = kinematics.rows();
+  const std::size_t x_dim = kinematics.cols();
+  const std::size_t z_dim = observations.cols();
+  if (observations.rows() != n) {
+    throw std::invalid_argument("train_kalman_model: row count mismatch");
+  }
+  if (n < 2 * z_dim) {
+    throw std::invalid_argument(
+        "train_kalman_model: need at least 2*z_dim training samples for a "
+        "well-conditioned R estimate");
+  }
+
+  // State transition: regress x_t on x_{t-1}.
+  Matrix<double> x_prev = rows_slice(kinematics, 0, n - 1);
+  Matrix<double> x_next = rows_slice(kinematics, 1, n - 1);
+  Matrix<double> f = least_squares(x_prev, x_next);  // x_dim x x_dim
+  Matrix<double> q = residual_covariance(x_prev, x_next, f);
+  for (std::size_t i = 0; i < x_dim; ++i) q(i, i) += options.q_ridge;
+
+  // Observation model: regress z_t on x_t.
+  Matrix<double> h = least_squares(kinematics, observations);  // z x x
+  Matrix<double> r = residual_covariance(kinematics, observations, h);
+  for (std::size_t i = 0; i < z_dim; ++i) r(i, i) += options.r_ridge;
+
+  kalman::KalmanModel<double> model;
+  model.f = std::move(f);
+  model.q = std::move(q);
+  model.h = std::move(h);
+  model.r = std::move(r);
+  // Decode starts from the last training sample with Q-level uncertainty.
+  model.x0 = Vector<double>(x_dim);
+  for (std::size_t j = 0; j < x_dim; ++j) model.x0[j] = kinematics(n - 1, j);
+  model.p0 = model.q;
+  model.validate();
+  return model;
+}
+
+}  // namespace kalmmind::neural

@@ -1,0 +1,29 @@
+// KF model training by least squares (Wu et al., NeurIPS 2002) — the same
+// procedure behind the trained decoders the paper borrows from Glaser et
+// al.  Given paired kinematics X (n x 6) and neural observations Z (n x z):
+//
+//   F = argmin ||X_2:n - X_1:n-1 F^t||   (state transition)
+//   Q = cov of the transition residuals  (process noise)
+//   H = argmin ||Z - X H^t||             (observation model)
+//   R = cov of the observation residuals (measurement noise)
+#pragma once
+
+#include "kalman/model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::neural {
+
+struct TrainingOptions {
+  double q_ridge = 1e-8;  // added to Q's diagonal (keeps Q SPD)
+  double r_ridge = 1e-6;  // added to R's diagonal (keeps R/S invertible)
+};
+
+// Fit the constant KF model from training data.  x0/P0 are initialized to
+// the last training state and Q respectively (standard practice for
+// decoding the subsequent test window).
+kalman::KalmanModel<double> train_kalman_model(
+    const linalg::Matrix<double>& kinematics,
+    const linalg::Matrix<double>& observations,
+    const TrainingOptions& options = {});
+
+}  // namespace kalmmind::neural

@@ -1,0 +1,68 @@
+// An ESP accelerator tile wrapping one KalmMind accelerator instance:
+// MMIO register file, DMA engine, interrupt line, and the invoke sequence
+// (load -> compute -> store -> irq) of Fig. 3a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "soc/dma.hpp"
+#include "soc/interrupts.hpp"
+#include "soc/memory_map.hpp"
+#include "soc/registers.hpp"
+#include "soc/trace.hpp"
+
+namespace kalmmind::soc {
+
+struct InvocationStats {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t dma_cycles = 0;
+  std::uint64_t total_cycles = 0;  // with double-buffer overlap
+  std::uint64_t dma_transactions = 0;
+};
+
+class AcceleratorTile {
+ public:
+  AcceleratorTile(std::string name, hls::DatapathSpec spec, TileCoord coord,
+                  hls::HlsParams params = {})
+      : name_(std::move(name)), spec_(spec), coord_(coord), params_(params) {}
+
+  const std::string& name() const { return name_; }
+  TileCoord coord() const { return coord_; }
+  const hls::DatapathSpec& spec() const { return spec_; }
+
+  RegisterFile& registers() { return regs_; }
+  const RegisterFile& registers() const { return regs_; }
+  InterruptLine& irq() { return irq_; }
+
+  // Execute one invocation against main memory at `map`, raising the
+  // interrupt at completion.  `now` is the SoC cycle the CMD write landed;
+  // returns the completion cycle.
+  std::uint64_t invoke(const Noc& noc, MainMemory& memory,
+                       TileCoord memory_tile, const MemoryMap& map,
+                       std::uint64_t now);
+
+  const core::AcceleratorRunResult& last_result() const { return result_; }
+  const InvocationStats& last_stats() const { return stats_; }
+
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+ private:
+  void record(std::uint64_t cycle, TraceKind kind,
+              std::string detail = {}) const {
+    if (trace_) trace_->record(cycle, kind, name_, std::move(detail));
+  }
+
+  std::string name_;
+  hls::DatapathSpec spec_;
+  TileCoord coord_;
+  hls::HlsParams params_;
+  RegisterFile regs_;
+  InterruptLine irq_;
+  core::AcceleratorRunResult result_;
+  InvocationStats stats_;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,62 @@
+// The accelerator-side DMA engine: moves bursts between main memory and
+// the accelerator PLMs through the NoC, accumulating the cycles each
+// transaction costs (memory burst + NoC serialization).
+#pragma once
+
+#include <cstdint>
+
+#include "soc/memory.hpp"
+#include "soc/noc.hpp"
+
+namespace kalmmind::soc {
+
+class DmaEngine {
+ public:
+  DmaEngine(const Noc& noc, MainMemory& memory, TileCoord accel_tile,
+            TileCoord memory_tile, int bytes_per_word)
+      : noc_(noc),
+        memory_(memory),
+        accel_tile_(accel_tile),
+        memory_tile_(memory_tile),
+        bytes_per_word_(bytes_per_word) {}
+
+  // Memory -> PLM.
+  void read(std::size_t addr, double* dst, std::size_t count) {
+    memory_.read_block(addr, dst, count);
+    charge(count, /*to_accel=*/true);
+  }
+
+  // PLM -> memory.
+  void write(std::size_t addr, const double* src, std::size_t count) {
+    memory_.write_block(addr, src, count);
+    charge(count, /*to_accel=*/false);
+  }
+
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t transactions() const { return transactions_; }
+  void reset_accounting() {
+    cycles_ = 0;
+    transactions_ = 0;
+  }
+
+ private:
+  void charge(std::size_t count, bool to_accel) {
+    const std::uint64_t payload =
+        std::uint64_t(count) * std::uint64_t(bytes_per_word_);
+    const TileCoord src = to_accel ? memory_tile_ : accel_tile_;
+    const TileCoord dst = to_accel ? accel_tile_ : memory_tile_;
+    cycles_ += memory_.burst_cycles(count) +
+               noc_.transfer_cycles(src, dst, payload);
+    ++transactions_;
+  }
+
+  const Noc& noc_;
+  MainMemory& memory_;
+  TileCoord accel_tile_;
+  TileCoord memory_tile_;
+  int bytes_per_word_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,31 @@
+// Interrupt line from an accelerator tile to the CPU tile.
+#pragma once
+
+#include <cstdint>
+
+namespace kalmmind::soc {
+
+class InterruptLine {
+ public:
+  void raise(std::uint64_t at_cycle) {
+    pending_ = true;
+    raised_at_ = at_cycle;
+    ++count_;
+  }
+
+  // CPU-side acknowledge; returns the cycle the interrupt fired at.
+  std::uint64_t acknowledge() {
+    pending_ = false;
+    return raised_at_;
+  }
+
+  bool pending() const { return pending_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  bool pending_ = false;
+  std::uint64_t raised_at_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,63 @@
+// The memory-channel tile: a flat word-addressed main memory with a simple
+// bandwidth/latency model.  The DMA engine and the CPU model both read and
+// write through it, so accelerator results really travel memory -> PLM ->
+// memory like on the FPGA prototype.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace kalmmind::soc {
+
+struct MemoryParams {
+  std::size_t size_words = 8u << 20;       // 8M doubles = 64 MB
+  std::uint64_t access_latency_cycles = 60;  // DRAM first-word latency
+  double words_per_cycle = 1.0;              // sustained stream bandwidth
+};
+
+class MainMemory {
+ public:
+  explicit MainMemory(MemoryParams params = {})
+      : params_(params), words_(params.size_words, 0.0) {}
+
+  const MemoryParams& params() const { return params_; }
+  std::size_t size_words() const { return words_.size(); }
+
+  double read_word(std::size_t addr) const {
+    check(addr, 1);
+    return words_[addr];
+  }
+  void write_word(std::size_t addr, double value) {
+    check(addr, 1);
+    words_[addr] = value;
+  }
+
+  void read_block(std::size_t addr, double* dst, std::size_t count) const {
+    check(addr, count);
+    for (std::size_t i = 0; i < count; ++i) dst[i] = words_[addr + i];
+  }
+  void write_block(std::size_t addr, const double* src, std::size_t count) {
+    check(addr, count);
+    for (std::size_t i = 0; i < count; ++i) words_[addr + i] = src[i];
+  }
+
+  // Cycles the memory controller needs for a `count`-word burst.
+  std::uint64_t burst_cycles(std::size_t count) const {
+    return params_.access_latency_cycles +
+           std::uint64_t(double(count) / params_.words_per_cycle);
+  }
+
+ private:
+  void check(std::size_t addr, std::size_t count) const {
+    if (addr + count > words_.size() || addr + count < addr) {
+      throw std::out_of_range("MainMemory: access beyond end of memory");
+    }
+  }
+
+  MemoryParams params_;
+  std::vector<double> words_;
+};
+
+}  // namespace kalmmind::soc

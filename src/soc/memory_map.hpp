@@ -1,0 +1,45 @@
+// Word-addressed layout of one KF invocation's data in main memory, shared
+// by the Linux-side driver (which writes it) and the accelerator tile
+// (which DMAs it).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace kalmmind::soc {
+
+struct MemoryMap {
+  std::size_t x_dim = 0;
+  std::size_t z_dim = 0;
+  std::size_t iterations = 0;
+  std::size_t base = 0;
+
+  // Model section.
+  std::size_t f_addr() const { return base; }
+  std::size_t q_addr() const { return f_addr() + x_dim * x_dim; }
+  std::size_t h_addr() const { return q_addr() + x_dim * x_dim; }
+  std::size_t r_addr() const { return h_addr() + z_dim * x_dim; }
+  std::size_t x0_addr() const { return r_addr() + z_dim * z_dim; }
+  std::size_t p0_addr() const { return x0_addr() + x_dim; }
+
+  // Streaming sections.
+  std::size_t measurements_addr() const { return p0_addr() + x_dim * x_dim; }
+  std::size_t states_addr() const {
+    return measurements_addr() + iterations * z_dim;
+  }
+  std::size_t final_p_addr() const {
+    return states_addr() + iterations * x_dim;
+  }
+  std::size_t end() const { return final_p_addr() + x_dim * x_dim; }
+
+  void validate(std::size_t memory_words) const {
+    if (x_dim == 0 || z_dim == 0 || iterations == 0) {
+      throw std::invalid_argument("MemoryMap: empty dimensions");
+    }
+    if (end() > memory_words) {
+      throw std::invalid_argument("MemoryMap: layout exceeds main memory");
+    }
+  }
+};
+
+}  // namespace kalmmind::soc

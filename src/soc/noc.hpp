@@ -1,0 +1,84 @@
+// Transaction-level model of the ESP 2-D mesh network-on-chip.
+//
+// The SoC instantiates tiles on a WxH mesh; every memory access, MMIO
+// register access and DMA burst is charged NoC latency from an analytic
+// (congestion-free, XY-routed, wormhole) model: per-hop router latency plus
+// payload serialization at one flit per cycle.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kalmmind::soc {
+
+struct TileCoord {
+  int x = 0;
+  int y = 0;
+
+  friend bool operator==(TileCoord a, TileCoord b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+struct NocParams {
+  int width = 2;
+  int height = 2;
+  std::uint64_t router_latency_cycles = 4;  // per hop, head flit
+  std::uint64_t link_latency_cycles = 1;    // per hop wire delay
+  unsigned flit_bytes = 8;                  // 64-bit NoC links
+};
+
+class Noc {
+ public:
+  explicit Noc(NocParams params) : params_(params) {
+    if (params_.width <= 0 || params_.height <= 0) {
+      throw std::invalid_argument("Noc: bad mesh dimensions");
+    }
+    if (params_.flit_bytes == 0) {
+      throw std::invalid_argument("Noc: flit_bytes must be nonzero");
+    }
+  }
+
+  const NocParams& params() const { return params_; }
+
+  bool contains(TileCoord c) const {
+    return c.x >= 0 && c.x < params_.width && c.y >= 0 &&
+           c.y < params_.height;
+  }
+
+  std::uint64_t hops(TileCoord src, TileCoord dst) const {
+    require_on_mesh(src);
+    require_on_mesh(dst);
+    return std::uint64_t(std::abs(src.x - dst.x) + std::abs(src.y - dst.y));
+  }
+
+  // One-way latency for a `payload_bytes` message (header flit included).
+  std::uint64_t transfer_cycles(TileCoord src, TileCoord dst,
+                                std::uint64_t payload_bytes) const {
+    const std::uint64_t h = hops(src, dst);
+    const std::uint64_t head =
+        h * (params_.router_latency_cycles + params_.link_latency_cycles) +
+        params_.router_latency_cycles;
+    const std::uint64_t body =
+        (payload_bytes + params_.flit_bytes - 1) / params_.flit_bytes;
+    return head + body;
+  }
+
+  // Request/response round trip carrying `payload_bytes` in the response
+  // (MMIO read, short memory read).
+  std::uint64_t round_trip_cycles(TileCoord src, TileCoord dst,
+                                  std::uint64_t payload_bytes) const {
+    return transfer_cycles(src, dst, 8) +
+           transfer_cycles(dst, src, payload_bytes);
+  }
+
+ private:
+  void require_on_mesh(TileCoord c) const {
+    if (!contains(c)) throw std::out_of_range("Noc: coordinate off mesh");
+  }
+
+  NocParams params_;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,56 @@
+// Memory-mapped register file of an ESP accelerator tile: the 7 KalmMind
+// configuration registers plus command/status, at the fixed offsets the
+// Linux driver uses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+
+namespace kalmmind::soc {
+
+// Register offsets (in 32-bit words) within an accelerator's MMIO window.
+enum class Reg : std::uint32_t {
+  kCmd = 0,       // write 1 to start
+  kStatus = 1,    // 0 idle, 1 running, 2 done
+  kXDim = 2,
+  kZDim = 3,
+  kChunks = 4,
+  kBatches = 5,
+  kApprox = 6,
+  kCalcFreq = 7,
+  kPolicy = 8,
+  kCount = 9,
+};
+
+enum : std::uint32_t { kStatusIdle = 0, kStatusRunning = 1, kStatusDone = 2 };
+
+class RegisterFile {
+ public:
+  std::uint32_t read(Reg reg) const { return regs_.at(index(reg)); }
+
+  void write(Reg reg, std::uint32_t value) {
+    if (reg == Reg::kStatus) {
+      throw std::invalid_argument("RegisterFile: STATUS is read-only");
+    }
+    regs_.at(index(reg)) = value;
+  }
+
+  // Device-side access (the tile itself may set STATUS).
+  void set_status(std::uint32_t status) { regs_[index(Reg::kStatus)] = status; }
+
+  void reset() { regs_.fill(0); }
+
+ private:
+  static std::size_t index(Reg reg) {
+    const auto i = static_cast<std::uint32_t>(reg);
+    if (i >= static_cast<std::uint32_t>(Reg::kCount)) {
+      throw std::out_of_range("RegisterFile: bad register");
+    }
+    return i;
+  }
+
+  std::array<std::uint32_t, static_cast<std::size_t>(Reg::kCount)> regs_{};
+};
+
+}  // namespace kalmmind::soc

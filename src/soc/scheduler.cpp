@@ -1,0 +1,67 @@
+#include "soc/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kalmmind::soc {
+
+ScheduleResult InvocationScheduler::run(
+    const std::vector<ScheduledInvocation>& invocations,
+    std::size_t base_addr) {
+  if (invocations.empty()) {
+    throw std::invalid_argument("InvocationScheduler: nothing to run");
+  }
+  for (std::size_t i = 0; i < invocations.size(); ++i) {
+    if (!invocations[i].model || !invocations[i].measurements) {
+      throw std::invalid_argument("InvocationScheduler: null payload");
+    }
+    for (std::size_t j = i + 1; j < invocations.size(); ++j) {
+      if (invocations[i].accelerator == invocations[j].accelerator) {
+        throw std::invalid_argument(
+            "InvocationScheduler: one invocation per accelerator tile");
+      }
+    }
+  }
+
+  ScheduleResult result;
+  std::size_t next_addr = base_addr;
+  std::vector<EspDriver> drivers;
+  drivers.reserve(invocations.size());
+
+  // Phase 1: CPU stages data, programs registers and fires CMD for every
+  // tile; the tiles run while the CPU moves on to the next one.
+  for (const auto& inv : invocations) {
+    drivers.emplace_back(soc_, inv.accelerator);
+    EspDriver& driver = drivers.back();
+    MemoryMap map =
+        driver.write_invocation(*inv.model, *inv.measurements, next_addr);
+    next_addr = map.end();
+    driver.configure(inv.config);
+
+    ScheduleEntry entry;
+    entry.accelerator = inv.accelerator;
+    entry.map = map;
+    entry.done_cycle = driver.start(map);
+    entry.start_cycle = soc_.now();
+    entry.stats = soc_.accelerator(inv.accelerator).last_stats();
+    result.entries.push_back(std::move(entry));
+  }
+
+  // Phase 2: drain the interrupts (order does not matter; the clock only
+  // moves forward).
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    drivers[i].wait_for_interrupt();
+  }
+
+  std::uint64_t first_start = result.entries.front().start_cycle;
+  std::uint64_t last_done = 0;
+  for (const auto& e : result.entries) {
+    first_start = std::min(first_start, e.start_cycle);
+    last_done = std::max(last_done, e.done_cycle);
+    result.serial_cycles += e.stats.total_cycles;
+  }
+  result.makespan_cycles = last_done - first_start;
+  return result;
+}
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,62 @@
+// Multi-accelerator invocation scheduling — the SCALO-style scenario the
+// paper's discussion points at: several KalmMind tiles decoding several
+// body parts / signal streams concurrently on one SoC.
+//
+// The CPU serializes data staging and register programming (it is one
+// core), but the accelerator tiles compute in parallel; the scheduler
+// captures exactly that: per-invocation start cycles advance with CPU
+// work, completion is per tile, and the makespan is compared against the
+// fully serial execution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "soc/soc.hpp"
+
+namespace kalmmind::soc {
+
+struct ScheduledInvocation {
+  std::size_t accelerator = 0;  // tile index in the Soc
+  const kalman::KalmanModel<double>* model = nullptr;
+  const std::vector<linalg::Vector<double>>* measurements = nullptr;
+  core::AcceleratorConfig config;
+};
+
+struct ScheduleEntry {
+  std::size_t accelerator = 0;
+  MemoryMap map;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t done_cycle = 0;
+  InvocationStats stats;
+};
+
+struct ScheduleResult {
+  std::vector<ScheduleEntry> entries;
+  std::uint64_t makespan_cycles = 0;  // last completion - first start
+  // Sum of the individual busy times: what a single accelerator executing
+  // the same work back-to-back would need.
+  std::uint64_t serial_cycles = 0;
+  double parallel_speedup() const {
+    return makespan_cycles ? double(serial_cycles) / double(makespan_cycles)
+                           : 0.0;
+  }
+};
+
+class InvocationScheduler {
+ public:
+  explicit InvocationScheduler(Soc& soc) : soc_(soc) {}
+
+  // Stage, configure and launch every invocation (CPU work serialized in
+  // submission order), then wait for all interrupts.  Each invocation gets
+  // its own memory region, allocated bump-style from `base_addr`.
+  // Invocations must target distinct accelerator tiles.
+  ScheduleResult run(const std::vector<ScheduledInvocation>& invocations,
+                     std::size_t base_addr = 0);
+
+ private:
+  Soc& soc_;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,159 @@
+#include "soc/soc.hpp"
+
+#include <stdexcept>
+
+namespace kalmmind::soc {
+
+Soc::Soc(SocParams params)
+    : params_(params), noc_(params.noc), memory_(params.memory) {
+  if (!noc_.contains(params_.cpu_tile) || !noc_.contains(params_.memory_tile) ||
+      !noc_.contains(params_.io_tile)) {
+    throw std::invalid_argument("Soc: fixed tiles must be on the mesh");
+  }
+}
+
+std::size_t Soc::add_accelerator(std::string name, hls::DatapathSpec spec,
+                                 TileCoord coord) {
+  if (!noc_.contains(coord)) {
+    throw std::invalid_argument("Soc::add_accelerator: coordinate off mesh");
+  }
+  if (coord == params_.cpu_tile || coord == params_.memory_tile ||
+      coord == params_.io_tile) {
+    throw std::invalid_argument(
+        "Soc::add_accelerator: coordinate already hosts a fixed tile");
+  }
+  for (const auto& a : accelerators_) {
+    if (a->coord() == coord) {
+      throw std::invalid_argument(
+          "Soc::add_accelerator: coordinate already hosts an accelerator");
+    }
+  }
+  accelerators_.push_back(std::make_unique<AcceleratorTile>(
+      std::move(name), spec, coord, params_.hls));
+  accelerators_.back()->set_trace(&trace_);
+  return accelerators_.size() - 1;
+}
+
+AcceleratorTile& Soc::accelerator(std::size_t index) {
+  return *accelerators_.at(index);
+}
+const AcceleratorTile& Soc::accelerator(std::size_t index) const {
+  return *accelerators_.at(index);
+}
+
+void Soc::mmio_write(std::size_t accel, Reg reg, std::uint32_t value) {
+  AcceleratorTile& tile = accelerator(accel);
+  advance(noc_.round_trip_cycles(params_.cpu_tile, tile.coord(), 4));
+  tile.registers().write(reg, value);
+  trace_.record(now_, TraceKind::kMmioWrite, tile.name(),
+                "reg " + std::to_string(std::uint32_t(reg)) + " = " +
+                    std::to_string(value));
+}
+
+std::uint32_t Soc::mmio_read(std::size_t accel, Reg reg) {
+  AcceleratorTile& tile = accelerator(accel);
+  advance(noc_.round_trip_cycles(params_.cpu_tile, tile.coord(), 4));
+  trace_.record(now_, TraceKind::kMmioRead, tile.name(),
+                "reg " + std::to_string(std::uint32_t(reg)));
+  return tile.registers().read(reg);
+}
+
+EspDriver::EspDriver(Soc& soc, std::size_t accel_index)
+    : soc_(soc), accel_(accel_index) {
+  soc_.accelerator(accel_index);  // throws early if out of range
+}
+
+MemoryMap EspDriver::write_invocation(
+    const kalman::KalmanModel<double>& model,
+    const std::vector<linalg::Vector<double>>& measurements,
+    std::size_t base_addr) {
+  model.validate();
+  if (measurements.empty()) {
+    throw std::invalid_argument("EspDriver: no measurements");
+  }
+  MemoryMap map;
+  map.x_dim = model.x_dim();
+  map.z_dim = model.z_dim();
+  map.iterations = measurements.size();
+  map.base = base_addr;
+  map.validate(soc_.memory().size_words());
+
+  MainMemory& mem = soc_.memory();
+  mem.write_block(map.f_addr(), model.f.data(), model.f.size());
+  mem.write_block(map.q_addr(), model.q.data(), model.q.size());
+  mem.write_block(map.h_addr(), model.h.data(), model.h.size());
+  mem.write_block(map.r_addr(), model.r.data(), model.r.size());
+  mem.write_block(map.x0_addr(), model.x0.data(), model.x0.size());
+  mem.write_block(map.p0_addr(), model.p0.data(), model.p0.size());
+  for (std::size_t n = 0; n < measurements.size(); ++n) {
+    if (measurements[n].size() != map.z_dim) {
+      throw std::invalid_argument("EspDriver: ragged measurement vector");
+    }
+    mem.write_block(map.measurements_addr() + n * map.z_dim,
+                    measurements[n].data(), map.z_dim);
+  }
+  // The CPU streams this data through the NoC to memory.
+  const std::uint64_t words = map.states_addr() - map.base;
+  soc_.advance(soc_.noc().transfer_cycles(soc_.params().cpu_tile,
+                                          soc_.params().memory_tile,
+                                          words * 8) +
+               soc_.memory().burst_cycles(words));
+  return map;
+}
+
+void EspDriver::configure(const core::AcceleratorConfig& config) {
+  config.validate();
+  soc_.mmio_write(accel_, Reg::kXDim, config.x_dim);
+  soc_.mmio_write(accel_, Reg::kZDim, config.z_dim);
+  soc_.mmio_write(accel_, Reg::kChunks, config.chunks);
+  soc_.mmio_write(accel_, Reg::kBatches, config.batches);
+  soc_.mmio_write(accel_, Reg::kApprox, config.approx);
+  soc_.mmio_write(accel_, Reg::kCalcFreq, config.calc_freq);
+  soc_.mmio_write(accel_, Reg::kPolicy, config.policy);
+}
+
+std::uint64_t EspDriver::start(const MemoryMap& map) {
+  AcceleratorTile& tile = soc_.accelerator(accel_);
+  soc_.mmio_write(accel_, Reg::kCmd, 1);
+  start_cycle_ = soc_.now();
+  return tile.invoke(soc_.noc(), soc_.memory(), soc_.params().memory_tile,
+                     map, soc_.now());
+}
+
+InvocationResult EspDriver::wait_for_interrupt() {
+  AcceleratorTile& tile = soc_.accelerator(accel_);
+  if (!tile.irq().pending()) {
+    throw std::runtime_error("EspDriver: no interrupt pending");
+  }
+  const std::uint64_t fired_at = tile.irq().acknowledge();
+  if (fired_at > soc_.now()) soc_.advance(fired_at - soc_.now());
+  soc_.trace().record(soc_.now(), TraceKind::kIrqAck, tile.name());
+
+  InvocationResult result;
+  result.start_cycle = start_cycle_;
+  result.done_cycle = fired_at;
+  result.stats = tile.last_stats();
+  result.seconds = soc_.seconds(result.stats.total_cycles);
+  result.energy_j = tile.last_result().power_w * result.seconds;
+  return result;
+}
+
+InvocationResult EspDriver::start_and_wait(const MemoryMap& map) {
+  start(map);
+  return wait_for_interrupt();
+}
+
+std::vector<linalg::Vector<double>> EspDriver::read_states(
+    const MemoryMap& map) const {
+  std::vector<linalg::Vector<double>> states;
+  states.reserve(map.iterations);
+  for (std::size_t n = 0; n < map.iterations; ++n) {
+    linalg::Vector<double> x(map.x_dim);
+    soc_.memory().read_block(map.states_addr() + n * map.x_dim, x.data(),
+                             map.x_dim);
+    states.push_back(std::move(x));
+  }
+  return states;
+}
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,111 @@
+// The complete heterogeneous SoC (Section V "SoC Integration"): a tiled
+// mesh with a CVA6 CPU tile, a memory-channel tile, an I/O tile and any
+// number of KalmMind accelerator tiles — plus the ESP-style Linux driver
+// that configures, starts, and waits for an accelerator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "soc/accelerator_tile.hpp"
+#include "soc/memory.hpp"
+#include "soc/memory_map.hpp"
+#include "soc/noc.hpp"
+#include "soc/software.hpp"
+#include "soc/trace.hpp"
+
+namespace kalmmind::soc {
+
+struct SocParams {
+  NocParams noc;
+  MemoryParams memory;
+  hls::HlsParams hls;
+  TileCoord cpu_tile{0, 0};
+  TileCoord memory_tile{1, 0};
+  TileCoord io_tile{0, 1};
+};
+
+class Soc {
+ public:
+  explicit Soc(SocParams params = {});
+
+  std::size_t add_accelerator(std::string name, hls::DatapathSpec spec,
+                              TileCoord coord);
+
+  AcceleratorTile& accelerator(std::size_t index);
+  const AcceleratorTile& accelerator(std::size_t index) const;
+  std::size_t accelerator_count() const { return accelerators_.size(); }
+
+  MainMemory& memory() { return memory_; }
+  const Noc& noc() const { return noc_; }
+  const SocParams& params() const { return params_; }
+
+  std::uint64_t now() const { return now_; }
+  void advance(std::uint64_t cycles) { now_ += cycles; }
+  double seconds(std::uint64_t cycles) const {
+    return params_.hls.seconds(cycles);
+  }
+
+  // CPU-initiated MMIO, charged a NoC round trip on the simulated clock.
+  void mmio_write(std::size_t accel, Reg reg, std::uint32_t value);
+  std::uint32_t mmio_read(std::size_t accel, Reg reg);
+
+  // Event tracing (off by default; enable before running).
+  TraceRecorder& trace() { return trace_; }
+
+ private:
+  SocParams params_;
+  Noc noc_;
+  MainMemory memory_;
+  std::vector<std::unique_ptr<AcceleratorTile>> accelerators_;
+  std::uint64_t now_ = 0;
+  TraceRecorder trace_;
+};
+
+// Result of one driver-mediated accelerator invocation.
+struct InvocationResult {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t done_cycle = 0;
+  double seconds = 0.0;   // accelerator busy time
+  double energy_j = 0.0;  // accelerator energy for the invocation
+  InvocationStats stats;
+};
+
+// The Linux-side user application flow: write data, program registers,
+// start, sleep until the interrupt, read results.
+class EspDriver {
+ public:
+  EspDriver(Soc& soc, std::size_t accel_index);
+
+  // Serialize the model and measurement stream into main memory.
+  MemoryMap write_invocation(
+      const kalman::KalmanModel<double>& model,
+      const std::vector<linalg::Vector<double>>& measurements,
+      std::size_t base_addr = 0);
+
+  // Program the 7 configuration registers.
+  void configure(const core::AcceleratorConfig& config);
+
+  // Write CMD and let the accelerator run; returns the completion cycle
+  // without blocking the CPU (for multi-accelerator scheduling).
+  std::uint64_t start(const MemoryMap& map);
+
+  // Block until the pending interrupt, acknowledge it, collect the stats.
+  InvocationResult wait_for_interrupt();
+
+  // Convenience: start + wait.
+  InvocationResult start_and_wait(const MemoryMap& map);
+
+  // Read the decoded trajectory back from main memory.
+  std::vector<linalg::Vector<double>> read_states(const MemoryMap& map) const;
+
+ private:
+  Soc& soc_;
+  std::size_t accel_;
+  std::uint64_t start_cycle_ = 0;
+};
+
+}  // namespace kalmmind::soc

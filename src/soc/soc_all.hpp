@@ -1,0 +1,14 @@
+// Umbrella header for the SoC substrate.
+#pragma once
+
+#include "soc/accelerator_tile.hpp"
+#include "soc/dma.hpp"
+#include "soc/interrupts.hpp"
+#include "soc/memory.hpp"
+#include "soc/memory_map.hpp"
+#include "soc/noc.hpp"
+#include "soc/registers.hpp"
+#include "soc/scheduler.hpp"
+#include "soc/soc.hpp"
+#include "soc/software.hpp"
+#include "soc/trace.hpp"

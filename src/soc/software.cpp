@@ -1,0 +1,31 @@
+#include "soc/software.hpp"
+
+namespace kalmmind::soc {
+
+SoftwareRunResult run_software_kf(
+    const hls::SoftwareTimingModel& platform,
+    const kalman::KalmanModel<double>& model,
+    const std::vector<linalg::Vector<double>>& measurements) {
+  // Functional run in float32 (the accelerator/software shared precision).
+  kalman::KalmanModel<float> fmodel = model.cast<float>();
+  std::vector<linalg::Vector<float>> fz;
+  fz.reserve(measurements.size());
+  for (const auto& z : measurements) fz.push_back(z.cast<float>());
+
+  auto filter = kalman::make_baseline_filter(std::move(fmodel));
+  kalman::FilterOutput<float> out = filter.run(fz);
+
+  SoftwareRunResult result;
+  result.states.reserve(out.states.size());
+  for (const auto& s : out.states) result.states.push_back(s.cast<double>());
+
+  const double flops_per_iter =
+      hls::kf_software_flops(model.x_dim(), model.z_dim());
+  result.seconds =
+      platform.seconds_for_flops(flops_per_iter * double(measurements.size()));
+  result.power_w = platform.power_w;
+  result.energy_j = result.power_w * result.seconds;
+  return result;
+}
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,29 @@
+// Software KF execution models — the "Intel i7" and "CVA6" rows of
+// Table III.  Functionally the software baseline runs the float32
+// Gauss-per-iteration KF (the paper's accelerators and software share the
+// same C source); timing is charged through a SoftwareTimingModel.
+#pragma once
+
+#include <vector>
+
+#include "hls/params.hpp"
+#include "hls/workload.hpp"
+#include "kalman/kalman.hpp"
+
+namespace kalmmind::soc {
+
+struct SoftwareRunResult {
+  std::vector<linalg::Vector<double>> states;
+  double seconds = 0.0;
+  double power_w = 0.0;
+  double energy_j = 0.0;
+};
+
+// Run the baseline KF (float32, Gauss inversion every iteration) and charge
+// its FLOPs to the platform model.
+SoftwareRunResult run_software_kf(
+    const hls::SoftwareTimingModel& platform,
+    const kalman::KalmanModel<double>& model,
+    const std::vector<linalg::Vector<double>>& measurements);
+
+}  // namespace kalmmind::soc

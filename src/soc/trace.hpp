@@ -1,0 +1,81 @@
+// Cycle-stamped event trace of SoC activity (MMIO, DMA, compute,
+// interrupts) — the timeline view an ESP FPGA run would give you through
+// its probes, for debugging and for reasoning about overlap.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kalmmind::soc {
+
+enum class TraceKind {
+  kMmioWrite,
+  kMmioRead,
+  kDmaIn,        // memory -> accelerator PLM
+  kDmaOut,       // accelerator PLM -> memory
+  kComputeStart,
+  kComputeEnd,
+  kIrqRaise,
+  kIrqAck,
+};
+
+inline const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kMmioWrite: return "mmio.write";
+    case TraceKind::kMmioRead: return "mmio.read";
+    case TraceKind::kDmaIn: return "dma.in";
+    case TraceKind::kDmaOut: return "dma.out";
+    case TraceKind::kComputeStart: return "compute.start";
+    case TraceKind::kComputeEnd: return "compute.end";
+    case TraceKind::kIrqRaise: return "irq.raise";
+    case TraceKind::kIrqAck: return "irq.ack";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  TraceKind kind = TraceKind::kMmioWrite;
+  std::string tile;
+  std::string detail;
+};
+
+class TraceRecorder {
+ public:
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t cycle, TraceKind kind, std::string tile,
+              std::string detail = {}) {
+    if (!enabled_) return;
+    events_.push_back({cycle, kind, std::move(tile), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  std::size_t count(TraceKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_)
+      if (e.kind == kind) ++n;
+    return n;
+  }
+
+  std::string to_string() const {
+    std::string out;
+    for (const auto& e : events_) {
+      out += "[" + std::to_string(e.cycle) + "] " +
+             kalmmind::soc::to_string(e.kind) + " " + e.tile;
+      if (!e.detail.empty()) out += " (" + e.detail + ")";
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace kalmmind::soc

@@ -1,0 +1,191 @@
+// The accelerator model: every factory datapath runs end to end on a small
+// dataset, with sane latency/power/energy and correct error handling.
+#include "core/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core_test_util.hpp"
+
+namespace kalmmind::core {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+using kalmmind::testing::tiny_reference;
+
+AcceleratorConfig tiny_config() {
+  const auto& ds = tiny_dataset();
+  auto cfg = AcceleratorConfig::for_run(
+      std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+      ds.test_measurements.size());
+  cfg.approx = 2;
+  cfg.policy = 1;
+  return cfg;
+}
+
+TEST(AcceleratorTest, GaussNewtonRunsAndScores) {
+  auto accel = make_gauss_newton(tiny_config());
+  auto run = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  ASSERT_EQ(run.states.size(), 20u);
+  auto m = compare_trajectories(tiny_reference(), run.states);
+  EXPECT_TRUE(m.finite);
+  EXPECT_LT(m.mse, 1e-2);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_GT(run.power_w, 0.0);
+  EXPECT_NEAR(run.energy_j, run.power_w * run.seconds, 1e-12);
+}
+
+TEST(AcceleratorTest, EveryFactoryDatapathProducesFiniteStates) {
+  const auto cfg = tiny_config();
+  std::vector<Accelerator> accels;
+  accels.push_back(make_gauss_newton(cfg));
+  accels.push_back(make_cholesky_newton(cfg));
+  accels.push_back(make_qr_newton(cfg));
+  accels.push_back(make_lite(cfg));
+  accels.push_back(make_sskf(cfg));
+  accels.push_back(make_sskf_newton(cfg));
+  accels.push_back(make_taylor(cfg));
+  accels.push_back(make_gauss_only(cfg));
+  for (auto& accel : accels) {
+    auto run =
+        accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+    auto m = compare_trajectories(tiny_reference(), run.states);
+    EXPECT_TRUE(m.finite) << accel.spec().name();
+    EXPECT_GT(run.seconds, 0.0) << accel.spec().name();
+  }
+}
+
+TEST(AcceleratorTest, RunIsDeterministic) {
+  auto accel = make_gauss_newton(tiny_config());
+  auto a = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  auto b = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  for (std::size_t n = 0; n < a.states.size(); ++n)
+    EXPECT_TRUE(a.states[n] == b.states[n]) << n;
+  EXPECT_EQ(a.latency.total_cycles, b.latency.total_cycles);
+}
+
+TEST(AcceleratorTest, CalcEveryIterationEqualsBaselineAccuracy) {
+  // calc_freq=1 turns the Gauss/Newton accelerator into Gauss-Only.
+  auto cfg = tiny_config();
+  cfg.calc_freq = 1;
+  auto interleaved = make_gauss_newton(cfg);
+  auto gauss_only = make_gauss_only(cfg);
+  auto a = interleaved.run(tiny_dataset().model,
+                           tiny_dataset().test_measurements);
+  auto b = gauss_only.run(tiny_dataset().model,
+                          tiny_dataset().test_measurements);
+  for (std::size_t n = 0; n < a.states.size(); ++n)
+    EXPECT_TRUE(a.states[n] == b.states[n]) << n;
+}
+
+TEST(AcceleratorTest, LatencyOrderingAcrossDatapaths) {
+  auto cfg = tiny_config();
+  cfg.calc_freq = 0;
+  cfg.approx = 1;
+  auto lite = make_lite(cfg).run(tiny_dataset().model,
+                                 tiny_dataset().test_measurements);
+  auto gauss_only = make_gauss_only(cfg).run(
+      tiny_dataset().model, tiny_dataset().test_measurements);
+  auto sskf = make_sskf(cfg).run(tiny_dataset().model,
+                                 tiny_dataset().test_measurements);
+  EXPECT_LT(sskf.latency.compute_cycles, lite.latency.compute_cycles);
+  EXPECT_LT(lite.latency.compute_cycles, gauss_only.latency.compute_cycles);
+}
+
+TEST(AcceleratorTest, MoreApproxIterationsCostMoreCycles) {
+  auto cfg = tiny_config();
+  cfg.calc_freq = 0;
+  cfg.approx = 1;
+  auto fast = make_gauss_newton(cfg).run(tiny_dataset().model,
+                                         tiny_dataset().test_measurements);
+  cfg.approx = 5;
+  auto slow = make_gauss_newton(cfg).run(tiny_dataset().model,
+                                         tiny_dataset().test_measurements);
+  EXPECT_GT(slow.latency.compute_cycles, fast.latency.compute_cycles);
+}
+
+TEST(AcceleratorTest, EventsMatchSchedule) {
+  auto cfg = tiny_config();
+  cfg.calc_freq = 3;
+  cfg.approx = 2;
+  auto run = make_gauss_newton(cfg).run(tiny_dataset().model,
+                                        tiny_dataset().test_measurements);
+  ASSERT_EQ(run.events.size(), 20u);
+  for (std::size_t n = 0; n < run.events.size(); ++n) {
+    if (n % 3 == 0) {
+      EXPECT_EQ(run.events[n].path, kalman::InversePath::kCalculation) << n;
+    } else {
+      EXPECT_EQ(run.events[n].path, kalman::InversePath::kApproximation) << n;
+    }
+  }
+}
+
+TEST(AcceleratorTest, RejectsWrongMeasurementCount) {
+  auto accel = make_gauss_newton(tiny_config());
+  auto zs = tiny_dataset().test_measurements;
+  zs.pop_back();
+  EXPECT_THROW(accel.run(tiny_dataset().model, zs), std::invalid_argument);
+}
+
+TEST(AcceleratorTest, RejectsModelDimensionMismatch) {
+  auto cfg = tiny_config();
+  cfg.z_dim = 21;  // dataset has 20 channels
+  cfg.chunks = 1;
+  cfg.batches = 20;
+  auto accel = make_gauss_newton(cfg);
+  EXPECT_THROW(
+      accel.run(tiny_dataset().model, tiny_dataset().test_measurements),
+      std::invalid_argument);
+}
+
+TEST(AcceleratorTest, SetConfigKeepsDesignTimeLimits) {
+  auto accel = make_gauss_newton(tiny_config());
+  auto bigger = tiny_config();
+  bigger.z_dim = 500;  // beyond the PLM sizing
+  EXPECT_THROW(accel.set_config(bigger), std::invalid_argument);
+  auto same = tiny_config();
+  same.approx = 4;
+  EXPECT_NO_THROW(accel.set_config(same));
+  EXPECT_EQ(accel.config().approx, 4u);
+}
+
+TEST(AcceleratorTest, FixedPointRunsReportNoSaturationOnTameData) {
+  auto accel = make_gauss_newton(tiny_config(), hls::NumericType::kFx64);
+  auto run = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  EXPECT_EQ(run.fixed_point_saturations, 0u);
+  auto m = compare_trajectories(tiny_reference(), run.states);
+  EXPECT_LT(m.mse, 1e-2);
+}
+
+TEST(AcceleratorTest, Fx32IsLessAccurateThanFloat32) {
+  auto f32 = make_gauss_newton(tiny_config()).run(
+      tiny_dataset().model, tiny_dataset().test_measurements);
+  auto fx32 = make_gauss_newton(tiny_config(), hls::NumericType::kFx32)
+                  .run(tiny_dataset().model, tiny_dataset().test_measurements);
+  auto m_f32 = compare_trajectories(tiny_reference(), f32.states);
+  auto m_fx32 = compare_trajectories(tiny_reference(), fx32.states);
+  EXPECT_GT(m_fx32.mse, m_f32.mse);
+}
+
+TEST(AcceleratorTest, ResourcesMatchSpec) {
+  auto gn = make_gauss_newton(tiny_config());
+  auto sskf = make_sskf(tiny_config());
+  EXPECT_GT(gn.resources().lut, sskf.resources().lut);
+  EXPECT_EQ(gn.spec().calc, hls::CalcUnit::kGauss);
+  EXPECT_TRUE(sskf.spec().constant_gain);
+}
+
+TEST(AcceleratorTest, DatapathNames) {
+  EXPECT_EQ(make_gauss_newton(tiny_config()).spec().name(), "Gauss/Newton");
+  EXPECT_EQ(make_gauss_only(tiny_config()).spec().name(), "Gauss-Only");
+  EXPECT_EQ(make_sskf(tiny_config()).spec().name(), "SSKF");
+  EXPECT_EQ(make_sskf_newton(tiny_config()).spec().name(), "SSKF/Newton");
+  EXPECT_EQ(make_lite(tiny_config()).spec().name(), "LITE");
+  EXPECT_EQ(make_lite(tiny_config(), hls::NumericType::kFx64).spec().name(),
+            "LITE FX64");
+  EXPECT_EQ(
+      make_gauss_newton(tiny_config(), hls::NumericType::kFx32).spec().name(),
+      "Gauss/Newton FX32");
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,96 @@
+#include "core/autotuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace kalmmind::core {
+namespace {
+
+DsePoint point(double latency, double mse, double energy = 1.0,
+               std::uint32_t approx = 1) {
+  DsePoint p;
+  p.latency_s = latency;
+  p.energy_j = energy;
+  p.metrics.mse = mse;
+  p.metrics.finite = std::isfinite(mse);
+  p.config.approx = approx;
+  return p;
+}
+
+std::vector<DsePoint> sample_points() {
+  return {point(1.0, 1e-2, 0.2, 1), point(2.0, 1e-4, 0.4, 2),
+          point(4.0, 1e-6, 0.8, 3), point(8.0, 1e-11, 1.6, 4),
+          point(9.0, 1e-11, 1.8, 5)};
+}
+
+TEST(AutoTunerTest, BestAccuracyWithinLatency) {
+  AutoTuner tuner(sample_points());
+  auto pick = tuner.best_accuracy_within_latency(4.5);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_DOUBLE_EQ(pick->latency_s, 4.0);
+  EXPECT_DOUBLE_EQ(pick->metrics.mse, 1e-6);
+}
+
+TEST(AutoTunerTest, LatencyBudgetTooTightYieldsNothing) {
+  AutoTuner tuner(sample_points());
+  EXPECT_FALSE(tuner.best_accuracy_within_latency(0.5).has_value());
+}
+
+TEST(AutoTunerTest, FastestWithinAccuracy) {
+  AutoTuner tuner(sample_points());
+  auto pick = tuner.fastest_within_accuracy(1e-4);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_DOUBLE_EQ(pick->latency_s, 2.0);
+}
+
+TEST(AutoTunerTest, AccuracyTargetTooStrictYieldsNothing) {
+  AutoTuner tuner(sample_points());
+  EXPECT_FALSE(tuner.fastest_within_accuracy(1e-15).has_value());
+}
+
+TEST(AutoTunerTest, BestAccuracyWithinEnergy) {
+  AutoTuner tuner(sample_points());
+  auto pick = tuner.best_accuracy_within_energy(0.5);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_DOUBLE_EQ(pick->metrics.mse, 1e-4);
+}
+
+TEST(AutoTunerTest, DivergedPointsAreNeverSelected) {
+  auto pts = sample_points();
+  pts.push_back(point(0.1, std::numeric_limits<double>::infinity()));
+  AutoTuner tuner(pts);
+  auto pick = tuner.best_accuracy_within_latency(100.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_TRUE(pick->metrics.finite);
+  auto fast = tuner.fastest_within_accuracy(1.0);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_DOUBLE_EQ(fast->latency_s, 1.0);
+}
+
+TEST(AutoTunerTest, KneePointPrefersTheElbow) {
+  // Frontier: big accuracy gains up to 4s, then saturation — the knee must
+  // not be either extreme.
+  AutoTuner tuner(sample_points());
+  auto knee = tuner.knee_point();
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_GT(knee->latency_s, 1.0);
+  EXPECT_LT(knee->latency_s, 9.0);
+}
+
+TEST(AutoTunerTest, KneeOnEmptyOrAllDiverged) {
+  AutoTuner empty({});
+  EXPECT_FALSE(empty.knee_point().has_value());
+  AutoTuner diverged({point(1.0, std::numeric_limits<double>::infinity())});
+  EXPECT_FALSE(diverged.knee_point().has_value());
+}
+
+TEST(AutoTunerTest, SinglePointFrontier) {
+  AutoTuner tuner({point(1.0, 1e-3)});
+  auto knee = tuner.knee_point();
+  ASSERT_TRUE(knee.has_value());
+  EXPECT_DOUBLE_EQ(knee->latency_s, 1.0);
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,75 @@
+// Chunk/batch factorization sweep: the chunks x batches = iterations
+// contract must hold for any iteration count, and the functional result
+// must be independent of the chunking (it only shapes the DMA).
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core_test_util.hpp"
+
+namespace kalmmind::core {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+
+class ChunkingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkingSweep, ForRunAlwaysFactorsExactly) {
+  const std::size_t iterations = GetParam();
+  for (std::uint32_t max_chunks : {1u, 4u, 8u, 16u}) {
+    auto cfg = AcceleratorConfig::for_run(6, 20, iterations, max_chunks);
+    EXPECT_EQ(cfg.total_iterations(), iterations)
+        << "max_chunks=" << max_chunks;
+    EXPECT_LE(cfg.chunks, max_chunks);
+    EXPECT_GE(cfg.chunks, 1u);
+    EXPECT_EQ(iterations % cfg.chunks, 0u);
+    EXPECT_NO_THROW(cfg.validate());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IterationCounts, ChunkingSweep,
+                         ::testing::Values(1, 2, 3, 7, 8, 20, 30, 64, 97,
+                                           100, 128));
+
+TEST(ChunkingTest, FunctionalResultIndependentOfChunking) {
+  const auto& ds = tiny_dataset();
+  std::vector<std::vector<linalg::Vector<double>>> results;
+  for (std::uint32_t chunks : {1u, 2u, 4u, 5u, 10u, 20u}) {
+    AcceleratorConfig cfg;
+    cfg.x_dim = std::uint32_t(ds.model.x_dim());
+    cfg.z_dim = std::uint32_t(ds.model.z_dim());
+    cfg.chunks = chunks;
+    cfg.batches = std::uint32_t(ds.test_measurements.size()) / chunks;
+    cfg.calc_freq = 0;
+    cfg.approx = 2;
+    cfg.policy = 1;
+    auto run = make_gauss_newton(cfg).run(ds.model, ds.test_measurements);
+    results.push_back(run.states);
+  }
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    ASSERT_EQ(results[k].size(), results[0].size());
+    for (std::size_t n = 0; n < results[k].size(); ++n)
+      EXPECT_TRUE(results[k][n] == results[0][n])
+          << "chunking variant " << k << " iteration " << n;
+  }
+}
+
+TEST(ChunkingTest, MoreBatchesCostMoreDmaSetup) {
+  const auto& ds = tiny_dataset();
+  auto make = [&](std::uint32_t chunks) {
+    AcceleratorConfig cfg;
+    cfg.x_dim = std::uint32_t(ds.model.x_dim());
+    cfg.z_dim = std::uint32_t(ds.model.z_dim());
+    cfg.chunks = chunks;
+    cfg.batches = std::uint32_t(ds.test_measurements.size()) / chunks;
+    cfg.calc_freq = 0;
+    cfg.approx = 1;
+    cfg.policy = 1;
+    return make_gauss_newton(cfg).run(ds.model, ds.test_measurements);
+  };
+  auto coarse = make(10);
+  auto fine = make(1);
+  EXPECT_GT(fine.latency.load_cycles, coarse.latency.load_cycles);
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,104 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::core {
+namespace {
+
+TEST(AcceleratorConfigTest, DefaultIsValid) {
+  EXPECT_NO_THROW(AcceleratorConfig{}.validate());
+}
+
+TEST(AcceleratorConfigTest, TotalIterationsIsChunksTimesBatches) {
+  AcceleratorConfig cfg;
+  cfg.chunks = 5;
+  cfg.batches = 20;
+  EXPECT_EQ(cfg.total_iterations(), 100u);
+}
+
+TEST(AcceleratorConfigTest, RejectsZeroDimensions) {
+  AcceleratorConfig cfg;
+  cfg.x_dim = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.z_dim = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AcceleratorConfigTest, RejectsZeroChunksOrBatches) {
+  AcceleratorConfig cfg;
+  cfg.chunks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.batches = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AcceleratorConfigTest, RejectsPolicyAboveOne) {
+  AcceleratorConfig cfg;
+  cfg.policy = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(AcceleratorConfigTest, ApproxZeroIsLegal) {
+  AcceleratorConfig cfg;
+  cfg.approx = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(AcceleratorConfigTest, SeedPolicyMapping) {
+  AcceleratorConfig cfg;
+  cfg.policy = 0;
+  EXPECT_EQ(cfg.seed_policy(), kalman::SeedPolicy::kLastCalculated);
+  cfg.policy = 1;
+  EXPECT_EQ(cfg.seed_policy(), kalman::SeedPolicy::kPreviousIteration);
+}
+
+TEST(AcceleratorConfigTest, InterleaveCarriesRegisters) {
+  AcceleratorConfig cfg;
+  cfg.calc_freq = 4;
+  cfg.approx = 3;
+  cfg.policy = 1;
+  auto il = cfg.interleave();
+  EXPECT_EQ(il.calc_freq, 4u);
+  EXPECT_EQ(il.approx, 3u);
+  EXPECT_EQ(il.policy, kalman::SeedPolicy::kPreviousIteration);
+}
+
+TEST(AcceleratorConfigTest, ForRunFactorsIterations) {
+  auto cfg = AcceleratorConfig::for_run(6, 164, 100);
+  EXPECT_EQ(cfg.total_iterations(), 100u);
+  EXPECT_LE(cfg.chunks, 8u);
+  EXPECT_EQ(cfg.x_dim, 6u);
+  EXPECT_EQ(cfg.z_dim, 164u);
+}
+
+TEST(AcceleratorConfigTest, ForRunHandlesPrimeIterationCounts) {
+  auto cfg = AcceleratorConfig::for_run(6, 46, 97);
+  EXPECT_EQ(cfg.total_iterations(), 97u);
+  EXPECT_EQ(cfg.chunks, 1u);
+  EXPECT_EQ(cfg.batches, 97u);
+}
+
+TEST(AcceleratorConfigTest, ForRunPicksLargestDivisorWithinCapacity) {
+  auto cfg = AcceleratorConfig::for_run(6, 46, 96, /*max_chunks=*/8);
+  EXPECT_EQ(cfg.chunks, 8u);
+  EXPECT_EQ(cfg.batches, 12u);
+}
+
+TEST(AcceleratorConfigTest, ForRunRejectsZeroIterations) {
+  EXPECT_THROW(AcceleratorConfig::for_run(6, 46, 0), std::invalid_argument);
+}
+
+TEST(AcceleratorConfigTest, ToStringMentionsEveryRegister) {
+  AcceleratorConfig cfg;
+  auto s = cfg.to_string();
+  for (const char* key :
+       {"x=", "z=", "chunks=", "batches=", "approx=", "calc_freq=",
+        "policy="}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::core

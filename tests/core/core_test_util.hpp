@@ -1,0 +1,33 @@
+// Shared fixture data for the core (accelerator / DSE) tests: one small
+// dataset built once per process.
+#pragma once
+
+#include "core/metrics.hpp"
+#include "kalman/reference.hpp"
+#include "neural/dataset.hpp"
+
+namespace kalmmind::testing {
+
+inline const neural::NeuralDataset& tiny_dataset() {
+  static const neural::NeuralDataset ds = [] {
+    neural::DatasetSpec spec;
+    spec.name = "tiny";
+    spec.encoding.channels = 20;
+    spec.train_steps = 400;
+    spec.test_steps = 20;
+    spec.seed = 777;
+    return neural::build_dataset(spec);
+  }();
+  return ds;
+}
+
+inline const std::vector<linalg::Vector<double>>& tiny_reference() {
+  static const std::vector<linalg::Vector<double>> ref = [] {
+    const auto& ds = tiny_dataset();
+    return core::to_double_trajectory(
+        kalman::run_reference(ds.model, ds.test_measurements).states);
+  }();
+  return ref;
+}
+
+}  // namespace kalmmind::testing

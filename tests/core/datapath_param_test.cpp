@@ -1,0 +1,148 @@
+// Property sweep over the full accelerator family: every datapath x
+// datatype x policy combination must satisfy the architectural invariants
+// (finite functional output, schedule-consistent events, self-consistent
+// latency/power/energy, monotone resource story).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/accelerator.hpp"
+#include "core_test_util.hpp"
+
+namespace kalmmind::core {
+namespace {
+
+using hls::ApproxUnit;
+using hls::CalcUnit;
+using hls::DatapathSpec;
+using hls::NumericType;
+using kalmmind::testing::tiny_dataset;
+using kalmmind::testing::tiny_reference;
+
+struct DatapathCase {
+  const char* label;
+  DatapathSpec spec;
+};
+
+const std::vector<DatapathCase>& datapath_cases() {
+  static const std::vector<DatapathCase> kCases = [] {
+    std::vector<DatapathCase> cases;
+  cases.push_back({"gaussnewton",
+                   DatapathSpec{CalcUnit::kGauss, ApproxUnit::kNewton,
+                                NumericType::kFloat32}});
+  cases.push_back({"choleskynewton",
+                   DatapathSpec{CalcUnit::kCholesky, ApproxUnit::kNewton,
+                                NumericType::kFloat32}});
+  cases.push_back({"qrnewton",
+                   DatapathSpec{CalcUnit::kQr, ApproxUnit::kNewton,
+                                NumericType::kFloat32}});
+  cases.push_back({"gaussonly", DatapathSpec{CalcUnit::kGauss,
+                                             ApproxUnit::kNone,
+                                             NumericType::kFloat32}});
+  cases.push_back({"taylor", DatapathSpec{CalcUnit::kNone,
+                                          ApproxUnit::kTaylor,
+                                          NumericType::kFloat32}});
+  cases.push_back({"sskfnewton", DatapathSpec{CalcUnit::kConstant,
+                                              ApproxUnit::kNewton,
+                                              NumericType::kFloat32}});
+  DatapathSpec lite;
+  lite.calc = CalcUnit::kNone;
+  lite.approx = ApproxUnit::kNewton;
+  lite.lite = true;
+  cases.push_back({"lite", lite});
+  DatapathSpec sskf;
+  sskf.calc = CalcUnit::kNone;
+  sskf.approx = ApproxUnit::kNone;
+  sskf.constant_gain = true;
+  cases.push_back({"sskf", sskf});
+    return cases;
+  }();
+  return kCases;
+}
+
+class DatapathSweep
+    : public ::testing::TestWithParam<std::tuple<int, NumericType, int>> {
+ protected:
+  DatapathSpec spec() const {
+    DatapathSpec s = datapath_cases()[std::size_t(std::get<0>(GetParam()))].spec;
+    s.dtype = std::get<1>(GetParam());
+    return s;
+  }
+  AcceleratorConfig config() const {
+    const auto& ds = tiny_dataset();
+    auto cfg = AcceleratorConfig::for_run(
+        std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+        ds.test_measurements.size());
+    cfg.calc_freq = 3;
+    cfg.approx = 2;
+    cfg.policy = std::uint32_t(std::get<2>(GetParam()));
+    return cfg;
+  }
+};
+
+TEST_P(DatapathSweep, RunSatisfiesArchitecturalInvariants) {
+  Accelerator accel(spec(), config());
+  auto run = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+
+  // 1. One state and one event per iteration.
+  ASSERT_EQ(run.states.size(), config().total_iterations());
+  ASSERT_EQ(run.events.size(), run.states.size());
+
+  // 2. Finite output everywhere (these are benign configurations).
+  auto m = compare_trajectories(tiny_reference(), run.states);
+  EXPECT_TRUE(m.finite) << spec().name();
+
+  // 3. Timing self-consistency.
+  EXPECT_GT(run.latency.total_cycles, 0u);
+  EXPECT_GE(run.latency.total_cycles, run.latency.compute_cycles);
+  EXPECT_NEAR(run.energy_j, run.power_w * run.seconds, 1e-12);
+  EXPECT_GT(run.power_w, 0.0);
+  EXPECT_LT(run.power_w, 0.5) << "BAN envelope";
+
+  // 4. Resources populated and bounded.
+  EXPECT_GT(run.resources.lut, 0u);
+  EXPECT_GT(run.resources.bram, 0.0);
+
+  // 5. Determinism.
+  auto again =
+      accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  for (std::size_t n = 0; n < run.states.size(); ++n)
+    EXPECT_TRUE(run.states[n] == again.states[n]) << n;
+}
+
+TEST_P(DatapathSweep, EventsNeverReportUnbuiltHardware) {
+  Accelerator accel(spec(), config());
+  auto run = accel.run(tiny_dataset().model, tiny_dataset().test_measurements);
+  for (const auto& ev : run.events) {
+    if (spec().constant_gain) {
+      EXPECT_EQ(ev.path, kalman::InversePath::kNone);
+    }
+    if (spec().approx == ApproxUnit::kNone && !spec().constant_gain) {
+      EXPECT_EQ(ev.path, kalman::InversePath::kCalculation);
+    }
+    if (spec().lite) {
+      EXPECT_EQ(ev.path, kalman::InversePath::kApproximation);
+      EXPECT_EQ(ev.newton_iterations, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatapaths, DatapathSweep,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(NumericType::kFloat32,
+                                         NumericType::kFx32,
+                                         NumericType::kFx64),
+                       ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<DatapathSweep::ParamType>& info) {
+      const auto& c = datapath_cases()[std::size_t(std::get<0>(info.param))];
+      std::string name = c.label;
+      name += "_";
+      name += hls::to_string(std::get<1>(info.param));
+      name += "_pol";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,186 @@
+// The DSE engine: sweep enumeration, Pareto extraction, grids and ranges —
+// both on synthetic point sets (pure logic) and a real small sweep.
+#include "core/dse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core_test_util.hpp"
+
+namespace kalmmind::core {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+
+DseOptions small_options() {
+  DseOptions opt;
+  opt.approx_values = {1, 3};
+  opt.calc_freq_values = {0, 2};
+  opt.policy_values = {0, 1};
+  opt.parallelism = 1;
+  return opt;
+}
+
+DsePoint point(double latency, double mse, std::uint32_t cf = 0,
+               std::uint32_t ap = 1, std::uint32_t pol = 0) {
+  DsePoint p;
+  p.latency_s = latency;
+  p.metrics.mse = mse;
+  p.metrics.finite = std::isfinite(mse);
+  p.config.calc_freq = cf;
+  p.config.approx = ap;
+  p.config.policy = pol;
+  return p;
+}
+
+TEST(DseSweepTest, EnumeratesTheFullCross) {
+  DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  auto points = explorer.sweep(tiny_dataset(), small_options());
+  EXPECT_EQ(points.size(), 2u * 2u * 2u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.metrics.finite);
+    EXPECT_GT(p.latency_s, 0.0);
+    EXPECT_GT(p.energy_j, 0.0);
+  }
+}
+
+TEST(DseSweepTest, HigherApproxNeverFasterSameSchedule) {
+  DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  auto points = explorer.sweep(tiny_dataset(), small_options());
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      if (a.config.calc_freq == b.config.calc_freq &&
+          a.config.policy == b.config.policy &&
+          a.config.approx < b.config.approx) {
+        EXPECT_LE(a.latency_s, b.latency_s);
+      }
+    }
+  }
+}
+
+TEST(DseSweepTest, RejectsEmptyAxis) {
+  DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  DseOptions opt = small_options();
+  opt.approx_values.clear();
+  EXPECT_THROW(explorer.sweep(tiny_dataset(), opt), std::invalid_argument);
+}
+
+TEST(ParetoTest, ExtractsTheNonDominatedSet) {
+  std::vector<DsePoint> pts{point(1.0, 1e-3), point(2.0, 1e-5),
+                            point(3.0, 1e-4),  // dominated by (2.0, 1e-5)
+                            point(4.0, 1e-7),
+                            point(0.5, 1e-2)};
+  auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 4u);
+  EXPECT_EQ(front[0], 4u);  // (0.5, 1e-2)
+  EXPECT_EQ(front[1], 0u);  // (1.0, 1e-3)
+  EXPECT_EQ(front[2], 1u);  // (2.0, 1e-5)
+  EXPECT_EQ(front[3], 3u);  // (4.0, 1e-7)
+}
+
+TEST(ParetoTest, SkipsNonFinitePoints) {
+  std::vector<DsePoint> pts{
+      point(1.0, std::numeric_limits<double>::infinity()), point(2.0, 1e-5)};
+  auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0], 1u);
+}
+
+TEST(ParetoTest, FrontIsSortedAndStrictlyImproving) {
+  DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  auto points = explorer.sweep(tiny_dataset(), small_options());
+  auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(points[front[i - 1]].latency_s, points[front[i]].latency_s);
+    EXPECT_GT(points[front[i - 1]].metrics.mse, points[front[i]].metrics.mse);
+  }
+}
+
+TEST(GridTest, PicksTheBetterPolicyPerCell) {
+  DseOptions opt;
+  opt.approx_values = {1};
+  opt.calc_freq_values = {0};
+  opt.policy_values = {0, 1};
+  std::vector<DsePoint> pts{point(1.0, 1e-3, 0, 1, 0),
+                            point(1.0, 1e-5, 0, 1, 1)};
+  auto grid = best_policy_grid(pts, opt, Metric::kMse);
+  ASSERT_EQ(grid.size(), 1u);
+  ASSERT_EQ(grid[0].size(), 1u);
+  ASSERT_TRUE(grid[0][0].has_value());
+  EXPECT_EQ(pts[*grid[0][0]].config.policy, 1u);
+}
+
+TEST(GridTest, PrefersFiniteOverDiverged) {
+  DseOptions opt;
+  opt.approx_values = {1};
+  opt.calc_freq_values = {0};
+  opt.policy_values = {0, 1};
+  std::vector<DsePoint> pts{
+      point(1.0, std::numeric_limits<double>::infinity(), 0, 1, 0),
+      point(1.0, 5.0, 0, 1, 1)};
+  auto grid = best_policy_grid(pts, opt, Metric::kMse);
+  ASSERT_TRUE(grid[0][0].has_value());
+  EXPECT_EQ(pts[*grid[0][0]].config.policy, 1u);
+}
+
+TEST(GridTest, EmptyCellsStayEmpty) {
+  DseOptions opt;
+  opt.approx_values = {1, 2};
+  opt.calc_freq_values = {0};
+  opt.policy_values = {0};
+  std::vector<DsePoint> pts{point(1.0, 1e-3, 0, 1, 0)};  // only approx=1
+  auto grid = best_policy_grid(pts, opt, Metric::kMse);
+  EXPECT_TRUE(grid[0][0].has_value());
+  EXPECT_FALSE(grid[0][1].has_value());
+}
+
+TEST(MetricRangeTest, MinMaxOverFinitePoints) {
+  std::vector<DsePoint> pts{point(1, 1e-3), point(2, 1e-7),
+                            point(3, std::numeric_limits<double>::infinity()),
+                            point(4, 1e-1)};
+  auto range = metric_range(pts, Metric::kMse);
+  EXPECT_DOUBLE_EQ(range.min_value, 1e-7);
+  EXPECT_DOUBLE_EQ(range.max_value, 1e-1);
+  EXPECT_EQ(range.finite_points, 3u);
+}
+
+TEST(MetricRangeTest, AllDivergedYieldsNan) {
+  std::vector<DsePoint> pts{
+      point(1, std::numeric_limits<double>::infinity())};
+  auto range = metric_range(pts, Metric::kMse);
+  EXPECT_TRUE(std::isnan(range.min_value));
+  EXPECT_EQ(range.finite_points, 0u);
+}
+
+TEST(MetricTest, SelectorsAndNames) {
+  AccuracyMetrics m;
+  m.mse = 1;
+  m.mae = 2;
+  m.max_diff_pct = 3;
+  m.avg_diff_pct = 4;
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kMse), 1);
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kMae), 2);
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kMaxDiff), 3);
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kAvgDiff), 4);
+  EXPECT_STREQ(to_string(Metric::kMse), "MSE");
+  EXPECT_STREQ(to_string(Metric::kMaxDiff), "MAX DIFF");
+}
+
+TEST(DseSweepTest, ParallelSweepMatchesSerial) {
+  DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  auto opt = small_options();
+  auto serial = explorer.sweep(tiny_dataset(), opt);
+  opt.parallelism = 4;
+  auto parallel = explorer.sweep(tiny_dataset(), opt);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].metrics.mse, parallel[i].metrics.mse) << i;
+    EXPECT_DOUBLE_EQ(serial[i].latency_s, parallel[i].latency_s) << i;
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,103 @@
+// Property checks of the accuracy metrics against brute-force definitions
+// on random trajectories.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/metrics.hpp"
+
+namespace kalmmind::core {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector<double>> random_trajectory(std::size_t n, std::size_t dim,
+                                              std::mt19937_64& rng,
+                                              double scale) {
+  std::normal_distribution<double> white(0.0, scale);
+  std::vector<Vector<double>> out;
+  for (std::size_t t = 0; t < n; ++t) {
+    Vector<double> v(dim);
+    for (std::size_t j = 0; j < dim; ++j) v[j] = white(rng);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+class MetricsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsProperty, MatchesBruteForceDefinitions) {
+  std::mt19937_64 rng{std::uint64_t(GetParam())};
+  const std::size_t n = 20, dim = 6;
+  auto ref = random_trajectory(n, dim, rng, 5.0);
+  auto cand = ref;
+  std::normal_distribution<double> noise(0.0, 1e-3);
+  for (auto& v : cand)
+    for (std::size_t j = 0; j < dim; ++j) v[j] += noise(rng);
+
+  auto m = compare_trajectories(ref, cand);
+
+  // Brute force.
+  double se = 0, ae = 0;
+  double peak = 0;
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t j = 0; j < dim; ++j)
+      peak = std::max(peak, std::fabs(ref[t][j]));
+  const double floor = std::max(1e-9, 1e-3 * peak);
+  double rel_max = 0, rel_sum = 0;
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double err = cand[t][j] - ref[t][j];
+      se += err * err;
+      ae += std::fabs(err);
+      const double rel = std::fabs(err) / std::max(std::fabs(ref[t][j]), floor);
+      rel_max = std::max(rel_max, rel);
+      rel_sum += rel;
+    }
+  const double count = double(n * dim);
+  EXPECT_NEAR(m.mse, se / count, 1e-15);
+  EXPECT_NEAR(m.mae, ae / count, 1e-15);
+  EXPECT_NEAR(m.max_diff_pct, 100.0 * rel_max, 1e-9);
+  EXPECT_NEAR(m.avg_diff_pct, 100.0 * rel_sum / count, 1e-9);
+}
+
+TEST_P(MetricsProperty, ScalingErrorsScalesMetrics) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 100};
+  const std::size_t n = 10, dim = 4;
+  auto ref = random_trajectory(n, dim, rng, 2.0);
+  auto cand1 = ref;
+  auto cand2 = ref;
+  std::normal_distribution<double> noise(0.0, 1e-4);
+  for (std::size_t t = 0; t < n; ++t)
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double e = noise(rng);
+      cand1[t][j] += e;
+      cand2[t][j] += 3.0 * e;
+    }
+  auto m1 = compare_trajectories(ref, cand1);
+  auto m2 = compare_trajectories(ref, cand2);
+  EXPECT_NEAR(m2.mse / m1.mse, 9.0, 1e-6);
+  EXPECT_NEAR(m2.mae / m1.mae, 3.0, 1e-6);
+  EXPECT_NEAR(m2.max_diff_pct / m1.max_diff_pct, 3.0, 1e-6);
+}
+
+TEST_P(MetricsProperty, MetricsAreNonNegativeAndZeroOnlyAtIdentity) {
+  std::mt19937_64 rng{std::uint64_t(GetParam()) + 200};
+  auto ref = random_trajectory(8, 3, rng, 1.0);
+  auto cand = ref;
+  cand[3][1] += 1e-9;
+  auto m = compare_trajectories(ref, cand);
+  EXPECT_GT(m.mse, 0.0);
+  EXPECT_GT(m.mae, 0.0);
+  EXPECT_GT(m.max_diff_pct, 0.0);
+  auto zero = compare_trajectories(ref, ref);
+  EXPECT_EQ(zero.mse, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace kalmmind::core

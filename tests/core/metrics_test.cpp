@@ -1,0 +1,122 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace kalmmind::core {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector<double>> trajectory(std::initializer_list<double> flat,
+                                       std::size_t dim) {
+  std::vector<Vector<double>> out;
+  auto it = flat.begin();
+  while (it != flat.end()) {
+    Vector<double> v(dim);
+    for (std::size_t j = 0; j < dim; ++j) v[j] = *it++;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+TEST(MetricsTest, IdenticalTrajectoriesScoreZero) {
+  auto ref = trajectory({1, 2, 3, 4}, 2);
+  auto m = compare_trajectories(ref, ref);
+  EXPECT_DOUBLE_EQ(m.mse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_diff_pct, 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_diff_pct, 0.0);
+  EXPECT_TRUE(m.finite);
+}
+
+TEST(MetricsTest, ConstantOffsetGivesExactValues) {
+  auto ref = trajectory({2, 2, 2, 2}, 2);
+  auto cand = trajectory({2.1, 2.1, 2.1, 2.1}, 2);
+  auto m = compare_trajectories(ref, cand);
+  EXPECT_NEAR(m.mse, 0.01, 1e-12);
+  EXPECT_NEAR(m.mae, 0.1, 1e-12);
+  EXPECT_NEAR(m.max_diff_pct, 5.0, 1e-9);  // 0.1 / 2.0
+  EXPECT_NEAR(m.avg_diff_pct, 5.0, 1e-9);
+}
+
+TEST(MetricsTest, MaxDiffPicksTheWorstElement) {
+  auto ref = trajectory({1, 10}, 2);
+  auto cand = trajectory({1.01, 10.5}, 2);
+  auto m = compare_trajectories(ref, cand);
+  // Element 2: 0.5/10 = 5%; element 1: 0.01/1 = 1%.
+  EXPECT_NEAR(m.max_diff_pct, 5.0, 1e-9);
+}
+
+TEST(MetricsTest, NearZeroReferenceUsesFloorNormalization) {
+  // Reference peak is 100 => floor is 0.1; an error of 0.1 on a zero
+  // reference element must report <= 100%, not infinity.
+  auto ref = trajectory({100.0, 0.0}, 2);
+  auto cand = trajectory({100.0, 0.1}, 2);
+  auto m = compare_trajectories(ref, cand);
+  EXPECT_NEAR(m.max_diff_pct, 100.0, 1e-6);
+}
+
+TEST(MetricsTest, NonFiniteCandidateFlagsDivergence) {
+  auto ref = trajectory({1, 2}, 2);
+  auto cand = trajectory({1, 2}, 2);
+  cand[0][1] = std::numeric_limits<double>::quiet_NaN();
+  auto m = compare_trajectories(ref, cand);
+  EXPECT_FALSE(m.finite);
+  EXPECT_TRUE(std::isinf(m.mse));
+
+  cand[0][1] = std::numeric_limits<double>::infinity();
+  m = compare_trajectories(ref, cand);
+  EXPECT_FALSE(m.finite);
+}
+
+TEST(MetricsTest, LengthMismatchThrows) {
+  auto ref = trajectory({1, 2, 3, 4}, 2);
+  auto cand = trajectory({1, 2}, 2);
+  EXPECT_THROW(compare_trajectories(ref, cand), std::invalid_argument);
+  EXPECT_THROW(compare_trajectories({}, {}), std::invalid_argument);
+}
+
+TEST(MetricsTest, StateSizeMismatchThrows) {
+  auto ref = trajectory({1, 2}, 2);
+  auto cand = trajectory({1, 2, 3}, 3);
+  EXPECT_THROW(compare_trajectories(ref, cand), std::invalid_argument);
+}
+
+TEST(MetricsTest, BetterMsePrefersFiniteThenSmaller) {
+  AccuracyMetrics good;
+  good.mse = 1.0;
+  AccuracyMetrics better;
+  better.mse = 0.5;
+  AccuracyMetrics diverged;
+  diverged.finite = false;
+  diverged.mse = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(AccuracyMetrics::better_mse(better, good));
+  EXPECT_FALSE(AccuracyMetrics::better_mse(good, better));
+  EXPECT_TRUE(AccuracyMetrics::better_mse(good, diverged));
+  EXPECT_FALSE(AccuracyMetrics::better_mse(diverged, good));
+}
+
+TEST(MetricsTest, ToDoubleTrajectoryConverts) {
+  std::vector<linalg::Vector<float>> f{linalg::Vector<float>{1.5f, 2.5f}};
+  auto d = to_double_trajectory(f);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(d[0][1], 2.5);
+}
+
+TEST(MetricsTest, AveragesAcrossIterationsAndElements) {
+  // Two iterations, one perfect and one offset by 1 on both elements of a
+  // reference valued 1: MSE = 0.5, MAE = 0.5.
+  auto ref = trajectory({1, 1, 1, 1}, 2);
+  auto cand = trajectory({1, 1, 2, 2}, 2);
+  auto m = compare_trajectories(ref, cand);
+  EXPECT_NEAR(m.mse, 0.5, 1e-12);
+  EXPECT_NEAR(m.mae, 0.5, 1e-12);
+  EXPECT_NEAR(m.avg_diff_pct, 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,93 @@
+#include "core/realtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::core {
+namespace {
+
+std::vector<kalman::InverseEvent> schedule(std::size_t n,
+                                           std::size_t calc_freq,
+                                           std::size_t approx) {
+  std::vector<kalman::InverseEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (calc_freq && i % calc_freq == 0) {
+      events.push_back({kalman::InversePath::kCalculation, 0});
+    } else {
+      events.push_back({kalman::InversePath::kApproximation, approx});
+    }
+  }
+  return events;
+}
+
+hls::LatencyModel model() { return hls::LatencyModel(hls::HlsParams{}); }
+
+TEST(RealtimeTest, GaussIterationsMissAtMotorScale) {
+  auto report = analyze_realtime(model(), hls::DatapathSpec{}, 6, 164,
+                                 schedule(20, 1, 0), 0.05);
+  EXPECT_EQ(report.misses, 20u);
+  EXPECT_FALSE(report.sustainable);
+  EXPECT_GT(report.worst_iteration_s, 0.05);
+  EXPECT_GT(report.max_backlog, 0u);
+}
+
+TEST(RealtimeTest, SingleNewtonIterationHoldsTheDeadline) {
+  auto report = analyze_realtime(model(), hls::DatapathSpec{}, 6, 164,
+                                 schedule(20, 0, 1), 0.05);
+  // Iteration 0 is the warm-up calculation; everything after holds.
+  EXPECT_LE(report.misses, 1u);
+  EXPECT_TRUE(report.sustainable);
+  for (std::size_t n = 1; n < report.iterations.size(); ++n)
+    EXPECT_TRUE(report.iterations[n].meets_deadline) << n;
+}
+
+TEST(RealtimeTest, SmallDatasetsAreAlwaysRealTime) {
+  auto report = analyze_realtime(model(), hls::DatapathSpec{}, 6, 46,
+                                 schedule(20, 1, 0), 0.05);
+  EXPECT_EQ(report.misses, 0u);
+  EXPECT_EQ(report.max_backlog, 0u);
+  EXPECT_TRUE(report.sustainable);
+}
+
+TEST(RealtimeTest, BacklogGrowsWithCalcFrequency) {
+  auto sparse = analyze_realtime(model(), hls::DatapathSpec{}, 6, 164,
+                                 schedule(40, 8, 1), 0.05);
+  auto dense = analyze_realtime(model(), hls::DatapathSpec{}, 6, 164,
+                                schedule(40, 2, 1), 0.05);
+  EXPECT_GE(dense.max_backlog, sparse.max_backlog);
+  EXPECT_GE(dense.misses, sparse.misses);
+}
+
+TEST(RealtimeTest, BacklogDrainsBetweenSpikes) {
+  // With calculations far apart and fast approximations in between, the
+  // backlog from one spike must drain before the next.
+  auto report = analyze_realtime(model(), hls::DatapathSpec{}, 6, 164,
+                                 schedule(50, 10, 1), 0.05);
+  // Each calculation adds ~1-2 periods of backlog; drains within the 9
+  // cheap iterations after it.
+  EXPECT_LE(report.max_backlog, 3u);
+  EXPECT_TRUE(report.sustainable);
+}
+
+TEST(RealtimeTest, MeanAndWorstAreConsistent) {
+  auto report = analyze_realtime(model(), hls::DatapathSpec{}, 6, 52,
+                                 schedule(30, 3, 2), 0.05);
+  ASSERT_EQ(report.iterations.size(), 30u);
+  double total = 0.0, worst = 0.0;
+  for (const auto& it : report.iterations) {
+    total += it.seconds;
+    worst = std::max(worst, it.seconds);
+  }
+  EXPECT_NEAR(report.mean_iteration_s, total / 30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.worst_iteration_s, worst);
+}
+
+TEST(RealtimeTest, EmptyEventsGiveEmptyReport) {
+  auto report =
+      analyze_realtime(model(), hls::DatapathSpec{}, 6, 52, {}, 0.05);
+  EXPECT_TRUE(report.iterations.empty());
+  EXPECT_EQ(report.misses, 0u);
+  EXPECT_TRUE(report.sustainable);
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace kalmmind::core {
+namespace {
+
+TEST(SciTest, FormatsLikeThePaper) {
+  EXPECT_EQ(sci(3.8e-12), "3.8e-12");
+  EXPECT_EQ(sci(53.8), "5.4e+1");
+  EXPECT_EQ(sci(6.6e-6), "6.6e-6");
+  EXPECT_EQ(sci(0.05), "5.0e-2");
+}
+
+TEST(SciTest, SignificantDigitsControl) {
+  EXPECT_EQ(sci(1.23456e-3, 3), "1.23e-3");
+  EXPECT_EQ(sci(1.23456e-3, 1), "1e-3");
+}
+
+TEST(SciTest, HandlesSpecialValues) {
+  EXPECT_EQ(sci(std::nan("")), "nan");
+  EXPECT_EQ(sci(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(sci(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(sci(0.0), "0.0e+0");
+}
+
+TEST(SciTest, NegativeValuesKeepSign) {
+  EXPECT_EQ(sci(-2.5e4), "-2.5e+4");
+}
+
+TEST(FixedTest, DecimalsControl) {
+  EXPECT_EQ(fixed(12.5066, 3), "12.507");
+  EXPECT_EQ(fixed(0.5, 1), "0.5");
+  EXPECT_EQ(fixed(std::nan(""), 2), "nan");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"a", "long header"});
+  t.add_row({"xxxx", "y"});
+  const std::string s = t.to_string();
+  // Three lines: header, separator, row; all the same width.
+  const auto first = s.find('\n');
+  const auto second = s.find('\n', first + 1);
+  const auto third = s.find('\n', second + 1);
+  EXPECT_EQ(first, second - first - 1);
+  EXPECT_EQ(first, third - second - 1);
+  EXPECT_NE(s.find("long header"), std::string::npos);
+  EXPECT_NE(s.find("xxxx"), std::string::npos);
+}
+
+TEST(TextTableTest, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace kalmmind::core

@@ -1,0 +1,124 @@
+// Property sweep over fixed-point formats: every arithmetic operator must
+// match double-precision arithmetic to within the format's quantization
+// bound, across formats and magnitudes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fixedpoint/fixed.hpp"
+
+namespace kalmmind::fixedpoint {
+namespace {
+
+using Fx8 = Fixed<8, std::int32_t>;    // Q23.8  — coarse
+using Fx24 = Fixed<24, std::int32_t>;  // Q7.24  — fine, narrow range
+
+template <typename Fx>
+struct FormatTraits {
+  static double resolution() { return Fx::resolution().to_double(); }
+  static double safe_range() {
+    // Stay well inside the representable range so products do not saturate.
+    return std::sqrt(Fx::max_value().to_double()) / 2.0;
+  }
+};
+
+template <typename Fx>
+class FixedPropertyTest : public ::testing::Test {};
+
+using Formats = ::testing::Types<Fx8, Fx32, Fx24, Fx64>;
+TYPED_TEST_SUITE(FixedPropertyTest, Formats);
+
+TYPED_TEST(FixedPropertyTest, AdditionMatchesDouble) {
+  std::mt19937_64 rng(1);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(-range, range);
+  const double res = FormatTraits<TypeParam>::resolution();
+  for (int k = 0; k < 500; ++k) {
+    const double a = dist(rng), b = dist(rng);
+    const double got = (TypeParam(a) + TypeParam(b)).to_double();
+    EXPECT_NEAR(got, a + b, 2.0 * res) << a << " + " << b;
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, MultiplicationMatchesDouble) {
+  std::mt19937_64 rng(2);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(-range, range);
+  const double res = FormatTraits<TypeParam>::resolution();
+  for (int k = 0; k < 500; ++k) {
+    const double a = dist(rng), b = dist(rng);
+    const double got = (TypeParam(a) * TypeParam(b)).to_double();
+    // Input quantization errors scale with the partner's magnitude.
+    const double tol = res * (std::fabs(a) + std::fabs(b) + 1.0);
+    EXPECT_NEAR(got, a * b, tol) << a << " * " << b;
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, DivisionMatchesDouble) {
+  std::mt19937_64 rng(3);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(-range, range);
+  const double res = FormatTraits<TypeParam>::resolution();
+  for (int k = 0; k < 500; ++k) {
+    const double a = dist(rng);
+    double b = dist(rng);
+    if (std::fabs(b) < 1.0) b = b < 0 ? b - 1.0 : b + 1.0;  // keep |b| >= 1
+    const double got = (TypeParam(a) / TypeParam(b)).to_double();
+    const double tol = res * (2.0 + std::fabs(a / b) + std::fabs(1.0 / b));
+    EXPECT_NEAR(got, a / b, tol) << a << " / " << b;
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, NegationIsExact) {
+  std::mt19937_64 rng(4);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(-range, range);
+  for (int k = 0; k < 200; ++k) {
+    TypeParam a(dist(rng));
+    EXPECT_EQ((-(-a)), a);
+    EXPECT_EQ((a + (-a)).to_double(), 0.0);
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, AdditionIsAssociativeWithoutOverflow) {
+  // Fixed-point addition (unlike float) is exact, hence associative, as
+  // long as no intermediate saturates.
+  std::mt19937_64 rng(5);
+  const double range = FormatTraits<TypeParam>::safe_range() / 4.0;
+  std::uniform_real_distribution<double> dist(-range, range);
+  for (int k = 0; k < 200; ++k) {
+    TypeParam a(dist(rng)), b(dist(rng)), c(dist(rng));
+    EXPECT_EQ(((a + b) + c), (a + (b + c)));
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, OrderingMatchesDouble) {
+  std::mt19937_64 rng(6);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(-range, range);
+  const double res = FormatTraits<TypeParam>::resolution();
+  for (int k = 0; k < 200; ++k) {
+    const double a = dist(rng), b = dist(rng);
+    if (std::fabs(a - b) < 2 * res) continue;  // too close to quantize apart
+    EXPECT_EQ(TypeParam(a) < TypeParam(b), a < b) << a << " vs " << b;
+  }
+}
+
+TYPED_TEST(FixedPropertyTest, SqrtMatchesDouble) {
+  std::mt19937_64 rng(7);
+  const double range = FormatTraits<TypeParam>::safe_range();
+  std::uniform_real_distribution<double> dist(0.0, range);
+  const double res = FormatTraits<TypeParam>::resolution();
+  for (int k = 0; k < 200; ++k) {
+    const double a = dist(rng);
+    // Input quantization propagates through sqrt with derivative
+    // 1/(2 sqrt(a)), which blows up near zero.
+    const double tol =
+        res * (1.0 + std::sqrt(a) + 1.0 / (2.0 * std::sqrt(a) + 1e-9));
+    EXPECT_NEAR(TypeParam(a).sqrt().to_double(), std::sqrt(a), tol) << a;
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::fixedpoint

@@ -1,0 +1,174 @@
+// Fixed-point arithmetic: Q-format semantics, rounding, saturation
+// accounting, and interoperability with the generic linalg code.
+#include "fixedpoint/fixed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::fixedpoint {
+namespace {
+
+using linalg::Matrix;
+
+TEST(FixedTest, QFormatConstants) {
+  EXPECT_EQ(Fx32::kFracBits, 16);
+  EXPECT_EQ(Fx32::kIntBits, 15);
+  EXPECT_EQ(Fx64::kFracBits, 32);
+  EXPECT_EQ(Fx64::kIntBits, 31);
+  EXPECT_DOUBLE_EQ(Fx32::resolution().to_double(), 1.0 / 65536.0);
+}
+
+TEST(FixedTest, IntegerConstructionIsExact) {
+  EXPECT_DOUBLE_EQ(Fx32(0).to_double(), 0.0);
+  EXPECT_DOUBLE_EQ(Fx32(1).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(Fx32(2).to_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Fx32(-5).to_double(), -5.0);
+}
+
+TEST(FixedTest, DoubleRoundTripWithinResolution) {
+  for (double v : {0.1, -3.7, 123.456, -1e-4, 0.5, 1.0 / 3.0}) {
+    EXPECT_NEAR(Fx32(v).to_double(), v, Fx32::resolution().to_double());
+    EXPECT_NEAR(Fx64(v).to_double(), v, Fx64::resolution().to_double());
+  }
+}
+
+TEST(FixedTest, RepresentableValuesAreExact) {
+  EXPECT_DOUBLE_EQ(Fx32(0.25).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Fx32(-0.5).to_double(), -0.5);
+  EXPECT_DOUBLE_EQ(Fx32(1.0 + 1.0 / 65536.0).to_double(), 1.0 + 1.0 / 65536.0);
+}
+
+TEST(FixedTest, AdditionSubtractionExactForRepresentables) {
+  Fx32 a(1.25), b(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -1.25);
+  EXPECT_DOUBLE_EQ((-a).to_double(), -1.25);
+}
+
+TEST(FixedTest, MultiplicationRoundsToNearest) {
+  Fx32 a(1.5), b(2.25);
+  EXPECT_NEAR((a * b).to_double(), 3.375, Fx32::resolution().to_double());
+  // Exactly representable product: 0.5 * 0.5 = 0.25.
+  EXPECT_DOUBLE_EQ((Fx32(0.5) * Fx32(0.5)).to_double(), 0.25);
+}
+
+TEST(FixedTest, DivisionMatchesDouble) {
+  Fx32 a(7.0), b(2.0);
+  EXPECT_DOUBLE_EQ((a / b).to_double(), 3.5);
+  EXPECT_NEAR((Fx32(1.0) / Fx32(3.0)).to_double(), 1.0 / 3.0,
+              Fx32::resolution().to_double());
+  EXPECT_NEAR((Fx32(-1.0) / Fx32(3.0)).to_double(), -1.0 / 3.0,
+              Fx32::resolution().to_double());
+}
+
+TEST(FixedTest, DivisionByZeroSaturatesAndCounts) {
+  Fx32::stats().reset();
+  Fx32 q = Fx32(5.0) / Fx32(0.0);
+  EXPECT_EQ(q, Fx32::max_value());
+  Fx32 qn = Fx32(-5.0) / Fx32(0.0);
+  EXPECT_EQ(qn, Fx32::min_value());
+  EXPECT_EQ(Fx32::stats().divisions_by_zero, 2u);
+  Fx32::stats().reset();
+}
+
+TEST(FixedTest, OverflowSaturatesAndCounts) {
+  Fx32::stats().reset();
+  Fx32 big(30000.0);
+  Fx32 sum = big + big;  // 60000 > 32767 max
+  EXPECT_EQ(sum, Fx32::max_value());
+  EXPECT_GE(Fx32::stats().saturations, 1u);
+  Fx32 prod = big * big;
+  EXPECT_EQ(prod, Fx32::max_value());
+  Fx32 neg = Fx32(-30000.0) + Fx32(-30000.0);
+  EXPECT_EQ(neg, Fx32::min_value());
+  Fx32::stats().reset();
+}
+
+TEST(FixedTest, ConstructionFromOutOfRangeDoubleSaturates) {
+  Fx32::stats().reset();
+  EXPECT_EQ(Fx32(1e9), Fx32::max_value());
+  EXPECT_EQ(Fx32(-1e9), Fx32::min_value());
+  EXPECT_EQ(Fx32::stats().saturations, 2u);
+  Fx32::stats().reset();
+}
+
+TEST(FixedTest, NanConstructsToZero) {
+  EXPECT_DOUBLE_EQ(Fx32(std::nan("")).to_double(), 0.0);
+}
+
+TEST(FixedTest, ComparisonsFollowValueOrder) {
+  Fx32 a(1.0), b(2.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == Fx32(1.0));
+}
+
+TEST(FixedTest, AbsAndSqrt) {
+  EXPECT_EQ(Fx32(-3.5).abs(), Fx32(3.5));
+  EXPECT_NEAR(Fx32(2.0).sqrt().to_double(), std::sqrt(2.0),
+              Fx32::resolution().to_double());
+  EXPECT_EQ(Fx32(-4.0).sqrt(), Fx32(0));
+  EXPECT_EQ(Fx32(0.0).sqrt(), Fx32(0));
+}
+
+TEST(FixedTest, Fx64HasMuchFinerResolution) {
+  const double v = 0.123456789;
+  const double e32 = std::fabs(Fx32(v).to_double() - v);
+  const double e64 = std::fabs(Fx64(v).to_double() - v);
+  EXPECT_LT(e64, e32 / 1000.0);
+}
+
+TEST(FixedTest, ScalarTraitsIntegration) {
+  using Traits = linalg::ScalarTraits<Fx32>;
+  EXPECT_TRUE(Traits::is_fixed_point);
+  EXPECT_DOUBLE_EQ(Traits::to_double(Traits::from_double(1.5)), 1.5);
+  EXPECT_EQ(Traits::abs(Fx32(-2.0)), Fx32(2.0));
+  EXPECT_GT(Traits::pivot_floor().to_double(), 0.0);
+}
+
+TEST(FixedTest, MatrixMultiplyMatchesDoubleWithinResolution) {
+  linalg::Rng rng(7);
+  auto ad = linalg::random_matrix<double>(8, 8, rng, -2.0, 2.0);
+  auto bd = linalg::random_matrix<double>(8, 8, rng, -2.0, 2.0);
+  auto cf = linalg::multiply(ad.cast<Fx32>(), bd.cast<Fx32>());
+  auto cd = linalg::multiply(ad, bd);
+  // Error per output element <= n * (input quantization + product rounding).
+  const double tol = 8 * 4 * 4.0 * Fx32::resolution().to_double();
+  kalmmind::testing::expect_matrix_near(cd.cast<Fx32>(), cf, tol);
+}
+
+TEST(FixedTest, GaussInversionWorksInFx64) {
+  linalg::Rng rng(9);
+  auto a = linalg::random_spd<double>(6, rng, 2.0);
+  auto inv = linalg::invert_gauss(a.cast<Fx64>());
+  EXPECT_LT(linalg::inverse_residual(a.cast<Fx64>(), inv), 1e-4);
+}
+
+TEST(FixedTest, CholeskyWorksInFx64) {
+  linalg::Rng rng(11);
+  auto a = linalg::random_spd<double>(6, rng, 2.0);
+  auto l = linalg::cholesky_factor(a.cast<Fx64>());
+  auto recon = linalg::multiply_bt(l, l);
+  kalmmind::testing::expect_matrix_near(recon, a.cast<Fx64>(), 1e-4);
+}
+
+TEST(FixedTest, StatsAreSeparatePerStorageWidth) {
+  Fx32::stats().reset();
+  Fx64::stats().reset();
+  Fx32 s = Fx32(30000.0) + Fx32(30000.0);
+  (void)s;
+  EXPECT_GE(Fx32::stats().saturations, 1u);
+  EXPECT_EQ(Fx64::stats().saturations, 0u);
+  Fx32::stats().reset();
+}
+
+}  // namespace
+}  // namespace kalmmind::fixedpoint

@@ -1,0 +1,65 @@
+#include "fixedpoint/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/random.hpp"
+
+namespace kalmmind::fixedpoint {
+namespace {
+
+TEST(QuantizeTest, ExactValuesHaveZeroError) {
+  linalg::Matrix<double> m(2, 2, {1.0, -0.5, 0.25, 2.0});
+  auto stats = analyze_quantization<Fx32>(m);
+  EXPECT_EQ(stats.max_abs_error, 0.0);
+  EXPECT_EQ(stats.rms_error, 0.0);
+  EXPECT_EQ(stats.overflow_count, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_abs_value, 2.0);
+}
+
+TEST(QuantizeTest, ErrorBoundedByHalfLsb) {
+  linalg::Rng rng(3);
+  auto m = linalg::random_matrix<double>(16, 16, rng, -100.0, 100.0);
+  auto stats = analyze_quantization<Fx32>(m);
+  EXPECT_LE(stats.max_abs_error, 0.5 * Fx32::resolution().to_double() + 1e-15);
+  EXPECT_GT(stats.rms_error, 0.0);
+}
+
+TEST(QuantizeTest, Fx64ErrorIsFarSmaller) {
+  linalg::Rng rng(5);
+  auto m = linalg::random_matrix<double>(8, 8, rng, -10.0, 10.0);
+  auto e32 = analyze_quantization<Fx32>(m).rms_error;
+  auto e64 = analyze_quantization<Fx64>(m).rms_error;
+  EXPECT_LT(e64, e32 / 1e3);
+}
+
+TEST(QuantizeTest, CountsOverflows) {
+  linalg::Matrix<double> m(1, 3, {1.0, 40000.0, -50000.0});  // Fx32 max 32768
+  auto stats = analyze_quantization<Fx32>(m);
+  EXPECT_EQ(stats.overflow_count, 2u);
+}
+
+TEST(QuantizeTest, RequiredIntegerBits) {
+  EXPECT_EQ(required_integer_bits(0.5), 0);
+  EXPECT_EQ(required_integer_bits(1.0), 1);
+  EXPECT_EQ(required_integer_bits(1.5), 1);
+  EXPECT_EQ(required_integer_bits(2.0), 2);
+  EXPECT_EQ(required_integer_bits(100.0), 7);
+  EXPECT_EQ(required_integer_bits(0.0), 1);
+}
+
+TEST(QuantizeTest, AvailableFractionBits) {
+  // 32-bit signed holding |v| <= 100 (7 int bits): 32-1-7 = 24 frac bits.
+  EXPECT_EQ(available_fraction_bits(32, 100.0), 24);
+  // 16 bits cannot hold |v| <= 1e6 meaningfully.
+  EXPECT_LT(available_fraction_bits(16, 1e6), 0);
+}
+
+TEST(QuantizeTest, RecommendationString) {
+  const auto rec = recommend_format(100.0, 32);
+  EXPECT_NE(rec.find("Q7.24"), std::string::npos);
+  const auto impossible = recommend_format(1e12, 16);
+  EXPECT_NE(impossible.find("no signed Q format"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kalmmind::fixedpoint

@@ -1,0 +1,97 @@
+#include "hls/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::hls {
+namespace {
+
+LatencyModel model() { return LatencyModel(HlsParams{}); }
+
+TEST(LatencyTest, SecondsConversionUsesClock) {
+  HlsParams p;
+  p.clock_hz = 100e6;
+  EXPECT_DOUBLE_EQ(p.seconds(100000000ull), 1.0);
+}
+
+TEST(LatencyTest, NewtonCyclesScaleWithIterations) {
+  auto m = model();
+  const auto one = m.newton_cycles(164, 1);
+  const auto three = m.newton_cycles(164, 3);
+  EXPECT_GT(three, 2 * one);
+  EXPECT_LT(three, 4 * one);
+}
+
+TEST(LatencyTest, NewtonUsesTheMacArray) {
+  // 8 parallel MACs: one Newton step must be far cheaper than the same
+  // MACs on the II=1 scalar datapath.
+  HlsParams p;
+  LatencyModel m(p);
+  const auto newton = m.newton_cycles(164, 1);
+  const double serial_macs = double(newton_ops_per_iteration(164));
+  EXPECT_LT(double(newton), serial_macs / 4.0);
+  EXPECT_GT(double(newton),
+            serial_macs / (p.newton_mac_units * 2.0));
+}
+
+TEST(LatencyTest, GaussCalcDominatesNewtonStep) {
+  auto m = model();
+  EXPECT_GT(m.calc_cycles(CalcUnit::kGauss, 164), m.newton_cycles(164, 1));
+}
+
+TEST(LatencyTest, CholeskyIiPenaltyMakesItSlowerThanGauss) {
+  // Cholesky does fewer raw ops but cannot pipeline its divide/sqrt
+  // recurrence — the model's II multiplier must keep it above Gauss.
+  auto m = model();
+  EXPECT_GT(m.calc_cycles(CalcUnit::kCholesky, 164),
+            m.calc_cycles(CalcUnit::kGauss, 164));
+}
+
+TEST(LatencyTest, ConstantPathIsNearlyFree) {
+  auto m = model();
+  EXPECT_LT(m.calc_cycles(CalcUnit::kConstant, 164), 1000u);
+  EXPECT_EQ(m.calc_cycles(CalcUnit::kNone, 164), 0u);
+}
+
+TEST(LatencyTest, ConstantGainCommonIsMuchCheaper) {
+  auto m = model();
+  EXPECT_LT(m.common_cycles(6, 164, true) * 20,
+            m.common_cycles(6, 164, false));
+}
+
+TEST(LatencyTest, DmaCostIncludesSetupAndBandwidth) {
+  HlsParams p;
+  LatencyModel m(p);
+  const auto empty = m.dma_cycles(0, 4);
+  EXPECT_EQ(empty, p.dma_setup_cycles);
+  const auto kb = m.dma_cycles(1024, 4);  // 4 KiB at 8 B/cycle = 512
+  EXPECT_EQ(kb, p.dma_setup_cycles + 512);
+  // Wider words move more bytes.
+  EXPECT_GT(m.dma_cycles(1024, 8), kb);
+}
+
+TEST(LatencyTest, HundredIterationGaussOnlyLandsNearPaper) {
+  // Gauss every iteration on the motor dimensions should land in the
+  // paper's ~12.5 s ballpark (we accept 10-14 s).
+  auto m = model();
+  HlsParams p;
+  const std::uint64_t per_iter =
+      m.common_cycles(6, 164, false) + m.calc_cycles(CalcUnit::kGauss, 164);
+  const double secs = p.seconds(per_iter * 100);
+  EXPECT_GT(secs, 10.0);
+  EXPECT_LT(secs, 14.0);
+}
+
+TEST(LatencyTest, MinimalNewtonConfigIsRealTime) {
+  // approx=1 / calc_freq=0: 100 iterations must land well under the 5 s
+  // real-time budget (paper: 2.8 s).
+  auto m = model();
+  HlsParams p;
+  const std::uint64_t per_iter =
+      m.common_cycles(6, 164, false) + m.newton_cycles(164, 1);
+  const double secs = p.seconds(per_iter * 100);
+  EXPECT_LT(secs, 5.0);
+  EXPECT_GT(secs, 1.0);
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

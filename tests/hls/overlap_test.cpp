@@ -1,0 +1,93 @@
+// The double-buffering knob of the latency model, exercised through the
+// accelerator (the DMA-overlap ablation's backing logic).
+#include <gtest/gtest.h>
+
+#include "../core/core_test_util.hpp"
+#include "core/accelerator.hpp"
+
+namespace kalmmind::hls {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+
+core::AcceleratorConfig cfg() {
+  const auto& ds = tiny_dataset();
+  auto c = core::AcceleratorConfig::for_run(
+      std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+      ds.test_measurements.size());
+  c.calc_freq = 0;
+  c.approx = 1;
+  c.policy = 1;
+  return c;
+}
+
+TEST(OverlapTest, SerialModeIsNeverFaster) {
+  HlsParams overlapped;
+  HlsParams serial;
+  serial.double_buffering = false;
+  auto run_o = core::Accelerator(DatapathSpec{}, cfg(), overlapped)
+                   .run(tiny_dataset().model,
+                        tiny_dataset().test_measurements);
+  auto run_s = core::Accelerator(DatapathSpec{}, cfg(), serial)
+                   .run(tiny_dataset().model,
+                        tiny_dataset().test_measurements);
+  EXPECT_LE(run_o.latency.total_cycles, run_s.latency.total_cycles);
+  // Functional results are identical — the knob only affects timing.
+  for (std::size_t n = 0; n < run_o.states.size(); ++n)
+    EXPECT_TRUE(run_o.states[n] == run_s.states[n]) << n;
+}
+
+TEST(OverlapTest, SerialPenaltyEqualsHiddenDma) {
+  // In serial mode every chunk's in/out DMA shows up in the total; in
+  // overlapped mode only the first-in/last-out pair does (compute-bound
+  // case).  The gap is bounded by the total streaming DMA.
+  HlsParams overlapped;
+  HlsParams serial;
+  serial.double_buffering = false;
+  auto run_o = core::Accelerator(DatapathSpec{}, cfg(), overlapped)
+                   .run(tiny_dataset().model,
+                        tiny_dataset().test_measurements);
+  auto run_s = core::Accelerator(DatapathSpec{}, cfg(), serial)
+                   .run(tiny_dataset().model,
+                        tiny_dataset().test_measurements);
+  const auto gap = run_s.latency.total_cycles - run_o.latency.total_cycles;
+  const auto streaming =
+      run_s.latency.load_cycles + run_s.latency.store_cycles;
+  EXPECT_LE(gap, streaming);
+  EXPECT_GT(gap, 0u);
+}
+
+TEST(OverlapTest, InvocationOverheadIsChargedOncePerRun) {
+  HlsParams with;
+  HlsParams without;
+  without.invocation_overhead_cycles = 0;
+  auto run_w = core::Accelerator(DatapathSpec{}, cfg(), with)
+                   .run(tiny_dataset().model,
+                        tiny_dataset().test_measurements);
+  auto run_wo = core::Accelerator(DatapathSpec{}, cfg(), without)
+                    .run(tiny_dataset().model,
+                         tiny_dataset().test_measurements);
+  EXPECT_EQ(run_w.latency.total_cycles - run_wo.latency.total_cycles,
+            with.invocation_overhead_cycles);
+}
+
+TEST(OverlapTest, ChunkCountTradesDmaSetupAgainstBuffering) {
+  // More chunks => more DMA transactions => serial mode pays more setup.
+  HlsParams serial;
+  serial.double_buffering = false;
+  const auto& ds = tiny_dataset();
+  auto few = cfg();
+  few.chunks = 10;
+  few.batches = 2;
+  auto many = cfg();
+  many.chunks = 1;
+  many.batches = 20;
+  auto run_few = core::Accelerator(DatapathSpec{}, few, serial)
+                     .run(ds.model, ds.test_measurements);
+  auto run_many = core::Accelerator(DatapathSpec{}, many, serial)
+                      .run(ds.model, ds.test_measurements);
+  EXPECT_LT(run_few.latency.total_cycles, run_many.latency.total_cycles);
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

@@ -1,0 +1,71 @@
+#include "hls/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hls/resources.hpp"
+
+namespace kalmmind::hls {
+namespace {
+
+TEST(PowerTest, StaticFloorWithZeroResources) {
+  PowerModel model;
+  ResourceEstimate none;
+  EXPECT_DOUBLE_EQ(model.average_power_w(none), model.coeff.static_w);
+}
+
+TEST(PowerTest, MonotonicInEveryResource) {
+  PowerModel model;
+  ResourceEstimate base{10000, 8000, 100.0, 200};
+  const double p0 = model.average_power_w(base);
+  for (int which = 0; which < 4; ++which) {
+    ResourceEstimate bigger = base;
+    if (which == 0) bigger.lut += 5000;
+    if (which == 1) bigger.ff += 5000;
+    if (which == 2) bigger.bram += 50;
+    if (which == 3) bigger.dsp += 100;
+    EXPECT_GT(model.average_power_w(bigger), p0) << which;
+  }
+}
+
+TEST(PowerTest, ActivityScalesOnlyDynamicPart) {
+  PowerModel model;
+  ResourceEstimate res{20000, 15000, 200.0, 250};
+  const double idle = model.average_power_w(res, 0.0);
+  const double half = model.average_power_w(res, 0.5);
+  const double full = model.average_power_w(res, 1.0);
+  EXPECT_DOUBLE_EQ(idle, model.coeff.static_w);
+  EXPECT_NEAR(half - idle, (full - idle) / 2.0, 1e-12);
+}
+
+TEST(PowerTest, EnergyIsPowerTimesTime) {
+  PowerModel model;
+  ResourceEstimate res{20000, 15000, 200.0, 250};
+  const double p = model.average_power_w(res);
+  EXPECT_DOUBLE_EQ(model.energy_j(res, 3.0), 3.0 * p);
+}
+
+TEST(PowerTest, AcceleratorsMeetTheBanBudget) {
+  // All Table III datapaths must land under ~250 mW with the default
+  // coefficients (the paper's BAN constraint is ~200 mW).
+  PowerModel model;
+  for (CalcUnit c : {CalcUnit::kGauss, CalcUnit::kCholesky, CalcUnit::kQr}) {
+    DatapathSpec spec;
+    spec.calc = c;
+    EXPECT_LT(model.average_power_w(estimate_resources(spec)), 0.25)
+        << to_string(c);
+  }
+}
+
+TEST(PowerTest, SskfUsesAFractionOfGaussNewtonPower) {
+  PowerModel model;
+  DatapathSpec sskf;
+  sskf.calc = CalcUnit::kNone;
+  sskf.approx = ApproxUnit::kNone;
+  sskf.constant_gain = true;
+  const double p_sskf = model.average_power_w(estimate_resources(sskf));
+  const double p_gn = model.average_power_w(estimate_resources({}));
+  EXPECT_LT(p_sskf, 0.6 * p_gn);
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

@@ -1,0 +1,93 @@
+#include "hls/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::hls {
+namespace {
+
+std::vector<kalman::InverseEvent> interleaved_events(std::size_t n,
+                                                     std::size_t calc_freq,
+                                                     std::size_t approx) {
+  std::vector<kalman::InverseEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (calc_freq && i % calc_freq == 0) {
+      events.push_back({kalman::InversePath::kCalculation, 0});
+    } else {
+      events.push_back({kalman::InversePath::kApproximation, approx});
+    }
+  }
+  return events;
+}
+
+TEST(LatencyReportTest, SharesSumToOne) {
+  LatencyModel model{HlsParams{}};
+  auto report = build_latency_report(model, DatapathSpec{}, 6, 164,
+                                     interleaved_events(100, 4, 2));
+  double total_share = 0.0;
+  std::uint64_t total_cycles = 0;
+  for (const auto& e : report.entries) {
+    total_share += e.share;
+    total_cycles += e.cycles;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+  EXPECT_EQ(total_cycles, report.compute_cycles);
+  EXPECT_GT(report.seconds, 0.0);
+}
+
+TEST(LatencyReportTest, InvocationCountsMatchSchedule) {
+  LatencyModel model{HlsParams{}};
+  auto report = build_latency_report(model, DatapathSpec{}, 6, 52,
+                                     interleaved_events(20, 4, 3));
+  std::uint64_t calc = 0, approx = 0, common = 0;
+  for (const auto& e : report.entries) {
+    if (e.module.find("path A") != std::string::npos) calc = e.invocations;
+    if (e.module.find("path B") != std::string::npos) approx = e.invocations;
+    if (e.module.find("common") != std::string::npos) common = e.invocations;
+  }
+  EXPECT_EQ(common, 20u);
+  EXPECT_EQ(calc, 5u);    // iterations 0,4,8,12,16
+  EXPECT_EQ(approx, 15u);
+}
+
+TEST(LatencyReportTest, GaussEveryIterationIsCalcDominated) {
+  LatencyModel model{HlsParams{}};
+  auto report = build_latency_report(model, DatapathSpec{}, 6, 164,
+                                     interleaved_events(50, 1, 0));
+  for (const auto& e : report.entries) {
+    if (e.module.find("path A") != std::string::npos) {
+      EXPECT_GT(e.share, 0.8) << "Gauss dominates the per-iteration cost";
+    }
+  }
+}
+
+TEST(LatencyReportTest, ConstantGainHasOnlyCommonWork) {
+  DatapathSpec sskf;
+  sskf.calc = CalcUnit::kNone;
+  sskf.approx = ApproxUnit::kNone;
+  sskf.constant_gain = true;
+  std::vector<kalman::InverseEvent> events(
+      30, {kalman::InversePath::kNone, 0});
+  LatencyModel model{HlsParams{}};
+  auto report = build_latency_report(model, sskf, 6, 164, events);
+  ASSERT_GE(report.entries.size(), 1u);
+  // Everything is the (reduced) common datapath; no calc/approx cycles.
+  for (const auto& e : report.entries) {
+    if (e.module.find("common") != std::string::npos) {
+      EXPECT_GT(e.share, 0.99);
+    }
+  }
+}
+
+TEST(LatencyReportTest, ToStringMentionsEveryModule) {
+  LatencyModel model{HlsParams{}};
+  auto report = build_latency_report(model, DatapathSpec{}, 6, 46,
+                                     interleaved_events(10, 2, 1));
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("common"), std::string::npos);
+  EXPECT_NE(s.find("gauss"), std::string::npos);
+  EXPECT_NE(s.find("newton"), std::string::npos);
+  EXPECT_NE(s.find("cycles"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

@@ -1,0 +1,121 @@
+#include "hls/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::hls {
+namespace {
+
+DatapathSpec gauss_newton() { return {}; }
+
+DatapathSpec with(CalcUnit c, ApproxUnit a,
+                  NumericType t = NumericType::kFloat32) {
+  DatapathSpec s;
+  s.calc = c;
+  s.approx = a;
+  s.dtype = t;
+  return s;
+}
+
+TEST(ResourcesTest, SskfIsTheSmallestAccelerator) {
+  DatapathSpec sskf;
+  sskf.calc = CalcUnit::kNone;
+  sskf.approx = ApproxUnit::kNone;
+  sskf.constant_gain = true;
+  auto r_sskf = estimate_resources(sskf);
+  auto r_gn = estimate_resources(gauss_newton());
+  EXPECT_LT(r_sskf.lut, r_gn.lut);
+  EXPECT_LT(r_sskf.ff, r_gn.ff);
+  EXPECT_LT(r_sskf.bram, r_gn.bram / 4);
+  EXPECT_LT(r_sskf.dsp, r_gn.dsp);
+}
+
+TEST(ResourcesTest, Fx64HasMostDsps) {
+  auto f32 = estimate_resources(gauss_newton());
+  auto fx64 = estimate_resources(
+      with(CalcUnit::kGauss, ApproxUnit::kNewton, NumericType::kFx64));
+  auto fx32 = estimate_resources(
+      with(CalcUnit::kGauss, ApproxUnit::kNewton, NumericType::kFx32));
+  EXPECT_GT(fx64.dsp, f32.dsp);
+  EXPECT_LT(fx32.dsp, f32.dsp);
+  EXPECT_LT(fx32.lut, f32.lut);
+}
+
+TEST(ResourcesTest, QrIsTheLutHeaviestCalcUnit) {
+  auto qr = estimate_resources(with(CalcUnit::kQr, ApproxUnit::kNewton));
+  auto gauss = estimate_resources(gauss_newton());
+  auto chol =
+      estimate_resources(with(CalcUnit::kCholesky, ApproxUnit::kNewton));
+  EXPECT_GT(qr.lut, gauss.lut);
+  EXPECT_GT(qr.lut, chol.lut);
+}
+
+TEST(ResourcesTest, CholeskyNeedsMoreBramThanGauss) {
+  auto gauss = estimate_resources(gauss_newton());
+  auto chol =
+      estimate_resources(with(CalcUnit::kCholesky, ApproxUnit::kNewton));
+  EXPECT_GT(chol.bram, gauss.bram);
+}
+
+TEST(ResourcesTest, LiteTrimsTheFullDatapath) {
+  DatapathSpec lite;
+  lite.calc = CalcUnit::kNone;
+  lite.approx = ApproxUnit::kNewton;
+  lite.lite = true;
+  auto r_lite = estimate_resources(lite);
+  auto r_gn = estimate_resources(gauss_newton());
+  EXPECT_LT(r_lite.lut, r_gn.lut);
+  EXPECT_LT(r_lite.bram, r_gn.bram);
+  EXPECT_LT(r_lite.dsp, r_gn.dsp);
+}
+
+TEST(ResourcesTest, BramScalesWithMeasurementDimension) {
+  ResourceModelConfig small;
+  small.max_z_dim = 46;
+  ResourceModelConfig large;
+  large.max_z_dim = 164;
+  auto r_small = estimate_resources(gauss_newton(), small);
+  auto r_large = estimate_resources(gauss_newton(), large);
+  EXPECT_GT(r_large.bram, 5.0 * r_small.bram);
+  // Logic resources are dimension-independent (same datapath).
+  EXPECT_EQ(r_small.lut, r_large.lut);
+  EXPECT_EQ(r_small.dsp, r_large.dsp);
+}
+
+TEST(ResourcesTest, NewtonArrayScalesWithMacCount) {
+  ResourceModelConfig eight;
+  ResourceModelConfig sixteen;
+  sixteen.newton_mac_units = 16;
+  auto r8 = estimate_resources(gauss_newton(), eight);
+  auto r16 = estimate_resources(gauss_newton(), sixteen);
+  EXPECT_GT(r16.dsp, r8.dsp + 60);  // ~11 DSP per extra float MAC
+  EXPECT_GT(r16.lut, r8.lut);
+}
+
+TEST(ResourcesTest, EstimatesLandNearPaperTable3) {
+  // Loose brackets (+-40%) around the paper's Gauss/Newton row:
+  // LUT 22119, FF 18725, BRAM 228, DSP 252.
+  ResourceModelConfig cfg;
+  cfg.max_z_dim = 164;
+  auto r = estimate_resources(gauss_newton(), cfg);
+  EXPECT_GT(r.lut, 13000u);
+  EXPECT_LT(r.lut, 31000u);
+  EXPECT_GT(r.ff, 11000u);
+  EXPECT_LT(r.ff, 26000u);
+  EXPECT_GT(r.bram, 140.0);
+  EXPECT_LT(r.bram, 320.0);
+  EXPECT_GT(r.dsp, 150u);
+  EXPECT_LT(r.dsp, 350u);
+}
+
+TEST(ResourcesTest, AccumulationOperator) {
+  ResourceEstimate a{100, 200, 1.5, 3};
+  ResourceEstimate b{1, 2, 0.5, 4};
+  a += b;
+  EXPECT_EQ(a.lut, 101u);
+  EXPECT_EQ(a.ff, 202u);
+  EXPECT_DOUBLE_EQ(a.bram, 2.0);
+  EXPECT_EQ(a.dsp, 7u);
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

@@ -1,0 +1,61 @@
+#include "hls/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::hls {
+namespace {
+
+TEST(WorkloadTest, CommonMacsHandCountTiny) {
+  // x=1, z=1: 3+2 + 1+1+1 + 1+1 + 1+1+1+1 + 1+1 = 16
+  EXPECT_EQ(kf_common_macs(1, 1), 16u);
+}
+
+TEST(WorkloadTest, CommonMacsDominatedByZSquaredTerms) {
+  // For x << z the z^2 terms dominate: coefficient is (x + 1 + x) = 2x+1.
+  const std::uint64_t x = 6, z = 1000;
+  const double got = double(kf_common_macs(x, z));
+  const double leading = double((2 * x + 1) * z * z);
+  EXPECT_NEAR(got / leading, 1.0, 0.05);
+}
+
+TEST(WorkloadTest, SskfIterationIsFarCheaper) {
+  EXPECT_LT(sskf_common_macs(6, 164) * 100, kf_common_macs(6, 164));
+}
+
+TEST(WorkloadTest, GaussIsCubicWithFactorTwo) {
+  const std::uint64_t n = 200;
+  EXPECT_NEAR(double(gauss_ops(n)) / double(2 * n * n * n), 1.0, 0.05);
+}
+
+TEST(WorkloadTest, MethodOrdering) {
+  const std::uint64_t n = 164;
+  // QR is the most expensive calculation; Cholesky the cheapest.
+  EXPECT_GT(qr_ops(n), gauss_ops(n));
+  EXPECT_LT(cholesky_ops(n), gauss_ops(n));
+}
+
+TEST(WorkloadTest, NewtonIsTwoMatmulsPerIteration) {
+  const std::uint64_t n = 52;
+  EXPECT_EQ(newton_ops_per_iteration(n), 2 * n * n * n);
+}
+
+TEST(WorkloadTest, TaylorGrowsWithOrder) {
+  const std::uint64_t n = 46;
+  EXPECT_LT(taylor_ops(n, 2), taylor_ops(n, 4));
+  EXPECT_EQ(taylor_ops(n, 2), n * n * n + 2 * n * n);
+}
+
+TEST(WorkloadTest, SoftwareFlopsCountsMacsTwice) {
+  const std::uint64_t x = 6, z = 46;
+  EXPECT_DOUBLE_EQ(kf_software_flops(x, z),
+                   2.0 * double(kf_common_macs(x, z) + gauss_ops(z)));
+}
+
+TEST(WorkloadTest, MonotonicInDimensions) {
+  EXPECT_LT(kf_common_macs(6, 46), kf_common_macs(6, 52));
+  EXPECT_LT(kf_common_macs(6, 52), kf_common_macs(6, 164));
+  EXPECT_LT(gauss_ops(46), gauss_ops(164));
+}
+
+}  // namespace
+}  // namespace kalmmind::hls

@@ -1,0 +1,245 @@
+// The synthesizable-style Gauss/Newton kernel, cross-validated against the
+// library accelerator model on real dataset workloads.
+#include "hlskernel/gauss_newton_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "../core/core_test_util.hpp"
+#include "fixedpoint/fixed.hpp"
+#include "core/accelerator.hpp"
+
+namespace kalmmind::hlskernel {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+using kalmmind::testing::tiny_reference;
+using Kernel = GaussNewtonKernel<8, 32>;
+
+Kernel::Registers regs_for(const neural::NeuralDataset& ds,
+                           int calc_freq, int approx, int policy) {
+  Kernel::Registers regs;
+  regs.x_dim = int(ds.model.x_dim());
+  regs.z_dim = int(ds.model.z_dim());
+  regs.chunks = 5;
+  regs.batches = int(ds.test_measurements.size()) / 5;
+  regs.approx = approx;
+  regs.calc_freq = calc_freq;
+  regs.policy = policy;
+  return regs;
+}
+
+// Flatten the dataset into the kernel's DMA buffer layout.
+struct KernelIo {
+  std::vector<float> f, q, h, r, x0, p0, z, states;
+};
+
+KernelIo prepare_io(const neural::NeuralDataset& ds) {
+  KernelIo io;
+  auto fm = ds.model.cast<float>();
+  const std::size_t x = ds.model.x_dim(), z = ds.model.z_dim();
+  io.f.assign(fm.f.data(), fm.f.data() + x * x);
+  io.q.assign(fm.q.data(), fm.q.data() + x * x);
+  io.h.assign(fm.h.data(), fm.h.data() + z * x);
+  io.r.assign(fm.r.data(), fm.r.data() + z * z);
+  io.x0.assign(fm.x0.data(), fm.x0.data() + x);
+  io.p0.assign(fm.p0.data(), fm.p0.data() + x * x);
+  for (const auto& zn : ds.test_measurements)
+    for (std::size_t j = 0; j < z; ++j) io.z.push_back(float(zn[j]));
+  io.states.resize(ds.test_measurements.size() * x);
+  return io;
+}
+
+TEST(KernelTest, ConfigureRejectsBadRegisters) {
+  auto kernel = std::make_unique<Kernel>();
+  Kernel::Registers regs;
+  regs.x_dim = 9;  // > MAX_X
+  EXPECT_FALSE(kernel->configure(regs));
+  regs = {};
+  regs.z_dim = 33;  // > MAX_Z
+  EXPECT_FALSE(kernel->configure(regs));
+  regs = {};
+  regs.policy = 2;
+  EXPECT_FALSE(kernel->configure(regs));
+  regs = {};
+  regs.chunks = 0;
+  EXPECT_FALSE(kernel->configure(regs));
+  regs = {};
+  EXPECT_TRUE(kernel->configure(regs));
+  EXPECT_TRUE(kernel->configured());
+}
+
+TEST(KernelTest, SchedulesCalcAndApproxLikeTheRegisters) {
+  const auto& ds = tiny_dataset();
+  auto kernel = std::make_unique<Kernel>();
+  ASSERT_TRUE(kernel->configure(regs_for(ds, /*calc_freq=*/4, 2, 1)));
+  auto io = prepare_io(ds);
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+  EXPECT_EQ(kernel->calculation_count(), 5);    // iterations 0,4,8,12,16
+  EXPECT_EQ(kernel->approximation_count(), 15);
+}
+
+TEST(KernelTest, MatchesLibraryAcceleratorClosely) {
+  // Same datapath, same schedule, float32 both sides — only the summation
+  // order differs (kernel uses the 8-lane MAC pattern), so the
+  // trajectories agree to float32 round-off, and both match the float64
+  // reference at the library accelerator's accuracy level.
+  const auto& ds = tiny_dataset();
+  for (int policy : {0, 1}) {
+    auto kernel = std::make_unique<Kernel>();
+    ASSERT_TRUE(kernel->configure(regs_for(ds, 0, 3, policy)));
+    auto io = prepare_io(ds);
+    kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                       io.x0.data(), io.p0.data());
+    kernel->run(io.z.data(), io.states.data());
+
+    auto cfg = core::AcceleratorConfig::for_run(
+        std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+        ds.test_measurements.size());
+    cfg.calc_freq = 0;
+    cfg.approx = 3;
+    cfg.policy = std::uint32_t(policy);
+    auto lib = core::make_gauss_newton(cfg).run(ds.model,
+                                                ds.test_measurements);
+
+    const std::size_t x = ds.model.x_dim();
+    double max_state = 0.0;
+    for (const auto& s : lib.states)
+      for (std::size_t j = 0; j < x; ++j)
+        max_state = std::max(max_state, std::fabs(s[j]));
+    for (std::size_t n = 0; n < lib.states.size(); ++n)
+      for (std::size_t j = 0; j < x; ++j)
+        EXPECT_NEAR(double(io.states[n * x + j]), lib.states[n][j],
+                    1e-4 * std::max(1.0, max_state))
+            << "policy " << policy << " iter " << n << " dim " << j;
+  }
+}
+
+TEST(KernelTest, TracksTheFloat64Reference) {
+  const auto& ds = tiny_dataset();
+  auto kernel = std::make_unique<Kernel>();
+  ASSERT_TRUE(kernel->configure(regs_for(ds, 0, 4, 1)));
+  auto io = prepare_io(ds);
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+
+  const auto& ref = tiny_reference();
+  const std::size_t x = ds.model.x_dim();
+  double se = 0.0;
+  std::size_t count = 0;
+  for (std::size_t n = 0; n < ref.size(); ++n)
+    for (std::size_t j = 0; j < x; ++j) {
+      const double err = double(io.states[n * x + j]) - ref[n][j];
+      se += err * err;
+      ++count;
+    }
+  EXPECT_LT(se / double(count), 1e-6);
+}
+
+TEST(KernelTest, GaussEveryIterationMatchesCalcOnlySchedule) {
+  const auto& ds = tiny_dataset();
+  auto kernel = std::make_unique<Kernel>();
+  ASSERT_TRUE(kernel->configure(regs_for(ds, 1, 3, 0)));
+  auto io = prepare_io(ds);
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+  EXPECT_EQ(kernel->calculation_count(),
+            int(ds.test_measurements.size()));
+  EXPECT_EQ(kernel->approximation_count(), 0);
+}
+
+TEST(KernelTest, CovarianceReadbackIsSymmetricAndPositive) {
+  const auto& ds = tiny_dataset();
+  auto kernel = std::make_unique<Kernel>();
+  ASSERT_TRUE(kernel->configure(regs_for(ds, 0, 3, 1)));
+  auto io = prepare_io(ds);
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+
+  const int x = int(ds.model.x_dim());
+  std::vector<float> p(std::size_t(x) * x);
+  kernel->read_covariance(p.data());
+  for (int i = 0; i < x; ++i) {
+    EXPECT_GT(p[std::size_t(i) * x + i], 0.0f) << "posterior variance";
+    for (int j = 0; j < x; ++j)
+      EXPECT_NEAR(p[std::size_t(i) * x + j], p[std::size_t(j) * x + i],
+                  1e-4f * std::fabs(p[std::size_t(i) * x + i]) + 1e-6f);
+  }
+}
+
+TEST(KernelTest, ReloadResetsTheRecursion) {
+  const auto& ds = tiny_dataset();
+  auto kernel = std::make_unique<Kernel>();
+  ASSERT_TRUE(kernel->configure(regs_for(ds, 0, 2, 1)));
+  auto io = prepare_io(ds);
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+  auto first = io.states;
+  kernel->load_model(io.f.data(), io.q.data(), io.h.data(), io.r.data(),
+                     io.x0.data(), io.p0.data());
+  kernel->run(io.z.data(), io.states.data());
+  EXPECT_EQ(first, io.states) << "reload must be bit-identical";
+}
+
+}  // namespace
+}  // namespace kalmmind::hlskernel
+
+namespace kalmmind::hlskernel {
+namespace {
+
+// The same kernel synthesized for the FX64 (Q31.32) datapath.
+TEST(KernelTest, Fx64KernelMatchesLibraryFx64Datapath) {
+  using kalmmind::fixedpoint::Fx64;
+  using FxKernel = DatapathKernel<Fx64, 8, 32>;
+  const auto& ds = kalmmind::testing::tiny_dataset();
+
+  auto kernel = std::make_unique<FxKernel>();
+  FxKernel::Registers regs;
+  regs.x_dim = int(ds.model.x_dim());
+  regs.z_dim = int(ds.model.z_dim());
+  regs.chunks = 5;
+  regs.batches = int(ds.test_measurements.size()) / 5;
+  regs.approx = 3;
+  regs.calc_freq = 0;
+  regs.policy = 1;
+  ASSERT_TRUE(kernel->configure(regs));
+
+  // Quantize the model and the stream into the Q format, as the DMA load
+  // would.
+  auto fxm = ds.model.cast<Fx64>();
+  std::vector<Fx64> zbuf;
+  for (const auto& zn : ds.test_measurements)
+    for (std::size_t j = 0; j < ds.model.z_dim(); ++j)
+      zbuf.push_back(Fx64(zn[j]));
+  std::vector<Fx64> states(ds.test_measurements.size() * ds.model.x_dim());
+
+  kernel->load_model(fxm.f.data(), fxm.q.data(), fxm.h.data(), fxm.r.data(),
+                     fxm.x0.data(), fxm.p0.data());
+  kernel->run(zbuf.data(), states.data());
+
+  auto cfg = core::AcceleratorConfig::for_run(
+      std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+      ds.test_measurements.size());
+  cfg.calc_freq = 0;
+  cfg.approx = 3;
+  cfg.policy = 1;
+  auto lib = core::make_gauss_newton(cfg, hls::NumericType::kFx64)
+                 .run(ds.model, ds.test_measurements);
+
+  const std::size_t x = ds.model.x_dim();
+  for (std::size_t n = 0; n < lib.states.size(); ++n)
+    for (std::size_t j = 0; j < x; ++j)
+      EXPECT_NEAR(states[n * x + j].to_double(), lib.states[n][j], 1e-4)
+          << n << "," << j;
+}
+
+}  // namespace
+}  // namespace kalmmind::hlskernel

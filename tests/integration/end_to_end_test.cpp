@@ -1,0 +1,185 @@
+// Cross-module integration: the paper's claims at reduced scale.
+// These use the somatosensory preset (z=52) with shortened training to
+// stay fast on one core while still exercising the real pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/kalmmind.hpp"
+#include "soc/soc_all.hpp"
+
+namespace kalmmind {
+namespace {
+
+const neural::NeuralDataset& soma_dataset() {
+  static const neural::NeuralDataset ds = [] {
+    auto spec = neural::somatosensory_spec();
+    spec.train_steps = 600;
+    spec.test_steps = 60;
+    return neural::build_dataset(spec);
+  }();
+  return ds;
+}
+
+const std::vector<linalg::Vector<double>>& soma_reference() {
+  static const auto ref = core::to_double_trajectory(
+      kalman::run_reference(soma_dataset().model,
+                            soma_dataset().test_measurements)
+          .states);
+  return ref;
+}
+
+core::AcceleratorConfig soma_config() {
+  const auto& ds = soma_dataset();
+  return core::AcceleratorConfig::for_run(
+      std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+      ds.test_measurements.size());
+}
+
+core::AccuracyMetrics run_and_score(core::Accelerator accel) {
+  auto run = accel.run(soma_dataset().model, soma_dataset().test_measurements);
+  return core::compare_trajectories(soma_reference(), run.states);
+}
+
+TEST(EndToEnd, AccuracyImprovesMonotonicallyWithApprox) {
+  double prev = 1e18;
+  for (std::uint32_t approx : {1u, 2u, 3u, 4u}) {
+    auto cfg = soma_config();
+    cfg.calc_freq = 0;
+    cfg.approx = approx;
+    cfg.policy = 1;
+    auto m = run_and_score(core::make_gauss_newton(cfg));
+    EXPECT_TRUE(m.finite);
+    EXPECT_LT(m.mse, prev * 1.001) << "approx=" << approx;
+    prev = m.mse;
+  }
+  EXPECT_LT(prev, 1e-9);
+}
+
+TEST(EndToEnd, TableOneOrderingHolds) {
+  // Gauss better than Newton-classic better than SSKF; IFKF worst.
+  const auto& ds = soma_dataset();
+  auto fmodel = ds.model.cast<float>();
+  std::vector<linalg::Vector<float>> fz;
+  for (const auto& z : ds.test_measurements) fz.push_back(z.cast<float>());
+
+  auto score = [&](kalman::InverseStrategyPtr<float> strategy,
+                   bool joseph = false) {
+    kalman::FilterOptions opts;
+    opts.joseph_update = joseph;
+    kalman::KalmanFilter<float> filter(fmodel, std::move(strategy), opts);
+    auto out = filter.run(fz);
+    return core::compare_trajectories(
+        soma_reference(), core::to_double_trajectory(out.states));
+  };
+
+  auto gauss = score(std::make_unique<kalman::CalculationStrategy<float>>(
+      kalman::CalcMethod::kGauss));
+  // 10 internal iterations: enough to beat SSKF, not enough to reach the
+  // Gauss float32 tier on this smaller dataset.
+  auto newton =
+      score(std::make_unique<kalman::NewtonClassicStrategy<float>>(10));
+  auto ifkf = score(std::make_unique<kalman::IfkfStrategy<float>>(fmodel.r),
+                    /*joseph=*/true);
+
+  auto ss = kalman::solve_steady_state(ds.model);
+  kalman::ConstantGainFilter<float> sskf_filter(fmodel, ss.k.cast<float>());
+  auto sskf = core::compare_trajectories(
+      soma_reference(), core::to_double_trajectory(sskf_filter.run(fz).states));
+
+  EXPECT_LT(gauss.mse, newton.mse);
+  EXPECT_LT(newton.mse, sskf.mse);
+  EXPECT_LT(sskf.mse, ifkf.mse);
+  EXPECT_TRUE(ifkf.finite);
+}
+
+TEST(EndToEnd, ParetoFrontierHasThePaperShape) {
+  core::DesignSpaceExplorer explorer{hls::DatapathSpec{}};
+  core::DseOptions opt;
+  opt.approx_values = {1, 2, 3, 4};
+  opt.calc_freq_values = {0, 1, 3};
+  auto points = explorer.sweep(soma_dataset(), opt);
+  auto front = core::pareto_front(points, core::Metric::kMse);
+  ASSERT_GE(front.size(), 2u);
+  // Fastest Pareto point is approx=1 / calc_freq=0 (paper, Fig. 5).
+  EXPECT_EQ(points[front.front()].config.approx, 1u);
+  EXPECT_EQ(points[front.front()].config.calc_freq, 0u);
+  // Most accurate point uses approx >= 2.
+  EXPECT_GE(points[front.back()].config.approx, 2u);
+}
+
+TEST(EndToEnd, EnergyEfficiencyOrderingHolds) {
+  // SSKF << LITE < Gauss/Newton(min) < Gauss-Only in energy; accelerators
+  // beat the software platforms.
+  auto cfg = soma_config();
+  cfg.calc_freq = 0;
+  cfg.approx = 1;
+  cfg.policy = 1;
+  const auto& ds = soma_dataset();
+
+  auto sskf = core::make_sskf(cfg).run(ds.model, ds.test_measurements);
+  auto lite = core::make_lite(cfg).run(ds.model, ds.test_measurements);
+  auto gn = core::make_gauss_newton(cfg).run(ds.model, ds.test_measurements);
+  auto go = core::make_gauss_only(cfg).run(ds.model, ds.test_measurements);
+  auto i7 = soc::run_software_kf(hls::intel_i7_model(), ds.model,
+                                 ds.test_measurements);
+  auto cva6 = soc::run_software_kf(hls::cva6_model(), ds.model,
+                                   ds.test_measurements);
+
+  EXPECT_LT(sskf.energy_j, lite.energy_j);
+  EXPECT_LT(lite.energy_j, go.energy_j);
+  EXPECT_LT(gn.energy_j, go.energy_j);
+  EXPECT_LT(gn.energy_j, i7.energy_j);
+  EXPECT_LT(gn.energy_j, cva6.energy_j);
+}
+
+TEST(EndToEnd, SskfIsLeastAccurateAccelerator) {
+  auto cfg = soma_config();
+  cfg.calc_freq = 0;
+  cfg.approx = 3;
+  cfg.policy = 1;
+  auto gn = run_and_score(core::make_gauss_newton(cfg));
+  auto sskf = run_and_score(core::make_sskf(cfg));
+  EXPECT_GT(sskf.mse, gn.mse * 100.0);
+}
+
+TEST(EndToEnd, SocDriverMatchesLibraryOnSomatosensory) {
+  soc::Soc chip{soc::SocParams{}};
+  auto id = chip.add_accelerator("gn", hls::DatapathSpec{}, {1, 1});
+  soc::EspDriver driver(chip, id);
+  const auto& ds = soma_dataset();
+  auto map = driver.write_invocation(ds.model, ds.test_measurements);
+  auto cfg = soma_config();
+  cfg.approx = 2;
+  cfg.policy = 1;
+  driver.configure(cfg);
+  auto inv = driver.start_and_wait(map);
+  auto states = driver.read_states(map);
+
+  auto direct =
+      core::Accelerator(hls::DatapathSpec{}, cfg).run(ds.model,
+                                                      ds.test_measurements);
+  for (std::size_t n = 0; n < states.size(); ++n)
+    EXPECT_TRUE(states[n] == direct.states[n]) << n;
+  // SoC timing should be in the same ballpark as the standalone latency
+  // model (they share the compute model, DMA models differ in detail).
+  EXPECT_GT(inv.seconds, 0.5 * direct.seconds);
+  EXPECT_LT(inv.seconds, 2.0 * direct.seconds);
+}
+
+TEST(EndToEnd, RerunningTheWholePipelineIsDeterministic) {
+  auto spec = neural::somatosensory_spec();
+  spec.train_steps = 600;
+  spec.test_steps = 30;
+  auto a = neural::build_dataset(spec);
+  auto b = neural::build_dataset(spec);
+  auto cfg = core::AcceleratorConfig::for_run(6, 52, 30);
+  cfg.approx = 2;
+  auto ra = core::make_gauss_newton(cfg).run(a.model, a.test_measurements);
+  auto rb = core::make_gauss_newton(cfg).run(b.model, b.test_measurements);
+  for (std::size_t n = 0; n < ra.states.size(); ++n)
+    EXPECT_TRUE(ra.states[n] == rb.states[n]);
+}
+
+}  // namespace
+}  // namespace kalmmind

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "../kalman/kalman_test_util.hpp"
+#include "../test_util.hpp"
+#include "io/csv.hpp"
+#include "io/model_io.hpp"
+
+namespace kalmmind::io {
+namespace {
+
+using kalmmind::testing::small_model;
+
+TEST(CsvTest, MatrixRowsAndCommas) {
+  linalg::Matrix<double> m(2, 3, {1, 2, 3, 4, 5, 6});
+  std::ostringstream out;
+  write_csv(out, m);
+  EXPECT_EQ(out.str(), "1,2,3\n4,5,6\n");
+}
+
+TEST(CsvTest, TrajectoryHeaderAndIndex) {
+  std::vector<linalg::Vector<double>> traj{linalg::Vector<double>{1.5, 2.5},
+                                           linalg::Vector<double>{3.5, 4.5}};
+  std::ostringstream out;
+  write_trajectory_csv(out, traj, {"px", "py"});
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, s.find('\n')), "iteration,px,py");
+  EXPECT_NE(s.find("0,1.5,2.5"), std::string::npos);
+  EXPECT_NE(s.find("1,3.5,4.5"), std::string::npos);
+}
+
+TEST(CsvTest, TrajectoryDefaultColumnNames) {
+  std::vector<linalg::Vector<double>> traj{linalg::Vector<double>{1.0}};
+  std::ostringstream out;
+  write_trajectory_csv(out, traj);
+  EXPECT_EQ(out.str().substr(0, out.str().find('\n')), "iteration,x0");
+}
+
+TEST(CsvTest, TrajectoryRejectsRaggedRows) {
+  std::vector<linalg::Vector<double>> traj{linalg::Vector<double>{1.0, 2.0},
+                                           linalg::Vector<double>{1.0}};
+  std::ostringstream out;
+  EXPECT_THROW(write_trajectory_csv(out, traj), std::invalid_argument);
+}
+
+TEST(CsvTest, DsePointsRoundTripThroughText) {
+  core::DsePoint p;
+  p.config.calc_freq = 3;
+  p.config.approx = 2;
+  p.config.policy = 1;
+  p.latency_s = 1.25;
+  p.power_w = 0.5;
+  p.energy_j = 0.625;
+  p.metrics.mse = 1e-9;
+  std::ostringstream out;
+  write_dse_csv(out, {p});
+  const std::string s = out.str();
+  EXPECT_NE(s.find("calc_freq,approx,policy"), std::string::npos);
+  EXPECT_NE(s.find("3,2,1,1.25,0.5,0.625,1.0000000000000001e-09"),
+            std::string::npos);
+}
+
+TEST(ModelIoTest, StreamRoundTripIsExact) {
+  auto model = small_model(7, /*seed=*/55);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(buf, model);
+  auto loaded = load_model(buf);
+  EXPECT_TRUE(loaded.f == model.f);
+  EXPECT_TRUE(loaded.q == model.q);
+  EXPECT_TRUE(loaded.h == model.h);
+  EXPECT_TRUE(loaded.r == model.r);
+  EXPECT_TRUE(loaded.x0 == model.x0);
+  EXPECT_TRUE(loaded.p0 == model.p0);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  auto model = small_model(4, 77);
+  const std::string path = ::testing::TempDir() + "/kalmmind_model.bin";
+  save_model_file(path, model);
+  auto loaded = load_model_file(path);
+  EXPECT_TRUE(loaded.h == model.h);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, RejectsBadMagic) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  buf << "NOTAMODELATALL_________";
+  EXPECT_THROW(load_model(buf), std::runtime_error);
+}
+
+TEST(ModelIoTest, RejectsTruncatedPayload) {
+  auto model = small_model(5, 88);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  save_model(buf, model);
+  std::string bytes = buf.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes, std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_model(cut), std::runtime_error);
+}
+
+TEST(ModelIoTest, RejectsInvalidModelOnSave) {
+  kalman::KalmanModel<double> broken;
+  std::stringstream buf;
+  EXPECT_THROW(save_model(buf, broken), std::invalid_argument);
+}
+
+TEST(ModelIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/path/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kalmmind::io

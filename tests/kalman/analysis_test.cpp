@@ -1,0 +1,84 @@
+// The S_n sequence analysis behind the seed policies.
+#include "kalman/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "kalman_test_util.hpp"
+
+namespace kalmmind::kalman {
+namespace {
+
+using kalmmind::testing::small_model;
+
+TEST(AnalysisTest, SequenceLengthAndShape) {
+  auto m = small_model(5);
+  auto seq = innovation_covariance_sequence(m, 12);
+  ASSERT_EQ(seq.size(), 12u);
+  for (const auto& s : seq) {
+    EXPECT_EQ(s.rows(), 5u);
+    EXPECT_EQ(s.cols(), 5u);
+  }
+}
+
+TEST(AnalysisTest, SequenceIsMeasurementIndependentAndConverges) {
+  auto m = small_model(6);
+  auto drift = innovation_covariance_drift(m, 80);
+  ASSERT_EQ(drift.size(), 79u);
+  // Drift must decay to (near) zero: S converges with P.
+  EXPECT_GT(drift.front(), drift.back());
+  EXPECT_LT(drift.back(), 1e-4);
+  EXPECT_LT(drift.back(), drift.front() / 100.0);
+}
+
+TEST(AnalysisTest, SequenceMatchesFilterInternalS) {
+  // Cross-check: S_0 computed directly from the model's P0 matches the
+  // first entry of the sequence.
+  auto m = small_model(4);
+  auto seq = innovation_covariance_sequence(m, 1);
+  Matrix<double> fp, p_pred;
+  linalg::multiply_into(fp, m.f, m.p0);
+  linalg::multiply_bt_into(p_pred, fp, m.f);
+  p_pred += m.q;
+  Matrix<double> hp, s0;
+  linalg::multiply_into(hp, m.h, p_pred);
+  linalg::multiply_bt_into(s0, hp, m.h);
+  s0 += m.r;
+  kalmmind::testing::expect_matrix_near(seq[0], s0, 1e-12);
+}
+
+TEST(AnalysisTest, PreviousIterationSeedsAreAdmissible) {
+  // The central premise of eq. (4): for a constant-model KF the previous
+  // inverse always satisfies the eq. (3) convergence condition.
+  auto m = small_model(6);
+  auto quality = previous_iteration_seed_quality(m, 30);
+  ASSERT_EQ(quality.size(), 29u);
+  for (const auto& q : quality) {
+    EXPECT_TRUE(q.admissible) << "iteration " << q.kf_iteration;
+    EXPECT_LT(q.residual, 1.0);
+  }
+}
+
+TEST(AnalysisTest, SeedQualityImprovesAsSConverges) {
+  auto m = small_model(6);
+  auto quality = previous_iteration_seed_quality(m, 40);
+  // Late seeds need (weakly) fewer Newton iterations than the first seed.
+  EXPECT_LE(quality.back().iterations_to_tolerance,
+            quality.front().iterations_to_tolerance);
+  EXPECT_LE(quality.back().residual, quality.front().residual + 1e-12);
+  EXPECT_LE(quality.back().iterations_to_tolerance, 3u)
+      << "near convergence one or two Newton steps must suffice";
+}
+
+TEST(AnalysisTest, DriftAndSeedResidualAgree) {
+  // Small drift => small seed residual (they measure the same physics).
+  auto m = small_model(5);
+  auto drift = innovation_covariance_drift(m, 20);
+  auto quality = previous_iteration_seed_quality(m, 20);
+  for (std::size_t i = 5; i < quality.size(); ++i) {
+    if (drift[i] < 1e-6) EXPECT_LT(quality[i].residual, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::kalman

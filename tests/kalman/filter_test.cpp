@@ -1,0 +1,171 @@
+// The reorganized KF core: hand-checked scalar case, convergence,
+// reproducibility, Joseph-form equivalence, error handling.
+#include "kalman/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_util.hpp"
+#include "kalman/calculation_strategies.hpp"
+#include "kalman/reference.hpp"
+#include "kalman_test_util.hpp"
+
+namespace kalmmind::kalman {
+namespace {
+
+using kalmmind::testing::expect_matrix_near;
+using kalmmind::testing::simulate_measurements;
+using kalmmind::testing::small_model;
+
+KalmanFilter<double> make_lu_filter(KalmanModel<double> m,
+                                    FilterOptions opts = {}) {
+  return KalmanFilter<double>(
+      std::move(m),
+      std::make_unique<CalculationStrategy<double>>(CalcMethod::kLu), opts);
+}
+
+// 1-D KF with all-scalar quantities has a closed-form single step:
+//   x' = f x,  p' = f^2 p + q,  s = h^2 p' + r,  k = p' h / s,
+//   x = x' + k (z - h x'),  p = (1 - k h) p'.
+TEST(KalmanFilterTest, ScalarStepMatchesClosedForm) {
+  KalmanModel<double> m;
+  const double f = 0.9, q = 0.04, h = 2.0, r = 0.25, x0 = 1.0, p0 = 0.5;
+  m.f = Matrix<double>(1, 1, {f});
+  m.q = Matrix<double>(1, 1, {q});
+  m.h = Matrix<double>(1, 1, {h});
+  m.r = Matrix<double>(1, 1, {r});
+  m.x0 = Vector<double>{x0};
+  m.p0 = Matrix<double>(1, 1, {p0});
+
+  auto filter = make_lu_filter(m);
+  const double z = 2.5;
+  filter.step(Vector<double>{z});
+
+  const double xp = f * x0;
+  const double pp = f * f * p0 + q;
+  const double s = h * h * pp + r;
+  const double k = pp * h / s;
+  const double x_want = xp + k * (z - h * xp);
+  const double p_want = (1 - k * h) * pp;
+  EXPECT_NEAR(filter.state()[0], x_want, 1e-14);
+  EXPECT_NEAR(filter.covariance()(0, 0), p_want, 1e-14);
+}
+
+TEST(KalmanFilterTest, CovarianceConvergesWithConstantModel) {
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 200);
+  auto filter = make_lu_filter(m);
+  Matrix<double> p_prev;
+  double delta = 1.0;
+  for (const auto& z : zs) {
+    filter.step(z);
+    if (!p_prev.empty()) {
+      Matrix<double> d = filter.covariance();
+      d -= p_prev;
+      delta = linalg::frobenius_norm(d);
+    }
+    p_prev = filter.covariance();
+  }
+  EXPECT_LT(delta, 1e-8) << "P must reach the Riccati fixed point";
+}
+
+TEST(KalmanFilterTest, TracksSimulatedState) {
+  // With consistent measurements the posterior variance must shrink below
+  // the prior.
+  auto m = small_model(8);
+  auto zs = simulate_measurements(m, 100);
+  auto filter = make_lu_filter(m);
+  for (const auto& z : zs) filter.step(z);
+  EXPECT_LT(filter.covariance()(0, 0), m.p0(0, 0));
+  EXPECT_GT(filter.covariance()(0, 0), 0.0);
+}
+
+TEST(KalmanFilterTest, RunResetsAndIsReproducible) {
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 50);
+  auto filter = make_lu_filter(m);
+  auto out1 = filter.run(zs);
+  auto out2 = filter.run(zs);  // run() resets internally
+  ASSERT_EQ(out1.states.size(), out2.states.size());
+  for (std::size_t n = 0; n < out1.states.size(); ++n)
+    EXPECT_TRUE(out1.states[n] == out2.states[n]) << "iteration " << n;
+  expect_matrix_near(out1.final_covariance, out2.final_covariance, 0.0);
+}
+
+TEST(KalmanFilterTest, StepRejectsWrongMeasurementSize) {
+  auto filter = make_lu_filter(small_model(4));
+  EXPECT_THROW(filter.step(Vector<double>(3)), std::invalid_argument);
+}
+
+TEST(KalmanFilterTest, ConstructionRejectsNullStrategy) {
+  EXPECT_THROW(KalmanFilter<double>(small_model(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(KalmanFilterTest, ConstructionValidatesModel) {
+  auto m = small_model();
+  m.h = Matrix<double>(4, 3);
+  EXPECT_THROW(make_lu_filter(m), std::invalid_argument);
+}
+
+TEST(KalmanFilterTest, JosephFormMatchesPlainUpdateWithExactGain) {
+  // With the optimal gain both covariance updates are algebraically equal;
+  // in double precision they must agree to rounding.
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 40);
+  auto plain = make_lu_filter(m);
+  FilterOptions joseph;
+  joseph.joseph_update = true;
+  auto stabilized = make_lu_filter(m, joseph);
+  for (const auto& z : zs) {
+    plain.step(z);
+    stabilized.step(z);
+  }
+  expect_matrix_near(plain.covariance(), stabilized.covariance(), 1e-10);
+  kalmmind::testing::expect_vector_near(plain.state(), stabilized.state(),
+                                        1e-10);
+}
+
+TEST(KalmanFilterTest, EventsRecordCalculationPath) {
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 5);
+  auto filter = make_lu_filter(m);
+  auto out = filter.run(zs);
+  ASSERT_EQ(out.events.size(), 5u);
+  for (const auto& ev : out.events)
+    EXPECT_EQ(ev.path, InversePath::kCalculation);
+}
+
+TEST(KalmanFilterTest, IterationCounterAdvances) {
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 3);
+  auto filter = make_lu_filter(m);
+  EXPECT_EQ(filter.iteration(), 0u);
+  filter.step(zs[0]);
+  filter.step(zs[1]);
+  EXPECT_EQ(filter.iteration(), 2u);
+  filter.reset();
+  EXPECT_EQ(filter.iteration(), 0u);
+}
+
+TEST(KalmanFilterTest, ReferenceAndBaselineFactoriesProduceWorkingFilters) {
+  auto m = small_model();
+  auto zs = simulate_measurements(m, 30);
+  auto ref_out = run_reference(m, zs);
+  EXPECT_EQ(ref_out.states.size(), 30u);
+
+  auto fm = m.cast<float>();
+  std::vector<Vector<float>> fz;
+  for (const auto& z : zs) fz.push_back(z.cast<float>());
+  auto base_out = run_baseline(fm, fz);
+  ASSERT_EQ(base_out.states.size(), 30u);
+  // float32 baseline tracks the double reference closely on this small,
+  // well-conditioned model.
+  for (std::size_t n = 0; n < 30; ++n)
+    for (std::size_t j = 0; j < 2; ++j)
+      EXPECT_NEAR(double(base_out.states[n][j]), ref_out.states[n][j], 1e-4);
+}
+
+}  // namespace
+}  // namespace kalmmind::kalman

@@ -1,0 +1,71 @@
+#include "kalman/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kalman_test_util.hpp"
+
+namespace kalmmind::kalman {
+namespace {
+
+using kalmmind::testing::small_model;
+
+TEST(KalmanModelTest, ValidModelPassesValidation) {
+  EXPECT_NO_THROW(small_model().validate());
+}
+
+TEST(KalmanModelTest, DimensionsAccessors) {
+  auto m = small_model(5);
+  EXPECT_EQ(m.x_dim(), 2u);
+  EXPECT_EQ(m.z_dim(), 5u);
+}
+
+TEST(KalmanModelTest, RejectsNonSquareF) {
+  auto m = small_model();
+  m.f = Matrix<double>(2, 3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, RejectsWrongQ) {
+  auto m = small_model();
+  m.q = Matrix<double>(3, 3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, RejectsWrongHColumns) {
+  auto m = small_model(4);
+  m.h = Matrix<double>(4, 3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, RejectsWrongR) {
+  auto m = small_model(4);
+  m.r = Matrix<double>(3, 3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, RejectsWrongInitialState) {
+  auto m = small_model();
+  m.x0 = Vector<double>(3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = small_model();
+  m.p0 = Matrix<double>(3, 3);
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, RejectsEmptyModel) {
+  KalmanModel<double> m;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(KalmanModelTest, CastPreservesValuesWithinPrecision) {
+  auto m = small_model();
+  auto f = m.cast<float>();
+  EXPECT_NO_THROW(f.validate());
+  EXPECT_NEAR(double(f.f(0, 1)), m.f(0, 1), 1e-7);
+  EXPECT_NEAR(double(f.r(1, 1)), m.r(1, 1), 1e-5 * std::fabs(m.r(1, 1)));
+  EXPECT_EQ(f.x_dim(), m.x_dim());
+  EXPECT_EQ(f.z_dim(), m.z_dim());
+}
+
+}  // namespace
+}  // namespace kalmmind::kalman

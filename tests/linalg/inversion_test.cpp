@@ -1,0 +1,180 @@
+// The four calculation methods (Gauss, LU, Cholesky, QR) against each
+// other and against ground truth, across sizes and scalar types.
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+using kalmmind::testing::expect_matrix_near;
+using kalmmind::testing::expect_vector_near;
+using kalmmind::testing::inverse_error;
+
+TEST(GaussTest, InvertsHandMatrix) {
+  Matrix<double> a(2, 2, {4, 7, 2, 6});
+  auto inv = invert_gauss(a);
+  Matrix<double> want(2, 2, {0.6, -0.7, -0.2, 0.4});
+  expect_matrix_near(inv, want, 1e-12);
+}
+
+TEST(GaussTest, IdentityIsFixedPoint) {
+  auto inv = invert_gauss(Matrix<double>::identity(5));
+  expect_matrix_near(inv, Matrix<double>::identity(5), 0.0);
+}
+
+TEST(GaussTest, SingularThrows) {
+  Matrix<double> a(2, 2, {1, 2, 2, 4});
+  EXPECT_THROW(invert_gauss(a), SingularMatrixError);
+}
+
+TEST(GaussTest, NonSquareThrows) {
+  EXPECT_THROW(invert_gauss(Matrix<double>(2, 3)), std::invalid_argument);
+}
+
+TEST(GaussTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix<double> a(2, 2, {0, 1, 1, 0});  // needs a row swap
+  auto inv = invert_gauss(a);
+  expect_matrix_near(inv, a, 1e-15);  // its own inverse
+}
+
+TEST(GaussTest, SolveMatchesInverseApplication) {
+  Rng rng(3);
+  auto a = random_spd<double>(9, rng);
+  auto b = random_vector<double>(9, rng);
+  auto x = solve_gauss(a, b);
+  auto want = multiply(invert_gauss(a), b);
+  expect_vector_near(x, want, 1e-9);
+}
+
+TEST(LuTest, ReconstructsViaSolve) {
+  Rng rng(11);
+  auto a = random_matrix<double>(12, 12, rng);
+  auto lu = lu_decompose(a);
+  auto b = random_vector<double>(12, rng);
+  auto x = lu.solve(b);
+  expect_vector_near(multiply(a, x), b, 1e-9, "A*x == b");
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix<double> a(2, 2, {3, 1, 4, 2});  // det = 2
+  EXPECT_NEAR(lu_decompose(a).determinant(), 2.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantTracksPermutationSign) {
+  Matrix<double> a(2, 2, {0, 1, 1, 0});  // det = -1, forces a swap
+  EXPECT_NEAR(lu_decompose(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, SingularThrows) {
+  Matrix<double> a(3, 3, {1, 2, 3, 2, 4, 6, 1, 1, 1});
+  EXPECT_THROW(lu_decompose(a), SingularMatrixError);
+}
+
+TEST(CholeskyTest, FactorReconstructsMatrix) {
+  Rng rng(17);
+  auto a = random_spd<double>(10, rng);
+  auto l = cholesky_factor(a);
+  expect_matrix_near(multiply_bt(l, l), a, 1e-9, "L*L^t == A");
+  // L is lower triangular.
+  for (std::size_t i = 0; i < l.rows(); ++i)
+    for (std::size_t j = i + 1; j < l.cols(); ++j) EXPECT_EQ(l(i, j), 0.0);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix<double> a(2, 2, {1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_factor(a), NotPositiveDefiniteError);
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  Rng rng(23);
+  auto a = random_spd<double>(8, rng);
+  auto b = random_vector<double>(8, rng);
+  auto l = cholesky_factor(a);
+  expect_vector_near(cholesky_solve(l, b), lu_decompose(a).solve(b), 1e-9);
+}
+
+TEST(CholeskyTest, InverseIsSymmetric) {
+  Rng rng(29);
+  auto a = random_spd<double>(12, rng);
+  auto inv = invert_cholesky(a);
+  for (std::size_t i = 0; i < inv.rows(); ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_DOUBLE_EQ(inv(i, j), inv(j, i));
+}
+
+TEST(QrTest, QIsOrthogonal) {
+  Rng rng(31);
+  auto a = random_matrix<double>(9, 9, rng);
+  auto qr = qr_decompose(a);
+  expect_matrix_near(multiply_bt(qr.q, qr.q), Matrix<double>::identity(9),
+                     1e-9, "Q*Q^t == I");
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  Rng rng(37);
+  auto a = random_matrix<double>(7, 7, rng);
+  auto qr = qr_decompose(a);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < i; ++j)
+      EXPECT_NEAR(qr.r(i, j), 0.0, 1e-10);
+}
+
+TEST(QrTest, ReconstructsMatrix) {
+  Rng rng(41);
+  auto a = random_matrix<double>(8, 8, rng);
+  auto qr = qr_decompose(a);
+  expect_matrix_near(multiply(qr.q, qr.r), a, 1e-9, "Q*R == A");
+}
+
+TEST(QrTest, LeastSquaresSolveOnTallMatrix) {
+  // Overdetermined consistent system: exact solution must be recovered.
+  Rng rng(43);
+  auto a = random_matrix<double>(10, 4, rng);
+  auto x_true = random_vector<double>(4, rng);
+  auto b = multiply(a, x_true);
+  auto qr = qr_decompose(a);
+  expect_vector_near(qr.solve(b), x_true, 1e-9);
+}
+
+TEST(QrTest, RankDeficientSolveThrows) {
+  Matrix<double> a(3, 3, {1, 2, 3, 2, 4, 6, 3, 6, 9});
+  auto qr = qr_decompose(a);
+  Vector<double> b{1, 2, 3};
+  EXPECT_THROW(qr.solve(b), SingularMatrixError);
+}
+
+// All four methods agree on SPD matrices across sizes and both float
+// precisions (the innovation covariance S is always SPD).
+class InversionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InversionSweep, AllMethodsAgreeOnSpdDouble) {
+  const int n = GetParam();
+  Rng rng(std::uint64_t(n) * 7919);
+  auto a = random_spd<double>(std::size_t(n), rng);
+  auto gauss = invert_gauss(a);
+  EXPECT_LT(inverse_error(a, gauss), 1e-7 * n);
+  expect_matrix_near(invert_lu(a), gauss, 1e-7, "LU vs Gauss");
+  expect_matrix_near(invert_cholesky(a), gauss, 1e-7, "Cholesky vs Gauss");
+  expect_matrix_near(invert_qr(a), gauss, 1e-6, "QR vs Gauss");
+}
+
+TEST_P(InversionSweep, Float32ResidualsStayNearMachinePrecision) {
+  const int n = GetParam();
+  Rng rng(std::uint64_t(n) * 104729);
+  auto a = random_spd<float>(std::size_t(n), rng, /*ridge=*/double(n));
+  EXPECT_LT(inverse_error(a, invert_gauss(a)), 2e-3);
+  EXPECT_LT(inverse_error(a, invert_cholesky(a)), 2e-3);
+  EXPECT_LT(inverse_error(a, invert_qr(a)), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InversionSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 46, 64));
+
+}  // namespace
+}  // namespace kalmmind::linalg

@@ -1,0 +1,169 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty) {
+  Matrix<double> m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, SizedConstructionZeroInitializes) {
+  Matrix<double> m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(MatrixTest, FillConstruction) {
+  Matrix<float> m(2, 2, 7.0f);
+  EXPECT_EQ(m(0, 0), 7.0f);
+  EXPECT_EQ(m(1, 1), 7.0f);
+}
+
+TEST(MatrixTest, InitializerListRowMajor) {
+  Matrix<int> m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1);
+  EXPECT_EQ(m(0, 2), 3);
+  EXPECT_EQ(m(1, 0), 4);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, InitializerListSizeMismatchThrows) {
+  EXPECT_THROW((Matrix<int>(2, 2, {1, 2, 3})), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  auto i3 = Matrix<double>::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(i3(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, AtThrowsOutOfRange) {
+  Matrix<double> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(MatrixTest, RowPointerIsContiguous) {
+  Matrix<int> m(2, 3, {1, 2, 3, 4, 5, 6});
+  const int* r1 = m.row(1);
+  EXPECT_EQ(r1[0], 4);
+  EXPECT_EQ(r1[2], 6);
+}
+
+TEST(MatrixTest, TransposedSwapsIndices) {
+  Matrix<int> m(2, 3, {1, 2, 3, 4, 5, 6});
+  auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(0, 1), 4);
+  EXPECT_EQ(t(2, 0), 3);
+}
+
+TEST(MatrixTest, AdditionAndSubtraction) {
+  Matrix<double> a(2, 2, {1, 2, 3, 4});
+  Matrix<double> b(2, 2, {4, 3, 2, 1});
+  auto sum = a + b;
+  auto diff = a - b;
+  EXPECT_EQ(sum(0, 0), 5.0);
+  EXPECT_EQ(sum(1, 1), 5.0);
+  EXPECT_EQ(diff(0, 0), -3.0);
+  EXPECT_EQ(diff(1, 1), 3.0);
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix<double> a(2, 2);
+  Matrix<double> b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(MatrixTest, ScalarMultiplyBothSides) {
+  Matrix<double> a(1, 2, {1, -2});
+  auto l = 2.0 * a;
+  auto r = a * 3.0;
+  EXPECT_EQ(l(0, 0), 2.0);
+  EXPECT_EQ(l(0, 1), -4.0);
+  EXPECT_EQ(r(0, 1), -6.0);
+}
+
+TEST(MatrixTest, EqualityIsElementwise) {
+  Matrix<int> a(2, 2, {1, 2, 3, 4});
+  Matrix<int> b = a;
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(MatrixTest, ResizeZeroesContent) {
+  Matrix<double> m(2, 2, 3.0);
+  m.resize(3, 3);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, CastConvertsElementwise) {
+  Matrix<double> d(2, 2, {1.5, -2.25, 3.0, 0.0});
+  Matrix<float> f = d.cast<float>();
+  EXPECT_FLOAT_EQ(f(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(f(0, 1), -2.25f);
+}
+
+TEST(MatrixTest, IsSquare) {
+  EXPECT_TRUE((Matrix<int>(3, 3).is_square()));
+  EXPECT_FALSE((Matrix<int>(3, 4).is_square()));
+}
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_THROW(v.at(3), std::out_of_range);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector<double> a{1, 2};
+  Vector<double> b{3, 4};
+  auto s = a + b;
+  auto d = b - a;
+  auto m = a * 2.0;
+  EXPECT_EQ(s[0], 4.0);
+  EXPECT_EQ(d[1], 2.0);
+  EXPECT_EQ(m[1], 4.0);
+}
+
+TEST(VectorTest, SizeMismatchThrows) {
+  Vector<double> a{1, 2};
+  Vector<double> b{1, 2, 3};
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(VectorTest, FillAndResize) {
+  Vector<double> v(3, 1.0);
+  v.fill(2.0);
+  EXPECT_EQ(v[2], 2.0);
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 0.0);
+}
+
+TEST(VectorTest, CastConvertsElementwise) {
+  Vector<double> d{1.5, -2.5};
+  auto f = d.cast<float>();
+  EXPECT_FLOAT_EQ(f[0], 1.5f);
+  EXPECT_FLOAT_EQ(f[1], -2.5f);
+}
+
+}  // namespace
+}  // namespace kalmmind::linalg

@@ -1,0 +1,139 @@
+// Newton-Raphson iterative inverse: convergence guarantees, quadratic
+// rate, and the eq. (3) seed admissibility predicate.
+#include "linalg/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+using kalmmind::testing::expect_matrix_near;
+using kalmmind::testing::inverse_error;
+
+TEST(NewtonTest, ExactInverseIsFixedPoint) {
+  Rng rng(1);
+  auto a = random_spd<double>(8, rng);
+  auto exact = invert_gauss(a);
+  auto after = newton_invert(a, exact, 3);
+  expect_matrix_near(after, exact, 1e-9, "Newton preserves the exact inverse");
+}
+
+TEST(NewtonTest, ClassicSeedSatisfiesConvergenceCondition) {
+  // Eq. (3): ||I - A V0||_2 < 1 must hold for the Ben-Israel seed on any
+  // nonsingular matrix.
+  for (std::uint64_t seed : {2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    auto a = random_spd<double>(12, rng);
+    EXPECT_TRUE(newton_seed_admissible(a, newton_classic_seed(a)))
+        << "seed " << seed;
+  }
+}
+
+TEST(NewtonTest, ConvergesFromClassicSeed) {
+  Rng rng(7);
+  auto a = random_spd<double>(10, rng, /*ridge=*/2.0);
+  auto v = newton_invert_classic(a, 40);
+  EXPECT_LT(inverse_error(a, v), 1e-8);
+}
+
+TEST(NewtonTest, ResidualShrinksMonotonically) {
+  Rng rng(11);
+  auto a = random_spd<double>(10, rng, 2.0);
+  auto v = newton_classic_seed(a);
+  double prev = inverse_error(a, v);
+  for (int i = 0; i < 20; ++i) {
+    v = newton_step(v, a);
+    const double cur = inverse_error(a, v);
+    EXPECT_LE(cur, prev * 1.0000001) << "iteration " << i;
+    prev = cur;
+    if (cur < 1e-13) break;
+  }
+  EXPECT_LT(prev, 1e-8);
+}
+
+TEST(NewtonTest, QuadraticConvergenceNearSolution) {
+  // Once the residual r is small, one step takes it to ~r^2.
+  Rng rng(13);
+  auto a = random_spd<double>(8, rng, 1.0);
+  auto exact = invert_gauss(a);
+  // Perturb the exact inverse slightly.
+  auto v = exact;
+  for (std::size_t i = 0; i < v.rows(); ++i) v(i, i) += 1e-3;
+  const double r0 = inverse_error(a, v);
+  const double r1 = inverse_error(a, newton_step(v, a));
+  EXPECT_LT(r1, 10.0 * r0 * r0);
+}
+
+TEST(NewtonTest, DivergesFromInadmissibleSeed) {
+  Rng rng(17);
+  auto a = random_spd<double>(6, rng);
+  auto bad_seed = Matrix<double>::identity(6) * 100.0;  // way too large
+  ASSERT_FALSE(newton_seed_admissible(a, bad_seed));
+  auto v = newton_invert(a, bad_seed, 8);
+  const double err = inverse_error(a, v);
+  // Divergence shows as a huge residual or as float overflow to NaN.
+  EXPECT_FALSE(err < 1.0) << err;
+}
+
+TEST(NewtonTest, ZeroIterationsReturnsSeed) {
+  Rng rng(19);
+  auto a = random_spd<double>(5, rng);
+  auto seed = newton_classic_seed(a);
+  auto v = newton_invert(a, seed, 0);
+  expect_matrix_near(v, seed, 0.0);
+}
+
+TEST(NewtonTest, DimensionMismatchThrows) {
+  Matrix<double> a(4, 4);
+  Matrix<double> v(3, 3);
+  EXPECT_THROW(newton_invert(a, v, 1), std::invalid_argument);
+}
+
+TEST(NewtonTest, ClassicSeedRejectsZeroMatrix) {
+  Matrix<double> zero(4, 4);
+  EXPECT_THROW(newton_classic_seed(zero), std::invalid_argument);
+}
+
+TEST(NewtonTest, IterationsToConvergeIsMonotonicInTolerance) {
+  Rng rng(23);
+  auto a = random_spd<double>(10, rng, 2.0);
+  auto seed = newton_classic_seed(a);
+  const auto loose = newton_iterations_to_converge(a, seed, 1e-2);
+  const auto tight = newton_iterations_to_converge(a, seed, 1e-8);
+  EXPECT_LE(loose, tight);
+  EXPECT_LT(tight, 64u);
+}
+
+TEST(NewtonTest, GoodSeedNeedsFewerIterationsThanClassic) {
+  // The KalmMind premise: seeding from a nearby inverse (here the exact
+  // inverse of a perturbed matrix) converges much faster than the classic
+  // data-independent seed.
+  Rng rng(29);
+  auto a = random_spd<double>(12, rng, 1.0);
+  auto near = a;
+  for (std::size_t i = 0; i < near.rows(); ++i)
+    for (std::size_t j = 0; j < near.cols(); ++j)
+      near(i, j) += 0.01 * to_double(a(i, j) != 0.0 ? a(i, j) : 0.0);
+  auto warm_seed = invert_gauss(near);
+  const auto warm = newton_iterations_to_converge(a, warm_seed, 1e-10);
+  const auto cold =
+      newton_iterations_to_converge(a, newton_classic_seed(a), 1e-10);
+  EXPECT_LT(warm, cold);
+  EXPECT_LE(warm, 6u);
+}
+
+TEST(NewtonTest, StepIntoMatchesStep) {
+  Rng rng(31);
+  auto a = random_spd<double>(7, rng);
+  auto v = newton_classic_seed(a);
+  Matrix<double> out(7, 7), scratch;
+  newton_step_into(out, v, a, scratch);
+  expect_matrix_near(out, newton_step(v, a), 0.0);
+}
+
+}  // namespace
+}  // namespace kalmmind::linalg

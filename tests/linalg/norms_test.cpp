@@ -1,0 +1,83 @@
+#include "linalg/norms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "linalg/gauss.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+TEST(NormsTest, OneNormIsMaxColumnSum) {
+  Matrix<double> m(2, 2, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(one_norm(m), 6.0);  // |{-2,4}| column = 6
+}
+
+TEST(NormsTest, InfNormIsMaxRowSum) {
+  Matrix<double> m(2, 2, {1, -2, 3, 4});
+  EXPECT_DOUBLE_EQ(inf_norm(m), 7.0);
+}
+
+TEST(NormsTest, FrobeniusOfKnownMatrix) {
+  Matrix<double> m(2, 2, {3, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(frobenius_norm(m), 5.0);
+}
+
+TEST(NormsTest, MaxAbs) {
+  Matrix<double> m(2, 2, {1, -9, 3, 4});
+  EXPECT_DOUBLE_EQ(max_abs(m), 9.0);
+}
+
+TEST(NormsTest, VectorTwoNorm) {
+  Vector<double> v{3, 4};
+  EXPECT_DOUBLE_EQ(two_norm(v), 5.0);
+}
+
+TEST(NormsTest, TwoNormEstimateExactForDiagonal) {
+  Matrix<double> m(3, 3);
+  m(0, 0) = 2.0;
+  m(1, 1) = -7.0;
+  m(2, 2) = 0.5;
+  EXPECT_NEAR(two_norm_estimate(m), 7.0, 1e-6);
+}
+
+TEST(NormsTest, TwoNormEstimateBetweenLowerAndUpperBounds) {
+  Rng rng(3);
+  auto m = random_matrix<double>(20, 20, rng);
+  const double est = two_norm_estimate(m);
+  // ||M||_2 <= sqrt(||M||_1 * ||M||_inf) and >= max_abs entry.
+  EXPECT_LE(est, std::sqrt(one_norm(m) * inf_norm(m)) * (1 + 1e-9));
+  EXPECT_GE(est, max_abs(m) * (1 - 1e-9));
+}
+
+TEST(NormsTest, InverseResidualZeroForExactInverse) {
+  Rng rng(5);
+  auto a = random_spd<double>(9, rng);
+  EXPECT_LT(inverse_residual(a, invert_gauss(a)), 1e-9);
+}
+
+TEST(NormsTest, InverseResidualOfIdentityPair) {
+  auto i = Matrix<double>::identity(4);
+  EXPECT_DOUBLE_EQ(inverse_residual(i, i), 0.0);
+  // Residual of (I, 2I) is ||I - 2I||_F = 2.
+  EXPECT_DOUBLE_EQ(inverse_residual(i, i * 2.0), 2.0);
+}
+
+TEST(NormsTest, SeedAdmissibilityMatchesDefinition) {
+  auto a = Matrix<double>::identity(3) * 4.0;
+  // V0 = 0.25 I is the exact inverse -> residual 0 -> admissible.
+  EXPECT_TRUE(newton_seed_admissible(a, Matrix<double>::identity(3) * 0.25));
+  // V0 = I gives ||I - 4I|| = 3 -> inadmissible.
+  EXPECT_FALSE(newton_seed_admissible(a, Matrix<double>::identity(3)));
+}
+
+TEST(NormsTest, ZeroMatrixNorms) {
+  Matrix<double> z(3, 3);
+  EXPECT_DOUBLE_EQ(one_norm(z), 0.0);
+  EXPECT_DOUBLE_EQ(two_norm_estimate(z), 0.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(z), 0.0);
+}
+
+}  // namespace
+}  // namespace kalmmind::linalg

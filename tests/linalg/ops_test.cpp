@@ -1,0 +1,150 @@
+#include "linalg/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+using kalmmind::testing::expect_matrix_near;
+using kalmmind::testing::expect_vector_near;
+using kalmmind::testing::naive_multiply;
+
+TEST(OpsTest, MultiplyMatchesHandComputed) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix<double> b(3, 2, {7, 8, 9, 10, 11, 12});
+  auto c = multiply(a, b);
+  Matrix<double> want(2, 2, {58, 64, 139, 154});
+  expect_matrix_near(c, want, 1e-12);
+}
+
+TEST(OpsTest, MultiplyInnerDimMismatchThrows) {
+  Matrix<double> a(2, 3);
+  Matrix<double> b(2, 2);
+  Matrix<double> c;
+  EXPECT_THROW(multiply_into(c, a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, MultiplyRejectsAliasedOutput) {
+  Matrix<double> a(2, 2, {1, 2, 3, 4});
+  Matrix<double> b = a;
+  EXPECT_THROW(multiply_into(a, a, b), std::invalid_argument);
+}
+
+// Property sweep: optimized kernels match the naive reference across shapes.
+class KernelSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(KernelSweep, MultiplyMatchesNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(std::uint64_t(m * 10007 + k * 101 + n));
+  auto a = random_matrix<double>(m, k, rng);
+  auto b = random_matrix<double>(k, n, rng);
+  expect_matrix_near(multiply(a, b), naive_multiply(a, b), 1e-10 * k);
+}
+
+TEST_P(KernelSweep, MultiplyBtMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(std::uint64_t(m + 31 * k + 997 * n));
+  auto a = random_matrix<double>(m, k, rng);
+  auto b = random_matrix<double>(n, k, rng);  // B^t is k x n
+  expect_matrix_near(multiply_bt(a, b), multiply(a, b.transposed()),
+                     1e-10 * k);
+}
+
+TEST_P(KernelSweep, MultiplyAtMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  Rng rng(std::uint64_t(7 * m + k + 13 * n));
+  auto a = random_matrix<double>(k, m, rng);  // A^t is m x k
+  auto b = random_matrix<double>(k, n, rng);
+  expect_matrix_near(multiply_at(a, b), multiply(a.transposed(), b),
+                     1e-10 * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KernelSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(6, 6, 6), std::make_tuple(1, 16, 5),
+                      std::make_tuple(6, 46, 46), std::make_tuple(17, 9, 33),
+                      std::make_tuple(52, 52, 52)));
+
+TEST(OpsTest, MatVecMatchesManual) {
+  Matrix<double> a(2, 3, {1, 2, 3, 4, 5, 6});
+  Vector<double> x{1, 0, -1};
+  auto y = multiply(a, x);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(OpsTest, MatVecSizeMismatchThrows) {
+  Matrix<double> a(2, 3);
+  Vector<double> x(2);
+  Vector<double> y;
+  EXPECT_THROW(multiply_into(y, a, x), std::invalid_argument);
+}
+
+TEST(OpsTest, DotProduct) {
+  Vector<double> a{1, 2, 3};
+  Vector<double> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  Vector<double> c{1};
+  EXPECT_THROW(dot(a, c), std::invalid_argument);
+}
+
+TEST(OpsTest, TwoIMinusProductMatchesComposition) {
+  Rng rng(5);
+  auto a = random_matrix<double>(8, 8, rng);
+  auto v = random_matrix<double>(8, 8, rng);
+  Matrix<double> fused;
+  two_i_minus_product_into(fused, a, v);
+  Matrix<double> composed = Matrix<double>::identity(8) * 2.0 - multiply(a, v);
+  expect_matrix_near(fused, composed, 1e-12);
+}
+
+TEST(OpsTest, TwoIMinusProductRequiresSquare) {
+  Matrix<double> a(2, 3), v(3, 2), out;
+  EXPECT_THROW(two_i_minus_product_into(out, a, v), std::invalid_argument);
+}
+
+TEST(OpsTest, SymmetrizeAveragesOffDiagonal) {
+  Matrix<double> m(2, 2, {1, 4, 2, 5});
+  symmetrize(m);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+}
+
+TEST(OpsTest, IdentityMinus) {
+  Matrix<double> m(2, 2, {0.5, 1.0, -1.0, 2.0});
+  auto r = identity_minus(m);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(r(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(r(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(r(1, 1), -1.0);
+}
+
+TEST(OpsTest, DiagonalExtraction) {
+  Matrix<double> m(2, 3, {1, 2, 3, 4, 5, 6});
+  auto d = diagonal(m);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 1.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(OpsTest, MultiplyIntoAccumulatesFromOutput) {
+  // multiply_into adds into the (resized, zeroed) output; calling it on a
+  // fresh matrix must equal the plain product even after reuse.
+  Rng rng(9);
+  auto a = random_matrix<double>(4, 4, rng);
+  auto b = random_matrix<double>(4, 4, rng);
+  Matrix<double> c(4, 4, 99.0);  // stale content must not leak in
+  multiply_into(c, a, b);
+  Matrix<double> fresh;
+  multiply_into(fresh, a, b);
+  expect_matrix_near(c, fresh, 0.0);
+}
+
+}  // namespace
+}  // namespace kalmmind::linalg

@@ -1,0 +1,132 @@
+// Dataset presets and the end-to-end dataset pipeline.  A reduced spec
+// keeps these fast; the real presets are only dimension-checked plus one
+// full build of the small hippocampus dataset.
+#include "neural/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kalman/reference.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace kalmmind::neural {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec spec;
+  spec.name = "tiny";
+  spec.encoding.channels = 20;
+  spec.train_steps = 400;
+  spec.test_steps = 40;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(DatasetPresetsTest, PaperDimensions) {
+  EXPECT_EQ(motor_spec().z_dim(), 164u);
+  EXPECT_EQ(somatosensory_spec().z_dim(), 52u);
+  EXPECT_EQ(hippocampus_spec().z_dim(), 46u);
+  for (const auto& spec : all_dataset_specs()) {
+    EXPECT_EQ(spec.x_dim(), 6u);
+    EXPECT_EQ(spec.test_steps, 100u) << spec.name;
+    EXPECT_GE(spec.train_steps, 2 * spec.z_dim()) << spec.name;
+  }
+}
+
+TEST(DatasetPresetsTest, HippocampusUsesPositionTuning) {
+  EXPECT_EQ(hippocampus_spec().encoding.tuning, TuningKind::kPosition);
+  EXPECT_EQ(motor_spec().encoding.tuning, TuningKind::kVelocity);
+}
+
+TEST(DatasetTest, BuildProducesConsistentShapes) {
+  auto ds = build_dataset(tiny_spec());
+  EXPECT_EQ(ds.model.x_dim(), 6u);
+  EXPECT_EQ(ds.model.z_dim(), 20u);
+  EXPECT_EQ(ds.test_measurements.size(), 40u);
+  EXPECT_EQ(ds.test_kinematics.size(), 40u);
+  EXPECT_EQ(ds.channel_means.size(), 20u);
+  EXPECT_NO_THROW(ds.model.validate());
+}
+
+TEST(DatasetTest, DeterministicForSameSpec) {
+  auto a = build_dataset(tiny_spec());
+  auto b = build_dataset(tiny_spec());
+  EXPECT_TRUE(a.model.h == b.model.h);
+  EXPECT_TRUE(a.test_measurements[0] == b.test_measurements[0]);
+}
+
+TEST(DatasetTest, DifferentSeedsGiveDifferentData) {
+  auto spec = tiny_spec();
+  auto a = build_dataset(spec);
+  spec.seed = 100;
+  auto b = build_dataset(spec);
+  EXPECT_FALSE(a.test_measurements[0] == b.test_measurements[0]);
+}
+
+TEST(DatasetTest, MeasurementsAreMeanCentered) {
+  auto ds = build_dataset(tiny_spec());
+  // Channel means were estimated on the training split; the (short) test
+  // window mean must be near zero relative to the baseline rate.
+  for (std::size_t j = 0; j < ds.model.z_dim(); ++j) {
+    double mean = 0.0;
+    for (const auto& z : ds.test_measurements) mean += z[j];
+    mean /= double(ds.test_measurements.size());
+    EXPECT_LT(std::fabs(mean), 3.0) << "channel " << j;
+    EXPECT_GT(ds.channel_means[j], 5.0) << "baseline was removed";
+  }
+}
+
+TEST(DatasetTest, CovariancesAreSpd) {
+  auto ds = build_dataset(tiny_spec());
+  EXPECT_NO_THROW(linalg::cholesky_factor(ds.model.r));
+  EXPECT_NO_THROW(linalg::cholesky_factor(ds.model.q));
+}
+
+TEST(DatasetTest, RejectsInsufficientTraining) {
+  auto spec = tiny_spec();
+  spec.train_steps = 30;  // < 2 * 20 channels
+  EXPECT_THROW(build_dataset(spec), std::invalid_argument);
+}
+
+TEST(DatasetTest, ReferenceFilterDecodesVelocityAboveChance) {
+  // The trained KF must actually decode: correlation between the reference
+  // filter's velocity estimates and the true velocities over the test
+  // window should be clearly positive.
+  auto spec = tiny_spec();
+  spec.test_steps = 150;
+  auto ds = build_dataset(spec);
+  auto out = kalman::run_reference(ds.model, ds.test_measurements);
+
+  for (std::size_t dim : {2u, 3u}) {  // vx, vy
+    double mx = 0, my = 0;
+    const std::size_t n = out.states.size();
+    for (std::size_t t = 0; t < n; ++t) {
+      mx += out.states[t][dim];
+      my += ds.test_kinematics[t][dim];
+    }
+    mx /= double(n);
+    my /= double(n);
+    double cov = 0, vx = 0, vy = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double a = out.states[t][dim] - mx;
+      const double b = ds.test_kinematics[t][dim] - my;
+      cov += a * b;
+      vx += a * a;
+      vy += b * b;
+    }
+    const double corr = cov / std::sqrt(vx * vy);
+    EXPECT_GT(corr, 0.5) << "state dim " << dim;
+  }
+}
+
+TEST(DatasetTest, HippocampusPresetBuilds) {
+  // The smallest paper preset end-to-end (z=46).
+  auto spec = hippocampus_spec();
+  spec.train_steps = 400;  // shrink for test speed
+  spec.test_steps = 20;
+  auto ds = build_dataset(spec);
+  EXPECT_EQ(ds.model.z_dim(), 46u);
+  EXPECT_NO_THROW(linalg::cholesky_factor(ds.model.r));
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

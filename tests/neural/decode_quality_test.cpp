@@ -1,0 +1,102 @@
+#include "neural/decode_quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace kalmmind::neural {
+namespace {
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAnticorrelation) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftAndScaleInvariance) {
+  std::vector<double> a{0.3, -1.2, 2.5, 0.9, -0.4};
+  std::vector<double> b;
+  for (double v : a) b.push_back(7.0 * v - 3.0);
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  std::vector<double> a, b;
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> white(0.0, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(white(rng));
+    b.push_back(white(rng));
+  }
+  EXPECT_NEAR(pearson_correlation(a, b), 0.0, 0.05);
+}
+
+TEST(PearsonTest, ConstantSequenceGivesZero) {
+  std::vector<double> a{1, 1, 1};
+  std::vector<double> b{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(a, b), 0.0);
+}
+
+TEST(PearsonTest, RejectsBadInput) {
+  EXPECT_THROW(pearson_correlation({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(pearson_correlation({1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
+std::vector<KinematicState> ramp_kinematics(std::size_t n) {
+  std::vector<KinematicState> kin;
+  for (std::size_t t = 0; t < n; ++t) {
+    KinematicState s(kStateDim);
+    s[0] = double(t);
+    s[1] = -double(t);
+    s[2] = std::sin(0.1 * double(t));
+    s[3] = std::cos(0.1 * double(t));
+    kin.push_back(s);
+  }
+  return kin;
+}
+
+TEST(AssessDecodeTest, PerfectDecodeScoresOne) {
+  auto truth = ramp_kinematics(50);
+  std::vector<linalg::Vector<double>> decoded(truth.begin(), truth.end());
+  auto q = assess_decode(decoded, truth);
+  EXPECT_NEAR(q.position_correlation, 1.0, 1e-12);
+  EXPECT_NEAR(q.velocity_correlation, 1.0, 1e-12);
+  EXPECT_NEAR(q.velocity_rmse, 0.0, 1e-12);
+}
+
+TEST(AssessDecodeTest, RmseMeasuresVelocityError) {
+  auto truth = ramp_kinematics(50);
+  std::vector<linalg::Vector<double>> decoded(truth.begin(), truth.end());
+  for (auto& s : decoded) {
+    s[2] += 0.5;  // constant velocity bias
+    s[3] -= 0.5;
+  }
+  auto q = assess_decode(decoded, truth);
+  EXPECT_NEAR(q.velocity_rmse, 0.5, 1e-12);
+  // Correlation is bias-invariant.
+  EXPECT_NEAR(q.velocity_correlation, 1.0, 1e-12);
+}
+
+TEST(AssessDecodeTest, RejectsMismatchedLengths) {
+  auto truth = ramp_kinematics(10);
+  std::vector<linalg::Vector<double>> decoded(truth.begin(),
+                                              truth.begin() + 5);
+  EXPECT_THROW(assess_decode(decoded, truth), std::invalid_argument);
+}
+
+TEST(AssessDecodeTest, RejectsBadStateDimension) {
+  auto truth = ramp_kinematics(5);
+  std::vector<linalg::Vector<double>> decoded(5, linalg::Vector<double>(3));
+  EXPECT_THROW(assess_decode(decoded, truth), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

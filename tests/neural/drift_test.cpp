@@ -1,0 +1,127 @@
+#include "neural/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "neural/kinematics.hpp"
+
+namespace kalmmind::neural {
+namespace {
+
+EncodingConfig cfg() {
+  EncodingConfig c;
+  c.channels = 12;
+  c.noise_std = 0.0;  // deterministic signal path for exact checks
+  c.independent_noise_std = 0.0;
+  return c;
+}
+
+std::vector<KinematicState> moving_kinematics(std::size_t steps) {
+  std::vector<KinematicState> kin(steps, KinematicState(kStateDim));
+  for (auto& s : kin) {
+    s[2] = 4.0;  // constant vx
+    s[3] = 1.0;  // constant vy
+  }
+  return kin;
+}
+
+TEST(DriftTest, ZeroDriftMatchesPlainEncoder) {
+  linalg::Rng rng(1);
+  auto enc = make_encoder(cfg(), rng);
+  auto kin = moving_kinematics(10);
+  DriftConfig none;
+  none.rotation_per_step = 0.0;
+  none.gain_decay_per_step = 1.0;
+  linalg::Rng ra(2), rb(2);
+  auto drifted = encode_with_drift(enc, none, kin, ra);
+  auto plain = enc.encode(kin, rb);
+  for (std::size_t n = 0; n < kin.size(); ++n)
+    for (std::size_t i = 0; i < 12; ++i)
+      EXPECT_DOUBLE_EQ(drifted[n][i], plain[n][i]) << n << "," << i;
+}
+
+TEST(DriftTest, FirstSampleIsUndrifted) {
+  linalg::Rng rng(3);
+  auto enc = make_encoder(cfg(), rng);
+  auto kin = moving_kinematics(3);
+  DriftConfig drift;
+  drift.rotation_per_step = 0.2;
+  linalg::Rng ra(4), rb(4);
+  auto drifted = encode_with_drift(enc, drift, kin, ra);
+  auto plain = enc.encode(kin, rb);
+  for (std::size_t i = 0; i < 12; ++i)
+    EXPECT_DOUBLE_EQ(drifted[0][i], plain[0][i]);
+}
+
+TEST(DriftTest, ResponsesDivergeOverTime) {
+  linalg::Rng rng(5);
+  auto enc = make_encoder(cfg(), rng);
+  auto kin = moving_kinematics(100);
+  DriftConfig drift;
+  drift.rotation_per_step = 0.01;
+  drift.gain_decay_per_step = 1.0;
+  linalg::Rng ra(6), rb(6);
+  auto drifted = encode_with_drift(enc, drift, kin, ra);
+  auto plain = enc.encode(kin, rb);
+  auto gap = [&](std::size_t n) {
+    double g = 0;
+    for (std::size_t i = 0; i < 12; ++i)
+      g += std::fabs(drifted[n][i] - plain[n][i]);
+    return g;
+  };
+  EXPECT_GT(gap(99), 10.0 * std::max(gap(1), 1e-12));
+}
+
+TEST(DriftTest, GainDecayShrinksModulation) {
+  linalg::Rng rng(7);
+  auto c = cfg();
+  c.baseline_rate = 0.0;  // responses are pure modulation
+  auto enc = make_encoder(c, rng);
+  auto kin = moving_kinematics(200);
+  DriftConfig drift;
+  drift.rotation_per_step = 0.0;
+  drift.gain_decay_per_step = 0.99;
+  linalg::Rng ra(8);
+  auto drifted = encode_with_drift(enc, drift, kin, ra);
+  double early = 0, late = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    early += std::fabs(drifted[1][i]);
+    late += std::fabs(drifted[199][i]);
+  }
+  EXPECT_NEAR(late / early, std::pow(0.99, 198), 0.02);
+}
+
+TEST(DriftTest, RotationPreservesResponseEnergy) {
+  // Pure rotation (gain 1) keeps each channel pair's modulation magnitude
+  // for an isotropic stimulus sweep.
+  linalg::Rng rng(9);
+  auto c = cfg();
+  c.baseline_rate = 0.0;
+  auto enc = make_encoder(c, rng);
+  // Stimulus: unit velocity rotating through 8 angles; total response
+  // energy per channel is rotation invariant.
+  std::vector<KinematicState> kin;
+  for (int k = 0; k < 8; ++k) {
+    KinematicState s(kStateDim);
+    s[2] = std::cos(k * M_PI / 4);
+    s[3] = std::sin(k * M_PI / 4);
+    kin.push_back(s);
+  }
+  DriftConfig drift;
+  drift.rotation_per_step = 0.0;
+  drift.gain_decay_per_step = 1.0;
+  linalg::Rng ra(10), rb(10);
+  auto a = encode_with_drift(enc, drift, kin, ra);
+  auto b = enc.encode(kin, rb);
+  double ea = 0, eb = 0;
+  for (std::size_t n = 0; n < kin.size(); ++n)
+    for (std::size_t i = 0; i < 12; ++i) {
+      ea += a[n][i] * a[n][i];
+      eb += b[n][i] * b[n][i];
+    }
+  EXPECT_NEAR(ea, eb, 1e-9);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

@@ -1,0 +1,184 @@
+// Population encoding: dimensions, determinism, and — crucially — the
+// spatial/temporal correlation structure the KalmMind seed policies rely
+// on.
+#include "neural/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "neural/kinematics.hpp"
+
+namespace kalmmind::neural {
+namespace {
+
+EncodingConfig test_config(std::size_t channels = 24) {
+  EncodingConfig c;
+  c.channels = channels;
+  return c;
+}
+
+std::vector<KinematicState> still_kinematics(std::size_t steps) {
+  // All-zero kinematics isolate the noise process.
+  return std::vector<KinematicState>(steps, KinematicState(kStateDim));
+}
+
+TEST(EncodingTest, EmitsOneRatePerChannel) {
+  linalg::Rng rng(1);
+  auto enc = make_encoder(test_config(17), rng);
+  auto obs = enc.encode(still_kinematics(5), rng);
+  ASSERT_EQ(obs.size(), 5u);
+  for (const auto& z : obs) EXPECT_EQ(z.size(), 17u);
+}
+
+TEST(EncodingTest, DeterministicGivenSeed) {
+  auto cfg = test_config();
+  linalg::Rng a(3), b(3);
+  auto ea = make_encoder(cfg, a);
+  auto eb = make_encoder(cfg, b);
+  auto kin = still_kinematics(10);
+  auto oa = ea.encode(kin, a);
+  auto ob = eb.encode(kin, b);
+  for (std::size_t n = 0; n < 10; ++n) EXPECT_TRUE(oa[n] == ob[n]) << n;
+}
+
+TEST(EncodingTest, BaselineRateAppearsInMeanActivity) {
+  auto cfg = test_config();
+  cfg.baseline_rate = 25.0;
+  linalg::Rng rng(5);
+  auto enc = make_encoder(cfg, rng);
+  auto obs = enc.encode(still_kinematics(4000), rng);
+  double mean = 0.0;
+  for (const auto& z : obs) mean += z[0];
+  mean /= double(obs.size());
+  EXPECT_NEAR(mean, 25.0, 1.0);
+}
+
+TEST(EncodingTest, VelocityTuningModulatesRates) {
+  auto cfg = test_config();
+  linalg::Rng rng(7);
+  auto enc = make_encoder(cfg, rng);
+  KinematicState moving(kStateDim);
+  moving[2] = 5.0;  // vx
+  auto obs_still = enc.encode(still_kinematics(1), rng);
+  auto obs_move = enc.encode({moving}, rng);
+  // At least one channel must respond strongly to movement.
+  double max_delta = 0.0;
+  for (std::size_t i = 0; i < cfg.channels; ++i)
+    max_delta = std::max(max_delta,
+                         std::fabs(obs_move[0][i] - obs_still[0][i]));
+  EXPECT_GT(max_delta, 1.0);
+}
+
+TEST(EncodingTest, PositionTuningIgnoresAcceleration) {
+  auto cfg = test_config();
+  cfg.tuning = TuningKind::kPosition;
+  linalg::Rng rng(9);
+  auto enc = make_encoder(cfg, rng);
+  for (std::size_t i = 0; i < cfg.channels; ++i) {
+    EXPECT_EQ(enc.tuning_matrix(i, 4), 0.0);
+    EXPECT_EQ(enc.tuning_matrix(i, 5), 0.0);
+  }
+}
+
+TEST(EncodingTest, NeighbouringChannelsAreMoreCorrelatedThanDistant) {
+  auto cfg = test_config(32);
+  cfg.temporal_corr = 0.0;  // isolate spatial structure
+  cfg.independent_noise_std = 1.0;
+  cfg.noise_std = 2.0;
+  cfg.spatial_corr_length = 4.0;
+  linalg::Rng rng(11);
+  auto enc = make_encoder(cfg, rng);
+  auto obs = enc.encode(still_kinematics(6000), rng);
+
+  auto corr = [&](std::size_t a, std::size_t b) {
+    double ma = 0, mb = 0;
+    for (const auto& z : obs) {
+      ma += z[a];
+      mb += z[b];
+    }
+    ma /= double(obs.size());
+    mb /= double(obs.size());
+    double cov = 0, va = 0, vb = 0;
+    for (const auto& z : obs) {
+      cov += (z[a] - ma) * (z[b] - mb);
+      va += (z[a] - ma) * (z[a] - ma);
+      vb += (z[b] - mb) * (z[b] - mb);
+    }
+    return cov / std::sqrt(va * vb);
+  };
+  const double near = corr(10, 11);
+  const double far = corr(10, 30);
+  EXPECT_GT(near, far + 0.1);
+  EXPECT_GT(near, 0.3);
+}
+
+TEST(EncodingTest, TemporalCorrelationMatchesAr1Coefficient) {
+  auto cfg = test_config(4);
+  cfg.temporal_corr = 0.8;
+  cfg.independent_noise_std = 0.0;
+  cfg.noise_std = 2.0;
+  cfg.spatial_corr_length = 0.0;  // diagonal spatial covariance
+  linalg::Rng rng(13);
+  auto enc = make_encoder(cfg, rng);
+  auto obs = enc.encode(still_kinematics(8000), rng);
+  // Lag-1 autocorrelation of channel 0.
+  double mean = 0.0;
+  for (const auto& z : obs) mean += z[0];
+  mean /= double(obs.size());
+  double num = 0, den = 0;
+  for (std::size_t n = 1; n < obs.size(); ++n) {
+    num += (obs[n][0] - mean) * (obs[n - 1][0] - mean);
+    den += (obs[n][0] - mean) * (obs[n][0] - mean);
+  }
+  EXPECT_NEAR(num / den, 0.8, 0.05);
+}
+
+TEST(EncodingTest, IndependentChannelsWhenCorrelationDisabled) {
+  auto cfg = test_config(16);
+  cfg.spatial_corr_length = 0.0;
+  cfg.temporal_corr = 0.0;
+  cfg.independent_noise_std = 0.0;
+  linalg::Rng rng(15);
+  auto enc = make_encoder(cfg, rng);
+  auto obs = enc.encode(still_kinematics(6000), rng);
+  double mean0 = 0, mean1 = 0;
+  for (const auto& z : obs) {
+    mean0 += z[0];
+    mean1 += z[8];
+  }
+  mean0 /= double(obs.size());
+  mean1 /= double(obs.size());
+  double cov = 0, v0 = 0, v1 = 0;
+  for (const auto& z : obs) {
+    cov += (z[0] - mean0) * (z[8] - mean1);
+    v0 += (z[0] - mean0) * (z[0] - mean0);
+    v1 += (z[8] - mean1) * (z[8] - mean1);
+  }
+  EXPECT_NEAR(cov / std::sqrt(v0 * v1), 0.0, 0.06);
+}
+
+TEST(EncodingTest, RejectsZeroChannels) {
+  linalg::Rng rng(17);
+  EXPECT_THROW(make_encoder(test_config(0), rng), std::invalid_argument);
+}
+
+TEST(EncodingTest, RejectsBadKinematicDimension) {
+  linalg::Rng rng(19);
+  auto enc = make_encoder(test_config(), rng);
+  std::vector<KinematicState> bad{KinematicState(3)};
+  EXPECT_THROW(enc.encode(bad, rng), std::invalid_argument);
+}
+
+TEST(EncodingTest, StackObservationsLayout) {
+  linalg::Rng rng(21);
+  auto enc = make_encoder(test_config(6), rng);
+  auto obs = enc.encode(still_kinematics(7), rng);
+  auto z = stack_observations(obs);
+  ASSERT_EQ(z.rows(), 7u);
+  ASSERT_EQ(z.cols(), 6u);
+  EXPECT_DOUBLE_EQ(z(3, 2), obs[3][2]);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

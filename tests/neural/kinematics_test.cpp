@@ -1,0 +1,104 @@
+#include "neural/kinematics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kalmmind::neural {
+namespace {
+
+KinematicsConfig default_config() { return {}; }
+
+TEST(KinematicsTest, ProducesRequestedLength) {
+  linalg::Rng rng(1);
+  auto kin = generate_kinematics(default_config(), 250, rng);
+  ASSERT_EQ(kin.size(), 250u);
+  for (const auto& s : kin) EXPECT_EQ(s.size(), kStateDim);
+}
+
+TEST(KinematicsTest, DeterministicGivenSeed) {
+  auto cfg = default_config();
+  linalg::Rng a(42), b(42);
+  auto ka = generate_kinematics(cfg, 100, a);
+  auto kb = generate_kinematics(cfg, 100, b);
+  for (std::size_t n = 0; n < 100; ++n) EXPECT_TRUE(ka[n] == kb[n]) << n;
+}
+
+TEST(KinematicsTest, DifferentSeedsDiffer) {
+  auto cfg = default_config();
+  linalg::Rng a(1), b(2);
+  auto ka = generate_kinematics(cfg, 50, a);
+  auto kb = generate_kinematics(cfg, 50, b);
+  bool any_diff = false;
+  for (std::size_t n = 0; n < 50 && !any_diff; ++n)
+    any_diff = !(ka[n] == kb[n]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(KinematicsTest, PositionIntegratesVelocity) {
+  auto cfg = default_config();
+  linalg::Rng rng(7);
+  auto kin = generate_kinematics(cfg, 100, rng);
+  for (std::size_t n = 1; n < kin.size(); ++n) {
+    // px_n = px_{n-1} + vx_n * dt (velocity updated before position).
+    EXPECT_NEAR(kin[n][0], kin[n - 1][0] + kin[n][2] * cfg.dt, 1e-9) << n;
+    EXPECT_NEAR(kin[n][1], kin[n - 1][1] + kin[n][3] * cfg.dt, 1e-9) << n;
+  }
+}
+
+TEST(KinematicsTest, VelocityIntegratesAcceleration) {
+  auto cfg = default_config();
+  linalg::Rng rng(8);
+  auto kin = generate_kinematics(cfg, 100, rng);
+  for (std::size_t n = 1; n < kin.size(); ++n) {
+    EXPECT_NEAR(kin[n][2], kin[n - 1][2] + kin[n][4] * cfg.dt, 1e-9) << n;
+  }
+}
+
+TEST(KinematicsTest, TrajectoriesStayBoundedNearWorkspace) {
+  auto cfg = default_config();
+  linalg::Rng rng(9);
+  auto kin = generate_kinematics(cfg, 3000, rng);
+  for (const auto& s : kin) {
+    EXPECT_LT(std::fabs(s[0]), 5.0 * cfg.workspace);
+    EXPECT_LT(std::fabs(s[1]), 5.0 * cfg.workspace);
+  }
+}
+
+TEST(KinematicsTest, MovementActuallyHappens) {
+  auto cfg = default_config();
+  linalg::Rng rng(10);
+  auto kin = generate_kinematics(cfg, 500, rng);
+  double max_speed = 0.0;
+  for (const auto& s : kin)
+    max_speed = std::max(max_speed, std::hypot(s[2], s[3]));
+  EXPECT_GT(max_speed, 1.0) << "reaches must produce real velocities";
+}
+
+TEST(KinematicsTest, RejectsBadConfig) {
+  linalg::Rng rng(1);
+  auto cfg = default_config();
+  cfg.dt = 0.0;
+  EXPECT_THROW(generate_kinematics(cfg, 10, rng), std::invalid_argument);
+  cfg = default_config();
+  cfg.hold_steps = 0;
+  EXPECT_THROW(generate_kinematics(cfg, 10, rng), std::invalid_argument);
+}
+
+TEST(KinematicsTest, StackStatesLayout) {
+  linalg::Rng rng(11);
+  auto kin = generate_kinematics(default_config(), 20, rng);
+  auto x = stack_states(kin);
+  ASSERT_EQ(x.rows(), 20u);
+  ASSERT_EQ(x.cols(), kStateDim);
+  EXPECT_DOUBLE_EQ(x(5, 2), kin[5][2]);
+}
+
+TEST(KinematicsTest, StackStatesRejectsRaggedInput) {
+  std::vector<KinematicState> bad{KinematicState(kStateDim),
+                                  KinematicState(3)};
+  EXPECT_THROW(stack_states(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

@@ -1,0 +1,142 @@
+#include "neural/spikes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kalman/reference.hpp"
+#include "neural/dataset.hpp"
+#include "neural/training.hpp"
+
+namespace kalmmind::neural {
+namespace {
+
+EncodingConfig spike_cfg(std::size_t channels = 16) {
+  EncodingConfig c;
+  c.channels = channels;
+  c.baseline_rate = 20.0;
+  c.modulation_depth = 2.0;
+  return c;
+}
+
+TEST(SpikesTest, CountsAreNonNegativeIntegers) {
+  linalg::Rng rng(1);
+  auto enc = make_encoder(spike_cfg(), rng);
+  auto kin = generate_kinematics(KinematicsConfig{}, 200, rng);
+  auto counts = encode_spike_counts(enc, SpikeConfig{}, kin, rng);
+  ASSERT_EQ(counts.size(), 200u);
+  for (const auto& c : counts)
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      EXPECT_GE(c[i], 0.0);
+      EXPECT_DOUBLE_EQ(c[i], std::round(c[i]));
+    }
+}
+
+TEST(SpikesTest, MeanCountMatchesRateTimesBin) {
+  // Stationary kinematics: mean count per bin = baseline * bin.
+  linalg::Rng rng(2);
+  auto enc = make_encoder(spike_cfg(8), rng);
+  std::vector<KinematicState> still(6000, KinematicState(kStateDim));
+  SpikeConfig cfg;
+  auto counts = encode_spike_counts(enc, cfg, still, rng);
+  double mean = 0.0;
+  for (const auto& c : counts) mean += c[0];
+  mean /= double(counts.size());
+  EXPECT_NEAR(mean, 20.0 * cfg.bin_seconds, 0.1);
+}
+
+TEST(SpikesTest, VarianceIsPoissonLike) {
+  // For Poisson counts, variance ~= mean (Fano factor ~ 1).
+  linalg::Rng rng(3);
+  auto enc = make_encoder(spike_cfg(4), rng);
+  std::vector<KinematicState> still(8000, KinematicState(kStateDim));
+  auto counts = encode_spike_counts(enc, SpikeConfig{}, still, rng);
+  double mean = 0.0, var = 0.0;
+  for (const auto& c : counts) mean += c[0];
+  mean /= double(counts.size());
+  for (const auto& c : counts) var += (c[0] - mean) * (c[0] - mean);
+  var /= double(counts.size() - 1);
+  EXPECT_NEAR(var / mean, 1.0, 0.1);
+}
+
+TEST(SpikesTest, RatesAreClampedAtZero) {
+  // Strong negative modulation cannot produce negative rates/counts.
+  linalg::Rng rng(4);
+  auto cfg = spike_cfg(8);
+  cfg.baseline_rate = 0.5;
+  cfg.modulation_depth = 10.0;
+  auto enc = make_encoder(cfg, rng);
+  KinematicState fast(kStateDim);
+  fast[2] = -50.0;
+  fast[3] = -50.0;
+  auto counts =
+      encode_spike_counts(enc, SpikeConfig{},
+                          std::vector<KinematicState>(100, fast), rng);
+  for (const auto& c : counts)
+    for (std::size_t i = 0; i < c.size(); ++i) EXPECT_GE(c[i], 0.0);
+}
+
+TEST(SpikesTest, RejectsBadConfig) {
+  linalg::Rng rng(5);
+  auto enc = make_encoder(spike_cfg(), rng);
+  SpikeConfig bad;
+  bad.bin_seconds = 0.0;
+  EXPECT_THROW(encode_spike_counts(enc, bad, {KinematicState(kStateDim)}, rng),
+               std::invalid_argument);
+}
+
+TEST(SpikesTest, KfTrainedOnSpikesStillDecodes) {
+  // End to end: train the (Gaussian) KF on Poisson counts and check the
+  // mismatched decoder still extracts velocity — the real-world situation
+  // of every KF-based spike decoder.
+  linalg::Rng rng(6);
+  auto cfg = spike_cfg(32);
+  cfg.modulation_depth = 3.0;
+  auto enc = make_encoder(cfg, rng);
+  auto kin = generate_kinematics(KinematicsConfig{}, 1600, rng);
+  auto counts = encode_spike_counts(enc, SpikeConfig{}, kin, rng);
+
+  // Center counts (as build_dataset does for rates).
+  const std::size_t train = 1500;
+  Vector<double> means(cfg.channels);
+  for (std::size_t n = 0; n < train; ++n)
+    for (std::size_t j = 0; j < cfg.channels; ++j) means[j] += counts[n][j];
+  for (std::size_t j = 0; j < cfg.channels; ++j) means[j] /= double(train);
+  for (auto& c : counts)
+    for (std::size_t j = 0; j < cfg.channels; ++j) c[j] -= means[j];
+
+  std::vector<KinematicState> train_kin(kin.begin(), kin.begin() + train);
+  std::vector<Vector<double>> train_counts(counts.begin(),
+                                           counts.begin() + train);
+  auto model = train_kalman_model(stack_states(train_kin),
+                                  stack_observations(train_counts));
+  std::vector<Vector<double>> test_counts(counts.begin() + train,
+                                          counts.end());
+  auto out = kalman::run_reference(model, test_counts);
+
+  // Velocity correlation against ground truth over the test window.
+  double corr = 0.0;
+  for (std::size_t dim : {2u, 3u}) {
+    double mx = 0, my = 0;
+    const std::size_t n = out.states.size();
+    for (std::size_t t = 0; t < n; ++t) {
+      mx += out.states[t][dim];
+      my += kin[train + t][dim];
+    }
+    mx /= double(n);
+    my /= double(n);
+    double cov = 0, vx = 0, vy = 0;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double a = out.states[t][dim] - mx;
+      const double b = kin[train + t][dim] - my;
+      cov += a * b;
+      vx += a * a;
+      vy += b * b;
+    }
+    corr += cov / std::sqrt(vx * vy);
+  }
+  EXPECT_GT(corr / 2.0, 0.4);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

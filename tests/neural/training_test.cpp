@@ -1,0 +1,128 @@
+// Least-squares model training (Wu et al.): recovery of known linear
+// systems and well-posedness of the fitted covariances.
+#include "neural/training.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../test_util.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/random.hpp"
+
+namespace kalmmind::neural {
+namespace {
+
+using kalmmind::testing::expect_matrix_near;
+using linalg::Matrix;
+using linalg::Rng;
+
+// Generate (X, Z) from a known linear-Gaussian system.
+struct SyntheticSystem {
+  Matrix<double> f_true;
+  Matrix<double> h_true;
+  Matrix<double> x;  // n x p kinematics
+  Matrix<double> z;  // n x m observations
+};
+
+SyntheticSystem make_system(std::size_t n, std::size_t p, std::size_t m,
+                            double q_std, double r_std, std::uint64_t seed) {
+  Rng rng(seed);
+  std::normal_distribution<double> white(0.0, 1.0);
+  SyntheticSystem sys;
+  // A stable random F: scale a random matrix to spectral radius < 1.
+  sys.f_true = linalg::random_matrix<double>(p, p, rng, -0.3, 0.3);
+  for (std::size_t i = 0; i < p; ++i) sys.f_true(i, i) += 0.5;
+  sys.h_true = linalg::random_matrix<double>(m, p, rng, -1.0, 1.0);
+
+  sys.x.resize(n, p);
+  sys.z.resize(n, m);
+  std::vector<double> state(p, 1.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    std::vector<double> next(p, 0.0);
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j)
+        next[i] += sys.f_true(i, j) * state[j];
+      next[i] += q_std * white(rng);
+    }
+    state = next;
+    for (std::size_t i = 0; i < p; ++i) sys.x(t, i) = state[i];
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = r_std * white(rng);
+      for (std::size_t j = 0; j < p; ++j)
+        acc += sys.h_true(i, j) * state[j];
+      sys.z(t, i) = acc;
+    }
+  }
+  return sys;
+}
+
+TEST(TrainingTest, RecoversObservationModel) {
+  auto sys = make_system(4000, 3, 8, 0.3, 0.05, 1);
+  auto model = train_kalman_model(sys.x, sys.z);
+  expect_matrix_near(model.h, sys.h_true, 0.05, "H recovery");
+}
+
+TEST(TrainingTest, RecoversStateTransition) {
+  auto sys = make_system(6000, 3, 8, 0.3, 0.05, 2);
+  auto model = train_kalman_model(sys.x, sys.z);
+  expect_matrix_near(model.f, sys.f_true, 0.05, "F recovery");
+}
+
+TEST(TrainingTest, NoiseCovariancesMatchGeneratingNoise) {
+  const double q_std = 0.4, r_std = 0.7;
+  auto sys = make_system(8000, 2, 5, q_std, r_std, 3);
+  auto model = train_kalman_model(sys.x, sys.z);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(model.q(i, i), q_std * q_std, 0.05);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(model.r(i, i), r_std * r_std, 0.1);
+}
+
+TEST(TrainingTest, CovariancesAreSpd) {
+  auto sys = make_system(2000, 3, 10, 0.3, 0.5, 4);
+  auto model = train_kalman_model(sys.x, sys.z);
+  EXPECT_NO_THROW(linalg::cholesky_factor(model.q));
+  EXPECT_NO_THROW(linalg::cholesky_factor(model.r));
+}
+
+TEST(TrainingTest, InitialStateIsLastTrainingSample) {
+  auto sys = make_system(500, 3, 6, 0.3, 0.5, 5);
+  auto model = train_kalman_model(sys.x, sys.z);
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_DOUBLE_EQ(model.x0[j], sys.x(499, j));
+}
+
+TEST(TrainingTest, ModelValidates) {
+  auto sys = make_system(600, 2, 7, 0.2, 0.4, 6);
+  auto model = train_kalman_model(sys.x, sys.z);
+  EXPECT_NO_THROW(model.validate());
+  EXPECT_EQ(model.x_dim(), 2u);
+  EXPECT_EQ(model.z_dim(), 7u);
+}
+
+TEST(TrainingTest, RidgeOptionsAreApplied) {
+  auto sys = make_system(800, 2, 4, 0.2, 0.4, 7);
+  TrainingOptions big_ridge;
+  big_ridge.r_ridge = 100.0;
+  auto base = train_kalman_model(sys.x, sys.z);
+  auto ridged = train_kalman_model(sys.x, sys.z, big_ridge);
+  EXPECT_NEAR(ridged.r(0, 0) - base.r(0, 0), 100.0 - TrainingOptions{}.r_ridge,
+              1e-9);
+}
+
+TEST(TrainingTest, RejectsRowCountMismatch) {
+  Matrix<double> x(10, 2);
+  Matrix<double> z(9, 3);
+  EXPECT_THROW(train_kalman_model(x, z), std::invalid_argument);
+}
+
+TEST(TrainingTest, RejectsTooFewSamples) {
+  // Fewer than 2*z_dim rows cannot produce a usable R estimate.
+  Matrix<double> x(10, 2);
+  Matrix<double> z(10, 8);
+  EXPECT_THROW(train_kalman_model(x, z), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kalmmind::neural

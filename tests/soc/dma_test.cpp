@@ -1,0 +1,101 @@
+#include "soc/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/memory_map.hpp"
+
+namespace kalmmind::soc {
+namespace {
+
+struct DmaFixture : ::testing::Test {
+  DmaFixture()
+      : noc([] {
+          NocParams p;
+          p.width = 2;
+          p.height = 2;
+          return p;
+        }()),
+        memory([] {
+          MemoryParams p;
+          p.size_words = 4096;
+          return p;
+        }()),
+        dma(noc, memory, /*accel=*/{1, 1}, /*mem=*/{1, 0},
+            /*bytes_per_word=*/4) {}
+
+  Noc noc;
+  MainMemory memory;
+  DmaEngine dma;
+};
+
+TEST_F(DmaFixture, ReadMovesDataAndChargesCycles) {
+  double src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  memory.write_block(100, src, 8);
+  double dst[8] = {};
+  dma.read(100, dst, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(dst[i], src[i]);
+  EXPECT_GT(dma.cycles(), 0u);
+  EXPECT_EQ(dma.transactions(), 1u);
+}
+
+TEST_F(DmaFixture, WriteMovesDataBack) {
+  double src[4] = {9, 8, 7, 6};
+  dma.write(200, src, 4);
+  double check[4] = {};
+  memory.read_block(200, check, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(check[i], src[i]);
+}
+
+TEST_F(DmaFixture, CyclesAccumulateAcrossTransactions) {
+  double buf[16] = {};
+  dma.read(0, buf, 16);
+  const auto after_one = dma.cycles();
+  dma.read(0, buf, 16);
+  EXPECT_EQ(dma.cycles(), 2 * after_one);
+  EXPECT_EQ(dma.transactions(), 2u);
+  dma.reset_accounting();
+  EXPECT_EQ(dma.cycles(), 0u);
+}
+
+TEST_F(DmaFixture, LargerBurstsCostMoreButAmortize) {
+  double buf[1024] = {};
+  dma.read(0, buf, 8);
+  const auto small = dma.cycles();
+  dma.reset_accounting();
+  dma.read(0, buf, 1024);
+  const auto large = dma.cycles();
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 128 * small) << "per-word cost must amortize setup";
+}
+
+TEST(MemoryMapTest, SectionsAreContiguousAndDisjoint) {
+  MemoryMap map;
+  map.x_dim = 6;
+  map.z_dim = 46;
+  map.iterations = 100;
+  map.base = 128;
+  EXPECT_EQ(map.f_addr(), 128u);
+  EXPECT_EQ(map.q_addr(), map.f_addr() + 36);
+  EXPECT_EQ(map.h_addr(), map.q_addr() + 36);
+  EXPECT_EQ(map.r_addr(), map.h_addr() + 46 * 6);
+  EXPECT_EQ(map.x0_addr(), map.r_addr() + 46 * 46);
+  EXPECT_EQ(map.p0_addr(), map.x0_addr() + 6);
+  EXPECT_EQ(map.measurements_addr(), map.p0_addr() + 36);
+  EXPECT_EQ(map.states_addr(), map.measurements_addr() + 100 * 46);
+  EXPECT_EQ(map.final_p_addr(), map.states_addr() + 100 * 6);
+  EXPECT_EQ(map.end(), map.final_p_addr() + 36);
+}
+
+TEST(MemoryMapTest, ValidateChecksCapacityAndShape) {
+  MemoryMap map;
+  map.x_dim = 6;
+  map.z_dim = 46;
+  map.iterations = 100;
+  EXPECT_NO_THROW(map.validate(1u << 20));
+  EXPECT_THROW(map.validate(100), std::invalid_argument);
+  map.iterations = 0;
+  EXPECT_THROW(map.validate(1u << 20), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

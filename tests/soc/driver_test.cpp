@@ -1,0 +1,144 @@
+// The full Linux-driver flow on the simulated SoC: serialize -> configure
+// -> start -> interrupt -> read back, plus equivalence with the direct
+// library-level accelerator run.
+#include <gtest/gtest.h>
+
+#include "../core/core_test_util.hpp"
+#include "soc/soc_all.hpp"
+
+namespace kalmmind::soc {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+
+struct SocFixture : ::testing::Test {
+  SocFixture() : chip(SocParams{}) {
+    accel_id = chip.add_accelerator("kalmmind0", hls::DatapathSpec{},
+                                    TileCoord{1, 1});
+  }
+
+  core::AcceleratorConfig config() const {
+    const auto& ds = tiny_dataset();
+    auto cfg = core::AcceleratorConfig::for_run(
+        std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+        ds.test_measurements.size());
+    cfg.approx = 2;
+    cfg.policy = 1;
+    return cfg;
+  }
+
+  Soc chip;
+  std::size_t accel_id = 0;
+};
+
+TEST_F(SocFixture, FixedTilesMustBeOnTheMesh) {
+  SocParams bad;
+  bad.cpu_tile = {9, 9};
+  EXPECT_THROW(Soc{bad}, std::invalid_argument);
+}
+
+TEST_F(SocFixture, AcceleratorPlacementIsChecked) {
+  EXPECT_THROW(chip.add_accelerator("x", hls::DatapathSpec{}, {5, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(chip.add_accelerator("x", hls::DatapathSpec{}, {0, 0}),
+               std::invalid_argument);  // CPU tile
+  EXPECT_THROW(chip.add_accelerator("x", hls::DatapathSpec{}, {1, 1}),
+               std::invalid_argument);  // occupied by kalmmind0
+}
+
+TEST_F(SocFixture, MmioAdvancesTheClock) {
+  const auto before = chip.now();
+  chip.mmio_write(accel_id, Reg::kApprox, 3);
+  EXPECT_GT(chip.now(), before);
+  EXPECT_EQ(chip.mmio_read(accel_id, Reg::kApprox), 3u);
+}
+
+TEST_F(SocFixture, FullDriverFlowProducesStates) {
+  const auto& ds = tiny_dataset();
+  EspDriver driver(chip, accel_id);
+  auto map = driver.write_invocation(ds.model, ds.test_measurements);
+  driver.configure(config());
+
+  auto result = driver.start_and_wait(map);
+  EXPECT_GT(result.done_cycle, result.start_cycle);
+  EXPECT_GT(result.seconds, 0.0);
+  EXPECT_GT(result.energy_j, 0.0);
+  EXPECT_GT(result.stats.dma_transactions, 0u);
+  EXPECT_EQ(chip.accelerator(accel_id).registers().read(Reg::kStatus),
+            kStatusDone);
+  EXPECT_FALSE(chip.accelerator(accel_id).irq().pending()) << "acked";
+
+  auto states = driver.read_states(map);
+  ASSERT_EQ(states.size(), ds.test_measurements.size());
+  for (const auto& x : states)
+    for (std::size_t j = 0; j < x.size(); ++j)
+      EXPECT_TRUE(std::isfinite(x[j]));
+}
+
+TEST_F(SocFixture, SocRunIsBitExactWithDirectAcceleratorRun) {
+  const auto& ds = tiny_dataset();
+  EspDriver driver(chip, accel_id);
+  auto map = driver.write_invocation(ds.model, ds.test_measurements);
+  driver.configure(config());
+  driver.start_and_wait(map);
+  auto soc_states = driver.read_states(map);
+
+  core::Accelerator direct(hls::DatapathSpec{}, config());
+  auto direct_run = direct.run(ds.model, ds.test_measurements);
+  ASSERT_EQ(soc_states.size(), direct_run.states.size());
+  for (std::size_t n = 0; n < soc_states.size(); ++n)
+    EXPECT_TRUE(soc_states[n] == direct_run.states[n]) << n;
+}
+
+TEST_F(SocFixture, RegisterMapMismatchIsRejected) {
+  const auto& ds = tiny_dataset();
+  EspDriver driver(chip, accel_id);
+  auto map = driver.write_invocation(ds.model, ds.test_measurements);
+  auto cfg = config();
+  cfg.batches = cfg.batches + 1;  // now chunks*batches != map.iterations
+  driver.configure(cfg);
+  EXPECT_THROW(driver.start_and_wait(map), std::invalid_argument);
+}
+
+TEST_F(SocFixture, WriteInvocationRejectsEmptyMeasurements) {
+  EspDriver driver(chip, accel_id);
+  EXPECT_THROW(driver.write_invocation(tiny_dataset().model, {}),
+               std::invalid_argument);
+}
+
+TEST_F(SocFixture, DriverRejectsBadAcceleratorIndex) {
+  EXPECT_THROW(EspDriver(chip, 5), std::out_of_range);
+}
+
+TEST_F(SocFixture, TwoAcceleratorsNeedALargerMesh) {
+  // The default 2x2 mesh is full (CPU, memory, I/O, one accelerator); a
+  // 3x2 mesh hosts a second accelerator tile.
+  SocParams params;
+  params.noc.width = 3;
+  Soc big(params);
+  big.add_accelerator("gn0", hls::DatapathSpec{}, TileCoord{1, 1});
+  hls::DatapathSpec lite;
+  lite.calc = hls::CalcUnit::kNone;
+  lite.approx = hls::ApproxUnit::kNewton;
+  lite.lite = true;
+  const auto lite_id = big.add_accelerator("lite0", lite, TileCoord{2, 0});
+  EXPECT_EQ(big.accelerator_count(), 2u);
+  EXPECT_EQ(big.accelerator(lite_id).name(), "lite0");
+}
+
+TEST(SoftwareModelTest, CvaSixIsSlowerAndLowerPowerThanI7) {
+  const auto& ds = kalmmind::testing::tiny_dataset();
+  auto i7 = run_software_kf(hls::intel_i7_model(), ds.model,
+                            ds.test_measurements);
+  auto cva6 = run_software_kf(hls::cva6_model(), ds.model,
+                              ds.test_measurements);
+  EXPECT_GT(cva6.seconds, 100.0 * i7.seconds);
+  EXPECT_LT(cva6.power_w, i7.power_w / 100.0);
+  // Same functional result (same float32 arithmetic).
+  ASSERT_EQ(i7.states.size(), cva6.states.size());
+  for (std::size_t n = 0; n < i7.states.size(); ++n)
+    EXPECT_TRUE(i7.states[n] == cva6.states[n]);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

@@ -1,0 +1,57 @@
+#include "soc/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::soc {
+namespace {
+
+TEST(MemoryTest, WordReadWriteRoundTrip) {
+  MemoryParams p;
+  p.size_words = 1024;
+  MainMemory mem(p);
+  mem.write_word(5, 3.25);
+  EXPECT_DOUBLE_EQ(mem.read_word(5), 3.25);
+  EXPECT_DOUBLE_EQ(mem.read_word(6), 0.0);
+}
+
+TEST(MemoryTest, BlockTransfer) {
+  MemoryParams p;
+  p.size_words = 64;
+  MainMemory mem(p);
+  double src[4] = {1, 2, 3, 4};
+  mem.write_block(10, src, 4);
+  double dst[4] = {};
+  mem.read_block(10, dst, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(dst[i], src[i]);
+}
+
+TEST(MemoryTest, OutOfRangeThrows) {
+  MemoryParams p;
+  p.size_words = 16;
+  MainMemory mem(p);
+  EXPECT_THROW(mem.read_word(16), std::out_of_range);
+  EXPECT_THROW(mem.write_word(16, 0.0), std::out_of_range);
+  double buf[4];
+  EXPECT_THROW(mem.read_block(14, buf, 4), std::out_of_range);
+  EXPECT_THROW(mem.write_block(14, buf, 4), std::out_of_range);
+  EXPECT_NO_THROW(mem.read_block(12, buf, 4));
+}
+
+TEST(MemoryTest, BurstCyclesModelLatencyPlusBandwidth) {
+  MemoryParams p;
+  p.access_latency_cycles = 50;
+  p.words_per_cycle = 2.0;
+  MainMemory mem(p);
+  EXPECT_EQ(mem.burst_cycles(0), 50u);
+  EXPECT_EQ(mem.burst_cycles(100), 50u + 50u);
+}
+
+TEST(MemoryTest, DefaultSizedForFullInvocations) {
+  MainMemory mem;
+  // The motor invocation (model + 100 iterations of z=164) needs well
+  // under the default capacity.
+  EXPECT_GT(mem.size_words(), 100u * 164u + 164u * 164u + 4096u);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

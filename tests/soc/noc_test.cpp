@@ -1,0 +1,77 @@
+#include "soc/noc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::soc {
+namespace {
+
+Noc mesh_3x3() {
+  NocParams p;
+  p.width = 3;
+  p.height = 3;
+  return Noc(p);
+}
+
+TEST(NocTest, RejectsDegenerateMesh) {
+  NocParams p;
+  p.width = 0;
+  EXPECT_THROW(Noc{p}, std::invalid_argument);
+  p = {};
+  p.flit_bytes = 0;
+  EXPECT_THROW(Noc{p}, std::invalid_argument);
+}
+
+TEST(NocTest, ContainsChecksBounds) {
+  auto noc = mesh_3x3();
+  EXPECT_TRUE(noc.contains({0, 0}));
+  EXPECT_TRUE(noc.contains({2, 2}));
+  EXPECT_FALSE(noc.contains({3, 0}));
+  EXPECT_FALSE(noc.contains({-1, 0}));
+}
+
+TEST(NocTest, ManhattanHops) {
+  auto noc = mesh_3x3();
+  EXPECT_EQ(noc.hops({0, 0}, {0, 0}), 0u);
+  EXPECT_EQ(noc.hops({0, 0}, {2, 1}), 3u);
+  EXPECT_EQ(noc.hops({2, 2}, {0, 0}), 4u);
+}
+
+TEST(NocTest, OffMeshThrows) {
+  auto noc = mesh_3x3();
+  EXPECT_THROW(noc.hops({0, 0}, {5, 5}), std::out_of_range);
+}
+
+TEST(NocTest, TransferGrowsWithDistanceAndPayload) {
+  auto noc = mesh_3x3();
+  const auto near_small = noc.transfer_cycles({0, 0}, {1, 0}, 64);
+  const auto far_small = noc.transfer_cycles({0, 0}, {2, 2}, 64);
+  const auto near_large = noc.transfer_cycles({0, 0}, {1, 0}, 4096);
+  EXPECT_GT(far_small, near_small);
+  EXPECT_GT(near_large, near_small);
+}
+
+TEST(NocTest, PayloadSerializesAtOneFlitPerCycle) {
+  NocParams p;
+  p.width = 2;
+  p.height = 1;
+  p.flit_bytes = 8;
+  Noc noc(p);
+  const auto a = noc.transfer_cycles({0, 0}, {1, 0}, 80);
+  const auto b = noc.transfer_cycles({0, 0}, {1, 0}, 160);
+  EXPECT_EQ(b - a, 10u);  // 80 extra bytes = 10 extra flits
+}
+
+TEST(NocTest, RoundTripIsTwoTransfers) {
+  auto noc = mesh_3x3();
+  const auto rt = noc.round_trip_cycles({0, 0}, {2, 2}, 4);
+  EXPECT_EQ(rt, noc.transfer_cycles({0, 0}, {2, 2}, 8) +
+                    noc.transfer_cycles({2, 2}, {0, 0}, 4));
+}
+
+TEST(NocTest, ZeroPayloadStillPaysHeaderLatency) {
+  auto noc = mesh_3x3();
+  EXPECT_GT(noc.transfer_cycles({0, 0}, {1, 1}, 0), 0u);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

@@ -1,0 +1,64 @@
+#include "soc/registers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/interrupts.hpp"
+
+namespace kalmmind::soc {
+namespace {
+
+TEST(RegisterFileTest, StartsZeroed) {
+  RegisterFile regs;
+  EXPECT_EQ(regs.read(Reg::kCmd), 0u);
+  EXPECT_EQ(regs.read(Reg::kApprox), 0u);
+  EXPECT_EQ(regs.read(Reg::kStatus), kStatusIdle);
+}
+
+TEST(RegisterFileTest, ConfigRegistersReadBack) {
+  RegisterFile regs;
+  regs.write(Reg::kXDim, 6);
+  regs.write(Reg::kZDim, 164);
+  regs.write(Reg::kChunks, 5);
+  regs.write(Reg::kBatches, 20);
+  regs.write(Reg::kApprox, 3);
+  regs.write(Reg::kCalcFreq, 2);
+  regs.write(Reg::kPolicy, 1);
+  EXPECT_EQ(regs.read(Reg::kXDim), 6u);
+  EXPECT_EQ(regs.read(Reg::kZDim), 164u);
+  EXPECT_EQ(regs.read(Reg::kChunks), 5u);
+  EXPECT_EQ(regs.read(Reg::kBatches), 20u);
+  EXPECT_EQ(regs.read(Reg::kApprox), 3u);
+  EXPECT_EQ(regs.read(Reg::kCalcFreq), 2u);
+  EXPECT_EQ(regs.read(Reg::kPolicy), 1u);
+}
+
+TEST(RegisterFileTest, StatusIsReadOnlyFromSoftware) {
+  RegisterFile regs;
+  EXPECT_THROW(regs.write(Reg::kStatus, kStatusDone), std::invalid_argument);
+  regs.set_status(kStatusRunning);  // device side may write it
+  EXPECT_EQ(regs.read(Reg::kStatus), kStatusRunning);
+}
+
+TEST(RegisterFileTest, ResetClearsEverything) {
+  RegisterFile regs;
+  regs.write(Reg::kApprox, 9);
+  regs.set_status(kStatusDone);
+  regs.reset();
+  EXPECT_EQ(regs.read(Reg::kApprox), 0u);
+  EXPECT_EQ(regs.read(Reg::kStatus), kStatusIdle);
+}
+
+TEST(InterruptLineTest, RaiseAcknowledgeCycle) {
+  InterruptLine irq;
+  EXPECT_FALSE(irq.pending());
+  irq.raise(1234);
+  EXPECT_TRUE(irq.pending());
+  EXPECT_EQ(irq.count(), 1u);
+  EXPECT_EQ(irq.acknowledge(), 1234u);
+  EXPECT_FALSE(irq.pending());
+  irq.raise(99);
+  EXPECT_EQ(irq.count(), 2u);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

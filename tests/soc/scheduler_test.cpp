@@ -1,0 +1,157 @@
+// Multi-accelerator scheduling and event tracing.
+#include "soc/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../core/core_test_util.hpp"
+#include "soc/trace.hpp"
+
+namespace kalmmind::soc {
+namespace {
+
+using kalmmind::testing::tiny_dataset;
+
+SocParams three_wide() {
+  SocParams params;
+  params.noc.width = 3;
+  return params;
+}
+
+core::AcceleratorConfig cfg_for(const neural::NeuralDataset& ds,
+                                std::uint32_t approx) {
+  auto cfg = core::AcceleratorConfig::for_run(
+      std::uint32_t(ds.model.x_dim()), std::uint32_t(ds.model.z_dim()),
+      ds.test_measurements.size());
+  cfg.approx = approx;
+  cfg.policy = 1;
+  return cfg;
+}
+
+TEST(SchedulerTest, RejectsEmptyAndDuplicateTargets) {
+  Soc chip(three_wide());
+  chip.add_accelerator("a", hls::DatapathSpec{}, {1, 1});
+  InvocationScheduler sched(chip);
+  EXPECT_THROW(sched.run({}), std::invalid_argument);
+
+  const auto& ds = tiny_dataset();
+  ScheduledInvocation inv;
+  inv.accelerator = 0;
+  inv.model = &ds.model;
+  inv.measurements = &ds.test_measurements;
+  inv.config = cfg_for(ds, 1);
+  EXPECT_THROW(sched.run({inv, inv}), std::invalid_argument);
+
+  ScheduledInvocation null_payload = inv;
+  null_payload.model = nullptr;
+  EXPECT_THROW(sched.run({null_payload}), std::invalid_argument);
+}
+
+TEST(SchedulerTest, TwoTilesRunConcurrently) {
+  Soc chip(three_wide());
+  chip.add_accelerator("gn0", hls::DatapathSpec{}, {1, 1});
+  chip.add_accelerator("gn1", hls::DatapathSpec{}, {2, 1});
+
+  const auto& ds = tiny_dataset();
+  ScheduledInvocation a;
+  a.accelerator = 0;
+  a.model = &ds.model;
+  a.measurements = &ds.test_measurements;
+  a.config = cfg_for(ds, 3);
+  ScheduledInvocation b = a;
+  b.accelerator = 1;
+
+  InvocationScheduler sched(chip);
+  auto result = sched.run({a, b});
+  ASSERT_EQ(result.entries.size(), 2u);
+  // Both busy intervals overlap: the second starts before the first ends.
+  EXPECT_LT(result.entries[1].start_cycle, result.entries[0].done_cycle);
+  // Makespan beats back-to-back execution.
+  EXPECT_LT(result.makespan_cycles, result.serial_cycles);
+  EXPECT_GT(result.parallel_speedup(), 1.3);
+}
+
+TEST(SchedulerTest, MemoryRegionsDoNotOverlap) {
+  Soc chip(three_wide());
+  chip.add_accelerator("gn0", hls::DatapathSpec{}, {1, 1});
+  chip.add_accelerator("gn1", hls::DatapathSpec{}, {2, 1});
+  const auto& ds = tiny_dataset();
+  ScheduledInvocation a;
+  a.accelerator = 0;
+  a.model = &ds.model;
+  a.measurements = &ds.test_measurements;
+  a.config = cfg_for(ds, 1);
+  ScheduledInvocation b = a;
+  b.accelerator = 1;
+  InvocationScheduler sched(chip);
+  auto result = sched.run({a, b});
+  EXPECT_GE(result.entries[1].map.base, result.entries[0].map.end());
+}
+
+TEST(SchedulerTest, ResultsMatchSingleInvocations) {
+  // The decoded states of scheduled runs are bit-exact with isolated runs.
+  Soc chip(three_wide());
+  chip.add_accelerator("gn0", hls::DatapathSpec{}, {1, 1});
+  chip.add_accelerator("gn1", hls::DatapathSpec{}, {2, 1});
+  const auto& ds = tiny_dataset();
+  ScheduledInvocation a;
+  a.accelerator = 0;
+  a.model = &ds.model;
+  a.measurements = &ds.test_measurements;
+  a.config = cfg_for(ds, 2);
+  ScheduledInvocation b = a;
+  b.accelerator = 1;
+  b.config = cfg_for(ds, 4);
+
+  InvocationScheduler sched(chip);
+  auto result = sched.run({a, b});
+
+  for (std::size_t k = 0; k < 2; ++k) {
+    auto direct = core::Accelerator(hls::DatapathSpec{},
+                                    k == 0 ? a.config : b.config)
+                      .run(ds.model, ds.test_measurements);
+    EspDriver reader(chip, result.entries[k].accelerator);
+    auto states = reader.read_states(result.entries[k].map);
+    ASSERT_EQ(states.size(), direct.states.size());
+    for (std::size_t n = 0; n < states.size(); ++n)
+      EXPECT_TRUE(states[n] == direct.states[n]) << "accel " << k << " @" << n;
+  }
+}
+
+TEST(TraceTest, DisabledRecorderStoresNothing) {
+  TraceRecorder trace;
+  trace.record(10, TraceKind::kMmioWrite, "x");
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(TraceTest, RecordsTheDriverFlow) {
+  Soc chip{SocParams{}};
+  chip.trace().set_enabled(true);
+  auto id = chip.add_accelerator("gn", hls::DatapathSpec{}, {1, 1});
+  const auto& ds = tiny_dataset();
+  EspDriver driver(chip, id);
+  auto map = driver.write_invocation(ds.model, ds.test_measurements);
+  driver.configure(cfg_for(ds, 1));
+  driver.start_and_wait(map);
+
+  const auto& trace = chip.trace();
+  EXPECT_EQ(trace.count(TraceKind::kMmioWrite), 8u);  // 7 config + CMD
+  EXPECT_EQ(trace.count(TraceKind::kComputeStart), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kComputeEnd), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kIrqRaise), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kIrqAck), 1u);
+
+  // Cycles are monotone within the compute lifecycle.
+  std::uint64_t start = 0, end = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == TraceKind::kComputeStart) start = e.cycle;
+    if (e.kind == TraceKind::kComputeEnd) end = e.cycle;
+  }
+  EXPECT_LT(start, end);
+
+  const std::string s = trace.to_string();
+  EXPECT_NE(s.find("compute.start"), std::string::npos);
+  EXPECT_NE(s.find("gn"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kalmmind::soc

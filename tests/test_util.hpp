@@ -1,0 +1,55 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/linalg.hpp"
+
+namespace kalmmind::testing {
+
+using linalg::Matrix;
+using linalg::Rng;
+using linalg::Vector;
+
+// Naive O(n^3) reference multiply for validating the optimized kernels.
+template <typename T>
+Matrix<T> naive_multiply(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      T acc = T(0);
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  return c;
+}
+
+template <typename T>
+void expect_matrix_near(const Matrix<T>& a, const Matrix<T>& b, double tol,
+                        const char* what = "") {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      EXPECT_NEAR(linalg::to_double(a(i, j)), linalg::to_double(b(i, j)), tol)
+          << what << " at (" << i << "," << j << ")";
+}
+
+template <typename T>
+void expect_vector_near(const Vector<T>& a, const Vector<T>& b, double tol,
+                        const char* what = "") {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(linalg::to_double(a[i]), linalg::to_double(b[i]), tol)
+        << what << " at " << i;
+}
+
+// Identity-residual of a candidate inverse, in double.
+template <typename T>
+double inverse_error(const Matrix<T>& a, const Matrix<T>& inv) {
+  return linalg::inverse_residual(a, inv);
+}
+
+}  // namespace kalmmind::testing

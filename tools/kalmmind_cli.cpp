@@ -1,0 +1,197 @@
+// kalmmind — command-line driver for the accelerator model.
+//
+//   kalmmind [--dataset motor|somatosensory|hippocampus]
+//            [--datapath gauss-newton|cholesky-newton|qr-newton|lite|
+//                        sskf|sskf-newton|taylor|gauss-only]
+//            [--dtype float32|fx32|fx64]
+//            [--calc-freq N] [--approx N] [--policy 0|1]
+//            [--iterations N] [--seed N]
+//            [--csv PREFIX]    write PREFIX_trajectory.csv
+//            [--breakdown]     print the per-module latency report
+//
+// Runs one accelerator configuration on one dataset and prints accuracy
+// (vs the float64 reference), decode quality (vs ground truth), latency,
+// power and energy.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/kalmmind.hpp"
+#include "io/csv.hpp"
+#include "neural/decode_quality.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+struct CliOptions {
+  std::string dataset = "motor";
+  std::string datapath = "gauss-newton";
+  std::string dtype = "float32";
+  std::uint32_t calc_freq = 0;
+  std::uint32_t approx = 2;
+  std::uint32_t policy = 1;
+  std::size_t iterations = 100;
+  std::uint64_t seed = 0;  // 0 = preset default
+  std::string csv_prefix;
+  bool breakdown = false;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dataset NAME] [--datapath NAME] [--dtype T]\n"
+               "          [--calc-freq N] [--approx N] [--policy 0|1]\n"
+               "          [--iterations N] [--seed N] [--csv PREFIX]\n"
+               "          [--breakdown]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        usage_and_exit(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      opt.dataset = need_value("--dataset");
+    } else if (!std::strcmp(argv[i], "--datapath")) {
+      opt.datapath = need_value("--datapath");
+    } else if (!std::strcmp(argv[i], "--dtype")) {
+      opt.dtype = need_value("--dtype");
+    } else if (!std::strcmp(argv[i], "--calc-freq")) {
+      opt.calc_freq = std::uint32_t(std::atoi(need_value("--calc-freq")));
+    } else if (!std::strcmp(argv[i], "--approx")) {
+      opt.approx = std::uint32_t(std::atoi(need_value("--approx")));
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      opt.policy = std::uint32_t(std::atoi(need_value("--policy")));
+    } else if (!std::strcmp(argv[i], "--iterations")) {
+      opt.iterations = std::size_t(std::atoll(need_value("--iterations")));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      opt.seed = std::uint64_t(std::atoll(need_value("--seed")));
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      opt.csv_prefix = need_value("--csv");
+    } else if (!std::strcmp(argv[i], "--breakdown")) {
+      opt.breakdown = true;
+    } else if (!std::strcmp(argv[i], "--help")) {
+      usage_and_exit(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage_and_exit(argv[0]);
+    }
+  }
+  return opt;
+}
+
+neural::DatasetSpec spec_for(const CliOptions& opt) {
+  neural::DatasetSpec spec;
+  if (opt.dataset == "motor") {
+    spec = neural::motor_spec();
+  } else if (opt.dataset == "somatosensory") {
+    spec = neural::somatosensory_spec();
+  } else if (opt.dataset == "hippocampus") {
+    spec = neural::hippocampus_spec();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", opt.dataset.c_str());
+    std::exit(2);
+  }
+  spec.test_steps = opt.iterations;
+  if (opt.seed != 0) spec.seed = opt.seed;
+  return spec;
+}
+
+hls::NumericType dtype_for(const CliOptions& opt) {
+  if (opt.dtype == "float32") return hls::NumericType::kFloat32;
+  if (opt.dtype == "float64") return hls::NumericType::kFloat64;
+  if (opt.dtype == "fx32") return hls::NumericType::kFx32;
+  if (opt.dtype == "fx64") return hls::NumericType::kFx64;
+  std::fprintf(stderr, "unknown dtype '%s'\n", opt.dtype.c_str());
+  std::exit(2);
+}
+
+core::Accelerator accelerator_for(const CliOptions& opt,
+                                  core::AcceleratorConfig cfg) {
+  const auto dtype = dtype_for(opt);
+  if (opt.datapath == "gauss-newton")
+    return core::make_gauss_newton(cfg, dtype);
+  if (opt.datapath == "cholesky-newton") return core::make_cholesky_newton(cfg);
+  if (opt.datapath == "qr-newton") return core::make_qr_newton(cfg);
+  if (opt.datapath == "lite") return core::make_lite(cfg, dtype);
+  if (opt.datapath == "sskf") return core::make_sskf(cfg);
+  if (opt.datapath == "sskf-newton") return core::make_sskf_newton(cfg);
+  if (opt.datapath == "taylor") return core::make_taylor(cfg);
+  if (opt.datapath == "gauss-only") return core::make_gauss_only(cfg);
+  std::fprintf(stderr, "unknown datapath '%s'\n", opt.datapath.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  auto dataset = neural::build_dataset(spec_for(opt));
+  auto reference = core::to_double_trajectory(
+      kalman::run_reference(dataset.model, dataset.test_measurements).states);
+
+  auto cfg = core::AcceleratorConfig::for_run(
+      std::uint32_t(dataset.model.x_dim()),
+      std::uint32_t(dataset.model.z_dim()),
+      dataset.test_measurements.size());
+  cfg.calc_freq = opt.calc_freq;
+  cfg.approx = opt.approx;
+  cfg.policy = opt.policy;
+
+  core::Accelerator accel = accelerator_for(opt, cfg);
+  auto run = accel.run(dataset.model, dataset.test_measurements);
+  auto metrics = core::compare_trajectories(reference, run.states);
+  auto quality = neural::assess_decode(run.states, dataset.test_kinematics);
+
+  std::printf("dataset    : %s (x=%zu z=%zu, %zu iterations)\n",
+              dataset.spec.name.c_str(), dataset.model.x_dim(),
+              dataset.model.z_dim(), dataset.test_measurements.size());
+  std::printf("datapath   : %s  [%s]\n", accel.spec().name().c_str(),
+              cfg.to_string().c_str());
+  std::printf("accuracy   : MSE %s  MAE %s  MAX-DIFF %s%%  (vs float64 "
+              "reference)\n",
+              core::sci(metrics.mse).c_str(), core::sci(metrics.mae).c_str(),
+              core::sci(metrics.max_diff_pct).c_str());
+  std::printf("decode     : velocity corr %.3f  position corr %.3f  "
+              "velocity RMSE %.3f\n",
+              quality.velocity_correlation, quality.position_correlation,
+              quality.velocity_rmse);
+  std::printf("latency    : %.4f s (%llu cycles @ %.0f MHz)\n", run.seconds,
+              (unsigned long long)run.latency.total_cycles,
+              accel.params().clock_hz / 1e6);
+  std::printf("power      : %.3f W   energy: %.4f J\n", run.power_w,
+              run.energy_j);
+  std::printf("resources  : %llu LUT  %llu FF  %.1f BRAM  %llu DSP\n",
+              (unsigned long long)run.resources.lut,
+              (unsigned long long)run.resources.ff, run.resources.bram,
+              (unsigned long long)run.resources.dsp);
+  if (run.fixed_point_saturations) {
+    std::printf("WARNING    : %llu fixed-point saturations\n",
+                (unsigned long long)run.fixed_point_saturations);
+  }
+
+  if (opt.breakdown) {
+    hls::LatencyModel lat(accel.params());
+    auto report = hls::build_latency_report(lat, accel.spec(),
+                                            dataset.model.x_dim(),
+                                            dataset.model.z_dim(), run.events);
+    std::printf("\n%s", report.to_string().c_str());
+  }
+
+  if (!opt.csv_prefix.empty()) {
+    const std::string path = opt.csv_prefix + "_trajectory.csv";
+    io::write_trajectory_csv_file(path, run.states,
+                                  {"px", "py", "vx", "vy", "ax", "ay"});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
