@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dma_overlap.dir/ablation_dma_overlap.cpp.o"
+  "CMakeFiles/bench_ablation_dma_overlap.dir/ablation_dma_overlap.cpp.o.d"
+  "bench_ablation_dma_overlap"
+  "bench_ablation_dma_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dma_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mac_array.dir/ablation_mac_array.cpp.o"
+  "CMakeFiles/bench_ablation_mac_array.dir/ablation_mac_array.cpp.o.d"
+  "bench_ablation_mac_array"
+  "bench_ablation_mac_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mac_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

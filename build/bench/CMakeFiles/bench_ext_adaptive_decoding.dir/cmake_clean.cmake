@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_decoding.dir/ext_adaptive_decoding.cpp.o"
+  "CMakeFiles/bench_ext_adaptive_decoding.dir/ext_adaptive_decoding.cpp.o.d"
+  "bench_ext_adaptive_decoding"
+  "bench_ext_adaptive_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

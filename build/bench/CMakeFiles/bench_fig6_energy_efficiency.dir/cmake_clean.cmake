@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_energy_efficiency.dir/fig6_energy_efficiency.cpp.o"
+  "CMakeFiles/bench_fig6_energy_efficiency.dir/fig6_energy_efficiency.cpp.o.d"
+  "CMakeFiles/bench_fig6_energy_efficiency.dir/table3_data.cpp.o"
+  "CMakeFiles/bench_fig6_energy_efficiency.dir/table3_data.cpp.o.d"
+  "bench_fig6_energy_efficiency"
+  "bench_fig6_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_methods.cpp" "bench/CMakeFiles/bench_table1_methods.dir/table1_methods.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_methods.dir/table1_methods.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/kalmmind_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kalmmind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/kalmmind_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalman/CMakeFiles/kalmmind_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/kalmmind_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/kalmmind_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kalmmind_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

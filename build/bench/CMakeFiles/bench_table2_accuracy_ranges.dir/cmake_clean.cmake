@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_accuracy_ranges.dir/table2_accuracy_ranges.cpp.o"
+  "CMakeFiles/bench_table2_accuracy_ranges.dir/table2_accuracy_ranges.cpp.o.d"
+  "bench_table2_accuracy_ranges"
+  "bench_table2_accuracy_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_accuracy_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_implementations.dir/table3_data.cpp.o"
+  "CMakeFiles/bench_table3_implementations.dir/table3_data.cpp.o.d"
+  "CMakeFiles/bench_table3_implementations.dir/table3_implementations.cpp.o"
+  "CMakeFiles/bench_table3_implementations.dir/table3_implementations.cpp.o.d"
+  "bench_table3_implementations"
+  "bench_table3_implementations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_implementations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

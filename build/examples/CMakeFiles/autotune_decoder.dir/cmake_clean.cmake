@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_decoder.dir/autotune_decoder.cpp.o"
+  "CMakeFiles/autotune_decoder.dir/autotune_decoder.cpp.o.d"
+  "autotune_decoder"
+  "autotune_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

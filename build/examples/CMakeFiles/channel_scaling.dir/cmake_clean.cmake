@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_scaling.dir/channel_scaling.cpp.o"
+  "CMakeFiles/channel_scaling.dir/channel_scaling.cpp.o.d"
+  "channel_scaling"
+  "channel_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

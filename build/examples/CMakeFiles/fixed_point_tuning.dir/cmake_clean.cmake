@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_point_tuning.dir/fixed_point_tuning.cpp.o"
+  "CMakeFiles/fixed_point_tuning.dir/fixed_point_tuning.cpp.o.d"
+  "fixed_point_tuning"
+  "fixed_point_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_point_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_accelerator_soc.dir/multi_accelerator_soc.cpp.o"
+  "CMakeFiles/multi_accelerator_soc.dir/multi_accelerator_soc.cpp.o.d"
+  "multi_accelerator_soc"
+  "multi_accelerator_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_accelerator_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

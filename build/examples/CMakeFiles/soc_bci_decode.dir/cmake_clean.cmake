@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_bci_decode.dir/soc_bci_decode.cpp.o"
+  "CMakeFiles/soc_bci_decode.dir/soc_bci_decode.cpp.o.d"
+  "soc_bci_decode"
+  "soc_bci_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_bci_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

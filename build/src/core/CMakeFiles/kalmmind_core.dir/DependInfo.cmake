@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cpp" "src/core/CMakeFiles/kalmmind_core.dir/accelerator.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/accelerator.cpp.o.d"
+  "/root/repo/src/core/autotuner.cpp" "src/core/CMakeFiles/kalmmind_core.dir/autotuner.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/autotuner.cpp.o.d"
+  "/root/repo/src/core/dse.cpp" "src/core/CMakeFiles/kalmmind_core.dir/dse.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/dse.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/kalmmind_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/realtime.cpp" "src/core/CMakeFiles/kalmmind_core.dir/realtime.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/realtime.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/kalmmind_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/kalmmind_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kalman/CMakeFiles/kalmmind_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/kalmmind_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/kalmmind_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/kalmmind_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kalmmind_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

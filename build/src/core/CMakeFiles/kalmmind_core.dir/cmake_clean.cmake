@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_core.dir/accelerator.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/kalmmind_core.dir/autotuner.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/autotuner.cpp.o.d"
+  "CMakeFiles/kalmmind_core.dir/dse.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/dse.cpp.o.d"
+  "CMakeFiles/kalmmind_core.dir/metrics.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/kalmmind_core.dir/realtime.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/realtime.cpp.o.d"
+  "CMakeFiles/kalmmind_core.dir/report.cpp.o"
+  "CMakeFiles/kalmmind_core.dir/report.cpp.o.d"
+  "libkalmmind_core.a"
+  "libkalmmind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

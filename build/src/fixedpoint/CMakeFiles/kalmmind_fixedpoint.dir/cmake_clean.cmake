@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_fixedpoint.dir/fixed.cpp.o"
+  "CMakeFiles/kalmmind_fixedpoint.dir/fixed.cpp.o.d"
+  "libkalmmind_fixedpoint.a"
+  "libkalmmind_fixedpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_fixedpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

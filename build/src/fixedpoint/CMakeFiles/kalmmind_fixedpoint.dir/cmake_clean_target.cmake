@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkalmmind_fixedpoint.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_hls.dir/report.cpp.o"
+  "CMakeFiles/kalmmind_hls.dir/report.cpp.o.d"
+  "CMakeFiles/kalmmind_hls.dir/resources.cpp.o"
+  "CMakeFiles/kalmmind_hls.dir/resources.cpp.o.d"
+  "libkalmmind_hls.a"
+  "libkalmmind_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

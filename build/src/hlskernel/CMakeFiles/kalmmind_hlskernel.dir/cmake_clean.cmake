@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_hlskernel.dir/kernel.cpp.o"
+  "CMakeFiles/kalmmind_hlskernel.dir/kernel.cpp.o.d"
+  "libkalmmind_hlskernel.a"
+  "libkalmmind_hlskernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_hlskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

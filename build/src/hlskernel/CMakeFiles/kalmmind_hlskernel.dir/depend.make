@@ -1,0 +1,2 @@
+# Empty dependencies file for kalmmind_hlskernel.
+# This may be replaced when dependencies are built.

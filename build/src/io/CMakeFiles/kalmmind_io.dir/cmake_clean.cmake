@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_io.dir/csv.cpp.o"
+  "CMakeFiles/kalmmind_io.dir/csv.cpp.o.d"
+  "CMakeFiles/kalmmind_io.dir/model_io.cpp.o"
+  "CMakeFiles/kalmmind_io.dir/model_io.cpp.o.d"
+  "libkalmmind_io.a"
+  "libkalmmind_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_kalman.dir/kalman.cpp.o"
+  "CMakeFiles/kalmmind_kalman.dir/kalman.cpp.o.d"
+  "libkalmmind_kalman.a"
+  "libkalmmind_kalman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_linalg.dir/linalg.cpp.o"
+  "CMakeFiles/kalmmind_linalg.dir/linalg.cpp.o.d"
+  "libkalmmind_linalg.a"
+  "libkalmmind_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

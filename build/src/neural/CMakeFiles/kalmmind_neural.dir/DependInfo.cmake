@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/neural/dataset.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/dataset.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/dataset.cpp.o.d"
+  "/root/repo/src/neural/decode_quality.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/decode_quality.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/decode_quality.cpp.o.d"
+  "/root/repo/src/neural/drift.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/drift.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/drift.cpp.o.d"
+  "/root/repo/src/neural/encoding.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/encoding.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/encoding.cpp.o.d"
+  "/root/repo/src/neural/kinematics.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/kinematics.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/kinematics.cpp.o.d"
+  "/root/repo/src/neural/spikes.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/spikes.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/spikes.cpp.o.d"
+  "/root/repo/src/neural/training.cpp" "src/neural/CMakeFiles/kalmmind_neural.dir/training.cpp.o" "gcc" "src/neural/CMakeFiles/kalmmind_neural.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kalman/CMakeFiles/kalmmind_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/kalmmind_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kalmmind_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

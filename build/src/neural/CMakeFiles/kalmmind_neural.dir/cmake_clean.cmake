@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_neural.dir/dataset.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/dataset.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/decode_quality.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/decode_quality.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/drift.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/drift.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/encoding.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/encoding.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/kinematics.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/kinematics.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/spikes.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/spikes.cpp.o.d"
+  "CMakeFiles/kalmmind_neural.dir/training.cpp.o"
+  "CMakeFiles/kalmmind_neural.dir/training.cpp.o.d"
+  "libkalmmind_neural.a"
+  "libkalmmind_neural.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

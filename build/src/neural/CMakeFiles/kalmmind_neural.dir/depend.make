@@ -1,0 +1,2 @@
+# Empty dependencies file for kalmmind_neural.
+# This may be replaced when dependencies are built.

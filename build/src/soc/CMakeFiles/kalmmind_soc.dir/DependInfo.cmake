@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/accelerator_tile.cpp" "src/soc/CMakeFiles/kalmmind_soc.dir/accelerator_tile.cpp.o" "gcc" "src/soc/CMakeFiles/kalmmind_soc.dir/accelerator_tile.cpp.o.d"
+  "/root/repo/src/soc/scheduler.cpp" "src/soc/CMakeFiles/kalmmind_soc.dir/scheduler.cpp.o" "gcc" "src/soc/CMakeFiles/kalmmind_soc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/soc/soc.cpp" "src/soc/CMakeFiles/kalmmind_soc.dir/soc.cpp.o" "gcc" "src/soc/CMakeFiles/kalmmind_soc.dir/soc.cpp.o.d"
+  "/root/repo/src/soc/software.cpp" "src/soc/CMakeFiles/kalmmind_soc.dir/software.cpp.o" "gcc" "src/soc/CMakeFiles/kalmmind_soc.dir/software.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/kalmmind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/kalmmind_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalman/CMakeFiles/kalmmind_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/kalmmind_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/kalmmind_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kalmmind_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_soc.dir/accelerator_tile.cpp.o"
+  "CMakeFiles/kalmmind_soc.dir/accelerator_tile.cpp.o.d"
+  "CMakeFiles/kalmmind_soc.dir/scheduler.cpp.o"
+  "CMakeFiles/kalmmind_soc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/kalmmind_soc.dir/soc.cpp.o"
+  "CMakeFiles/kalmmind_soc.dir/soc.cpp.o.d"
+  "CMakeFiles/kalmmind_soc.dir/software.cpp.o"
+  "CMakeFiles/kalmmind_soc.dir/software.cpp.o.d"
+  "libkalmmind_soc.a"
+  "libkalmmind_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accelerator_test.cpp" "tests/CMakeFiles/test_core.dir/core/accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/accelerator_test.cpp.o.d"
+  "/root/repo/tests/core/autotuner_test.cpp" "tests/CMakeFiles/test_core.dir/core/autotuner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/autotuner_test.cpp.o.d"
+  "/root/repo/tests/core/chunking_param_test.cpp" "tests/CMakeFiles/test_core.dir/core/chunking_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/chunking_param_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/datapath_param_test.cpp" "tests/CMakeFiles/test_core.dir/core/datapath_param_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/datapath_param_test.cpp.o.d"
+  "/root/repo/tests/core/dse_test.cpp" "tests/CMakeFiles/test_core.dir/core/dse_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dse_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_property_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/realtime_test.cpp" "tests/CMakeFiles/test_core.dir/core/realtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/realtime_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/kalmmind_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/kalmmind_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/kalmmind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/neural/CMakeFiles/kalmmind_neural.dir/DependInfo.cmake"
+  "/root/repo/build/src/kalman/CMakeFiles/kalmmind_kalman.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/kalmmind_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlskernel/CMakeFiles/kalmmind_hlskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixedpoint/CMakeFiles/kalmmind_fixedpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/kalmmind_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

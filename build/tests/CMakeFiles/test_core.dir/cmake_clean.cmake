@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/accelerator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/accelerator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/autotuner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/autotuner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/chunking_param_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/chunking_param_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/datapath_param_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/datapath_param_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dse_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dse_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/realtime_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/realtime_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls.dir/hls/fault_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/fault_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/latency_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/latency_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/overlap_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/overlap_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/power_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/power_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/report_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/report_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/resources_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/resources_test.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/workload_test.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/workload_test.cpp.o.d"
+  "test_hls"
+  "test_hls.pdb"
+  "test_hls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

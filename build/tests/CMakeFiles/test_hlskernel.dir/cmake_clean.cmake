@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlskernel.dir/hlskernel/kernel_test.cpp.o"
+  "CMakeFiles/test_hlskernel.dir/hlskernel/kernel_test.cpp.o.d"
+  "test_hlskernel"
+  "test_hlskernel.pdb"
+  "test_hlskernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kalman.dir/kalman/adaptive_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/analysis_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/analysis_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/filter_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/filter_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/interleaved_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/interleaved_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/model_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/model_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/sskf_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/sskf_test.cpp.o.d"
+  "CMakeFiles/test_kalman.dir/kalman/strategies_test.cpp.o"
+  "CMakeFiles/test_kalman.dir/kalman/strategies_test.cpp.o.d"
+  "test_kalman"
+  "test_kalman.pdb"
+  "test_kalman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kalman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

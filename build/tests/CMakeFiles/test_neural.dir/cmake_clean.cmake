@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neural.dir/neural/dataset_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/dataset_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/decode_quality_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/decode_quality_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/drift_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/drift_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/encoding_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/encoding_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/kinematics_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/kinematics_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/spikes_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/spikes_test.cpp.o.d"
+  "CMakeFiles/test_neural.dir/neural/training_test.cpp.o"
+  "CMakeFiles/test_neural.dir/neural/training_test.cpp.o.d"
+  "test_neural"
+  "test_neural.pdb"
+  "test_neural[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neural.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kalmmind_cli.dir/kalmmind_cli.cpp.o"
+  "CMakeFiles/kalmmind_cli.dir/kalmmind_cli.cpp.o.d"
+  "kalmmind"
+  "kalmmind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kalmmind_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_quick_hippocampus "/root/repo/build/tools/kalmmind" "--dataset" "hippocampus" "--iterations" "20" "--approx" "2")
+set_tests_properties(cli_quick_hippocampus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sskf_with_breakdown "/root/repo/build/tools/kalmmind" "--dataset" "somatosensory" "--datapath" "sskf" "--iterations" "20" "--breakdown")
+set_tests_properties(cli_sskf_with_breakdown PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fx64 "/root/repo/build/tools/kalmmind" "--dataset" "hippocampus" "--dtype" "fx64" "--iterations" "20")
+set_tests_properties(cli_fx64 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
