@@ -1,0 +1,144 @@
+// Extension: multi-session decode throughput scaling.
+//
+// The paper's accelerator decodes one stream under a 50 ms/bin deadline;
+// a production relay station serves many implanted users at once.  This
+// benchmark streams S concurrent sessions of the somatosensory dataset
+// (z=52, the middle-sized preset) through the DecodeServer and measures
+// aggregate decode throughput as the worker pool grows from 1 thread to
+// hardware_concurrency — the sessions/s scaling curve a deployment sizes
+// its host cores against.
+//
+// Output: one row per worker count (workers, wall s, steps/s, speedup vs
+// 1 worker, p99 step ms, misses), plus a determinism check that every
+// session's served trajectory is bit-identical to the same filter stepped
+// sequentially.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/serve.hpp"
+
+using namespace kalmmind;
+
+namespace {
+
+struct RunResult {
+  double wall_s = 0.0;
+  double steps_per_s = 0.0;
+  double p99_ms = 0.0;
+  std::size_t misses = 0;
+  bool identical = true;
+};
+
+RunResult run_once(const neural::NeuralDataset& dataset,
+                   const std::vector<std::vector<linalg::Vector<double>>>&
+                       sequential_reference,
+                   std::size_t sessions, unsigned workers) {
+  serve::SessionConfig cfg;
+  cfg.model = dataset.model;
+  cfg.strategy = "interleaved";
+  cfg.strategy_params.interleave = {0, 2, kalman::SeedPolicy::kPreviousIteration};
+  cfg.queue_capacity = dataset.test_measurements.size();  // lossless
+  cfg.deadline_s = 0.05;
+
+  serve::DecodeServer server({workers, /*max_batch=*/4});
+  std::vector<serve::SessionId> ids;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    ids.push_back(server.open_session(cfg));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& z : dataset.test_measurements) {
+    for (const auto id : ids) server.submit(id, z);
+  }
+  server.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  RunResult r;
+  r.wall_s = wall;
+  r.steps_per_s = double(stats.total_steps) / wall;
+  r.p99_ms = stats.step_latency.p99_s * 1e3;
+  r.misses = stats.total_deadline_misses;
+
+  // Every served session must reproduce the sequential filter bit for bit.
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const auto served = server.trajectory(ids[s]);
+    const auto& expect = sequential_reference[s % sequential_reference.size()];
+    if (served.size() != expect.size()) {
+      r.identical = false;
+      break;
+    }
+    for (std::size_t n = 0; r.identical && n < served.size(); ++n) {
+      for (std::size_t d = 0; d < served[n].size(); ++d) {
+        if (served[n][d] != expect[n][d]) r.identical = false;
+      }
+    }
+    if (!r.identical) break;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  neural::DatasetSpec spec = neural::somatosensory_spec();
+  spec.test_steps = 150;
+  const neural::NeuralDataset dataset = neural::build_dataset(spec);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t sessions = std::size_t(2) * std::max(4u, hw);
+
+  // Sequential reference: identical model + strategy, plain loop.  All
+  // sessions share the measurement stream, so one reference covers them.
+  kalman::StrategyParams<double> params;
+  params.calc_method = kalman::CalcMethod::kGauss;
+  params.interleave = {0, 2, kalman::SeedPolicy::kPreviousIteration};
+  kalman::KalmanFilter<double> sequential(
+      dataset.model,
+      kalman::make_inverse_strategy<double>("interleaved", params));
+  const auto seq = sequential.run(dataset.test_measurements);
+  const std::vector<std::vector<linalg::Vector<double>>> reference = {
+      seq.states};
+
+  std::printf("ext: multi-session decode scaling — %zu sessions x %zu bins, "
+              "somatosensory z=%zu, interleaved gauss/newton (approx=2)\n\n",
+              sessions, dataset.test_measurements.size(),
+              dataset.model.z_dim());
+  std::printf("%8s %10s %12s %9s %10s %8s %12s\n", "workers", "wall(s)",
+              "steps/s", "speedup", "p99(ms)", "misses", "identical");
+
+  // Sweep to at least 4 workers even on small machines: oversubscribed
+  // pools still have to preserve bit-identity, and the curve is the point
+  // on real multicore hosts.
+  const unsigned max_workers = std::max(4u, hw);
+  std::vector<unsigned> worker_counts;
+  for (unsigned w = 1; w < max_workers; w *= 2) worker_counts.push_back(w);
+  worker_counts.push_back(max_workers);
+
+  double base = 0.0;
+  bool all_identical = true;
+  double best_speedup = 0.0;
+  for (const unsigned w : worker_counts) {
+    const RunResult r = run_once(dataset, reference, sessions, w);
+    if (w == 1) base = r.steps_per_s;
+    const double speedup = base > 0.0 ? r.steps_per_s / base : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    all_identical = all_identical && r.identical;
+    std::printf("%8u %10.3f %12.0f %8.2fx %10.3f %8zu %12s\n", w, r.wall_s,
+                r.steps_per_s, speedup, r.p99_ms, r.misses,
+                r.identical ? "yes" : "NO");
+  }
+
+  std::printf("\nbest scaling: %.2fx over 1 worker (%u hardware threads); "
+              "trajectories %s\n",
+              best_speedup, hw,
+              all_identical ? "bit-identical to sequential execution"
+                            : "DIVERGED — serving bug");
+  return all_identical ? 0 : 1;
+}

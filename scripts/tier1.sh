@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrent serve/
+# tests again under ThreadSanitizer.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build + full test suite =="
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo
+echo "== tier1: serve tests under ThreadSanitizer =="
+cmake -B build-tsan -S . \
+  -DKALMMIND_TSAN=ON \
+  -DKALMMIND_BUILD_BENCH=OFF \
+  -DKALMMIND_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j"$(nproc)" --target test_serve
+ctest --test-dir build-tsan -R '^Serve' --output-on-failure
+
+echo
+echo "tier1: OK"

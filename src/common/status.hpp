@@ -1,0 +1,43 @@
+// A minimal, allocation-free status type for the non-throwing validation
+// path.  The serving hot path (DecodeServer::open_session / submit) must be
+// able to reject a bad session config without exceptions, so every config
+// type grows a `Status check() const noexcept` next to its throwing
+// `validate()`.
+//
+// Status carries a pointer to a string literal (static storage duration),
+// which keeps check() genuinely noexcept: no allocation can fail while
+// building an error message.  validate() turns a non-ok Status into the
+// usual std::invalid_argument.
+#pragma once
+
+namespace kalmmind {
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  constexpr Status() noexcept : message_(nullptr) {}
+
+  static constexpr Status Ok() noexcept { return Status(); }
+
+  // `message` must point to a string literal (or any storage outliving the
+  // Status); Status does not copy it.
+  static constexpr Status Invalid(const char* message) noexcept {
+    return Status(message);
+  }
+
+  constexpr bool ok() const noexcept { return message_ == nullptr; }
+  constexpr explicit operator bool() const noexcept { return ok(); }
+
+  // Empty string when ok().
+  constexpr const char* message() const noexcept {
+    return message_ ? message_ : "";
+  }
+
+ private:
+  constexpr explicit Status(const char* message) noexcept
+      : message_(message) {}
+
+  const char* message_;  // nullptr <=> OK
+};
+
+}  // namespace kalmmind

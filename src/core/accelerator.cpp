@@ -6,6 +6,7 @@
 #include <string>
 
 #include "fixedpoint/fixed.hpp"
+#include "kalman/factory.hpp"
 
 namespace kalmmind::core {
 
@@ -154,36 +155,41 @@ AcceleratorRunResult Accelerator::run_typed(
                                          ss.k.template cast<T>());
     output = filter.run(typed_z);
   } else {
-    kalman::InverseStrategyPtr<T> strategy;
+    // Map the datapath spec onto a factory name + params; the string-keyed
+    // factory is the single place strategies are wired up.
+    std::string strategy_name;
+    kalman::StrategyParams<T> strategy_params;
     if (spec_.lite) {
       Matrix<double> s0_inv =
           linalg::invert_lu(first_innovation_covariance(model));
-      strategy = std::make_unique<kalman::LiteStrategy<T>>(
-          s0_inv.template cast<T>());
+      strategy_name = "lite";
+      strategy_params.preloaded_inverse = s0_inv.template cast<T>();
     } else if (spec_.calc == CalcUnit::kConstant) {
       // SSKF/Newton: constant S^-1 from the converged innovation
       // covariance, optionally refined by `approx` Newton iterations.
       kalman::SteadyState<double> ss = kalman::solve_steady_state(model);
-      const std::size_t approx =
+      strategy_name = "sskf";
+      strategy_params.preloaded_inverse = ss.s_inv.template cast<T>();
+      strategy_params.interleave.approx =
           spec_.approx == ApproxUnit::kNewton ? config_.approx : 0;
-      strategy = std::make_unique<kalman::ConstantInverseStrategy<T>>(
-          ss.s_inv.template cast<T>(), approx);
     } else if (spec_.approx == ApproxUnit::kNone) {
-      strategy = std::make_unique<kalman::CalculationStrategy<T>>(
-          to_calc_method(spec_.calc));
+      strategy_name = kalman::to_string(to_calc_method(spec_.calc));
     } else if (spec_.calc == CalcUnit::kNone &&
                spec_.approx == ApproxUnit::kTaylor) {
-      strategy = std::make_unique<kalman::TaylorStrategy<T>>(kTaylorOrder);
+      strategy_name = "taylor";
+      strategy_params.taylor_order = kTaylorOrder;
     } else if (spec_.approx == ApproxUnit::kNewton &&
                spec_.calc != CalcUnit::kNone) {
-      strategy = std::make_unique<kalman::InterleavedStrategy<T>>(
-          to_calc_method(spec_.calc), config_.interleave());
+      strategy_name = "interleaved";
+      strategy_params.calc_method = to_calc_method(spec_.calc);
+      strategy_params.interleave = config_.interleave();
     } else {
       throw std::invalid_argument(
           "Accelerator: unsupported datapath combination " + spec_.name());
     }
-    kalman::KalmanFilter<T> filter(std::move(typed_model),
-                                   std::move(strategy));
+    kalman::KalmanFilter<T> filter(
+        std::move(typed_model),
+        kalman::make_inverse_strategy<T>(strategy_name, strategy_params));
     output = filter.run(typed_z);
   }
 

@@ -16,6 +16,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/status.hpp"
 #include "kalman/interleaved.hpp"
 
 namespace kalmmind::core {
@@ -42,16 +43,25 @@ struct AcceleratorConfig {
     return {calc_freq, approx, seed_policy()};
   }
 
-  void validate() const {
+  // Non-throwing register-file validation (the status-error path in
+  // hardware rejects a bad register write without trapping).
+  Status check() const noexcept {
     if (x_dim == 0 || z_dim == 0)
-      throw std::invalid_argument("AcceleratorConfig: zero dimension");
+      return Status::Invalid("AcceleratorConfig: zero dimension");
     if (chunks == 0 || batches == 0)
-      throw std::invalid_argument("AcceleratorConfig: zero chunks/batches");
+      return Status::Invalid("AcceleratorConfig: zero chunks/batches");
     if (policy > 1)
-      throw std::invalid_argument("AcceleratorConfig: policy must be 0 or 1");
+      return Status::Invalid("AcceleratorConfig: policy must be 0 or 1");
     // approx == 0 is legal: the approximation path then returns its seed
     // unchanged (the SSKF/Newton datapath uses this to serve the constant
     // inverse without any Newton refinement).
+    return Status::Ok();
+  }
+
+  void validate() const {
+    if (Status s = check(); !s.ok()) {
+      throw std::invalid_argument(s.message());
+    }
   }
 
   // Factor `iterations` into chunks * batches with chunks bounded by the

@@ -1,13 +1,13 @@
 #include "core/dse.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <thread>
 
 #include "kalman/reference.hpp"
+#include "serve/thread_pool.hpp"
 
 namespace kalmmind::core {
 
@@ -45,36 +45,23 @@ std::vector<DsePoint> DesignSpaceExplorer::sweep(
   }
 
   std::vector<DsePoint> points(configs.size());
-  std::atomic<std::size_t> next{0};
   const unsigned workers = std::max(
       1u, options.parallelism != 0 ? options.parallelism
                                    : std::thread::hardware_concurrency());
 
-  auto work = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= configs.size()) return;
-      Accelerator accel(spec_, configs[i], params_);
-      AcceleratorRunResult r =
-          accel.run(dataset.model, dataset.test_measurements);
-      DsePoint p;
-      p.config = configs[i];
-      p.metrics = compare_trajectories(reference, r.states);
-      p.latency_s = r.seconds;
-      p.power_w = r.power_w;
-      p.energy_j = r.energy_j;
-      points[i] = p;
-    }
-  };
-
-  if (workers == 1 || configs.size() == 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(work);
-    for (auto& t : pool) t.join();
-  }
+  serve::ThreadPool pool(workers);
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    Accelerator accel(spec_, configs[i], params_);
+    AcceleratorRunResult r =
+        accel.run(dataset.model, dataset.test_measurements);
+    DsePoint p;
+    p.config = configs[i];
+    p.metrics = compare_trajectories(reference, r.states);
+    p.latency_s = r.seconds;
+    p.power_w = r.power_w;
+    p.energy_j = r.energy_j;
+    points[i] = p;
+  });
   return points;
 }
 

@@ -1,0 +1,128 @@
+// String-keyed factory for InverseStrategy implementations.
+//
+// Call sites that used to hand-wire `std::make_unique<XStrategy<T>>(...)`
+// (the CLI, the accelerator datapath dispatch, the decode server's session
+// configs) go through one name -> strategy mapping instead, so a strategy
+// choice can travel through configs, flags and RPCs as a plain string.
+//
+//   name          strategy                        parameters used
+//   ------------  ------------------------------  --------------------------
+//   gauss         CalculationStrategy(kGauss)     —
+//   lu            CalculationStrategy(kLu)        —
+//   cholesky      CalculationStrategy(kCholesky)  —
+//   qr            CalculationStrategy(kQr)        —
+//   newton        NewtonClassicStrategy           newton_iterations
+//   taylor        TaylorStrategy                  taylor_order
+//   ifkf          IfkfStrategy                    r (optional), ifkf_iterations
+//   interleaved   InterleavedStrategy             calc_method, interleave
+//   lite          LiteStrategy                    preloaded_inverse (required)
+//   sskf          ConstantInverseStrategy         preloaded_inverse (required),
+//                                                 interleave.approx
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kalman/approximation_strategies.hpp"
+#include "kalman/calculation_strategies.hpp"
+#include "kalman/interleaved.hpp"
+#include "kalman/strategy.hpp"
+
+namespace kalmmind::kalman {
+
+// Everything any strategy may need, with workable defaults.  Unused fields
+// are ignored by strategies that do not consume them.
+template <typename T>
+struct StrategyParams {
+  // "interleaved": which direct method runs on calculation iterations.
+  CalcMethod calc_method = CalcMethod::kGauss;
+  // "interleaved" (all fields) and "sskf" (approx = Newton refinements of
+  // the constant inverse; 0 serves it unchanged).
+  InterleaveConfig interleave;
+  // "newton": internal Newton-Raphson iterations per KF step.
+  std::size_t newton_iterations = 2;
+  // "taylor": series order (1 returns the anchor inverse unchanged).
+  std::size_t taylor_order = 2;
+  // "ifkf": division-free iterations after band truncation.
+  std::size_t ifkf_iterations = 12;
+  // "ifkf": the true observation-noise covariance to diagonalize (optional).
+  Matrix<T> r;
+  // "lite": the preloaded first seed.  "sskf": the constant S^-1.  Both
+  // reject an empty matrix — there is no data-independent default.
+  Matrix<T> preloaded_inverse;
+};
+
+// The names make_inverse_strategy accepts, in stable order.
+inline const std::vector<std::string>& inverse_strategy_names() {
+  static const std::vector<std::string> names = {
+      "gauss", "lu",   "cholesky",    "qr",   "newton",
+      "taylor", "ifkf", "interleaved", "lite", "sskf"};
+  return names;
+}
+
+inline bool is_inverse_strategy_name(const std::string& name) {
+  for (const auto& n : inverse_strategy_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+// Build a strategy by name.  Throws std::invalid_argument for an unknown
+// name (message lists the valid ones) or for a name whose required
+// parameters are missing.
+template <typename T>
+InverseStrategyPtr<T> make_inverse_strategy(const std::string& name,
+                                            const StrategyParams<T>& params = {}) {
+  if (name == "gauss") {
+    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kGauss);
+  }
+  if (name == "lu") {
+    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kLu);
+  }
+  if (name == "cholesky") {
+    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kCholesky);
+  }
+  if (name == "qr") {
+    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kQr);
+  }
+  if (name == "newton") {
+    return std::make_unique<NewtonClassicStrategy<T>>(params.newton_iterations);
+  }
+  if (name == "taylor") {
+    return std::make_unique<TaylorStrategy<T>>(params.taylor_order);
+  }
+  if (name == "ifkf") {
+    if (params.r.empty()) return std::make_unique<IfkfStrategy<T>>();
+    return std::make_unique<IfkfStrategy<T>>(params.r, params.ifkf_iterations);
+  }
+  if (name == "interleaved") {
+    return std::make_unique<InterleavedStrategy<T>>(params.calc_method,
+                                                    params.interleave);
+  }
+  if (name == "lite") {
+    if (params.preloaded_inverse.empty()) {
+      throw std::invalid_argument(
+          "make_inverse_strategy: 'lite' requires StrategyParams::"
+          "preloaded_inverse (the first Newton seed)");
+    }
+    return std::make_unique<LiteStrategy<T>>(params.preloaded_inverse);
+  }
+  if (name == "sskf") {
+    if (params.preloaded_inverse.empty()) {
+      throw std::invalid_argument(
+          "make_inverse_strategy: 'sskf' requires StrategyParams::"
+          "preloaded_inverse (the constant S^-1)");
+    }
+    return std::make_unique<ConstantInverseStrategy<T>>(
+        params.preloaded_inverse, params.interleave.approx);
+  }
+  std::string known;
+  for (const auto& n : inverse_strategy_names()) {
+    known += known.empty() ? n : "|" + n;
+  }
+  throw std::invalid_argument("make_inverse_strategy: unknown strategy '" +
+                              name + "' (known: " + known + ")");
+}
+
+}  // namespace kalmmind::kalman

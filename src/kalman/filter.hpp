@@ -39,6 +39,17 @@ struct FilterOptions {
   // inversion strategy is a crude approximation (IFKF).  The accelerator
   // datapaths use the plain update, like Fig. 2.
   bool joseph_update = false;
+
+  // Non-throwing validation, same contract as KalmanModel::check().  Every
+  // current field combination is legal; the method exists so config
+  // consumers (the decode server's SessionConfig) can validate uniformly.
+  Status check() const noexcept { return Status::Ok(); }
+
+  void validate() const {
+    if (Status s = check(); !s.ok()) {
+      throw std::invalid_argument(s.message());
+    }
+  }
 };
 
 template <typename T>

@@ -5,6 +5,7 @@
 #include "kalman/analysis.hpp"
 #include "kalman/approximation_strategies.hpp"
 #include "kalman/calculation_strategies.hpp"
+#include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
 #include "kalman/interleaved.hpp"
 #include "kalman/model.hpp"

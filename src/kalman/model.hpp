@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "common/status.hpp"
 #include "linalg/matrix.hpp"
 
 namespace kalmmind::kalman {
@@ -26,26 +27,36 @@ struct KalmanModel {
   std::size_t x_dim() const { return f.rows(); }
   std::size_t z_dim() const { return h.rows(); }
 
-  // Throws std::invalid_argument if any shape is inconsistent.  Called by
-  // every filter constructor so misconfigured models fail fast.
-  void validate() const {
+  // Non-throwing shape validation: OK, or a Status naming the first
+  // inconsistent matrix.  The decode server uses this to reject a bad
+  // session model without exceptions on the hot path.
+  Status check() const noexcept {
     const std::size_t x = x_dim();
     const std::size_t z = z_dim();
     if (x == 0 || z == 0) {
-      throw std::invalid_argument("KalmanModel: empty dimensions");
+      return Status::Invalid("KalmanModel: empty dimensions");
     }
     if (f.rows() != x || f.cols() != x)
-      throw std::invalid_argument("KalmanModel: F must be x_dim x x_dim");
+      return Status::Invalid("KalmanModel: F must be x_dim x x_dim");
     if (q.rows() != x || q.cols() != x)
-      throw std::invalid_argument("KalmanModel: Q must be x_dim x x_dim");
+      return Status::Invalid("KalmanModel: Q must be x_dim x x_dim");
     if (h.rows() != z || h.cols() != x)
-      throw std::invalid_argument("KalmanModel: H must be z_dim x x_dim");
+      return Status::Invalid("KalmanModel: H must be z_dim x x_dim");
     if (r.rows() != z || r.cols() != z)
-      throw std::invalid_argument("KalmanModel: R must be z_dim x z_dim");
+      return Status::Invalid("KalmanModel: R must be z_dim x z_dim");
     if (x0.size() != x)
-      throw std::invalid_argument("KalmanModel: x0 must have x_dim entries");
+      return Status::Invalid("KalmanModel: x0 must have x_dim entries");
     if (p0.rows() != x || p0.cols() != x)
-      throw std::invalid_argument("KalmanModel: P0 must be x_dim x x_dim");
+      return Status::Invalid("KalmanModel: P0 must be x_dim x x_dim");
+    return Status::Ok();
+  }
+
+  // Throws std::invalid_argument if any shape is inconsistent.  Called by
+  // every filter constructor so misconfigured models fail fast.
+  void validate() const {
+    if (Status s = check(); !s.ok()) {
+      throw std::invalid_argument(s.message());
+    }
   }
 
   // Convert the model to another scalar type (e.g. float64 trained model ->

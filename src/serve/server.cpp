@@ -1,0 +1,244 @@
+#include "serve/server.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace kalmmind::serve {
+
+DecodeServer::DecodeServer(ServerOptions options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  if (options_.workers != ServerOptions::kManual) {
+    pool_ = std::make_unique<ThreadPool>(options_.workers);
+  }
+}
+
+DecodeServer::~DecodeServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    ready_.clear();
+  }
+  if (pool_) pool_->shutdown();  // in-flight batches finish, queued jobs park
+}
+
+SessionId DecodeServer::open_session(SessionConfig config, Status* status) {
+  if (Status s = config.check(); !s.ok()) {
+    if (status) *status = s;
+    return kInvalidSession;
+  }
+  std::shared_ptr<Session> session;
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (status) *status = Status::Invalid("DecodeServer: shutting down");
+      return kInvalidSession;
+    }
+    id = next_id_++;
+  }
+  try {
+    session = std::make_shared<Session>(id, std::move(config));
+  } catch (const std::invalid_argument&) {
+    // config.check() passed, so this is a factory-parameter problem
+    // (e.g. "sskf"/"lite" without a preloaded inverse).
+    if (status) {
+      *status = Status::Invalid(
+          "SessionConfig: strategy is missing required parameters "
+          "(e.g. sskf/lite need StrategyParams::preloaded_inverse)");
+    }
+    return kInvalidSession;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[id].session = std::move(session);
+  }
+  if (status) *status = Status::Ok();
+  return id;
+}
+
+PushResult DecodeServer::submit(SessionId id, Vector<double> z) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end() || it->second.closed || stopping_) {
+      return PushResult::kUnknownSession;
+    }
+    session = it->second.session;
+  }
+  const PushResult result = session->enqueue(std::move(z));
+  if (result == PushResult::kRejectedFull) return result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it != slots_.end() && !it->second.scheduled && !stopping_) {
+      dispatch_locked(id, it->second);
+    }
+  }
+  return result;
+}
+
+bool DecodeServer::close_session(SessionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return false;
+  it->second.closed = true;  // queued bins still decode; no new submits
+  return true;
+}
+
+void DecodeServer::dispatch_locked(SessionId id, Slot& slot) {
+  slot.scheduled = true;
+  ++scheduled_count_;
+  if (pool_) {
+    pool_->submit([this, id] { run_session(id); });
+  } else {
+    ready_.push_back(id);
+  }
+}
+
+void DecodeServer::run_session(SessionId id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it != slots_.end()) session = it->second.session;
+  }
+  if (session && !stopping_flag()) {
+    session->step_pending(options_.max_batch, &latency_);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  Slot& slot = it->second;
+  // Atomically (under mu_) decide: more work -> stay scheduled and
+  // re-dispatch; empty -> park.  submit() checks `scheduled` under the
+  // same mutex, so a bin enqueued concurrently is never stranded.
+  if (!stopping_ && session && session->queue_depth() > 0) {
+    if (pool_) {
+      pool_->submit([this, id] { run_session(id); });
+    } else {
+      ready_.push_back(id);
+    }
+  } else {
+    slot.scheduled = false;
+    --scheduled_count_;
+    drain_cv_.notify_all();
+  }
+}
+
+std::size_t DecodeServer::poll() {
+  std::shared_ptr<Session> session;
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ready_.empty()) return 0;
+    id = ready_.front();
+    ready_.pop_front();
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return 0;
+    session = it->second.session;
+  }
+  const std::size_t steps =
+      stopping_flag() ? 0 : session->step_pending(options_.max_batch, &latency_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return steps;
+  if (!stopping_ && session->queue_depth() > 0) {
+    ready_.push_back(id);
+  } else {
+    it->second.scheduled = false;
+    --scheduled_count_;
+    drain_cv_.notify_all();
+  }
+  return steps;
+}
+
+void DecodeServer::drain() {
+  if (!pool_) {
+    // Manual mode: pump on the calling thread until nothing is ready.
+    while (poll() > 0 || [this] {
+      std::lock_guard<std::mutex> lock(mu_);
+      return !ready_.empty();
+    }()) {
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return scheduled_count_ == 0 || stopping_; });
+}
+
+std::shared_ptr<Session> DecodeServer::find(SessionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  return it == slots_.end() ? nullptr : it->second.session;
+}
+
+std::vector<Vector<double>> DecodeServer::trajectory(SessionId id) const {
+  auto session = find(id);
+  return session ? session->trajectory() : std::vector<Vector<double>>{};
+}
+
+std::vector<core::IterationTiming> DecodeServer::timings(SessionId id) const {
+  auto session = find(id);
+  return session ? session->timings() : std::vector<core::IterationTiming>{};
+}
+
+SessionStatsSnapshot DecodeServer::session_stats(SessionId id) const {
+  auto session = find(id);
+  return session ? session->stats() : SessionStatsSnapshot{};
+}
+
+ServerStats DecodeServer::stats() const {
+  ServerStats out;
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(slots_.size());
+    for (const auto& [id, slot] : slots_) {
+      sessions.push_back(slot.session);
+      if (!slot.closed) ++out.sessions;
+    }
+  }
+  for (const auto& session : sessions) {
+    SessionStatsSnapshot s = session->stats();
+    out.total_steps += s.steps;
+    out.total_deadline_misses += s.deadline_misses;
+    out.total_rejected += s.rejected;
+    out.total_dropped += s.dropped;
+    out.queued += s.queue_depth;
+    out.per_session.push_back(std::move(s));
+  }
+  out.uptime_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  out.steps_per_second =
+      out.uptime_s > 0.0 ? double(out.total_steps) / out.uptime_s : 0.0;
+  out.step_latency = latency_.summarize();
+  return out;
+}
+
+std::string ServerStats::to_string() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "sessions   : %zu open, %zu queued bins\n", sessions, queued);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "throughput : %zu steps in %.3f s  (%.1f steps/s)\n",
+                total_steps, uptime_s, steps_per_second);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "latency    : p50 %.3f ms  p99 %.3f ms  max %.3f ms  "
+                "(%zu samples)\n",
+                step_latency.p50_s * 1e3, step_latency.p99_s * 1e3,
+                step_latency.max_s * 1e3, step_latency.samples);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "quality    : %zu deadline misses, %zu rejected, %zu dropped\n",
+                total_deadline_misses, total_rejected, total_dropped);
+  out += line;
+  return out;
+}
+
+}  // namespace kalmmind::serve

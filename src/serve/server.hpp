@@ -1,0 +1,118 @@
+// The streaming multi-session decode engine: many concurrent BCI sessions
+// scheduled over one shared serve::ThreadPool.
+//
+// Scheduling model (run-to-ready, one owner per session):
+//  * submit() enqueues a bin into the session's bounded queue.  If the
+//    session is not currently scheduled, it is marked scheduled and a pool
+//    job is dispatched for it.
+//  * A worker job batch-steps the session (up to max_batch bins), then
+//    either re-dispatches the session (more bins arrived meanwhile) or
+//    clears the scheduled flag.  At most one worker ever steps a given
+//    session, so per-session decode order — and the decoded trajectory —
+//    is exactly the single-threaded result, bit for bit.
+//  * With workers == 0 the server runs in manual mode: nothing executes
+//    until poll() pumps one ready session on the calling thread
+//    (deterministic tests, single-threaded embedding).
+//
+// Session admission is exception-free: open_session() validates via the
+// Status-returning check() chain and reports failure through a Status.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "serve/session.hpp"
+#include "serve/stats.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace kalmmind::serve {
+
+struct ServerOptions {
+  // Pool width.  0 => one worker per hardware thread.  kManual (no pool)
+  // requires poll() to make progress.
+  static constexpr unsigned kManual = ~0u;
+  unsigned workers = 0;
+  // Bins decoded per scheduling quantum before a session yields its worker
+  // (bounds head-of-line blocking across sessions).
+  std::size_t max_batch = 8;
+};
+
+class DecodeServer {
+ public:
+  static constexpr SessionId kInvalidSession = 0;
+
+  explicit DecodeServer(ServerOptions options = {});
+  // Drains nothing: queued-but-undecoded bins are discarded, in-flight
+  // batches finish, workers join.  Call drain() first for a lossless stop.
+  ~DecodeServer();
+
+  DecodeServer(const DecodeServer&) = delete;
+  DecodeServer& operator=(const DecodeServer&) = delete;
+
+  // Admit a session.  On failure returns kInvalidSession and, if `status`
+  // is non-null, why.  Never throws for invalid configs.
+  SessionId open_session(SessionConfig config, Status* status = nullptr);
+
+  // Enqueue one measurement bin for decoding.
+  PushResult submit(SessionId id, Vector<double> z);
+
+  // Stop accepting bins for the session; already-queued bins still decode.
+  // The session's trajectory/stats stay readable until the server dies.
+  // Returns false for an unknown id.
+  bool close_session(SessionId id);
+
+  // Block until every queued bin (across all sessions) has been decoded.
+  // In manual mode this pumps the ready queue on the calling thread.
+  void drain();
+
+  // Manual mode: batch-step one ready session on the calling thread.
+  // Returns the number of filter steps executed (0 = nothing ready).
+  std::size_t poll();
+
+  std::vector<Vector<double>> trajectory(SessionId id) const;
+  std::vector<core::IterationTiming> timings(SessionId id) const;
+  SessionStatsSnapshot session_stats(SessionId id) const;
+  ServerStats stats() const;
+
+  unsigned workers() const { return pool_ ? pool_->size() : 0; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<Session> session;
+    bool scheduled = false;  // a worker owns (or will own) this session
+    bool closed = false;     // no longer accepts submits
+  };
+
+  std::shared_ptr<Session> find(SessionId id) const;
+  bool stopping_flag() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stopping_;
+  }
+  // Called with mu_ held: mark the slot scheduled and hand it to a worker
+  // (pool mode) or the ready queue (manual mode).
+  void dispatch_locked(SessionId id, Slot& slot);
+  // Worker body: batch-step `id`, then re-dispatch or park it.
+  void run_session(SessionId id);
+
+  const ServerOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // null in manual mode
+  LatencyRecorder latency_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drain_cv_;
+  std::unordered_map<SessionId, Slot> slots_;
+  std::deque<SessionId> ready_;  // manual mode only
+  SessionId next_id_ = 1;
+  std::size_t scheduled_count_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace kalmmind::serve

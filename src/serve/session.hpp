@@ -1,0 +1,217 @@
+// One live decode stream: a KalmanFilter instance (built through the
+// string-keyed strategy factory, so the interleave state rides inside the
+// strategy) fed by a bounded measurement queue with explicit backpressure.
+//
+// Concurrency contract:
+//  * enqueue() / snapshot accessors may be called from any thread; they
+//    synchronize on the session mutex.
+//  * step_pending() — the only method that touches the filter — must be
+//    called by at most one thread at a time.  DecodeServer guarantees this
+//    with its `scheduled` flag; the filter itself is never locked, so a
+//    decode step never blocks producers.
+//
+// Because each session's filter steps strictly sequentially in submission
+// order, a session decoded by the server is bit-identical to the same
+// model + strategy stepped in a plain single-threaded loop.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/realtime.hpp"
+#include "kalman/factory.hpp"
+#include "kalman/filter.hpp"
+#include "serve/stats.hpp"
+
+namespace kalmmind::serve {
+
+using linalg::Vector;
+
+enum class BackpressurePolicy {
+  kReject,      // full queue bounces the new bin (caller sees kRejectedFull)
+  kDropOldest,  // full queue evicts the stalest undecoded bin
+};
+
+enum class PushResult {
+  kAccepted,
+  kRejectedFull,    // kReject policy, queue at capacity
+  kDroppedOldest,   // accepted, but an older bin was evicted to make room
+  kUnknownSession,  // no such session / session closed
+};
+
+struct SessionConfig {
+  kalman::KalmanModel<double> model;
+  // Inverse-strategy factory name (kalman::make_inverse_strategy) + its
+  // parameters; "interleaved" with an InterleaveConfig reproduces the
+  // accelerator's register semantics per stream.
+  std::string strategy = "gauss";
+  kalman::StrategyParams<double> strategy_params;
+  kalman::FilterOptions filter_options;
+  // Bounded measurement queue: how many undecoded bins the session may
+  // hold (the PLM chunk-buffer analogue) and what happens when it's full.
+  std::size_t queue_capacity = 64;
+  BackpressurePolicy backpressure = BackpressurePolicy::kReject;
+  // Per-bin decode deadline (the 50 ms BCI bin period).
+  double deadline_s = 0.05;
+  // Keep the decoded trajectory and per-step IterationTiming records in
+  // memory.  Disable for long-running servers that only want stats.
+  bool record_trajectory = true;
+
+  // Non-throwing validation (exception-free session admission).
+  Status check() const noexcept {
+    if (Status s = model.check(); !s.ok()) return s;
+    if (Status s = filter_options.check(); !s.ok()) return s;
+    if (queue_capacity == 0)
+      return Status::Invalid("SessionConfig: queue_capacity must be > 0");
+    if (!(deadline_s > 0.0))
+      return Status::Invalid("SessionConfig: deadline_s must be positive");
+    if (!kalman::is_inverse_strategy_name(strategy))
+      return Status::Invalid(
+          "SessionConfig: unknown inverse strategy name "
+          "(see kalman::inverse_strategy_names())");
+    return Status::Ok();
+  }
+};
+
+class Session {
+ public:
+  // Precondition: config.check().ok().  May still throw if the strategy's
+  // required parameters are missing (e.g. "sskf" without a preloaded
+  // inverse) — DecodeServer::open_session converts that into a Status.
+  Session(SessionId id, SessionConfig config)
+      : id_(id),
+        config_(std::move(config)),
+        filter_(config_.model,
+                kalman::make_inverse_strategy<double>(config_.strategy,
+                                                      config_.strategy_params),
+                config_.filter_options) {}
+
+  SessionId id() const { return id_; }
+  const SessionConfig& config() const { return config_; }
+
+  // Producer side: enqueue one measurement bin (any thread).
+  PushResult enqueue(Vector<double> z) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PushResult result = PushResult::kAccepted;
+    if (queue_.size() >= config_.queue_capacity) {
+      if (config_.backpressure == BackpressurePolicy::kReject) {
+        ++rejected_;
+        return PushResult::kRejectedFull;
+      }
+      queue_.pop_front();
+      ++dropped_;
+      result = PushResult::kDroppedOldest;
+    }
+    queue_.push_back(std::move(z));
+    max_backlog_ = std::max(max_backlog_, queue_.size());
+    return result;
+  }
+
+  // Consumer side: dequeue up to max_batch bins and step the filter over
+  // them, timing each step against the session deadline.  Exactly one
+  // thread at a time (see the concurrency contract above).  Returns the
+  // number of steps executed; latencies are also pushed to `recorder` if
+  // given.
+  std::size_t step_pending(std::size_t max_batch,
+                           LatencyRecorder* recorder = nullptr) {
+    std::vector<Vector<double>> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const std::size_t n = std::min(max_batch, queue_.size());
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    for (auto& z : batch) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const Vector<double>& x = filter_.step(z);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      if (recorder) recorder->record(seconds);
+
+      core::IterationTiming timing;
+      timing.kf_iteration = steps_done();
+      timing.cycles = 0;  // wall-clock path: no cycle model attached
+      timing.seconds = seconds;
+      timing.meets_deadline = seconds <= config_.deadline_s;
+
+      std::lock_guard<std::mutex> lock(mu_);
+      ++steps_;
+      sum_step_s_ += seconds;
+      worst_step_s_ = std::max(worst_step_s_, seconds);
+      if (!timing.meets_deadline) ++deadline_misses_;
+      if (config_.record_trajectory) {
+        states_.push_back(x);
+        timings_.push_back(timing);
+      }
+    }
+    return batch.size();
+  }
+
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  // Decoded states so far, in submission order (empty when
+  // record_trajectory is off).
+  std::vector<Vector<double>> trajectory() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return states_;
+  }
+
+  // Per-step wall-clock timings against the deadline — the same
+  // IterationTiming rows core::analyze_realtime produces from the cycle
+  // model, here measured instead of modeled.
+  std::vector<core::IterationTiming> timings() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timings_;
+  }
+
+  SessionStatsSnapshot stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionStatsSnapshot s;
+    s.id = id_;
+    s.steps = steps_;
+    s.queue_depth = queue_.size();
+    s.max_backlog = max_backlog_;
+    s.deadline_misses = deadline_misses_;
+    s.rejected = rejected_;
+    s.dropped = dropped_;
+    s.worst_step_s = worst_step_s_;
+    s.mean_step_s = steps_ ? sum_step_s_ / double(steps_) : 0.0;
+    return s;
+  }
+
+ private:
+  std::size_t steps_done() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_;
+  }
+
+  const SessionId id_;
+  const SessionConfig config_;
+  kalman::KalmanFilter<double> filter_;  // stepped by the scheduled worker
+
+  mutable std::mutex mu_;  // guards everything below
+  std::deque<Vector<double>> queue_;
+  std::vector<Vector<double>> states_;
+  std::vector<core::IterationTiming> timings_;
+  std::size_t steps_ = 0;
+  std::size_t max_backlog_ = 0;
+  std::size_t deadline_misses_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t dropped_ = 0;
+  double worst_step_s_ = 0.0;
+  double sum_step_s_ = 0.0;
+};
+
+}  // namespace kalmmind::serve

@@ -1,0 +1,119 @@
+// Serving telemetry: per-step latency aggregation and the snapshot structs
+// DecodeServer::stats() returns.
+//
+// Latencies are wall-clock seconds per KalmanFilter::step, recorded by the
+// worker that executed the step.  The recorder keeps a bounded sample
+// buffer (uniform-ish replacement once full) so a long-running server does
+// not grow without bound; p50/p99 are computed on snapshot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kalmmind::serve {
+
+using SessionId = std::uint64_t;
+
+struct LatencySummary {
+  std::size_t samples = 0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+  double mean_s = 0.0;
+};
+
+// Thread-safe latency sample sink shared by all workers of one server.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t max_samples = 1 << 20)
+      : max_samples_(std::max<std::size_t>(1, max_samples)) {}
+
+  void record(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++total_;
+    sum_ += seconds;
+    max_ = std::max(max_, seconds);
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(seconds);
+    } else {
+      // Cheap deterministic replacement (LCG) — keeps the buffer a rough
+      // uniform sample of the stream without a per-record allocation.
+      lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+      samples_[std::size_t(lcg_ >> 33) % samples_.size()] = seconds;
+    }
+  }
+
+  LatencySummary summarize() const {
+    std::vector<double> sorted;
+    std::size_t total;
+    double sum, max;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sorted = samples_;
+      total = total_;
+      sum = sum_;
+      max = max_;
+    }
+    LatencySummary out;
+    out.samples = total;
+    if (sorted.empty()) return out;
+    std::sort(sorted.begin(), sorted.end());
+    out.p50_s = percentile(sorted, 0.50);
+    out.p99_s = percentile(sorted, 0.99);
+    out.max_s = max;
+    out.mean_s = total ? sum / double(total) : 0.0;
+    return out;
+  }
+
+ private:
+  static double percentile(const std::vector<double>& sorted, double q) {
+    const double pos = q * double(sorted.size() - 1);
+    const std::size_t lo = std::size_t(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - double(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  mutable std::mutex mu_;
+  std::size_t max_samples_;
+  std::vector<double> samples_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t lcg_ = 0x9e3779b97f4a7c15ull;
+};
+
+// Point-in-time view of one session.
+struct SessionStatsSnapshot {
+  SessionId id = 0;
+  std::size_t steps = 0;            // measurements decoded so far
+  std::size_t queue_depth = 0;      // bins waiting right now
+  std::size_t max_backlog = 0;      // worst queue depth observed
+  std::size_t deadline_misses = 0;  // steps slower than the session deadline
+  std::size_t rejected = 0;         // submits bounced by kReject backpressure
+  std::size_t dropped = 0;          // bins evicted by kDropOldest
+  double worst_step_s = 0.0;
+  double mean_step_s = 0.0;
+};
+
+// Point-in-time view of the whole server.
+struct ServerStats {
+  std::size_t sessions = 0;             // currently open
+  std::size_t total_steps = 0;
+  std::size_t total_deadline_misses = 0;
+  std::size_t total_rejected = 0;
+  std::size_t total_dropped = 0;
+  std::size_t queued = 0;               // pending bins across all sessions
+  double uptime_s = 0.0;
+  double steps_per_second = 0.0;        // total_steps / uptime
+  LatencySummary step_latency;
+  std::vector<SessionStatsSnapshot> per_session;
+
+  std::string to_string() const;
+};
+
+}  // namespace kalmmind::serve

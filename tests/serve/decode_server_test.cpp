@@ -1,0 +1,311 @@
+// DecodeServer behavior: deterministic decoding, backpressure, deadline
+// accounting, admission control and clean shutdown.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kalman/factory.hpp"
+#include "kalman/filter.hpp"
+#include "serve/serve.hpp"
+#include "../kalman/kalman_test_util.hpp"
+
+namespace kalmmind::serve {
+namespace {
+
+using linalg::Vector;
+
+SessionConfig interleaved_config(const kalman::KalmanModel<double>& model) {
+  SessionConfig cfg;
+  cfg.model = model;
+  cfg.strategy = "interleaved";
+  cfg.strategy_params.interleave = {3, 2,
+                                    kalman::SeedPolicy::kPreviousIteration};
+  cfg.queue_capacity = 1024;
+  return cfg;
+}
+
+// The same decode the server performs, as a plain sequential loop.
+std::vector<Vector<double>> sequential_trajectory(
+    const SessionConfig& cfg, const std::vector<Vector<double>>& zs) {
+  kalman::KalmanFilter<double> filter(
+      cfg.model, kalman::make_inverse_strategy<double>(cfg.strategy,
+                                                       cfg.strategy_params),
+      cfg.filter_options);
+  std::vector<Vector<double>> states;
+  for (const auto& z : zs) states.push_back(filter.step(z));
+  return states;
+}
+
+void expect_bit_identical(const std::vector<Vector<double>>& a,
+                          const std::vector<Vector<double>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t n = 0; n < a.size(); ++n) {
+    ASSERT_EQ(a[n].size(), b[n].size());
+    for (std::size_t d = 0; d < a[n].size(); ++d) {
+      // Exact equality on purpose: per-session decode order is sequential,
+      // so concurrency must not perturb a single bit.
+      ASSERT_EQ(a[n][d], b[n][d]) << "step " << n << " dim " << d;
+    }
+  }
+}
+
+TEST(ServeDecodeServerTest, SessionsAreBitIdenticalToSequentialRuns) {
+  const auto model = testing::small_model(6);
+  const SessionConfig cfg = interleaved_config(model);
+
+  constexpr std::size_t kSessions = 6;
+  constexpr std::size_t kSteps = 40;
+  // Distinct measurement stream per session (different seeds).
+  std::vector<std::vector<Vector<double>>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    streams.push_back(testing::simulate_measurements(model, kSteps, 100 + s));
+  }
+
+  DecodeServer server({/*workers=*/4, /*max_batch=*/3});
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    Status status;
+    const SessionId id = server.open_session(cfg, &status);
+    ASSERT_NE(id, DecodeServer::kInvalidSession) << status.message();
+    ids.push_back(id);
+  }
+
+  // Round-robin arrival, like simultaneous acquisition across subjects.
+  for (std::size_t n = 0; n < kSteps; ++n) {
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      EXPECT_EQ(server.submit(ids[s], streams[s][n]), PushResult::kAccepted);
+    }
+  }
+  server.drain();
+
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    SCOPED_TRACE("session " + std::to_string(s));
+    expect_bit_identical(server.trajectory(ids[s]),
+                         sequential_trajectory(cfg, streams[s]));
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.total_steps, kSessions * kSteps);
+  EXPECT_EQ(stats.queued, 0u);
+  EXPECT_EQ(stats.sessions, kSessions);
+  EXPECT_EQ(stats.step_latency.samples, kSessions * kSteps);
+}
+
+TEST(ServeDecodeServerTest, RejectPolicyBouncesWhenFull) {
+  const auto model = testing::small_model(4);
+  SessionConfig cfg = interleaved_config(model);
+  cfg.queue_capacity = 3;
+  cfg.backpressure = BackpressurePolicy::kReject;
+
+  // Manual mode: nothing decodes until poll(), so the queue really fills.
+  DecodeServer server({ServerOptions::kManual, 8});
+  const SessionId id = server.open_session(cfg);
+  ASSERT_NE(id, DecodeServer::kInvalidSession);
+
+  const auto zs = testing::simulate_measurements(model, 5);
+  EXPECT_EQ(server.submit(id, zs[0]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[1]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[2]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[3]), PushResult::kRejectedFull);
+  EXPECT_EQ(server.submit(id, zs[4]), PushResult::kRejectedFull);
+
+  server.drain();
+  // Only the accepted prefix decodes, in order.
+  expect_bit_identical(
+      server.trajectory(id),
+      sequential_trajectory(cfg, {zs.begin(), zs.begin() + 3}));
+
+  const SessionStatsSnapshot st = server.session_stats(id);
+  EXPECT_EQ(st.steps, 3u);
+  EXPECT_EQ(st.rejected, 2u);
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(st.max_backlog, 3u);
+}
+
+TEST(ServeDecodeServerTest, DropOldestPolicyEvictsStalestBins) {
+  const auto model = testing::small_model(4);
+  SessionConfig cfg = interleaved_config(model);
+  cfg.queue_capacity = 3;
+  cfg.backpressure = BackpressurePolicy::kDropOldest;
+
+  DecodeServer server({ServerOptions::kManual, 8});
+  const SessionId id = server.open_session(cfg);
+  ASSERT_NE(id, DecodeServer::kInvalidSession);
+
+  const auto zs = testing::simulate_measurements(model, 5);
+  EXPECT_EQ(server.submit(id, zs[0]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[1]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[2]), PushResult::kAccepted);
+  EXPECT_EQ(server.submit(id, zs[3]), PushResult::kDroppedOldest);  // evicts 0
+  EXPECT_EQ(server.submit(id, zs[4]), PushResult::kDroppedOldest);  // evicts 1
+
+  server.drain();
+  // The three newest bins decode, from the initial filter state.
+  expect_bit_identical(
+      server.trajectory(id),
+      sequential_trajectory(cfg, {zs.begin() + 2, zs.end()}));
+
+  const SessionStatsSnapshot st = server.session_stats(id);
+  EXPECT_EQ(st.steps, 3u);
+  EXPECT_EQ(st.dropped, 2u);
+  EXPECT_EQ(st.rejected, 0u);
+}
+
+TEST(ServeDecodeServerTest, ManualPollPumpsOneBatchAtATime) {
+  const auto model = testing::small_model(4);
+  SessionConfig cfg = interleaved_config(model);
+
+  DecodeServer server({ServerOptions::kManual, /*max_batch=*/2});
+  const SessionId id = server.open_session(cfg);
+  const auto zs = testing::simulate_measurements(model, 5);
+  for (const auto& z : zs) server.submit(id, z);
+
+  EXPECT_EQ(server.poll(), 2u);  // first quantum: max_batch bins
+  EXPECT_EQ(server.session_stats(id).steps, 2u);
+  EXPECT_EQ(server.poll(), 2u);
+  EXPECT_EQ(server.poll(), 1u);  // remainder
+  EXPECT_EQ(server.poll(), 0u);  // nothing ready
+  EXPECT_EQ(server.session_stats(id).steps, 5u);
+}
+
+TEST(ServeDecodeServerTest, DeadlineAccountingUsesIterationTimings) {
+  const auto model = testing::small_model(4);
+
+  // An impossible deadline: every step must be recorded as a miss, with
+  // one IterationTiming row per decoded bin.
+  SessionConfig cfg = interleaved_config(model);
+  cfg.deadline_s = 1e-12;
+  DecodeServer server({/*workers=*/2, 8});
+  const SessionId id = server.open_session(cfg);
+  const auto zs = testing::simulate_measurements(model, 10);
+  for (const auto& z : zs) server.submit(id, z);
+  server.drain();
+
+  const auto timings = server.timings(id);
+  ASSERT_EQ(timings.size(), 10u);
+  for (const auto& t : timings) {
+    EXPECT_FALSE(t.meets_deadline);
+    EXPECT_GT(t.seconds, 0.0);
+  }
+  EXPECT_EQ(server.session_stats(id).deadline_misses, 10u);
+
+  // A generous deadline: zero misses.
+  SessionConfig relaxed = interleaved_config(model);
+  relaxed.deadline_s = 10.0;
+  const SessionId id2 = server.open_session(relaxed);
+  for (const auto& z : zs) server.submit(id2, z);
+  server.drain();
+  EXPECT_EQ(server.session_stats(id2).deadline_misses, 0u);
+  EXPECT_EQ(server.stats().total_deadline_misses, 10u);
+}
+
+TEST(ServeDecodeServerTest, AdmissionRejectsBadConfigsWithoutThrowing) {
+  const auto model = testing::small_model(4);
+  DecodeServer server({/*workers=*/1, 8});
+
+  SessionConfig bad_queue;
+  bad_queue.model = model;
+  bad_queue.queue_capacity = 0;
+  Status status;
+  EXPECT_EQ(server.open_session(bad_queue, &status),
+            DecodeServer::kInvalidSession);
+  EXPECT_FALSE(status.ok());
+
+  SessionConfig bad_strategy;
+  bad_strategy.model = model;
+  bad_strategy.strategy = "not-a-strategy";
+  EXPECT_EQ(server.open_session(bad_strategy, &status),
+            DecodeServer::kInvalidSession);
+  EXPECT_FALSE(status.ok());
+
+  // Passes check() but the factory needs a preloaded inverse: still a
+  // Status, not a throw.
+  SessionConfig missing_preload;
+  missing_preload.model = model;
+  missing_preload.strategy = "sskf";
+  EXPECT_EQ(server.open_session(missing_preload, &status),
+            DecodeServer::kInvalidSession);
+  EXPECT_FALSE(status.ok());
+
+  // And a good config still opens.
+  EXPECT_NE(server.open_session(interleaved_config(model), &status),
+            DecodeServer::kInvalidSession);
+  EXPECT_TRUE(status.ok());
+}
+
+TEST(ServeDecodeServerTest, UnknownAndClosedSessionsRejectSubmits) {
+  const auto model = testing::small_model(4);
+  DecodeServer server({/*workers=*/1, 8});
+  const auto zs = testing::simulate_measurements(model, 3);
+
+  EXPECT_EQ(server.submit(12345, zs[0]), PushResult::kUnknownSession);
+  EXPECT_FALSE(server.close_session(12345));
+
+  const SessionId id = server.open_session(interleaved_config(model));
+  EXPECT_EQ(server.submit(id, zs[0]), PushResult::kAccepted);
+  EXPECT_TRUE(server.close_session(id));
+  EXPECT_EQ(server.submit(id, zs[1]), PushResult::kUnknownSession);
+
+  // Already-queued work still decodes after close.
+  server.drain();
+  EXPECT_EQ(server.session_stats(id).steps, 1u);
+  EXPECT_EQ(server.stats().sessions, 0u);  // closed sessions aren't "open"
+}
+
+TEST(ServeDecodeServerTest, CleanShutdownWithQueuedWork) {
+  const auto model = testing::small_model(6);
+  const auto zs = testing::simulate_measurements(model, 200);
+  // Destroy the server while plenty of bins are still queued: must not
+  // hang, crash, or race (TSan covers the latter).
+  for (int round = 0; round < 3; ++round) {
+    DecodeServer server({/*workers=*/4, 2});
+    std::vector<SessionId> ids;
+    for (int s = 0; s < 4; ++s) {
+      ids.push_back(server.open_session(interleaved_config(model)));
+    }
+    for (const auto& z : zs) {
+      for (const auto id : ids) server.submit(id, z);
+    }
+    // No drain() — destructor races the workers on purpose.
+  }
+  SUCCEED();
+}
+
+TEST(ServeDecodeServerTest, TrajectoryRecordingCanBeDisabled) {
+  const auto model = testing::small_model(4);
+  SessionConfig cfg = interleaved_config(model);
+  cfg.record_trajectory = false;
+  DecodeServer server({/*workers=*/1, 8});
+  const SessionId id = server.open_session(cfg);
+  const auto zs = testing::simulate_measurements(model, 8);
+  for (const auto& z : zs) server.submit(id, z);
+  server.drain();
+  EXPECT_TRUE(server.trajectory(id).empty());
+  EXPECT_TRUE(server.timings(id).empty());
+  EXPECT_EQ(server.session_stats(id).steps, 8u);  // stats still counted
+}
+
+TEST(ServeDecodeServerTest, StatsSnapshotAggregatesSessions) {
+  const auto model = testing::small_model(4);
+  DecodeServer server({/*workers=*/2, 8});
+  const SessionId a = server.open_session(interleaved_config(model));
+  const SessionId b = server.open_session(interleaved_config(model));
+  const auto zs = testing::simulate_measurements(model, 6);
+  for (const auto& z : zs) {
+    server.submit(a, z);
+    server.submit(b, z);
+  }
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions, 2u);
+  EXPECT_EQ(stats.total_steps, 12u);
+  EXPECT_EQ(stats.per_session.size(), 2u);
+  EXPECT_GT(stats.steps_per_second, 0.0);
+  EXPECT_GT(stats.uptime_s, 0.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+}  // namespace
+}  // namespace kalmmind::serve

@@ -1,0 +1,131 @@
+// The string-keyed strategy factory: every advertised name constructs a
+// working strategy, unknown names fail cleanly.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "kalman/factory.hpp"
+#include "linalg/random.hpp"
+#include "linalg/norms.hpp"
+#include "linalg/ops.hpp"
+
+namespace kalmmind {
+namespace {
+
+using kalman::StrategyParams;
+using linalg::Matrix;
+
+Matrix<double> spd(std::size_t n, std::uint64_t seed = 11) {
+  linalg::Rng rng(seed);
+  return linalg::random_spd<double>(n, rng, /*ridge=*/2.0);
+}
+
+StrategyParams<double> params_for(const std::string& name,
+                                  const Matrix<double>& s) {
+  StrategyParams<double> p;
+  if (name == "lite" || name == "sskf") {
+    p.preloaded_inverse = linalg::invert_gauss(s);
+  }
+  if (name == "sskf") p.interleave.approx = 2;
+  if (name == "newton") p.newton_iterations = 40;  // converge from cold seed
+  return p;
+}
+
+TEST(ServeFactoryTest, EveryAdvertisedNameConstructsAndInverts) {
+  const Matrix<double> s = spd(4);
+  const Matrix<double> identity = Matrix<double>::identity(4);
+  for (const auto& name : kalman::inverse_strategy_names()) {
+    SCOPED_TRACE(name);
+    auto strategy =
+        kalman::make_inverse_strategy<double>(name, params_for(name, s));
+    ASSERT_NE(strategy, nullptr);
+    const Matrix<double> inv = strategy->invert(s, 0);
+    Matrix<double> product;
+    linalg::multiply_into(product, s, inv);
+    product -= identity;
+    // Every strategy at iteration 0 either computes the exact inverse or
+    // (newton/ifkf) a convergent approximation — all should be close on a
+    // well-conditioned 4x4.
+    EXPECT_LT(linalg::frobenius_norm(product), 0.7);
+    EXPECT_FALSE(strategy->name().empty());
+  }
+}
+
+TEST(ServeFactoryTest, NamesRoundTripThroughIsKnown) {
+  for (const auto& name : kalman::inverse_strategy_names()) {
+    EXPECT_TRUE(kalman::is_inverse_strategy_name(name)) << name;
+  }
+  EXPECT_FALSE(kalman::is_inverse_strategy_name("gauss-jordan"));
+  EXPECT_FALSE(kalman::is_inverse_strategy_name(""));
+  EXPECT_FALSE(kalman::is_inverse_strategy_name("GAUSS"));
+}
+
+TEST(ServeFactoryTest, FactoryNameSelectsTheExpectedStrategy) {
+  const Matrix<double> s = spd(3);
+  auto gauss = kalman::make_inverse_strategy<double>("gauss");
+  EXPECT_EQ(gauss->name(), "gauss");
+  auto cholesky = kalman::make_inverse_strategy<double>("cholesky");
+  EXPECT_EQ(cholesky->name(), "cholesky");
+  auto qr = kalman::make_inverse_strategy<double>("qr");
+  EXPECT_EQ(qr->name(), "qr");
+  auto lu = kalman::make_inverse_strategy<double>("lu");
+  EXPECT_EQ(lu->name(), "lu");
+
+  StrategyParams<double> p;
+  p.newton_iterations = 7;
+  auto newton = kalman::make_inverse_strategy<double>("newton", p);
+  EXPECT_EQ(newton->name(), "newton-classic(m=7)");
+
+  p.taylor_order = 3;
+  auto taylor = kalman::make_inverse_strategy<double>("taylor", p);
+  EXPECT_EQ(taylor->name(), "taylor(order=3)");
+
+  auto ifkf = kalman::make_inverse_strategy<double>("ifkf");
+  EXPECT_EQ(ifkf->name(), "ifkf");
+
+  p.calc_method = kalman::CalcMethod::kCholesky;
+  p.interleave = {4, 2, kalman::SeedPolicy::kLastCalculated};
+  auto interleaved = kalman::make_inverse_strategy<double>("interleaved", p);
+  EXPECT_NE(interleaved->name().find("cholesky/newton"), std::string::npos);
+
+  StrategyParams<double> preloaded = params_for("sskf", s);
+  auto sskf = kalman::make_inverse_strategy<double>("sskf", preloaded);
+  EXPECT_EQ(sskf->name(), "sskf-inverse(approx=2)");
+  auto lite = kalman::make_inverse_strategy<double>("lite", preloaded);
+  EXPECT_EQ(lite->name(), "lite");
+}
+
+TEST(ServeFactoryTest, UnknownNameIsACleanError) {
+  try {
+    kalman::make_inverse_strategy<double>("definitely-not-a-strategy");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("definitely-not-a-strategy"), std::string::npos);
+    // The error should teach the caller the valid vocabulary.
+    EXPECT_NE(what.find("gauss"), std::string::npos);
+    EXPECT_NE(what.find("interleaved"), std::string::npos);
+  }
+}
+
+TEST(ServeFactoryTest, PreloadRequiringNamesRejectEmptyMatrix) {
+  EXPECT_THROW(kalman::make_inverse_strategy<double>("lite"),
+               std::invalid_argument);
+  EXPECT_THROW(kalman::make_inverse_strategy<double>("sskf"),
+               std::invalid_argument);
+}
+
+TEST(ServeFactoryTest, WorksForFloatToo) {
+  linalg::Rng rng(5);
+  const Matrix<float> s =
+      linalg::random_spd<double>(3, rng, 2.0).cast<float>();
+  auto strategy = kalman::make_inverse_strategy<float>("gauss");
+  const Matrix<float> inv = strategy->invert(s, 0);
+  Matrix<float> product;
+  linalg::multiply_into(product, s, inv);
+  product -= Matrix<float>::identity(3);
+  EXPECT_LT(linalg::frobenius_norm(product), 1e-3);
+}
+
+}  // namespace
+}  // namespace kalmmind

@@ -1,0 +1,155 @@
+// Status check() / validate() parity: the non-throwing path must agree
+// with the throwing path on every config type, message for message.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/status.hpp"
+#include "core/config.hpp"
+#include "kalman/filter.hpp"
+#include "kalman/model.hpp"
+#include "serve/session.hpp"
+#include "../kalman/kalman_test_util.hpp"
+
+namespace kalmmind {
+namespace {
+
+// check() and validate() must agree: ok <=> no throw, and the thrown
+// message equals the Status message.
+template <typename Config>
+void expect_parity(const Config& config) {
+  const Status s = config.check();
+  if (s.ok()) {
+    EXPECT_NO_THROW(config.validate());
+  } else {
+    try {
+      config.validate();
+      FAIL() << "check() failed but validate() did not throw: " << s.message();
+    } catch (const std::invalid_argument& e) {
+      EXPECT_EQ(std::string(e.what()), std::string(s.message()));
+    }
+  }
+}
+
+TEST(ServeStatusTest, StatusBasics) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(bool(ok));
+  EXPECT_STREQ(ok.message(), "");
+
+  const Status bad = Status::Invalid("broken");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bool(bad));
+  EXPECT_STREQ(bad.message(), "broken");
+
+  const Status defaulted;
+  EXPECT_TRUE(defaulted.ok());
+}
+
+TEST(ServeStatusTest, KalmanModelParityOnValidModel) {
+  const auto m = testing::small_model(4);
+  EXPECT_TRUE(m.check().ok());
+  expect_parity(m);
+}
+
+TEST(ServeStatusTest, KalmanModelParityOnEveryBreakage) {
+  const auto good = testing::small_model(4);
+
+  auto broken = good;
+  broken.f = linalg::Matrix<double>(3, 2);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  broken = good;
+  broken.q = linalg::Matrix<double>(1, 1);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  broken = good;
+  broken.h = linalg::Matrix<double>(4, 3);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  broken = good;
+  broken.r = linalg::Matrix<double>(2, 4);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  broken = good;
+  broken.x0 = linalg::Vector<double>(5);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  broken = good;
+  broken.p0 = linalg::Matrix<double>(2, 3);
+  expect_parity(broken);
+  EXPECT_FALSE(broken.check().ok());
+
+  kalman::KalmanModel<double> empty;
+  expect_parity(empty);
+  EXPECT_FALSE(empty.check().ok());
+}
+
+TEST(ServeStatusTest, AcceleratorConfigParity) {
+  core::AcceleratorConfig good;
+  EXPECT_TRUE(good.check().ok());
+  expect_parity(good);
+
+  core::AcceleratorConfig zero_dim = good;
+  zero_dim.x_dim = 0;
+  expect_parity(zero_dim);
+  EXPECT_FALSE(zero_dim.check().ok());
+
+  core::AcceleratorConfig zero_chunks = good;
+  zero_chunks.chunks = 0;
+  expect_parity(zero_chunks);
+  EXPECT_FALSE(zero_chunks.check().ok());
+
+  core::AcceleratorConfig bad_policy = good;
+  bad_policy.policy = 2;
+  expect_parity(bad_policy);
+  EXPECT_FALSE(bad_policy.check().ok());
+}
+
+TEST(ServeStatusTest, FilterOptionsParity) {
+  kalman::FilterOptions options;
+  EXPECT_TRUE(options.check().ok());
+  expect_parity(options);
+  options.joseph_update = true;
+  EXPECT_TRUE(options.check().ok());
+  expect_parity(options);
+}
+
+TEST(ServeStatusTest, CheckIsNoexcept) {
+  static_assert(noexcept(std::declval<kalman::KalmanModel<double>>().check()));
+  static_assert(noexcept(std::declval<core::AcceleratorConfig>().check()));
+  static_assert(noexcept(std::declval<kalman::FilterOptions>().check()));
+  static_assert(noexcept(std::declval<serve::SessionConfig>().check()));
+}
+
+TEST(ServeStatusTest, SessionConfigCheckCoversItsFields) {
+  serve::SessionConfig cfg;
+  cfg.model = testing::small_model(4);
+  EXPECT_TRUE(cfg.check().ok());
+
+  serve::SessionConfig bad_queue = cfg;
+  bad_queue.queue_capacity = 0;
+  EXPECT_FALSE(bad_queue.check().ok());
+
+  serve::SessionConfig bad_deadline = cfg;
+  bad_deadline.deadline_s = 0.0;
+  EXPECT_FALSE(bad_deadline.check().ok());
+
+  serve::SessionConfig bad_strategy = cfg;
+  bad_strategy.strategy = "nope";
+  EXPECT_FALSE(bad_strategy.check().ok());
+
+  serve::SessionConfig bad_model = cfg;
+  bad_model.model.f = linalg::Matrix<double>(1, 2);
+  EXPECT_FALSE(bad_model.check().ok());
+}
+
+}  // namespace
+}  // namespace kalmmind

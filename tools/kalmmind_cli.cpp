@@ -12,14 +12,24 @@
 // Runs one accelerator configuration on one dataset and prints accuracy
 // (vs the float64 reference), decode quality (vs ground truth), latency,
 // power and energy.
+//
+//   kalmmind serve-bench [--dataset NAME] [--sessions N] [--workers N]
+//                        [--iterations N] [--strategy NAME]
+//                        [--calc-freq N] [--approx N] [--policy 0|1]
+//
+// Streams N concurrent sessions of the dataset through the multi-session
+// DecodeServer and prints the throughput/latency/deadline stats snapshot.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/kalmmind.hpp"
 #include "io/csv.hpp"
 #include "neural/decode_quality.hpp"
+#include "serve/serve.hpp"
 
 using namespace kalmmind;
 
@@ -130,9 +140,152 @@ core::Accelerator accelerator_for(const CliOptions& opt,
   std::exit(2);
 }
 
+// ---- serve-bench: stream N sessions through the DecodeServer ----
+
+struct ServeBenchOptions {
+  std::string dataset = "motor";
+  std::string strategy = "interleaved";
+  std::size_t sessions = 8;
+  unsigned workers = 0;  // 0 = hardware_concurrency
+  std::size_t iterations = 100;
+  std::uint32_t calc_freq = 0;
+  std::uint32_t approx = 2;
+  std::uint32_t policy = 1;
+};
+
+[[noreturn]] void serve_usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s serve-bench [--dataset NAME] [--sessions N]\n"
+               "          [--workers N] [--iterations N] [--strategy NAME]\n"
+               "          [--calc-freq N] [--approx N] [--policy 0|1]\n",
+               argv0);
+  std::exit(2);
+}
+
+int run_serve_bench(int argc, char** argv) {
+  ServeBenchOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        serve_usage_and_exit(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      opt.dataset = need_value("--dataset");
+    } else if (!std::strcmp(argv[i], "--strategy")) {
+      opt.strategy = need_value("--strategy");
+    } else if (!std::strcmp(argv[i], "--sessions")) {
+      opt.sessions = std::size_t(std::atoll(need_value("--sessions")));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      opt.workers = unsigned(std::atoi(need_value("--workers")));
+    } else if (!std::strcmp(argv[i], "--iterations")) {
+      opt.iterations = std::size_t(std::atoll(need_value("--iterations")));
+    } else if (!std::strcmp(argv[i], "--calc-freq")) {
+      opt.calc_freq = std::uint32_t(std::atoi(need_value("--calc-freq")));
+    } else if (!std::strcmp(argv[i], "--approx")) {
+      opt.approx = std::uint32_t(std::atoi(need_value("--approx")));
+    } else if (!std::strcmp(argv[i], "--policy")) {
+      opt.policy = std::uint32_t(std::atoi(need_value("--policy")));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      serve_usage_and_exit(argv[0]);
+    }
+  }
+
+  if (opt.sessions == 0 || opt.iterations == 0) {
+    std::fprintf(stderr, "--sessions and --iterations must be >= 1\n");
+    return 2;
+  }
+
+  neural::DatasetSpec spec;
+  if (opt.dataset == "motor") {
+    spec = neural::motor_spec();
+  } else if (opt.dataset == "somatosensory") {
+    spec = neural::somatosensory_spec();
+  } else if (opt.dataset == "hippocampus") {
+    spec = neural::hippocampus_spec();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", opt.dataset.c_str());
+    return 2;
+  }
+  spec.test_steps = opt.iterations;
+  const neural::NeuralDataset dataset = neural::build_dataset(spec);
+
+  serve::SessionConfig session_cfg;
+  session_cfg.model = dataset.model;
+  session_cfg.strategy = opt.strategy;
+  session_cfg.strategy_params.interleave = {opt.calc_freq, opt.approx,
+                                            opt.policy == 0
+                                                ? kalman::SeedPolicy::kLastCalculated
+                                                : kalman::SeedPolicy::kPreviousIteration};
+  session_cfg.queue_capacity = opt.iterations;  // lossless for the bench
+  if (Status s = session_cfg.check(); !s.ok()) {
+    std::fprintf(stderr, "bad session config: %s\n", s.message());
+    return 2;
+  }
+
+  serve::DecodeServer server({opt.workers, /*max_batch=*/8});
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < opt.sessions; ++i) {
+    Status status;
+    const serve::SessionId id = server.open_session(session_cfg, &status);
+    if (id == serve::DecodeServer::kInvalidSession) {
+      std::fprintf(stderr, "open_session failed: %s\n", status.message());
+      return 2;
+    }
+    ids.push_back(id);
+  }
+
+  std::printf("serve-bench: %zu sessions x %zu bins, dataset %s (z=%zu), "
+              "strategy %s, %u workers\n",
+              opt.sessions, dataset.test_measurements.size(),
+              dataset.spec.name.c_str(), dataset.model.z_dim(),
+              opt.strategy.c_str(), server.workers());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Round-robin across sessions: the arrival pattern of independent
+  // streams hitting the server.
+  for (std::size_t n = 0; n < dataset.test_measurements.size(); ++n) {
+    for (const auto id : ids) {
+      server.submit(id, dataset.test_measurements[n]);
+    }
+  }
+  server.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("%s", stats.to_string().c_str());
+  std::printf("wall       : %.3f s  (%.1f steps/s, %.2f sessions/s)\n", wall,
+              double(stats.total_steps) / wall, double(opt.sessions) / wall);
+
+  // Cross-check one stream against the identical sequential filter.
+  kalman::KalmanFilter<double> sequential(
+      dataset.model,
+      kalman::make_inverse_strategy<double>(opt.strategy,
+                                            session_cfg.strategy_params));
+  const auto seq = sequential.run(dataset.test_measurements);
+  const auto served = server.trajectory(ids.front());
+  bool identical = served.size() == seq.states.size();
+  for (std::size_t n = 0; identical && n < served.size(); ++n) {
+    for (std::size_t d = 0; d < served[n].size(); ++d) {
+      if (served[n][d] != seq.states[n][d]) identical = false;
+    }
+  }
+  std::printf("determinism: served trajectory %s sequential filter\n",
+              identical ? "bit-identical to" : "DIVERGES from");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "serve-bench")) {
+    return run_serve_bench(argc, argv);
+  }
   const CliOptions opt = parse(argc, argv);
 
   auto dataset = neural::build_dataset(spec_for(opt));
