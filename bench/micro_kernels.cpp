@@ -3,10 +3,19 @@
 // dimensions (z = 46, 52, 164).  These sanity-check the relative costs the
 // HLS latency model assumes (Newton step ~ 2 matmuls; Gauss ~ 2n^3; QR the
 // most expensive calculation).
+//
+// BM_FilterStepTelemetry{On,Off} bound the telemetry overhead on the
+// instrumented KalmanFilter::step path: On runs with the metric counters
+// live (tracing stays off, its opt-in default), Off flips the process-wide
+// telemetry::set_enabled kill switch.  With KALMMIND_TELEMETRY=OFF both
+// variants compile to the uninstrumented filter (docs/observability.md).
 #include <benchmark/benchmark.h>
 
 #include "fixedpoint/fixed.hpp"
+#include "kalman/factory.hpp"
+#include "kalman/filter.hpp"
 #include "linalg/linalg.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace kalmmind::linalg;
 using kalmmind::fixedpoint::Fx32;
@@ -100,6 +109,46 @@ void BM_NewtonStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NewtonStep)->Arg(46)->Arg(52)->Arg(164);
+
+// ---- telemetry overhead on the instrumented filter step ----
+
+kalmmind::kalman::KalmanModel<double> bench_model(std::size_t x_dim,
+                                                  std::size_t z_dim) {
+  Rng rng(7);
+  kalmmind::kalman::KalmanModel<double> m;
+  m.f = Matrix<double>::identity(x_dim);
+  m.q = random_spd<double>(x_dim, rng, 1.0);
+  m.h = random_matrix<double>(z_dim, x_dim, rng, -0.1, 0.1);
+  m.r = random_spd<double>(z_dim, rng, 2.0);
+  m.x0 = Vector<double>(x_dim);
+  m.p0 = random_spd<double>(x_dim, rng, 1.0);
+  return m;
+}
+
+void bench_filter_step(benchmark::State& state, bool telemetry_on) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const auto model = bench_model(6, z_dim);
+  Rng rng(11);
+  const auto z = random_vector<double>(z_dim, rng);
+  kalmmind::kalman::KalmanFilter<double> filter(
+      model, kalmmind::kalman::make_inverse_strategy<double>("gauss"));
+  kalmmind::telemetry::set_enabled(telemetry_on);
+  for (auto _ : state) {
+    const auto& x = filter.step(z);
+    benchmark::DoNotOptimize(x.data());
+  }
+  kalmmind::telemetry::set_enabled(true);
+}
+
+void BM_FilterStepTelemetryOn(benchmark::State& state) {
+  bench_filter_step(state, /*telemetry_on=*/true);
+}
+BENCHMARK(BM_FilterStepTelemetryOn)->Arg(46)->Arg(164);
+
+void BM_FilterStepTelemetryOff(benchmark::State& state) {
+  bench_filter_step(state, /*telemetry_on=*/false);
+}
+BENCHMARK(BM_FilterStepTelemetryOff)->Arg(46)->Arg(164);
 
 }  // namespace
 

@@ -9,16 +9,23 @@
 // accuracy/latency trade-offs: an exact Gauss decoder, the KalmMind
 // interleaved schedule, and a cheap Newton-classic approximation.  The
 // server steps them over a shared worker pool; afterwards we print the
-// per-session deadline accounting and the server-wide stats snapshot.
+// per-session deadline accounting, the server-wide stats snapshot, and the
+// telemetry the run produced: a Chrome trace (open streaming_server_trace
+// .json in Perfetto) plus the Prometheus-style metrics snapshot.
 #include <cstdio>
 #include <vector>
 
 #include "core/kalmmind.hpp"
 #include "serve/serve.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace kalmmind;
 
 int main() {
+  // 0. Turn on span tracing for the whole run (metrics counters are always
+  //    on; the tracer is opt-in because it allocates per event).
+  telemetry::SpanTracer::global().set_enabled(true);
+  telemetry::SpanTracer::global().set_thread_name("main");
   // 1. One dataset, three sessions with different strategy configs.
   neural::DatasetSpec spec = neural::hippocampus_spec();
   spec.test_steps = 80;
@@ -82,5 +89,15 @@ int main() {
 
   // 5. The server-wide snapshot the serve-bench subcommand prints.
   std::printf("\n%s", server.stats().to_string().c_str());
+
+  // 6. Export the telemetry: per-step serve spans + filter phase spans on a
+  //    Perfetto-loadable timeline, and the metrics registry as text.
+  const char* trace_path = "streaming_server_trace.json";
+  if (telemetry::SpanTracer::global().write_json(trace_path)) {
+    std::printf("\nwrote %zu trace events to %s (open in Perfetto)\n",
+                telemetry::SpanTracer::global().size(), trace_path);
+  }
+  std::printf("\n--- metrics registry ---\n%s",
+              telemetry::MetricsRegistry::global().prometheus_text().c_str());
   return 0;
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrent serve/
-# tests again under ThreadSanitizer.
+# telemetry tests again under ThreadSanitizer.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -12,13 +12,13 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo
-echo "== tier1: serve tests under ThreadSanitizer =="
+echo "== tier1: serve + telemetry tests under ThreadSanitizer =="
 cmake -B build-tsan -S . \
   -DKALMMIND_TSAN=ON \
   -DKALMMIND_BUILD_BENCH=OFF \
   -DKALMMIND_BUILD_EXAMPLES=OFF
-cmake --build build-tsan -j"$(nproc)" --target test_serve
-ctest --test-dir build-tsan -R '^Serve' --output-on-failure
+cmake --build build-tsan -j"$(nproc)" --target test_serve test_telemetry
+ctest --test-dir build-tsan -R '^Serve|^Telemetry' --output-on-failure
 
 echo
 echo "tier1: OK"

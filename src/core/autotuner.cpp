@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "telemetry/registry.hpp"
+
 namespace kalmmind::core {
 
 AutoTuner::AutoTuner(std::vector<DsePoint> points)
@@ -15,10 +17,19 @@ bool usable(const DsePoint& p, Metric metric) {
   return p.metrics.finite && std::isfinite(metric_value(p.metrics, metric));
 }
 
+// One tick per tuner query, so a DSE-driven run shows how often the swept
+// space was actually consulted.
+void count_query() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "kalmmind.autotune.queries_total");
+  c.add();
+}
+
 }  // namespace
 
 std::optional<DsePoint> AutoTuner::best_accuracy_within_latency(
     double budget_s, Metric metric) const {
+  count_query();
   const DsePoint* best = nullptr;
   for (const auto& p : points_) {
     if (!usable(p, metric) || p.latency_s > budget_s) continue;
@@ -33,6 +44,7 @@ std::optional<DsePoint> AutoTuner::best_accuracy_within_latency(
 
 std::optional<DsePoint> AutoTuner::fastest_within_accuracy(
     double target, Metric metric) const {
+  count_query();
   const DsePoint* best = nullptr;
   for (const auto& p : points_) {
     if (!usable(p, metric) || metric_value(p.metrics, metric) > target)
@@ -45,6 +57,7 @@ std::optional<DsePoint> AutoTuner::fastest_within_accuracy(
 
 std::optional<DsePoint> AutoTuner::best_accuracy_within_energy(
     double budget_j, Metric metric) const {
+  count_query();
   const DsePoint* best = nullptr;
   for (const auto& p : points_) {
     if (!usable(p, metric) || p.energy_j > budget_j) continue;
@@ -58,6 +71,7 @@ std::optional<DsePoint> AutoTuner::best_accuracy_within_energy(
 }
 
 std::optional<DsePoint> AutoTuner::knee_point(Metric metric) const {
+  count_query();
   auto front = pareto_front(points_, metric);
   if (front.empty()) return std::nullopt;
   if (front.size() <= 2) return points_[front.front()];

@@ -1,6 +1,7 @@
 #include "core/dse.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -8,6 +9,7 @@
 
 #include "kalman/reference.hpp"
 #include "serve/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::core {
 
@@ -49,8 +51,22 @@ std::vector<DsePoint> DesignSpaceExplorer::sweep(
       1u, options.parallelism != 0 ? options.parallelism
                                    : std::thread::hardware_concurrency());
 
+  telemetry::Span sweep_span("dse.sweep", "dse");
+  sweep_span.set_args_json("\"points\":" + std::to_string(configs.size()) +
+                           ",\"workers\":" + std::to_string(workers));
+  telemetry::Counter& evaluated = telemetry::MetricsRegistry::global().counter(
+      "kalmmind.dse.points_evaluated_total");
+  telemetry::Gauge& progress = telemetry::MetricsRegistry::global().gauge(
+      "kalmmind.dse.sweep_progress");
+  progress.set(0.0);
+  std::atomic<std::size_t> done{0};
+
   serve::ThreadPool pool(workers);
   pool.parallel_for(configs.size(), [&](std::size_t i) {
+    telemetry::Span span("dse.point", "dse");
+    span.set_args_json("\"calc_freq\":" + std::to_string(configs[i].calc_freq) +
+                       ",\"approx\":" + std::to_string(configs[i].approx) +
+                       ",\"policy\":" + std::to_string(configs[i].policy));
     Accelerator accel(spec_, configs[i], params_);
     AcceleratorRunResult r =
         accel.run(dataset.model, dataset.test_measurements);
@@ -61,6 +77,9 @@ std::vector<DsePoint> DesignSpaceExplorer::sweep(
     p.power_w = r.power_w;
     p.energy_j = r.energy_j;
     points[i] = p;
+    evaluated.add();
+    const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    progress.set(double(n) / double(configs.size()));
   });
   return points;
 }

@@ -28,8 +28,36 @@
 #include "kalman/calculation_strategies.hpp"
 #include "kalman/interleaved.hpp"
 #include "kalman/strategy.hpp"
+#include "telemetry/registry.hpp"
 
 namespace kalmmind::kalman {
+
+namespace detail {
+
+// Transparent decorator counting invert() calls per factory name, so the
+// registry reports how often each named strategy actually ran
+// (kalmmind.kf.strategy_invert_total.<name>).  Forwards everything else,
+// including name(), unchanged.
+template <typename T>
+class CountedStrategy final : public InverseStrategy<T> {
+ public:
+  CountedStrategy(InverseStrategyPtr<T> inner, telemetry::Counter& counter)
+      : inner_(std::move(inner)), counter_(counter) {}
+
+  Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) override {
+    counter_.add();
+    return inner_->invert(s, kf_iteration);
+  }
+  InverseEvent last_event() const override { return inner_->last_event(); }
+  void reset() override { inner_->reset(); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  InverseStrategyPtr<T> inner_;
+  telemetry::Counter& counter_;
+};
+
+}  // namespace detail
 
 // Everything any strategy may need, with workable defaults.  Unused fields
 // are ignored by strategies that do not consume them.
@@ -68,12 +96,11 @@ inline bool is_inverse_strategy_name(const std::string& name) {
   return false;
 }
 
-// Build a strategy by name.  Throws std::invalid_argument for an unknown
-// name (message lists the valid ones) or for a name whose required
-// parameters are missing.
+namespace detail {
+
 template <typename T>
-InverseStrategyPtr<T> make_inverse_strategy(const std::string& name,
-                                            const StrategyParams<T>& params = {}) {
+InverseStrategyPtr<T> make_inverse_strategy_impl(
+    const std::string& name, const StrategyParams<T>& params) {
   if (name == "gauss") {
     return std::make_unique<CalculationStrategy<T>>(CalcMethod::kGauss);
   }
@@ -123,6 +150,28 @@ InverseStrategyPtr<T> make_inverse_strategy(const std::string& name,
   }
   throw std::invalid_argument("make_inverse_strategy: unknown strategy '" +
                               name + "' (known: " + known + ")");
+}
+
+}  // namespace detail
+
+// Build a strategy by name.  Throws std::invalid_argument for an unknown
+// name (message lists the valid ones) or for a name whose required
+// parameters are missing.  The returned strategy counts its invert() calls
+// into the metrics registry under the factory name (a no-op while
+// telemetry is disabled or compiled out).
+template <typename T>
+InverseStrategyPtr<T> make_inverse_strategy(const std::string& name,
+                                            const StrategyParams<T>& params = {}) {
+  InverseStrategyPtr<T> built =
+      detail::make_inverse_strategy_impl<T>(name, params);
+  if constexpr (telemetry::kCompiledIn) {
+    telemetry::Counter& counter = telemetry::MetricsRegistry::global().counter(
+        "kalmmind.kf.strategy_invert_total." + name);
+    return std::make_unique<detail::CountedStrategy<T>>(std::move(built),
+                                                        counter);
+  } else {
+    return built;
+  }
 }
 
 }  // namespace kalmmind::kalman

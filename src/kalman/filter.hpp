@@ -17,8 +17,38 @@
 #include "kalman/model.hpp"
 #include "kalman/strategy.hpp"
 #include "linalg/ops.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::kalman {
+
+namespace detail {
+
+// Registry handles for the filter hot path, resolved once.  Shared by every
+// KalmanFilter<T> instantiation (the registry hands out one Counter per
+// name).
+struct FilterTelemetry {
+  telemetry::Counter& steps;
+  telemetry::Counter& invert_calculation;
+  telemetry::Counter& invert_approximation;
+  telemetry::Counter& invert_none;
+  telemetry::Counter& newton_inner_iterations;
+
+  static FilterTelemetry& get() {
+    static FilterTelemetry t{
+        telemetry::MetricsRegistry::global().counter("kalmmind.kf.steps_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.kf.invert_path.calculation_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.kf.invert_path.approximation_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.kf.invert_path.none_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.kf.newton_inner_iterations_total")};
+    return t;
+  }
+};
+
+}  // namespace detail
 
 // Per-run output: the state trajectory plus the per-iteration inversion
 // telemetry the latency model consumes.
@@ -80,53 +110,93 @@ class KalmanFilter {
     if (z.size() != model_.z_dim()) {
       throw std::invalid_argument("KalmanFilter::step: bad measurement size");
     }
-    // Predict.
-    linalg::multiply_into(x_pred_, model_.f, x_);
-    const Vector<T>& x_pred = x_pred_;
     Matrix<T> fp, p_pred;
-    linalg::multiply_into(fp, model_.f, p_);
-    linalg::multiply_bt_into(p_pred, fp, model_.f);
-    p_pred += model_.q;
+    {
+      telemetry::Span span("kf.predict", "kf");
+      // Predict.
+      linalg::multiply_into(x_pred_, model_.f, x_);
+      linalg::multiply_into(fp, model_.f, p_);
+      linalg::multiply_bt_into(p_pred, fp, model_.f);
+      p_pred += model_.q;
+    }
+    const Vector<T>& x_pred = x_pred_;
 
-    // Innovation covariance S = H P' H^t + R.
-    Matrix<T> hp, s;
-    linalg::multiply_into(hp, model_.h, p_pred);
-    linalg::multiply_bt_into(s, hp, model_.h);
-    s += model_.r;
-
-    // Kalman gain K = P' H^t S^-1.
-    Matrix<T> s_inv = strategy_->invert(s, iteration_);
-    Matrix<T> pht;
-    linalg::multiply_bt_into(pht, p_pred, model_.h);  // P' H^t, x_dim x z_dim
     Matrix<T> k;
-    linalg::multiply_into(k, pht, s_inv);
+    {
+      telemetry::Span span("kf.compute_k", "kf");
 
-    // Update state: x = x' + K (z - H x').
-    Vector<T> hx;
-    linalg::multiply_into(hx, model_.h, x_pred);
-    Vector<T> innovation = z;
-    innovation -= hx;
-    Vector<T> correction;
-    linalg::multiply_into(correction, k, innovation);
-    x_ = x_pred;
-    x_ += correction;
+      // Innovation covariance S = H P' H^t + R.
+      Matrix<T> hp, s;
+      linalg::multiply_into(hp, model_.h, p_pred);
+      linalg::multiply_bt_into(s, hp, model_.h);
+      s += model_.r;
 
-    // Update covariance.
-    Matrix<T> kh;
-    linalg::multiply_into(kh, k, model_.h);
-    Matrix<T> i_minus_kh = linalg::identity_minus(kh);
-    if (options_.joseph_update) {
-      // P = (I-KH) P' (I-KH)^t + K R K^t
-      Matrix<T> tmp;
-      linalg::multiply_into(tmp, i_minus_kh, p_pred);
-      linalg::multiply_bt_into(p_, tmp, i_minus_kh);
-      Matrix<T> kr;
-      linalg::multiply_into(kr, k, model_.r);
-      Matrix<T> krk;
-      linalg::multiply_bt_into(krk, kr, k);
-      p_ += krk;
-    } else {
-      linalg::multiply_into(p_, i_minus_kh, p_pred);
+      // Kalman gain K = P' H^t S^-1.  The S-inverse is the swappable
+      // calc-vs-approx module, so it gets its own span named by the path
+      // the strategy actually took.
+      telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
+      const bool tracing = tracer.enabled();
+      const double t0_us = tracing ? tracer.now_us() : 0.0;
+      Matrix<T> s_inv = strategy_->invert(s, iteration_);
+      const InverseEvent inv_event = strategy_->last_event();
+      if (tracing) {
+        const char* path_name =
+            inv_event.path == InversePath::kCalculation ? "kf.s_inverse.calc"
+            : inv_event.path == InversePath::kApproximation
+                ? "kf.s_inverse.approx"
+                : "kf.s_inverse.none";
+        tracer.complete(path_name, "kf", t0_us, tracer.now_us() - t0_us,
+                        "\"newton_iterations\":" +
+                            std::to_string(inv_event.newton_iterations));
+      }
+      if (telemetry::enabled()) {
+        auto& ft = detail::FilterTelemetry::get();
+        switch (inv_event.path) {
+          case InversePath::kCalculation: ft.invert_calculation.add(); break;
+          case InversePath::kApproximation:
+            ft.invert_approximation.add();
+            break;
+          case InversePath::kNone: ft.invert_none.add(); break;
+        }
+        ft.newton_inner_iterations.add(inv_event.newton_iterations);
+        ft.steps.add();
+      }
+
+      Matrix<T> pht;
+      linalg::multiply_bt_into(pht, p_pred, model_.h);  // P' H^t, x_dim x z_dim
+      linalg::multiply_into(k, pht, s_inv);
+    }
+
+    {
+      telemetry::Span span("kf.update", "kf");
+
+      // Update state: x = x' + K (z - H x').
+      Vector<T> hx;
+      linalg::multiply_into(hx, model_.h, x_pred);
+      Vector<T> innovation = z;
+      innovation -= hx;
+      Vector<T> correction;
+      linalg::multiply_into(correction, k, innovation);
+      x_ = x_pred;
+      x_ += correction;
+
+      // Update covariance.
+      Matrix<T> kh;
+      linalg::multiply_into(kh, k, model_.h);
+      Matrix<T> i_minus_kh = linalg::identity_minus(kh);
+      if (options_.joseph_update) {
+        // P = (I-KH) P' (I-KH)^t + K R K^t
+        Matrix<T> tmp;
+        linalg::multiply_into(tmp, i_minus_kh, p_pred);
+        linalg::multiply_bt_into(p_, tmp, i_minus_kh);
+        Matrix<T> kr;
+        linalg::multiply_into(kr, k, model_.r);
+        Matrix<T> krk;
+        linalg::multiply_bt_into(krk, kr, k);
+        p_ += krk;
+      } else {
+        linalg::multiply_into(p_, i_minus_kh, p_pred);
+      }
     }
 
     ++iteration_;

@@ -1,10 +1,29 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace kalmmind::serve {
+
+namespace {
+
+telemetry::Gauge& sessions_open_gauge() {
+  static telemetry::Gauge& g = telemetry::MetricsRegistry::global().gauge(
+      "kalmmind.serve.sessions_open");
+  return g;
+}
+
+telemetry::Counter& worker_busy_counter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "kalmmind.serve.worker_busy_us_total");
+  return c;
+}
+
+}  // namespace
 
 DecodeServer::DecodeServer(ServerOptions options)
     : options_(options), start_(std::chrono::steady_clock::now()) {
@@ -53,6 +72,7 @@ SessionId DecodeServer::open_session(SessionConfig config, Status* status) {
     std::lock_guard<std::mutex> lock(mu_);
     slots_[id].session = std::move(session);
   }
+  sessions_open_gauge().add(1.0);
   if (status) *status = Status::Ok();
   return id;
 }
@@ -83,8 +103,20 @@ bool DecodeServer::close_session(SessionId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(id);
   if (it == slots_.end()) return false;
+  if (!it->second.closed) sessions_open_gauge().add(-1.0);
   it->second.closed = true;  // queued bins still decode; no new submits
   return true;
+}
+
+std::size_t DecodeServer::step_timed(Session& session) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t steps = session.step_pending(options_.max_batch, &latency_);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  busy_us_.fetch_add(std::uint64_t(us), std::memory_order_relaxed);
+  worker_busy_counter().add(std::uint64_t(us));
+  return steps;
 }
 
 void DecodeServer::dispatch_locked(SessionId id, Slot& slot) {
@@ -105,7 +137,7 @@ void DecodeServer::run_session(SessionId id) {
     if (it != slots_.end()) session = it->second.session;
   }
   if (session && !stopping_flag()) {
-    session->step_pending(options_.max_batch, &latency_);
+    step_timed(*session);
   }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(id);
@@ -139,8 +171,7 @@ std::size_t DecodeServer::poll() {
     if (it == slots_.end()) return 0;
     session = it->second.session;
   }
-  const std::size_t steps =
-      stopping_flag() ? 0 : session->step_pending(options_.max_batch, &latency_);
+  const std::size_t steps = stopping_flag() ? 0 : step_timed(*session);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = slots_.find(id);
   if (it == slots_.end()) return steps;
@@ -214,7 +245,21 @@ ServerStats DecodeServer::stats() const {
                      .count();
   out.steps_per_second =
       out.uptime_s > 0.0 ? double(out.total_steps) / out.uptime_s : 0.0;
+  out.worker_busy_s =
+      double(busy_us_.load(std::memory_order_relaxed)) * 1e-6;
+  const double lanes = double(std::max(1u, workers()));
+  out.worker_utilization =
+      out.uptime_s > 0.0
+          ? std::min(1.0, out.worker_busy_s / (out.uptime_s * lanes))
+          : 0.0;
   out.step_latency = latency_.summarize();
+  // Refresh the registry gauges from this authoritative snapshot, so a
+  // --metrics-out dump and stats().to_string() always agree.
+  auto& registry = telemetry::MetricsRegistry::global();
+  registry.gauge("kalmmind.serve.sessions_open").set(double(out.sessions));
+  registry.gauge("kalmmind.serve.queued_bins").set(double(out.queued));
+  registry.gauge("kalmmind.serve.worker_utilization")
+      .set(out.worker_utilization);
   return out;
 }
 
@@ -227,6 +272,10 @@ std::string ServerStats::to_string() const {
   std::snprintf(line, sizeof(line),
                 "throughput : %zu steps in %.3f s  (%.1f steps/s)\n",
                 total_steps, uptime_s, steps_per_second);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "workers    : %.3f s busy  (%.1f%% utilization)\n",
+                worker_busy_s, worker_utilization * 100.0);
   out += line;
   std::snprintf(line, sizeof(line),
                 "latency    : p50 %.3f ms  p99 %.3f ms  max %.3f ms  "

@@ -18,9 +18,11 @@
 // Status-returning check() chain and reports failure through a Status.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -100,11 +102,15 @@ class DecodeServer {
   void dispatch_locked(SessionId id, Slot& slot);
   // Worker body: batch-step `id`, then re-dispatch or park it.
   void run_session(SessionId id);
+  // Time one batch (step_pending) and fold it into the busy-time tally
+  // plus the kalmmind.serve.worker_busy_us_total counter.
+  std::size_t step_timed(Session& session);
 
   const ServerOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null in manual mode
   LatencyRecorder latency_;
   std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> busy_us_{0};  // summed batch wall time
 
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;

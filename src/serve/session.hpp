@@ -28,10 +28,42 @@
 #include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
 #include "serve/stats.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::serve {
 
 using linalg::Vector;
+
+namespace detail {
+
+// Construction-time cached registry handles for the serve hot path (see
+// the handle-caching note in telemetry/registry.hpp).  The queued-bins
+// gauge aggregates across every session in the process.
+struct ServeTelemetry {
+  telemetry::Counter& steps;
+  telemetry::Counter& deadline_misses;
+  telemetry::Counter& rejected;
+  telemetry::Counter& dropped;
+  telemetry::Gauge& queued_bins;
+
+  static ServeTelemetry& get() {
+    static ServeTelemetry t{
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.steps_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.deadline_misses_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.rejected_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.dropped_total"),
+        telemetry::MetricsRegistry::global().gauge(
+            "kalmmind.serve.queued_bins"),
+    };
+    return t;
+  }
+};
+
+}  // namespace detail
 
 enum class BackpressurePolicy {
   kReject,      // full queue bounces the new bin (caller sees kRejectedFull)
@@ -97,16 +129,21 @@ class Session {
 
   // Producer side: enqueue one measurement bin (any thread).
   PushResult enqueue(Vector<double> z) {
+    auto& tm = detail::ServeTelemetry::get();
     std::lock_guard<std::mutex> lock(mu_);
     PushResult result = PushResult::kAccepted;
     if (queue_.size() >= config_.queue_capacity) {
       if (config_.backpressure == BackpressurePolicy::kReject) {
         ++rejected_;
+        tm.rejected.add();
         return PushResult::kRejectedFull;
       }
       queue_.pop_front();
       ++dropped_;
+      tm.dropped.add();
       result = PushResult::kDroppedOldest;
+    } else {
+      tm.queued_bins.add(1.0);  // kDropOldest swaps a bin: depth unchanged
     }
     queue_.push_back(std::move(z));
     max_backlog_ = std::max(max_backlog_, queue_.size());
@@ -120,6 +157,8 @@ class Session {
   // given.
   std::size_t step_pending(std::size_t max_batch,
                            LatencyRecorder* recorder = nullptr) {
+    auto& tm = detail::ServeTelemetry::get();
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
     std::vector<Vector<double>> batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -129,6 +168,10 @@ class Session {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      if (n > 0) tm.queued_bins.add(-double(n));
+    }
+    if (!batch.empty() && tracer.enabled()) {
+      tracer.counter("serve.queued_bins", tm.queued_bins.value());
     }
     for (auto& z : batch) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -136,12 +179,19 @@ class Session {
       const auto t1 = std::chrono::steady_clock::now();
       const double seconds = std::chrono::duration<double>(t1 - t0).count();
       if (recorder) recorder->record(seconds);
+      tm.steps.add();
+      if (tracer.enabled()) {
+        tracer.complete("serve.step", "serve", tracer.to_us(t0), seconds * 1e6,
+                        "\"session\":" + std::to_string(id_));
+      }
 
       core::IterationTiming timing;
       timing.kf_iteration = steps_done();
       timing.cycles = 0;  // wall-clock path: no cycle model attached
       timing.seconds = seconds;
       timing.meets_deadline = seconds <= config_.deadline_s;
+
+      if (!timing.meets_deadline) tm.deadline_misses.add();
 
       std::lock_guard<std::mutex> lock(mu_);
       ++steps_;

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/registry.hpp"
+
 namespace kalmmind::serve {
 
 using SessionId = std::uint64_t;
@@ -27,12 +29,18 @@ struct LatencySummary {
 };
 
 // Thread-safe latency sample sink shared by all workers of one server.
+// Every record() is also observed into the registry histogram
+// kalmmind.serve.step_latency_seconds, so the Prometheus/JSON snapshot and
+// the sample-based summarize() describe the same stream.
 class LatencyRecorder {
  public:
   explicit LatencyRecorder(std::size_t max_samples = 1 << 20)
-      : max_samples_(std::max<std::size_t>(1, max_samples)) {}
+      : max_samples_(std::max<std::size_t>(1, max_samples)),
+        histogram_(telemetry::MetricsRegistry::global().histogram(
+            "kalmmind.serve.step_latency_seconds")) {}
 
   void record(double seconds) {
+    histogram_.observe(seconds);
     std::lock_guard<std::mutex> lock(mu_);
     ++total_;
     sum_ += seconds;
@@ -62,22 +70,16 @@ class LatencyRecorder {
     out.samples = total;
     if (sorted.empty()) return out;
     std::sort(sorted.begin(), sorted.end());
-    out.p50_s = percentile(sorted, 0.50);
-    out.p99_s = percentile(sorted, 0.99);
+    // The shared percentile implementation (telemetry::percentile) — the
+    // registry's Histogram::quantile is the bucketed counterpart.
+    out.p50_s = telemetry::percentile(sorted, 0.50);
+    out.p99_s = telemetry::percentile(sorted, 0.99);
     out.max_s = max;
     out.mean_s = total ? sum / double(total) : 0.0;
     return out;
   }
 
  private:
-  static double percentile(const std::vector<double>& sorted, double q) {
-    const double pos = q * double(sorted.size() - 1);
-    const std::size_t lo = std::size_t(pos);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    const double frac = pos - double(lo);
-    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
-  }
-
   mutable std::mutex mu_;
   std::size_t max_samples_;
   std::vector<double> samples_;
@@ -85,6 +87,7 @@ class LatencyRecorder {
   double sum_ = 0.0;
   double max_ = 0.0;
   std::uint64_t lcg_ = 0x9e3779b97f4a7c15ull;
+  telemetry::Histogram& histogram_;
 };
 
 // Point-in-time view of one session.
@@ -110,6 +113,8 @@ struct ServerStats {
   std::size_t queued = 0;               // pending bins across all sessions
   double uptime_s = 0.0;
   double steps_per_second = 0.0;        // total_steps / uptime
+  double worker_busy_s = 0.0;           // summed wall time inside batches
+  double worker_utilization = 0.0;      // busy / (uptime * workers)
   LatencySummary step_latency;
   std::vector<SessionStatsSnapshot> per_session;
 

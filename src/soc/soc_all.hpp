@@ -12,3 +12,4 @@
 #include "soc/soc.hpp"
 #include "soc/software.hpp"
 #include "soc/trace.hpp"
+#include "soc/trace_bridge.hpp"

@@ -3,9 +3,12 @@
 // its probes, for debugging and for reasoning about overlap.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "telemetry/registry.hpp"
 
 namespace kalmmind::soc {
 
@@ -43,17 +46,40 @@ struct TraceEvent {
 
 class TraceRecorder {
  public:
+  // Default event cap: a long-running SoC simulation keeps the most recent
+  // history bounded instead of growing without limit; overflow is counted
+  // in dropped() (and mirrored into the metrics registry).
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
+
+  // Maximum events retained; shrinking below the current size keeps the
+  // already-recorded prefix and drops new events.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t dropped() const { return dropped_; }
 
   void record(std::uint64_t cycle, TraceKind kind, std::string tile,
               std::string detail = {}) {
     if (!enabled_) return;
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      telemetry::MetricsRegistry::global()
+          .counter("kalmmind.soc.trace_events_dropped_total")
+          .add();
+      return;
+    }
     events_.push_back({cycle, kind, std::move(tile), std::move(detail)});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   std::size_t count(TraceKind kind) const {
     std::size_t n = 0;
@@ -75,6 +101,8 @@ class TraceRecorder {
 
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

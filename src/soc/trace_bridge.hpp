@@ -1,0 +1,93 @@
+// Merge a soc::TraceRecorder's cycle-stamped events onto a
+// telemetry::SpanTracer timeline, so one Perfetto view shows a decode
+// step's wall-clock spans next to the SoC-level DMA/compute/IRQ activity.
+//
+// Cycles are mapped onto a synthetic clock track: ts_us = cycle * 1e6 /
+// clock_hz under SpanTracer::kSocPid, with one tid (track) per tile.
+// compute.start / compute.end pairs become duration ('X') events; MMIO,
+// DMA and IRQ events become instants.  The bridge appends via
+// SpanTracer::record(), so it works whether or not live tracing is
+// enabled (the bounded-buffer cap still applies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "soc/trace.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace kalmmind::soc {
+
+// Returns the number of trace events appended to `tracer`.
+inline std::size_t export_trace(const TraceRecorder& recorder,
+                                telemetry::SpanTracer& tracer,
+                                double clock_hz) {
+  const double us_per_cycle = clock_hz > 0.0 ? 1e6 / clock_hz : 1.0;
+  std::map<std::string, std::uint32_t> tids;
+  auto tid_for = [&](const std::string& tile) {
+    auto [it, inserted] = tids.emplace(tile, std::uint32_t(tids.size() + 1));
+    if (inserted) {
+      tracer.thread_metadata(telemetry::SpanTracer::kSocPid, it->second,
+                             "soc:" + tile);
+    }
+    return it->second;
+  };
+  auto args_for = [](const TraceEvent& e) {
+    std::string args = "\"cycle\":" + std::to_string(e.cycle);
+    if (!e.detail.empty()) {
+      args += ",\"detail\":\"" + telemetry::json_escape(e.detail) + "\"";
+    }
+    return args;
+  };
+
+  std::map<std::string, const TraceEvent*> open_compute;  // per tile
+  std::size_t emitted = 0;
+  for (const auto& e : recorder.events()) {
+    const std::uint32_t tid = tid_for(e.tile);
+    const double ts = double(e.cycle) * us_per_cycle;
+    if (e.kind == TraceKind::kComputeStart) {
+      open_compute[e.tile] = &e;
+      continue;
+    }
+    telemetry::TraceEvent out;
+    out.cat = "soc";
+    out.pid = telemetry::SpanTracer::kSocPid;
+    out.tid = tid;
+    if (e.kind == TraceKind::kComputeEnd) {
+      const auto it = open_compute.find(e.tile);
+      const TraceEvent* start = it != open_compute.end() ? it->second : nullptr;
+      const double ts0 = start ? double(start->cycle) * us_per_cycle : ts;
+      out.name = "soc.compute";
+      out.ph = 'X';
+      out.ts_us = ts0;
+      out.dur_us = ts - ts0;
+      out.args_json = args_for(start ? *start : e);
+      if (start) open_compute.erase(it);
+    } else {
+      out.name = to_string(e.kind);
+      out.ph = 'i';
+      out.ts_us = ts;
+      out.args_json = args_for(e);
+    }
+    tracer.record(std::move(out));
+    ++emitted;
+  }
+  // A start with no matching end (simulation cut short) still shows up.
+  for (const auto& [tile, start] : open_compute) {
+    telemetry::TraceEvent out;
+    out.name = "soc.compute.start";
+    out.cat = "soc";
+    out.ph = 'i';
+    out.ts_us = double(start->cycle) * us_per_cycle;
+    out.pid = telemetry::SpanTracer::kSocPid;
+    out.tid = tid_for(tile);
+    out.args_json = args_for(*start);
+    tracer.record(std::move(out));
+    ++emitted;
+  }
+  return emitted;
+}
+
+}  // namespace kalmmind::soc

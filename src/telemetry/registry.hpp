@@ -1,0 +1,207 @@
+// Process-wide metrics: named counters, gauges and fixed-bucket histograms
+// behind one MetricsRegistry, snapshotable as Prometheus text or JSON.
+//
+// Hot-path design:
+//  * Counters are striped across cache-line-padded atomics (one stripe per
+//    thread slot, modulo kStripes), so concurrent workers never contend on
+//    a single cache line.  value() folds the stripes on read.
+//  * Call sites cache the Counter&/Gauge&/Histogram& handle (registry
+//    lookups take a mutex and are meant for construction time, not the
+//    per-step path).  Handles stay valid for the registry's lifetime.
+//  * Everything is gated on telemetry::enabled(): a relaxed atomic load
+//    when compiled in, a compile-time `false` when the build sets
+//    KALMMIND_TELEMETRY_DISABLED (the KALMMIND_TELEMETRY=OFF CMake path),
+//    which lets the compiler delete the recording code entirely.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kalmmind::telemetry {
+
+#ifdef KALMMIND_TELEMETRY_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{true};
+  return flag;
+}
+}  // namespace detail
+
+// Process-wide runtime toggle.  Metrics default to enabled (a handful of
+// relaxed atomic ops per filter step); the span tracer has its own,
+// default-off switch on top of this one.
+inline bool enabled() noexcept {
+  if constexpr (kCompiledIn) {
+    return detail::enabled_flag().load(std::memory_order_relaxed);
+  } else {
+    return false;
+  }
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+// Monotonic event count.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (!enabled()) return;
+    stripes_[stripe_of_thread()].value.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  static std::size_t stripe_of_thread() noexcept {
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return slot;
+  }
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+// Last-write-wins instantaneous value (doubles stored as IEEE-754 bits in
+// one atomic word; add() is a CAS loop so concurrent deltas never lose an
+// update).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!enabled()) return;
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  void add(double delta) noexcept {
+    if (!enabled()) return;
+    std::uint64_t old = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(
+        old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + delta),
+        std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void reset() noexcept { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::atomic<std::uint64_t> bits_{0};  // bits of 0.0
+};
+
+// Fixed-bucket histogram with Prometheus `le` semantics: bucket i counts
+// observations v <= bounds[i] (inclusive upper edge); one extra overflow
+// bucket catches everything above the last bound.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  // i in [0, bounds().size()]; the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+
+  // Quantile estimate by linear interpolation inside the owning bucket
+  // (the registry-snapshot counterpart of telemetry::percentile on raw
+  // samples).  Returns 0 when empty.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;                           // strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+// The one percentile implementation (linear interpolation between order
+// statistics) shared by serve::LatencyRecorder's sample summary and any
+// other latency-summary path.  `sorted` must be ascending; q in [0, 1].
+double percentile(const std::vector<double>& sorted, double q) noexcept;
+
+// Default histogram bounds for wall-clock durations in seconds
+// (10 us .. 1 s, roughly logarithmic around the 50 ms BCI bin deadline).
+const std::vector<double>& default_time_buckets();
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumented subsystem records into.
+  static MetricsRegistry& global();
+
+  // Find-or-create by name.  Thread-safe; intended for construction-time
+  // handle caching.  For histogram(), `bounds` is only consulted on first
+  // creation — later callers get the existing instance unchanged.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds =
+                           default_time_buckets());
+
+  // Prometheus text exposition (names sanitized: [^a-zA-Z0-9_:] -> '_',
+  // histogram buckets cumulative with the +Inf bucket, _sum and _count).
+  std::string prometheus_text() const;
+  // Structured snapshot: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{"count":..,"sum":..,"buckets":[{"le":..,"count":..}]}}}
+  std::string json() const;
+
+  // Zero every value while keeping all handles valid (tests, bench reruns).
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Replace every character Prometheus disallows in a metric name with '_'.
+std::string sanitize_metric_name(const std::string& name);
+
+// Best-effort whole-file write; returns false on any I/O failure.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace kalmmind::telemetry

@@ -1,0 +1,11 @@
+// Umbrella header for the telemetry layer: the process-wide MetricsRegistry
+// (counters / gauges / histograms with Prometheus + JSON snapshots) and the
+// SpanTracer (Chrome trace event JSON for Perfetto / chrome://tracing).
+//
+// Compile-time toggle: configure with -DKALMMIND_TELEMETRY=OFF to define
+// KALMMIND_TELEMETRY_DISABLED, which turns telemetry::enabled() into a
+// constant false and lets the compiler erase every recording site.
+#pragma once
+
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"

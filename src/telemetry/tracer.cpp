@@ -1,0 +1,200 @@
+#include "telemetry/tracer.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace kalmmind::telemetry {
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer& SpanTracer::global() {
+  static SpanTracer tracer;
+  return tracer;
+}
+
+void SpanTracer::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+std::size_t SpanTracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::size_t SpanTracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::size_t SpanTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void SpanTracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::uint32_t SpanTracer::tid_locked(std::thread::id id) {
+  auto [it, inserted] = tids_.emplace(id, std::uint32_t(tids_.size() + 1));
+  if (inserted) {
+    TraceEvent meta;
+    meta.name = "thread_name";
+    meta.ph = 'M';
+    meta.pid = kProcessPid;
+    meta.tid = it->second;
+    meta.args_json = "\"name\":\"thread-" + std::to_string(it->second) + "\"";
+    push_locked(std::move(meta));
+  }
+  return it->second;
+}
+
+void SpanTracer::push_locked(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void SpanTracer::complete(std::string name, std::string cat, double ts_us,
+                          double dur_us, std::string args_json) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = kProcessPid;
+  e.tid = tid_locked(std::this_thread::get_id());
+  e.args_json = std::move(args_json);
+  push_locked(std::move(e));
+}
+
+void SpanTracer::instant(std::string name, std::string cat,
+                         std::string args_json) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts_us = now_us();
+  e.pid = kProcessPid;
+  e.tid = tid_locked(std::this_thread::get_id());
+  e.args_json = std::move(args_json);
+  push_locked(std::move(e));
+}
+
+void SpanTracer::counter(std::string name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = "counter";
+  e.ph = 'C';
+  e.ts_us = now_us();
+  e.pid = kProcessPid;
+  e.tid = 0;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"value\":%.17g", value);
+  e.args_json = buf;
+  push_locked(std::move(e));
+}
+
+void SpanTracer::set_thread_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t tid = tid_locked(std::this_thread::get_id());
+  TraceEvent meta;
+  meta.name = "thread_name";
+  meta.ph = 'M';
+  meta.pid = kProcessPid;
+  meta.tid = tid;
+  meta.args_json = "\"name\":\"" + json_escape(name) + "\"";
+  push_locked(std::move(meta));
+}
+
+void SpanTracer::thread_metadata(int pid, std::uint32_t tid,
+                                 const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent meta;
+  meta.name = "thread_name";
+  meta.ph = 'M';
+  meta.pid = pid;
+  meta.tid = tid;
+  meta.args_json = "\"name\":\"" + json_escape(name) + "\"";
+  push_locked(std::move(meta));
+}
+
+void SpanTracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  push_locked(std::move(event));
+}
+
+std::vector<TraceEvent> SpanTracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string SpanTracer::to_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name) + "\"";
+    if (!e.cat.empty()) out += ",\"cat\":\"" + json_escape(e.cat) + "\"";
+    out += ",\"ph\":\"";
+    out += e.ph;
+    out += "\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", e.ts_us);
+    out += buf;
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      out += buf;
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    out += ",\"pid\":" + std::to_string(e.pid) +
+           ",\"tid\":" + std::to_string(e.tid);
+    if (!e.args_json.empty()) out += ",\"args\":{" + e.args_json + "}";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool SpanTracer::write_json(const std::string& path) const {
+  return write_text_file(path, to_json());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace kalmmind::telemetry

@@ -1,0 +1,160 @@
+// Span tracing with Chrome trace event JSON export (loadable in Perfetto
+// or chrome://tracing).
+//
+// Model:
+//  * Scoped RAII Span objects record 'X' (complete) events on the calling
+//    thread's track; threads get small stable tids plus a thread_name
+//    metadata event the first time they record.
+//  * counter() records 'C' events — numeric time series rendered as a
+//    counter track (queue depths, backlog).
+//  * record() appends a raw TraceEvent without the enabled() gate; the SoC
+//    bridge (soc/trace_bridge.hpp) uses it to merge cycle-stamped events
+//    onto the same timeline under a synthetic-clock pid.
+//
+// The buffer is bounded (set_capacity): once full, new events are counted
+// in dropped() and discarded, so a long-running server cannot grow without
+// bound.  Timestamps are microseconds on the tracer's own steady-clock
+// epoch, captured at construction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace kalmmind::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';        // X complete, i instant, C counter, M metadata
+  double ts_us = 0.0;   // microseconds since the tracer epoch
+  double dur_us = 0.0;  // 'X' only
+  int pid = 1;
+  std::uint32_t tid = 0;
+  std::string args_json;  // raw inner members of "args", e.g. "\"value\":3"
+};
+
+class SpanTracer {
+ public:
+  static constexpr int kProcessPid = 1;  // wall-clock spans and counters
+  static constexpr int kSocPid = 100;    // bridged SoC cycle events
+
+  SpanTracer();
+
+  // The tracer the Span helper and all instrumented subsystems use.
+  static SpanTracer& global();
+
+  // Off by default: tracing allocates per event, so it is opt-in per run.
+  // Also gated on the process-wide telemetry::enabled() master switch.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return telemetry::enabled() && enabled_.load(std::memory_order_relaxed);
+  }
+
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+  std::size_t size() const;
+  std::size_t dropped() const;
+  void clear();
+
+  double now_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+  double to_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  // Convenience emitters; no-ops while !enabled().
+  void complete(std::string name, std::string cat, double ts_us, double dur_us,
+                std::string args_json = {});
+  void instant(std::string name, std::string cat, std::string args_json = {});
+  void counter(std::string name, double value);
+
+  // Name this thread's track in the exported trace (otherwise "thread-N").
+  void set_thread_name(const std::string& name);
+
+  // Metadata event naming an arbitrary (pid, tid) track — used by bridges
+  // that synthesize their own tracks.
+  void thread_metadata(int pid, std::uint32_t tid, const std::string& name);
+
+  // Raw append, bypassing the enabled() gate (bounded-buffer cap and the
+  // dropped counter still apply).
+  void record(TraceEvent event);
+
+  std::vector<TraceEvent> snapshot() const;
+
+  // {"displayTimeUnit":"ms","traceEvents":[...]} — the Chrome trace event
+  // format's object form.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  // Must be called with mu_ held; registers the thread on first use and
+  // queues its thread_name metadata event.
+  std::uint32_t tid_locked(std::thread::id id);
+  void push_locked(TraceEvent event);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::size_t capacity_ = 1 << 20;
+  std::size_t dropped_ = 0;
+};
+
+// JSON string escaping for event names / args values.
+std::string json_escape(const std::string& s);
+
+// RAII scope: records one 'X' event covering the enclosing block on the
+// global tracer.  Construction is a relaxed load + branch when tracing is
+// off; nothing is recorded unless the tracer was enabled at entry.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "app") {
+    SpanTracer& tracer = SpanTracer::global();
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = name;
+      cat_ = cat;
+      t0_us_ = tracer.now_us();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach raw JSON members to the event's "args" object.
+  void set_args_json(std::string args) { args_ = std::move(args); }
+
+  void end() {
+    if (!tracer_) return;
+    tracer_->complete(name_, cat_, t0_us_, tracer_->now_us() - t0_us_,
+                      std::move(args_));
+    tracer_ = nullptr;
+  }
+
+  ~Span() { end(); }
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  const char* name_ = "";
+  const char* cat_ = "";
+  double t0_us_ = 0.0;
+  std::string args_;
+};
+
+}  // namespace kalmmind::telemetry

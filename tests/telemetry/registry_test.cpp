@@ -1,0 +1,190 @@
+// MetricsRegistry: counters under concurrent writers, gauge semantics,
+// histogram bucket edges (Prometheus le-inclusive), the shared percentile
+// implementation, and the text/JSON snapshot formats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace telemetry = kalmmind::telemetry;
+
+namespace {
+
+TEST(TelemetryRegistryTest, CounterAccumulatesAcrossConcurrentWriters) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& counter = registry.counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), std::uint64_t(kThreads) * kPerThread);
+}
+
+TEST(TelemetryRegistryTest, CounterFindOrCreateReturnsSameInstance) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& a = registry.counter("test.same");
+  telemetry::Counter& b = registry.counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(TelemetryRegistryTest, GaugeSetAddAndConcurrentAddsNeverLoseUpdates) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  telemetry::Gauge& gauge = registry.gauge("test.gauge");
+  gauge.set(5.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.add(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+
+  gauge.set(0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 10000; ++i) gauge.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), 40000.0);
+}
+
+TEST(TelemetryRegistryTest, HistogramBucketEdgesAreLeInclusive) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::Histogram h({1.0, 2.0, 4.0});
+  // Exactly-on-bound observations land in the bound's own bucket
+  // (Prometheus `le` semantics), not the next one.
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(100.0);  // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 2.0
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 3.0, 4.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 100.0
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 2.0 + 4.0 + 0.5 + 3.0 + 100.0);
+}
+
+TEST(TelemetryRegistryTest, HistogramRejectsNonIncreasingBounds) {
+  EXPECT_THROW(telemetry::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(telemetry::Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(telemetry::Histogram({}), std::invalid_argument);
+}
+
+TEST(TelemetryRegistryTest, HistogramQuantileInterpolatesWithinBucket) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket (0, 10]
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket (10, 20]
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 0.0);
+  EXPECT_LE(median, 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  // Everything fits under the second bound.
+  EXPECT_LE(h.quantile(1.0), 20.0);
+  telemetry::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(TelemetryRegistryTest, PercentileMatchesOrderStatisticInterpolation) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(telemetry::percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(telemetry::percentile(sorted, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(telemetry::percentile(sorted, 0.5), 2.5);
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(telemetry::percentile(one, 0.99), 7.0);
+}
+
+TEST(TelemetryRegistryTest, SanitizeMetricNameReplacesDisallowedChars) {
+  EXPECT_EQ(telemetry::sanitize_metric_name("kalmmind.kf.steps_total"),
+            "kalmmind_kf_steps_total");
+  EXPECT_EQ(telemetry::sanitize_metric_name("a-b c:d_e9"), "a_b_c:d_e9");
+}
+
+TEST(TelemetryRegistryTest, PrometheusTextHasTypesBucketsSumAndCount) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  registry.counter("demo.count").add(4);
+  registry.gauge("demo.gauge").set(1.5);
+  telemetry::Histogram& h = registry.histogram("demo.hist", {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(2.0);
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE demo_count counter"), std::string::npos);
+  EXPECT_NE(text.find("demo_count 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE demo_hist histogram"), std::string::npos);
+  // Buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"0.1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("demo_hist_sum"), std::string::npos);
+}
+
+TEST(TelemetryRegistryTest, JsonSnapshotContainsAllThreeKinds) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  registry.counter("c").add();
+  registry.gauge("g").set(2.0);
+  registry.histogram("h", {1.0}).observe(0.5);
+  const std::string json = registry.json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":null"), std::string::npos);
+}
+
+TEST(TelemetryRegistryTest, ResetValuesZeroesWhileHandlesStayValid) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& c = registry.counter("r.c");
+  telemetry::Histogram& h = registry.histogram("r.h", {1.0});
+  c.add(10);
+  h.observe(0.5);
+  registry.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  c.add();  // handle still usable
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(TelemetryRegistryTest, RuntimeKillSwitchStopsRecording) {
+  telemetry::MetricsRegistry registry;
+  telemetry::Counter& c = registry.counter("kill.c");
+  telemetry::Gauge& g = registry.gauge("kill.g");
+  telemetry::set_enabled(false);
+  c.add(5);
+  g.set(9.0);
+  telemetry::set_enabled(true);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  }
+  c.add(2);
+  EXPECT_EQ(c.value(), telemetry::kCompiledIn ? 2u : 0u);
+}
+
+TEST(TelemetryRegistryTest, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&telemetry::MetricsRegistry::global(),
+            &telemetry::MetricsRegistry::global());
+}
+
+}  // namespace

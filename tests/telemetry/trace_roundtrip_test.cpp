@@ -1,0 +1,314 @@
+// Trace-export round trip: emit spans/instants/counters plus bridged SoC
+// cycle events, write Chrome trace event JSON, then re-parse the file with
+// a minimal JSON reader and validate the fields Perfetto/chrome://tracing
+// require (ph, ts, pid, tid, name).  Also covers the TraceRecorder event
+// cap (satellite of the telemetry PR).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "soc/trace.hpp"
+#include "soc/trace_bridge.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace telemetry = kalmmind::telemetry;
+namespace soc = kalmmind::soc;
+
+namespace {
+
+// ---- minimal JSON value + recursive-descent parser (test-only) ----
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) throw std::runtime_error("missing key: " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON input");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", {JsonValue::kBool, true});
+      case 'f': return keyword("false", {JsonValue::kBool, false});
+      case 'n': return keyword("null", {});
+      default: return number();
+    }
+  }
+
+  JsonValue keyword(const std::string& word, JsonValue v) {
+    if (s_.compare(pos_, word.size(), word) != 0)
+      throw std::runtime_error("bad JSON keyword at " + std::to_string(pos_));
+    pos_ += word.size();
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad JSON number");
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    v.number = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  JsonValue string_value() {
+    expect('"');
+    JsonValue v;
+    v.kind = JsonValue::kString;
+    while (peek() != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        char esc = s_.at(pos_++);
+        switch (esc) {
+          case '"': v.string += '"'; break;
+          case '\\': v.string += '\\'; break;
+          case '/': v.string += '/'; break;
+          case 'n': v.string += '\n'; break;
+          case 'r': v.string += '\r'; break;
+          case 't': v.string += '\t'; break;
+          case 'b': v.string += '\b'; break;
+          case 'f': v.string += '\f'; break;
+          case 'u': {
+            const int code = std::stoi(s_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            v.string += char(code);  // test traces stay ASCII
+            break;
+          }
+          default: throw std::runtime_error("bad JSON escape");
+        }
+      } else {
+        v.string += c;
+      }
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.object[key.string] = value();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// Populate a tracer with one of everything plus a bridged SoC recorder.
+void fill_tracer(telemetry::SpanTracer& tracer) {
+  tracer.set_enabled(true);
+  tracer.set_thread_name("roundtrip-main");
+  tracer.complete("kf.predict", "kf", 100.0, 25.0, "\"session\":7");
+  tracer.instant("note \"quoted\"", "app");
+  tracer.counter("serve.queued_bins", 3.0);
+
+  soc::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record(100, soc::TraceKind::kMmioWrite, "kalmmind0", "CMD=1");
+  recorder.record(120, soc::TraceKind::kDmaIn, "kalmmind0");
+  recorder.record(150, soc::TraceKind::kComputeStart, "kalmmind0");
+  recorder.record(950, soc::TraceKind::kComputeEnd, "kalmmind0");
+  recorder.record(960, soc::TraceKind::kIrqRaise, "kalmmind0");
+  const std::size_t merged =
+      soc::export_trace(recorder, tracer, /*clock_hz=*/1e6);  // 1 us/cycle
+  ASSERT_EQ(merged, 4u);  // start+end fold into one 'X'
+}
+
+TEST(TelemetryRoundTripTest, ExportedJsonParsesWithRequiredChromeFields) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::SpanTracer tracer;
+  fill_tracer(tracer);
+
+  const std::string path = "trace_roundtrip_test.json";
+  ASSERT_TRUE(tracer.write_json(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const JsonValue root = JsonParser(buffer.str()).parse();
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  EXPECT_EQ(root.at("displayTimeUnit").string, "ms");
+  const JsonValue& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, JsonValue::kArray);
+  ASSERT_FALSE(events.array.empty());
+
+  bool saw_complete = false, saw_instant = false, saw_counter = false;
+  bool saw_soc_compute = false, saw_soc_instant = false;
+  for (const JsonValue& e : events.array) {
+    // Fields every Chrome trace event needs.
+    ASSERT_EQ(e.at("name").kind, JsonValue::kString);
+    ASSERT_EQ(e.at("ph").kind, JsonValue::kString);
+    ASSERT_EQ(e.at("ph").string.size(), 1u);
+    ASSERT_EQ(e.at("ts").kind, JsonValue::kNumber);
+    ASSERT_EQ(e.at("pid").kind, JsonValue::kNumber);
+    ASSERT_EQ(e.at("tid").kind, JsonValue::kNumber);
+    const char ph = e.at("ph").string[0];
+    const std::string& name = e.at("name").string;
+    if (ph == 'X') {
+      ASSERT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+    }
+    if (ph == 'i') EXPECT_EQ(e.at("s").string, "t");
+    if (name == "kf.predict") {
+      saw_complete = true;
+      EXPECT_EQ(ph, 'X');
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 100.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 25.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("session").number, 7.0);
+    }
+    if (name == "note \"quoted\"") saw_instant = true;  // escape round-trip
+    if (ph == 'C' && name == "serve.queued_bins") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 3.0);
+    }
+    if (name == "soc.compute") {
+      saw_soc_compute = true;
+      EXPECT_EQ(ph, 'X');
+      EXPECT_EQ(int(e.at("pid").number), telemetry::SpanTracer::kSocPid);
+      // 800 cycles at 1 MHz = 800 us, starting at cycle 150.
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 150.0);
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 800.0);
+      EXPECT_DOUBLE_EQ(e.at("args").at("cycle").number, 150.0);
+    }
+    if (name == "dma.in") {
+      saw_soc_instant = true;
+      EXPECT_EQ(ph, 'i');
+      EXPECT_EQ(int(e.at("pid").number), telemetry::SpanTracer::kSocPid);
+    }
+  }
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_soc_compute);
+  EXPECT_TRUE(saw_soc_instant);
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryRoundTripTest, SocTracksGetThreadNameMetadata) {
+  telemetry::SpanTracer tracer;
+  soc::TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record(1, soc::TraceKind::kMmioWrite, "tileA");
+  recorder.record(2, soc::TraceKind::kMmioWrite, "tileB");
+  soc::export_trace(recorder, tracer, 1e6);
+  std::size_t soc_tracks = 0;
+  for (const auto& e : tracer.snapshot()) {
+    if (e.ph == 'M' && e.pid == telemetry::SpanTracer::kSocPid) ++soc_tracks;
+  }
+  EXPECT_EQ(soc_tracks, 2u);  // one named track per tile
+}
+
+TEST(TelemetryRoundTripTest, TraceRecorderCapDropsAndCounts) {
+  soc::TraceRecorder recorder;
+  EXPECT_EQ(recorder.capacity(), soc::TraceRecorder::kDefaultCapacity);
+  recorder.set_enabled(true);
+  recorder.set_capacity(2);
+  telemetry::Counter& dropped_metric =
+      telemetry::MetricsRegistry::global().counter(
+          "kalmmind.soc.trace_events_dropped_total");
+  const std::uint64_t before = dropped_metric.value();
+  for (int i = 0; i < 5; ++i) {
+    recorder.record(std::uint64_t(i), soc::TraceKind::kMmioWrite, "t");
+  }
+  EXPECT_EQ(recorder.events().size(), 2u);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(dropped_metric.value() - before, 3u);
+  }
+  recorder.clear();
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace

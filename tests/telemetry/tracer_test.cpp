@@ -1,0 +1,136 @@
+// SpanTracer: RAII spans, counter tracks, per-thread track ids, the
+// bounded buffer's dropped-event accounting, and JSON escaping.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "telemetry/tracer.hpp"
+
+namespace telemetry = kalmmind::telemetry;
+
+namespace {
+
+TEST(TelemetryTracerTest, CompleteAndInstantRecordWhenEnabled) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("work", "test", 10.0, 5.0);
+  tracer.instant("tick", "test");
+  const auto events = tracer.snapshot();
+  // thread_name metadata + the two explicit events.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ph, 'M');
+  EXPECT_EQ(events[0].name, "thread_name");
+  EXPECT_EQ(events[1].name, "work");
+  EXPECT_EQ(events[1].ph, 'X');
+  EXPECT_DOUBLE_EQ(events[1].ts_us, 10.0);
+  EXPECT_DOUBLE_EQ(events[1].dur_us, 5.0);
+  EXPECT_EQ(events[2].ph, 'i');
+}
+
+TEST(TelemetryTracerTest, DisabledTracerRecordsNothingThroughEmitters) {
+  telemetry::SpanTracer tracer;
+  tracer.complete("work", "test", 0.0, 1.0);
+  tracer.instant("tick", "test");
+  tracer.counter("depth", 3.0);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TelemetryTracerTest, RawRecordBypassesEnabledGate) {
+  telemetry::SpanTracer tracer;  // disabled
+  telemetry::TraceEvent e;
+  e.name = "bridged";
+  e.ph = 'i';
+  tracer.record(std::move(e));
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(TelemetryTracerTest, CapacityBoundsBufferAndCountsDrops) {
+  telemetry::SpanTracer tracer;
+  tracer.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    telemetry::TraceEvent e;
+    e.name = "e";
+    tracer.record(std::move(e));
+  }
+  EXPECT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TelemetryTracerTest, ThreadsGetDistinctTidsAndNameMetadata) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.complete("main-span", "test", 0.0, 1.0);
+  std::thread worker(
+      [&tracer] { tracer.complete("worker-span", "test", 2.0, 1.0); });
+  worker.join();
+  const auto events = tracer.snapshot();
+  std::uint32_t main_tid = 0, worker_tid = 0;
+  std::size_t metadata = 0;
+  for (const auto& e : events) {
+    if (e.name == "main-span") main_tid = e.tid;
+    if (e.name == "worker-span") worker_tid = e.tid;
+    if (e.ph == 'M') ++metadata;
+  }
+  EXPECT_NE(main_tid, 0u);
+  EXPECT_NE(worker_tid, 0u);
+  EXPECT_NE(main_tid, worker_tid);
+  EXPECT_EQ(metadata, 2u);  // one thread_name per registered thread
+}
+
+TEST(TelemetryTracerTest, CounterEventsCarryValueArgs) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::SpanTracer tracer;
+  tracer.set_enabled(true);
+  tracer.counter("queue_depth", 7.0);
+  const auto events = tracer.snapshot();
+  ASSERT_FALSE(events.empty());
+  const auto& e = events.back();
+  EXPECT_EQ(e.ph, 'C');
+  EXPECT_NE(e.args_json.find("\"value\":7"), std::string::npos);
+}
+
+TEST(TelemetryTracerTest, SpanRaiiRecordsOnGlobalTracer) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF";
+  telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  {
+    telemetry::Span span("scoped-work", "test");
+    span.set_args_json("\"k\":1");
+  }
+  tracer.set_enabled(false);
+  bool found = false;
+  for (const auto& e : tracer.snapshot()) {
+    if (e.name == "scoped-work") {
+      found = true;
+      EXPECT_EQ(e.ph, 'X');
+      EXPECT_GE(e.dur_us, 0.0);
+      EXPECT_EQ(e.args_json, "\"k\":1");
+    }
+  }
+  EXPECT_TRUE(found);
+  tracer.clear();
+}
+
+TEST(TelemetryTracerTest, SpanIsANoOpWhileTracingDisabled) {
+  telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
+  tracer.clear();
+  tracer.set_enabled(false);
+  { telemetry::Span span("invisible", "test"); }
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TelemetryTracerTest, JsonEscapeHandlesQuotesBackslashesAndControl) {
+  EXPECT_EQ(telemetry::json_escape("plain"), "plain");
+  EXPECT_EQ(telemetry::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(telemetry::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace

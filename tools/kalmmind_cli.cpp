@@ -19,6 +19,17 @@
 //
 // Streams N concurrent sessions of the dataset through the multi-session
 // DecodeServer and prints the throughput/latency/deadline stats snapshot.
+//
+//   kalmmind telemetry-demo [--dataset NAME] [--iterations N]
+//
+// Exercises every instrumented layer (filter spans, serve spans, bridged
+// SoC cycle events) and writes a Chrome trace + metrics snapshot.
+//
+// Global flags (any subcommand, stripped before dispatch):
+//   --trace-out FILE    enable span tracing; write Chrome trace event JSON
+//                       (open in Perfetto or chrome://tracing)
+//   --metrics-out FILE  write the metrics registry on exit (.json -> JSON,
+//                       anything else -> Prometheus text)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,10 +41,103 @@
 #include "io/csv.hpp"
 #include "neural/decode_quality.hpp"
 #include "serve/serve.hpp"
+#include "soc/soc_all.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace kalmmind;
 
 namespace {
+
+// ---- global telemetry flags (any subcommand) ----
+
+struct TelemetryOptions {
+  std::string trace_out;    // non-empty => span tracing enabled
+  std::string metrics_out;  // non-empty => dump registry on exit
+};
+
+// Removes --trace-out/--metrics-out (and their values) from argv so the
+// per-subcommand parsers never see them.  Exits on a missing value.
+TelemetryOptions strip_telemetry_flags(int& argc, char** argv) {
+  TelemetryOptions opt;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const bool trace = !std::strcmp(argv[i], "--trace-out");
+    const bool metrics = !std::strcmp(argv[i], "--metrics-out");
+    if (!trace && !metrics) {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    (trace ? opt.trace_out : opt.metrics_out) = argv[++i];
+  }
+  argc = out;
+  if (!opt.trace_out.empty()) {
+    telemetry::SpanTracer::global().set_enabled(true);
+    telemetry::SpanTracer::global().set_thread_name("main");
+  }
+  return opt;
+}
+
+// Best-effort end-of-run dump; keeps the subcommand's exit code.
+void flush_telemetry(const TelemetryOptions& opt) {
+  if (!opt.trace_out.empty()) {
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
+    if (tracer.write_json(opt.trace_out)) {
+      std::printf("telemetry  : wrote %zu trace events to %s", tracer.size(),
+                  opt.trace_out.c_str());
+      if (tracer.dropped() > 0) {
+        std::printf("  (%zu dropped at capacity)", tracer.dropped());
+      }
+      std::printf("\n");
+    } else {
+      std::fprintf(stderr, "telemetry: failed to write %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
+  if (!opt.metrics_out.empty()) {
+    auto& registry = telemetry::MetricsRegistry::global();
+    const bool json = opt.metrics_out.size() >= 5 &&
+                      opt.metrics_out.rfind(".json") ==
+                          opt.metrics_out.size() - 5;
+    const std::string text =
+        json ? registry.json() : registry.prometheus_text();
+    if (telemetry::write_text_file(opt.metrics_out, text)) {
+      std::printf("telemetry  : wrote metrics (%s) to %s\n",
+                  json ? "JSON" : "Prometheus text", opt.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "telemetry: failed to write %s\n",
+                   opt.metrics_out.c_str());
+    }
+  }
+}
+
+// Run one modeled SoC invocation of the dataset with the cycle trace on,
+// then merge its events onto the span timeline (soc::export_trace).
+void trace_soc_invocation(const neural::NeuralDataset& dataset) {
+  soc::SocParams params;
+  soc::Soc chip(params);
+  const std::size_t accel_id = chip.add_accelerator(
+      "kalmmind0", hls::DatapathSpec{}, soc::TileCoord{1, 1});
+  chip.trace().set_enabled(true);
+
+  soc::EspDriver driver(chip, accel_id);
+  soc::MemoryMap map =
+      driver.write_invocation(dataset.model, dataset.test_measurements);
+  core::AcceleratorConfig cfg = core::AcceleratorConfig::for_run(
+      std::uint32_t(dataset.model.x_dim()),
+      std::uint32_t(dataset.model.z_dim()),
+      dataset.test_measurements.size());
+  driver.configure(cfg);
+  driver.start_and_wait(map);
+
+  const std::size_t merged = soc::export_trace(
+      chip.trace(), telemetry::SpanTracer::global(), params.hls.clock_hz);
+  std::printf("telemetry  : bridged %zu SoC cycle events onto the trace\n",
+              merged);
+}
 
 struct CliOptions {
   std::string dataset = "motor";
@@ -53,8 +157,11 @@ struct CliOptions {
                "usage: %s [--dataset NAME] [--datapath NAME] [--dtype T]\n"
                "          [--calc-freq N] [--approx N] [--policy 0|1]\n"
                "          [--iterations N] [--seed N] [--csv PREFIX]\n"
-               "          [--breakdown]\n",
-               argv0);
+               "          [--breakdown]\n"
+               "       %s serve-bench ...   (see serve-bench --help)\n"
+               "       %s telemetry-demo [--dataset NAME] [--iterations N]\n"
+               "global: [--trace-out FILE] [--metrics-out FILE]\n",
+               argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -277,15 +384,122 @@ int run_serve_bench(int argc, char** argv) {
   }
   std::printf("determinism: served trajectory %s sequential filter\n",
               identical ? "bit-identical to" : "DIVERGES from");
+
+  // With tracing on, also model one SoC invocation of the same dataset so
+  // the exported trace shows wall-clock serve spans next to SoC cycles.
+  if (telemetry::SpanTracer::global().enabled()) {
+    trace_soc_invocation(dataset);
+  }
   return identical ? 0 : 1;
+}
+
+// ---- telemetry-demo: exercise every instrumented layer ----
+
+int run_telemetry_demo(int argc, char** argv) {
+  std::string dataset_name = "motor";
+  std::size_t iterations = 50;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      dataset_name = need_value("--dataset");
+    } else if (!std::strcmp(argv[i], "--iterations")) {
+      iterations = std::size_t(std::atoll(need_value("--iterations")));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  neural::DatasetSpec spec;
+  if (dataset_name == "motor") {
+    spec = neural::motor_spec();
+  } else if (dataset_name == "somatosensory") {
+    spec = neural::somatosensory_spec();
+  } else if (dataset_name == "hippocampus") {
+    spec = neural::hippocampus_spec();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", dataset_name.c_str());
+    return 2;
+  }
+  spec.test_steps = iterations == 0 ? 1 : iterations;
+  const neural::NeuralDataset dataset = neural::build_dataset(spec);
+
+  // Tracing is on regardless of --trace-out here — the demo's whole point
+  // is producing a trace (default file names if no global flags given).
+  telemetry::SpanTracer::global().set_enabled(true);
+  telemetry::SpanTracer::global().set_thread_name("main");
+
+  // 1. Library-level filter: phase spans + strategy/Newton counters.
+  {
+    telemetry::Span span("demo.filter_run", "demo");
+    kalman::KalmanFilter<double> filter(
+        dataset.model, kalman::make_inverse_strategy<double>("interleaved"));
+    filter.run(dataset.test_measurements);
+  }
+
+  // 2. Decode server: session spans, queue-depth counter track, latency
+  // histogram.
+  {
+    telemetry::Span span("demo.serve_run", "demo");
+    serve::SessionConfig cfg;
+    cfg.model = dataset.model;
+    cfg.strategy = "gauss";
+    cfg.queue_capacity = dataset.test_measurements.size();
+    serve::DecodeServer server({/*workers=*/2, /*max_batch=*/8});
+    const serve::SessionId a = server.open_session(cfg);
+    const serve::SessionId b = server.open_session(cfg);
+    for (const auto& z : dataset.test_measurements) {
+      server.submit(a, z);
+      server.submit(b, z);
+    }
+    server.drain();
+    std::printf("%s", server.stats().to_string().c_str());
+  }
+
+  // 3. SoC invocation bridged onto the same timeline.
+  trace_soc_invocation(dataset);
+
+  std::printf("telemetry-demo: %zu bins of %s through filter + server + SoC\n",
+              dataset.test_measurements.size(), dataset.spec.name.c_str());
+  return 0;
 }
 
 }  // namespace
 
+namespace {
+
+int run_single(int argc, char** argv);
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  const TelemetryOptions telemetry_opt = strip_telemetry_flags(argc, argv);
+  int rc;
   if (argc > 1 && !std::strcmp(argv[1], "serve-bench")) {
-    return run_serve_bench(argc, argv);
+    rc = run_serve_bench(argc, argv);
+  } else if (argc > 1 && !std::strcmp(argv[1], "telemetry-demo")) {
+    // Demo defaults: always write a trace/metrics pair if no global flags.
+    TelemetryOptions demo = telemetry_opt;
+    if (demo.trace_out.empty()) demo.trace_out = "kalmmind_trace.json";
+    if (demo.metrics_out.empty()) demo.metrics_out = "kalmmind_metrics.prom";
+    rc = run_telemetry_demo(argc, argv);
+    flush_telemetry(demo);
+    return rc;
+  } else {
+    rc = run_single(argc, argv);
   }
+  flush_telemetry(telemetry_opt);
+  return rc;
+}
+
+namespace {
+
+int run_single(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
 
   auto dataset = neural::build_dataset(spec_for(opt));
@@ -348,3 +562,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
