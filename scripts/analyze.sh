@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Static-analysis + sanitizer matrix (see docs/static_analysis.md):
+#
+#   1. kalmmind-lint over the repo tree (repo-specific rules R1-R4)
+#   2. clang-tidy over src/ + tools/ (skipped with a notice when clang-tidy
+#      is not installed; CI always runs it)
+#   3. the full test suite under ASan + UBSan
+#
+# Usage: scripts/analyze.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== analyze: kalmmind-lint =="
+cmake -B build -S . >/dev/null
+cmake --build build --target kalmmind_lint -j"$(nproc)"
+./build/tools/lint/kalmmind-lint --root .
+
+echo
+echo "== analyze: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the configure above.
+  mapfile -t sources < <(git ls-files '*.cpp' | grep -E '^(src|tools)/')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build -quiet "${sources[@]}"
+  else
+    clang-tidy -p build --quiet "${sources[@]}"
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI runs it on every PR)"
+fi
+
+echo
+echo "== analyze: full test suite under ASan+UBSan =="
+cmake -B build-san -S . \
+  -DKALMMIND_ASAN=ON \
+  -DKALMMIND_UBSAN=ON \
+  -DKALMMIND_BUILD_BENCH=OFF \
+  -DKALMMIND_BUILD_EXAMPLES=OFF
+cmake --build build-san -j"$(nproc)"
+ctest --test-dir build-san --output-on-failure -j"$(nproc)"
+
+echo
+echo "analyze: OK"

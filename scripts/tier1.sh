@@ -12,6 +12,10 @@ cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 echo
+echo "== tier1: kalmmind-lint over the repo tree =="
+./build/tools/lint/kalmmind-lint --root .
+
+echo
 echo "== tier1: serve + telemetry tests under ThreadSanitizer =="
 cmake -B build-tsan -S . \
   -DKALMMIND_TSAN=ON \

@@ -1,0 +1,24 @@
+// Saturating float->integer conversions for the cycle/latency models.
+//
+// Converting a double that is NaN, infinite, negative, or >= 2^64 to
+// uint64_t is undefined behavior (UBSan: float-cast-overflow), and the
+// cycle models divide by configuration-provided rates (words_per_cycle,
+// MAC counts, DMA bytes/cycle) that a DSE sweep or a bad config file can
+// drive to zero.  Every double->cycle-count conversion goes through
+// to_cycles() so a degenerate rate yields a saturated count instead of UB.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace kalmmind {
+
+inline std::uint64_t to_cycles(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // NaN, zero and negative all land here
+  // 2^64 as a double; everything >= it (including +inf) saturates.
+  constexpr double kUint64Range = 18446744073709551616.0;
+  if (v >= kUint64Range) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t(v);
+}
+
+}  // namespace kalmmind

@@ -12,20 +12,25 @@
 
 namespace kalmmind {
 
-class Status {
+// The class itself is [[nodiscard]]: any call returning a Status — not just
+// the annotated factories below — warns if the result is dropped, so a
+// validation outcome cannot silently vanish before data reaches the filter.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   constexpr Status() noexcept : message_(nullptr) {}
 
-  static constexpr Status Ok() noexcept { return Status(); }
+  [[nodiscard]] static constexpr Status Ok() noexcept { return Status(); }
 
   // `message` must point to a string literal (or any storage outliving the
   // Status); Status does not copy it.
-  static constexpr Status Invalid(const char* message) noexcept {
+  [[nodiscard]] static constexpr Status Invalid(const char* message) noexcept {
     return Status(message);
   }
 
-  constexpr bool ok() const noexcept { return message_ == nullptr; }
+  [[nodiscard]] constexpr bool ok() const noexcept {
+    return message_ == nullptr;
+  }
   constexpr explicit operator bool() const noexcept { return ok(); }
 
   // Empty string when ok().

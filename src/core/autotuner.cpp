@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::core {
 

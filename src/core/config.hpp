@@ -45,7 +45,7 @@ struct AcceleratorConfig {
 
   // Non-throwing register-file validation (the status-error path in
   // hardware rejects a bad register write without trapping).
-  Status check() const noexcept {
+  [[nodiscard]] Status check() const noexcept {
     if (x_dim == 0 || z_dim == 0)
       return Status::Invalid("AcceleratorConfig: zero dimension");
     if (chunks == 0 || batches == 0)

@@ -188,6 +188,17 @@ class Fixed {
 using Fx32 = Fixed<16, std::int32_t>;  // Q15.16
 using Fx64 = Fixed<32, std::int64_t>;  // Q31.32
 
+// The blessed float->fixed conversion spelling (kalmmind-lint rule R3):
+// an explicit, greppable marker at every spot a floating-point constant
+// enters a fixed-point expression, so quantization points are auditable.
+// `fixed_cast<Fx32>(0.5)` rounds to nearest and saturates like Fixed(double).
+// For non-fixed scalar types it degrades to a plain static_cast, so generic
+// kernel code can use it unconditionally.
+template <typename To>
+constexpr To fixed_cast(double v) {
+  return To(v);
+}
+
 }  // namespace kalmmind::fixedpoint
 
 // ScalarTraits specialization so the generic linalg/kalman code runs

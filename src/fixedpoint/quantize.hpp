@@ -44,7 +44,13 @@ QuantizationStats analyze_quantization(const linalg::Matrix<double>& m) {
 
 // Minimum integer bits needed to hold |values| <= max_abs (signed format).
 inline int required_integer_bits(double max_abs) {
-  if (max_abs <= 0.0) return 1;
+  if (max_abs <= 0.0) return 1;  // kalmmind-lint: allow(R3) double-domain guard
+  if (std::isinf(max_abs)) {
+    // int(log2(inf)) is UB (float-cast-overflow); 1024 exceeds the widest
+    // double exponent, so every total_bits downstream reports "no format"
+    // without overflowing the available_fraction_bits subtraction.
+    return 1024;
+  }
   return int(std::floor(std::log2(max_abs))) + 1;
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "common/numeric.hpp"
 #include "hls/datapath.hpp"
 #include "hls/params.hpp"
 #include "hls/workload.hpp"
@@ -45,13 +46,13 @@ class LatencyModel {
   std::uint64_t calc_cycles(CalcUnit unit, std::uint64_t z) const {
     switch (unit) {
       case CalcUnit::kGauss:
-        return std::uint64_t(double(gauss_ops(z)) * params_.gauss_ii) +
+        return to_cycles(double(gauss_ops(z)) * params_.gauss_ii) +
                params_.loop_overhead_cycles;
       case CalcUnit::kCholesky:
-        return std::uint64_t(double(cholesky_ops(z)) * params_.cholesky_ii) +
+        return to_cycles(double(cholesky_ops(z)) * params_.cholesky_ii) +
                params_.loop_overhead_cycles;
       case CalcUnit::kQr:
-        return std::uint64_t(double(qr_ops(z)) * params_.qr_ii) +
+        return to_cycles(double(qr_ops(z)) * params_.qr_ii) +
                params_.loop_overhead_cycles;
       case CalcUnit::kConstant:
         return params_.loop_overhead_cycles;  // PLM read only
@@ -66,14 +67,14 @@ class LatencyModel {
     const double per_cycle =
         double(params_.newton_mac_units) * params_.newton_mac_efficiency;
     const double macs = double(newton_ops_per_iteration(z)) * iterations;
-    return std::uint64_t(macs / per_cycle) +
+    return to_cycles(macs / per_cycle) +
            iterations * params_.loop_overhead_cycles;
   }
 
   std::uint64_t taylor_cycles(std::uint64_t z, std::uint64_t order) const {
     const double per_cycle =
         double(params_.newton_mac_units) * params_.newton_mac_efficiency;
-    return std::uint64_t(double(taylor_ops(z, order)) / per_cycle) +
+    return to_cycles(double(taylor_ops(z, order)) / per_cycle) +
            params_.loop_overhead_cycles;
   }
 
@@ -81,7 +82,7 @@ class LatencyModel {
   std::uint64_t dma_cycles(std::uint64_t words, int bytes_per_word) const {
     const double bytes = double(words) * bytes_per_word;
     return params_.dma_setup_cycles +
-           std::uint64_t(bytes / params_.dma_bytes_per_cycle);
+           to_cycles(bytes / params_.dma_bytes_per_cycle);
   }
 
  private:

@@ -28,7 +28,7 @@
 #include "kalman/calculation_strategies.hpp"
 #include "kalman/interleaved.hpp"
 #include "kalman/strategy.hpp"
-#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::kalman {
 

@@ -73,7 +73,7 @@ struct FilterOptions {
   // Non-throwing validation, same contract as KalmanModel::check().  Every
   // current field combination is legal; the method exists so config
   // consumers (the decode server's SessionConfig) can validate uniformly.
-  Status check() const noexcept { return Status::Ok(); }
+  [[nodiscard]] Status check() const noexcept { return Status::Ok(); }
 
   void validate() const {
     if (Status s = check(); !s.ok()) {

@@ -30,7 +30,7 @@ struct KalmanModel {
   // Non-throwing shape validation: OK, or a Status naming the first
   // inconsistent matrix.  The decode server uses this to reject a bad
   // session model without exceptions on the hot path.
-  Status check() const noexcept {
+  [[nodiscard]] Status check() const noexcept {
     const std::size_t x = x_dim();
     const std::size_t z = z_dim();
     if (x == 0 || z == 0) {

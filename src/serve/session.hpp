@@ -96,7 +96,7 @@ struct SessionConfig {
   bool record_trajectory = true;
 
   // Non-throwing validation (exception-free session admission).
-  Status check() const noexcept {
+  [[nodiscard]] Status check() const noexcept {
     if (Status s = model.check(); !s.ok()) return s;
     if (Status s = filter_options.check(); !s.ok()) return s;
     if (queue_capacity == 0)

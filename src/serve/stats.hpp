@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::serve {
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/numeric.hpp"
+
 namespace kalmmind::soc {
 
 struct MemoryParams {
@@ -43,10 +45,12 @@ class MainMemory {
     for (std::size_t i = 0; i < count; ++i) words_[addr + i] = src[i];
   }
 
-  // Cycles the memory controller needs for a `count`-word burst.
+  // Cycles the memory controller needs for a `count`-word burst.  A
+  // degenerate words_per_cycle (<= 0, from a bad sweep point) saturates
+  // instead of converting inf to uint64_t, which is UB.
   std::uint64_t burst_cycles(std::size_t count) const {
     return params_.access_latency_cycles +
-           std::uint64_t(double(count) / params_.words_per_cycle);
+           to_cycles(double(count) / params_.words_per_cycle);
   }
 
  private:

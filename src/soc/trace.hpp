@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "telemetry/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::soc {
 

@@ -16,7 +16,7 @@
 #include <utility>
 
 #include "soc/trace.hpp"
-#include "telemetry/tracer.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::soc {
 

@@ -61,5 +61,23 @@ TEST(QuantizeTest, RecommendationString) {
   EXPECT_NE(impossible.find("no signed Q format"), std::string::npos);
 }
 
+// Regression (UBSan float-cast-overflow): an infinite range (data with an
+// inf sample) used to hit int(log2(inf)); it must report an impossible
+// format instead.
+TEST(QuantizeTest, InfiniteRangeReportsNoFormatInsteadOfUb) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(required_integer_bits(inf), 1024);
+  EXPECT_LT(available_fraction_bits(64, inf), 1);
+  EXPECT_NE(recommend_format(inf, 64).find("no signed Q format"),
+            std::string::npos);
+
+  linalg::Matrix<double> m(1, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = inf;
+  const auto stats = analyze_quantization<Fx32>(m);
+  EXPECT_EQ(stats.overflow_count, 1u);
+  EXPECT_TRUE(std::isinf(stats.max_abs_value));
+}
+
 }  // namespace
 }  // namespace kalmmind::fixedpoint

@@ -93,5 +93,20 @@ TEST(LatencyTest, MinimalNewtonConfigIsRealTime) {
   EXPECT_GT(secs, 1.0);
 }
 
+// Regression (UBSan float-cast-overflow): a sweep point with zero MAC
+// units or zero DMA bandwidth used to convert inf to uint64_t in the
+// cycle conversions; degenerate rates must saturate.
+TEST(LatencyTest, DegenerateRatesSaturateInsteadOfUb) {
+  HlsParams p;
+  p.newton_mac_units = 0;
+  p.dma_bytes_per_cycle = 0.0;
+  LatencyModel m(p);
+  EXPECT_EQ(m.newton_cycles(164, 1),
+            std::numeric_limits<std::uint64_t>::max() +
+                1 * p.loop_overhead_cycles);
+  EXPECT_EQ(m.dma_cycles(1024, 8),
+            p.dma_setup_cycles + std::numeric_limits<std::uint64_t>::max());
+}
+
 }  // namespace
 }  // namespace kalmmind::hls

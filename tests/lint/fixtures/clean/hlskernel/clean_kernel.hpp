@@ -1,0 +1,23 @@
+// Clean fixture: a synthesizable-subset kernel in HLS idiom — bounded
+// loops, plain arrays, no heap, no exceptions.  Must produce 0 findings
+// even though every rule family applies to an hlskernel path.
+#pragma once
+
+namespace fx {
+
+template <typename T, int MAX_N>
+struct DotKernel {
+  T acc_[MAX_N] = {};
+
+  T run(const T* a, const T* b, int n) {
+    T sum = T(0);
+    // #pragma HLS pipeline II=1
+    for (int i = 0; i < n && i < MAX_N; ++i) {
+      acc_[i] = a[i] * b[i];
+      sum += acc_[i];
+    }
+    return sum;
+  }
+};
+
+}  // namespace fx

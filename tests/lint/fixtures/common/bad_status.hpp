@@ -1,0 +1,13 @@
+// R2 fixture: a Status-returning declaration without [[nodiscard]]
+// (line 6) and an expression statement discarding check() (line 10).
+#pragma once
+namespace fx {
+struct Config {
+  Status check() const noexcept;
+  [[nodiscard]] Status checked() const noexcept;  // annotated: clean
+};
+inline void consume(const Config& c) {
+  c.check();
+  if (Status s = c.check(); s.ok()) (void)s;  // consumed: clean
+}
+}  // namespace fx

@@ -1,0 +1,10 @@
+// R3 fixture: raw floating-point literals with no explicit double context
+// (lines 5 and 8); line 7 names `double` on the line and is clean.
+#pragma once
+namespace fx {
+inline int scale(int x) { return int(x * 2.5); }
+
+inline double fine() { return 0.25; }
+inline auto gain() { return 1e-3; }
+inline auto cast_ok(int x) { return fixed_cast<int>(x * 0.5); }  // clean
+}  // namespace fx

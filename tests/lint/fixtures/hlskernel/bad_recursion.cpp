@@ -1,0 +1,7 @@
+// R1 fixture: direct recursion (line 4), plus a non-recursive function
+// whose body calls a *different* function — which must not be flagged.
+int fact(int n) {
+  return n <= 1 ? 1 : n * fact(n - 1);
+}
+int helper(int n) { return n + 1; }
+int caller(int n) { return helper(n); }

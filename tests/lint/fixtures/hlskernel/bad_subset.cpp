@@ -1,0 +1,12 @@
+// R1 fixture: one banned construct per line, at line numbers the test
+// asserts exactly.  Never compiled — lint input only.
+
+void* heap() { return new int[4]; }
+void heap_free(void* p) { free(p); }
+std::vector<int> global_vec;
+void boom() { throw 1; }
+struct Base { virtual void run(); };
+void spin() {
+  while (true) {}
+  for (;;) {}
+}

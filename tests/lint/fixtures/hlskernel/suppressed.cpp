@@ -1,0 +1,6 @@
+// Suppression fixture: a line-level allow(R1) silences a single banned
+// construct; the unsuppressed one below it must still be reported.
+void* host_only_setup() {
+  return new int[4];  // kalmmind-lint: allow(R1) host-side test scaffolding
+}
+void* still_bad() { return new int[4]; }

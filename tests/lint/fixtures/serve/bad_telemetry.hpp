@@ -1,0 +1,13 @@
+// R4 fixture: a direct registry include (line 3) and an unguarded tracer
+// emission (line 6); the guarded call on line 10 is clean.
+#include "telemetry/registry.hpp"
+namespace fx {
+inline void emit(telemetry::SpanTracer& tracer) {
+  tracer.counter("fx.queue", 1.0);
+}
+inline void guarded(telemetry::SpanTracer& tracer) {
+  if (tracer.enabled()) {
+    tracer.complete("fx.step", "fx", 0.0, 1.0);
+  }
+}
+}  // namespace fx

@@ -1,0 +1,149 @@
+// kalmmind-lint rule tests: each fixture under tests/lint/fixtures/ seeds
+// known violations; the assertions pin exact rule IDs and line numbers so
+// a rule regression (missed or spurious finding, off-by-one) fails loudly.
+//
+// The fixture directory layout mirrors the path-based rule selection:
+// fixtures/hlskernel/* gets R1, fixtures/fixedpoint/* gets R3, and so on.
+#include "lint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+using kalmmind::lint::Finding;
+
+const fs::path kFixtures = LINT_FIXTURES_DIR;
+
+std::vector<Finding> lint_fixture(const std::string& rel) {
+  const fs::path path = kFixtures / rel;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return kalmmind::lint::lint_file(fs::path(rel), ss.str());
+}
+
+// (rule, line) pairs, order-insensitive.
+std::multiset<std::pair<std::string, int>> keys(
+    const std::vector<Finding>& findings) {
+  std::multiset<std::pair<std::string, int>> out;
+  for (const Finding& f : findings) out.emplace(f.rule, f.line);
+  return out;
+}
+
+using Keys = std::multiset<std::pair<std::string, int>>;
+
+TEST(LintRuleSelection, FollowsPathSegments) {
+  auto hls = kalmmind::lint::rules_for_path("src/hlskernel/kernel.cpp");
+  EXPECT_TRUE(hls.hls_subset);
+  EXPECT_FALSE(hls.fixed_literal);
+
+  auto fixed = kalmmind::lint::rules_for_path("src/fixedpoint/fixed.hpp");
+  EXPECT_FALSE(fixed.hls_subset);
+  EXPECT_TRUE(fixed.fixed_literal);
+
+  auto telemetry =
+      kalmmind::lint::rules_for_path("src/telemetry/tracer.hpp");
+  EXPECT_FALSE(telemetry.telemetry_guard);
+
+  auto generic = kalmmind::lint::rules_for_path("src/serve/session.hpp");
+  EXPECT_TRUE(generic.status_discipline);
+  EXPECT_TRUE(generic.telemetry_guard);
+}
+
+TEST(LintR1, FlagsEveryBannedConstructAtExactLines) {
+  auto findings = lint_fixture("hlskernel/bad_subset.cpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R1", 4},
+                                  {"R1", 5},
+                                  {"R1", 6},
+                                  {"R1", 7},
+                                  {"R1", 8},
+                                  {"R1", 10},
+                                  {"R1", 11}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR1, FlagsDirectRecursionOnly) {
+  auto findings = lint_fixture("hlskernel/bad_recursion.cpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R1", 4}}))
+      << kalmmind::lint::format_findings(findings);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("fact"), std::string::npos);
+}
+
+TEST(LintR2, FlagsMissingNodiscardAndDiscardedCheck) {
+  auto findings = lint_fixture("common/bad_status.hpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R2", 6}, {"R2", 10}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR3, FlagsRawLiteralsOutsideExplicitDoubleContext) {
+  auto findings = lint_fixture("fixedpoint/bad_literals.hpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R3", 5}, {"R3", 8}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR3, OnlyAppliesToFixedpointPaths) {
+  // The same content under a non-fixedpoint path raises nothing.
+  std::ifstream in(kFixtures / "fixedpoint/bad_literals.hpp",
+                   std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto findings =
+      kalmmind::lint::lint_file("serve/bad_literals.hpp", ss.str());
+  EXPECT_TRUE(findings.empty())
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR4, FlagsDirectIncludeAndUnguardedEmission) {
+  auto findings = lint_fixture("serve/bad_telemetry.hpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R4", 3}, {"R4", 6}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintSuppression, AllowFileSilencesWholeFile) {
+  auto findings = lint_fixture("fixedpoint/suppressed.hpp");
+  EXPECT_TRUE(findings.empty())
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintSuppression, AllowLineSilencesOnlyThatLine) {
+  auto findings = lint_fixture("hlskernel/suppressed.cpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R1", 6}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintClean, CleanKernelFixtureHasNoFindings) {
+  auto findings = lint_fixture("clean/hlskernel/clean_kernel.hpp");
+  EXPECT_TRUE(findings.empty())
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintDir, AggregatesRecursivelyWithRelativePaths) {
+  std::vector<Finding> findings;
+  kalmmind::lint::lint_dir(kFixtures, kFixtures / "hlskernel", findings);
+  // bad_subset (7) + bad_recursion (1) + suppressed (1).
+  EXPECT_EQ(findings.size(), 9u)
+      << kalmmind::lint::format_findings(findings);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "R1");
+    EXPECT_EQ(fs::path(f.file).is_relative(), true) << f.file;
+  }
+}
+
+TEST(LintFormat, EmitsFileLineRuleMessage) {
+  std::vector<Finding> findings = {{"src/a.hpp", 12, "R2", "msg"}};
+  EXPECT_EQ(kalmmind::lint::format_findings(findings),
+            "src/a.hpp:12: [R2] msg\n");
+}
+
+}  // namespace

@@ -53,5 +53,22 @@ TEST(MemoryTest, DefaultSizedForFullInvocations) {
   EXPECT_GT(mem.size_words(), 100u * 164u + 164u * 164u + 4096u);
 }
 
+// Regression (UBSan float-cast-overflow): words_per_cycle <= 0 used to
+// convert inf to uint64_t; it must saturate the bandwidth term instead.
+TEST(MemoryTest, DegenerateBandwidthSaturatesInsteadOfUb) {
+  MemoryParams p;
+  p.size_words = 16;
+  p.access_latency_cycles = 7;
+  p.words_per_cycle = 0.0;
+  MainMemory mem(p);
+  EXPECT_EQ(mem.burst_cycles(0), 7u);  // 0/0 is NaN: no cycles charged
+  EXPECT_EQ(mem.burst_cycles(64),
+            7u + std::numeric_limits<std::uint64_t>::max());
+
+  p.words_per_cycle = -2.0;
+  MainMemory negative(p);
+  EXPECT_EQ(negative.burst_cycles(64), 7u);  // negative rate: clamped to 0
+}
+
 }  // namespace
 }  // namespace kalmmind::soc

@@ -1,0 +1,453 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace kalmmind::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Preprocessing: split into lines, strip comments and string/char literal
+// contents (replaced by spaces so columns and line numbers stay stable).
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// State machine over the whole file; comment and literal *contents* become
+// spaces, delimiters are kept so expressions stay recognizable.
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            s[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            s[i] = '\'';
+            state = State::kChar;
+          } else {
+            s[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            s[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            s[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    // A // comment or an unterminated literal ends with the line for our
+    // purposes (line continuations in macros are rare enough to ignore).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `kalmmind-lint: allow(R1,R3)` on a raw line silences those
+// rules for that line; `allow-file(...)` in the first 40 lines silences them
+// for the whole file.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::set<std::string> file_rules;
+  std::vector<std::set<std::string>> line_rules;  // per line
+
+  bool allows(const std::string& rule, std::size_t line_idx) const {
+    if (file_rules.count(rule)) return true;
+    return line_idx < line_rules.size() && line_rules[line_idx].count(rule);
+  }
+};
+
+std::set<std::string> parse_rule_list(const std::string& text,
+                                      std::size_t paren_open) {
+  std::set<std::string> rules;
+  const std::size_t close = text.find(')', paren_open);
+  if (close == std::string::npos) return rules;
+  std::string inside = text.substr(paren_open + 1, close - paren_open - 1);
+  std::string token;
+  std::istringstream iss(inside);
+  while (std::getline(iss, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
+                token.end());
+    if (!token.empty()) rules.insert(token);
+  }
+  return rules;
+}
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw) {
+  Suppressions sup;
+  sup.line_rules.resize(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    if (std::size_t p = line.find("kalmmind-lint: allow-file(");
+        p != std::string::npos && i < 40) {
+      auto rules = parse_rule_list(line, line.find('(', p));
+      sup.file_rules.insert(rules.begin(), rules.end());
+    } else if (std::size_t q = line.find("kalmmind-lint: allow(");
+               q != std::string::npos) {
+      sup.line_rules[i] = parse_rule_list(line, line.find('(', q));
+    }
+  }
+  return sup;
+}
+
+// ---------------------------------------------------------------------------
+// R1: HLS-synthesizable subset.
+// ---------------------------------------------------------------------------
+
+struct BannedPattern {
+  std::regex re;
+  const char* what;
+};
+
+const std::vector<BannedPattern>& hls_banned() {
+  static const std::vector<BannedPattern> patterns = [] {
+    std::vector<BannedPattern> p;
+    auto add = [&p](const char* re, const char* what) {
+      p.push_back({std::regex(re), what});
+    };
+    add(R"((^|[^\w])new[\s(])", "dynamic allocation (new)");
+    add(R"((^|[^\w])delete[\s[(])", "dynamic deallocation (delete)");
+    add(R"(\b(malloc|calloc|realloc|free)\s*\()", "C heap allocation");
+    add(R"(std::(vector|string|map|unordered_map|set|unordered_set|deque|)"
+        R"(list|function|any|variant|shared_ptr|unique_ptr|make_unique|)"
+        R"(make_shared)\b)",
+        "heap-backed std:: type");
+    add(R"(\bthrow\b)", "exception (throw)");
+    add(R"(\btry\b\s*\{)", "exception handling (try)");
+    add(R"(\bvirtual\b)", "virtual dispatch");
+    add(R"(\bgoto\b)", "goto");
+    add(R"(while\s*\(\s*(true|1)\s*\))", "unbounded loop (while true)");
+    add(R"(for\s*\(\s*;\s*;\s*\))", "unbounded loop (for ;;)");
+    return p;
+  }();
+  return patterns;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",         "switch", "catch",
+      "return", "sizeof", "static_assert", "new",    "delete",
+      "else",   "do",     "alignof",       "decltype"};
+  return kw;
+}
+
+// Direct-recursion scan: find `name(...) ... {` definitions, brace-match the
+// body, flag `name(` inside it.  Heuristic: member-init-list constructors
+// and parameter lists containing parentheses are not matched (constructors
+// cannot usefully recurse; HLS code takes plain scalar/array parameters).
+void check_recursion(const std::vector<std::string>& code,
+                     const std::filesystem::path& rel_path,
+                     const Suppressions& sup, std::vector<Finding>& out) {
+  std::string text;
+  std::vector<std::size_t> line_start;  // byte offset of each line
+  for (const auto& line : code) {
+    line_start.push_back(text.size());
+    text += line;
+    text += '\n';
+  }
+  auto line_of = [&](std::size_t off) {
+    auto it = std::upper_bound(line_start.begin(), line_start.end(), off);
+    return std::size_t(it - line_start.begin()) - 1;
+  };
+
+  static const std::regex kDef(
+      R"(([A-Za-z_]\w*)\s*\(([^()]*)\)\s*(const\s*)?(noexcept\s*)?\{)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kDef);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (control_keywords().count(name)) continue;
+    // Find the opening brace of this match, then its matching close.
+    std::size_t open = std::size_t(it->position()) + it->length() - 1;
+    int depth = 0;
+    std::size_t close = std::string::npos;
+    for (std::size_t i = open; i < text.size(); ++i) {
+      if (text[i] == '{') ++depth;
+      if (text[i] == '}' && --depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (close == std::string::npos) continue;
+    const std::regex self_call("(^|[^\\w.:])" + name + "\\s*\\(");
+    const std::string body = text.substr(open + 1, close - open - 1);
+    for (auto call = std::sregex_iterator(body.begin(), body.end(), self_call);
+         call != std::sregex_iterator(); ++call) {
+      const std::size_t off = open + 1 + std::size_t(call->position());
+      const std::size_t line_idx = line_of(off);
+      if (sup.allows("R1", line_idx)) continue;
+      out.push_back({rel_path.generic_string(), int(line_idx) + 1, "R1",
+                     "recursive call to '" + name +
+                         "' (recursion is not synthesizable)"});
+      break;  // one finding per function is enough
+    }
+  }
+}
+
+void check_hls_subset(const std::vector<std::string>& code,
+                      const std::filesystem::path& rel_path,
+                      const Suppressions& sup, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (sup.allows("R1", i)) continue;
+    for (const auto& banned : hls_banned()) {
+      if (std::regex_search(code[i], banned.re)) {
+        out.push_back({rel_path.generic_string(), int(i) + 1, "R1",
+                       std::string(banned.what) +
+                           " is outside the HLS-synthesizable subset"});
+      }
+    }
+  }
+  check_recursion(code, rel_path, sup, out);
+}
+
+// ---------------------------------------------------------------------------
+// R2: Status discipline.
+// ---------------------------------------------------------------------------
+
+void check_status_discipline(const std::vector<std::string>& code,
+                             const std::filesystem::path& rel_path,
+                             const Suppressions& sup,
+                             std::vector<Finding>& out) {
+  static const std::regex kStatusDecl(
+      R"((^|[^:\w])Status\s+([A-Za-z_][\w:]*)\s*\()");
+  static const std::regex kDiscardedCheck(
+      R"(^\s*[\w.:>\-\[\]()]*\bcheck\s*\(\s*\)\s*;\s*$)");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, kStatusDecl) && !sup.allows("R2", i)) {
+      bool annotated = code[i].find("[[nodiscard]]") != std::string::npos;
+      // Look back over attribute/template/qualifier lines.
+      for (std::size_t back = i; !annotated && back > 0;) {
+        --back;
+        const std::string& prev = code[back];
+        if (prev.find("[[nodiscard]]") != std::string::npos) annotated = true;
+        // Stop at the previous statement boundary.
+        if (prev.find(';') != std::string::npos ||
+            prev.find('}') != std::string::npos)
+          break;
+        if (prev.find_first_not_of(" \t") == std::string::npos) continue;
+        break;
+      }
+      if (!annotated) {
+        out.push_back({rel_path.generic_string(), int(i) + 1, "R2",
+                       "Status-returning '" + m[2].str() +
+                           "' must be declared [[nodiscard]]"});
+      }
+    }
+    if (std::regex_match(code[i], kDiscardedCheck) && !sup.allows("R2", i)) {
+      out.push_back({rel_path.generic_string(), int(i) + 1, "R2",
+                     "result of check() is discarded (test it or use "
+                     "validate())"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: fixed-point literal discipline.
+// ---------------------------------------------------------------------------
+
+void check_fixed_literals(const std::vector<std::string>& code,
+                          const std::filesystem::path& rel_path,
+                          const Suppressions& sup, std::vector<Finding>& out) {
+  static const std::regex kFloatLiteral(
+      R"((^|[^\w.])((\d+\.\d*|\.\d+)([eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fFlL]?\b)");
+  static const char* kExplicitContexts[] = {"double", "float", "to_double",
+                                            "from_double", "fixed_cast"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (sup.allows("R3", i)) continue;
+    if (!std::regex_search(code[i], kFloatLiteral)) continue;
+    bool explicit_context = false;
+    for (const char* ctx : kExplicitContexts) {
+      if (code[i].find(ctx) != std::string::npos) {
+        explicit_context = true;
+        break;
+      }
+    }
+    if (!explicit_context) {
+      out.push_back({rel_path.generic_string(), int(i) + 1, "R3",
+                     "raw floating-point literal in fixed-point code needs "
+                     "an explicit double context or fixed_cast"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: telemetry discipline.
+// ---------------------------------------------------------------------------
+
+void check_telemetry_guard(const std::vector<std::string>& raw,
+                           const std::vector<std::string>& code,
+                           const std::filesystem::path& rel_path,
+                           const Suppressions& sup,
+                           std::vector<Finding>& out) {
+  static const std::regex kDirectInclude(
+      R"(#\s*include\s*"telemetry/(registry|tracer)\.hpp")");
+  static const std::regex kEmission(
+      R"(\btracer\s*(\.|->)\s*(complete|counter|instant)\s*\()");
+  static const std::regex kEnabled(R"(\benabled\s*\(\s*\))");
+  constexpr std::size_t kGuardWindow = 12;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (sup.allows("R4", i)) continue;
+    // Include paths live inside string literals, so match on the raw line.
+    if (std::regex_search(raw[i], kDirectInclude)) {
+      out.push_back({rel_path.generic_string(), int(i) + 1, "R4",
+                     "include \"telemetry/telemetry.hpp\" (the umbrella "
+                     "header), not registry/tracer directly"});
+    }
+    if (std::regex_search(code[i], kEmission)) {
+      bool guarded = false;
+      const std::size_t lo = i >= kGuardWindow ? i - kGuardWindow : 0;
+      for (std::size_t j = lo; j <= i && !guarded; ++j) {
+        if (std::regex_search(code[j], kEnabled)) guarded = true;
+      }
+      if (!guarded) {
+        out.push_back({rel_path.generic_string(), int(i) + 1, "R4",
+                       "tracer emission call without an enabled() check "
+                       "within the preceding " +
+                           std::to_string(kGuardWindow) + " lines"});
+      }
+    }
+  }
+}
+
+bool has_segment(const std::filesystem::path& p, const char* segment) {
+  for (const auto& part : p) {
+    if (part == segment) return true;
+  }
+  return false;
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+RuleSet rules_for_path(const std::filesystem::path& rel_path) {
+  RuleSet rules;
+  rules.hls_subset = has_segment(rel_path, "hlskernel");
+  rules.fixed_literal = has_segment(rel_path, "fixedpoint");
+  rules.telemetry_guard = !has_segment(rel_path, "telemetry");
+  return rules;
+}
+
+std::vector<Finding> lint_file(const std::filesystem::path& rel_path,
+                               const std::string& content) {
+  const std::vector<std::string> raw = split_lines(content);
+  const std::vector<std::string> code = strip_comments(raw);
+  const Suppressions sup = parse_suppressions(raw);
+  const RuleSet rules = rules_for_path(rel_path);
+
+  std::vector<Finding> out;
+  if (rules.hls_subset) check_hls_subset(code, rel_path, sup, out);
+  if (rules.status_discipline)
+    check_status_discipline(code, rel_path, sup, out);
+  if (rules.fixed_literal) check_fixed_literals(code, rel_path, sup, out);
+  if (rules.telemetry_guard)
+    check_telemetry_guard(raw, code, rel_path, sup, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> lint_dir(const std::filesystem::path& root,
+                              const std::filesystem::path& dir,
+                              std::vector<Finding>& out) {
+  namespace fs = std::filesystem;
+  if (!fs::exists(dir)) return out;
+  std::vector<fs::path> files;
+  for (auto it = fs::recursive_directory_iterator(dir);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory() &&
+        (name == "fixtures" || name == ".git" ||
+         name.rfind("build", 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(p)) files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const fs::path rel = fs::relative(p, root);
+    auto findings = lint_file(rel, ss.str());
+    out.insert(out.end(), findings.begin(), findings.end());
+  }
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root) {
+  std::vector<Finding> out;
+  lint_dir(root, root / "src", out);
+  lint_dir(root, root / "tools", out);
+  return out;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  for (const Finding& f : findings) {
+    ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  return ss.str();
+}
+
+}  // namespace kalmmind::lint

@@ -1,0 +1,74 @@
+// kalmmind-lint: repo-specific static analysis.
+//
+// Four rule families (see docs/static_analysis.md for the full catalog):
+//
+//   R1  hls-subset        src/hlskernel/ must stay inside the synthesizable
+//                         C++ subset: no heap, no std:: containers, no
+//                         exceptions, no virtual dispatch, no recursion, no
+//                         unbounded loops.
+//   R2  status-discipline Status-returning declarations carry
+//                         [[nodiscard]]; no expression statement discards a
+//                         `.check()` result.
+//   R3  fixed-literal     src/fixedpoint/ code does not bury raw
+//                         floating-point literals in integer/fixed
+//                         expressions; a literal must sit in an explicit
+//                         double context (`double`, `to_double`,
+//                         `from_double`, `fixed_cast`) on the same line.
+//   R4  telemetry-guard   outside src/telemetry/, include the umbrella
+//                         header (telemetry/telemetry.hpp), and guard
+//                         SpanTracer emission calls with an enabled()
+//                         check nearby.
+//
+// Suppression syntax (inside a comment, scanned on the raw line):
+//   // kalmmind-lint: allow(R1)        — this line only
+//   // kalmmind-lint: allow-file(R3)   — whole file (first 40 lines)
+// Multiple rules: allow(R1,R3).
+//
+// The analysis is line-oriented and heuristic by design: it runs on every
+// commit in well under a second, needs no compiler, and the rules are
+// narrow enough that the repo carries zero suppressions for false
+// positives.  Anything deeper belongs in clang-tidy (see .clang-tidy).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace kalmmind::lint {
+
+struct Finding {
+  std::string file;  // path as given (relative to the lint root)
+  int line = 0;      // 1-based
+  std::string rule;  // "R1".."R4"
+  std::string message;
+};
+
+// Which rule families apply to a file, derived from its path segments.
+struct RuleSet {
+  bool hls_subset = false;        // R1: path contains a "hlskernel" segment
+  bool status_discipline = true;  // R2: everywhere
+  bool fixed_literal = false;     // R3: path contains a "fixedpoint" segment
+  bool telemetry_guard = true;    // R4: off inside src/telemetry/
+};
+
+// Classify a (relative) path into the rules that apply to it.
+RuleSet rules_for_path(const std::filesystem::path& rel_path);
+
+// Lint one file's contents.  `rel_path` is used for rule selection and in
+// the findings; `content` is the full text.
+std::vector<Finding> lint_file(const std::filesystem::path& rel_path,
+                               const std::string& content);
+
+// Recursively lint every .hpp/.cpp/.h/.cc under `dir` (paths in findings
+// are relative to `root`).  Skips build trees and fixture directories.
+std::vector<Finding> lint_dir(const std::filesystem::path& root,
+                              const std::filesystem::path& dir,
+                              std::vector<Finding>& out);
+
+// Lint the repo source tree (root/src and root/tools/lint).
+std::vector<Finding> lint_tree(const std::filesystem::path& root);
+
+// "path:line: [R1] message" per finding.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace kalmmind::lint

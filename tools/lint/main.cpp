@@ -1,0 +1,113 @@
+// kalmmind-lint CLI.
+//
+//   kalmmind-lint [--root DIR] [paths...]
+//
+// With no paths, lints the repo source tree (DIR/src and DIR/tools).
+// Explicit paths (files or directories, absolute or relative to --root)
+// override the default walk — that is how the fixture tests drive it.
+// Exit code: 0 clean, 1 findings, 2 usage/IO error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void print_rules() {
+  std::cout <<
+      R"(kalmmind-lint rules:
+  R1  hls-subset         src/hlskernel/ stays in the synthesizable subset:
+                         no heap (new/delete/malloc), no heap-backed std::
+                         types, no throw/try, no virtual, no goto, no
+                         unbounded loops, no recursion.
+  R2  status-discipline  Status-returning declarations are [[nodiscard]];
+                         no statement discards a .check() result.
+  R3  fixed-literal      src/fixedpoint/: floating-point literals need an
+                         explicit double context (double/float/to_double/
+                         from_double/fixed_cast) on the same line.
+  R4  telemetry-guard    outside src/telemetry/: include the umbrella
+                         telemetry/telemetry.hpp, and guard tracer
+                         .complete/.counter/.instant calls with enabled().
+suppressions:
+  // kalmmind-lint: allow(R1,R3)     this line
+  // kalmmind-lint: allow-file(R3)   whole file (first 40 lines)
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  fs::path root = ".";
+  bool quiet = false;
+  std::vector<fs::path> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "kalmmind-lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: kalmmind-lint [--root DIR] [--list-rules] [-q] "
+                   "[paths...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "kalmmind-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+
+  if (!fs::exists(root)) {
+    std::cerr << "kalmmind-lint: root " << root << " does not exist\n";
+    return 2;
+  }
+
+  std::vector<kalmmind::lint::Finding> findings;
+  if (paths.empty()) {
+    findings = kalmmind::lint::lint_tree(root);
+  } else {
+    for (fs::path p : paths) {
+      if (p.is_relative()) p = root / p;
+      if (fs::is_directory(p)) {
+        kalmmind::lint::lint_dir(root, p, findings);
+      } else if (fs::is_regular_file(p)) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+          std::cerr << "kalmmind-lint: cannot read " << p << "\n";
+          return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        auto file_findings =
+            kalmmind::lint::lint_file(fs::relative(p, root), ss.str());
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
+      } else {
+        std::cerr << "kalmmind-lint: no such path " << p << "\n";
+        return 2;
+      }
+    }
+  }
+
+  if (!findings.empty()) {
+    std::cout << kalmmind::lint::format_findings(findings);
+  }
+  if (!quiet) {
+    std::cout << "kalmmind-lint: " << findings.size() << " finding(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
