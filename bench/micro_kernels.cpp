@@ -11,6 +11,8 @@
 // variants compile to the uninstrumented filter (docs/observability.md).
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
 #include "fixedpoint/fixed.hpp"
 #include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
@@ -35,13 +37,27 @@ void BM_MatMulFloat(benchmark::State& state) {
   auto b = random_matrix<float>(n, n, rng);
   Matrix<float> c;
   for (auto _ : state) {
-    c.fill(0.0f);
     multiply_into(c, a, b);
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(std::int64_t(state.iterations()) * n * n * n);
 }
 BENCHMARK(BM_MatMulFloat)->Arg(46)->Arg(52)->Arg(164);
+
+// The unblocked reference kernel — the "before" row of BENCH_kernels.json.
+void BM_MatMulFloatNaive(benchmark::State& state) {
+  const std::size_t n = std::size_t(state.range(0));
+  Rng rng(1);
+  auto a = random_matrix<float>(n, n, rng);
+  auto b = random_matrix<float>(n, n, rng);
+  Matrix<float> c;
+  for (auto _ : state) {
+    naive::multiply_into(c, a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * n * n * n);
+}
+BENCHMARK(BM_MatMulFloatNaive)->Arg(46)->Arg(52)->Arg(164);
 
 void BM_MatMulFx32(benchmark::State& state) {
   const std::size_t n = std::size_t(state.range(0));
@@ -98,6 +114,40 @@ void BM_InvertLuDouble(benchmark::State& state) {
 }
 BENCHMARK(BM_InvertLuDouble)->Arg(164);
 
+// The z x z innovation-covariance product S = (H P') H^t at the paper's
+// measurement dimensions: full dense product (the pre-SYRK kernel) vs. the
+// symmetric upper-triangle + mirror kernel.  x_dim = 6 decoded kinematic
+// states, so the shared dimension is tiny and the output is the big term.
+void bench_cov_product(benchmark::State& state, bool symmetric) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const std::size_t x_dim = 6;
+  Rng rng(3);
+  auto p_pred = random_spd<double>(x_dim, rng, 1.0).cast<float>();
+  auto h = random_matrix<float>(z_dim, x_dim, rng);
+  Matrix<float> hp, s;
+  multiply_into(hp, h, p_pred);
+  for (auto _ : state) {
+    if (symmetric) {
+      multiply_bt_symmetric_into(s, hp, h);
+    } else {
+      naive::multiply_bt_into(s, hp, h);
+    }
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * z_dim * z_dim *
+                          x_dim);
+}
+
+void BM_CovProductFull(benchmark::State& state) {
+  bench_cov_product(state, /*symmetric=*/false);
+}
+BENCHMARK(BM_CovProductFull)->Arg(46)->Arg(52)->Arg(164);
+
+void BM_CovProductSyrk(benchmark::State& state) {
+  bench_cov_product(state, /*symmetric=*/true);
+}
+BENCHMARK(BM_CovProductSyrk)->Arg(46)->Arg(52)->Arg(164);
+
 void BM_NewtonStep(benchmark::State& state) {
   const std::size_t n = std::size_t(state.range(0));
   auto s = bench_spd<float>(n);
@@ -149,6 +199,74 @@ void BM_FilterStepTelemetryOff(benchmark::State& state) {
   bench_filter_step(state, /*telemetry_on=*/false);
 }
 BENCHMARK(BM_FilterStepTelemetryOff)->Arg(46)->Arg(164);
+
+// ---- workspace step vs. the pre-workspace per-call-temporaries step ----
+
+// The filter hot path as it was before the workspace rework: naive kernels,
+// every temporary allocated inside the call, both covariance triangles
+// computed.  Kept as a benchmark-local replica so BENCH_kernels.json keeps
+// an honest "before" row.
+void naive_alloc_step(const kalmmind::kalman::KalmanModel<double>& m,
+                      Vector<double>& x, Matrix<double>& p,
+                      const Vector<double>& z) {
+  Matrix<double> fp, p_pred;
+  naive::multiply_into(fp, m.f, p);
+  naive::multiply_bt_into(p_pred, fp, m.f);
+  p_pred += m.q;
+  Matrix<double> hp, s;
+  naive::multiply_into(hp, m.h, p_pred);
+  naive::multiply_bt_into(s, hp, m.h);
+  s += m.r;
+  Matrix<double> s_inv = invert_gauss(s);
+  Matrix<double> pht, k;
+  naive::multiply_bt_into(pht, p_pred, m.h);
+  naive::multiply_into(k, pht, s_inv);
+  Vector<double> x_pred, hx;
+  multiply_into(x_pred, m.f, x);
+  multiply_into(hx, m.h, x_pred);
+  Vector<double> innovation = z;
+  innovation -= hx;
+  Vector<double> correction;
+  multiply_into(correction, k, innovation);
+  x = x_pred;
+  x += correction;
+  Matrix<double> kh;
+  naive::multiply_into(kh, k, m.h);
+  Matrix<double> i_minus_kh = identity_minus(kh);
+  Matrix<double> p_new;
+  naive::multiply_into(p_new, i_minus_kh, p_pred);
+  p = std::move(p_new);
+}
+
+void BM_FilterStepNaiveAlloc(benchmark::State& state) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const auto model = bench_model(6, z_dim);
+  Rng rng(11);
+  const auto z = random_vector<double>(z_dim, rng);
+  auto x = model.x0;
+  auto p = model.p0;
+  for (auto _ : state) {
+    naive_alloc_step(model, x, p, z);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FilterStepNaiveAlloc)->Arg(46)->Arg(164);
+
+// The same model/strategy through the workspace filter (gauss inversion,
+// blocked + SYRK kernels, zero steady-state allocations).
+void BM_FilterStepWorkspace(benchmark::State& state) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const auto model = bench_model(6, z_dim);
+  Rng rng(11);
+  const auto z = random_vector<double>(z_dim, rng);
+  kalmmind::kalman::KalmanFilter<double> filter(
+      model, kalmmind::kalman::make_inverse_strategy<double>("gauss"));
+  for (auto _ : state) {
+    const auto& x = filter.step(z);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_FilterStepWorkspace)->Arg(46)->Arg(164);
 
 }  // namespace
 

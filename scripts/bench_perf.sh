@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Kernel/perf trajectory: run the micro-kernel benchmarks and refresh
+# BENCH_kernels.json at the repo root.  The JSON keeps the before/after
+# pairs the perf story is tracked by (docs/performance.md):
+#   BM_MatMulFloatNaive   vs BM_MatMulFloat        (blocked GEMM)
+#   BM_CovProductFull     vs BM_CovProductSyrk     (symmetric covariance)
+#   BM_FilterStepNaiveAlloc vs BM_FilterStepWorkspace (allocation-free step)
+#
+# Usage: scripts/bench_perf.sh [quick|full]
+#   quick  — short repetitions, for CI smoke (default min_time)
+#   full   — longer min_time for stable numbers worth checking in
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+case "$mode" in
+  quick) min_time=0.02 ;;
+  full) min_time=0.15 ;;
+  *)
+    echo "usage: scripts/bench_perf.sh [quick|full]" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)" --target bench_micro_kernels
+
+./build/bench/bench_micro_kernels \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out=BENCH_kernels.json \
+  --benchmark_out_format=json
+
+echo
+echo "== bench_perf: SYRK vs full covariance product (z = 164) =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_kernels.json") as f:
+    data = json.load(f)
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]}
+full = times.get("BM_CovProductFull/164")
+syrk = times.get("BM_CovProductSyrk/164")
+if full is None or syrk is None:
+    raise SystemExit("bench_perf: covariance benchmarks missing from JSON")
+speedup = full / syrk
+print(f"full  {full:10.0f} ns")
+print(f"syrk  {syrk:10.0f} ns")
+print(f"speedup {speedup:.2f}x (floor: 1.5x)")
+if speedup < 1.5:
+    raise SystemExit("bench_perf: SYRK speedup below the 1.5x floor")
+EOF
+
+echo "bench_perf: OK (BENCH_kernels.json refreshed)"

@@ -42,13 +42,13 @@ kalman::CalcMethod to_calc_method(CalcUnit unit) {
 // Innovation covariance of the first KF iteration, computed exactly in
 // double: S_0 = H (F P0 F^t + Q) H^t + R.  LITE's preloaded seed.
 Matrix<double> first_innovation_covariance(const KalmanModel<double>& model) {
+  // Same symmetric sandwich kernels as KalmanFilter::step, so the
+  // preloaded LITE seed matches what the online filter computes for S_0.
   Matrix<double> fp, p_pred;
-  linalg::multiply_into(fp, model.f, model.p0);
-  linalg::multiply_bt_into(p_pred, fp, model.f);
+  linalg::symmetric_sandwich_into(p_pred, model.f, model.p0, fp);
   p_pred += model.q;
   Matrix<double> hp, s;
-  linalg::multiply_into(hp, model.h, p_pred);
-  linalg::multiply_bt_into(s, hp, model.h);
+  linalg::symmetric_sandwich_into(s, model.h, p_pred, hp);
   s += model.r;
   return s;
 }

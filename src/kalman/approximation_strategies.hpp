@@ -30,14 +30,30 @@
 
 namespace kalmmind::kalman {
 
+namespace detail {
+// In-place version of linalg::newton_classic_seed: seed = S^t scaled by
+// 1/(||S||_1 ||S||_inf), reusing the caller's seed buffer.
+template <typename T>
+void classic_seed_into(Matrix<T>& seed, const Matrix<T>& s) {
+  const double scale = linalg::one_norm(s) * linalg::inf_norm(s);
+  if (scale == 0.0) {
+    throw std::invalid_argument("newton_classic_seed: zero matrix");
+  }
+  linalg::transpose_into(seed, s);
+  seed *= linalg::from_double<T>(1.0 / scale);
+}
+}  // namespace detail
+
 template <typename T>
 class NewtonClassicStrategy final : public InverseStrategy<T> {
  public:
   explicit NewtonClassicStrategy(std::size_t internal_iterations)
       : iterations_(internal_iterations) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
-    return linalg::newton_invert_classic(s, iterations_);
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
+    detail::classic_seed_into(seed_, s);
+    linalg::newton_invert_into(out, s, seed_, iterations_, ws_);
   }
 
   InverseEvent last_event() const override {
@@ -52,34 +68,53 @@ class NewtonClassicStrategy final : public InverseStrategy<T> {
 
  private:
   std::size_t iterations_;
+  Matrix<T> seed_;
+  linalg::NewtonWorkspace<T> ws_;
 };
 
 // Truncated Taylor expansion of S^-1 around the known (S0, V0 = S0^-1):
 //   S^-1 ~= (I + sum_{k=1}^{order-1} (-V0 (S - S0))^k) V0
 // evaluated by Horner's rule; order=1 returns V0 unchanged.
+// Scratch for taylor_expand_inverse_into, reused across KF steps.
+template <typename T>
+struct TaylorWorkspace {
+  Matrix<T> delta;  // S - S0
+  Matrix<T> m;      // -V0 (S - S0)
+  Matrix<T> acc;    // Horner accumulator
+  Matrix<T> tmp;    // ping-pong partner of acc
+};
+
+template <typename T>
+void taylor_expand_inverse_into(Matrix<T>& out, const Matrix<T>& s,
+                                const Matrix<T>& s0, const Matrix<T>& v0,
+                                std::size_t order, TaylorWorkspace<T>& ws) {
+  if (order <= 1) {
+    out = v0;
+    return;
+  }
+  const std::size_t n = s.rows();
+  // M = -V0 * (S - S0)
+  ws.delta = s;
+  ws.delta -= s0;
+  linalg::multiply_into(ws.m, v0, ws.delta);
+  ws.m *= T(-1);
+  // acc = I + M (I + M (...)); `order-1` correction terms.
+  ws.acc = ws.m;
+  for (std::size_t i = 0; i < n; ++i) ws.acc(i, i) += T(1);
+  for (std::size_t k = 2; k < order; ++k) {
+    linalg::multiply_into(ws.tmp, ws.m, ws.acc);
+    std::swap(ws.acc, ws.tmp);
+    for (std::size_t i = 0; i < n; ++i) ws.acc(i, i) += T(1);
+  }
+  linalg::multiply_into(out, ws.acc, v0);
+}
+
 template <typename T>
 Matrix<T> taylor_expand_inverse(const Matrix<T>& s, const Matrix<T>& s0,
                                 const Matrix<T>& v0, std::size_t order) {
-  if (order <= 1) return v0;
-  const std::size_t n = s.rows();
-  // M = -V0 * (S - S0)
-  Matrix<T> delta = s;
-  delta -= s0;
-  Matrix<T> m;
-  linalg::multiply_into(m, v0, delta);
-  m *= T(-1);
-  // acc = I + M (I + M (...)); `order-1` correction terms.
-  Matrix<T> acc = m;
-  for (std::size_t i = 0; i < n; ++i) acc(i, i) += T(1);
-  Matrix<T> tmp;
-  for (std::size_t k = 2; k < order; ++k) {
-    tmp.fill(T(0));
-    linalg::multiply_into(tmp, m, acc);
-    acc = tmp;
-    for (std::size_t i = 0; i < n; ++i) acc(i, i) += T(1);
-  }
   Matrix<T> out;
-  linalg::multiply_into(out, acc, v0);
+  TaylorWorkspace<T> ws;
+  taylor_expand_inverse_into(out, s, s0, v0, order, ws);
   return out;
 }
 
@@ -92,16 +127,18 @@ class TaylorStrategy final : public InverseStrategy<T> {
  public:
   explicit TaylorStrategy(std::size_t order = 2) : order_(order) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
     if (!anchored_) {
       s0_ = s;
       v0_ = linalg::invert_gauss(s);
       anchored_ = true;
       last_event_ = {InversePath::kCalculation, 0};
-      return v0_;
+      out = v0_;
+      return;
     }
     last_event_ = {InversePath::kApproximation, order_};
-    return taylor_expand_inverse(s, s0_, v0_, order_);
+    taylor_expand_inverse_into(out, s, s0_, v0_, order_, ws_);
   }
 
   InverseEvent last_event() const override { return last_event_; }
@@ -122,6 +159,7 @@ class TaylorStrategy final : public InverseStrategy<T> {
   bool anchored_ = false;
   Matrix<T> s0_;
   Matrix<T> v0_;
+  TaylorWorkspace<T> ws_;
   InverseEvent last_event_;
 };
 
@@ -145,24 +183,25 @@ class IfkfStrategy final : public InverseStrategy<T> {
   explicit IfkfStrategy(Matrix<T> r, std::size_t iterations = 12)
       : r_(std::move(r)), iterations_(iterations) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
     const std::size_t n = s.rows();
     // S~ = S - R + diag(R): keep the (low-rank) signal structure, assume
     // independent measurement noise.
-    Matrix<T> assumed = s;
+    assumed_ = s;
     if (!r_.empty()) {
       if (!r_.same_shape(s)) {
         throw std::invalid_argument("IfkfStrategy: R shape mismatch");
       }
-      assumed -= r_;
-      for (std::size_t i = 0; i < n; ++i) assumed(i, i) += r_(i, i);
+      assumed_ -= r_;
+      for (std::size_t i = 0; i < n; ++i) assumed_(i, i) += r_(i, i);
     }
     // Jacobi-seeded iteration only converges for truly dominant matrices;
     // the Ben-Israel norm scaling keeps the seed admissible when the
     // signal part of S~ is not small (divergence here would be a numeric
     // artifact — the method's real error is the model mismatch above).
-    Matrix<T> seed = linalg::newton_classic_seed(assumed);
-    return linalg::newton_invert(assumed, seed, iterations_);
+    detail::classic_seed_into(seed_, assumed_);
+    linalg::newton_invert_into(out, assumed_, seed_, iterations_, ws_);
   }
 
   InverseEvent last_event() const override {
@@ -176,6 +215,9 @@ class IfkfStrategy final : public InverseStrategy<T> {
  private:
   Matrix<T> r_;
   std::size_t iterations_ = 12;
+  Matrix<T> assumed_;
+  Matrix<T> seed_;
+  linalg::NewtonWorkspace<T> ws_;
 };
 
 }  // namespace kalmmind::kalman

@@ -47,8 +47,12 @@ class CalculationStrategy final : public InverseStrategy<T> {
  public:
   explicit CalculationStrategy(CalcMethod method) : method_(method) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
-    return calculate_inverse(method_, s);
+  // Direct solvers pivot/factorize internally, so calculation iterations
+  // still allocate; the allocation-free guarantee covers the approximation
+  // path, which is what runs every steady-state step (docs/performance.md).
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
+    out = calculate_inverse(method_, s);
   }
 
   InverseEvent last_event() const override {

@@ -44,9 +44,10 @@ class CountedStrategy final : public InverseStrategy<T> {
   CountedStrategy(InverseStrategyPtr<T> inner, telemetry::Counter& counter)
       : inner_(std::move(inner)), counter_(counter) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) override {
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t kf_iteration) override {
     counter_.add();
-    return inner_->invert(s, kf_iteration);
+    inner_->invert_into(out, s, kf_iteration);
   }
   InverseEvent last_event() const override { return inner_->last_event(); }
   void reset() override { inner_->reset(); }

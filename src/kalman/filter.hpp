@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "kalman/model.hpp"
 #include "kalman/strategy.hpp"
+#include "kalman/workspace.hpp"
 #include "linalg/ops.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -32,6 +34,7 @@ struct FilterTelemetry {
   telemetry::Counter& invert_approximation;
   telemetry::Counter& invert_none;
   telemetry::Counter& newton_inner_iterations;
+  telemetry::Counter& step_allocations;
 
   static FilterTelemetry& get() {
     static FilterTelemetry t{
@@ -43,7 +46,9 @@ struct FilterTelemetry {
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.kf.invert_path.none_total"),
         telemetry::MetricsRegistry::global().counter(
-            "kalmmind.kf.newton_inner_iterations_total")};
+            "kalmmind.kf.newton_inner_iterations_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.kf.step_allocations_total")};
     return t;
   }
 };
@@ -94,6 +99,8 @@ class KalmanFilter {
     if (!strategy_) {
       throw std::invalid_argument("KalmanFilter: null inverse strategy");
     }
+    ws_.reserve(model_.x_dim(), model_.z_dim(), options_.joseph_update);
+    ws_reporter_.report(ws_.bytes());
     reset();
   }
 
@@ -106,30 +113,32 @@ class KalmanFilter {
   }
 
   // One KF iteration with measurement z; returns the new state estimate.
+  // All temporaries live in the per-filter workspace: after the first step
+  // this performs zero heap allocations (tests/kalman/workspace_test.cpp).
   const Vector<T>& step(const Vector<T>& z) {
     if (z.size() != model_.z_dim()) {
       throw std::invalid_argument("KalmanFilter::step: bad measurement size");
     }
-    Matrix<T> fp, p_pred;
+    const std::uint64_t allocs_before = linalg::thread_buffer_allocations();
     {
       telemetry::Span span("kf.predict", "kf");
-      // Predict.
+      // Predict.  P' = F P F^t + Q runs through the symmetric sandwich
+      // kernel (upper triangle + mirror): P is symmetric up to rounding,
+      // so the mirrored product matches the full one within rounding and
+      // keeps P' EXACTLY symmetric, which the pht shortcut below needs.
       linalg::multiply_into(x_pred_, model_.f, x_);
-      linalg::multiply_into(fp, model_.f, p_);
-      linalg::multiply_bt_into(p_pred, fp, model_.f);
-      p_pred += model_.q;
+      linalg::symmetric_sandwich_into(ws_.p_pred, model_.f, p_, ws_.fp);
+      ws_.p_pred += model_.q;
     }
     const Vector<T>& x_pred = x_pred_;
 
-    Matrix<T> k;
     {
       telemetry::Span span("kf.compute_k", "kf");
 
-      // Innovation covariance S = H P' H^t + R.
-      Matrix<T> hp, s;
-      linalg::multiply_into(hp, model_.h, p_pred);
-      linalg::multiply_bt_into(s, hp, model_.h);
-      s += model_.r;
+      // Innovation covariance S = H P' H^t + R (same sandwich kernel; the
+      // H*P' panel is kept for the pht shortcut).
+      linalg::symmetric_sandwich_into(ws_.s, model_.h, ws_.p_pred, ws_.hp);
+      ws_.s += model_.r;
 
       // Kalman gain K = P' H^t S^-1.  The S-inverse is the swappable
       // calc-vs-approx module, so it gets its own span named by the path
@@ -137,7 +146,7 @@ class KalmanFilter {
       telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
       const bool tracing = tracer.enabled();
       const double t0_us = tracing ? tracer.now_us() : 0.0;
-      Matrix<T> s_inv = strategy_->invert(s, iteration_);
+      strategy_->invert_into(ws_.s_inv, ws_.s, iteration_);
       const InverseEvent inv_event = strategy_->last_event();
       if (tracing) {
         const char* path_name =
@@ -162,41 +171,43 @@ class KalmanFilter {
         ft.steps.add();
       }
 
-      Matrix<T> pht;
-      linalg::multiply_bt_into(pht, p_pred, model_.h);  // P' H^t, x_dim x z_dim
-      linalg::multiply_into(k, pht, s_inv);
+      // P' H^t = (H P')^t: P' is exactly symmetric by construction of the
+      // sandwich kernel, so transposing the already-computed H*P' panel is
+      // bit-identical to the dense product and saves a full GEMM.
+      linalg::transpose_into(ws_.pht, ws_.hp);
+      linalg::multiply_into(ws_.k, ws_.pht, ws_.s_inv);
     }
 
     {
       telemetry::Span span("kf.update", "kf");
 
       // Update state: x = x' + K (z - H x').
-      Vector<T> hx;
-      linalg::multiply_into(hx, model_.h, x_pred);
-      Vector<T> innovation = z;
-      innovation -= hx;
-      Vector<T> correction;
-      linalg::multiply_into(correction, k, innovation);
+      linalg::multiply_into(ws_.hx, model_.h, x_pred);
+      ws_.innovation = z;
+      ws_.innovation -= ws_.hx;
+      linalg::multiply_into(ws_.correction, ws_.k, ws_.innovation);
       x_ = x_pred;
-      x_ += correction;
+      x_ += ws_.correction;
 
       // Update covariance.
-      Matrix<T> kh;
-      linalg::multiply_into(kh, k, model_.h);
-      Matrix<T> i_minus_kh = linalg::identity_minus(kh);
+      linalg::multiply_into(ws_.kh, ws_.k, model_.h);
+      linalg::identity_minus_into(ws_.i_minus_kh, ws_.kh);
       if (options_.joseph_update) {
         // P = (I-KH) P' (I-KH)^t + K R K^t
-        Matrix<T> tmp;
-        linalg::multiply_into(tmp, i_minus_kh, p_pred);
-        linalg::multiply_bt_into(p_, tmp, i_minus_kh);
-        Matrix<T> kr;
-        linalg::multiply_into(kr, k, model_.r);
-        Matrix<T> krk;
-        linalg::multiply_bt_into(krk, kr, k);
-        p_ += krk;
+        linalg::multiply_into(ws_.joseph_tmp, ws_.i_minus_kh, ws_.p_pred);
+        linalg::multiply_bt_into(p_, ws_.joseph_tmp, ws_.i_minus_kh);
+        linalg::multiply_into(ws_.kr, ws_.k, model_.r);
+        linalg::multiply_bt_into(ws_.krk, ws_.kr, ws_.k);
+        p_ += ws_.krk;
       } else {
-        linalg::multiply_into(p_, i_minus_kh, p_pred);
+        linalg::multiply_into(p_, ws_.i_minus_kh, ws_.p_pred);
       }
+    }
+
+    if (telemetry::enabled()) {
+      detail::FilterTelemetry::get().step_allocations.add(
+          linalg::thread_buffer_allocations() - allocs_before);
+      ws_reporter_.report(ws_.bytes());
     }
 
     ++iteration_;
@@ -239,6 +250,9 @@ class KalmanFilter {
   std::size_t iteration() const { return iteration_; }
   const KalmanModel<T>& model() const { return model_; }
   InverseStrategy<T>& strategy() { return *strategy_; }
+  // Heap bytes owned by the per-filter step workspace (excludes strategy
+  // internals); exported as the kalmmind.kf.workspace_bytes gauge.
+  std::size_t workspace_bytes() const { return ws_.bytes(); }
 
  private:
   KalmanModel<T> model_;
@@ -247,6 +261,8 @@ class KalmanFilter {
   Vector<T> x_;
   Vector<T> x_pred_;
   Matrix<T> p_;
+  KfWorkspace<T> ws_;
+  detail::WorkspaceBytesReporter ws_reporter_;
   std::size_t iteration_ = 0;
 };
 

@@ -57,7 +57,8 @@ class InterleavedStrategy final : public InverseStrategy<T> {
   InterleavedStrategy(CalcMethod calc_method, InterleaveConfig config)
       : calc_method_(calc_method), config_(config) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) override {
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t kf_iteration) override {
     if (config_.is_calculation_iteration(kf_iteration) || !seed_ready_) {
       // Path A.  (The very first invert must calculate even if the
       // schedule says otherwise — there is no seed yet.)  A singular (or
@@ -65,34 +66,30 @@ class InterleavedStrategy final : public InverseStrategy<T> {
       // matching what the hardware elimination array would emit, and
       // letting a diverged DSE point score `inf` instead of aborting the
       // sweep.
-      Matrix<T> inv;
       try {
-        inv = calculate_inverse(calc_method_, s);
+        out = calculate_inverse(calc_method_, s);
       } catch (const linalg::SingularMatrixError&) {
-        inv = Matrix<T>(
-            s.rows(), s.cols(),
-            linalg::ScalarTraits<T>::from_double(
-                std::numeric_limits<double>::quiet_NaN()));
+        out.resize_for_overwrite(s.rows(), s.cols());
+        out.fill(linalg::ScalarTraits<T>::from_double(
+            std::numeric_limits<double>::quiet_NaN()));
       } catch (const linalg::NotPositiveDefiniteError&) {
-        inv = Matrix<T>(
-            s.rows(), s.cols(),
-            linalg::ScalarTraits<T>::from_double(
-                std::numeric_limits<double>::quiet_NaN()));
+        out.resize_for_overwrite(s.rows(), s.cols());
+        out.fill(linalg::ScalarTraits<T>::from_double(
+            std::numeric_limits<double>::quiet_NaN()));
       }
-      last_calculated_ = inv;
-      previous_ = inv;
+      last_calculated_ = out;  // copy-assign: reuses seed buffers in steady
+      previous_ = out;         // state, so no per-step allocation
       seed_ready_ = true;
       last_event_ = {InversePath::kCalculation, 0};
-      return inv;
+      return;
     }
     // Path B: Newton from the policy-selected seed.
     const Matrix<T>& seed = config_.policy == SeedPolicy::kPreviousIteration
                                 ? previous_
                                 : last_calculated_;
-    Matrix<T> inv = linalg::newton_invert(s, seed, config_.approx);
-    previous_ = inv;
+    linalg::newton_invert_into(out, s, seed, config_.approx, ws_);
+    previous_ = out;
     last_event_ = {InversePath::kApproximation, config_.approx};
-    return inv;
   }
 
   InverseEvent last_event() const override { return last_event_; }
@@ -120,6 +117,7 @@ class InterleavedStrategy final : public InverseStrategy<T> {
   bool seed_ready_ = false;
   Matrix<T> last_calculated_;  // S_j^-1, eq. (5) seed
   Matrix<T> previous_;         // S_{n-1}^-1, eq. (4) seed
+  linalg::NewtonWorkspace<T> ws_;
   InverseEvent last_event_;
 };
 
@@ -133,10 +131,10 @@ class LiteStrategy final : public InverseStrategy<T> {
   explicit LiteStrategy(Matrix<T> preloaded_seed)
       : initial_seed_(std::move(preloaded_seed)), previous_(initial_seed_) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
-    Matrix<T> inv = linalg::newton_invert(s, previous_, 1);
-    previous_ = inv;
-    return inv;
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
+    linalg::newton_invert_into(out, s, previous_, 1, ws_);
+    previous_ = out;
   }
 
   InverseEvent last_event() const override {
@@ -150,6 +148,7 @@ class LiteStrategy final : public InverseStrategy<T> {
  private:
   Matrix<T> initial_seed_;
   Matrix<T> previous_;
+  linalg::NewtonWorkspace<T> ws_;
 };
 
 // The SSKF/Newton datapath: a constant S_const^-1 (precomputed from the
@@ -162,9 +161,13 @@ class ConstantInverseStrategy final : public InverseStrategy<T> {
   ConstantInverseStrategy(Matrix<T> constant_inverse, std::size_t approx)
       : constant_inverse_(std::move(constant_inverse)), approx_(approx) {}
 
-  Matrix<T> invert(const Matrix<T>& s, std::size_t /*kf_iteration*/) override {
-    if (approx_ == 0) return constant_inverse_;
-    return linalg::newton_invert(s, constant_inverse_, approx_);
+  void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                   std::size_t /*kf_iteration*/) override {
+    if (approx_ == 0) {
+      out = constant_inverse_;
+      return;
+    }
+    linalg::newton_invert_into(out, s, constant_inverse_, approx_, ws_);
   }
 
   InverseEvent last_event() const override {
@@ -181,6 +184,7 @@ class ConstantInverseStrategy final : public InverseStrategy<T> {
  private:
   Matrix<T> constant_inverse_;
   std::size_t approx_;
+  linalg::NewtonWorkspace<T> ws_;
 };
 
 }  // namespace kalmmind::kalman

@@ -42,32 +42,29 @@ SteadyState<T> solve_steady_state(const KalmanModel<T>& model,
   Matrix<T> k_prev;
   SteadyState<T> out;
 
+  // All recursion temporaries are hoisted out of the loop (and the two
+  // covariance products use the symmetric sandwich kernel), so each Riccati
+  // iteration after the first only allocates inside invert_lu.
+  Matrix<T> fp, p_pred, hp, s, s_inv, pht, k, kh, i_minus_kh, dk;
   for (std::size_t n = 0; n < max_iterations; ++n) {
     // Predict covariance.
-    Matrix<T> fp, p_pred;
-    linalg::multiply_into(fp, model.f, p);
-    linalg::multiply_bt_into(p_pred, fp, model.f);
+    linalg::symmetric_sandwich_into(p_pred, model.f, p, fp);
     p_pred += model.q;
 
     // Gain.
-    Matrix<T> hp, s;
-    linalg::multiply_into(hp, model.h, p_pred);
-    linalg::multiply_bt_into(s, hp, model.h);
+    linalg::symmetric_sandwich_into(s, model.h, p_pred, hp);
     s += model.r;
-    Matrix<T> s_inv = linalg::invert_lu(s);
-    Matrix<T> pht;
-    linalg::multiply_bt_into(pht, p_pred, model.h);
-    Matrix<T> k;
+    s_inv = linalg::invert_lu(s);
+    linalg::transpose_into(pht, hp);  // P' H^t: P' is exactly symmetric
     linalg::multiply_into(k, pht, s_inv);
 
     // Update covariance.
-    Matrix<T> kh;
     linalg::multiply_into(kh, k, model.h);
-    Matrix<T> i_minus_kh = linalg::identity_minus(kh);
+    linalg::identity_minus_into(i_minus_kh, kh);
     linalg::multiply_into(p, i_minus_kh, p_pred);
 
     if (n > 0) {
-      Matrix<T> dk = k;
+      dk = k;
       dk -= k_prev;
       const double knorm = linalg::frobenius_norm(k);
       if (linalg::frobenius_norm(dk) < tol * std::max(1.0, knorm)) {
@@ -100,20 +97,19 @@ class ConstantGainFilter {
 
   void reset() { x_ = model_.x0; }
 
+  // Member scratch keeps the constant-gain step allocation-free too
+  // (tests/kalman/workspace_test.cpp covers it alongside KalmanFilter).
   const Vector<T>& step(const Vector<T>& z) {
     if (z.size() != model_.z_dim()) {
       throw std::invalid_argument("ConstantGainFilter::step: bad z size");
     }
-    Vector<T> x_pred;
-    linalg::multiply_into(x_pred, model_.f, x_);
-    Vector<T> hx;
-    linalg::multiply_into(hx, model_.h, x_pred);
-    Vector<T> innovation = z;
-    innovation -= hx;
-    Vector<T> correction;
-    linalg::multiply_into(correction, k_, innovation);
-    x_ = x_pred;
-    x_ += correction;
+    linalg::multiply_into(x_pred_, model_.f, x_);
+    linalg::multiply_into(hx_, model_.h, x_pred_);
+    innovation_ = z;
+    innovation_ -= hx_;
+    linalg::multiply_into(correction_, k_, innovation_);
+    x_ = x_pred_;
+    x_ += correction_;
     return x_;
   }
 
@@ -137,6 +133,10 @@ class ConstantGainFilter {
   KalmanModel<T> model_;
   Matrix<T> k_;
   Vector<T> x_;
+  Vector<T> x_pred_;
+  Vector<T> hx_;
+  Vector<T> innovation_;
+  Vector<T> correction_;
 };
 
 }  // namespace kalmmind::kalman

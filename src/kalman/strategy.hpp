@@ -37,8 +37,19 @@ class InverseStrategy {
  public:
   virtual ~InverseStrategy() = default;
 
-  // Invert S for KF iteration `kf_iteration` (0-based).
-  virtual Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) = 0;
+  // Invert S for KF iteration `kf_iteration` (0-based), writing the result
+  // into `out` (overwritten; sized by the strategy).  This is the hot-path
+  // entry point: the filter passes its workspace matrix so steady-state
+  // steps stay allocation-free.
+  virtual void invert_into(Matrix<T>& out, const Matrix<T>& s,
+                           std::size_t kf_iteration) = 0;
+
+  // Convenience wrapper for callers that want a fresh matrix.
+  Matrix<T> invert(const Matrix<T>& s, std::size_t kf_iteration) {
+    Matrix<T> out;
+    invert_into(out, s, kf_iteration);
+    return out;
+  }
 
   // What the last invert() call executed (for cycle accounting).
   virtual InverseEvent last_event() const = 0;

@@ -1,0 +1,122 @@
+// Per-filter workspace: every temporary of the KalmanFilter::step hot path
+// lives here, sized once and reused across steps, so steady-state steps
+// perform zero heap allocations (tests/kalman/workspace_test.cpp proves it
+// with a global operator-new counter).  The buffers are written with
+// resize_for_overwrite by kernels that overwrite every element, so reuse
+// also skips the redundant zero fill — see the contract in
+// linalg/matrix.hpp and the design notes in docs/performance.md.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace kalmmind::kalman {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+template <typename T>
+struct KfWorkspace {
+  // Predict: P' = F P F^t + Q via symmetric_sandwich_into.
+  Matrix<T> fp;      // F * P panel (x_dim x x_dim)
+  Matrix<T> p_pred;  // P' (x_dim x x_dim)
+  // Gain: S = H P' H^t + R, K = P' H^t S^-1.
+  Matrix<T> hp;     // H * P' panel (z_dim x x_dim)
+  Matrix<T> s;      // S (z_dim x z_dim)
+  Matrix<T> s_inv;  // strategy output (z_dim x z_dim)
+  Matrix<T> pht;    // P' H^t = (H P')^t (x_dim x z_dim)
+  Matrix<T> k;      // Kalman gain (x_dim x z_dim)
+  // Update.
+  Matrix<T> kh;          // K H (x_dim x x_dim)
+  Matrix<T> i_minus_kh;  // I - K H (x_dim x x_dim)
+  Matrix<T> joseph_tmp;  // (I-KH) P' for the Joseph form
+  Matrix<T> kr;          // K R (x_dim x z_dim, Joseph form)
+  Matrix<T> krk;         // K R K^t (x_dim x x_dim, Joseph form)
+  Vector<T> hx;          // H x' (z_dim)
+  Vector<T> innovation;  // z - H x' (z_dim)
+  Vector<T> correction;  // K * innovation (x_dim)
+
+  // Pre-size every buffer for the given model dimensions so the first
+  // step() already runs against warm storage.  Joseph-only buffers stay
+  // empty unless requested.
+  void reserve(std::size_t x_dim, std::size_t z_dim, bool joseph) {
+    fp.resize_for_overwrite(x_dim, x_dim);
+    p_pred.resize_for_overwrite(x_dim, x_dim);
+    hp.resize_for_overwrite(z_dim, x_dim);
+    s.resize_for_overwrite(z_dim, z_dim);
+    s_inv.resize_for_overwrite(z_dim, z_dim);
+    pht.resize_for_overwrite(x_dim, z_dim);
+    k.resize_for_overwrite(x_dim, z_dim);
+    kh.resize_for_overwrite(x_dim, x_dim);
+    i_minus_kh.resize_for_overwrite(x_dim, x_dim);
+    if (joseph) {
+      joseph_tmp.resize_for_overwrite(x_dim, x_dim);
+      kr.resize_for_overwrite(x_dim, z_dim);
+      krk.resize_for_overwrite(x_dim, x_dim);
+    }
+    hx.resize_for_overwrite(z_dim);
+    innovation.resize_for_overwrite(z_dim);
+    correction.resize_for_overwrite(x_dim);
+  }
+
+  // Heap bytes owned by the workspace buffers (capacity, not size — this
+  // is what the allocator actually handed out).
+  std::size_t bytes() const {
+    const std::size_t elements =
+        fp.capacity() + p_pred.capacity() + hp.capacity() + s.capacity() +
+        s_inv.capacity() + pht.capacity() + k.capacity() + kh.capacity() +
+        i_minus_kh.capacity() + joseph_tmp.capacity() + kr.capacity() +
+        krk.capacity() + hx.capacity() + innovation.capacity() +
+        correction.capacity();
+    return elements * sizeof(T);
+  }
+};
+
+namespace detail {
+
+// Keeps the kalmmind.kf.workspace_bytes gauge equal to the total workspace
+// bytes of all live filters: each owner reports its own byte count and the
+// reporter applies the delta; the destructor (and move-from) retires the
+// contribution.  Move-aware so filters returned by value (reference.hpp
+// factories) do not double-count.
+class WorkspaceBytesReporter {
+ public:
+  WorkspaceBytesReporter() = default;
+  WorkspaceBytesReporter(const WorkspaceBytesReporter&) = delete;
+  WorkspaceBytesReporter& operator=(const WorkspaceBytesReporter&) = delete;
+  WorkspaceBytesReporter(WorkspaceBytesReporter&& other) noexcept
+      : reported_(other.reported_) {
+    other.reported_ = 0;
+  }
+  WorkspaceBytesReporter& operator=(WorkspaceBytesReporter&& other) noexcept {
+    if (this != &other) {
+      report(0);
+      reported_ = other.reported_;
+      other.reported_ = 0;
+    }
+    return *this;
+  }
+  ~WorkspaceBytesReporter() { report(0); }
+
+  // reported_ only advances while telemetry is enabled (Gauge::add is a
+  // gated no-op otherwise), so enable -> disable cycles never leave the
+  // gauge with a negative phantom contribution on destruction.
+  void report(std::size_t bytes) noexcept {
+    if constexpr (telemetry::kCompiledIn) {
+      if (!telemetry::enabled() || bytes == reported_) return;
+      telemetry::MetricsRegistry::global()
+          .gauge("kalmmind.kf.workspace_bytes")
+          .add(static_cast<double>(bytes) - static_cast<double>(reported_));
+      reported_ = bytes;
+    }
+  }
+
+ private:
+  std::size_t reported_ = 0;
+};
+
+}  // namespace detail
+
+}  // namespace kalmmind::kalman

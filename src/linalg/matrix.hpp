@@ -4,10 +4,23 @@
 // dynamic shape, contiguous storage, checked accessors in debug builds and
 // unchecked operator() on the hot paths.  All heavy kernels live in
 // linalg/ops.hpp so this header stays cheap to include.
+//
+// Zero-fill contract (docs/performance.md):
+//  * resize(r, c) leaves the matrix shaped (r, c) with EVERY element zero,
+//    whether or not the shape changed.  Kernels that accumulate into their
+//    output depend on this.
+//  * resize_for_overwrite(r, c) leaves the matrix shaped (r, c) with
+//    UNSPECIFIED contents (stale values from the previous use may remain).
+//    Only kernels that write every output element may use it; in steady
+//    state (same shape as the previous call) it performs no heap
+//    allocation and no element writes, which is what makes the per-step
+//    filter workspaces allocation- and memset-free.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <stdexcept>
 #include <string>
@@ -18,6 +31,24 @@
 
 namespace kalmmind::linalg {
 
+// Debug hook: how many times this thread acquired (or grew) a Matrix /
+// Vector heap buffer through the explicit sizing paths (sized
+// construction, resize, resize_for_overwrite).  The Kalman filter samples
+// it around step() to export kalmmind.kf.step_allocations_total — in
+// steady state the per-step delta must be zero.  Growth hidden inside
+// copy-assignment is not counted here; the operator-new test in
+// tests/kalman/workspace_test.cpp is the ground truth.
+inline std::uint64_t& thread_buffer_allocations() noexcept {
+  thread_local std::uint64_t count = 0;
+  return count;
+}
+
+namespace detail {
+inline void note_buffer_alloc(std::size_t elements) noexcept {
+  if (elements > 0) ++thread_buffer_allocations();
+}
+}  // namespace detail
+
 template <typename T>
 class Matrix {
  public:
@@ -26,10 +57,14 @@ class Matrix {
   Matrix() = default;
 
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {
+    detail::note_buffer_alloc(data_.size());
+  }
 
   Matrix(std::size_t rows, std::size_t cols, T fill)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    detail::note_buffer_alloc(data_.size());
+  }
 
   // Row-major brace construction:  Matrix<double> m(2, 2, {1, 2, 3, 4});
   Matrix(std::size_t rows, std::size_t cols, std::initializer_list<T> init)
@@ -54,6 +89,7 @@ class Matrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return data_.capacity(); }
   bool empty() const { return data_.empty(); }
   bool is_square() const { return rows_ == cols_; }
 
@@ -82,12 +118,33 @@ class Matrix {
     return data_[i * cols_ + j];
   }
 
-  void fill(T value) { data_.assign(data_.size(), value); }
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  // Shape to (rows, cols) with every element zero.  Shape-preserving calls
+  // take the fast path (an in-place fill, never a reallocation).
   void resize(std::size_t rows, std::size_t cols) {
+    if (rows == rows_ && cols == cols_) {
+      std::fill(data_.begin(), data_.end(), T(0));
+      return;
+    }
+    const std::size_t n = rows * cols;
+    if (n > data_.capacity()) detail::note_buffer_alloc(n);
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, T(0));
+    data_.assign(n, T(0));
+  }
+
+  // Shape to (rows, cols) WITHOUT the zero fill: contents are unspecified
+  // (stale values may remain).  For kernels that overwrite every output
+  // element; allocation-free whenever the element count fits the existing
+  // buffer.  See the zero-fill contract at the top of this header.
+  void resize_for_overwrite(std::size_t rows, std::size_t cols) {
+    const std::size_t n = rows * cols;
+    rows_ = rows;
+    cols_ = cols;
+    if (n == data_.size()) return;
+    if (n > data_.capacity()) detail::note_buffer_alloc(n);
+    data_.resize(n);
   }
 
   bool same_shape(const Matrix& other) const {
@@ -166,12 +223,17 @@ class Vector {
   using value_type = T;
 
   Vector() = default;
-  explicit Vector(std::size_t n) : data_(n, T(0)) {}
-  Vector(std::size_t n, T fill) : data_(n, fill) {}
+  explicit Vector(std::size_t n) : data_(n, T(0)) {
+    detail::note_buffer_alloc(data_.size());
+  }
+  Vector(std::size_t n, T fill) : data_(n, fill) {
+    detail::note_buffer_alloc(data_.size());
+  }
   Vector(std::initializer_list<T> init) : data_(init) {}
   explicit Vector(std::vector<T> values) : data_(std::move(values)) {}
 
   std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return data_.capacity(); }
   bool empty() const { return data_.empty(); }
 
   T* data() { return data_.data(); }
@@ -189,8 +251,26 @@ class Vector {
   T& at(std::size_t i) { return data_.at(i); }
   const T& at(std::size_t i) const { return data_.at(i); }
 
-  void fill(T value) { data_.assign(data_.size(), value); }
-  void resize(std::size_t n) { data_.assign(n, T(0)); }
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  // Same zero-fill contract as Matrix::resize: size n, every element zero,
+  // shape-preserving calls never reallocate.
+  void resize(std::size_t n) {
+    if (n == data_.size()) {
+      std::fill(data_.begin(), data_.end(), T(0));
+      return;
+    }
+    if (n > data_.capacity()) detail::note_buffer_alloc(n);
+    data_.assign(n, T(0));
+  }
+
+  // Same contract as Matrix::resize_for_overwrite: contents unspecified,
+  // allocation-free when n fits the existing buffer.
+  void resize_for_overwrite(std::size_t n) {
+    if (n == data_.size()) return;
+    if (n > data_.capacity()) detail::note_buffer_alloc(n);
+    data_.resize(n);
+  }
 
   const std::vector<T>& values() const { return data_; }
 

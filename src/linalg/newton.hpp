@@ -24,16 +24,45 @@ template <typename T>
 void newton_step_into(Matrix<T>& out, const Matrix<T>& v, const Matrix<T>& a,
                       Matrix<T>& scratch) {
   two_i_minus_product_into(scratch, a, v);  // scratch = 2I - A*V
-  out.fill(T(0));
   multiply_into(out, v, scratch);           // out = V * scratch
 }
 
 template <typename T>
 Matrix<T> newton_step(const Matrix<T>& v, const Matrix<T>& a) {
   Matrix<T> scratch, out;
-  out.resize(v.rows(), v.cols());
   newton_step_into(out, v, a, scratch);
   return out;
+}
+
+// Per-caller scratch for newton_invert_into.  Own one next to the strategy
+// that runs Newton iterations and every call after the first is
+// allocation-free (the z x z buffers are reused across steps).
+template <typename T>
+struct NewtonWorkspace {
+  Matrix<T> v;        // current iterate
+  Matrix<T> next;     // next iterate (ping-pong partner)
+  Matrix<T> scratch;  // 2I - A*V temporary
+};
+
+// Run `iters` Newton iterations from seed `v0`, writing the final iterate
+// to `out`.  All temporaries live in `ws`.
+template <typename T>
+void newton_invert_into(Matrix<T>& out, const Matrix<T>& a,
+                        const Matrix<T>& v0, std::size_t iters,
+                        NewtonWorkspace<T>& ws) {
+  if (!a.is_square() || !v0.same_shape(a)) {
+    throw std::invalid_argument("newton_invert: dimension mismatch");
+  }
+  if (iters == 0) {
+    out = v0;  // copy-assign reuses out's buffer when shapes match
+    return;
+  }
+  ws.v = v0;
+  for (std::size_t i = 0; i + 1 < iters; ++i) {
+    newton_step_into(ws.next, ws.v, a, ws.scratch);
+    std::swap(ws.v, ws.next);
+  }
+  newton_step_into(out, ws.v, a, ws.scratch);
 }
 
 // Run `iters` Newton iterations from seed `v0`.
@@ -43,7 +72,7 @@ Matrix<T> newton_invert(const Matrix<T>& a, Matrix<T> v0, std::size_t iters) {
     throw std::invalid_argument("newton_invert: dimension mismatch");
   }
   Matrix<T> scratch;
-  Matrix<T> next(a.rows(), a.cols());
+  Matrix<T> next;
   for (std::size_t i = 0; i < iters; ++i) {
     newton_step_into(next, v0, a, scratch);
     std::swap(v0, next);

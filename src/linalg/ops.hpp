@@ -1,9 +1,24 @@
-// Dense kernels: matrix multiply (plain / transposed variants), mat-vec,
-// and small helpers.  The i-k-j loop order keeps the inner loop contiguous
-// in both operands, which is what makes the z=164 sweeps in the benchmarks
-// tractable without an external BLAS.
+// Dense kernels: matrix multiply (plain / transposed variants), the
+// SYRK-style symmetric covariance product, mat-vec, and small helpers.
+//
+// The heavy kernels are cache-blocked and register-tiled (kMr x kNr
+// accumulator tiles streamed over the shared dimension, kNc-column L2
+// panels) — see docs/performance.md for the parameter choices.  Every
+// kernel keeps the per-element accumulation order of the naive reference
+// (a single accumulator per output element, walking the shared dimension
+// in increasing order), so the only difference from the `naive` namespace
+// versions below is where the compiler contracts multiply-add into FMA —
+// a few ulps of each dot product, never a reordering;
+// tests/linalg/ops_test.cpp locks that in with ulp-scaled sweeps.
+//
+// Output contract: every `_into` kernel OVERWRITES its full output (it
+// never accumulates into prior contents) and sizes the output with
+// Matrix::resize_for_overwrite, so reusing a workspace matrix across steps
+// performs no heap allocation and no redundant zero fill.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 
 #include "linalg/matrix.hpp"
@@ -14,9 +29,146 @@ namespace detail {
 inline void require(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
 }
+
+// Blocking shape.  kMr rows of A are processed per strip: each loaded B
+// row is reused kMr times, and the strip's C rows (at most kMr * kNc
+// elements) stay L1-resident while the shared dimension streams by.  kNc
+// bounds the B panel touched per pass to keep it L2 resident on the
+// large-n DSE sweeps.  kNr is the dot-tile width of the transposed-B
+// kernels below.
+inline constexpr std::size_t kMr = 4;
+inline constexpr std::size_t kNr = 8;
+inline constexpr std::size_t kNc = 256;
+
+// Blocked C = A * B into a presized (resize_for_overwrite) output.
+//
+// Strip kernel: kMr rows of C are zeroed, then for each p the scalars
+// A(i..i+kMr, p) are broadcast against the contiguous row B(p, jc..jend)
+// — a unit-stride multiply-add the auto-vectorizer turns into wide FMAs
+// (register-array accumulator tiles defeat GCC's SLP pass; accumulating
+// into the L1-resident C strip does not).  Per output element this is
+// still one accumulator walked over p ascending — the naive order.
+template <typename T>
+void gemm_nn(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t jend = std::min(jc + kNc, n);
+    const std::size_t w = jend - jc;
+    std::size_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      const T* a0 = a.row(i);
+      const T* a1 = a.row(i + 1);
+      const T* a2 = a.row(i + 2);
+      const T* a3 = a.row(i + 3);
+      T* __restrict c0 = c.row(i) + jc;
+      T* __restrict c1 = c.row(i + 1) + jc;
+      T* __restrict c2 = c.row(i + 2) + jc;
+      T* __restrict c3 = c.row(i + 3) + jc;
+      for (std::size_t j = 0; j < w; ++j) {
+        c0[j] = T(0);
+        c1[j] = T(0);
+        c2[j] = T(0);
+        c3[j] = T(0);
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const T* __restrict bp = b.row(p) + jc;
+        const T a0p = a0[p], a1p = a1[p], a2p = a2[p], a3p = a3[p];
+        for (std::size_t j = 0; j < w; ++j) {
+          const T bj = bp[j];
+          c0[j] += a0p * bj;
+          c1[j] += a1p * bj;
+          c2[j] += a2p * bj;
+          c3[j] += a3p * bj;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const T* ai = a.row(i);
+      T* __restrict ci = c.row(i) + jc;
+      for (std::size_t j = 0; j < w; ++j) ci[j] = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T aip = ai[p];
+        const T* __restrict bp = b.row(p) + jc;
+        for (std::size_t j = 0; j < w; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+// Row-dot micro-kernel for C = A * B^t: a kMr x kMr tile of dot products
+// over contiguous rows of A and B.  Each element keeps its own
+// accumulator, p ascending.
+template <typename T>
+void gemm_nt(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  std::size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    const T* a0 = a.row(i);
+    const T* a1 = a.row(i + 1);
+    const T* a2 = a.row(i + 2);
+    const T* a3 = a.row(i + 3);
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const T* bj0 = b.row(j);
+      const T* bj1 = b.row(j + 1);
+      T s00 = T(0), s01 = T(0), s10 = T(0), s11 = T(0);
+      T s20 = T(0), s21 = T(0), s30 = T(0), s31 = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T b0 = bj0[p], b1 = bj1[p];
+        s00 += a0[p] * b0;
+        s01 += a0[p] * b1;
+        s10 += a1[p] * b0;
+        s11 += a1[p] * b1;
+        s20 += a2[p] * b0;
+        s21 += a2[p] * b1;
+        s30 += a3[p] * b0;
+        s31 += a3[p] * b1;
+      }
+      c.row(i)[j] = s00;
+      c.row(i)[j + 1] = s01;
+      c.row(i + 1)[j] = s10;
+      c.row(i + 1)[j + 1] = s11;
+      c.row(i + 2)[j] = s20;
+      c.row(i + 2)[j + 1] = s21;
+      c.row(i + 3)[j] = s30;
+      c.row(i + 3)[j + 1] = s31;
+    }
+    for (; j < n; ++j) {
+      const T* bj = b.row(j);
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T bp = bj[p];
+        s0 += a0[p] * bp;
+        s1 += a1[p] * bp;
+        s2 += a2[p] * bp;
+        s3 += a3[p] * bp;
+      }
+      c.row(i)[j] = s0;
+      c.row(i + 1)[j] = s1;
+      c.row(i + 2)[j] = s2;
+      c.row(i + 3)[j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const T* ai = a.row(i);
+    T* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const T* bj = b.row(j);
+      T acc = T(0);
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
 }  // namespace detail
 
-// C = A * B
+// Reference kernels: the original unblocked loops, kept verbatim as the
+// correctness baseline for the blocked kernels (tests assert agreement to
+// within FMA-contraction ulps) and as the "before" rows of
+// bench/micro_kernels / BENCH_kernels.json.  Not for hot paths.
+namespace naive {
+
+// C = A * B (i-k-j, accumulating into a zeroed output)
 template <typename T>
 void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(a.cols() == b.rows(), "multiply_into: inner dim mismatch");
@@ -34,19 +186,12 @@ void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   }
 }
 
-template <typename T>
-Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b) {
-  Matrix<T> c;
-  multiply_into(c, a, b);
-  return c;
-}
-
-// C = A * B^t  (keeps B row-major friendly: inner loop runs along B's rows)
+// C = A * B^t (row-dot loops)
 template <typename T>
 void multiply_bt_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(a.cols() == b.cols(), "multiply_bt_into: dim mismatch");
   detail::require(&c != &a && &c != &b, "multiply_bt_into: aliasing output");
-  c.resize(a.rows(), b.rows());
+  c.resize_for_overwrite(a.rows(), b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i) {
     const T* ai = a.row(i);
@@ -60,14 +205,7 @@ void multiply_bt_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   }
 }
 
-template <typename T>
-Matrix<T> multiply_bt(const Matrix<T>& a, const Matrix<T>& b) {
-  Matrix<T> c;
-  multiply_bt_into(c, a, b);
-  return c;
-}
-
-// C = A^t * B
+// C = A^t * B (p-i-j, accumulating into a zeroed output)
 template <typename T>
 void multiply_at_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(a.rows() == b.rows(), "multiply_at_into: dim mismatch");
@@ -85,6 +223,168 @@ void multiply_at_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   }
 }
 
+}  // namespace naive
+
+// C = A * B
+template <typename T>
+void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.cols() == b.rows(), "multiply_into: inner dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_into: aliasing output");
+  c.resize_for_overwrite(a.rows(), b.cols());
+  detail::gemm_nn(c, a, b);
+}
+
+template <typename T>
+Matrix<T> multiply(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  multiply_into(c, a, b);
+  return c;
+}
+
+// C = A * B^t  (keeps B row-major friendly: inner loops run along rows)
+template <typename T>
+void multiply_bt_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.cols() == b.cols(), "multiply_bt_into: dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_bt_into: aliasing output");
+  c.resize_for_overwrite(a.rows(), b.rows());
+  detail::gemm_nt(c, a, b);
+}
+
+template <typename T>
+Matrix<T> multiply_bt(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c;
+  multiply_bt_into(c, a, b);
+  return c;
+}
+
+// C = A * B^t for a product the caller knows is symmetric (the SYRK-style
+// covariance kernel).  Only the upper triangle is computed — with the same
+// per-element dot order as multiply_bt_into, so upper entries are
+// bit-identical to the full product — and the lower triangle is mirrored
+// from it.  Used for the two X*P*X^t covariance products of the KF step,
+// where P = P^t makes A = X*P, B = X satisfy A*B^t = (A*B^t)^t: roughly
+// halves the FLOPs at z = 164 and keeps the result EXACTLY symmetric,
+// which the predict step relies on (see symmetric_sandwich_into).
+template <typename T>
+void multiply_bt_symmetric_into(Matrix<T>& c, const Matrix<T>& a,
+                                const Matrix<T>& b) {
+  detail::require(a.cols() == b.cols(),
+                  "multiply_bt_symmetric_into: dim mismatch");
+  detail::require(a.rows() == b.rows(),
+                  "multiply_bt_symmetric_into: output must be square");
+  detail::require(&c != &a && &c != &b,
+                  "multiply_bt_symmetric_into: aliasing output");
+  const std::size_t n = a.rows(), k = a.cols();
+  c.resize_for_overwrite(n, n);
+  constexpr std::size_t kTile = 4;
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t ilim = std::min(i0 + kTile, n);
+    for (std::size_t j0 = i0; j0 < n; j0 += kTile) {
+      const std::size_t jlim = std::min(j0 + kTile, n);
+      if (j0 >= ilim && ilim == i0 + kTile && jlim == j0 + kTile) {
+        // Full off-diagonal tile: 4x4 register-tiled row dots.
+        const T* a0 = a.row(i0);
+        const T* a1 = a.row(i0 + 1);
+        const T* a2 = a.row(i0 + 2);
+        const T* a3 = a.row(i0 + 3);
+        for (std::size_t j = j0; j < jlim; ++j) {
+          const T* bj = b.row(j);
+          T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+          for (std::size_t p = 0; p < k; ++p) {
+            const T bp = bj[p];
+            s0 += a0[p] * bp;
+            s1 += a1[p] * bp;
+            s2 += a2[p] * bp;
+            s3 += a3[p] * bp;
+          }
+          c.row(i0)[j] = s0;
+          c.row(i0 + 1)[j] = s1;
+          c.row(i0 + 2)[j] = s2;
+          c.row(i0 + 3)[j] = s3;
+        }
+      } else {
+        // Diagonal / edge tile: elementwise over the j >= i wedge.
+        for (std::size_t i = i0; i < ilim; ++i) {
+          const T* ai = a.row(i);
+          T* ci = c.row(i);
+          for (std::size_t j = std::max(j0, i); j < jlim; ++j) {
+            const T* bj = b.row(j);
+            T acc = T(0);
+            for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+            ci[j] = acc;
+          }
+        }
+      }
+    }
+  }
+  // Mirror the strictly-lower triangle from the computed upper.
+  for (std::size_t i = 1; i < n; ++i) {
+    T* ci = c.row(i);
+    for (std::size_t j = 0; j < i; ++j) ci[j] = c.row(j)[i];
+  }
+}
+
+// C = X * P * X^t for symmetric P — the covariance sandwich of the KF
+// predict (F P F^t) and innovation (H P' H^t) stages.  `xp` is caller
+// scratch for the X*P panel (reused across steps by the filter
+// workspace).  The output is exactly symmetric by construction.
+template <typename T>
+void symmetric_sandwich_into(Matrix<T>& c, const Matrix<T>& x,
+                             const Matrix<T>& p, Matrix<T>& xp) {
+  detail::require(p.is_square() && x.cols() == p.rows(),
+                  "symmetric_sandwich_into: dim mismatch");
+  detail::require(&xp != &c && &xp != &x && &xp != &p,
+                  "symmetric_sandwich_into: scratch aliases an operand");
+  multiply_into(xp, x, p);
+  multiply_bt_symmetric_into(c, xp, x);
+}
+
+// C = A^t * B
+template <typename T>
+void multiply_at_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
+  detail::require(a.rows() == b.rows(), "multiply_at_into: dim mismatch");
+  detail::require(&c != &a && &c != &b, "multiply_at_into: aliasing output");
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  c.resize_for_overwrite(m, n);
+  // Same strip kernel as gemm_nn: C(i, :) accumulates broadcast-FMA terms
+  // A(p, i) * B(p, :) with p ascending, only the broadcast scalars now
+  // come from a column of A.
+  std::size_t i = 0;
+  for (; i + detail::kMr <= m; i += detail::kMr) {
+    T* __restrict c0 = c.row(i);
+    T* __restrict c1 = c.row(i + 1);
+    T* __restrict c2 = c.row(i + 2);
+    T* __restrict c3 = c.row(i + 3);
+    for (std::size_t j = 0; j < n; ++j) {
+      c0[j] = T(0);
+      c1[j] = T(0);
+      c2[j] = T(0);
+      c3[j] = T(0);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const T* ap = a.row(p) + i;
+      const T* __restrict bp = b.row(p);
+      const T a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+      for (std::size_t j = 0; j < n; ++j) {
+        const T bj = bp[j];
+        c0[j] += a0 * bj;
+        c1[j] += a1 * bj;
+        c2[j] += a2 * bj;
+        c3[j] += a3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    T* __restrict ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) ci[j] = T(0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const T aip = a.row(p)[i];
+      const T* __restrict bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
 template <typename T>
 Matrix<T> multiply_at(const Matrix<T>& a, const Matrix<T>& b) {
   Matrix<T> c;
@@ -97,7 +397,7 @@ template <typename T>
 void multiply_into(Vector<T>& y, const Matrix<T>& a, const Vector<T>& x) {
   detail::require(a.cols() == x.size(), "matvec: dim mismatch");
   detail::require(&y != &x, "matvec: aliasing output");
-  y.resize(a.rows());
+  y.resize_for_overwrite(a.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const T* ai = a.row(i);
     T acc = T(0);
@@ -121,7 +421,10 @@ T dot(const Vector<T>& a, const Vector<T>& b) {
   return acc;
 }
 
-// B = 2*I - A*V   (the Newton-iteration kernel, fused to avoid a temporary)
+// B = 2*I - A*V   (the Newton-iteration kernel).  The blocked product runs
+// first, then a linear fixup pass negates and adds the 2I — equivalent to
+// the old fused 0-minus accumulation because IEEE negation is exact (any
+// remaining bit difference is the kernels' FMA contraction, not the fixup).
 template <typename T>
 void two_i_minus_product_into(Matrix<T>& out, const Matrix<T>& a,
                               const Matrix<T>& v) {
@@ -130,16 +433,23 @@ void two_i_minus_product_into(Matrix<T>& out, const Matrix<T>& a,
   detail::require(&out != &a && &out != &v,
                   "two_i_minus_product_into: aliasing output");
   const std::size_t n = a.rows();
-  out.resize(n, n);
+  out.resize_for_overwrite(n, n);
+  detail::gemm_nn(out, a, v);
   for (std::size_t i = 0; i < n; ++i) {
     T* oi = out.row(i);
-    const T* ai = a.row(i);
-    for (std::size_t p = 0; p < n; ++p) {
-      const T aip = ai[p];
-      const T* vp = v.row(p);
-      for (std::size_t j = 0; j < n; ++j) oi[j] -= aip * vp[j];
-    }
+    for (std::size_t j = 0; j < n; ++j) oi[j] = T(0) - oi[j];
     oi[i] += T(2);
+  }
+}
+
+// out = A^t (overwrite; for Newton seeds and the P'H^t-from-HP' reuse).
+template <typename T>
+void transpose_into(Matrix<T>& out, const Matrix<T>& a) {
+  detail::require(&out != &a, "transpose_into: aliasing output");
+  out.resize_for_overwrite(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* ai = a.row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) out.row(j)[i] = ai[j];
   }
 }
 
@@ -158,14 +468,24 @@ void symmetrize(Matrix<T>& a) {
   }
 }
 
-// out = I - M (square)
+// out = I - M (square, overwrite)
+template <typename T>
+void identity_minus_into(Matrix<T>& out, const Matrix<T>& m) {
+  detail::require(m.is_square(), "identity_minus: need square matrix");
+  detail::require(&out != &m, "identity_minus_into: aliasing output");
+  out.resize_for_overwrite(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const T* mi = m.row(i);
+    T* oi = out.row(i);
+    for (std::size_t j = 0; j < m.cols(); ++j) oi[j] = T(0) - mi[j];
+    oi[i] += T(1);
+  }
+}
+
 template <typename T>
 Matrix<T> identity_minus(const Matrix<T>& m) {
-  detail::require(m.is_square(), "identity_minus: need square matrix");
-  Matrix<T> out(m.rows(), m.cols());
-  for (std::size_t i = 0; i < m.rows(); ++i)
-    for (std::size_t j = 0; j < m.cols(); ++j)
-      out(i, j) = (i == j ? T(1) - m(i, j) : T(0) - m(i, j));
+  Matrix<T> out;
+  identity_minus_into(out, m);
   return out;
 }
 

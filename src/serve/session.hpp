@@ -122,7 +122,8 @@ class Session {
         filter_(config_.model,
                 kalman::make_inverse_strategy<double>(config_.strategy,
                                                       config_.strategy_params),
-                config_.filter_options) {}
+                config_.filter_options),
+        workspace_bytes_(filter_.workspace_bytes()) {}
 
   SessionId id() const { return id_; }
   const SessionConfig& config() const { return config_; }
@@ -159,7 +160,11 @@ class Session {
                            LatencyRecorder* recorder = nullptr) {
     auto& tm = detail::ServeTelemetry::get();
     telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
-    std::vector<Vector<double>> batch;
+    // batch_ is reused across calls (only the step_pending caller touches
+    // it — same single-consumer contract as filter_), so draining the queue
+    // does not reallocate the batch buffer every tick.
+    std::vector<Vector<double>>& batch = batch_;
+    batch.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
       const std::size_t n = std::min(max_batch, queue_.size());
@@ -195,6 +200,9 @@ class Session {
 
       std::lock_guard<std::mutex> lock(mu_);
       ++steps_;
+      // Sampled under the lock so stats() never reads filter_ while a
+      // worker is stepping it (steady state: constant after the first step).
+      workspace_bytes_ = filter_.workspace_bytes();
       sum_step_s_ += seconds;
       worst_step_s_ = std::max(worst_step_s_, seconds);
       if (!timing.meets_deadline) ++deadline_misses_;
@@ -238,6 +246,7 @@ class Session {
     s.dropped = dropped_;
     s.worst_step_s = worst_step_s_;
     s.mean_step_s = steps_ ? sum_step_s_ / double(steps_) : 0.0;
+    s.workspace_bytes = workspace_bytes_;
     return s;
   }
 
@@ -250,8 +259,11 @@ class Session {
   const SessionId id_;
   const SessionConfig config_;
   kalman::KalmanFilter<double> filter_;  // stepped by the scheduled worker
+  std::vector<Vector<double>> batch_;    // step_pending drain buffer (single
+                                         // consumer, reused across calls)
 
   mutable std::mutex mu_;  // guards everything below
+  std::size_t workspace_bytes_ = 0;  // last sampled filter_.workspace_bytes()
   std::deque<Vector<double>> queue_;
   std::vector<Vector<double>> states_;
   std::vector<core::IterationTiming> timings_;

@@ -101,6 +101,7 @@ struct SessionStatsSnapshot {
   std::size_t dropped = 0;          // bins evicted by kDropOldest
   double worst_step_s = 0.0;
   double mean_step_s = 0.0;
+  std::size_t workspace_bytes = 0;  // filter step-workspace heap bytes
 };
 
 // Point-in-time view of the whole server.

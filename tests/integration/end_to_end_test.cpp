@@ -50,7 +50,10 @@ TEST(EndToEnd, AccuracyImprovesMonotonicallyWithApprox) {
     cfg.policy = 1;
     auto m = run_and_score(core::make_gauss_newton(cfg));
     EXPECT_TRUE(m.finite);
-    EXPECT_LT(m.mse, prev * 1.001) << "approx=" << approx;
+    // Once Newton has converged the MSE sits at the rounding noise floor
+    // (~1e-12 vs the double reference) and can wiggle either way, so the
+    // monotonicity check carries an absolute slack at that floor.
+    EXPECT_LT(m.mse, prev * 1.001 + 1e-12) << "approx=" << approx;
     prev = m.mse;
   }
   EXPECT_LT(prev, 1e-9);

@@ -113,6 +113,53 @@ TEST(MatrixTest, ResizeZeroesContent) {
   EXPECT_EQ(m(0, 0), 0.0);
 }
 
+TEST(MatrixTest, ResizeSameShapeStillZeroes) {
+  // The shape-preserving fast path must keep the zero-fill contract.
+  Matrix<double> m(2, 3, 7.0);
+  const double* before = m.data();
+  m.resize(2, 3);
+  EXPECT_EQ(m.data(), before);  // no reallocation
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(MatrixTest, ResizeForOverwriteKeepsBufferOnSameTotalSize) {
+  Matrix<double> m(2, 3, 5.0);
+  const double* before = m.data();
+  m.resize_for_overwrite(3, 2);  // same element count, new shape
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.data(), before);   // no reallocation, no writes
+  EXPECT_EQ(m(0, 0), 5.0);       // stale contents allowed to remain
+}
+
+TEST(MatrixTest, ResizeForOverwriteReusesCapacityWhenShrinking) {
+  Matrix<double> m(4, 4, 1.0);
+  const double* before = m.data();
+  const std::uint64_t allocs_before = thread_buffer_allocations();
+  m.resize_for_overwrite(2, 3);
+  EXPECT_EQ(m.data(), before);
+  m.resize_for_overwrite(4, 4);  // grows back within capacity
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(thread_buffer_allocations(), allocs_before);
+}
+
+TEST(MatrixTest, ThreadBufferAllocationsCountsSizingPaths) {
+  const std::uint64_t start = thread_buffer_allocations();
+  Matrix<double> m(2, 2);  // sized construction: +1
+  EXPECT_EQ(thread_buffer_allocations(), start + 1);
+  m.resize(2, 2);  // fast path: no allocation
+  EXPECT_EQ(thread_buffer_allocations(), start + 1);
+  m.resize(8, 8);  // growth beyond capacity: +1
+  EXPECT_EQ(thread_buffer_allocations(), start + 2);
+  m.resize_for_overwrite(8, 8);  // same size: no-op
+  EXPECT_EQ(thread_buffer_allocations(), start + 2);
+  Vector<double> v(3);  // sized vector construction: +1
+  EXPECT_EQ(thread_buffer_allocations(), start + 3);
+  v.resize_for_overwrite(3);
+  EXPECT_EQ(thread_buffer_allocations(), start + 3);
+}
+
 TEST(MatrixTest, CastConvertsElementwise) {
   Matrix<double> d(2, 2, {1.5, -2.25, 3.0, 0.0});
   Matrix<float> f = d.cast<float>();

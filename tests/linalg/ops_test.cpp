@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "../test_util.hpp"
 #include "linalg/random.hpp"
 
@@ -63,11 +65,191 @@ TEST_P(KernelSweep, MultiplyAtMatchesExplicitTranspose) {
                      1e-10 * k);
 }
 
+// The blocked kernels keep one accumulator per output element and walk the
+// shared dimension in the same (ascending) order as the naive reference, so
+// they must match it BIT-FOR-BIT — not just within tolerance.  This is what
+// lets the filter keep its exact-reproducibility guarantees after the
+// blocking rework (docs/performance.md).
+// The blocked kernels use the SAME per-element accumulation order as the
+// naive reference (one accumulator per output element, shared dimension
+// ascending), so any remaining difference comes only from the compiler
+// contracting multiply-add into FMA differently across the two loop
+// structures — bounded by a few ulps of the dot product.  The tolerance
+// scales with the shared dimension k (each fused term can shift the
+// running sum by one ulp).
+TEST_P(KernelSweep, BlockedKernelsMatchNaiveWithinFmaContraction) {
+  auto [m, k, n] = GetParam();
+  Rng rng(std::uint64_t(3 * m + 17 * k + 29 * n));
+  // Inputs in [-1, 1] => |dot| <= k, ulp(dot) <= k * eps.
+  const double tol = 4.0 * double(k) * std::numeric_limits<double>::epsilon();
+  auto a = random_matrix<double>(m, k, rng);
+  auto b = random_matrix<double>(k, n, rng);
+  expect_matrix_near(multiply(a, b), naive_multiply(a, b), tol, "nn");
+
+  auto bt = random_matrix<double>(n, k, rng);
+  expect_matrix_near(multiply_bt(a, bt), naive_multiply(a, bt.transposed()),
+                     tol, "nt");
+
+  auto at = random_matrix<double>(k, m, rng);
+  expect_matrix_near(multiply_at(at, b), naive_multiply(at.transposed(), b),
+                     tol, "tn");
+
+  // And against the retained naive namespace kernels.
+  Matrix<double> want;
+  naive::multiply_into(want, a, b);
+  expect_matrix_near(multiply(a, b), want, tol, "nn vs naive ns");
+  naive::multiply_bt_into(want, a, bt);
+  expect_matrix_near(multiply_bt(a, bt), want, tol, "nt vs naive ns");
+  naive::multiply_at_into(want, at, b);
+  expect_matrix_near(multiply_at(at, b), want, tol, "tn vs naive ns");
+}
+
+// Every _into kernel must fully overwrite a reused output: stale sentinel
+// values from a previous (differently shaped) use must never leak through
+// the resize_for_overwrite fast path.
+TEST_P(KernelSweep, IntoKernelsOverwriteStaleOutputs) {
+  auto [m, k, n] = GetParam();
+  Rng rng(std::uint64_t(11 * m + 5 * k + 7 * n));
+  auto a = random_matrix<double>(m, k, rng);
+  auto b = random_matrix<double>(k, n, rng);
+  auto bt = random_matrix<double>(n, k, rng);
+  auto at = random_matrix<double>(k, m, rng);
+
+  // Pre-size stale outputs with a DIFFERENT shape but same-or-larger
+  // element count, so resize_for_overwrite takes the no-write path.
+  const auto stale = [] { return Matrix<double>(61, 3, 99.0); };
+
+  Matrix<double> c = stale(), fresh;
+  multiply_into(c, a, b);
+  multiply_into(fresh, a, b);
+  expect_matrix_near(c, fresh, 0.0, "multiply_into");
+
+  c = stale();
+  multiply_bt_into(c, a, bt);
+  multiply_bt_into(fresh, a, bt);
+  expect_matrix_near(c, fresh, 0.0, "multiply_bt_into");
+
+  c = stale();
+  multiply_at_into(c, at, b);
+  multiply_at_into(fresh, at, b);
+  expect_matrix_near(c, fresh, 0.0, "multiply_at_into");
+
+  c = stale();
+  transpose_into(c, a);
+  transpose_into(fresh, a);
+  expect_matrix_near(c, fresh, 0.0, "transpose_into");
+
+  Vector<double> x = random_vector<double>(k, rng);
+  Vector<double> y(200, 99.0), y_fresh;
+  multiply_into(y, a, x);
+  multiply_into(y_fresh, a, x);
+  expect_vector_near(y, y_fresh, 0.0, "matvec");
+}
+
+TEST(OpsTest, SquareIntoKernelsOverwriteStaleOutputs) {
+  Rng rng(77);
+  const std::size_t n = 9;
+  auto a = random_matrix<double>(n, n, rng);
+  auto v = random_matrix<double>(n, n, rng);
+  const auto stale = [] { return Matrix<double>(4, 31, 99.0); };
+
+  Matrix<double> c = stale(), fresh;
+  two_i_minus_product_into(c, a, v);
+  two_i_minus_product_into(fresh, a, v);
+  expect_matrix_near(c, fresh, 0.0, "two_i_minus_product_into");
+
+  c = stale();
+  identity_minus_into(c, a);
+  identity_minus_into(fresh, a);
+  expect_matrix_near(c, fresh, 0.0, "identity_minus_into");
+
+  auto p = random_matrix<double>(n, n, rng);
+  symmetrize(p);
+  c = stale();
+  Matrix<double> scr1(2, 2, 99.0), scr2;
+  multiply_bt_symmetric_into(c, a, v);
+  multiply_bt_symmetric_into(fresh, a, v);
+  expect_matrix_near(c, fresh, 0.0, "multiply_bt_symmetric_into");
+
+  c = stale();
+  symmetric_sandwich_into(c, a, p, scr1);
+  symmetric_sandwich_into(fresh, a, p, scr2);
+  expect_matrix_near(c, fresh, 0.0, "symmetric_sandwich_into");
+}
+
+TEST(OpsTest, SymmetricBtMatchesFullProductOnUpperAndIsExactlySymmetric) {
+  Rng rng(21);
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 13u, 46u}) {
+    auto p = random_matrix<double>(n, n, rng);
+    symmetrize(p);
+    // A = X*P with symmetric P, so the product A * X^t is symmetric.
+    auto x = random_matrix<double>(n, n, rng);
+    Matrix<double> xp;
+    multiply_into(xp, x, p);
+    Matrix<double> full, sym;
+    multiply_bt_into(full, xp, x);
+    multiply_bt_symmetric_into(sym, xp, x);
+    // Upper triangle (incl. diagonal): bit-identical to the full product.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i; j < n; ++j)
+        EXPECT_EQ(sym(i, j), full(i, j)) << "upper (" << i << "," << j << ")";
+    // Whole matrix: exactly symmetric by construction.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        EXPECT_EQ(sym(i, j), sym(j, i)) << "mirror (" << i << "," << j << ")";
+  }
+}
+
+TEST(OpsTest, SymmetricBtRejectsNonSquareOutput) {
+  Matrix<double> a(3, 4), b(2, 4), c;
+  EXPECT_THROW(multiply_bt_symmetric_into(c, a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, SymmetricSandwichMatchesComposedProducts) {
+  Rng rng(31);
+  for (auto [rows, inner] : {std::pair<std::size_t, std::size_t>{6, 6},
+                             {46, 6}, {5, 9}, {1, 1}}) {
+    auto x = random_matrix<double>(rows, inner, rng);
+    auto p = random_matrix<double>(inner, inner, rng);
+    symmetrize(p);
+    Matrix<double> xp_scratch, got;
+    symmetric_sandwich_into(got, x, p, xp_scratch);
+    Matrix<double> xp, want;
+    multiply_into(xp, x, p);
+    multiply_bt_into(want, xp, x);
+    expect_matrix_near(got, want, 1e-12 * double(inner), "sandwich");
+    // The scratch holds the X*P panel afterwards (the filter reuses it).
+    expect_matrix_near(xp_scratch, xp, 0.0, "sandwich scratch");
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < rows; ++j)
+        EXPECT_EQ(got(i, j), got(j, i));
+  }
+}
+
+TEST(OpsTest, SymmetricSandwichRejectsAliasedScratch) {
+  Matrix<double> x(2, 2, {1, 0, 0, 1});
+  Matrix<double> p(2, 2, {2, 0, 0, 2});
+  Matrix<double> c;
+  EXPECT_THROW(symmetric_sandwich_into(c, x, p, c), std::invalid_argument);
+  EXPECT_THROW(symmetric_sandwich_into(c, x, p, p), std::invalid_argument);
+}
+
+TEST(OpsTest, TransposeIntoMatchesTransposed) {
+  Rng rng(41);
+  auto a = random_matrix<double>(7, 13, rng);
+  Matrix<double> t;
+  transpose_into(t, a);
+  expect_matrix_near(t, a.transposed(), 0.0);
+  EXPECT_THROW(transpose_into(a, a), std::invalid_argument);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Shapes, KernelSweep,
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
                       std::make_tuple(6, 6, 6), std::make_tuple(1, 16, 5),
                       std::make_tuple(6, 46, 46), std::make_tuple(17, 9, 33),
+                      std::make_tuple(5, 7, 9), std::make_tuple(13, 4, 2),
+                      std::make_tuple(164, 6, 3), std::make_tuple(3, 6, 164),
                       std::make_tuple(52, 52, 52)));
 
 TEST(OpsTest, MatVecMatchesManual) {
@@ -134,8 +316,8 @@ TEST(OpsTest, DiagonalExtraction) {
 }
 
 TEST(OpsTest, MultiplyIntoAccumulatesFromOutput) {
-  // multiply_into adds into the (resized, zeroed) output; calling it on a
-  // fresh matrix must equal the plain product even after reuse.
+  // multiply_into overwrites its output; reusing a dirty matrix must equal
+  // the product into a fresh one.
   Rng rng(9);
   auto a = random_matrix<double>(4, 4, rng);
   auto b = random_matrix<double>(4, 4, rng);

@@ -434,12 +434,23 @@ int run_telemetry_demo(int argc, char** argv) {
   telemetry::SpanTracer::global().set_enabled(true);
   telemetry::SpanTracer::global().set_thread_name("main");
 
-  // 1. Library-level filter: phase spans + strategy/Newton counters.
+  // 1. Library-level filter: phase spans + strategy/Newton counters, plus
+  // the workspace gauges of the allocation-free hot path.  Printed while
+  // the filter is alive: kalmmind.kf.workspace_bytes tracks live filters
+  // and retires each contribution on destruction.
   {
     telemetry::Span span("demo.filter_run", "demo");
     kalman::KalmanFilter<double> filter(
         dataset.model, kalman::make_inverse_strategy<double>("interleaved"));
     filter.run(dataset.test_measurements);
+    auto& registry = telemetry::MetricsRegistry::global();
+    std::printf(
+        "workspace  : kalmmind.kf.workspace_bytes=%.0f "
+        "(this filter: %zu), kalmmind.kf.step_allocations_total=%llu\n",
+        registry.gauge("kalmmind.kf.workspace_bytes").value(),
+        filter.workspace_bytes(),
+        static_cast<unsigned long long>(
+            registry.counter("kalmmind.kf.step_allocations_total").value()));
   }
 
   // 2. Decode server: session spans, queue-depth counter track, latency
