@@ -200,6 +200,42 @@ void BM_FilterStepTelemetryOff(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterStepTelemetryOff)->Arg(46)->Arg(164);
 
+// ---- health-monitor overhead on the clean path ----
+
+// The robustness budget (docs/robustness.md): with every step healthy, the
+// monitor may cost at most ~2% over the unmonitored step.  The interleaved
+// strategy is used on purpose — its approximation steps pay the most
+// expensive clean-path check, the two-matvec Newton residual probe.
+void bench_filter_step_health(benchmark::State& state, bool health_on) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const auto model = bench_model(6, z_dim);
+  Rng rng(11);
+  const auto z = random_vector<double>(z_dim, rng);
+  kalmmind::kalman::FilterOptions opts;
+  opts.health.enabled = health_on;
+  kalmmind::kalman::StrategyParams<double> params;
+  params.interleave = {3, 2,
+                       kalmmind::kalman::SeedPolicy::kPreviousIteration};
+  kalmmind::kalman::KalmanFilter<double> filter(
+      model,
+      kalmmind::kalman::make_inverse_strategy<double>("interleaved", params),
+      opts);
+  for (auto _ : state) {
+    const auto& x = filter.step(z);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+
+void BM_FilterStepHealthOn(benchmark::State& state) {
+  bench_filter_step_health(state, /*health_on=*/true);
+}
+BENCHMARK(BM_FilterStepHealthOn)->Arg(46)->Arg(164);
+
+void BM_FilterStepHealthOff(benchmark::State& state) {
+  bench_filter_step_health(state, /*health_on=*/false);
+}
+BENCHMARK(BM_FilterStepHealthOff)->Arg(46)->Arg(164);
+
 // ---- workspace step vs. the pre-workspace per-call-temporaries step ----
 
 // The filter hot path as it was before the workspace rework: naive kernels,

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Static-analysis + sanitizer matrix (see docs/static_analysis.md):
 #
-#   1. kalmmind-lint over the repo tree (repo-specific rules R1-R4)
+#   1. kalmmind-lint over the repo tree (repo-specific rules R1-R5)
 #   2. clang-tidy over src/ + tools/ (skipped with a notice when clang-tidy
 #      is not installed; CI always runs it)
 #   3. the full test suite under ASan + UBSan

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Chaos soak (docs/robustness.md): build with ASan+UBSan and the
+# KALMMIND_FAULTS injection hooks, run the robustness suites once, then
+# loop the seeded fault-storm test over a set of seeds.  Any failure
+# prints the seed; replay it with
+#   KALMMIND_CHAOS_SEED=<seed> ctest --test-dir build-chaos -R ServeChaos
+#
+# Usage: scripts/chaos.sh
+#        CHAOS_SEEDS="7 99 424242" scripts/chaos.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS="${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10}"
+
+echo "== chaos: ASan+UBSan build with fault injection =="
+cmake -B build-chaos -S . \
+  -DKALMMIND_ASAN=ON \
+  -DKALMMIND_UBSAN=ON \
+  -DKALMMIND_FAULTS=ON \
+  -DKALMMIND_BUILD_BENCH=OFF \
+  -DKALMMIND_BUILD_EXAMPLES=OFF
+cmake --build build-chaos -j"$(nproc)" \
+  --target test_kalman test_soc test_serve
+
+echo
+echo "== chaos: robustness suites, scheduled faults =="
+ctest --test-dir build-chaos --output-on-failure -j"$(nproc)" \
+  -R 'KalmanHealth|SocFaultInjection|ServeSelfHealing'
+
+echo
+echo "== chaos: seeded fault storms (seeds: ${SEEDS}) =="
+for seed in ${SEEDS}; do
+  echo "-- chaos seed ${seed}"
+  KALMMIND_CHAOS_SEED="${seed}" \
+    ctest --test-dir build-chaos --output-on-failure -R 'ServeChaos'
+done
+
+echo
+echo "chaos: OK"

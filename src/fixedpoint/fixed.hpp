@@ -152,6 +152,14 @@ class Fixed {
 
   std::string to_string() const { return std::to_string(to_double()); }
 
+#if defined(KALMMIND_FAULTS)
+  // Fault-injection hook (KALMMIND_FAULTS builds only, docs/robustness.md):
+  // XOR-corrupt the raw Q-format word the way a datapath register upset
+  // would.  Flipping a high bit throws the value to the far end of the
+  // range, so the next arithmetic op saturates and is counted in stats().
+  void corrupt_raw(Storage xor_mask) { raw_ ^= xor_mask; }
+#endif
+
  private:
   static constexpr Storage saturate(wide_type v) {
     constexpr wide_type lo = std::numeric_limits<Storage>::min();

@@ -115,11 +115,21 @@ class AdaptiveKalmanFilter {
     return true;
   }
 
+  bool covariance_diag_finite() const {
+    const Matrix<T>& p = filter_.covariance();
+    for (std::size_t i = 0; i < p.rows(); ++i)
+      if (!std::isfinite(linalg::to_double(p(i, i)))) return false;
+    return true;
+  }
+
   void accumulate(const Vector<T>& x, const Vector<T>& z) {
     // A diverged filter (e.g. an inversion strategy losing its seed basin)
     // must not poison the RLS accumulators — the run keeps going and the
-    // divergence shows up in the metrics instead of as a crash.
-    if (!finite(x) || !finite(z)) return;
+    // divergence shows up in the metrics instead of as a crash.  The
+    // covariance diagonal is scanned too: a NaN-poisoned P with a still-
+    // finite x corrupts the gain one step before the state follows, and
+    // that step's prediction must not enter the accumulators either.
+    if (!finite(x) || !finite(z) || !covariance_diag_finite()) return;
     const T lambda = linalg::ScalarTraits<T>::from_double(config_.forgetting);
     const std::size_t xd = x.size();
     const std::size_t zd = z.size();

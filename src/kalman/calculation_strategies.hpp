@@ -63,6 +63,9 @@ class CalculationStrategy final : public InverseStrategy<T> {
 
   std::string name() const override { return to_string(method_); }
 
+  // Every step already runs the calculation path.
+  bool request_calculation() override { return true; }
+
   CalcMethod method() const { return method_; }
 
  private:

@@ -52,6 +52,8 @@ class CountedStrategy final : public InverseStrategy<T> {
   InverseEvent last_event() const override { return inner_->last_event(); }
   void reset() override { inner_->reset(); }
   std::string name() const override { return inner_->name(); }
+  bool request_calculation() override { return inner_->request_calculation(); }
+  bool harden_seed_policy() override { return inner_->harden_seed_policy(); }
 
  private:
   InverseStrategyPtr<T> inner_;

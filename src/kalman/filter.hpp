@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "kalman/health.hpp"
 #include "kalman/model.hpp"
 #include "kalman/strategy.hpp"
 #include "kalman/workspace.hpp"
@@ -75,10 +76,13 @@ struct FilterOptions {
   // datapaths use the plain update, like Fig. 2.
   bool joseph_update = false;
 
-  // Non-throwing validation, same contract as KalmanModel::check().  Every
-  // current field combination is legal; the method exists so config
-  // consumers (the decode server's SessionConfig) can validate uniformly.
-  [[nodiscard]] Status check() const noexcept { return Status::Ok(); }
+  // Numerical health monitoring + recovery (kalman/health.hpp).  Disabled
+  // by default: divergence of aggressive interleave configs is a measured
+  // result of the paper's evaluation, so recovery is opt-in.
+  HealthConfig health;
+
+  // Non-throwing validation, same contract as KalmanModel::check().
+  [[nodiscard]] Status check() const noexcept { return health.check(); }
 
   void validate() const {
     if (Status s = check(); !s.ok()) {
@@ -94,8 +98,10 @@ class KalmanFilter {
                FilterOptions options = {})
       : model_(std::move(model)),
         strategy_(std::move(strategy)),
-        options_(options) {
+        options_(options),
+        health_(options.health) {
     model_.validate();
+    options_.validate();
     if (!strategy_) {
       throw std::invalid_argument("KalmanFilter: null inverse strategy");
     }
@@ -110,6 +116,8 @@ class KalmanFilter {
     p_ = model_.p0;
     iteration_ = 0;
     strategy_->reset();
+    health_.reset();
+    last_inverse_event_ = {};
   }
 
   // One KF iteration with measurement z; returns the new state estimate.
@@ -118,6 +126,11 @@ class KalmanFilter {
   const Vector<T>& step(const Vector<T>& z) {
     if (z.size() != model_.z_dim()) {
       throw std::invalid_argument("KalmanFilter::step: bad measurement size");
+    }
+    if (health_.enabled()) {
+      health_.begin_step();
+      if (health_.fallback_active()) return fallback_step(z);
+      if (!health_.measurement_ok(z)) return predict_only_step();
     }
     const std::uint64_t allocs_before = linalg::thread_buffer_allocations();
     {
@@ -147,8 +160,20 @@ class KalmanFilter {
       const bool tracing = tracer.enabled();
       const double t0_us = tracing ? tracer.now_us() : 0.0;
       strategy_->invert_into(ws_.s_inv, ws_.s, iteration_);
-      const InverseEvent inv_event = strategy_->last_event();
-      if (tracing) {
+      InverseEvent inv_event = strategy_->last_event();
+      // A Newton approximation whose probe residual exceeds the eq. (3)
+      // basin is repaired within the same step: force and run the exact
+      // calculation path now, so the bad gain never reaches the update.
+      if (health_.enabled() &&
+          inv_event.path == InversePath::kApproximation &&
+          !health_.approx_residual_ok(ws_.s, ws_.s_inv) &&
+          strategy_->request_calculation()) {
+        strategy_->invert_into(ws_.s_inv, ws_.s, iteration_);
+        inv_event = strategy_->last_event();
+        health_.note_forced_calculation();
+      }
+      last_inverse_event_ = inv_event;
+      if (tracing && tracer.enabled()) {
         const char* path_name =
             inv_event.path == InversePath::kCalculation ? "kf.s_inverse.calc"
             : inv_event.path == InversePath::kApproximation
@@ -185,6 +210,9 @@ class KalmanFilter {
       linalg::multiply_into(ws_.hx, model_.h, x_pred);
       ws_.innovation = z;
       ws_.innovation -= ws_.hx;
+      if (health_.enabled()) {
+        health_.gate_innovation(ws_.innovation, ws_.s);
+      }
       linalg::multiply_into(ws_.correction, ws_.k, ws_.innovation);
       x_ = x_pred;
       x_ += ws_.correction;
@@ -202,6 +230,10 @@ class KalmanFilter {
       } else {
         linalg::multiply_into(p_, ws_.i_minus_kh, ws_.p_pred);
       }
+    }
+
+    if (health_.enabled()) {
+      health_.post_step(x_, p_, model_, *strategy_);
     }
 
     if (telemetry::enabled()) {
@@ -222,7 +254,9 @@ class KalmanFilter {
     out.events.reserve(measurements.size());
     for (const auto& z : measurements) {
       out.states.push_back(step(z));
-      out.events.push_back(strategy_->last_event());
+      // Not strategy_->last_event(): recovery paths (predict-only, SSKF
+      // fallback) run no inversion, which the strategy cannot know.
+      out.events.push_back(last_inverse_event_);
     }
     out.final_covariance = p_;
     return out;
@@ -241,6 +275,18 @@ class KalmanFilter {
     model_.r = std::move(r);
   }
 
+  // Overwrite the filter state/covariance (the serve layer carries the
+  // estimate across strategy swaps when degrading/restoring a session).
+  void set_state(Vector<T> x, Matrix<T> p) {
+    if (x.size() != model_.x_dim() || p.rows() != model_.x_dim() ||
+        p.cols() != model_.x_dim()) {
+      throw std::invalid_argument("KalmanFilter::set_state: shape mismatch");
+    }
+    x_ = std::move(x);
+    x_pred_ = x_;
+    p_ = std::move(p);
+  }
+
   const Vector<T>& state() const { return x_; }
   // The prior prediction x' = F x of the most recent step (before the
   // measurement update).  Adaptive decoders regress on this instead of the
@@ -253,8 +299,61 @@ class KalmanFilter {
   // Heap bytes owned by the per-filter step workspace (excludes strategy
   // internals); exported as the kalmmind.kf.workspace_bytes gauge.
   std::size_t workspace_bytes() const { return ws_.bytes(); }
+  // Health-monitor verdicts and recovery counts (kalman/health.hpp).
+  const HealthStats& health() const { return health_.stats(); }
+  const HealthConfig& health_config() const { return health_.config(); }
+  // The inversion path the most recent step actually took (kNone for
+  // recovery steps that ran no inversion).
+  const InverseEvent& last_inverse_event() const {
+    return last_inverse_event_;
+  }
 
  private:
+  // Non-finite measurement: propagate the prior only.  The prediction is
+  // still health-checked — an unstable F can blow it up on its own.
+  const Vector<T>& predict_only_step() {
+    linalg::multiply_into(x_pred_, model_.f, x_);
+    linalg::symmetric_sandwich_into(ws_.p_pred, model_.f, p_, ws_.fp);
+    ws_.p_pred += model_.q;
+    x_ = x_pred_;
+    p_ = ws_.p_pred;
+    health_.post_step(x_, p_, model_, *strategy_);
+    last_inverse_event_ = {InversePath::kNone, 0};
+    if (telemetry::enabled()) {
+      auto& ft = detail::FilterTelemetry::get();
+      ft.invert_none.add();
+      ft.steps.add();
+    }
+    ++iteration_;
+    return x_;
+  }
+
+  // SSKF fallback (ladder rung 4): constant steady-state gain, frozen
+  // covariance, no inversion.  Sticky until reset().
+  const Vector<T>& fallback_step(const Vector<T>& z) {
+    linalg::multiply_into(x_pred_, model_.f, x_);
+    if (health_.measurement_ok(z)) {
+      linalg::multiply_into(ws_.hx, model_.h, x_pred_);
+      ws_.innovation = z;
+      ws_.innovation -= ws_.hx;
+      linalg::multiply_into(ws_.correction, *health_.fallback_gain(),
+                            ws_.innovation);
+      x_ = x_pred_;
+      x_ += ws_.correction;
+    } else {
+      x_ = x_pred_;
+    }
+    health_.fallback_post_step(x_, model_);
+    last_inverse_event_ = {InversePath::kNone, 0};
+    if (telemetry::enabled()) {
+      auto& ft = detail::FilterTelemetry::get();
+      ft.invert_none.add();
+      ft.steps.add();
+    }
+    ++iteration_;
+    return x_;
+  }
+
   KalmanModel<T> model_;
   InverseStrategyPtr<T> strategy_;
   FilterOptions options_;
@@ -263,6 +362,8 @@ class KalmanFilter {
   Matrix<T> p_;
   KfWorkspace<T> ws_;
   detail::WorkspaceBytesReporter ws_reporter_;
+  NumericalHealthMonitor<T> health_;
+  InverseEvent last_inverse_event_;
   std::size_t iteration_ = 0;
 };
 

@@ -55,11 +55,13 @@ template <typename T>
 class InterleavedStrategy final : public InverseStrategy<T> {
  public:
   InterleavedStrategy(CalcMethod calc_method, InterleaveConfig config)
-      : calc_method_(calc_method), config_(config) {}
+      : calc_method_(calc_method), config_(config), initial_config_(config) {}
 
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
                    std::size_t kf_iteration) override {
-    if (config_.is_calculation_iteration(kf_iteration) || !seed_ready_) {
+    if (force_calculation_ || config_.is_calculation_iteration(kf_iteration) ||
+        !seed_ready_) {
+      force_calculation_ = false;
       // Path A.  (The very first invert must calculate even if the
       // schedule says otherwise — there is no seed yet.)  A singular (or
       // NaN-poisoned) S yields a NaN inverse rather than an exception —
@@ -96,9 +98,24 @@ class InterleavedStrategy final : public InverseStrategy<T> {
 
   void reset() override {
     seed_ready_ = false;
+    force_calculation_ = false;
+    config_ = initial_config_;  // undo harden_seed_policy()
     last_calculated_ = Matrix<T>();
     previous_ = Matrix<T>();
     last_event_ = {};
+  }
+
+  // Recovery hooks: the health ladder forces the next inversion onto the
+  // calculation path / pins the seed to the last-calculated inverse (both
+  // sticky until reset()).
+  bool request_calculation() override {
+    force_calculation_ = true;
+    return true;
+  }
+
+  bool harden_seed_policy() override {
+    config_.policy = SeedPolicy::kLastCalculated;
+    return true;
   }
 
   std::string name() const override {
@@ -114,7 +131,9 @@ class InterleavedStrategy final : public InverseStrategy<T> {
  private:
   CalcMethod calc_method_;
   InterleaveConfig config_;
+  InterleaveConfig initial_config_;
   bool seed_ready_ = false;
+  bool force_calculation_ = false;
   Matrix<T> last_calculated_;  // S_j^-1, eq. (5) seed
   Matrix<T> previous_;         // S_{n-1}^-1, eq. (4) seed
   linalg::NewtonWorkspace<T> ws_;

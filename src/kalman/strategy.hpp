@@ -57,6 +57,19 @@ class InverseStrategy {
   virtual void reset() = 0;
 
   virtual std::string name() const = 0;
+
+  // --- Recovery hooks (kalman/health.hpp) --------------------------------
+  // Ask the strategy to run its exact calculation path (path A) on the next
+  // invert_into call regardless of the interleave schedule.  Returns true
+  // when the request is honored (or the strategy calculates every step
+  // anyway); false from pure approximators, which makes the recovery ladder
+  // escalate past this rung.
+  virtual bool request_calculation() { return false; }
+
+  // Ask the strategy to switch to its most conservative Newton seeding
+  // (seed policy 0 / last-calculated, eq. 5).  Returns true when the
+  // seeding changed (sticky until reset()); false when not applicable.
+  virtual bool harden_seed_policy() { return false; }
 };
 
 template <typename T>

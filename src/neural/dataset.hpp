@@ -17,6 +17,10 @@
 #include "neural/kinematics.hpp"
 #include "neural/training.hpp"
 
+#if defined(KALMMIND_FAULTS)
+#include "testing/fault_injection.hpp"
+#endif
+
 namespace kalmmind::neural {
 
 struct DatasetSpec {
@@ -54,5 +58,20 @@ DatasetSpec motor_spec();
 DatasetSpec somatosensory_spec();
 DatasetSpec hippocampus_spec();
 std::vector<DatasetSpec> all_dataset_specs();
+
+#if defined(KALMMIND_FAULTS)
+// Fault-injection hook (KALMMIND_FAULTS builds only, docs/robustness.md):
+// replay the injector's scheduled measurement faults over the held-out test
+// window, in place — bin n gets every measurement-class event scheduled for
+// step n.  Returns the number of events applied.
+inline std::size_t inject_measurement_faults(
+    NeuralDataset& dataset, const testing::FaultInjector& injector) {
+  std::size_t applied = 0;
+  for (std::size_t n = 0; n < dataset.test_measurements.size(); ++n) {
+    applied += injector.corrupt(dataset.test_measurements[n], n);
+  }
+  return applied;
+}
+#endif
 
 }  // namespace kalmmind::neural

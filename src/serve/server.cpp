@@ -238,6 +238,16 @@ ServerStats DecodeServer::stats() const {
     out.total_rejected += s.rejected;
     out.total_dropped += s.dropped;
     out.queued += s.queue_depth;
+    out.total_invalid_steps += s.invalid_steps;
+    out.total_restarts += s.restarts;
+    out.total_degradations += s.degradations;
+    out.total_quarantine_dropped += s.quarantine_dropped;
+    switch (s.state) {
+      case SessionState::kDegraded: ++out.degraded_sessions; break;
+      case SessionState::kQuarantined: ++out.quarantined_sessions; break;
+      case SessionState::kFailed: ++out.failed_sessions; break;
+      case SessionState::kHealthy: break;
+    }
     out.per_session.push_back(std::move(s));
   }
   out.uptime_s = std::chrono::duration<double>(
@@ -260,6 +270,10 @@ ServerStats DecodeServer::stats() const {
   registry.gauge("kalmmind.serve.queued_bins").set(double(out.queued));
   registry.gauge("kalmmind.serve.worker_utilization")
       .set(out.worker_utilization);
+  registry.gauge("kalmmind.serve.sessions_quarantined")
+      .set(double(out.quarantined_sessions));
+  registry.gauge("kalmmind.serve.sessions_degraded")
+      .set(double(out.degraded_sessions));
   return out;
 }
 
@@ -286,6 +300,12 @@ std::string ServerStats::to_string() const {
   std::snprintf(line, sizeof(line),
                 "quality    : %zu deadline misses, %zu rejected, %zu dropped\n",
                 total_deadline_misses, total_rejected, total_dropped);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "health     : %zu degraded, %zu quarantined, %zu failed  "
+                "(%zu restarts, %zu degradations, %zu invalid steps)\n",
+                degraded_sessions, quarantined_sessions, failed_sessions,
+                total_restarts, total_degradations, total_invalid_steps);
   out += line;
   return out;
 }

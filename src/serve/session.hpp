@@ -15,7 +15,9 @@
 // model + strategy stepped in a plain single-threaded loop.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <deque>
 #include <mutex>
@@ -27,11 +29,13 @@
 #include "core/realtime.hpp"
 #include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
+#include "kalman/riccati.hpp"
 #include "serve/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace kalmmind::serve {
 
+using linalg::Matrix;
 using linalg::Vector;
 
 namespace detail {
@@ -44,6 +48,10 @@ struct ServeTelemetry {
   telemetry::Counter& deadline_misses;
   telemetry::Counter& rejected;
   telemetry::Counter& dropped;
+  telemetry::Counter& invalid_steps;
+  telemetry::Counter& restarts;
+  telemetry::Counter& degradations;
+  telemetry::Counter& quarantine_dropped;
   telemetry::Gauge& queued_bins;
 
   static ServeTelemetry& get() {
@@ -56,6 +64,14 @@ struct ServeTelemetry {
             "kalmmind.serve.rejected_total"),
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.serve.dropped_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.invalid_steps_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.session_restarts_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.session_degradations_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.quarantine_dropped_total"),
         telemetry::MetricsRegistry::global().gauge(
             "kalmmind.serve.queued_bins"),
     };
@@ -77,6 +93,46 @@ enum class PushResult {
   kUnknownSession,  // no such session / session closed
 };
 
+// Serve-layer self-healing knobs (docs/robustness.md).  Quarantine backoff
+// counts *consumed bins*, not wall time: a quarantined session keeps
+// draining (and dropping) its queue while the backoff runs down, which
+// keeps the scheduler flowing and makes the state machine deterministic
+// under manual-mode poll() tests.
+struct SelfHealingConfig {
+  bool enabled = false;  // opt-in, like kalman::HealthConfig
+
+  // Divergence ladder: a decode the Status guard flags as Invalid sends the
+  // session to quarantine; the filter restarts from x0/P0 after the backoff
+  // drains.  Backoff doubles per restart already taken, capped at
+  // backoff_max_bins; after max_restarts the session is declared failed.
+  std::size_t max_restarts = 5;
+  std::size_t backoff_initial_bins = 1;
+  std::size_t backoff_max_bins = 64;
+
+  // Deadline pressure: after degrade_after_misses *consecutive* deadline
+  // misses the session swaps to the constant steady-state gain ("sskf",
+  // approx 0, the cheapest per-step strategy), carrying x/P across the
+  // swap; after recover_after_hits consecutive on-time steps the original
+  // strategy is restored the same way.  0 disables degradation.
+  std::size_t degrade_after_misses = 0;
+  std::size_t recover_after_hits = 16;
+
+  [[nodiscard]] Status check() const noexcept {
+    if (!enabled) return Status::Ok();
+    if (backoff_initial_bins == 0)
+      return Status::Invalid(
+          "SelfHealingConfig: backoff_initial_bins must be > 0");
+    if (backoff_max_bins < backoff_initial_bins)
+      return Status::Invalid(
+          "SelfHealingConfig: backoff_max_bins must be >= "
+          "backoff_initial_bins");
+    if (degrade_after_misses > 0 && recover_after_hits == 0)
+      return Status::Invalid(
+          "SelfHealingConfig: recover_after_hits must be > 0");
+    return Status::Ok();
+  }
+};
+
 struct SessionConfig {
   kalman::KalmanModel<double> model;
   // Inverse-strategy factory name (kalman::make_inverse_strategy) + its
@@ -94,11 +150,14 @@ struct SessionConfig {
   // Keep the decoded trajectory and per-step IterationTiming records in
   // memory.  Disable for long-running servers that only want stats.
   bool record_trajectory = true;
+  // Quarantine/restart + deadline degradation (docs/robustness.md).
+  SelfHealingConfig self_healing;
 
   // Non-throwing validation (exception-free session admission).
   [[nodiscard]] Status check() const noexcept {
     if (Status s = model.check(); !s.ok()) return s;
     if (Status s = filter_options.check(); !s.ok()) return s;
+    if (Status s = self_healing.check(); !s.ok()) return s;
     if (queue_capacity == 0)
       return Status::Invalid("SessionConfig: queue_capacity must be > 0");
     if (!(deadline_s > 0.0))
@@ -179,10 +238,55 @@ class Session {
       tracer.counter("serve.queued_bins", tm.queued_bins.value());
     }
     for (auto& z : batch) {
+      // Self-healing gate: quarantined/failed sessions consume bins without
+      // decoding them, so the queue keeps draining and the scheduler never
+      // spins on a broken stream.  When the quarantine backoff runs out the
+      // session restarts (fresh filter from x0/P0) and decodes this bin.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (state_ == SessionState::kFailed) {
+          ++quarantine_dropped_;
+          tm.quarantine_dropped.add();
+          continue;
+        }
+        if (state_ == SessionState::kQuarantined) {
+          if (backoff_remaining_ > 0) {
+            --backoff_remaining_;
+            ++quarantine_dropped_;
+            tm.quarantine_dropped.add();
+            continue;
+          }
+          state_ = SessionState::kHealthy;
+          ++restarts_;
+          tm.restarts.add();
+        }
+      }
+
       const auto t0 = std::chrono::steady_clock::now();
-      const Vector<double>& x = filter_.step(z);
+      const Vector<double>* x = nullptr;
+      const Status step_status = guarded_step(z, &x);
       const auto t1 = std::chrono::steady_clock::now();
-      const double seconds = std::chrono::duration<double>(t1 - t0).count();
+      double seconds = std::chrono::duration<double>(t1 - t0).count();
+#if defined(KALMMIND_FAULTS)
+      {
+        // Fault-injection hook: deterministic deadline outcomes for the
+        // degradation tests (see fault_override_step_seconds).
+        std::lock_guard<std::mutex> lock(mu_);
+        if (fault_step_seconds_ >= 0.0) seconds = fault_step_seconds_;
+      }
+#endif
+
+      if (!step_status.ok()) {
+        // The diverged decode is *not* recorded: no latency sample, no
+        // trajectory entry, no steps_ increment — so one blown-up stream
+        // cannot pollute the server's latency percentiles.
+        tm.invalid_steps.add();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++invalid_steps_;
+        if (config_.self_healing.enabled) enter_quarantine_locked();
+        continue;
+      }
+
       if (recorder) recorder->record(seconds);
       tm.steps.add();
       if (tracer.enabled()) {
@@ -207,8 +311,12 @@ class Session {
       worst_step_s_ = std::max(worst_step_s_, seconds);
       if (!timing.meets_deadline) ++deadline_misses_;
       if (config_.record_trajectory) {
-        states_.push_back(x);
+        states_.push_back(*x);
         timings_.push_back(timing);
+      }
+      if (config_.self_healing.enabled &&
+          config_.self_healing.degrade_after_misses > 0) {
+        track_deadline_locked(timing.meets_deadline, tm);
       }
     }
     return batch.size();
@@ -247,13 +355,140 @@ class Session {
     s.worst_step_s = worst_step_s_;
     s.mean_step_s = steps_ ? sum_step_s_ / double(steps_) : 0.0;
     s.workspace_bytes = workspace_bytes_;
+    s.state = state_;
+    s.invalid_steps = invalid_steps_;
+    s.restarts = restarts_;
+    s.degradations = degradations_;
+    s.quarantine_dropped = quarantine_dropped_;
     return s;
   }
+
+  SessionState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+#if defined(KALMMIND_FAULTS)
+  // Fault-injection hook (KALMMIND_FAULTS builds only, docs/robustness.md):
+  // override the measured per-step seconds so deadline-driven degradation
+  // tests are deterministic.  A negative value restores real timing.
+  void fault_override_step_seconds(double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_step_seconds_ = seconds;
+  }
+#endif
 
  private:
   std::size_t steps_done() const {
     std::lock_guard<std::mutex> lock(mu_);
     return steps_;
+  }
+
+  // Status-returning decode guard: step the filter and validate the result
+  // before it can reach the latency percentiles or the trajectory.  Invalid
+  // when the state came back non-finite, or when the filter-level health
+  // monitor had to engage its SSKF fallback — the serve layer treats that
+  // as stream-level divergence (quarantine + restart clears the fallback).
+  [[nodiscard]] Status guarded_step(const Vector<double>& z,
+                                    const Vector<double>** out) {
+    const Vector<double>& x = filter_.step(z);
+    *out = &x;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!std::isfinite(x[i])) {
+        return Status::Invalid("Session: decode produced non-finite state");
+      }
+    }
+    if (filter_.health().fallback_active) {
+      return Status::Invalid("Session: filter engaged its SSKF fallback");
+    }
+    return Status::Ok();
+  }
+
+  // Divergence response (mu_ held).  The filter restarts immediately — a
+  // degraded session is restored to its original strategy first, since the
+  // divergence may be the cheap strategy's fault — and the backoff then
+  // decides how many bins to drop before the stream decodes again.
+  void enter_quarantine_locked() {
+    if (restarts_ >= config_.self_healing.max_restarts) {
+      state_ = SessionState::kFailed;
+      return;
+    }
+    state_ = SessionState::kQuarantined;
+    const std::size_t shift = std::min<std::size_t>(restarts_, 16);
+    backoff_remaining_ =
+        std::min(config_.self_healing.backoff_initial_bins << shift,
+                 config_.self_healing.backoff_max_bins);
+    consecutive_misses_ = 0;
+    consecutive_hits_ = 0;
+    if (state_was_degraded()) {
+      rebuild_filter_locked(config_.strategy, config_.strategy_params);
+      degraded_ = false;
+    }
+    filter_.reset();
+  }
+
+  bool state_was_degraded() const { return degraded_; }
+
+  // Deadline-pressure ladder (mu_ held): consecutive misses degrade to the
+  // constant steady-state gain, consecutive hits restore the original
+  // strategy.  The estimate x/P carries across both swaps via set_state.
+  void track_deadline_locked(bool met_deadline, detail::ServeTelemetry& tm) {
+    if (!met_deadline) {
+      consecutive_hits_ = 0;
+      if (++consecutive_misses_ >=
+              config_.self_healing.degrade_after_misses &&
+          !degraded_ && !degrade_unavailable_) {
+        consecutive_misses_ = 0;
+        if (degrade_locked()) tm.degradations.add();
+      }
+      return;
+    }
+    consecutive_misses_ = 0;
+    if (degraded_ &&
+        ++consecutive_hits_ >= config_.self_healing.recover_after_hits) {
+      consecutive_hits_ = 0;
+      restore_locked();
+    }
+  }
+
+  bool degrade_locked() {
+    if (degraded_inverse_.empty()) {
+      // One Riccati solve per session, cached for later degradations.  A
+      // model whose recursion does not converge simply cannot degrade.
+      try {
+        degraded_inverse_ = kalman::solve_steady_state(config_.model).s_inv;
+      } catch (const std::exception&) {
+        degrade_unavailable_ = true;
+        return false;
+      }
+    }
+    kalman::StrategyParams<double> params;
+    params.preloaded_inverse = degraded_inverse_;
+    rebuild_filter_locked("sskf", params);
+    degraded_ = true;
+    state_ = SessionState::kDegraded;
+    ++degradations_;
+    return true;
+  }
+
+  void restore_locked() {
+    rebuild_filter_locked(config_.strategy, config_.strategy_params);
+    degraded_ = false;
+    state_ = SessionState::kHealthy;
+  }
+
+  // Swap the filter's strategy by rebuilding it, carrying the current
+  // estimate across the swap (mu_ held; the single-consumer contract means
+  // no other thread can be inside filter_).
+  void rebuild_filter_locked(const std::string& strategy,
+                             const kalman::StrategyParams<double>& params) {
+    Vector<double> x = filter_.state();
+    Matrix<double> p = filter_.covariance();
+    filter_ = kalman::KalmanFilter<double>(
+        config_.model, kalman::make_inverse_strategy<double>(strategy, params),
+        config_.filter_options);
+    filter_.set_state(std::move(x), std::move(p));
+    workspace_bytes_ = filter_.workspace_bytes();
   }
 
   const SessionId id_;
@@ -274,6 +509,21 @@ class Session {
   std::size_t dropped_ = 0;
   double worst_step_s_ = 0.0;
   double sum_step_s_ = 0.0;
+  // Self-healing state machine (docs/robustness.md), all under mu_.
+  SessionState state_ = SessionState::kHealthy;
+  std::size_t backoff_remaining_ = 0;   // bins left to drop in quarantine
+  std::size_t restarts_ = 0;
+  std::size_t degradations_ = 0;
+  std::size_t invalid_steps_ = 0;
+  std::size_t quarantine_dropped_ = 0;
+  std::size_t consecutive_misses_ = 0;
+  std::size_t consecutive_hits_ = 0;
+  bool degraded_ = false;
+  bool degrade_unavailable_ = false;    // Riccati solve failed: never degrade
+  Matrix<double> degraded_inverse_;     // cached steady-state S^-1
+#if defined(KALMMIND_FAULTS)
+  double fault_step_seconds_ = -1.0;    // < 0: use the real measurement
+#endif
 };
 
 }  // namespace kalmmind::serve

@@ -20,6 +20,29 @@ namespace kalmmind::serve {
 
 using SessionId = std::uint64_t;
 
+// Self-healing state of a session (docs/robustness.md).  Healthy sessions
+// decode normally; a session whose decode diverges is quarantined (bins are
+// consumed and dropped while an exponential backoff drains) and restarted a
+// bounded number of times before it is declared failed; a session under
+// sustained deadline pressure degrades to the constant steady-state gain
+// and recovers once headroom returns.
+enum class SessionState {
+  kHealthy = 0,
+  kDegraded,     // running the cheap "sskf" strategy after deadline misses
+  kQuarantined,  // diverged: dropping bins while the restart backoff drains
+  kFailed,       // restart budget exhausted: bins are consumed and dropped
+};
+
+inline const char* to_string(SessionState s) {
+  switch (s) {
+    case SessionState::kHealthy: return "healthy";
+    case SessionState::kDegraded: return "degraded";
+    case SessionState::kQuarantined: return "quarantined";
+    case SessionState::kFailed: return "failed";
+  }
+  return "?";
+}
+
 struct LatencySummary {
   std::size_t samples = 0;
   double p50_s = 0.0;
@@ -102,6 +125,12 @@ struct SessionStatsSnapshot {
   double worst_step_s = 0.0;
   double mean_step_s = 0.0;
   std::size_t workspace_bytes = 0;  // filter step-workspace heap bytes
+  // Self-healing (docs/robustness.md).
+  SessionState state = SessionState::kHealthy;
+  std::size_t invalid_steps = 0;       // diverged decodes caught by the guard
+  std::size_t restarts = 0;            // quarantine restarts performed
+  std::size_t degradations = 0;        // strategy downgrades performed
+  std::size_t quarantine_dropped = 0;  // bins consumed while not decoding
 };
 
 // Point-in-time view of the whole server.
@@ -116,6 +145,14 @@ struct ServerStats {
   double steps_per_second = 0.0;        // total_steps / uptime
   double worker_busy_s = 0.0;           // summed wall time inside batches
   double worker_utilization = 0.0;      // busy / (uptime * workers)
+  // Self-healing rollup (docs/robustness.md).
+  std::size_t degraded_sessions = 0;
+  std::size_t quarantined_sessions = 0;
+  std::size_t failed_sessions = 0;
+  std::size_t total_invalid_steps = 0;
+  std::size_t total_restarts = 0;
+  std::size_t total_degradations = 0;
+  std::size_t total_quarantine_dropped = 0;
   LatencySummary step_latency;
   std::vector<SessionStatsSnapshot> per_session;
 

@@ -9,6 +9,10 @@
 #include <stdexcept>
 #include <vector>
 
+#if defined(KALMMIND_FAULTS)
+#include <bit>
+#endif
+
 #include "common/numeric.hpp"
 
 namespace kalmmind::soc {
@@ -52,6 +56,22 @@ class MainMemory {
     return params_.access_latency_cycles +
            to_cycles(double(count) / params_.words_per_cycle);
   }
+
+#if defined(KALMMIND_FAULTS)
+  // Fault-injection hook (KALMMIND_FAULTS builds only, docs/robustness.md):
+  // flip one bit of the IEEE-754 representation of the word at `addr`,
+  // modeling a DRAM / PLM single-event upset.  bit 63 = sign, 62..52 =
+  // exponent (the catastrophic flips), 51..0 = mantissa.
+  void flip_word_bit(std::size_t addr, unsigned bit) {
+    check(addr, 1);
+    if (bit >= 64) {
+      throw std::out_of_range("MainMemory::flip_word_bit: bit must be < 64");
+    }
+    std::uint64_t raw = std::bit_cast<std::uint64_t>(words_[addr]);
+    raw ^= std::uint64_t{1} << bit;
+    words_[addr] = std::bit_cast<double>(raw);
+  }
+#endif
 
  private:
   void check(std::size_t addr, std::size_t count) const {

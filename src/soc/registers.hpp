@@ -39,6 +39,15 @@ class RegisterFile {
   // Device-side access (the tile itself may set STATUS).
   void set_status(std::uint32_t status) { regs_[index(Reg::kStatus)] = status; }
 
+#if defined(KALMMIND_FAULTS)
+  // Fault-injection hook (KALMMIND_FAULTS builds only, docs/robustness.md):
+  // XOR-corrupt a register the way a single-event upset would — device
+  // side, so even the write-protected STATUS register can be hit.
+  void corrupt_register(Reg reg, std::uint32_t xor_mask) {
+    regs_.at(index(reg)) ^= xor_mask;
+  }
+#endif
+
   void reset() { regs_.fill(0); }
 
  private:

@@ -1,0 +1,156 @@
+// Deterministic, seeded fault injection (docs/robustness.md).
+//
+// One FaultInjector drives every chaos path in the repo: measurement
+// corruption (NaN spikes, electrode dropout, amplifier saturation) applied
+// directly to measurement vectors, IEEE-754 bit flips for the SoC
+// main-memory / PLM hook (soc::MainMemory::flip_word_bit), register upsets
+// (soc::RegisterFile::corrupt_register) and fixed-point datapath upsets
+// (fixedpoint::Fixed::corrupt_raw).  Faults are either *scheduled* — a
+// FaultEvent plan replayed by step index, so a test names exactly which
+// step breaks — or drawn from the injector's splitmix64 stream, which is a
+// pure function of the seed: same seed, same fault storm, on every
+// platform.
+//
+// The whole header is compiled only under KALMMIND_FAULTS (the default-ON
+// CMake option; release builds configure it OFF).  kalmmind-lint rule R5
+// enforces that every use of this API inside src/ sits behind the same
+// gate.
+#pragma once
+
+#if defined(KALMMIND_FAULTS)
+
+#include <cstddef>
+#include <cstdint>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind::testing {
+
+enum class FaultKind {
+  kNanSpike,            // one channel -> quiet NaN
+  kChannelDropout,      // a run of channels -> 0 (dead electrodes)
+  kSaturation,          // one channel -> +/- magnitude (railed amplifier)
+  kBitFlip,             // SoC memory word, applied via flip_word_bit
+  kRegisterCorruption,  // MMIO register, applied via corrupt_register
+  kFixedOverflow,       // fixed-point raw word, applied via corrupt_raw
+};
+
+inline const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNanSpike: return "nan_spike";
+    case FaultKind::kChannelDropout: return "channel_dropout";
+    case FaultKind::kSaturation: return "saturation";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kRegisterCorruption: return "register_corruption";
+    case FaultKind::kFixedOverflow: return "fixed_overflow";
+  }
+  return "?";
+}
+
+// One scheduled fault.  Field meaning depends on kind:
+//   index     channel (measurement kinds) / word address (kBitFlip) /
+//             register number (kRegisterCorruption)
+//   bit       which IEEE-754 bit to flip (kBitFlip)
+//   magnitude rail value (kSaturation)
+//   count     run length in channels (kChannelDropout)
+struct FaultEvent {
+  std::size_t step = 0;
+  FaultKind kind = FaultKind::kNanSpike;
+  std::size_t index = 0;
+  unsigned bit = 62;  // top exponent bit: the catastrophic flip
+  double magnitude = 1e6;
+  std::size_t count = 1;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : state_(seed ? seed : 1) {}
+
+  // splitmix64: tiny, seed-deterministic, platform-independent.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double next_unit() {
+    return double(next_u64() >> 11) * 0x1.0p-53;  // [0, 1)
+  }
+  std::size_t next_index(std::size_t n) {
+    return n == 0 ? 0 : std::size_t(next_u64() % n);
+  }
+
+  void schedule(const FaultEvent& event) { plan_.push_back(event); }
+  const std::vector<FaultEvent>& plan() const { return plan_; }
+
+  // Apply every scheduled *measurement-class* event for `step` to z;
+  // returns the number applied.  Memory/register/fixed-point events are
+  // replayed by the owner of those objects (see events_at).
+  std::size_t corrupt(linalg::Vector<double>& z, std::size_t step) const {
+    std::size_t applied = 0;
+    for (const FaultEvent& e : plan_) {
+      if (e.step != step) continue;
+      switch (e.kind) {
+        case FaultKind::kNanSpike:
+          nan_spike(z, e.index);
+          ++applied;
+          break;
+        case FaultKind::kChannelDropout:
+          dropout(z, e.index, e.count);
+          ++applied;
+          break;
+        case FaultKind::kSaturation:
+          saturate(z, e.index, e.magnitude);
+          ++applied;
+          break;
+        default:
+          break;  // non-measurement kinds: not ours to apply
+      }
+    }
+    return applied;
+  }
+
+  // Scheduled events of one kind at one step, for replay against the SoC /
+  // fixed-point hooks.
+  std::vector<FaultEvent> events_at(std::size_t step, FaultKind kind) const {
+    std::vector<FaultEvent> out;
+    for (const FaultEvent& e : plan_) {
+      if (e.step == step && e.kind == kind) out.push_back(e);
+    }
+    return out;
+  }
+
+  // Direct corruptions (deterministic; no RNG draw).
+  static void nan_spike(linalg::Vector<double>& z, std::size_t channel) {
+    if (z.size() == 0) return;
+    z[channel % z.size()] = std::numeric_limits<double>::quiet_NaN();
+  }
+  static void dropout(linalg::Vector<double>& z, std::size_t first,
+                      std::size_t count) {
+    for (std::size_t i = 0; i < count && z.size() > 0; ++i) {
+      z[(first + i) % z.size()] = 0.0;
+    }
+  }
+  static void saturate(linalg::Vector<double>& z, std::size_t channel,
+                       double magnitude) {
+    if (z.size() == 0) return;
+    z[channel % z.size()] = magnitude;
+  }
+  static void flip_bit(double& word, unsigned bit) {
+    std::uint64_t raw = std::bit_cast<std::uint64_t>(word);
+    raw ^= std::uint64_t{1} << (bit % 64);
+    word = std::bit_cast<double>(raw);
+  }
+
+ private:
+  std::uint64_t state_;
+  std::vector<FaultEvent> plan_;
+};
+
+}  // namespace kalmmind::testing
+
+#endif  // KALMMIND_FAULTS

@@ -1,0 +1,14 @@
+// R5 fixture: fault-injection API used outside a KALMMIND_FAULTS gate.
+#pragma once
+#include "testing/fault_injection.hpp"
+
+inline void storm() {
+  kalmmind::testing::FaultInjector injector(7);
+#if defined(KALMMIND_FAULTS)
+  injector.next_u64();
+  memory().flip_word_bit(0, 62);
+#else
+  // The #else of a faults gate is the faults-OFF build: hooks banned here.
+  regs().corrupt_register(2, 1);
+#endif
+}

@@ -58,6 +58,8 @@ TEST(LintRuleSelection, FollowsPathSegments) {
   auto generic = kalmmind::lint::rules_for_path("src/serve/session.hpp");
   EXPECT_TRUE(generic.status_discipline);
   EXPECT_TRUE(generic.telemetry_guard);
+  EXPECT_TRUE(generic.fault_gate);
+  EXPECT_TRUE(hls.fault_gate);  // R5 applies everywhere the linter runs
 }
 
 TEST(LintR1, FlagsEveryBannedConstructAtExactLines) {
@@ -107,6 +109,30 @@ TEST(LintR3, OnlyAppliesToFixedpointPaths) {
 TEST(LintR4, FlagsDirectIncludeAndUnguardedEmission) {
   auto findings = lint_fixture("serve/bad_telemetry.hpp");
   EXPECT_EQ(keys(findings), (Keys{{"R4", 3}, {"R4", 6}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR5, FlagsUngatedFaultApiIncludingElseOfInvertedGate) {
+  // Line 3: ungated include; line 6: ungated FaultInjector; line 12:
+  // corrupt_register in the #else (faults-OFF) branch of the gate.  The
+  // gated lines 8-9 raise nothing.
+  auto findings = lint_fixture("serve/bad_faults.hpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R5", 3}, {"R5", 6}, {"R5", 12}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR5, InvertedGateElseBranchIsGated) {
+  // #ifndef KALMMIND_FAULTS: the *else* branch is the faults-ON build, so
+  // hooks are legal there and banned in the primary branch.
+  const std::string content =
+      "#ifndef KALMMIND_FAULTS\n"
+      "inline void no_op(double&) { /* corrupt_raw lives in comments */ }\n"
+      "fixed.corrupt_raw(1);\n"
+      "#else\n"
+      "fixed.corrupt_raw(1);\n"
+      "#endif\n";
+  auto findings = kalmmind::lint::lint_file("serve/inverted.hpp", content);
+  EXPECT_EQ(keys(findings), (Keys{{"R5", 3}}))
       << kalmmind::lint::format_findings(findings);
 }
 

@@ -361,6 +361,89 @@ void check_telemetry_guard(const std::vector<std::string>& raw,
   }
 }
 
+// ---------------------------------------------------------------------------
+// R5: fault-injection gating.
+// ---------------------------------------------------------------------------
+
+// Per-line mask: true when the line sits inside a preprocessor region
+// conditioned on KALMMIND_FAULTS.  Tracks the full #if nesting stack:
+// `#ifdef KALMMIND_FAULTS` / `#if defined(KALMMIND_FAULTS) ...` open a
+// gated region, `#else` flips it off (and flips the `#ifndef
+// KALMMIND_FAULTS` inverse form on), `#endif` pops.  A line is gated when
+// *any* enclosing frame is.
+std::vector<char> faults_gate_mask(const std::vector<std::string>& code) {
+  static const std::regex kIf(R"(^\s*#\s*(if|ifdef|ifndef)\b)");
+  static const std::regex kElif(R"(^\s*#\s*elif\b)");
+  static const std::regex kElse(R"(^\s*#\s*else\b)");
+  static const std::regex kEndif(R"(^\s*#\s*endif\b)");
+  static const std::regex kGated(
+      R"(^\s*#\s*(ifdef\s+KALMMIND_FAULTS\b|if\s+defined\s*\(\s*KALMMIND_FAULTS\s*\)))");
+  static const std::regex kInverted(R"(^\s*#\s*ifndef\s+KALMMIND_FAULTS\b)");
+
+  struct Frame {
+    bool active = false;   // current branch is the faults-ON branch
+    bool on_else = false;  // the #else branch would be the faults-ON branch
+  };
+  std::vector<Frame> stack;
+  std::vector<char> mask(code.size(), 0);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (std::regex_search(line, kIf)) {
+      Frame f;
+      if (std::regex_search(line, kGated)) {
+        f.active = true;
+      } else if (std::regex_search(line, kInverted)) {
+        f.on_else = true;
+      }
+      stack.push_back(f);
+    } else if (std::regex_search(line, kElif)) {
+      if (!stack.empty()) {
+        stack.back().active =
+            line.find("KALMMIND_FAULTS") != std::string::npos;
+        stack.back().on_else = false;
+      }
+    } else if (std::regex_search(line, kElse)) {
+      if (!stack.empty()) {
+        stack.back().active = stack.back().on_else;
+        stack.back().on_else = false;
+      }
+    } else if (std::regex_search(line, kEndif)) {
+      if (!stack.empty()) stack.pop_back();
+    }
+    bool gated = false;
+    for (const Frame& f : stack) gated = gated || f.active;
+    mask[i] = gated ? 1 : 0;
+  }
+  return mask;
+}
+
+void check_faults_gate(const std::vector<std::string>& raw,
+                       const std::vector<std::string>& code,
+                       const std::filesystem::path& rel_path,
+                       const Suppressions& sup, std::vector<Finding>& out) {
+  // The include lives in a string literal, so it is matched on the raw
+  // line; the API names are matched on stripped code so comments and
+  // docstrings mentioning them stay silent.  The name list is deliberately
+  // narrow — e.g. src/hls/fault.hpp models SEUs with its own ungated API
+  // (flip_bit/inject_seu) and is a different, always-available subsystem.
+  static const std::regex kFaultInclude(
+      R"(#\s*include\s*"testing/fault_injection\.hpp")");
+  static const std::regex kFaultApi(
+      R"(\b(FaultInjector|FaultEvent|flip_word_bit|corrupt_raw|)"
+      R"(corrupt_register|inject_measurement_faults|)"
+      R"(fault_override_step_seconds)\b)");
+  const std::vector<char> gated = faults_gate_mask(code);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (gated[i] || sup.allows("R5", i)) continue;
+    if (std::regex_search(raw[i], kFaultInclude) ||
+        std::regex_search(code[i], kFaultApi)) {
+      out.push_back({rel_path.generic_string(), int(i) + 1, "R5",
+                     "fault-injection API outside a KALMMIND_FAULTS gate "
+                     "(wrap in #if defined(KALMMIND_FAULTS))"});
+    }
+  }
+}
+
 bool has_segment(const std::filesystem::path& p, const char* segment) {
   for (const auto& part : p) {
     if (part == segment) return true;
@@ -397,6 +480,7 @@ std::vector<Finding> lint_file(const std::filesystem::path& rel_path,
   if (rules.fixed_literal) check_fixed_literals(code, rel_path, sup, out);
   if (rules.telemetry_guard)
     check_telemetry_guard(raw, code, rel_path, sup, out);
+  if (rules.fault_gate) check_faults_gate(raw, code, rel_path, sup, out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;

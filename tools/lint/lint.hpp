@@ -1,6 +1,6 @@
 // kalmmind-lint: repo-specific static analysis.
 //
-// Four rule families (see docs/static_analysis.md for the full catalog):
+// Five rule families (see docs/static_analysis.md for the full catalog):
 //
 //   R1  hls-subset        src/hlskernel/ must stay inside the synthesizable
 //                         C++ subset: no heap, no std:: containers, no
@@ -18,6 +18,11 @@
 //                         header (telemetry/telemetry.hpp), and guard
 //                         SpanTracer emission calls with an enabled()
 //                         check nearby.
+//   R5  fault-gate        the deterministic fault-injection API
+//                         (testing/fault_injection.hpp and the hooks it
+//                         drives) must sit inside a preprocessor region
+//                         conditioned on KALMMIND_FAULTS, so release
+//                         builds compile the chaos machinery out entirely.
 //
 // Suppression syntax (inside a comment, scanned on the raw line):
 //   // kalmmind-lint: allow(R1)        — this line only
@@ -49,6 +54,7 @@ struct RuleSet {
   bool status_discipline = true;  // R2: everywhere
   bool fixed_literal = false;     // R3: path contains a "fixedpoint" segment
   bool telemetry_guard = true;    // R4: off inside src/telemetry/
+  bool fault_gate = true;         // R5: everywhere the linter runs
 };
 
 // Classify a (relative) path into the rules that apply to it.
