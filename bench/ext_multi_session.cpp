@@ -1,16 +1,22 @@
-// Extension: multi-session decode throughput scaling.
+// Extension: multi-session decode throughput scaling + batched serving.
 //
 // The paper's accelerator decodes one stream under a 50 ms/bin deadline;
-// a production relay station serves many implanted users at once.  This
-// benchmark streams S concurrent sessions of the somatosensory dataset
-// (z=52, the middle-sized preset) through the DecodeServer and measures
-// aggregate decode throughput as the worker pool grows from 1 thread to
-// hardware_concurrency — the sessions/s scaling curve a deployment sizes
-// its host cores against.
+// a production relay station serves many implanted users at once.  Two
+// experiments on the somatosensory dataset (z=52, the middle-sized preset):
 //
-// Output: one row per worker count (workers, wall s, steps/s, speedup vs
-// 1 worker, p99 step ms, misses), plus a determinism check that every
-// session's served trajectory is bit-identical to the same filter stepped
+//  1. Solo scaling: S concurrent sessions through the DecodeServer as the
+//     worker pool grows from 1 thread to hardware_concurrency — the
+//     sessions/s curve a deployment sizes its host cores against.
+//  2. Batched serving (docs/serving.md): the same-config fleet again,
+//     solo (per-session stepping, batching disabled) vs batched (shared
+//     gain schedule + fused SoA passes).  Because equal configs walk the
+//     same gain trajectory, the batched path pays the measurement-
+//     independent work once per bin instead of once per session — the
+//     sessions/s ratio is written to BENCH_serve.json and floored by
+//     scripts/bench_perf.sh.
+//
+// Both experiments end with a determinism check: every served trajectory
+// (solo or batched) must be bit-identical to the same filter stepped
 // sequentially.
 #include <algorithm>
 #include <chrono>
@@ -25,26 +31,38 @@ using namespace kalmmind;
 
 namespace {
 
+serve::SessionConfig session_config(const neural::NeuralDataset& dataset) {
+  serve::SessionConfig cfg;
+  cfg.filter.model = dataset.model;
+  cfg.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+  cfg.filter.strategy.calc_freq = 0;
+  cfg.filter.strategy.approx = 2;
+  cfg.filter.strategy.policy = kalman::SeedPolicy::kPreviousIteration;
+  cfg.queue_capacity = dataset.test_measurements.size();  // lossless
+  cfg.deadline_s = 0.05;
+  return cfg;
+}
+
 struct RunResult {
   double wall_s = 0.0;
   double steps_per_s = 0.0;
   double p99_ms = 0.0;
   std::size_t misses = 0;
+  std::size_t batched_steps = 0;
   bool identical = true;
 };
 
 RunResult run_once(const neural::NeuralDataset& dataset,
                    const std::vector<std::vector<linalg::Vector<double>>>&
                        sequential_reference,
-                   std::size_t sessions, unsigned workers) {
-  serve::SessionConfig cfg;
-  cfg.model = dataset.model;
-  cfg.strategy = "interleaved";
-  cfg.strategy_params.interleave = {0, 2, kalman::SeedPolicy::kPreviousIteration};
-  cfg.queue_capacity = dataset.test_measurements.size();  // lossless
-  cfg.deadline_s = 0.05;
+                   std::size_t sessions, unsigned workers, bool batching) {
+  const serve::SessionConfig cfg = session_config(dataset);
 
-  serve::DecodeServer server({workers, /*max_batch=*/4});
+  serve::ServerOptions options;
+  options.workers = workers;
+  options.max_batch = 4;
+  options.batching = batching;
+  serve::DecodeServer server(options);
   std::vector<serve::SessionId> ids;
   for (std::size_t s = 0; s < sessions; ++s) {
     ids.push_back(server.open_session(cfg));
@@ -65,6 +83,7 @@ RunResult run_once(const neural::NeuralDataset& dataset,
   r.steps_per_s = double(stats.total_steps) / wall;
   r.p99_ms = stats.step_latency.p99_s * 1e3;
   r.misses = stats.total_deadline_misses;
+  r.batched_steps = stats.total_batched_steps;
 
   // Every served session must reproduce the sequential filter bit for bit.
   for (std::size_t s = 0; s < sessions; ++s) {
@@ -90,32 +109,29 @@ int main() {
   neural::DatasetSpec spec = neural::somatosensory_spec();
   spec.test_steps = 150;
   const neural::NeuralDataset dataset = neural::build_dataset(spec);
+  const std::size_t bins = dataset.test_measurements.size();
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const std::size_t sessions = std::size_t(2) * std::max(4u, hw);
 
   // Sequential reference: identical model + strategy, plain loop.  All
   // sessions share the measurement stream, so one reference covers them.
-  kalman::StrategyParams<double> params;
-  params.calc_method = kalman::CalcMethod::kGauss;
-  params.interleave = {0, 2, kalman::SeedPolicy::kPreviousIteration};
-  kalman::KalmanFilter<double> sequential(
-      dataset.model,
-      kalman::make_inverse_strategy<double>("interleaved", params));
+  const serve::SessionConfig cfg = session_config(dataset);
+  kalman::KalmanFilter<double> sequential = cfg.filter.make_filter();
   const auto seq = sequential.run(dataset.test_measurements);
   const std::vector<std::vector<linalg::Vector<double>>> reference = {
       seq.states};
 
   std::printf("ext: multi-session decode scaling — %zu sessions x %zu bins, "
-              "somatosensory z=%zu, interleaved gauss/newton (approx=2)\n\n",
-              sessions, dataset.test_measurements.size(),
-              dataset.model.z_dim());
+              "somatosensory z=%zu, %s\n\n",
+              sessions, bins, dataset.model.z_dim(),
+              cfg.filter.strategy.format().c_str());
   std::printf("%8s %10s %12s %9s %10s %8s %12s\n", "workers", "wall(s)",
               "steps/s", "speedup", "p99(ms)", "misses", "identical");
 
   // Sweep to at least 4 workers even on small machines: oversubscribed
   // pools still have to preserve bit-identity, and the curve is the point
-  // on real multicore hosts.
+  // on real multicore hosts.  Batching off: this is the solo scaling story.
   const unsigned max_workers = std::max(4u, hw);
   std::vector<unsigned> worker_counts;
   for (unsigned w = 1; w < max_workers; w *= 2) worker_counts.push_back(w);
@@ -125,7 +141,8 @@ int main() {
   bool all_identical = true;
   double best_speedup = 0.0;
   for (const unsigned w : worker_counts) {
-    const RunResult r = run_once(dataset, reference, sessions, w);
+    const RunResult r =
+        run_once(dataset, reference, sessions, w, /*batching=*/false);
     if (w == 1) base = r.steps_per_s;
     const double speedup = base > 0.0 ? r.steps_per_s / base : 0.0;
     best_speedup = std::max(best_speedup, speedup);
@@ -140,5 +157,56 @@ int main() {
               best_speedup, hw,
               all_identical ? "bit-identical to sequential execution"
                             : "DIVERGED — serving bug");
+
+  // Batched vs solo: a same-config fleet big enough that the shared gain
+  // schedule dominates (>= 32 sessions, more on wide machines), both modes
+  // at the full worker pool.
+  const std::size_t fleet = std::max<std::size_t>(32, std::size_t(4) * hw);
+  std::printf("\next: batched serving — %zu same-config sessions x %zu bins, "
+              "%u workers\n\n",
+              fleet, bins, hw);
+  const RunResult solo =
+      run_once(dataset, reference, fleet, hw, /*batching=*/false);
+  const RunResult batched =
+      run_once(dataset, reference, fleet, hw, /*batching=*/true);
+  const double batch_speedup =
+      solo.steps_per_s > 0.0 ? batched.steps_per_s / solo.steps_per_s : 0.0;
+  all_identical = all_identical && solo.identical && batched.identical;
+
+  std::printf("%8s %10s %12s %9s %14s %12s\n", "mode", "wall(s)", "steps/s",
+              "speedup", "batched steps", "identical");
+  std::printf("%8s %10.3f %12.0f %8.2fx %14zu %12s\n", "solo", solo.wall_s,
+              solo.steps_per_s, 1.0, solo.batched_steps,
+              solo.identical ? "yes" : "NO");
+  std::printf("%8s %10.3f %12.0f %8.2fx %14zu %12s\n", "batched",
+              batched.wall_s, batched.steps_per_s, batch_speedup,
+              batched.batched_steps, batched.identical ? "yes" : "NO");
+  std::printf("\nbatched serving: %.2fx sessions/s over solo; "
+              "trajectories %s\n",
+              batch_speedup,
+              all_identical ? "bit-identical to sequential execution"
+                            : "DIVERGED — serving bug");
+
+  // Machine-readable record for scripts/bench_perf.sh and CI artifacts.
+  if (FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"ext_multi_session_batched\",\n"
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"sessions\": %zu,\n"
+                 "  \"bins\": %zu,\n"
+                 "  \"workers\": %u,\n"
+                 "  \"solo_steps_per_s\": %.1f,\n"
+                 "  \"batched_steps_per_s\": %.1f,\n"
+                 "  \"batched_speedup\": %.3f,\n"
+                 "  \"batched_steps\": %zu,\n"
+                 "  \"identical\": %s\n"
+                 "}\n",
+                 spec.name.c_str(), fleet, bins, hw, solo.steps_per_s,
+                 batched.steps_per_s, batch_speedup, batched.batched_steps,
+                 all_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  }
   return all_identical ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 // Streaming server walkthrough: decode several concurrent BCI sessions
 // through the serve::DecodeServer, with each session's inversion strategy
-// chosen by factory name (kalman::make_inverse_strategy) instead of
-// hand-wired strategy objects.
+// described by a typed kalman::StrategySpec (parse/format round-trips to
+// the "interleaved(calc=gauss,...)" string form) instead of hand-wired
+// strategy objects.
 //
 //   $ ./streaming_server
 //
@@ -13,6 +14,7 @@
 // telemetry the run produced: a Chrome trace (open streaming_server_trace
 // .json in Perfetto) plus the Prometheus-style metrics snapshot.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/kalmmind.hpp"
@@ -32,29 +34,37 @@ int main() {
   const neural::NeuralDataset dataset = neural::build_dataset(spec);
 
   struct Subject {
-    const char* label;
+    std::string label;
     serve::SessionConfig config;
   };
   std::vector<Subject> subjects;
   {
     serve::SessionConfig base;
-    base.model = dataset.model;
+    base.filter.model = dataset.model;
     base.queue_capacity = spec.test_steps;
     base.deadline_s = 0.05;  // the 50 ms bin period
 
-    Subject exact{"gauss (exact)", base};
-    exact.config.strategy = "gauss";
+    Subject exact{"", base};
+    exact.config.filter.strategy.kind = kalman::StrategyKind::kGauss;
 
-    Subject interleaved{"interleaved (calc_freq=0, approx=2)", base};
-    interleaved.config.strategy = "interleaved";
-    interleaved.config.strategy_params.interleave = {
-        0, 2, kalman::SeedPolicy::kPreviousIteration};
+    Subject interleaved{"", base};
+    interleaved.config.filter.strategy.kind =
+        kalman::StrategyKind::kInterleaved;
+    interleaved.config.filter.strategy.calc_freq = 0;
+    interleaved.config.filter.strategy.approx = 2;
+    interleaved.config.filter.strategy.policy =
+        kalman::SeedPolicy::kPreviousIteration;
 
-    Subject newton{"newton-classic (m=6)", base};
-    newton.config.strategy = "newton";
-    newton.config.strategy_params.newton_iterations = 6;
+    Subject newton{"", base};
+    newton.config.filter.strategy.kind = kalman::StrategyKind::kNewton;
+    newton.config.filter.strategy.newton_iterations = 6;
 
     subjects = {exact, interleaved, newton};
+    // Label each subject by its spec's canonical string form — the same
+    // text StrategySpec::parse accepts on the CLI.
+    for (auto& subject : subjects) {
+      subject.label = subject.config.filter.strategy.format();
+    }
   }
 
   // 2. Open the sessions.  Admission is exception-free: a bad config comes
@@ -65,7 +75,8 @@ int main() {
     Status status;
     const serve::SessionId id = server.open_session(subject.config, &status);
     if (id == serve::DecodeServer::kInvalidSession) {
-      std::printf("rejected '%s': %s\n", subject.label, status.message());
+      std::printf("rejected '%s': %s\n", subject.label.c_str(),
+                  status.message());
       return 1;
     }
     ids.push_back(id);
@@ -83,7 +94,7 @@ int main() {
   for (std::size_t s = 0; s < ids.size(); ++s) {
     const serve::SessionStatsSnapshot st = server.session_stats(ids[s]);
     std::printf("%-36s: %3zu steps, worst %.3f ms, %zu misses, backlog %zu\n",
-                subjects[s].label, st.steps, st.worst_step_s * 1e3,
+                subjects[s].label.c_str(), st.steps, st.worst_step_s * 1e3,
                 st.deadline_misses, st.max_backlog);
   }
 

@@ -6,6 +6,11 @@
 #   BM_CovProductFull     vs BM_CovProductSyrk     (symmetric covariance)
 #   BM_FilterStepNaiveAlloc vs BM_FilterStepWorkspace (allocation-free step)
 #
+# Then the serving trajectory: bench_ext_multi_session refreshes
+# BENCH_serve.json with the batched-vs-solo sessions/s ratio for a
+# same-config fleet (docs/serving.md) and this script floors it at 2x,
+# requiring bit-identical trajectories in both modes.
+#
 # Usage: scripts/bench_perf.sh [quick|full]
 #   quick  — short repetitions, for CI smoke (default min_time)
 #   full   — longer min_time for stable numbers worth checking in
@@ -50,4 +55,25 @@ if speedup < 1.5:
     raise SystemExit("bench_perf: SYRK speedup below the 1.5x floor")
 EOF
 
-echo "bench_perf: OK (BENCH_kernels.json refreshed)"
+cmake --build build -j"$(nproc)" --target bench_ext_multi_session
+
+echo
+echo "== bench_perf: batched vs solo serving (same-config fleet) =="
+./build/bench/bench_ext_multi_session > /dev/null
+
+python3 - <<'EOF'
+import json
+
+with open("BENCH_serve.json") as f:
+    data = json.load(f)
+speedup = data["batched_speedup"]
+print(f"solo    {data['solo_steps_per_s']:12.0f} steps/s")
+print(f"batched {data['batched_steps_per_s']:12.0f} steps/s")
+print(f"speedup {speedup:.2f}x (floor: 2.0x)")
+if not data["identical"]:
+    raise SystemExit("bench_perf: batched trajectories diverged from solo")
+if speedup < 2.0:
+    raise SystemExit("bench_perf: batched speedup below the 2.0x floor")
+EOF
+
+echo "bench_perf: OK (BENCH_kernels.json + BENCH_serve.json refreshed)"

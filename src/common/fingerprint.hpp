@@ -1,0 +1,94 @@
+// Stable 64-bit fingerprinting for config structs.
+//
+// The serve layer keys its gain-schedule cache on "same filter config";
+// that identity must be stable across processes and runs (so recorded
+// benchmarks and golden tests can name a config by hash) and must never
+// depend on pointer values or std::hash (whose result is explicitly
+// unspecified across implementations).  FingerprintHasher is FNV-1a over
+// the value representation: enums and integers are widened to 64 bits,
+// floating-point values are hashed via their IEEE-754 bit pattern
+// (std::bit_cast), and matrices mix their shape before their elements.
+//
+// Collisions are possible (it is a 64-bit hash); callers that use a
+// fingerprint as a cache key must verify with operator== on hit.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+#include "linalg/matrix.hpp"
+
+namespace kalmmind {
+
+class FingerprintHasher {
+ public:
+  // FNV-1a 64-bit offset basis / prime.
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  FingerprintHasher& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  FingerprintHasher& mix(bool v) { return mix(std::uint64_t(v ? 1 : 0)); }
+  FingerprintHasher& mix(double v) {
+    return mix(std::bit_cast<std::uint64_t>(v));
+  }
+  FingerprintHasher& mix(float v) {
+    return mix(std::uint64_t(std::bit_cast<std::uint32_t>(v)));
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  FingerprintHasher& mix(E e) {
+    return mix(std::uint64_t(static_cast<std::underlying_type_t<E>>(e)));
+  }
+
+  FingerprintHasher& mix(std::string_view s) {
+    mix(s.size());
+    for (char c : s) {
+      hash_ ^= std::uint64_t(static_cast<unsigned char>(c));
+      hash_ *= kPrime;
+    }
+    return *this;
+  }
+
+  // Matrices/vectors mix shape then elements in row-major order, via the
+  // scalar's double image so float/double/fixed-point all hash the value
+  // they represent.
+  template <typename T>
+  FingerprintHasher& mix(const linalg::Matrix<T>& m) {
+    mix(m.rows());
+    mix(m.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      const T* row = m.row(i);
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        mix(linalg::ScalarTraits<T>::to_double(row[j]));
+      }
+    }
+    return *this;
+  }
+
+  template <typename T>
+  FingerprintHasher& mix(const linalg::Vector<T>& v) {
+    mix(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      mix(linalg::ScalarTraits<T>::to_double(v[i]));
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffset;
+};
+
+}  // namespace kalmmind

@@ -155,41 +155,44 @@ AcceleratorRunResult Accelerator::run_typed(
                                          ss.k.template cast<T>());
     output = filter.run(typed_z);
   } else {
-    // Map the datapath spec onto a factory name + params; the string-keyed
-    // factory is the single place strategies are wired up.
-    std::string strategy_name;
-    kalman::StrategyParams<T> strategy_params;
+    // Map the datapath spec onto a typed StrategySpec (+ its matrix
+    // inputs); the typed factory is the single place strategies are wired
+    // up.
+    kalman::StrategySpec strategy;
+    kalman::StrategyMatrices<T> matrices;
     if (spec_.lite) {
       Matrix<double> s0_inv =
           linalg::invert_lu(first_innovation_covariance(model));
-      strategy_name = "lite";
-      strategy_params.preloaded_inverse = s0_inv.template cast<T>();
+      strategy.kind = kalman::StrategyKind::kLite;
+      matrices.preloaded_inverse = s0_inv.template cast<T>();
     } else if (spec_.calc == CalcUnit::kConstant) {
       // SSKF/Newton: constant S^-1 from the converged innovation
       // covariance, optionally refined by `approx` Newton iterations.
       kalman::SteadyState<double> ss = kalman::solve_steady_state(model);
-      strategy_name = "sskf";
-      strategy_params.preloaded_inverse = ss.s_inv.template cast<T>();
-      strategy_params.interleave.approx =
-          spec_.approx == ApproxUnit::kNewton ? config_.approx : 0;
+      strategy.kind = kalman::StrategyKind::kSskf;
+      matrices.preloaded_inverse = ss.s_inv.template cast<T>();
+      strategy.approx = spec_.approx == ApproxUnit::kNewton ? config_.approx : 0;
     } else if (spec_.approx == ApproxUnit::kNone) {
-      strategy_name = kalman::to_string(to_calc_method(spec_.calc));
+      strategy.kind = kalman::kind_for(to_calc_method(spec_.calc));
     } else if (spec_.calc == CalcUnit::kNone &&
                spec_.approx == ApproxUnit::kTaylor) {
-      strategy_name = "taylor";
-      strategy_params.taylor_order = kTaylorOrder;
+      strategy.kind = kalman::StrategyKind::kTaylor;
+      strategy.taylor_order = kTaylorOrder;
     } else if (spec_.approx == ApproxUnit::kNewton &&
                spec_.calc != CalcUnit::kNone) {
-      strategy_name = "interleaved";
-      strategy_params.calc_method = to_calc_method(spec_.calc);
-      strategy_params.interleave = config_.interleave();
+      strategy.kind = kalman::StrategyKind::kInterleaved;
+      strategy.calc_method = to_calc_method(spec_.calc);
+      const kalman::InterleaveConfig interleave = config_.interleave();
+      strategy.calc_freq = interleave.calc_freq;
+      strategy.approx = interleave.approx;
+      strategy.policy = interleave.policy;
     } else {
       throw std::invalid_argument(
           "Accelerator: unsupported datapath combination " + spec_.name());
     }
     kalman::KalmanFilter<T> filter(
         std::move(typed_model),
-        kalman::make_inverse_strategy<T>(strategy_name, strategy_params));
+        kalman::make_inverse_strategy<T>(strategy, matrices));
     output = filter.run(typed_z);
   }
 

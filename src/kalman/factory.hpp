@@ -1,23 +1,29 @@
-// String-keyed factory for InverseStrategy implementations.
+// Factory for InverseStrategy implementations, keyed by a typed
+// StrategySpec (kalman/strategy_spec.hpp).
 //
 // Call sites that used to hand-wire `std::make_unique<XStrategy<T>>(...)`
 // (the CLI, the accelerator datapath dispatch, the decode server's session
-// configs) go through one name -> strategy mapping instead, so a strategy
-// choice can travel through configs, flags and RPCs as a plain string.
+// configs) go through one spec -> strategy mapping instead, so a strategy
+// choice can travel through configs, flags and RPCs as a comparable value
+// (or its StrategySpec::format() text form).
 //
-//   name          strategy                        parameters used
+//   kind          strategy                        spec fields used
 //   ------------  ------------------------------  --------------------------
-//   gauss         CalculationStrategy(kGauss)     —
-//   lu            CalculationStrategy(kLu)        —
-//   cholesky      CalculationStrategy(kCholesky)  —
-//   qr            CalculationStrategy(kQr)        —
-//   newton        NewtonClassicStrategy           newton_iterations
-//   taylor        TaylorStrategy                  taylor_order
-//   ifkf          IfkfStrategy                    r (optional), ifkf_iterations
-//   interleaved   InterleavedStrategy             calc_method, interleave
-//   lite          LiteStrategy                    preloaded_inverse (required)
-//   sskf          ConstantInverseStrategy         preloaded_inverse (required),
-//                                                 interleave.approx
+//   kGauss        CalculationStrategy(kGauss)     —
+//   kLu           CalculationStrategy(kLu)        —
+//   kCholesky     CalculationStrategy(kCholesky)  —
+//   kQr           CalculationStrategy(kQr)        —
+//   kNewton       NewtonClassicStrategy           newton_iterations
+//   kTaylor       TaylorStrategy                  taylor_order
+//   kIfkf         IfkfStrategy                    ifkf_iterations, matrices.r
+//   kInterleaved  InterleavedStrategy             calc_method, calc_freq,
+//                                                 approx, policy
+//   kLite         LiteStrategy                    matrices.preloaded_inverse
+//   kSskf         ConstantInverseStrategy         matrices.preloaded_inverse,
+//                                                 approx
+//
+// The historical string-keyed overload survives as a thin wrapper that
+// parses the name into a spec, so existing call sites keep compiling.
 #pragma once
 
 #include <memory>
@@ -28,6 +34,7 @@
 #include "kalman/calculation_strategies.hpp"
 #include "kalman/interleaved.hpp"
 #include "kalman/strategy.hpp"
+#include "kalman/strategy_spec.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace kalmmind::kalman {
@@ -103,78 +110,94 @@ namespace detail {
 
 template <typename T>
 InverseStrategyPtr<T> make_inverse_strategy_impl(
-    const std::string& name, const StrategyParams<T>& params) {
-  if (name == "gauss") {
-    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kGauss);
+    const StrategySpec& spec, const StrategyMatrices<T>& matrices) {
+  switch (spec.kind) {
+    case StrategyKind::kGauss:
+      return std::make_unique<CalculationStrategy<T>>(CalcMethod::kGauss);
+    case StrategyKind::kLu:
+      return std::make_unique<CalculationStrategy<T>>(CalcMethod::kLu);
+    case StrategyKind::kCholesky:
+      return std::make_unique<CalculationStrategy<T>>(CalcMethod::kCholesky);
+    case StrategyKind::kQr:
+      return std::make_unique<CalculationStrategy<T>>(CalcMethod::kQr);
+    case StrategyKind::kNewton:
+      return std::make_unique<NewtonClassicStrategy<T>>(
+          spec.newton_iterations);
+    case StrategyKind::kTaylor:
+      return std::make_unique<TaylorStrategy<T>>(spec.taylor_order);
+    case StrategyKind::kIfkf:
+      if (matrices.r.empty()) return std::make_unique<IfkfStrategy<T>>();
+      return std::make_unique<IfkfStrategy<T>>(matrices.r,
+                                               spec.ifkf_iterations);
+    case StrategyKind::kInterleaved:
+      return std::make_unique<InterleavedStrategy<T>>(spec.calc_method,
+                                                      spec.interleave());
+    case StrategyKind::kLite:
+      if (matrices.preloaded_inverse.empty()) {
+        throw std::invalid_argument(
+            "make_inverse_strategy: 'lite' requires StrategyMatrices::"
+            "preloaded_inverse (the first Newton seed)");
+      }
+      return std::make_unique<LiteStrategy<T>>(matrices.preloaded_inverse);
+    case StrategyKind::kSskf:
+      if (matrices.preloaded_inverse.empty()) {
+        throw std::invalid_argument(
+            "make_inverse_strategy: 'sskf' requires StrategyMatrices::"
+            "preloaded_inverse (the constant S^-1)");
+      }
+      return std::make_unique<ConstantInverseStrategy<T>>(
+          matrices.preloaded_inverse, spec.approx);
   }
-  if (name == "lu") {
-    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kLu);
-  }
-  if (name == "cholesky") {
-    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kCholesky);
-  }
-  if (name == "qr") {
-    return std::make_unique<CalculationStrategy<T>>(CalcMethod::kQr);
-  }
-  if (name == "newton") {
-    return std::make_unique<NewtonClassicStrategy<T>>(params.newton_iterations);
-  }
-  if (name == "taylor") {
-    return std::make_unique<TaylorStrategy<T>>(params.taylor_order);
-  }
-  if (name == "ifkf") {
-    if (params.r.empty()) return std::make_unique<IfkfStrategy<T>>();
-    return std::make_unique<IfkfStrategy<T>>(params.r, params.ifkf_iterations);
-  }
-  if (name == "interleaved") {
-    return std::make_unique<InterleavedStrategy<T>>(params.calc_method,
-                                                    params.interleave);
-  }
-  if (name == "lite") {
-    if (params.preloaded_inverse.empty()) {
-      throw std::invalid_argument(
-          "make_inverse_strategy: 'lite' requires StrategyParams::"
-          "preloaded_inverse (the first Newton seed)");
-    }
-    return std::make_unique<LiteStrategy<T>>(params.preloaded_inverse);
-  }
-  if (name == "sskf") {
-    if (params.preloaded_inverse.empty()) {
-      throw std::invalid_argument(
-          "make_inverse_strategy: 'sskf' requires StrategyParams::"
-          "preloaded_inverse (the constant S^-1)");
-    }
-    return std::make_unique<ConstantInverseStrategy<T>>(
-        params.preloaded_inverse, params.interleave.approx);
-  }
-  std::string known;
-  for (const auto& n : inverse_strategy_names()) {
-    known += known.empty() ? n : "|" + n;
-  }
-  throw std::invalid_argument("make_inverse_strategy: unknown strategy '" +
-                              name + "' (known: " + known + ")");
+  throw std::invalid_argument("make_inverse_strategy: invalid StrategyKind");
 }
 
 }  // namespace detail
 
-// Build a strategy by name.  Throws std::invalid_argument for an unknown
-// name (message lists the valid ones) or for a name whose required
-// parameters are missing.  The returned strategy counts its invert() calls
-// into the metrics registry under the factory name (a no-op while
-// telemetry is disabled or compiled out).
+// Build a strategy from its typed spec.  Throws std::invalid_argument when
+// a kind's required matrices are missing (lite/sskf without a preloaded
+// inverse).  The returned strategy counts its invert() calls into the
+// metrics registry under the kind name (a no-op while telemetry is
+// disabled or compiled out).
 template <typename T>
-InverseStrategyPtr<T> make_inverse_strategy(const std::string& name,
-                                            const StrategyParams<T>& params = {}) {
+InverseStrategyPtr<T> make_inverse_strategy(
+    const StrategySpec& spec, const StrategyMatrices<T>& matrices = {}) {
   InverseStrategyPtr<T> built =
-      detail::make_inverse_strategy_impl<T>(name, params);
+      detail::make_inverse_strategy_impl<T>(spec, matrices);
   if constexpr (telemetry::kCompiledIn) {
     telemetry::Counter& counter = telemetry::MetricsRegistry::global().counter(
-        "kalmmind.kf.strategy_invert_total." + name);
+        std::string("kalmmind.kf.strategy_invert_total.") +
+        to_string(spec.kind));
     return std::make_unique<detail::CountedStrategy<T>>(std::move(built),
                                                         counter);
   } else {
     return built;
   }
+}
+
+// Thin string-keyed wrapper: parses `name` (a bare factory name or a full
+// StrategySpec::format() string) and forwards the legacy StrategyParams
+// fields into the spec.  Throws std::invalid_argument for an unknown name
+// (message lists the valid vocabulary).
+template <typename T>
+InverseStrategyPtr<T> make_inverse_strategy(
+    const std::string& name, const StrategyParams<T>& params = {}) {
+  StrategySpec spec = StrategySpec::parse(name);
+  // A bare name carries no parameters: the legacy params struct supplies
+  // them.  A full format() string already parsed its own; only override
+  // from params when the text had no argument list.
+  if (name.find('(') == std::string::npos) {
+    spec.calc_method = params.calc_method;
+    spec.calc_freq = params.interleave.calc_freq;
+    spec.approx = params.interleave.approx;
+    spec.policy = params.interleave.policy;
+    spec.newton_iterations = params.newton_iterations;
+    spec.taylor_order = params.taylor_order;
+    spec.ifkf_iterations = params.ifkf_iterations;
+  }
+  StrategyMatrices<T> matrices;
+  matrices.r = params.r;
+  matrices.preloaded_inverse = params.preloaded_inverse;
+  return make_inverse_strategy<T>(spec, matrices);
 }
 
 }  // namespace kalmmind::kalman

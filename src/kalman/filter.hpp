@@ -89,6 +89,17 @@ struct FilterOptions {
       throw std::invalid_argument(s.message());
     }
   }
+
+  bool operator==(const FilterOptions&) const = default;
+
+  // Stable 64-bit content hash (common/fingerprint.hpp); part of the
+  // filter-config identity the serve layer's gain-schedule cache keys on.
+  std::uint64_t fingerprint() const {
+    FingerprintHasher hash;
+    hash.mix(joseph_update);
+    hash.mix(health.fingerprint());
+    return hash.value();
+  }
 };
 
 template <typename T>

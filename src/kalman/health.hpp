@@ -123,6 +123,21 @@ struct HealthConfig {
       throw std::invalid_argument(s.message());
     }
   }
+
+  bool operator==(const HealthConfig&) const = default;
+
+  // Stable 64-bit content hash (common/fingerprint.hpp); part of the
+  // filter-config identity the serve layer's gain-schedule cache keys on.
+  std::uint64_t fingerprint() const {
+    FingerprintHasher hash;
+    hash.mix(enabled);
+    hash.mix(max_state_abs);
+    hash.mix(covariance_symmetry_tol);
+    hash.mix(newton_residual_limit);
+    hash.mix(innovation_gate_sigma);
+    hash.mix(deescalate_after);
+    return hash.value();
+  }
 };
 
 // Per-filter counters, exposed through KalmanFilter::health().

@@ -5,8 +5,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 
+#include "common/fingerprint.hpp"
 #include "common/status.hpp"
 #include "linalg/matrix.hpp"
 
@@ -57,6 +59,26 @@ struct KalmanModel {
     if (Status s = check(); !s.ok()) {
       throw std::invalid_argument(s.message());
     }
+  }
+
+  // Two models are the same decoder iff every trained matrix matches
+  // exactly.  This is the value identity the serve layer's gain-schedule
+  // cache keys on: equal models (with equal options/strategy) walk
+  // bit-identical K/P trajectories.
+  bool operator==(const KalmanModel&) const = default;
+
+  // Stable 64-bit content hash (common/fingerprint.hpp): same model bytes
+  // => same fingerprint across runs and processes.  Verify with operator==
+  // on any hash match.
+  std::uint64_t fingerprint() const {
+    FingerprintHasher hash;
+    hash.mix(f);
+    hash.mix(q);
+    hash.mix(h);
+    hash.mix(r);
+    hash.mix(x0);
+    hash.mix(p0);
+    return hash.value();
   }
 
   // Convert the model to another scalar type (e.g. float64 trained model ->

@@ -1,0 +1,258 @@
+// Batched same-config serving: N sessions sharing one GainSchedule step
+// together through a fused, SoA-style kernel pass (docs/serving.md).
+//
+// Per decoded bin, a solo session pays the full reorganized-filter step —
+// dominated by the measurement-INDEPENDENT gain path (P', S, S^-1, K:
+// O(z^2 x + z^3-ish) work).  Sessions with equal FilterConfigs walk
+// identical gain trajectories, so a BatchGroup reads K_n from the shared
+// schedule (computed once per config, amortized across every member) and
+// fuses only the measurement-dependent remainder of the cohort:
+//
+//   X' = X F^t          one blocked gemm_nt over the state block
+//   N  = Z - X' H^t     innovation block
+//   X  = X' + N K_n^t   correction block
+//
+// where X/Z pack one session per row (state and measurement contiguous —
+// the structure-of-arrays layout the blocked kernels want).  Every output
+// element keeps the exact per-element accumulation shape of the solo
+// matvec (single accumulator, shared dimension ascending — see
+// linalg/ops.hpp), so a batched decode is bit-identical to the solo path.
+//
+// Scheduling: DecodeServer dispatches a group the way it dispatches a solo
+// session — one consumer at a time, `scheduled` flag at group granularity.
+// Each scheduling quantum runs up to max_batch rounds; a round pops at
+// most one gated bin per member and groups the poppers into cohorts by
+// schedule iteration (members drift apart through quarantine restarts:
+// a restarted stream decodes from iteration 0 while its peers are far
+// ahead — each cohort gets its own fused pass).
+//
+// Fall-out (PR5 semantics preserved):
+//  * divergence -> quarantine/restart handled inside the session's gate,
+//    staying in the group (restart = x0, schedule iteration 0);
+//  * deadline-ladder degradation -> the session swaps to the cheap
+//    constant-gain solo filter and leaves the group (kEject);
+//  * schedule window miss (a member so far behind its iteration slid out
+//    of the bounded schedule window) -> the popped bin is requeued and the
+//    session falls back to the solo path, carrying x from the batch state
+//    and P from its last consumed schedule entry.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "kalman/gain_schedule.hpp"
+#include "serve/session.hpp"
+#include "serve/stats.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace kalmmind::serve {
+
+class BatchGroup {
+ public:
+  explicit BatchGroup(std::shared_ptr<kalman::GainSchedule> schedule)
+      : schedule_(std::move(schedule)) {}
+
+  std::uint64_t key() const { return schedule_->fingerprint(); }
+  const kalman::FilterConfig<double>& config() const {
+    return schedule_->config();
+  }
+  const std::shared_ptr<kalman::GainSchedule>& schedule() const {
+    return schedule_;
+  }
+
+  // Membership is mutated by server threads (admission / ejection cleanup)
+  // while a worker may be mid-pass: guarded by its own mutex, snapshotted
+  // per pass.  A member added mid-pass joins the next pass.
+  void add(std::shared_ptr<Session> session) {
+    std::lock_guard<std::mutex> lock(members_mu_);
+    members_.push_back(std::move(session));
+  }
+
+  void remove(SessionId id) {
+    std::lock_guard<std::mutex> lock(members_mu_);
+    members_.erase(std::remove_if(members_.begin(), members_.end(),
+                                  [id](const std::shared_ptr<Session>& s) {
+                                    return s->id() == id;
+                                  }),
+                   members_.end());
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(members_mu_);
+    return members_.size();
+  }
+
+  bool pending() const {
+    std::vector<std::shared_ptr<Session>> members;
+    {
+      std::lock_guard<std::mutex> lock(members_mu_);
+      members = members_;
+    }
+    for (const auto& m : members) {
+      if (m->queue_depth() > 0) return true;
+    }
+    return false;
+  }
+
+  struct StepResult {
+    std::size_t steps = 0;              // bins consumed (decoded or gated)
+    std::vector<SessionId> ejected;     // now solo: reschedule individually
+  };
+
+  // One scheduling quantum.  Single consumer at a time (the server's
+  // group-level `scheduled` flag) — the same contract as
+  // Session::step_pending.
+  StepResult step_pending(std::size_t max_batch, LatencyRecorder* recorder) {
+    StepResult result;
+    std::vector<std::shared_ptr<Session>> members;
+    {
+      std::lock_guard<std::mutex> lock(members_mu_);
+      members = members_;
+    }
+    if (members.empty()) return result;
+
+    for (std::size_t round = 0; round < max_batch; ++round) {
+      cohort_.clear();
+      bool consumed_any = false;
+      for (auto& m : members) {
+        if (!m) continue;
+        Vector<double> z;
+        switch (m->batch_pop(&z)) {
+          case BatchPop::kEmpty:
+            continue;
+          case BatchPop::kDropped:
+            ++result.steps;
+            consumed_any = true;
+            continue;
+          case BatchPop::kDecode:
+            break;
+        }
+        consumed_any = true;
+        cohort_.push_back({m.get(), std::move(z), m->batch_iteration()});
+      }
+      if (cohort_.empty()) {
+        if (!consumed_any) break;  // every queue empty: quantum over
+        continue;
+      }
+      // Cohorts: contiguous runs of equal schedule iteration.
+      std::stable_sort(cohort_.begin(), cohort_.end(),
+                       [](const Item& a, const Item& b) { return a.n < b.n; });
+      std::size_t begin = 0;
+      while (begin < cohort_.size()) {
+        std::size_t end = begin + 1;
+        while (end < cohort_.size() && cohort_[end].n == cohort_[begin].n) {
+          ++end;
+        }
+        run_cohort(begin, end, recorder, &result, members);
+        begin = end;
+      }
+    }
+    return result;
+  }
+
+ private:
+  struct Item {
+    Session* session;
+    Vector<double> z;
+    std::size_t n;  // schedule iteration this bin decodes at
+  };
+
+  // Fused pass over cohort_[begin, end), all at the same iteration n.
+  void run_cohort(std::size_t begin, std::size_t end,
+                  LatencyRecorder* recorder, StepResult* result,
+                  std::vector<std::shared_ptr<Session>>& members) {
+    const std::size_t n = cohort_[begin].n;
+    const std::shared_ptr<const kalman::GainSchedule::Entry> entry =
+        schedule_->at(n);
+    if (!entry) {
+      // Window miss: these members fell behind the bounded schedule.  The
+      // popped bins go back to the queue head and the sessions continue
+      // solo, in order.
+      for (std::size_t i = begin; i < end; ++i) {
+        cohort_[i].session->requeue_front(std::move(cohort_[i].z));
+        cohort_[i].session->eject_to_solo();
+        drop_member(cohort_[i].session->id(), result, members);
+      }
+      return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const kalman::FilterConfig<double>& cfg = schedule_->config();
+    const std::size_t m = end - begin;
+    const std::size_t x_dim = cfg.model.x_dim();
+    const std::size_t z_dim = cfg.model.z_dim();
+
+    // Gather the SoA blocks: one session per row.
+    x_block_.resize_for_overwrite(m, x_dim);
+    z_block_.resize_for_overwrite(m, z_dim);
+    for (std::size_t i = 0; i < m; ++i) {
+      const Vector<double>& x = cohort_[begin + i].session->batch_state();
+      double* xr = x_block_.row(i);
+      for (std::size_t j = 0; j < x_dim; ++j) xr[j] = x[j];
+      const Vector<double>& z = cohort_[begin + i].z;
+      double* zr = z_block_.row(i);
+      for (std::size_t j = 0; j < z_dim; ++j) zr[j] = z[j];
+    }
+
+    // X' = X F^t ; N = Z - X' H^t ; X = X' + N K^t.  Same per-element
+    // accumulation as the solo matvecs (see the header comment).
+    linalg::multiply_bt_into(xp_block_, x_block_, cfg.model.f);
+    linalg::multiply_bt_into(hx_block_, xp_block_, cfg.model.h);
+    nu_block_ = z_block_;
+    nu_block_ -= hx_block_;
+    linalg::multiply_bt_into(corr_block_, nu_block_, entry->k);
+    xn_block_ = xp_block_;
+    xn_block_ += corr_block_;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double per_step =
+        std::chrono::duration<double>(t1 - t0).count() / double(m);
+
+    telemetry::SpanTracer& tracer = telemetry::SpanTracer::global();
+    const bool tracing = tracer.enabled();
+    for (std::size_t i = 0; i < m; ++i) {
+      Session* session = cohort_[begin + i].session;
+      const BatchVerdict verdict = session->note_batch_result(
+          entry, xn_block_.row(i), per_step, recorder);
+      ++result->steps;
+      if (tracing) {
+        tracer.complete("serve.step", "serve", tracer.to_us(t0),
+                        per_step * 1e6,
+                        "\"session\":" + std::to_string(session->id()) +
+                            ",\"batched\":true");
+      }
+      if (verdict == BatchVerdict::kEject) {
+        drop_member(session->id(), result, members);
+      }
+    }
+  }
+
+  void drop_member(SessionId id, StepResult* result,
+                   std::vector<std::shared_ptr<Session>>& members) {
+    result->ejected.push_back(id);
+    remove(id);
+    for (auto& m : members) {
+      if (m && m->id() == id) m.reset();  // skip in later rounds of this pass
+    }
+  }
+
+  const std::shared_ptr<kalman::GainSchedule> schedule_;
+
+  mutable std::mutex members_mu_;
+  std::vector<std::shared_ptr<Session>> members_;
+
+  // Pass-local scratch, reused across quanta (single consumer): the SoA
+  // state/measurement blocks and the cohort list.  Steady state allocates
+  // nothing once the cohort size stabilizes.
+  std::vector<Item> cohort_;
+  Matrix<double> x_block_, z_block_, xp_block_, hx_block_, nu_block_,
+      corr_block_, xn_block_;
+};
+
+}  // namespace kalmmind::serve

@@ -1,8 +1,9 @@
 // Umbrella header for the serving layer: the multi-session streaming
-// decode engine (DecodeServer), its building blocks (Session, ThreadPool)
-// and the stats snapshots.
+// decode engine (DecodeServer), its building blocks (Session, BatchGroup,
+// ThreadPool) and the stats snapshots.
 #pragma once
 
+#include "serve/batch_group.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "serve/stats.hpp"

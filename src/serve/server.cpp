@@ -26,7 +26,9 @@ telemetry::Counter& worker_busy_counter() {
 }  // namespace
 
 DecodeServer::DecodeServer(ServerOptions options)
-    : options_(options), start_(std::chrono::steady_clock::now()) {
+    : options_(options),
+      start_(std::chrono::steady_clock::now()),
+      cache_(options.gain_cache_capacity, options.gain_window) {
   if (options_.workers != ServerOptions::kManual) {
     pool_ = std::make_unique<ThreadPool>(options_.workers);
   }
@@ -60,21 +62,47 @@ SessionId DecodeServer::open_session(SessionConfig config, Status* status) {
     session = std::make_shared<Session>(id, std::move(config));
   } catch (const std::invalid_argument&) {
     // config.check() passed, so this is a factory-parameter problem
-    // (e.g. "sskf"/"lite" without a preloaded inverse).
+    // (e.g. sskf/lite without StrategyMatrices::preloaded_inverse).
     if (status) {
       *status = Status::Invalid(
           "SessionConfig: strategy is missing required parameters "
-          "(e.g. sskf/lite need StrategyParams::preloaded_inverse)");
+          "(e.g. sskf/lite need StrategyMatrices::preloaded_inverse)");
     }
     return kInvalidSession;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    slots_[id].session = std::move(session);
+    Slot& slot = slots_[id];
+    slot.session = std::move(session);
+    try_join_group_locked(slot);
   }
   sessions_open_gauge().add(1.0);
   if (status) *status = Status::Ok();
   return id;
+}
+
+bool DecodeServer::try_join_group_locked(Slot& slot) {
+  const SessionConfig& cfg = slot.session->config();
+  if (!options_.batching || !cfg.allow_batching) return false;
+  // Health gates read the decoded state, so a health-enabled session's gain
+  // trajectory is measurement-dependent: never batch it.
+  if (cfg.filter.options.health.enabled) return false;
+  const std::shared_ptr<kalman::GainSchedule> schedule =
+      cache_.acquire(cfg.filter);
+  if (!schedule) return false;  // fingerprint collision: decode solo
+  GroupSlot& gslot = groups_[schedule->fingerprint()];
+  if (!gslot.group) {
+    gslot.group = std::make_shared<BatchGroup>(schedule);
+  } else if (!(gslot.group->config() == cfg.filter)) {
+    return false;  // collision against a live group: decode solo
+  }
+  // A fresh session decodes from schedule iteration 0; if the group's
+  // window already slid past it the member would eject on its first bin.
+  if (gslot.group->schedule()->base() != 0) return false;
+  slot.session->enable_batching();
+  gslot.group->add(slot.session);
+  slot.group = gslot.group;
+  return true;
 }
 
 PushResult DecodeServer::submit(SessionId id, Vector<double> z) {
@@ -92,8 +120,15 @@ PushResult DecodeServer::submit(SessionId id, Vector<double> z) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = slots_.find(id);
-    if (it != slots_.end() && !it->second.scheduled && !stopping_) {
-      dispatch_locked(id, it->second);
+    if (it == slots_.end() || stopping_) return result;
+    Slot& slot = it->second;
+    if (slot.group) {
+      auto git = groups_.find(slot.group->key());
+      if (git != groups_.end() && !git->second.scheduled) {
+        dispatch_group_locked(git->first, git->second);
+      }
+    } else if (!slot.scheduled) {
+      dispatch_locked(id, slot);
     }
   }
   return result;
@@ -119,13 +154,78 @@ std::size_t DecodeServer::step_timed(Session& session) {
   return steps;
 }
 
+BatchGroup::StepResult DecodeServer::step_timed(BatchGroup& group) {
+  const auto t0 = std::chrono::steady_clock::now();
+  BatchGroup::StepResult result =
+      group.step_pending(options_.max_batch, &latency_);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  busy_us_.fetch_add(std::uint64_t(us), std::memory_order_relaxed);
+  worker_busy_counter().add(std::uint64_t(us));
+  return result;
+}
+
 void DecodeServer::dispatch_locked(SessionId id, Slot& slot) {
   slot.scheduled = true;
   ++scheduled_count_;
   if (pool_) {
     pool_->submit([this, id] { run_session(id); });
   } else {
-    ready_.push_back(id);
+    ready_.push_back({false, id, 0});
+  }
+}
+
+void DecodeServer::dispatch_group_locked(std::uint64_t key, GroupSlot& slot) {
+  slot.scheduled = true;
+  ++scheduled_count_;
+  if (pool_) {
+    pool_->submit([this, key] { run_group(key); });
+  } else {
+    ready_.push_back({true, 0, key});
+  }
+}
+
+void DecodeServer::handle_ejections_locked(
+    const std::vector<SessionId>& ejected) {
+  for (SessionId id : ejected) {
+    auto it = slots_.find(id);
+    if (it == slots_.end()) continue;
+    Slot& slot = it->second;
+    slot.group.reset();
+    if (!stopping_ && !slot.scheduled && slot.session->queue_depth() > 0) {
+      dispatch_locked(id, slot);
+    }
+  }
+}
+
+void DecodeServer::run_group(std::uint64_t key) {
+  std::shared_ptr<BatchGroup> group;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = groups_.find(key);
+    if (it != groups_.end()) group = it->second.group;
+  }
+  BatchGroup::StepResult result;
+  if (group && !stopping_flag()) {
+    result = step_timed(*group);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  handle_ejections_locked(result.ejected);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) return;
+  GroupSlot& slot = it->second;
+  // Same park-or-requeue decision as run_session, at group granularity.
+  if (!stopping_ && group && group->pending()) {
+    if (pool_) {
+      pool_->submit([this, key] { run_group(key); });
+    } else {
+      ready_.push_back({true, 0, key});
+    }
+  } else {
+    slot.scheduled = false;
+    --scheduled_count_;
+    drain_cv_.notify_all();
   }
 }
 
@@ -150,7 +250,7 @@ void DecodeServer::run_session(SessionId id) {
     if (pool_) {
       pool_->submit([this, id] { run_session(id); });
     } else {
-      ready_.push_back(id);
+      ready_.push_back({false, id, 0});
     }
   } else {
     slot.scheduled = false;
@@ -160,23 +260,46 @@ void DecodeServer::run_session(SessionId id) {
 }
 
 std::size_t DecodeServer::poll() {
+  ReadyItem item;
   std::shared_ptr<Session> session;
-  SessionId id;
+  std::shared_ptr<BatchGroup> group;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (ready_.empty()) return 0;
-    id = ready_.front();
+    item = ready_.front();
     ready_.pop_front();
-    auto it = slots_.find(id);
-    if (it == slots_.end()) return 0;
-    session = it->second.session;
+    if (item.is_group) {
+      auto it = groups_.find(item.key);
+      if (it == groups_.end()) return 0;
+      group = it->second.group;
+    } else {
+      auto it = slots_.find(item.id);
+      if (it == slots_.end()) return 0;
+      session = it->second.session;
+    }
+  }
+  if (item.is_group) {
+    BatchGroup::StepResult result;
+    if (!stopping_flag()) result = step_timed(*group);
+    std::lock_guard<std::mutex> lock(mu_);
+    handle_ejections_locked(result.ejected);
+    auto it = groups_.find(item.key);
+    if (it == groups_.end()) return result.steps;
+    if (!stopping_ && group->pending()) {
+      ready_.push_back(item);
+    } else {
+      it->second.scheduled = false;
+      --scheduled_count_;
+      drain_cv_.notify_all();
+    }
+    return result.steps;
   }
   const std::size_t steps = stopping_flag() ? 0 : step_timed(*session);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = slots_.find(id);
+  auto it = slots_.find(item.id);
   if (it == slots_.end()) return steps;
   if (!stopping_ && session->queue_depth() > 0) {
-    ready_.push_back(id);
+    ready_.push_back(item);
   } else {
     it->second.scheduled = false;
     --scheduled_count_;
@@ -230,9 +353,14 @@ ServerStats DecodeServer::stats() const {
       sessions.push_back(slot.session);
       if (!slot.closed) ++out.sessions;
     }
+    for (const auto& [key, gslot] : groups_) {
+      if (gslot.group && gslot.group->size() > 0) ++out.batch_groups;
+    }
   }
   for (const auto& session : sessions) {
     SessionStatsSnapshot s = session->stats();
+    if (s.batched) ++out.batched_sessions;
+    out.total_batched_steps += s.batched_steps;
     out.total_steps += s.steps;
     out.total_deadline_misses += s.deadline_misses;
     out.total_rejected += s.rejected;
@@ -263,6 +391,10 @@ ServerStats DecodeServer::stats() const {
           ? std::min(1.0, out.worker_busy_s / (out.uptime_s * lanes))
           : 0.0;
   out.step_latency = latency_.summarize();
+  const kalman::GainScheduleCache::Stats cache_stats = cache_.stats();
+  out.gain_cache_hits = cache_stats.hits;
+  out.gain_cache_misses = cache_stats.misses;
+  out.gain_cache_evictions = cache_stats.evictions;
   // Refresh the registry gauges from this authoritative snapshot, so a
   // --metrics-out dump and stats().to_string() always agree.
   auto& registry = telemetry::MetricsRegistry::global();
@@ -274,6 +406,9 @@ ServerStats DecodeServer::stats() const {
       .set(double(out.quarantined_sessions));
   registry.gauge("kalmmind.serve.sessions_degraded")
       .set(double(out.degraded_sessions));
+  registry.gauge("kalmmind.serve.sessions_batched")
+      .set(double(out.batched_sessions));
+  registry.gauge("kalmmind.serve.batch_groups").set(double(out.batch_groups));
   return out;
 }
 
@@ -306,6 +441,15 @@ std::string ServerStats::to_string() const {
                 "(%zu restarts, %zu degradations, %zu invalid steps)\n",
                 degraded_sessions, quarantined_sessions, failed_sessions,
                 total_restarts, total_degradations, total_invalid_steps);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "batching   : %zu groups, %zu batched sessions, "
+                "%zu batched steps  (gain cache: %llu hits, %llu misses, "
+                "%llu evictions)\n",
+                batch_groups, batched_sessions, total_batched_steps,
+                (unsigned long long)gain_cache_hits,
+                (unsigned long long)gain_cache_misses,
+                (unsigned long long)gain_cache_evictions);
   out += line;
   return out;
 }

@@ -14,6 +14,15 @@
 //    until poll() pumps one ready session on the calling thread
 //    (deterministic tests, single-threaded embedding).
 //
+// Batched serving (docs/serving.md): sessions admitted with equal
+// FilterConfigs (and allow_batching, health disabled) share a GainSchedule
+// from the server's GainScheduleCache and decode together in a BatchGroup.
+// A group is a scheduling unit exactly like a session — one `scheduled`
+// flag, one consumer at a time — so batched decode order per session is
+// still the single-threaded result, bit for bit.  Sessions that degrade,
+// fall out of the schedule window, or diverge eject back to the solo path
+// and are rescheduled individually.
+//
 // Session admission is exception-free: open_session() validates via the
 // Status-returning check() chain and reports failure through a Status.
 #pragma once
@@ -30,6 +39,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "kalman/gain_schedule.hpp"
+#include "serve/batch_group.hpp"
 #include "serve/session.hpp"
 #include "serve/stats.hpp"
 #include "serve/thread_pool.hpp"
@@ -42,8 +53,16 @@ struct ServerOptions {
   static constexpr unsigned kManual = ~0u;
   unsigned workers = 0;
   // Bins decoded per scheduling quantum before a session yields its worker
-  // (bounds head-of-line blocking across sessions).
+  // (bounds head-of-line blocking across sessions).  For a BatchGroup this
+  // is rounds of one-bin-per-member.
   std::size_t max_batch = 8;
+  // Batched serving (docs/serving.md).  When enabled, same-config sessions
+  // share a cached gain schedule and decode through fused SoA passes.
+  bool batching = true;
+  // Distinct filter configs whose schedules stay cached (LRU beyond this).
+  std::size_t gain_cache_capacity = 16;
+  // Trailing K/P entries each schedule keeps (see GainSchedule).
+  std::size_t gain_window = kalman::GainSchedule::kDefaultWindow;
 };
 
 class DecodeServer {
@@ -85,11 +104,30 @@ class DecodeServer {
 
   unsigned workers() const { return pool_ ? pool_->size() : 0; }
 
+  // Gain-schedule cache counters (also in stats()).
+  kalman::GainScheduleCache::Stats gain_cache_stats() const {
+    return cache_.stats();
+  }
+
  private:
   struct Slot {
     std::shared_ptr<Session> session;
     bool scheduled = false;  // a worker owns (or will own) this session
     bool closed = false;     // no longer accepts submits
+    // Non-null while the session decodes inside a BatchGroup; submits then
+    // dispatch the group instead of the session.
+    std::shared_ptr<BatchGroup> group;
+  };
+
+  struct GroupSlot {
+    std::shared_ptr<BatchGroup> group;
+    bool scheduled = false;  // a worker owns (or will own) this group
+  };
+
+  struct ReadyItem {
+    bool is_group = false;
+    SessionId id = 0;         // !is_group
+    std::uint64_t key = 0;    // is_group: fingerprint key into groups_
   };
 
   std::shared_ptr<Session> find(SessionId id) const;
@@ -100,22 +138,33 @@ class DecodeServer {
   // Called with mu_ held: mark the slot scheduled and hand it to a worker
   // (pool mode) or the ready queue (manual mode).
   void dispatch_locked(SessionId id, Slot& slot);
-  // Worker body: batch-step `id`, then re-dispatch or park it.
+  void dispatch_group_locked(std::uint64_t key, GroupSlot& slot);
+  // Worker bodies: batch-step, then re-dispatch or park.
   void run_session(SessionId id);
+  void run_group(std::uint64_t key);
   // Time one batch (step_pending) and fold it into the busy-time tally
   // plus the kalmmind.serve.worker_busy_us_total counter.
   std::size_t step_timed(Session& session);
+  BatchGroup::StepResult step_timed(BatchGroup& group);
+  // Try to place a just-admitted session into a batch group.  Returns true
+  // on success (slot.group set, session switched to batched mode).
+  bool try_join_group_locked(Slot& slot);
+  // After a group pass: clear slot.group for ejected sessions and schedule
+  // any with pending bins.  Called with mu_ held.
+  void handle_ejections_locked(const std::vector<SessionId>& ejected);
 
   const ServerOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null in manual mode
   LatencyRecorder latency_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> busy_us_{0};  // summed batch wall time
+  mutable kalman::GainScheduleCache cache_;
 
   mutable std::mutex mu_;
   std::condition_variable drain_cv_;
   std::unordered_map<SessionId, Slot> slots_;
-  std::deque<SessionId> ready_;  // manual mode only
+  std::unordered_map<std::uint64_t, GroupSlot> groups_;
+  std::deque<ReadyItem> ready_;  // manual mode only
   SessionId next_id_ = 1;
   std::size_t scheduled_count_ = 0;
   bool stopping_ = false;

@@ -1,18 +1,25 @@
-// One live decode stream: a KalmanFilter instance (built through the
-// string-keyed strategy factory, so the interleave state rides inside the
-// strategy) fed by a bounded measurement queue with explicit backpressure.
+// One live decode stream: a KalmanFilter instance (built from the typed
+// kalman::FilterConfig, so the interleave state rides inside the strategy)
+// fed by a bounded measurement queue with explicit backpressure.
 //
 // Concurrency contract:
 //  * enqueue() / snapshot accessors may be called from any thread; they
 //    synchronize on the session mutex.
-//  * step_pending() — the only method that touches the filter — must be
-//    called by at most one thread at a time.  DecodeServer guarantees this
-//    with its `scheduled` flag; the filter itself is never locked, so a
-//    decode step never blocks producers.
+//  * step_pending() — the only solo-mode method that touches the filter —
+//    must be called by at most one thread at a time.  DecodeServer
+//    guarantees this with its `scheduled` flag; the filter itself is never
+//    locked, so a decode step never blocks producers.
+//  * In batched mode (docs/serving.md) the owning BatchGroup is the single
+//    consumer: batch_pop / batch_state / note_batch_result / eject_to_solo
+//    follow the same one-thread-at-a-time contract as step_pending, and
+//    the batch-local estimate (batch_x_, batch_iteration_, last_entry_)
+//    is touched by that consumer only.
 //
 // Because each session's filter steps strictly sequentially in submission
-// order, a session decoded by the server is bit-identical to the same
-// model + strategy stepped in a plain single-threaded loop.
+// order — and the batched path replays the identical kernel sequence with
+// gains from the shared GainSchedule — a session decoded by the server is
+// bit-identical to the same model + strategy stepped in a plain
+// single-threaded loop.
 #pragma once
 
 #include <algorithm>
@@ -20,6 +27,7 @@
 #include <cmath>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -29,6 +37,8 @@
 #include "core/realtime.hpp"
 #include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
+#include "kalman/filter_config.hpp"
+#include "kalman/gain_schedule.hpp"
 #include "kalman/riccati.hpp"
 #include "serve/stats.hpp"
 #include "telemetry/telemetry.hpp"
@@ -45,6 +55,7 @@ namespace detail {
 // gauge aggregates across every session in the process.
 struct ServeTelemetry {
   telemetry::Counter& steps;
+  telemetry::Counter& batched_steps;
   telemetry::Counter& deadline_misses;
   telemetry::Counter& rejected;
   telemetry::Counter& dropped;
@@ -58,6 +69,8 @@ struct ServeTelemetry {
     static ServeTelemetry t{
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.serve.steps_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.batched_steps_total"),
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.serve.deadline_misses_total"),
         telemetry::MetricsRegistry::global().counter(
@@ -134,13 +147,11 @@ struct SelfHealingConfig {
 };
 
 struct SessionConfig {
-  kalman::KalmanModel<double> model;
-  // Inverse-strategy factory name (kalman::make_inverse_strategy) + its
-  // parameters; "interleaved" with an InterleaveConfig reproduces the
-  // accelerator's register semantics per stream.
-  std::string strategy = "gauss";
-  kalman::StrategyParams<double> strategy_params;
-  kalman::FilterOptions filter_options;
+  // The complete typed filter identity: model + StrategySpec (+ its matrix
+  // inputs) + FilterOptions.  This is also the batching key — sessions
+  // whose `filter` configs compare equal share one gain schedule
+  // (docs/serving.md).
+  kalman::FilterConfig<double> filter;
   // Bounded measurement queue: how many undecoded bins the session may
   // hold (the PLM chunk-buffer analogue) and what happens when it's full.
   std::size_t queue_capacity = 64;
@@ -152,36 +163,46 @@ struct SessionConfig {
   bool record_trajectory = true;
   // Quarantine/restart + deadline degradation (docs/robustness.md).
   SelfHealingConfig self_healing;
+  // Allow the server to group this session with same-config peers
+  // (opt-out knob; the server may still decline, e.g. for health-enabled
+  // filters whose trajectory is measurement-dependent).
+  bool allow_batching = true;
 
   // Non-throwing validation (exception-free session admission).
   [[nodiscard]] Status check() const noexcept {
-    if (Status s = model.check(); !s.ok()) return s;
-    if (Status s = filter_options.check(); !s.ok()) return s;
+    if (Status s = filter.check(); !s.ok()) return s;
     if (Status s = self_healing.check(); !s.ok()) return s;
     if (queue_capacity == 0)
       return Status::Invalid("SessionConfig: queue_capacity must be > 0");
     if (!(deadline_s > 0.0))
       return Status::Invalid("SessionConfig: deadline_s must be positive");
-    if (!kalman::is_inverse_strategy_name(strategy))
-      return Status::Invalid(
-          "SessionConfig: unknown inverse strategy name "
-          "(see kalman::inverse_strategy_names())");
     return Status::Ok();
   }
 };
 
+// What the owning BatchGroup must do with a session after one batched
+// decode was recorded.
+enum class BatchVerdict {
+  kOk,     // keep batching
+  kEject,  // session degraded to solo (deadline ladder): reschedule solo
+};
+
+// Outcome of popping one bin under the self-healing gate in batched mode.
+enum class BatchPop {
+  kEmpty,   // no bin queued
+  kDropped, // bin consumed without decoding (quarantined/failed)
+  kDecode,  // bin popped; decode it at batch_iteration()
+};
+
 class Session {
  public:
-  // Precondition: config.check().ok().  May still throw if the strategy's
-  // required parameters are missing (e.g. "sskf" without a preloaded
-  // inverse) — DecodeServer::open_session converts that into a Status.
+  // Precondition: config.check().ok() — FilterConfig::check() covers the
+  // strategy/matrices pairing (e.g. sskf without a preloaded inverse), so
+  // construction does not throw for a checked config.
   Session(SessionId id, SessionConfig config)
       : id_(id),
         config_(std::move(config)),
-        filter_(config_.model,
-                kalman::make_inverse_strategy<double>(config_.strategy,
-                                                      config_.strategy_params),
-                config_.filter_options),
+        filter_(config_.filter.make_filter()),
         workspace_bytes_(filter_.workspace_bytes()) {}
 
   SessionId id() const { return id_; }
@@ -360,12 +381,162 @@ class Session {
     s.restarts = restarts_;
     s.degradations = degradations_;
     s.quarantine_dropped = quarantine_dropped_;
+    s.batched = batched_;
+    s.batched_steps = batched_steps_;
     return s;
   }
 
   SessionState state() const {
     std::lock_guard<std::mutex> lock(mu_);
     return state_;
+  }
+
+  // --- batched mode (single consumer: the owning BatchGroup) --------------
+
+  // Switch to batched decoding.  Called once at admission, before any bin
+  // is consumed; the solo filter stays constructed so eject_to_solo() can
+  // hand back a running session at any point.
+  void enable_batching() {
+    std::lock_guard<std::mutex> lock(mu_);
+    batched_ = true;
+    batch_x_ = config_.filter.model.x0;
+    batch_iteration_ = 0;
+  }
+
+  bool batched() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batched_;
+  }
+
+  // Pop one bin through the self-healing gate — the same
+  // quarantined/failed semantics as the solo drain loop: a gated bin is
+  // consumed and dropped; a quarantine whose backoff just drained restarts
+  // the stream (from x0, schedule iteration 0) and decodes this bin.
+  BatchPop batch_pop(Vector<double>* z) {
+    auto& tm = detail::ServeTelemetry::get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return BatchPop::kEmpty;
+    *z = std::move(queue_.front());
+    queue_.pop_front();
+    tm.queued_bins.add(-1.0);
+    if (state_ == SessionState::kFailed) {
+      ++quarantine_dropped_;
+      tm.quarantine_dropped.add();
+      return BatchPop::kDropped;
+    }
+    if (state_ == SessionState::kQuarantined) {
+      if (backoff_remaining_ > 0) {
+        --backoff_remaining_;
+        ++quarantine_dropped_;
+        tm.quarantine_dropped.add();
+        return BatchPop::kDropped;
+      }
+      state_ = SessionState::kHealthy;
+      ++restarts_;
+      tm.restarts.add();
+    }
+    return BatchPop::kDecode;
+  }
+
+  // Put a popped-but-undecoded bin back at the queue head (window-miss
+  // ejection: the bin decodes through the solo path instead, in order).
+  void requeue_front(Vector<double> z) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_front(std::move(z));
+    detail::ServeTelemetry::get().queued_bins.add(1.0);
+  }
+
+  // Schedule iteration the next decode runs at (consumer thread only).
+  std::size_t batch_iteration() const { return batch_iteration_; }
+  // Current state estimate in batched mode (consumer thread only).
+  const Vector<double>& batch_state() const { return batch_x_; }
+
+  // Record the result of one batched decode: the same Status guard,
+  // latency/trajectory/deadline bookkeeping and self-healing transitions
+  // as the solo loop.  `seconds` is this session's share of the fused
+  // cohort pass (cohort wall time / cohort size).  Returns kEject when the
+  // deadline ladder degraded the session — it now runs solo on the cheap
+  // constant-gain strategy and must leave the group.
+  BatchVerdict note_batch_result(
+      std::shared_ptr<const kalman::GainSchedule::Entry> entry,
+      const double* x_new, double seconds, LatencyRecorder* recorder) {
+    auto& tm = detail::ServeTelemetry::get();
+    // Mirror the filter state mutation exactly: the decoded state becomes
+    // the batch estimate even when non-finite (a solo filter's state is
+    // poisoned the same way), so a healing-disabled stream stays invalid
+    // just like the solo path.
+    const std::size_t x_dim = batch_x_.size();
+    for (std::size_t i = 0; i < x_dim; ++i) batch_x_[i] = x_new[i];
+    ++batch_iteration_;
+    last_entry_ = std::move(entry);
+
+#if defined(KALMMIND_FAULTS)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fault_step_seconds_ >= 0.0) seconds = fault_step_seconds_;
+    }
+#endif
+
+    bool finite = true;
+    for (std::size_t i = 0; i < x_dim; ++i) {
+      if (!std::isfinite(batch_x_[i])) {
+        finite = false;
+        break;
+      }
+    }
+    if (!finite) {
+      // Not recorded: no latency sample, no trajectory entry, no steps_
+      // increment — identical to the solo invalid-step path.
+      tm.invalid_steps.add();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++invalid_steps_;
+      if (config_.self_healing.enabled) enter_quarantine_locked();
+      return BatchVerdict::kOk;  // quarantine is handled by the pop gate
+    }
+
+    if (recorder) recorder->record(seconds);
+    tm.steps.add();
+    tm.batched_steps.add();
+
+    core::IterationTiming timing;
+    timing.cycles = 0;
+    timing.seconds = seconds;
+    timing.meets_deadline = seconds <= config_.deadline_s;
+    if (!timing.meets_deadline) tm.deadline_misses.add();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    timing.kf_iteration = steps_;
+    ++steps_;
+    ++batched_steps_;
+    sum_step_s_ += seconds;
+    worst_step_s_ = std::max(worst_step_s_, seconds);
+    if (!timing.meets_deadline) ++deadline_misses_;
+    if (config_.record_trajectory) {
+      states_.push_back(batch_x_);
+      timings_.push_back(timing);
+    }
+    if (config_.self_healing.enabled &&
+        config_.self_healing.degrade_after_misses > 0) {
+      track_deadline_locked(timing.meets_deadline, tm);
+      if (!batched_) return BatchVerdict::kEject;  // ladder degraded us
+    }
+    return BatchVerdict::kOk;
+  }
+
+  // Leave the group (schedule window miss, or the group dissolving):
+  // rebuild the solo filter on the original strategy, carrying the batch
+  // estimate across — P comes from the last consumed schedule entry (P0
+  // before the first decode).  One-way: a rejoin could not be bit-exact
+  // because the strategy's interleave seeds cannot be reconstructed
+  // mid-trajectory (the same reason quarantine restarts decode from x0).
+  void eject_to_solo() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!batched_) return;
+    // Rebuild while still marked batched so the estimate is sourced from
+    // the batch state, not the stale solo filter.
+    rebuild_filter_locked(config_.filter.strategy,
+                          config_.filter.strategy_data);
+    batched_ = false;
   }
 
 #if defined(KALMMIND_FAULTS)
@@ -407,7 +578,9 @@ class Session {
   // Divergence response (mu_ held).  The filter restarts immediately — a
   // degraded session is restored to its original strategy first, since the
   // divergence may be the cheap strategy's fault — and the backoff then
-  // decides how many bins to drop before the stream decodes again.
+  // decides how many bins to drop before the stream decodes again.  A
+  // batched session restarts its batch estimate instead (x0, schedule
+  // iteration 0) and stays in its group.
   void enter_quarantine_locked() {
     if (restarts_ >= config_.self_healing.max_restarts) {
       state_ = SessionState::kFailed;
@@ -420,8 +593,15 @@ class Session {
                  config_.self_healing.backoff_max_bins);
     consecutive_misses_ = 0;
     consecutive_hits_ = 0;
+    if (batched_) {
+      batch_x_ = config_.filter.model.x0;
+      batch_iteration_ = 0;
+      last_entry_.reset();
+      return;
+    }
     if (state_was_degraded()) {
-      rebuild_filter_locked(config_.strategy, config_.strategy_params);
+      rebuild_filter_locked(config_.filter.strategy,
+                            config_.filter.strategy_data);
       degraded_ = false;
     }
     filter_.reset();
@@ -456,15 +636,19 @@ class Session {
       // One Riccati solve per session, cached for later degradations.  A
       // model whose recursion does not converge simply cannot degrade.
       try {
-        degraded_inverse_ = kalman::solve_steady_state(config_.model).s_inv;
+        degraded_inverse_ =
+            kalman::solve_steady_state(config_.filter.model).s_inv;
       } catch (const std::exception&) {
         degrade_unavailable_ = true;
         return false;
       }
     }
-    kalman::StrategyParams<double> params;
-    params.preloaded_inverse = degraded_inverse_;
-    rebuild_filter_locked("sskf", params);
+    kalman::StrategySpec spec;
+    spec.kind = kalman::StrategyKind::kSskf;
+    kalman::StrategyMatrices<double> data;
+    data.preloaded_inverse = degraded_inverse_;
+    rebuild_filter_locked(spec, data);
+    batched_ = false;  // a degraded session leaves its batch group for good
     degraded_ = true;
     state_ = SessionState::kDegraded;
     ++degradations_;
@@ -472,21 +656,31 @@ class Session {
   }
 
   void restore_locked() {
-    rebuild_filter_locked(config_.strategy, config_.strategy_params);
+    rebuild_filter_locked(config_.filter.strategy,
+                          config_.filter.strategy_data);
     degraded_ = false;
     state_ = SessionState::kHealthy;
   }
 
   // Swap the filter's strategy by rebuilding it, carrying the current
   // estimate across the swap (mu_ held; the single-consumer contract means
-  // no other thread can be inside filter_).
-  void rebuild_filter_locked(const std::string& strategy,
-                             const kalman::StrategyParams<double>& params) {
-    Vector<double> x = filter_.state();
-    Matrix<double> p = filter_.covariance();
+  // no other thread can be inside filter_ or the batch state).  In batched
+  // mode the estimate comes from the batch state and the last consumed
+  // schedule entry's posterior covariance (P0 before the first decode).
+  void rebuild_filter_locked(const kalman::StrategySpec& spec,
+                             const kalman::StrategyMatrices<double>& data) {
+    Vector<double> x;
+    Matrix<double> p;
+    if (batched_) {
+      x = batch_x_;
+      p = last_entry_ ? last_entry_->p_after : config_.filter.model.p0;
+    } else {
+      x = filter_.state();
+      p = filter_.covariance();
+    }
     filter_ = kalman::KalmanFilter<double>(
-        config_.model, kalman::make_inverse_strategy<double>(strategy, params),
-        config_.filter_options);
+        config_.filter.model, kalman::make_inverse_strategy<double>(spec, data),
+        config_.filter.options);
     filter_.set_state(std::move(x), std::move(p));
     workspace_bytes_ = filter_.workspace_bytes();
   }
@@ -497,12 +691,22 @@ class Session {
   std::vector<Vector<double>> batch_;    // step_pending drain buffer (single
                                          // consumer, reused across calls)
 
+  // Batched-mode estimate, touched only by the owning BatchGroup's single
+  // consumer (same contract as filter_): the decoded state, the schedule
+  // iteration of the next decode, and the last consumed schedule entry
+  // (its p_after re-seeds the solo filter on fall-out).
+  Vector<double> batch_x_;
+  std::size_t batch_iteration_ = 0;
+  std::shared_ptr<const kalman::GainSchedule::Entry> last_entry_;
+
   mutable std::mutex mu_;  // guards everything below
   std::size_t workspace_bytes_ = 0;  // last sampled filter_.workspace_bytes()
   std::deque<Vector<double>> queue_;
   std::vector<Vector<double>> states_;
   std::vector<core::IterationTiming> timings_;
   std::size_t steps_ = 0;
+  std::size_t batched_steps_ = 0;  // subset of steps_ decoded in a group
+  bool batched_ = false;           // currently owned by a BatchGroup
   std::size_t max_backlog_ = 0;
   std::size_t deadline_misses_ = 0;
   std::size_t rejected_ = 0;

@@ -131,6 +131,9 @@ struct SessionStatsSnapshot {
   std::size_t restarts = 0;            // quarantine restarts performed
   std::size_t degradations = 0;        // strategy downgrades performed
   std::size_t quarantine_dropped = 0;  // bins consumed while not decoding
+  // Batched serving (docs/serving.md).
+  bool batched = false;                // currently decoding in a BatchGroup
+  std::size_t batched_steps = 0;       // subset of steps decoded batched
 };
 
 // Point-in-time view of the whole server.
@@ -153,6 +156,13 @@ struct ServerStats {
   std::size_t total_restarts = 0;
   std::size_t total_degradations = 0;
   std::size_t total_quarantine_dropped = 0;
+  // Batched serving rollup (docs/serving.md).
+  std::size_t batched_sessions = 0;     // sessions currently in a group
+  std::size_t batch_groups = 0;         // live same-config groups
+  std::size_t total_batched_steps = 0;
+  std::uint64_t gain_cache_hits = 0;
+  std::uint64_t gain_cache_misses = 0;
+  std::uint64_t gain_cache_evictions = 0;
   LatencySummary step_latency;
   std::vector<SessionStatsSnapshot> per_session;
 

@@ -32,6 +32,8 @@ namespace {
 using linalg::Matrix;
 using linalg::Vector;
 
+// Counter assertions are skipped when telemetry is compiled out (the
+// KALMMIND_TELEMETRY=OFF CI job): every counter then reads a constant 0.
 std::uint64_t recovery_counter(const std::string& action) {
   return telemetry::MetricsRegistry::global()
       .counter("kalmmind.kf.recoveries_total." + action)
@@ -165,7 +167,9 @@ TEST(KalmanHealthTest, BadNewtonSeedIsRepairedWithinTheSameStep) {
   EXPECT_EQ(filter.last_inverse_event().path, InversePath::kCalculation);
   EXPECT_TRUE(filter.health().has(HealthFault::kResidualGrowth));
   EXPECT_GE(filter.health().total(RecoveryAction::kForceCalculation), 1u);
-  EXPECT_GE(recovery_counter("force_calculation"), forced_before + 1);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_GE(recovery_counter("force_calculation"), forced_before + 1);
+  }
   expect_finite(filter.state(), 1);
 
   // ...so the decode matches the per-step reference closely.
@@ -227,11 +231,13 @@ TEST(KalmanHealthTest, LadderClimbsEveryRungOnAnInterleavedStrategy) {
   EXPECT_TRUE(filter.health().fallback_active);
   EXPECT_EQ(filter.health().faulty_steps, 5u);
 
-  EXPECT_EQ(recovery_counter("force_calculation"), before_force + 1);
-  EXPECT_EQ(recovery_counter("reseed_policy0"), before_reseed + 1);
-  EXPECT_EQ(recovery_counter("covariance_reset"), before_reset + 1);
-  EXPECT_EQ(recovery_counter("sskf_fallback"), before_sskf + 1);
-  EXPECT_GT(faults_counter(), before_faults);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(recovery_counter("force_calculation"), before_force + 1);
+    EXPECT_EQ(recovery_counter("reseed_policy0"), before_reseed + 1);
+    EXPECT_EQ(recovery_counter("covariance_reset"), before_reset + 1);
+    EXPECT_EQ(recovery_counter("sskf_fallback"), before_sskf + 1);
+    EXPECT_GT(faults_counter(), before_faults);
+  }
 
   // The fallback is sticky until an explicit reset.
   filter.reset();
@@ -324,7 +330,9 @@ TEST(KalmanHealthTest, NanSpikeSkipsMeasurementAndReconverges) {
   EXPECT_EQ(filter.health().total(RecoveryAction::kSkipMeasurement), 1u);
   EXPECT_EQ(filter.health().faulty_steps, 1u);
   EXPECT_EQ(filter.health().escalation_level, 0u);
-  EXPECT_EQ(recovery_counter("skip_measurement"), skips_before + 1);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(recovery_counter("skip_measurement"), skips_before + 1);
+  }
 
   // 30 clean steps later the decode has re-converged onto the reference
   // trajectory (which never saw the fault).
@@ -403,7 +411,9 @@ TEST(KalmanHealthTest, InnovationGateContainsDropoutAndSaturation) {
   EXPECT_EQ(filter.health().gated_channels, 3u);  // 2 dropout + 1 railed
   EXPECT_EQ(filter.health().faulty_steps, 2u);
   EXPECT_EQ(filter.health().escalation_level, 0u);  // gate != ladder
-  EXPECT_EQ(recovery_counter("gate_channels"), gates_before + 2);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(recovery_counter("gate_channels"), gates_before + 2);
+  }
 
   const auto ref = run_reference(model, clean);
   const Vector<double>& x = filter.state();
@@ -460,7 +470,9 @@ TEST(KalmanHealthTest, FixedPointOverflowRecoversViaCovarianceReset) {
   EXPECT_EQ(filter.health().total(RecoveryAction::kCovarianceReset), 2u);
   EXPECT_EQ(filter.health().total(RecoveryAction::kSskfFallback), 0u);
   EXPECT_FALSE(filter.health().fallback_active);
-  EXPECT_EQ(recovery_counter("covariance_reset"), resets_before + 2);
+  if constexpr (telemetry::kCompiledIn) {
+    EXPECT_EQ(recovery_counter("covariance_reset"), resets_before + 2);
+  }
 
   // Clean measurements de-escalate and the decode settles back down.
   for (int n = 0; n < 10; ++n) {

@@ -18,10 +18,11 @@ using linalg::Vector;
 
 SessionConfig interleaved_config(const kalman::KalmanModel<double>& model) {
   SessionConfig cfg;
-  cfg.model = model;
-  cfg.strategy = "interleaved";
-  cfg.strategy_params.interleave = {3, 2,
-                                    kalman::SeedPolicy::kPreviousIteration};
+  cfg.filter.model = model;
+  cfg.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+  cfg.filter.strategy.calc_freq = 3;
+  cfg.filter.strategy.approx = 2;
+  cfg.filter.strategy.policy = kalman::SeedPolicy::kPreviousIteration;
   cfg.queue_capacity = 1024;
   return cfg;
 }
@@ -29,10 +30,7 @@ SessionConfig interleaved_config(const kalman::KalmanModel<double>& model) {
 // The same decode the server performs, as a plain sequential loop.
 std::vector<Vector<double>> sequential_trajectory(
     const SessionConfig& cfg, const std::vector<Vector<double>>& zs) {
-  kalman::KalmanFilter<double> filter(
-      cfg.model, kalman::make_inverse_strategy<double>(cfg.strategy,
-                                                       cfg.strategy_params),
-      cfg.filter_options);
+  kalman::KalmanFilter<double> filter = cfg.filter.make_filter();
   std::vector<Vector<double>> states;
   for (const auto& z : zs) states.push_back(filter.step(z));
   return states;
@@ -206,7 +204,7 @@ TEST(ServeDecodeServerTest, AdmissionRejectsBadConfigsWithoutThrowing) {
   DecodeServer server({/*workers=*/1, 8});
 
   SessionConfig bad_queue;
-  bad_queue.model = model;
+  bad_queue.filter.model = model;
   bad_queue.queue_capacity = 0;
   Status status;
   EXPECT_EQ(server.open_session(bad_queue, &status),
@@ -214,17 +212,18 @@ TEST(ServeDecodeServerTest, AdmissionRejectsBadConfigsWithoutThrowing) {
   EXPECT_FALSE(status.ok());
 
   SessionConfig bad_strategy;
-  bad_strategy.model = model;
-  bad_strategy.strategy = "not-a-strategy";
+  bad_strategy.filter.model = model;
+  bad_strategy.filter.strategy.kind = kalman::StrategyKind::kTaylor;
+  bad_strategy.filter.strategy.taylor_order = 0;  // spec check rejects
   EXPECT_EQ(server.open_session(bad_strategy, &status),
             DecodeServer::kInvalidSession);
   EXPECT_FALSE(status.ok());
 
-  // Passes check() but the factory needs a preloaded inverse: still a
-  // Status, not a throw.
+  // sskf without a preloaded inverse: FilterConfig::check catches the
+  // spec/matrices mismatch — still a Status, not a throw.
   SessionConfig missing_preload;
-  missing_preload.model = model;
-  missing_preload.strategy = "sskf";
+  missing_preload.filter.model = model;
+  missing_preload.filter.strategy.kind = kalman::StrategyKind::kSskf;
   EXPECT_EQ(server.open_session(missing_preload, &status),
             DecodeServer::kInvalidSession);
   EXPECT_FALSE(status.ok());

@@ -108,6 +108,81 @@ TEST(ServeFactoryTest, UnknownNameIsACleanError) {
   }
 }
 
+TEST(ServeFactoryTest, TypedSpecBuildsEveryKind) {
+  const Matrix<double> s = spd(4);
+  const Matrix<double> identity = Matrix<double>::identity(4);
+  for (const auto& name : kalman::inverse_strategy_names()) {
+    SCOPED_TRACE(name);
+    kalman::StrategySpec spec = kalman::StrategySpec::parse(name);
+    if (name == "newton") spec.newton_iterations = 40;
+    kalman::StrategyMatrices<double> matrices;
+    if (spec.kind == kalman::StrategyKind::kLite ||
+        spec.kind == kalman::StrategyKind::kSskf) {
+      matrices.preloaded_inverse = linalg::invert_gauss(s);
+    }
+    auto strategy = kalman::make_inverse_strategy<double>(spec, matrices);
+    ASSERT_NE(strategy, nullptr);
+    const Matrix<double> inv = strategy->invert(s, 0);
+    Matrix<double> product;
+    linalg::multiply_into(product, s, inv);
+    product -= identity;
+    EXPECT_LT(linalg::frobenius_norm(product), 0.7);
+  }
+}
+
+TEST(ServeFactoryTest, StringOverloadMatchesTypedSpec) {
+  // The historical string overload is a thin wrapper over the typed API:
+  // for every vocabulary name both paths must construct the same strategy
+  // (observable through name(), which encodes the strategy's parameters).
+  const Matrix<double> s = spd(4);
+  for (const auto& name : kalman::inverse_strategy_names()) {
+    SCOPED_TRACE(name);
+    auto via_string =
+        kalman::make_inverse_strategy<double>(name, params_for(name, s));
+
+    kalman::StrategySpec spec = kalman::StrategySpec::parse(name);
+    const StrategyParams<double> params = params_for(name, s);
+    spec.calc_method = params.calc_method;
+    spec.calc_freq = params.interleave.calc_freq;
+    spec.approx = params.interleave.approx;
+    spec.policy = params.interleave.policy;
+    spec.newton_iterations = params.newton_iterations;
+    spec.taylor_order = params.taylor_order;
+    spec.ifkf_iterations = params.ifkf_iterations;
+    kalman::StrategyMatrices<double> matrices;
+    matrices.r = params.r;
+    matrices.preloaded_inverse = params.preloaded_inverse;
+    auto via_spec = kalman::make_inverse_strategy<double>(spec, matrices);
+
+    EXPECT_EQ(via_string->name(), via_spec->name());
+  }
+}
+
+TEST(ServeFactoryTest, FormatStringCarriesItsOwnParameters) {
+  // A full format() string round-trips through the string overload with
+  // the embedded argument list winning over the legacy params struct.
+  StrategyParams<double> ignored;
+  ignored.newton_iterations = 99;
+  auto newton =
+      kalman::make_inverse_strategy<double>("newton(m=7)", ignored);
+  EXPECT_EQ(newton->name(), "newton-classic(m=7)");
+
+  auto interleaved = kalman::make_inverse_strategy<double>(
+      "interleaved(calc=cholesky,calc_freq=4,approx=2,policy=0)");
+  EXPECT_NE(interleaved->name().find("cholesky/newton"), std::string::npos);
+}
+
+TEST(ServeFactoryTest, TypedSpecRejectsMissingPreload) {
+  kalman::StrategySpec lite;
+  lite.kind = kalman::StrategyKind::kLite;
+  EXPECT_THROW(kalman::make_inverse_strategy<double>(lite),
+               std::invalid_argument);
+  kalman::StrategySpec sskf;
+  sskf.kind = kalman::StrategyKind::kSskf;
+  EXPECT_THROW(kalman::make_inverse_strategy<double>(sskf),
+               std::invalid_argument);
+}
+
 TEST(ServeFactoryTest, PreloadRequiringNamesRejectEmptyMatrix) {
   EXPECT_THROW(kalman::make_inverse_strategy<double>("lite"),
                std::invalid_argument);

@@ -28,10 +28,11 @@ using linalg::Vector;
 
 SessionConfig healing_config(const kalman::KalmanModel<double>& model) {
   SessionConfig cfg;
-  cfg.model = model;
-  cfg.strategy = "interleaved";
-  cfg.strategy_params.interleave = {3, 2,
-                                    kalman::SeedPolicy::kPreviousIteration};
+  cfg.filter.model = model;
+  cfg.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+  cfg.filter.strategy.calc_freq = 3;
+  cfg.filter.strategy.approx = 2;
+  cfg.filter.strategy.policy = kalman::SeedPolicy::kPreviousIteration;
   cfg.queue_capacity = 1024;
   cfg.self_healing.enabled = true;
   cfg.self_healing.max_restarts = 2;
@@ -113,11 +114,7 @@ TEST(ServeSelfHealingTest, DivergedSessionIsQuarantinedThenRestarted) {
   EXPECT_EQ(st.restarts, 1u);
 
   // The post-restart decode starts over from the initial filter state.
-  kalman::KalmanFilter<double> fresh(
-      cfg.model,
-      kalman::make_inverse_strategy<double>(cfg.strategy,
-                                            cfg.strategy_params),
-      cfg.filter_options);
+  kalman::KalmanFilter<double> fresh = cfg.filter.make_filter();
   const auto trajectory = server.trajectory(id);
   ASSERT_EQ(trajectory.size(), 3u);
   expect_all_finite(trajectory);
@@ -287,11 +284,7 @@ TEST(ServeSelfHealingTest, DegradedSessionThatDivergesRestartsOnOriginal) {
 
   // The post-restart decode matches a fresh filter on the original
   // (non-degraded) strategy exactly.
-  kalman::KalmanFilter<double> fresh(
-      cfg.model,
-      kalman::make_inverse_strategy<double>(cfg.strategy,
-                                            cfg.strategy_params),
-      cfg.filter_options);
+  kalman::KalmanFilter<double> fresh = cfg.filter.make_filter();
   const Vector<double> expected = fresh.step(zs[3]);
   const auto trajectory = session.trajectory();
   ASSERT_EQ(trajectory.size(), 3u);
@@ -314,10 +307,10 @@ TEST(ServeChaosTest, SeededFaultStormNeverProducesNonFiniteOutput) {
 
   const auto model = testing::small_model(6);
   SessionConfig cfg = healing_config(model);
-  cfg.strategy_params.interleave = {4, 1,
-                                    kalman::SeedPolicy::kPreviousIteration};
-  cfg.filter_options.health.enabled = true;
-  cfg.filter_options.health.innovation_gate_sigma = 8.0;
+  cfg.filter.strategy.calc_freq = 4;
+  cfg.filter.strategy.approx = 1;
+  cfg.filter.options.health.enabled = true;
+  cfg.filter.options.health.innovation_gate_sigma = 8.0;
   cfg.self_healing.max_restarts = 10;
 
   testing::FaultInjector injector(seed);

@@ -131,7 +131,7 @@ TEST(ServeStatusTest, CheckIsNoexcept) {
 
 TEST(ServeStatusTest, SessionConfigCheckCoversItsFields) {
   serve::SessionConfig cfg;
-  cfg.model = testing::small_model(4);
+  cfg.filter.model = testing::small_model(4);
   EXPECT_TRUE(cfg.check().ok());
 
   serve::SessionConfig bad_queue = cfg;
@@ -143,11 +143,16 @@ TEST(ServeStatusTest, SessionConfigCheckCoversItsFields) {
   EXPECT_FALSE(bad_deadline.check().ok());
 
   serve::SessionConfig bad_strategy = cfg;
-  bad_strategy.strategy = "nope";
+  bad_strategy.filter.strategy.kind = kalman::StrategyKind::kNewton;
+  bad_strategy.filter.strategy.newton_iterations = 0;
   EXPECT_FALSE(bad_strategy.check().ok());
 
+  serve::SessionConfig missing_preload = cfg;
+  missing_preload.filter.strategy.kind = kalman::StrategyKind::kSskf;
+  EXPECT_FALSE(missing_preload.check().ok());
+
   serve::SessionConfig bad_model = cfg;
-  bad_model.model.f = linalg::Matrix<double>(1, 2);
+  bad_model.filter.model.f = linalg::Matrix<double>(1, 2);
   EXPECT_FALSE(bad_model.check().ok());
 }
 

@@ -258,13 +258,19 @@ struct ServeBenchOptions {
   std::uint32_t calc_freq = 0;
   std::uint32_t approx = 2;
   std::uint32_t policy = 1;
+  bool batching = true;
 };
 
 [[noreturn]] void serve_usage_and_exit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s serve-bench [--dataset NAME] [--sessions N]\n"
-               "          [--workers N] [--iterations N] [--strategy NAME]\n"
-               "          [--calc-freq N] [--approx N] [--policy 0|1]\n",
+               "          [--workers N] [--iterations N] [--strategy SPEC]\n"
+               "          [--calc-freq N] [--approx N] [--policy 0|1]\n"
+               "          [--no-batching]\n"
+               "  SPEC is a StrategySpec string, e.g. \"gauss\",\n"
+               "  \"newton(m=4)\", or\n"
+               "  \"interleaved(calc=gauss,calc_freq=0,approx=2,policy=1)\";\n"
+               "  --calc-freq/--approx/--policy apply to bare names only.\n",
                argv0);
   std::exit(2);
 }
@@ -295,6 +301,8 @@ int run_serve_bench(int argc, char** argv) {
       opt.approx = std::uint32_t(std::atoi(need_value("--approx")));
     } else if (!std::strcmp(argv[i], "--policy")) {
       opt.policy = std::uint32_t(std::atoi(need_value("--policy")));
+    } else if (!std::strcmp(argv[i], "--no-batching")) {
+      opt.batching = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       serve_usage_and_exit(argv[0]);
@@ -320,20 +328,36 @@ int run_serve_bench(int argc, char** argv) {
   spec.test_steps = opt.iterations;
   const neural::NeuralDataset dataset = neural::build_dataset(spec);
 
+  kalman::StrategySpec strategy;
+  if (Status s = kalman::StrategySpec::try_parse(opt.strategy, &strategy);
+      !s.ok()) {
+    std::fprintf(stderr, "bad --strategy '%s': %s\n", opt.strategy.c_str(),
+                 s.message());
+    return 2;
+  }
+  if (opt.strategy.find('(') == std::string::npos) {
+    // Bare name: the legacy interleave flags still apply.
+    strategy.calc_freq = opt.calc_freq;
+    strategy.approx = opt.approx;
+    strategy.policy = opt.policy == 0
+                          ? kalman::SeedPolicy::kLastCalculated
+                          : kalman::SeedPolicy::kPreviousIteration;
+  }
+
   serve::SessionConfig session_cfg;
-  session_cfg.model = dataset.model;
-  session_cfg.strategy = opt.strategy;
-  session_cfg.strategy_params.interleave = {opt.calc_freq, opt.approx,
-                                            opt.policy == 0
-                                                ? kalman::SeedPolicy::kLastCalculated
-                                                : kalman::SeedPolicy::kPreviousIteration};
+  session_cfg.filter.model = dataset.model;
+  session_cfg.filter.strategy = strategy;
   session_cfg.queue_capacity = opt.iterations;  // lossless for the bench
   if (Status s = session_cfg.check(); !s.ok()) {
     std::fprintf(stderr, "bad session config: %s\n", s.message());
     return 2;
   }
 
-  serve::DecodeServer server({opt.workers, /*max_batch=*/8});
+  serve::ServerOptions server_options;
+  server_options.workers = opt.workers;
+  server_options.max_batch = 8;
+  server_options.batching = opt.batching;
+  serve::DecodeServer server(server_options);
   std::vector<serve::SessionId> ids;
   for (std::size_t i = 0; i < opt.sessions; ++i) {
     Status status;
@@ -346,10 +370,11 @@ int run_serve_bench(int argc, char** argv) {
   }
 
   std::printf("serve-bench: %zu sessions x %zu bins, dataset %s (z=%zu), "
-              "strategy %s, %u workers\n",
+              "strategy %s, %u workers, batching %s\n",
               opt.sessions, dataset.test_measurements.size(),
               dataset.spec.name.c_str(), dataset.model.z_dim(),
-              opt.strategy.c_str(), server.workers());
+              strategy.format().c_str(), server.workers(),
+              opt.batching ? "on" : "off");
 
   const auto t0 = std::chrono::steady_clock::now();
   // Round-robin across sessions: the arrival pattern of independent
@@ -370,10 +395,7 @@ int run_serve_bench(int argc, char** argv) {
               double(stats.total_steps) / wall, double(opt.sessions) / wall);
 
   // Cross-check one stream against the identical sequential filter.
-  kalman::KalmanFilter<double> sequential(
-      dataset.model,
-      kalman::make_inverse_strategy<double>(opt.strategy,
-                                            session_cfg.strategy_params));
+  kalman::KalmanFilter<double> sequential = session_cfg.filter.make_filter();
   const auto seq = sequential.run(dataset.test_measurements);
   const auto served = server.trajectory(ids.front());
   bool identical = served.size() == seq.states.size();
@@ -458,8 +480,8 @@ int run_telemetry_demo(int argc, char** argv) {
   {
     telemetry::Span span("demo.serve_run", "demo");
     serve::SessionConfig cfg;
-    cfg.model = dataset.model;
-    cfg.strategy = "gauss";
+    cfg.filter.model = dataset.model;
+    cfg.filter.strategy.kind = kalman::StrategyKind::kGauss;
     cfg.queue_capacity = dataset.test_measurements.size();
     serve::DecodeServer server({/*workers=*/2, /*max_batch=*/8});
     const serve::SessionId a = server.open_session(cfg);
