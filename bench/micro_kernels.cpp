@@ -236,6 +236,50 @@ void BM_FilterStepHealthOff(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterStepHealthOff)->Arg(46)->Arg(164);
 
+// ---- flight-recorder overhead on the clean path ----
+
+// The observability budget (docs/observability.md): the recorder may cost
+// at most ~2% over an identical step with the recorder runtime-disabled.
+// Health is on (the instrumented layer the recorder journals from), the
+// step runs under a ScopedFlightSession like a serve worker would, and on
+// a clean stream the recorder's only cost is the enabled() gates — events
+// fire on faults, not on healthy steps.
+void bench_filter_step_recorder(benchmark::State& state, bool recorder_on) {
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const auto model = bench_model(6, z_dim);
+  Rng rng(11);
+  const auto z = random_vector<double>(z_dim, rng);
+  kalmmind::kalman::FilterOptions opts;
+  opts.health.enabled = true;
+  kalmmind::kalman::StrategyParams<double> params;
+  params.interleave = {3, 2,
+                       kalmmind::kalman::SeedPolicy::kPreviousIteration};
+  kalmmind::kalman::KalmanFilter<double> filter(
+      model,
+      kalmmind::kalman::make_inverse_strategy<double>("interleaved", params),
+      opts);
+  auto& blackbox = kalmmind::telemetry::FlightRecorder::global();
+  blackbox.set_enabled(recorder_on);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    kalmmind::telemetry::ScopedFlightSession flight(1, step++);
+    const auto& x = filter.step(z);
+    benchmark::DoNotOptimize(x.data());
+  }
+  blackbox.set_enabled(true);
+  blackbox.clear();
+}
+
+void BM_FilterStepRecorderOn(benchmark::State& state) {
+  bench_filter_step_recorder(state, /*recorder_on=*/true);
+}
+BENCHMARK(BM_FilterStepRecorderOn)->Arg(46)->Arg(164);
+
+void BM_FilterStepRecorderOff(benchmark::State& state) {
+  bench_filter_step_recorder(state, /*recorder_on=*/false);
+}
+BENCHMARK(BM_FilterStepRecorderOff)->Arg(46)->Arg(164);
+
 // ---- workspace step vs. the pre-workspace per-call-temporaries step ----
 
 // The filter hot path as it was before the workspace rework: naive kernels,

@@ -20,20 +20,33 @@ cmake -B build-chaos -S . \
   -DKALMMIND_BUILD_BENCH=OFF \
   -DKALMMIND_BUILD_EXAMPLES=OFF
 cmake --build build-chaos -j"$(nproc)" \
-  --target test_kalman test_soc test_serve
+  --target test_kalman test_soc test_serve kalmmind_cli
 
 echo
 echo "== chaos: robustness suites, scheduled faults =="
 ctest --test-dir build-chaos --output-on-failure -j"$(nproc)" \
-  -R 'KalmanHealth|SocFaultInjection|ServeSelfHealing'
+  -R 'KalmanHealth|SocFaultInjection|ServeSelfHealing|ServeBlackbox'
 
 echo
 echo "== chaos: seeded fault storms (seeds: ${SEEDS}) =="
 for seed in ${SEEDS}; do
   echo "-- chaos seed ${seed}"
   KALMMIND_CHAOS_SEED="${seed}" \
-    ctest --test-dir build-chaos --output-on-failure -R 'ServeChaos'
+    ctest --test-dir build-chaos --output-on-failure -R 'ServeChaos|ServeBlackbox'
 done
+
+echo
+echo "== chaos: flight-recorder postmortem artifacts =="
+# One quarantine run with the dump directory + trace wired up, so CI can
+# upload the black-box evidence (JSONL postmortems + Chrome trace) from
+# every soak (docs/observability.md).
+ARTIFACTS="${CHAOS_ARTIFACTS:-build-chaos/blackbox}"
+mkdir -p "${ARTIFACTS}"
+./build-chaos/tools/kalmmind \
+  --blackbox-out "${ARTIFACTS}" \
+  --trace-out "${ARTIFACTS}/chaos_soak_trace.json" \
+  telemetry-demo --dataset motor --iterations 25
+ls -l "${ARTIFACTS}"
 
 echo
 echo "chaos: OK"

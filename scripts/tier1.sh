@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: full build + test suite, then the concurrent serve/
 # telemetry tests again under ThreadSanitizer.  The ^Serve regex includes
-# the self-healing and chaos suites (docs/robustness.md); KALMMIND_FAULTS
-# defaults ON, so the gated chaos tests run under TSan too.
+# the self-healing, chaos and blackbox suites (docs/robustness.md); the
+# ^Telemetry regex includes the concurrent flight-recorder record/dump
+# test (docs/observability.md).  KALMMIND_FAULTS defaults ON, so the
+# gated chaos tests run under TSan too.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail

@@ -168,17 +168,30 @@ class GainScheduleCache {
       if (!(it->second.schedule->config() == config)) return nullptr;
       tm.hits.add();
       ++stats_.hits;
+      if (telemetry::enabled()) {
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record_here(telemetry::FlightEventKind::kGainCacheHit, key);
+      }
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.schedule;
     }
     tm.misses.add();
     ++stats_.misses;
+    if (telemetry::enabled()) {
+      auto& blackbox = telemetry::FlightRecorder::global();
+      blackbox.record_here(telemetry::FlightEventKind::kGainCacheMiss, key);
+    }
     while (map_.size() >= capacity_) {
       const std::uint64_t victim = lru_.back();
       lru_.pop_back();
       map_.erase(victim);  // holders keep the schedule alive via shared_ptr
       tm.evictions.add();
       ++stats_.evictions;
+      if (telemetry::enabled()) {
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record_here(telemetry::FlightEventKind::kGainCacheEviction,
+                             victim);
+      }
     }
     auto schedule = std::make_shared<GainSchedule>(config, window_);
     lru_.push_front(key);

@@ -65,6 +65,20 @@ enum class RecoveryAction {
 };
 inline constexpr std::size_t kRecoveryActionCount = 7;
 
+inline const char* to_string(HealthFault f) {
+  switch (f) {
+    case HealthFault::kMeasurementNonFinite: return "measurement_non_finite";
+    case HealthFault::kMeasurementOutlier: return "measurement_outlier";
+    case HealthFault::kStateNonFinite: return "state_non_finite";
+    case HealthFault::kStateExploded: return "state_exploded";
+    case HealthFault::kCovarianceNonFinite: return "covariance_non_finite";
+    case HealthFault::kCovarianceNotPd: return "covariance_not_pd";
+    case HealthFault::kCovarianceAsymmetric: return "covariance_asymmetric";
+    case HealthFault::kResidualGrowth: return "residual_growth";
+  }
+  return "?";
+}
+
 inline const char* to_string(RecoveryAction a) {
   switch (a) {
     case RecoveryAction::kNone: return "none";
@@ -356,6 +370,9 @@ class NumericalHealthMonitor {
       stats_.last_faults |= static_cast<unsigned>(f);
       if (telemetry::enabled()) {
         detail::HealthTelemetry::get().faults.add();
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record_here(telemetry::FlightEventKind::kHealthFault,
+                             static_cast<unsigned>(f), 0.0, to_string(f));
       }
     }
   }
@@ -366,6 +383,9 @@ class NumericalHealthMonitor {
       detail::HealthTelemetry::get()
           .recoveries[static_cast<std::size_t>(a)]
           ->add();
+      auto& blackbox = telemetry::FlightRecorder::global();
+      blackbox.record_here(telemetry::FlightEventKind::kRecovery,
+                           static_cast<std::uint64_t>(a), 0.0, to_string(a));
     }
   }
 

@@ -177,6 +177,11 @@ class BatchGroup {
       for (std::size_t i = begin; i < end; ++i) {
         cohort_[i].session->requeue_front(std::move(cohort_[i].z));
         cohort_[i].session->eject_to_solo();
+        if (telemetry::enabled()) {
+          auto& blackbox = telemetry::FlightRecorder::global();
+          blackbox.record(telemetry::FlightEventKind::kBatchFallOut,
+                          cohort_[i].session->id(), 0, n, 0.0, "window_miss");
+        }
         drop_member(cohort_[i].session->id(), result, members);
       }
       return;
@@ -228,6 +233,11 @@ class BatchGroup {
                             ",\"batched\":true");
       }
       if (verdict == BatchVerdict::kEject) {
+        if (telemetry::enabled()) {
+          auto& blackbox = telemetry::FlightRecorder::global();
+          blackbox.record(telemetry::FlightEventKind::kBatchEject,
+                          session->id(), 0, n, 0.0, "degraded");
+        }
         drop_member(session->id(), result, members);
       }
     }

@@ -87,6 +87,9 @@ bool DecodeServer::try_join_group_locked(Slot& slot) {
   // Health gates read the decoded state, so a health-enabled session's gain
   // trajectory is measurement-dependent: never batch it.
   if (cfg.filter.options.health.enabled) return false;
+  // The flight-session scope attributes the cache's hit/miss/eviction
+  // journal events to the admitting session.
+  telemetry::ScopedFlightSession flight(slot.session->id(), 0);
   const std::shared_ptr<kalman::GainSchedule> schedule =
       cache_.acquire(cfg.filter);
   if (!schedule) return false;  // fingerprint collision: decode solo
@@ -102,6 +105,11 @@ bool DecodeServer::try_join_group_locked(Slot& slot) {
   slot.session->enable_batching();
   gslot.group->add(slot.session);
   slot.group = gslot.group;
+  if (telemetry::enabled()) {
+    auto& blackbox = telemetry::FlightRecorder::global();
+    blackbox.record(telemetry::FlightEventKind::kBatchJoin,
+                    slot.session->id(), 0, schedule->fingerprint());
+  }
   return true;
 }
 
@@ -391,6 +399,11 @@ ServerStats DecodeServer::stats() const {
           ? std::min(1.0, out.worker_busy_s / (out.uptime_s * lanes))
           : 0.0;
   out.step_latency = latency_.summarize();
+  out.deadline_slo =
+      out.total_steps > 0
+          ? double(out.total_steps - out.total_deadline_misses) /
+                double(out.total_steps)
+          : 1.0;
   const kalman::GainScheduleCache::Stats cache_stats = cache_.stats();
   out.gain_cache_hits = cache_stats.hits;
   out.gain_cache_misses = cache_stats.misses;
@@ -409,6 +422,7 @@ ServerStats DecodeServer::stats() const {
   registry.gauge("kalmmind.serve.sessions_batched")
       .set(double(out.batched_sessions));
   registry.gauge("kalmmind.serve.batch_groups").set(double(out.batch_groups));
+  registry.gauge("kalmmind.serve.slo_attainment").set(out.deadline_slo);
   return out;
 }
 
@@ -435,6 +449,15 @@ std::string ServerStats::to_string() const {
   std::snprintf(line, sizeof(line),
                 "quality    : %zu deadline misses, %zu rejected, %zu dropped\n",
                 total_deadline_misses, total_rejected, total_dropped);
+  out += line;
+  double worst_p99 = 0.0;
+  for (const auto& s : per_session) {
+    worst_p99 = std::max(worst_p99, s.p99_step_s);
+  }
+  std::snprintf(line, sizeof(line),
+                "slo        : %.2f%% deadline attainment  "
+                "(worst session p99 %.3f ms)\n",
+                deadline_slo * 100.0, worst_p99 * 1e3);
   out += line;
   std::snprintf(line, sizeof(line),
                 "health     : %zu degraded, %zu quarantined, %zu failed  "

@@ -280,12 +280,22 @@ class Session {
           state_ = SessionState::kHealthy;
           ++restarts_;
           tm.restarts.add();
+          if (telemetry::enabled()) {
+            auto& blackbox = telemetry::FlightRecorder::global();
+            blackbox.record(telemetry::FlightEventKind::kRestart, id_, steps_,
+                            restarts_);
+          }
         }
       }
 
       const auto t0 = std::chrono::steady_clock::now();
       const Vector<double>* x = nullptr;
-      const Status step_status = guarded_step(z, &x);
+      // The flight-session scope attributes health-monitor events recorded
+      // inside the filter step to this session (telemetry/flight_recorder).
+      const Status step_status = [&] {
+        telemetry::ScopedFlightSession flight(id_, steps_done());
+        return guarded_step(z, &x);
+      }();
       const auto t1 = std::chrono::steady_clock::now();
       double seconds = std::chrono::duration<double>(t1 - t0).count();
 #if defined(KALMMIND_FAULTS)
@@ -302,6 +312,11 @@ class Session {
         // trajectory entry, no steps_ increment — so one blown-up stream
         // cannot pollute the server's latency percentiles.
         tm.invalid_steps.add();
+        if (telemetry::enabled()) {
+          auto& blackbox = telemetry::FlightRecorder::global();
+          blackbox.record(telemetry::FlightEventKind::kInvalidStep, id_,
+                          steps_done(), 0, 0.0, step_status.message());
+        }
         std::lock_guard<std::mutex> lock(mu_);
         ++invalid_steps_;
         if (config_.self_healing.enabled) enter_quarantine_locked();
@@ -330,7 +345,15 @@ class Session {
       workspace_bytes_ = filter_.workspace_bytes();
       sum_step_s_ += seconds;
       worst_step_s_ = std::max(worst_step_s_, seconds);
-      if (!timing.meets_deadline) ++deadline_misses_;
+      sample_latency_locked(seconds);
+      if (!timing.meets_deadline) {
+        ++deadline_misses_;
+        if (telemetry::enabled()) {
+          auto& blackbox = telemetry::FlightRecorder::global();
+          blackbox.record(telemetry::FlightEventKind::kDeadlineMiss, id_,
+                          steps_, deadline_misses_, seconds);
+        }
+      }
       if (config_.record_trajectory) {
         states_.push_back(*x);
         timings_.push_back(timing);
@@ -383,6 +406,13 @@ class Session {
     s.quarantine_dropped = quarantine_dropped_;
     s.batched = batched_;
     s.batched_steps = batched_steps_;
+    if (!latency_samples_.empty()) {
+      std::vector<double> sorted = latency_samples_;
+      std::sort(sorted.begin(), sorted.end());
+      s.p50_step_s = telemetry::percentile(sorted, 0.50);
+      s.p95_step_s = telemetry::percentile(sorted, 0.95);
+      s.p99_step_s = telemetry::percentile(sorted, 0.99);
+    }
     return s;
   }
 
@@ -434,6 +464,11 @@ class Session {
       state_ = SessionState::kHealthy;
       ++restarts_;
       tm.restarts.add();
+      if (telemetry::enabled()) {
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record(telemetry::FlightEventKind::kRestart, id_, steps_,
+                        restarts_);
+      }
     }
     return BatchPop::kDecode;
   }
@@ -488,6 +523,11 @@ class Session {
       // Not recorded: no latency sample, no trajectory entry, no steps_
       // increment — identical to the solo invalid-step path.
       tm.invalid_steps.add();
+      if (telemetry::enabled()) {
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record(telemetry::FlightEventKind::kInvalidStep, id_,
+                        steps_done(), 0, 0.0, "non-finite batch state");
+      }
       std::lock_guard<std::mutex> lock(mu_);
       ++invalid_steps_;
       if (config_.self_healing.enabled) enter_quarantine_locked();
@@ -510,7 +550,15 @@ class Session {
     ++batched_steps_;
     sum_step_s_ += seconds;
     worst_step_s_ = std::max(worst_step_s_, seconds);
-    if (!timing.meets_deadline) ++deadline_misses_;
+    sample_latency_locked(seconds);
+    if (!timing.meets_deadline) {
+      ++deadline_misses_;
+      if (telemetry::enabled()) {
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record(telemetry::FlightEventKind::kDeadlineMiss, id_, steps_,
+                        deadline_misses_, seconds);
+      }
+    }
     if (config_.record_trajectory) {
       states_.push_back(batch_x_);
       timings_.push_back(timing);
@@ -584,6 +632,15 @@ class Session {
   void enter_quarantine_locked() {
     if (restarts_ >= config_.self_healing.max_restarts) {
       state_ = SessionState::kFailed;
+      if (telemetry::enabled()) {
+        // A dead stream is exactly what the black box exists for: journal
+        // the transition, then dump the session's last-N events as JSONL
+        // (+ trace instants) while they are still resident.
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record(telemetry::FlightEventKind::kFailed, id_, steps_,
+                        restarts_);
+        blackbox.postmortem(id_, "failed");
+      }
       return;
     }
     state_ = SessionState::kQuarantined;
@@ -591,6 +648,12 @@ class Session {
     backoff_remaining_ =
         std::min(config_.self_healing.backoff_initial_bins << shift,
                  config_.self_healing.backoff_max_bins);
+    if (telemetry::enabled()) {
+      auto& blackbox = telemetry::FlightRecorder::global();
+      blackbox.record(telemetry::FlightEventKind::kQuarantine, id_, steps_,
+                      backoff_remaining_, double(restarts_));
+      blackbox.postmortem(id_, "quarantine");
+    }
     consecutive_misses_ = 0;
     consecutive_hits_ = 0;
     if (batched_) {
@@ -608,6 +671,20 @@ class Session {
   }
 
   bool state_was_degraded() const { return degraded_; }
+
+  // Bounded per-session latency sample (mu_ held) feeding the p50/p95/p99
+  // SLO fields of SessionStatsSnapshot — same LCG replacement scheme as
+  // LatencyRecorder, small enough to sort on every stats() call.
+  void sample_latency_locked(double seconds) {
+    if (latency_samples_.size() < kLatencySampleCap) {
+      latency_samples_.push_back(seconds);
+    } else {
+      latency_lcg_ =
+          latency_lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+      latency_samples_[std::size_t(latency_lcg_ >> 33) %
+                       latency_samples_.size()] = seconds;
+    }
+  }
 
   // Deadline-pressure ladder (mu_ held): consecutive misses degrade to the
   // constant steady-state gain, consecutive hits restore the original
@@ -652,6 +729,11 @@ class Session {
     degraded_ = true;
     state_ = SessionState::kDegraded;
     ++degradations_;
+    if (telemetry::enabled()) {
+      auto& blackbox = telemetry::FlightRecorder::global();
+      blackbox.record(telemetry::FlightEventKind::kDegraded, id_, steps_,
+                      degradations_);
+    }
     return true;
   }
 
@@ -660,6 +742,11 @@ class Session {
                           config_.filter.strategy_data);
     degraded_ = false;
     state_ = SessionState::kHealthy;
+    if (telemetry::enabled()) {
+      auto& blackbox = telemetry::FlightRecorder::global();
+      blackbox.record(telemetry::FlightEventKind::kRestored, id_, steps_,
+                      config_.self_healing.recover_after_hits);
+    }
   }
 
   // Swap the filter's strategy by rebuilding it, carrying the current
@@ -713,6 +800,9 @@ class Session {
   std::size_t dropped_ = 0;
   double worst_step_s_ = 0.0;
   double sum_step_s_ = 0.0;
+  static constexpr std::size_t kLatencySampleCap = 512;
+  std::vector<double> latency_samples_;  // bounded sample for SLO rollups
+  std::uint64_t latency_lcg_ = 0x9e3779b97f4a7c15ull;
   // Self-healing state machine (docs/robustness.md), all under mu_.
   SessionState state_ = SessionState::kHealthy;
   std::size_t backoff_remaining_ = 0;   // bins left to drop in quarantine

@@ -134,6 +134,11 @@ struct SessionStatsSnapshot {
   // Batched serving (docs/serving.md).
   bool batched = false;                // currently decoding in a BatchGroup
   std::size_t batched_steps = 0;       // subset of steps decoded batched
+  // SLO rollup (docs/observability.md): step-latency percentiles over a
+  // bounded per-session sample, computed with telemetry::percentile.
+  double p50_step_s = 0.0;
+  double p95_step_s = 0.0;
+  double p99_step_s = 0.0;
 };
 
 // Point-in-time view of the whole server.
@@ -163,6 +168,10 @@ struct ServerStats {
   std::uint64_t gain_cache_hits = 0;
   std::uint64_t gain_cache_misses = 0;
   std::uint64_t gain_cache_evictions = 0;
+  // SLO rollup (docs/observability.md): fraction of recorded steps that met
+  // their session deadline (1.0 while no step has been recorded), also
+  // exported as the kalmmind.serve.slo_attainment gauge.
+  double deadline_slo = 1.0;
   LatencySummary step_latency;
   std::vector<SessionStatsSnapshot> per_session;
 

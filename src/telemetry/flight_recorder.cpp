@@ -1,0 +1,298 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+namespace kalmmind::telemetry {
+
+namespace {
+
+constexpr std::array<const char*, kFlightEventKindCount> kKindNames = {
+    "health_fault",    "recovery",           "gain_cache_hit",
+    "gain_cache_miss", "gain_cache_eviction", "batch_join",
+    "batch_eject",     "batch_fall_out",     "deadline_miss",
+    "invalid_step",    "degraded",           "restored",
+    "quarantine",      "restart",            "failed",
+    "fault_injected",
+};
+
+// Handle-cached journal volume counter (docs/observability.md).
+Counter& events_counter() {
+  static Counter& c =
+      MetricsRegistry::global().counter("kalmmind.blackbox.events_total");
+  return c;
+}
+
+// Minimal scanner for the recorder's own output: finds `"key":` and reads
+// the value that follows.  Good for round-tripping to_json_line(); not a
+// general JSON parser.
+bool find_raw_value(const std::string& line, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  if (begin >= line.size()) return false;
+  std::size_t end = begin;
+  if (line[begin] == '"') {
+    end = begin + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= line.size()) return false;
+    out = line.substr(begin + 1, end - begin - 1);
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    out = line.substr(begin, end - begin);
+  }
+  return true;
+}
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      switch (s[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        default: out.push_back(s[i]); break;
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+std::string sanitize_for_filename(const std::string& s) {
+  std::string out = s.empty() ? std::string("dump") : s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FlightEventKind kind) noexcept {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kKindNames.size() ? kKindNames[i] : "unknown";
+}
+
+bool parse_flight_event_kind(const std::string& name,
+                             FlightEventKind& out) noexcept {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (name == kKindNames[i]) {
+      out = static_cast<FlightEventKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::set_capacity(std::size_t per_session) noexcept {
+  capacity_.store(std::max<std::size_t>(per_session, 8),
+                  std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_dump_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(dump_dir_mu_);
+  dump_dir_ = std::move(dir);
+}
+
+std::string FlightRecorder::dump_dir() const {
+  std::lock_guard<std::mutex> lock(dump_dir_mu_);
+  return dump_dir_;
+}
+
+void FlightRecorder::record_impl(FlightEvent& event) {
+  if (event.ts_us == 0.0) event.ts_us = SpanTracer::global().now_us();
+  event.detail[sizeof(event.detail) - 1] = '\0';
+  Stripe& stripe = stripe_of(event.session);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    Ring& ring = stripe.rings[event.session];
+    if (ring.events.empty()) {
+      ring.events.resize(capacity());
+    }
+    ring.events[ring.next] = event;
+    ring.next = (ring.next + 1) % ring.events.size();
+    ++ring.total;
+  }
+  events_counter().add(1);
+}
+
+std::vector<FlightEvent> FlightRecorder::dump(std::uint64_t session) const {
+  const Stripe& stripe = stripe_of(session);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.rings.find(session);
+  if (it == stripe.rings.end()) return {};
+  const Ring& ring = it->second;
+  const std::size_t cap = ring.events.size();
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(ring.total, cap));
+  std::vector<FlightEvent> out;
+  out.reserve(n);
+  // Oldest surviving event sits at `next` once the ring has wrapped.
+  const std::size_t start = ring.total >= cap ? ring.next : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring.events[(start + i) % cap]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> FlightRecorder::sessions() const {
+  std::vector<std::uint64_t> out;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (const auto& [id, ring] : stripe.rings) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t FlightRecorder::total_recorded(std::uint64_t session) const {
+  const Stripe& stripe = stripe_of(session);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.rings.find(session);
+  return it == stripe.rings.end() ? 0 : it->second.total;
+}
+
+void FlightRecorder::erase(std::uint64_t session) {
+  Stripe& stripe = stripe_of(session);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.rings.erase(session);
+}
+
+void FlightRecorder::clear() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.rings.clear();
+  }
+}
+
+std::string FlightRecorder::postmortem(std::uint64_t session,
+                                       const std::string& reason) {
+  const std::vector<FlightEvent> events = dump(session);
+  if (events.empty()) return {};
+
+  SpanTracer& tracer = SpanTracer::global();
+  if (tracer.enabled()) {
+    // One synthetic track per session so Perfetto shows the journal beside
+    // the live spans; record() keeps the tracer's capacity cap in force.
+    const auto tid = static_cast<std::uint32_t>(session);
+    char track[64];
+    std::snprintf(track, sizeof(track), "session %llu blackbox (%s)",
+                  static_cast<unsigned long long>(session), reason.c_str());
+    tracer.thread_metadata(kTracePid, tid, track);
+    for (const FlightEvent& e : events) {
+      TraceEvent t;
+      t.name = to_string(e.kind);
+      t.cat = "blackbox";
+      t.ph = 'i';
+      t.ts_us = e.ts_us;
+      t.pid = kTracePid;
+      t.tid = tid;
+      char args[160];
+      std::snprintf(args, sizeof(args),
+                    "\"step\":%llu,\"arg\":%llu,\"value\":%g,\"detail\":\"%s\"",
+                    static_cast<unsigned long long>(e.step),
+                    static_cast<unsigned long long>(e.arg), e.value,
+                    json_escape(e.detail).c_str());
+      t.args_json = args;
+      tracer.record(std::move(t));
+    }
+  }
+
+  const std::string dir = dump_dir();
+  if (dir.empty()) return {};
+  char name[96];
+  std::snprintf(name, sizeof(name), "blackbox_%llu_%s.jsonl",
+                static_cast<unsigned long long>(session),
+                sanitize_for_filename(reason).c_str());
+  const std::string path = dir + "/" + name;
+  if (!write_text_file(path, to_jsonl(events))) return {};
+  return path;
+}
+
+std::string to_json_line(const FlightEvent& event) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ts_us\":%.3f,\"session\":%llu,\"step\":%llu,"
+                "\"kind\":\"%s\",\"arg\":%llu,\"value\":%.17g",
+                event.ts_us, static_cast<unsigned long long>(event.session),
+                static_cast<unsigned long long>(event.step),
+                to_string(event.kind),
+                static_cast<unsigned long long>(event.arg), event.value);
+  std::string out = buf;
+  out += ",\"detail\":\"";
+  out += json_escape(event.detail);
+  out += "\"}";
+  return out;
+}
+
+std::string to_jsonl(const std::vector<FlightEvent>& events) {
+  std::string out;
+  for (const FlightEvent& e : events) {
+    out += to_json_line(e);
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_json_line(const std::string& line, FlightEvent& out) {
+  std::string ts, session, step, kind, arg, value, detail;
+  if (!find_raw_value(line, "ts_us", ts) ||
+      !find_raw_value(line, "session", session) ||
+      !find_raw_value(line, "step", step) ||
+      !find_raw_value(line, "kind", kind) ||
+      !find_raw_value(line, "arg", arg) ||
+      !find_raw_value(line, "value", value)) {
+    return false;
+  }
+  FlightEvent e;
+  if (!parse_flight_event_kind(kind, e.kind)) return false;
+  try {
+    e.ts_us = std::stod(ts);
+    e.session = std::stoull(session);
+    e.step = std::stoull(step);
+    e.arg = std::stoull(arg);
+    e.value = std::stod(value);
+  } catch (...) {
+    return false;
+  }
+  if (find_raw_value(line, "detail", detail)) {
+    const std::string text = json_unescape(detail);
+    std::strncpy(e.detail, text.c_str(), sizeof(e.detail) - 1);
+    e.detail[sizeof(e.detail) - 1] = '\0';
+  }
+  out = e;
+  return true;
+}
+
+std::vector<FlightEvent> parse_jsonl(const std::string& text) {
+  std::vector<FlightEvent> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    FlightEvent e;
+    if (parse_json_line(line, e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace kalmmind::telemetry

@@ -1,0 +1,237 @@
+// Black-box flight recorder: a bounded per-session journal of compact POD
+// events (health faults, recovery-ladder rungs, gain-cache traffic, batch
+// membership changes, deadline misses, lifecycle transitions, injected
+// faults).  Aggregate counters say *how often*; the recorder says *what
+// happened to this session, in what order* — the postmortem evidence the
+// sharded-serve and online-adaptation roadmap items build on.
+//
+// Design:
+//  * Storage is striped: 16 cache-line-aligned stripes, each a mutex plus a
+//    session-id -> Ring map, so concurrent sessions (hashed to different
+//    stripes) never contend.  A Ring is a fixed-capacity vector written
+//    circularly; once full, the oldest events are overwritten and only the
+//    last `capacity` survive — exactly the black-box semantics we want.
+//  * FlightEvent is 64 bytes, trivially copyable, no heap: recording is a
+//    stripe-lock + memcpy.  Timestamps share SpanTracer's steady-clock
+//    epoch so postmortem instants land on the live trace timeline.
+//  * Everything is gated on enabled(): telemetry::enabled() (compile-time
+//    false under KALMMIND_TELEMETRY=OFF, deleting the recording code) AND
+//    the recorder's own runtime flag (default on).
+//  * Layers below serve (kalman/health.hpp, gain_schedule.hpp) have no
+//    session id; the serve layer wraps filter work in a ScopedFlightSession
+//    so record_here() attributes their events via a thread-local context.
+//  * postmortem() renders one session's journal as JSONL (optionally to a
+//    file under dump_dir) and mirrors the events as 'i' instants into the
+//    global SpanTracer, one synthetic track per session.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace kalmmind::telemetry {
+
+enum class FlightEventKind : std::uint8_t {
+  kHealthFault = 0,     // arg = HealthFault bitmask, detail = fault name
+  kRecovery,            // arg = ladder rung, detail = RecoveryAction name
+  kGainCacheHit,        // arg = config fingerprint
+  kGainCacheMiss,       // arg = config fingerprint
+  kGainCacheEviction,   // arg = evicted fingerprint
+  kBatchJoin,           // arg = group key fingerprint
+  kBatchEject,          // detail = verdict reason
+  kBatchFallOut,        // arg = iteration that missed the gain window
+  kDeadlineMiss,        // value = step seconds, arg = consecutive misses
+  kInvalidStep,         // detail = Status message prefix
+  kDegraded,            // value = step seconds at degradation
+  kRestored,            // arg = healthy steps that earned recovery
+  kQuarantine,          // arg = backoff bins, value = restart count so far
+  kRestart,             // arg = restart ordinal
+  kFailed,              // arg = restarts consumed
+  kFaultInjected,       // arg = fault channel/word, detail = fault kind
+};
+
+inline constexpr std::size_t kFlightEventKindCount = 16;
+
+// Stable snake_case names, used by the JSONL format and the blackbox CLI.
+const char* to_string(FlightEventKind kind) noexcept;
+bool parse_flight_event_kind(const std::string& name,
+                             FlightEventKind& out) noexcept;
+
+struct FlightEvent {
+  double ts_us = 0.0;         // microseconds on SpanTracer::global()'s epoch
+  std::uint64_t session = 0;  // 0 = unattributed (no ScopedFlightSession)
+  std::uint64_t step = 0;     // session step index when recorded
+  std::uint64_t arg = 0;      // kind-specific payload (see enum comments)
+  double value = 0.0;         // kind-specific measure (seconds, counts)
+  FlightEventKind kind = FlightEventKind::kHealthFault;
+  char detail[23] = {};       // NUL-terminated short label, truncated to fit
+};
+static_assert(std::is_trivially_copyable_v<FlightEvent>);
+static_assert(sizeof(FlightEvent) == 64);
+
+namespace detail {
+struct FlightContext {
+  std::uint64_t session = 0;
+  std::uint64_t step = 0;
+};
+inline FlightContext& flight_context() noexcept {
+  thread_local FlightContext ctx;
+  return ctx;
+}
+}  // namespace detail
+
+// Attributes record_here() calls from layers that don't know the session
+// (kalman health monitor, gain-schedule cache) to the serve session whose
+// work this thread is currently doing.  Nests: restores the previous
+// context on destruction, so batch groups can switch per-member.
+class ScopedFlightSession {
+ public:
+  ScopedFlightSession(std::uint64_t session, std::uint64_t step) noexcept
+      : saved_(detail::flight_context()) {
+    detail::flight_context() = {session, step};
+  }
+  ScopedFlightSession(const ScopedFlightSession&) = delete;
+  ScopedFlightSession& operator=(const ScopedFlightSession&) = delete;
+  ~ScopedFlightSession() { detail::flight_context() = saved_; }
+
+ private:
+  detail::FlightContext saved_;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;  // events per session
+  static constexpr int kTracePid = 7;  // postmortem instants' trace process
+
+  // The recorder every instrumented subsystem journals into.
+  static FlightRecorder& global();
+
+  // Runtime toggle on top of the process-wide telemetry::enabled() master
+  // switch.  Default on: recording is a stripe-lock + 64-byte copy.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return telemetry::enabled() && enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Ring capacity for sessions first seen after the call (existing rings
+  // keep their size).  Clamped to >= 8.
+  void set_capacity(std::size_t per_session) noexcept;
+  std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  // Directory postmortem() writes blackbox_<session>_<reason>.jsonl into;
+  // empty (the default) keeps postmortems in-memory/trace only.
+  void set_dump_dir(std::string dir);
+  std::string dump_dir() const;
+
+  // Journal one event.  A zero timestamp is stamped with the tracer's
+  // now_us() so callers only fill what they know.  No-op while !enabled().
+  void record(FlightEvent event) {
+    if (!enabled()) return;
+    record_impl(event);
+  }
+  void record(FlightEventKind kind, std::uint64_t session, std::uint64_t step,
+              std::uint64_t arg = 0, double value = 0.0,
+              const char* detail = nullptr) {
+    if (!enabled()) return;
+    FlightEvent e;
+    e.session = session;
+    e.step = step;
+    e.arg = arg;
+    e.value = value;
+    e.kind = kind;
+    copy_detail(e, detail);
+    record_impl(e);
+  }
+  // Like record(), with session/step taken from the thread's
+  // ScopedFlightSession context (0/0 when none is active).
+  void record_here(FlightEventKind kind, std::uint64_t arg = 0,
+                   double value = 0.0, const char* detail = nullptr) {
+    if (!enabled()) return;
+    const detail::FlightContext& ctx = detail::flight_context();
+    FlightEvent e;
+    e.session = ctx.session;
+    e.step = ctx.step;
+    e.arg = arg;
+    e.value = value;
+    e.kind = kind;
+    copy_detail(e, detail);
+    record_impl(e);
+  }
+
+  // The session's surviving events, oldest first.  Empty when unknown.
+  std::vector<FlightEvent> dump(std::uint64_t session) const;
+  // Every session id with a ring, ascending.
+  std::vector<std::uint64_t> sessions() const;
+  // Total events ever journaled for the session (>= dump().size()).
+  std::uint64_t total_recorded(std::uint64_t session) const;
+
+  void erase(std::uint64_t session);
+  void clear();
+
+  // Render the session's journal as JSONL; when dump_dir is set, also write
+  // blackbox_<session>_<reason>.jsonl there, and when the global SpanTracer
+  // is enabled, mirror each event as an 'i' instant on a per-session track
+  // under pid kTracePid.  Returns the file path written, or "" if none.
+  // Unlike record(), postmortem ignores the enabled() gate: it only reads.
+  std::string postmortem(std::uint64_t session, const std::string& reason);
+
+ private:
+  struct Ring {
+    std::vector<FlightEvent> events;  // fixed size once created
+    std::size_t next = 0;             // write cursor
+    std::uint64_t total = 0;          // lifetime count
+  };
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Ring> rings;
+  };
+  static constexpr std::size_t kStripes = 16;
+
+  static void copy_detail(FlightEvent& e, const char* detail) noexcept {
+    if (detail == nullptr) return;
+    const std::size_t n =
+        std::min(std::strlen(detail), sizeof(e.detail) - 1);
+    std::memcpy(e.detail, detail, n);
+    e.detail[n] = '\0';
+  }
+
+  Stripe& stripe_of(std::uint64_t session) noexcept {
+    return stripes_[session % kStripes];
+  }
+  const Stripe& stripe_of(std::uint64_t session) const noexcept {
+    return stripes_[session % kStripes];
+  }
+
+  void record_impl(FlightEvent& event);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  mutable std::mutex dump_dir_mu_;
+  std::string dump_dir_;
+  Stripe stripes_[kStripes];
+};
+
+// One event as a single-line JSON object (no trailing newline).
+std::string to_json_line(const FlightEvent& event);
+// Whole journal as JSONL, one event per line, oldest first.
+std::string to_jsonl(const std::vector<FlightEvent>& events);
+// Parse one line produced by to_json_line().  Returns false on malformed
+// input (the blackbox CLI skips such lines instead of failing the file).
+bool parse_json_line(const std::string& line, FlightEvent& out);
+// Parse a JSONL document, skipping blank and malformed lines.
+std::vector<FlightEvent> parse_jsonl(const std::string& text);
+
+}  // namespace kalmmind::telemetry

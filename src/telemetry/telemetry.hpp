@@ -1,11 +1,14 @@
 // Umbrella header for the telemetry layer: the process-wide MetricsRegistry
-// (counters / gauges / histograms with Prometheus + JSON snapshots) and the
-// SpanTracer (Chrome trace event JSON for Perfetto / chrome://tracing).
+// (counters / gauges / histograms with Prometheus + JSON snapshots), the
+// SpanTracer (Chrome trace event JSON for Perfetto / chrome://tracing), and
+// the FlightRecorder (per-session black-box event journal with JSONL
+// postmortem dumps).
 //
 // Compile-time toggle: configure with -DKALMMIND_TELEMETRY=OFF to define
 // KALMMIND_TELEMETRY_DISABLED, which turns telemetry::enabled() into a
 // constant false and lets the compiler erase every recording site.
 #pragma once
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/tracer.hpp"

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace kalmmind::testing {
 
@@ -94,6 +95,7 @@ class FaultInjector {
     std::size_t applied = 0;
     for (const FaultEvent& e : plan_) {
       if (e.step != step) continue;
+      bool hit = true;
       switch (e.kind) {
         case FaultKind::kNanSpike:
           nan_spike(z, e.index);
@@ -108,7 +110,15 @@ class FaultInjector {
           ++applied;
           break;
         default:
-          break;  // non-measurement kinds: not ours to apply
+          hit = false;  // non-measurement kinds: not ours to apply
+          break;
+      }
+      if (hit && telemetry::enabled()) {
+        // Journal the activation so a postmortem shows the injected fault
+        // right before the health events it provoked.
+        auto& blackbox = telemetry::FlightRecorder::global();
+        blackbox.record_here(telemetry::FlightEventKind::kFaultInjected,
+                             e.index, e.magnitude, to_string(e.kind));
       }
     }
     return applied;

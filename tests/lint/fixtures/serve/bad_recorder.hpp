@@ -1,0 +1,14 @@
+// R4 recorder fixture: a direct flight_recorder include (line 4) and an
+// unguarded blackbox journal call (line 7); the guarded postmortem on
+// line 11 is clean.
+#include "telemetry/flight_recorder.hpp"
+namespace fx {
+inline void journal(telemetry::FlightRecorder& blackbox) {
+  blackbox.record_here(telemetry::FlightEventKind::kDeadlineMiss);
+}
+inline void guarded(telemetry::FlightRecorder& blackbox) {
+  if (blackbox.enabled()) {
+    blackbox.postmortem(1, "quarantine");
+  }
+}
+}  // namespace fx

@@ -112,6 +112,15 @@ TEST(LintR4, FlagsDirectIncludeAndUnguardedEmission) {
       << kalmmind::lint::format_findings(findings);
 }
 
+TEST(LintR4, FlagsRecorderIncludeAndUnguardedJournalCall) {
+  // The flight-recorder extension of R4: line 4 includes the recorder
+  // header directly, line 7 journals without an enabled() guard; the
+  // guarded postmortem on line 11 raises nothing.
+  auto findings = lint_fixture("serve/bad_recorder.hpp");
+  EXPECT_EQ(keys(findings), (Keys{{"R4", 4}, {"R4", 7}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
 TEST(LintR5, FlagsUngatedFaultApiIncludingElseOfInvertedGate) {
   // Line 3: ungated include; line 6: ungated FaultInjector; line 12:
   // corrupt_register in the #else (faults-OFF) branch of the gate.  The

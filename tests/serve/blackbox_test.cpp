@@ -1,0 +1,299 @@
+// Flight-recorder integration at the serve layer (docs/observability.md):
+// the PR-acceptance chaos scenario — a seeded measurement-fault storm that
+// quarantines a session must leave a JSONL postmortem whose event sequence
+// (injected fault -> health faults -> ladder rungs -> quarantine) matches
+// the kalmmind.kf.recoveries_total.* counter deltas — plus the SLO rollup
+// (per-session latency percentiles, server deadline attainment).  Suite
+// names start with "Serve" on purpose: scripts/tier1.sh re-runs
+// ^Serve|^Telemetry under TSan.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kalman/health.hpp"
+#include "serve/serve.hpp"
+#include "telemetry/telemetry.hpp"
+#include "../kalman/kalman_test_util.hpp"
+#if defined(KALMMIND_FAULTS)
+#include "testing/fault_injection.hpp"
+#endif
+
+namespace kalmmind::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using kalman::RecoveryAction;
+using linalg::Vector;
+
+void drain_manual(DecodeServer& server) {
+  while (server.poll() > 0) {
+  }
+}
+
+// Fresh global telemetry state; tests run one-per-process under ctest.
+void reset_telemetry(const std::string& dump_dir) {
+  telemetry::MetricsRegistry::global().reset_values();
+  auto& blackbox = telemetry::FlightRecorder::global();
+  blackbox.clear();
+  blackbox.set_enabled(true);
+  blackbox.set_capacity(telemetry::FlightRecorder::kDefaultCapacity);
+  blackbox.set_dump_dir(dump_dir);
+}
+
+SessionConfig blackbox_config(const kalman::KalmanModel<double>& model) {
+  SessionConfig cfg;
+  cfg.filter.model = model;
+  cfg.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+  cfg.filter.strategy.calc_freq = 3;
+  cfg.filter.strategy.approx = 2;
+  cfg.filter.strategy.policy = kalman::SeedPolicy::kPreviousIteration;
+  cfg.filter.options.health.enabled = true;
+  cfg.queue_capacity = 1024;
+  cfg.self_healing.enabled = true;
+  cfg.self_healing.max_restarts = 3;
+  cfg.self_healing.backoff_initial_bins = 8;  // outlives the remaining bins
+  cfg.self_healing.backoff_max_bins = 8;
+  return cfg;
+}
+
+#if defined(KALMMIND_FAULTS)
+
+TEST(ServeBlackboxTest, QuarantinePostmortemMatchesRecoveryCounterDeltas) {
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF: recorder compiles to no-ops";
+  }
+  const std::string dump_dir = ::testing::TempDir();
+  reset_telemetry(dump_dir);
+
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("KALMMIND_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+    if (seed == 0) seed = 42;
+  }
+  SCOPED_TRACE("KALMMIND_CHAOS_SEED=" + std::to_string(seed));
+
+  const auto model = testing::small_model(6);
+  const SessionConfig cfg = blackbox_config(model);
+  auto zs = testing::simulate_measurements(model, 10);
+
+  // Four consecutive saturated bins (railed amplifier at 1e300): each
+  // faulty step climbs one recovery rung — force_calculation,
+  // reseed_policy0, covariance_reset, then the sticky SSKF fallback, which
+  // the serve-layer guard flags as stream divergence -> quarantine.
+  testing::FaultInjector injector(seed);
+  for (std::size_t n = 2; n <= 5; ++n) {
+    testing::FaultEvent e;
+    e.step = n;
+    e.kind = testing::FaultKind::kSaturation;
+    e.index = injector.next_index(6);
+    e.magnitude = 1e300;
+    injector.schedule(e);
+  }
+
+  DecodeServer server({ServerOptions::kManual, 4});
+  const SessionId id = server.open_session(cfg);
+  ASSERT_NE(id, DecodeServer::kInvalidSession);
+  for (std::size_t n = 0; n < zs.size(); ++n) {
+    {
+      // Attribute the injector's kFaultInjected journal entries to the
+      // session they poison, like an instrumented ingest path would.
+      telemetry::ScopedFlightSession flight(id, n);
+      injector.corrupt(zs[n], n);
+    }
+    server.submit(id, zs[n]);
+  }
+  drain_manual(server);
+
+  const SessionStatsSnapshot st = server.session_stats(id);
+  EXPECT_EQ(st.state, SessionState::kQuarantined);
+  EXPECT_EQ(st.invalid_steps, 1u);  // the fallback-engaged step
+  EXPECT_EQ(st.steps, 5u);          // 2 clean + 3 sanitized faulty steps
+
+  auto& blackbox = telemetry::FlightRecorder::global();
+  const std::vector<telemetry::FlightEvent> events = blackbox.dump(id);
+  ASSERT_FALSE(events.empty());
+
+  // Sequence: the injected fault precedes the first health fault, which
+  // precedes the first ladder rung; the journal ends at the quarantine.
+  auto first_of = [&](telemetry::FlightEventKind kind) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events[i].kind == kind) return std::ptrdiff_t(i);
+    }
+    return std::ptrdiff_t(-1);
+  };
+  const auto injected = first_of(telemetry::FlightEventKind::kFaultInjected);
+  const auto fault = first_of(telemetry::FlightEventKind::kHealthFault);
+  const auto rung = first_of(telemetry::FlightEventKind::kRecovery);
+  const auto invalid = first_of(telemetry::FlightEventKind::kInvalidStep);
+  ASSERT_GE(injected, 0);
+  ASSERT_GE(fault, 0);
+  ASSERT_GE(rung, 0);
+  ASSERT_GE(invalid, 0);
+  EXPECT_LT(injected, fault);
+  EXPECT_LT(fault, rung);
+  EXPECT_LT(rung, invalid);
+  EXPECT_EQ(events.back().kind, telemetry::FlightEventKind::kQuarantine);
+
+  // The ladder climbed one rung per faulty step, in order.
+  std::vector<RecoveryAction> rungs;
+  for (const auto& e : events) {
+    if (e.kind == telemetry::FlightEventKind::kRecovery) {
+      rungs.push_back(static_cast<RecoveryAction>(e.arg));
+    }
+  }
+  const std::vector<RecoveryAction> expected = {
+      RecoveryAction::kForceCalculation, RecoveryAction::kReseedPolicy0,
+      RecoveryAction::kCovarianceReset, RecoveryAction::kSskfFallback};
+  EXPECT_EQ(rungs, expected);
+
+  // Acceptance gate: per-action journal counts equal the
+  // kalmmind.kf.recoveries_total.* counter deltas (values were reset at
+  // test start, so the counter value *is* the delta).
+  auto& reg = telemetry::MetricsRegistry::global();
+  std::map<std::string, std::uint64_t> journaled;
+  for (const auto& e : events) {
+    if (e.kind == telemetry::FlightEventKind::kRecovery) {
+      ++journaled[kalman::to_string(static_cast<RecoveryAction>(e.arg))];
+    }
+  }
+  for (const char* action :
+       {"skip_measurement", "gate_channels", "force_calculation",
+        "reseed_policy0", "covariance_reset", "sskf_fallback"}) {
+    const std::uint64_t counted =
+        reg.counter(std::string("kalmmind.kf.recoveries_total.") + action)
+            .value();
+    EXPECT_EQ(counted, journaled[action]) << action;
+  }
+
+  // The quarantine wrote the postmortem JSONL and it round-trips to the
+  // same journal (nothing was recorded after the quarantine event).
+  const std::string path =
+      dump_dir + "/blackbox_" + std::to_string(id) + "_quarantine.jsonl";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const auto parsed = telemetry::parse_jsonl(ss.str());
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].kind, events[i].kind) << i;
+    EXPECT_EQ(parsed[i].step, events[i].step) << i;
+    EXPECT_EQ(parsed[i].arg, events[i].arg) << i;
+  }
+  fs::remove(path);
+}
+
+#endif  // KALMMIND_FAULTS
+
+TEST(ServeBlackboxTest, SloRollupTracksDeadlineAttainment) {
+  reset_telemetry("");
+  const auto model = testing::small_model(4);
+  const auto zs = testing::simulate_measurements(model, 6);
+
+  DecodeServer server({ServerOptions::kManual, 4});
+  SessionConfig relaxed;
+  relaxed.filter.model = model;
+  relaxed.deadline_s = 3600.0;  // never missed
+  SessionConfig strict = relaxed;
+  strict.deadline_s = 1e-12;  // always missed
+
+  const SessionId ok = server.open_session(relaxed);
+  const SessionId late = server.open_session(strict);
+  ASSERT_NE(ok, DecodeServer::kInvalidSession);
+  ASSERT_NE(late, DecodeServer::kInvalidSession);
+  for (const auto& z : zs) {
+    server.submit(ok, z);
+    server.submit(late, z);
+  }
+  drain_manual(server);
+
+  // 12 steps, 6 misses -> 50% attainment, and the per-session percentile
+  // rollup is populated and ordered.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.total_steps, 12u);
+  EXPECT_EQ(stats.total_deadline_misses, 6u);
+  EXPECT_DOUBLE_EQ(stats.deadline_slo, 0.5);
+  ASSERT_EQ(stats.per_session.size(), 2u);
+  for (const SessionStatsSnapshot& s : stats.per_session) {
+    EXPECT_GT(s.p50_step_s, 0.0);
+    EXPECT_LE(s.p50_step_s, s.p95_step_s);
+    EXPECT_LE(s.p95_step_s, s.p99_step_s);
+  }
+  EXPECT_NE(stats.to_string().find("slo"), std::string::npos);
+
+  if (telemetry::kCompiledIn) {
+    EXPECT_DOUBLE_EQ(
+        telemetry::MetricsRegistry::global()
+            .gauge("kalmmind.serve.slo_attainment")
+            .value(),
+        0.5);
+    // Every missed deadline is journaled against the late session.
+    const auto events = telemetry::FlightRecorder::global().dump(late);
+    std::size_t misses = 0;
+    for (const auto& e : events) {
+      if (e.kind == telemetry::FlightEventKind::kDeadlineMiss) ++misses;
+    }
+    EXPECT_EQ(misses, 6u);
+  }
+}
+
+TEST(ServeBlackboxTest, FailedSessionWritesFailurePostmortem) {
+  if (!telemetry::kCompiledIn) {
+    GTEST_SKIP() << "KALMMIND_TELEMETRY=OFF: recorder compiles to no-ops";
+  }
+  const std::string dump_dir = ::testing::TempDir();
+  reset_telemetry(dump_dir);
+
+  const auto model = testing::small_model(4);
+  SessionConfig cfg = blackbox_config(model);
+  cfg.self_healing.max_restarts = 1;
+  cfg.self_healing.backoff_initial_bins = 1;
+  const auto zs = testing::simulate_measurements(model, 3);
+  // Health is deliberately OFF here so a NaN bin diverges the filter
+  // outright instead of being absorbed by skip_measurement.
+  cfg.filter.options.health.enabled = false;
+
+  Vector<double> nan_bin(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    nan_bin[i] = std::numeric_limits<double>::quiet_NaN();
+  }
+
+  DecodeServer server({ServerOptions::kManual, 4});
+  const SessionId id = server.open_session(cfg);
+  ASSERT_NE(id, DecodeServer::kInvalidSession);
+  // NaN -> quarantine; clean -> backoff; NaN -> restart + diverge again:
+  // max_restarts=1 is exhausted and the session fails for good.
+  server.submit(id, nan_bin);
+  server.submit(id, zs[0]);
+  server.submit(id, nan_bin);
+  drain_manual(server);
+
+  EXPECT_EQ(server.session_stats(id).state, SessionState::kFailed);
+  const auto events = telemetry::FlightRecorder::global().dump(id);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, telemetry::FlightEventKind::kFailed);
+
+  // Both lifecycle postmortems exist: the first quarantine and the final
+  // failure, each a parseable JSONL journal.
+  for (const char* reason : {"quarantine", "failed"}) {
+    const std::string path = dump_dir + "/blackbox_" + std::to_string(id) +
+                             "_" + reason + ".jsonl";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_FALSE(telemetry::parse_jsonl(ss.str()).empty()) << path;
+    in.close();
+    fs::remove(path);
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::serve

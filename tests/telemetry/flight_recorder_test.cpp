@@ -1,0 +1,294 @@
+// FlightRecorder (telemetry/flight_recorder.hpp): ring semantics, the
+// thread-local ScopedFlightSession attribution, the JSONL round-trip the
+// blackbox CLI consumes, postmortem file + trace mirroring, and the
+// compile-out behavior under KALMMIND_TELEMETRY=OFF.  Suite names start
+// with "Telemetry" on purpose: scripts/tier1.sh re-runs ^Serve|^Telemetry
+// under TSan, which covers the concurrent record/dump test here.
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace kalmmind::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+FlightEvent make_event(FlightEventKind kind, std::uint64_t session,
+                       std::uint64_t step, std::uint64_t arg = 0,
+                       double value = 0.0, const char* detail = nullptr) {
+  FlightEvent e;
+  e.ts_us = double(step) * 10.0 + 1.0;
+  e.session = session;
+  e.step = step;
+  e.arg = arg;
+  e.value = value;
+  e.kind = kind;
+  if (detail != nullptr) {
+    std::snprintf(e.detail, sizeof(e.detail), "%s", detail);
+  }
+  return e;
+}
+
+// Each test starts from a clean global recorder.  Tests run one-per-process
+// under ctest (gtest_discover_tests), so the global singleton is private to
+// the test.
+void reset_recorder() {
+  auto& blackbox = FlightRecorder::global();
+  blackbox.clear();
+  blackbox.set_enabled(true);
+  blackbox.set_capacity(FlightRecorder::kDefaultCapacity);
+  blackbox.set_dump_dir("");
+}
+
+TEST(TelemetryFlightRecorderTest, KindNamesRoundTrip) {
+  for (std::size_t k = 0; k < kFlightEventKindCount; ++k) {
+    const auto kind = static_cast<FlightEventKind>(k);
+    FlightEventKind parsed;
+    ASSERT_TRUE(parse_flight_event_kind(to_string(kind), parsed))
+        << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  FlightEventKind parsed;
+  EXPECT_FALSE(parse_flight_event_kind("no_such_kind", parsed));
+}
+
+TEST(TelemetryFlightRecorderTest, RingKeepsOnlyTheLastCapacityEvents) {
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  blackbox.set_capacity(8);
+
+  for (std::uint64_t n = 0; n < 20; ++n) {
+    blackbox.record(FlightEventKind::kDeadlineMiss, /*session=*/42, n, n);
+  }
+  const std::vector<FlightEvent> events = blackbox.dump(42);
+
+  if (!kCompiledIn) {
+    // KALMMIND_TELEMETRY=OFF: record() compiles to a no-op.
+    EXPECT_TRUE(events.empty());
+    EXPECT_EQ(blackbox.total_recorded(42), 0u);
+    return;
+  }
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(blackbox.total_recorded(42), 20u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Oldest first: steps 12..19 survive the wrap.
+    EXPECT_EQ(events[i].step, 12u + i);
+    EXPECT_EQ(events[i].kind, FlightEventKind::kDeadlineMiss);
+    EXPECT_GT(events[i].ts_us, 0.0);  // stamped by record_impl
+  }
+  EXPECT_EQ(blackbox.sessions(), std::vector<std::uint64_t>{42});
+}
+
+TEST(TelemetryFlightRecorderTest, DisabledRecorderDropsEvents) {
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  blackbox.set_enabled(false);
+  blackbox.record(FlightEventKind::kRestart, 7, 1);
+  blackbox.record_here(FlightEventKind::kRestart);
+  EXPECT_TRUE(blackbox.dump(7).empty());
+  EXPECT_EQ(blackbox.total_recorded(7), 0u);
+
+  blackbox.set_enabled(true);
+  blackbox.record(FlightEventKind::kRestart, 7, 2);
+  if (kCompiledIn) {
+    EXPECT_EQ(blackbox.total_recorded(7), 1u);
+  } else {
+    EXPECT_EQ(blackbox.total_recorded(7), 0u);
+  }
+}
+
+TEST(TelemetryFlightRecorderTest, ScopedSessionAttributesAndNests) {
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  {
+    ScopedFlightSession outer(5, 10);
+    blackbox.record_here(FlightEventKind::kGainCacheHit, 0xabc);
+    {
+      ScopedFlightSession inner(6, 11);
+      blackbox.record_here(FlightEventKind::kGainCacheMiss, 0xdef);
+    }
+    // The outer context is restored after the nested scope ends.
+    blackbox.record_here(FlightEventKind::kGainCacheEviction, 0x123);
+  }
+  // No active scope: events attribute to session 0 (unattributed).
+  blackbox.record_here(FlightEventKind::kHealthFault, 1, 0.0, "orphan");
+
+  if (!kCompiledIn) {
+    EXPECT_TRUE(blackbox.sessions().empty());
+    return;
+  }
+  const auto five = blackbox.dump(5);
+  ASSERT_EQ(five.size(), 2u);
+  EXPECT_EQ(five[0].kind, FlightEventKind::kGainCacheHit);
+  EXPECT_EQ(five[0].step, 10u);
+  EXPECT_EQ(five[1].kind, FlightEventKind::kGainCacheEviction);
+  const auto six = blackbox.dump(6);
+  ASSERT_EQ(six.size(), 1u);
+  EXPECT_EQ(six[0].step, 11u);
+  const auto orphan = blackbox.dump(0);
+  ASSERT_EQ(orphan.size(), 1u);
+  EXPECT_STREQ(orphan[0].detail, "orphan");
+}
+
+TEST(TelemetryFlightRecorderTest, JsonlRoundTripPreservesEveryField) {
+  // The free to/parse functions work regardless of the telemetry build: the
+  // blackbox CLI must read dumps produced by instrumented builds.
+  std::vector<FlightEvent> events;
+  events.push_back(make_event(FlightEventKind::kHealthFault, 3, 17, 8, 0.0,
+                              "state_exploded"));
+  events.push_back(make_event(FlightEventKind::kDeadlineMiss, 3, 18, 2,
+                              0.00125));
+  events.push_back(make_event(FlightEventKind::kQuarantine, 3, 18, 4, 1.0,
+                              "q \"quoted\"\\slash"));
+
+  const std::string jsonl = to_jsonl(events);
+  const std::vector<FlightEvent> parsed = parse_jsonl(jsonl);
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].ts_us, events[i].ts_us) << i;
+    EXPECT_EQ(parsed[i].session, events[i].session) << i;
+    EXPECT_EQ(parsed[i].step, events[i].step) << i;
+    EXPECT_EQ(parsed[i].arg, events[i].arg) << i;
+    EXPECT_DOUBLE_EQ(parsed[i].value, events[i].value) << i;
+    EXPECT_EQ(parsed[i].kind, events[i].kind) << i;
+    EXPECT_STREQ(parsed[i].detail, events[i].detail) << i;
+  }
+}
+
+TEST(TelemetryFlightRecorderTest, ParserSkipsBlankAndMalformedLines) {
+  const std::string text =
+      "\n"
+      "not json at all\n" +
+      to_json_line(make_event(FlightEventKind::kRestored, 9, 4, 2)) +
+      "\n"
+      "{\"ts_us\":1.0,\"kind\":\"no_such_kind\"}\n";
+  const std::vector<FlightEvent> parsed = parse_jsonl(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, FlightEventKind::kRestored);
+  EXPECT_EQ(parsed[0].session, 9u);
+
+  FlightEvent out;
+  EXPECT_FALSE(parse_json_line("", out));
+  EXPECT_FALSE(parse_json_line("{}", out));
+}
+
+TEST(TelemetryFlightRecorderTest, PostmortemWritesFileAndMirrorsTrace) {
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  auto& tracer = SpanTracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  const std::string dir = ::testing::TempDir();
+  blackbox.set_dump_dir(dir);
+  EXPECT_EQ(blackbox.dump_dir(), dir);
+
+  blackbox.record(FlightEventKind::kHealthFault, 11, 3, 8, 0.0,
+                  "state_exploded");
+  blackbox.record(FlightEventKind::kQuarantine, 11, 3, 4, 0.0);
+  const std::string path = blackbox.postmortem(11, "unit test/quarantine");
+
+  if (!kCompiledIn) {
+    // Nothing was recorded, so there is nothing to dump.
+    EXPECT_TRUE(path.empty());
+    return;
+  }
+  ASSERT_FALSE(path.empty());
+  // The reason is sanitized into a safe filename chunk: the '/' and the
+  // space in the reason must not survive into the basename.
+  const std::string base = fs::path(path).filename().string();
+  EXPECT_EQ(base.rfind("blackbox_11_", 0), 0u) << path;
+  EXPECT_EQ(base.find(' '), std::string::npos) << path;
+  EXPECT_TRUE(base.size() > 6 &&
+              base.compare(base.size() - 6, 6, ".jsonl") == 0)
+      << path;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::vector<FlightEvent> parsed = parse_jsonl(ss.str());
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].kind, FlightEventKind::kHealthFault);
+  EXPECT_EQ(parsed[1].kind, FlightEventKind::kQuarantine);
+  fs::remove(path);
+
+  // Every journal entry is mirrored as an 'i' instant on the session's
+  // synthetic blackbox track (pid kTracePid).
+  std::size_t instants = 0;
+  for (const TraceEvent& e : tracer.snapshot()) {
+    if (e.ph == 'i' && e.pid == FlightRecorder::kTracePid) ++instants;
+  }
+  EXPECT_EQ(instants, 2u);
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+
+TEST(TelemetryFlightRecorderTest, EraseAndClearDropSessions) {
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  blackbox.record(FlightEventKind::kRestart, 1, 0);
+  blackbox.record(FlightEventKind::kRestart, 2, 0);
+  if (!kCompiledIn) return;
+  EXPECT_EQ(blackbox.sessions().size(), 2u);
+  blackbox.erase(1);
+  EXPECT_EQ(blackbox.sessions(), std::vector<std::uint64_t>{2});
+  blackbox.clear();
+  EXPECT_TRUE(blackbox.sessions().empty());
+}
+
+TEST(TelemetryFlightRecorderConcurrency, ParallelRecordDumpPostmortem) {
+  // TSan target: writers journal into per-thread sessions (different
+  // stripes) while a reader loops dump/sessions/total_recorded and a
+  // postmortem fires mid-storm.  The invariants are checked after join;
+  // under TSan the value is the absence of data races.
+  reset_recorder();
+  auto& blackbox = FlightRecorder::global();
+  blackbox.set_capacity(64);
+
+  constexpr std::uint64_t kWriters = 4;
+  constexpr std::uint64_t kEventsPerWriter = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (std::uint64_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([w, &blackbox] {
+      ScopedFlightSession flight(100 + w, 0);
+      for (std::uint64_t n = 0; n < kEventsPerWriter; ++n) {
+        if (n % 3 == 0) {
+          blackbox.record_here(FlightEventKind::kGainCacheHit, n);
+        } else {
+          blackbox.record(FlightEventKind::kDeadlineMiss, 100 + w, n, n,
+                          1e-4 * double(n));
+        }
+      }
+    });
+  }
+  threads.emplace_back([&blackbox] {
+    for (int i = 0; i < 200; ++i) {
+      (void)blackbox.sessions();
+      (void)blackbox.dump(100);
+      (void)blackbox.total_recorded(101);
+      if (i == 100) (void)blackbox.postmortem(102, "mid-storm");
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  if (!kCompiledIn) {
+    EXPECT_TRUE(blackbox.sessions().empty());
+    return;
+  }
+  for (std::uint64_t w = 0; w < kWriters; ++w) {
+    EXPECT_EQ(blackbox.total_recorded(100 + w), kEventsPerWriter);
+    EXPECT_EQ(blackbox.dump(100 + w).size(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::telemetry

@@ -22,18 +22,29 @@
 //
 //   kalmmind telemetry-demo [--dataset NAME] [--iterations N]
 //
-// Exercises every instrumented layer (filter spans, serve spans, bridged
-// SoC cycle events) and writes a Chrome trace + metrics snapshot.
+// Exercises every instrumented layer (filter spans, serve spans, batched
+// serving + gain-schedule cache, flight-recorder journal, bridged SoC
+// cycle events) and writes a Chrome trace + metrics snapshot.
+//
+//   kalmmind blackbox FILE [--session N] [--kind NAME] [--last N]
+//
+// Pretty-prints a flight-recorder postmortem dump (blackbox_*.jsonl, see
+// docs/observability.md), optionally filtered.
 //
 // Global flags (any subcommand, stripped before dispatch):
 //   --trace-out FILE    enable span tracing; write Chrome trace event JSON
 //                       (open in Perfetto or chrome://tracing)
 //   --metrics-out FILE  write the metrics registry on exit (.json -> JSON,
 //                       anything else -> Prometheus text)
+//   --blackbox-out DIR  flight-recorder postmortems also write JSONL dumps
+//                       into DIR (blackbox_<session>_<reason>.jsonl)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,19 +62,22 @@ namespace {
 // ---- global telemetry flags (any subcommand) ----
 
 struct TelemetryOptions {
-  std::string trace_out;    // non-empty => span tracing enabled
-  std::string metrics_out;  // non-empty => dump registry on exit
+  std::string trace_out;     // non-empty => span tracing enabled
+  std::string metrics_out;   // non-empty => dump registry on exit
+  std::string blackbox_out;  // non-empty => postmortem JSONL dump directory
 };
 
-// Removes --trace-out/--metrics-out (and their values) from argv so the
-// per-subcommand parsers never see them.  Exits on a missing value.
+// Removes --trace-out/--metrics-out/--blackbox-out (and their values) from
+// argv so the per-subcommand parsers never see them.  Exits on a missing
+// value.
 TelemetryOptions strip_telemetry_flags(int& argc, char** argv) {
   TelemetryOptions opt;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const bool trace = !std::strcmp(argv[i], "--trace-out");
     const bool metrics = !std::strcmp(argv[i], "--metrics-out");
-    if (!trace && !metrics) {
+    const bool blackbox = !std::strcmp(argv[i], "--blackbox-out");
+    if (!trace && !metrics && !blackbox) {
       argv[out++] = argv[i];
       continue;
     }
@@ -71,12 +85,16 @@ TelemetryOptions strip_telemetry_flags(int& argc, char** argv) {
       std::fprintf(stderr, "missing value for %s\n", argv[i]);
       std::exit(2);
     }
-    (trace ? opt.trace_out : opt.metrics_out) = argv[++i];
+    (trace ? opt.trace_out : metrics ? opt.metrics_out : opt.blackbox_out) =
+        argv[++i];
   }
   argc = out;
   if (!opt.trace_out.empty()) {
     telemetry::SpanTracer::global().set_enabled(true);
     telemetry::SpanTracer::global().set_thread_name("main");
+  }
+  if (!opt.blackbox_out.empty()) {
+    telemetry::FlightRecorder::global().set_dump_dir(opt.blackbox_out);
   }
   return opt;
 }
@@ -160,8 +178,11 @@ struct CliOptions {
                "          [--breakdown]\n"
                "       %s serve-bench ...   (see serve-bench --help)\n"
                "       %s telemetry-demo [--dataset NAME] [--iterations N]\n"
-               "global: [--trace-out FILE] [--metrics-out FILE]\n",
-               argv0, argv0, argv0);
+               "       %s blackbox FILE [--session N] [--kind NAME] "
+               "[--last N]\n"
+               "global: [--trace-out FILE] [--metrics-out FILE] "
+               "[--blackbox-out DIR]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -415,6 +436,97 @@ int run_serve_bench(int argc, char** argv) {
   return identical ? 0 : 1;
 }
 
+// ---- blackbox: inspect flight-recorder postmortem dumps ----
+
+[[noreturn]] void blackbox_usage_and_exit(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s blackbox FILE [--session N] [--kind NAME] [--last N]\n"
+      "Pretty-prints a flight-recorder dump (blackbox_*.jsonl), optionally\n"
+      "filtered to one session, one event kind, or the last N events.\n",
+      argv0);
+  std::exit(2);
+}
+
+int run_blackbox(int argc, char** argv) {
+  std::string file;
+  std::uint64_t session = 0;
+  bool by_session = false;
+  std::string kind_name;
+  telemetry::FlightEventKind kind = telemetry::FlightEventKind::kHealthFault;
+  std::size_t last = 0;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--session")) {
+      session = std::strtoull(need_value("--session"), nullptr, 10);
+      by_session = true;
+    } else if (!std::strcmp(argv[i], "--kind")) {
+      kind_name = need_value("--kind");
+    } else if (!std::strcmp(argv[i], "--last")) {
+      last = std::size_t(std::atoll(need_value("--last")));
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      blackbox_usage_and_exit(argv[0]);
+    } else if (file.empty()) {
+      file = argv[i];
+    } else {
+      blackbox_usage_and_exit(argv[0]);
+    }
+  }
+  if (file.empty()) blackbox_usage_and_exit(argv[0]);
+  if (!kind_name.empty() &&
+      !telemetry::parse_flight_event_kind(kind_name, kind)) {
+    std::fprintf(stderr, "unknown event kind '%s'\n", kind_name.c_str());
+    return 2;
+  }
+
+  std::ifstream in(file, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", file.c_str());
+    return 2;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::vector<telemetry::FlightEvent> events =
+      telemetry::parse_jsonl(ss.str());
+  const std::size_t parsed = events.size();
+
+  std::vector<telemetry::FlightEvent> kept;
+  kept.reserve(events.size());
+  for (const telemetry::FlightEvent& e : events) {
+    if (by_session && e.session != session) continue;
+    if (!kind_name.empty() && e.kind != kind) continue;
+    kept.push_back(e);
+  }
+  if (last > 0 && kept.size() > last) {
+    kept.erase(kept.begin(), kept.end() - std::ptrdiff_t(last));
+  }
+
+  std::printf("%14s %8s %6s  %-19s %12s %12s  %s\n", "ts_us", "session",
+              "step", "kind", "arg", "value", "detail");
+  std::map<std::string, std::size_t> by_kind;
+  for (const telemetry::FlightEvent& e : kept) {
+    std::printf("%14.3f %8llu %6llu  %-19s %12llu %12g  %s\n", e.ts_us,
+                static_cast<unsigned long long>(e.session),
+                static_cast<unsigned long long>(e.step),
+                telemetry::to_string(e.kind),
+                static_cast<unsigned long long>(e.arg), e.value, e.detail);
+    ++by_kind[telemetry::to_string(e.kind)];
+  }
+  std::printf("blackbox   : %zu of %zu events from %s\n", kept.size(), parsed,
+              file.c_str());
+  for (const auto& [name, count] : by_kind) {
+    std::printf("             %-19s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}
+
 // ---- telemetry-demo: exercise every instrumented layer ----
 
 int run_telemetry_demo(int argc, char** argv) {
@@ -476,22 +588,61 @@ int run_telemetry_demo(int argc, char** argv) {
   }
 
   // 2. Decode server: session spans, queue-depth counter track, latency
-  // histogram.
+  // histogram — and the PR6 batched-serving path: two distinct filter
+  // configs, two sessions each, so the gain-schedule cache sees one miss +
+  // one hit per config and both pairs decode through fused BatchGroups.
   {
     telemetry::Span span("demo.serve_run", "demo");
     serve::SessionConfig cfg;
     cfg.filter.model = dataset.model;
     cfg.filter.strategy.kind = kalman::StrategyKind::kGauss;
     cfg.queue_capacity = dataset.test_measurements.size();
+    serve::SessionConfig cfg2 = cfg;
+    cfg2.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+    cfg2.filter.strategy.calc_freq = 3;
+    cfg2.filter.strategy.approx = 2;
     serve::DecodeServer server({/*workers=*/2, /*max_batch=*/8});
     const serve::SessionId a = server.open_session(cfg);
     const serve::SessionId b = server.open_session(cfg);
+    const serve::SessionId c = server.open_session(cfg2);
+    const serve::SessionId d = server.open_session(cfg2);
     for (const auto& z : dataset.test_measurements) {
       server.submit(a, z);
       server.submit(b, z);
+      server.submit(c, z);
+      server.submit(d, z);
     }
     server.drain();
-    std::printf("%s", server.stats().to_string().c_str());
+    const serve::ServerStats stats = server.stats();
+    std::printf("%s", stats.to_string().c_str());
+    std::printf(
+        "batching   : batched_sessions=%zu batch_groups=%zu gain_cache "
+        "hits=%llu misses=%llu evictions=%llu\n",
+        stats.batched_sessions, stats.batch_groups,
+        static_cast<unsigned long long>(stats.gain_cache_hits),
+        static_cast<unsigned long long>(stats.gain_cache_misses),
+        static_cast<unsigned long long>(stats.gain_cache_evictions));
+
+    // 2b. Flight recorder: every batch join / cache hit / cache miss above
+    // was journaled; demo a postmortem of the first session so --blackbox-out
+    // produces a JSONL dump to feed `kalmmind blackbox`.
+    auto& blackbox = telemetry::FlightRecorder::global();
+    std::uint64_t journaled = 0;
+    const std::vector<std::uint64_t> recorded = blackbox.sessions();
+    for (const std::uint64_t s : recorded) {
+      journaled += blackbox.total_recorded(s);
+    }
+    std::printf("blackbox   : %llu events journaled across %zu sessions\n",
+                static_cast<unsigned long long>(journaled), recorded.size());
+    if (blackbox.enabled()) {
+      const std::string path = blackbox.postmortem(a, "demo");
+      if (!path.empty()) {
+        std::printf("blackbox   : wrote postmortem %s\n", path.c_str());
+      }
+    }
+  }
+  if (!telemetry::kCompiledIn) {
+    std::printf("telemetry  : compiled out (KALMMIND_TELEMETRY=OFF)\n");
   }
 
   // 3. SoC invocation bridged onto the same timeline.
@@ -515,6 +666,8 @@ int main(int argc, char** argv) {
   int rc;
   if (argc > 1 && !std::strcmp(argv[1], "serve-bench")) {
     rc = run_serve_bench(argc, argv);
+  } else if (argc > 1 && !std::strcmp(argv[1], "blackbox")) {
+    rc = run_blackbox(argc, argv);
   } else if (argc > 1 && !std::strcmp(argv[1], "telemetry-demo")) {
     // Demo defaults: always write a trace/metrics pair if no global flags.
     TelemetryOptions demo = telemetry_opt;

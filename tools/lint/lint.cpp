@@ -332,9 +332,13 @@ void check_telemetry_guard(const std::vector<std::string>& raw,
                            const Suppressions& sup,
                            std::vector<Finding>& out) {
   static const std::regex kDirectInclude(
-      R"(#\s*include\s*"telemetry/(registry|tracer)\.hpp")");
+      R"(#\s*include\s*"telemetry/(registry|tracer|flight_recorder)\.hpp")");
+  // Allocation-bearing tracer emissions and flight-recorder journal calls
+  // (the convention names recorder locals `blackbox`, keeping them distinct
+  // from serve's LatencyRecorder locals named `recorder`).
   static const std::regex kEmission(
-      R"(\btracer\s*(\.|->)\s*(complete|counter|instant)\s*\()");
+      R"(\btracer\s*(\.|->)\s*(complete|counter|instant)\s*\(|)"
+      R"(\bblackbox\s*(\.|->)\s*(record|record_here|postmortem)\s*\()");
   static const std::regex kEnabled(R"(\benabled\s*\(\s*\))");
   constexpr std::size_t kGuardWindow = 12;
   for (std::size_t i = 0; i < code.size(); ++i) {
@@ -343,7 +347,8 @@ void check_telemetry_guard(const std::vector<std::string>& raw,
     if (std::regex_search(raw[i], kDirectInclude)) {
       out.push_back({rel_path.generic_string(), int(i) + 1, "R4",
                      "include \"telemetry/telemetry.hpp\" (the umbrella "
-                     "header), not registry/tracer directly"});
+                     "header), not registry/tracer/flight_recorder "
+                     "directly"});
     }
     if (std::regex_search(code[i], kEmission)) {
       bool guarded = false;
@@ -353,7 +358,7 @@ void check_telemetry_guard(const std::vector<std::string>& raw,
       }
       if (!guarded) {
         out.push_back({rel_path.generic_string(), int(i) + 1, "R4",
-                       "tracer emission call without an enabled() check "
+                       "telemetry emission call without an enabled() check "
                        "within the preceding " +
                            std::to_string(kGuardWindow) + " lines"});
       }

@@ -1,0 +1,56 @@
+# Asserting smoke test for `kalmmind telemetry-demo` + `kalmmind blackbox`
+# (ctest: cli_telemetry_demo_counters).
+#
+# Runs the demo with --blackbox-out and asserts the PR6 batched-serving
+# counters come out nonzero and deterministic (2 configs x 2 sessions =>
+# 2 gain-cache misses + 2 hits, 2 batch groups, 4 batched sessions), that
+# the flight recorder journaled events, and that the postmortem JSONL the
+# demo writes is readable by the blackbox subcommand.  When the binary was
+# built with KALMMIND_TELEMETRY=OFF the demo prints a "compiled out"
+# marker and the counter assertions are skipped (the recorder is a no-op).
+#
+# Inputs: -D CLI=<kalmmind binary> -D OUT_DIR=<scratch directory>
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -D CLI=... -D OUT_DIR=... -P ${CMAKE_SCRIPT_MODE_FILE}")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+execute_process(
+  COMMAND "${CLI}" --blackbox-out "${OUT_DIR}"
+          telemetry-demo --dataset motor --iterations 15
+  WORKING_DIRECTORY "${OUT_DIR}"
+  OUTPUT_VARIABLE demo_out
+  ERROR_VARIABLE demo_err
+  RESULT_VARIABLE demo_rc)
+if(NOT demo_rc EQUAL 0)
+  message(FATAL_ERROR "telemetry-demo failed (rc=${demo_rc}):\n${demo_out}\n${demo_err}")
+endif()
+
+if(demo_out MATCHES "compiled out")
+  message(STATUS "KALMMIND_TELEMETRY=OFF build: counter assertions skipped")
+  return()
+endif()
+
+if(NOT demo_out MATCHES "batched_sessions=4 batch_groups=2 gain_cache hits=2 misses=2 evictions=0")
+  message(FATAL_ERROR "batching counters wrong or missing:\n${demo_out}")
+endif()
+if(demo_out MATCHES "blackbox   : 0 events journaled")
+  message(FATAL_ERROR "flight recorder journaled nothing:\n${demo_out}")
+endif()
+if(NOT demo_out MATCHES "wrote postmortem ([^\n]+)")
+  message(FATAL_ERROR "demo wrote no postmortem dump:\n${demo_out}")
+endif()
+set(dump "${CMAKE_MATCH_1}")
+
+execute_process(
+  COMMAND "${CLI}" blackbox "${dump}" --kind batch_join
+  OUTPUT_VARIABLE bb_out
+  ERROR_VARIABLE bb_err
+  RESULT_VARIABLE bb_rc)
+if(NOT bb_rc EQUAL 0)
+  message(FATAL_ERROR "blackbox subcommand failed (rc=${bb_rc}):\n${bb_out}\n${bb_err}")
+endif()
+if(NOT bb_out MATCHES "batch_join")
+  message(FATAL_ERROR "blackbox output missing the batch_join event:\n${bb_out}")
+endif()
+message(STATUS "telemetry-demo counters + blackbox dump verified")
