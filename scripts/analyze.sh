@@ -1,19 +1,46 @@
 #!/usr/bin/env bash
 # Static-analysis + sanitizer matrix (see docs/static_analysis.md):
 #
-#   1. kalmmind-lint over the repo tree (repo-specific rules R1-R5)
-#   2. clang-tidy over src/ + tools/ (skipped with a notice when clang-tidy
+#   1. kalmmind-lint over the repo tree (repo-specific rules R1-R6)
+#   2. kalmmind-rtcheck: transitive realtime-safety verification of every
+#      function reachable from a KALMMIND_REALTIME root (rules RT1-RT5)
+#   3. clang-tidy over src/ + tools/ (skipped with a notice when clang-tidy
 #      is not installed; CI always runs it)
-#   3. the full test suite under ASan + UBSan
+#   4. the full test suite under ASan + UBSan
+#   5. the full test suite under clang RealtimeSanitizer (KALMMIND_RTSAN;
+#      skipped with a notice when the toolchain lacks -fsanitize=realtime)
+#
+# Every stage runs even when an earlier one fails; the script exits
+# non-zero if ANY stage failed, so a lint finding cannot be masked by a
+# later stage's success (or vice versa).
 #
 # Usage: scripts/analyze.sh
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
+failed_stages=()
+
+note_result() {  # note_result <stage-name> <exit-code>
+  if [ "$2" -ne 0 ]; then
+    echo "analyze: stage '$1' FAILED (exit $2)"
+    failed_stages+=("$1")
+  fi
+}
+
 echo "== analyze: kalmmind-lint =="
-cmake -B build -S . >/dev/null
-cmake --build build --target kalmmind_lint -j"$(nproc)"
-./build/tools/lint/kalmmind-lint --root .
+cmake -B build -S . >/dev/null &&
+  cmake --build build --target kalmmind_lint kalmmind_rtcheck -j"$(nproc)" &&
+  ./build/tools/lint/kalmmind-lint --root .
+note_result "lint" $?
+
+echo
+echo "== analyze: kalmmind-rtcheck =="
+if [ -x build/tools/lint/kalmmind-rtcheck ]; then
+  ./build/tools/lint/kalmmind-rtcheck --root .
+  note_result "rtcheck" $?
+else
+  note_result "rtcheck" 1
+fi
 
 echo
 echo "== analyze: clang-tidy =="
@@ -25,6 +52,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
   else
     clang-tidy -p build --quiet "${sources[@]}"
   fi
+  note_result "clang-tidy" $?
 else
   echo "clang-tidy not installed; skipping (CI runs it on every PR)"
 fi
@@ -35,9 +63,42 @@ cmake -B build-san -S . \
   -DKALMMIND_ASAN=ON \
   -DKALMMIND_UBSAN=ON \
   -DKALMMIND_BUILD_BENCH=OFF \
-  -DKALMMIND_BUILD_EXAMPLES=OFF
-cmake --build build-san -j"$(nproc)"
-ctest --test-dir build-san --output-on-failure -j"$(nproc)"
+  -DKALMMIND_BUILD_EXAMPLES=OFF &&
+  cmake --build build-san -j"$(nproc)" &&
+  ctest --test-dir build-san --output-on-failure -j"$(nproc)"
+note_result "asan-ubsan" $?
 
 echo
+echo "== analyze: test suite under RealtimeSanitizer =="
+# RTSan needs a clang with -fsanitize=realtime (clang >= 20).  The CMake
+# option probes the flag and hard-fails on unsupported toolchains, so
+# probe here first and skip with a notice instead of failing the matrix.
+rtsan_cxx=""
+for cxx in clang++ clang++-21 clang++-20; do
+  if command -v "$cxx" >/dev/null 2>&1 &&
+     echo 'int main(){}' | "$cxx" -x c++ -fsanitize=realtime -o /dev/null - \
+       >/dev/null 2>&1; then
+    rtsan_cxx="$cxx"
+    break
+  fi
+done
+if [ -n "$rtsan_cxx" ]; then
+  cmake -B build-rtsan -S . \
+    -DCMAKE_CXX_COMPILER="$rtsan_cxx" \
+    -DKALMMIND_RTSAN=ON \
+    -DKALMMIND_BUILD_BENCH=OFF \
+    -DKALMMIND_BUILD_EXAMPLES=OFF &&
+    cmake --build build-rtsan -j"$(nproc)" &&
+    ctest --test-dir build-rtsan --output-on-failure -j"$(nproc)"
+  note_result "rtsan" $?
+else
+  echo "no clang with -fsanitize=realtime found; skipping RTSan stage"
+  echo "(the static kalmmind-rtcheck pass above still verified the realtime path)"
+fi
+
+echo
+if [ "${#failed_stages[@]}" -ne 0 ]; then
+  echo "analyze: FAILED stages: ${failed_stages[*]}"
+  exit 1
+fi
 echo "analyze: OK"

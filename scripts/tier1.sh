@@ -20,6 +20,10 @@ echo "== tier1: kalmmind-lint over the repo tree =="
 ./build/tools/lint/kalmmind-lint --root .
 
 echo
+echo "== tier1: kalmmind-rtcheck over the repo tree =="
+./build/tools/lint/kalmmind-rtcheck --root .
+
+echo
 echo "== tier1: serve + telemetry tests under ThreadSanitizer =="
 cmake -B build-tsan -S . \
   -DKALMMIND_TSAN=ON \

@@ -1,0 +1,66 @@
+// Real-time annotation contract.
+//
+// KALMMIND_REALTIME marks a function as a *realtime root*: once the filter
+// is configured and serving, calling it must never allocate, lock an
+// unwaived mutex, throw, touch blocking I/O, or sleep.  The marker is read
+// by two independent verifiers:
+//
+//   * kalmmind-rtcheck (tools/lint/rtcheck.hpp) scans for the token
+//     textually and walks the heuristic call graph from every annotated
+//     function, enforcing rules RT1-RT5 transitively at lint time;
+//   * clang's RealtimeSanitizer: under -DKALMMIND_RTSAN=ON the macro
+//     expands to [[clang::nonblocking]], so the same functions are checked
+//     dynamically at run time — catching operators, implicit copies and
+//     destructors that name-based static resolution cannot see.
+//
+// Placement: after the parameter list, in the noexcept position, before
+// any `override`:
+//
+//   Status step(const Vector<T>& z) KALMMIND_REALTIME;
+//
+// Code that is exempt by audited design (the flight recorder's stripe
+// locks, grow-once resize_for_overwrite) carries a justified allow(RTn)
+// waiver comment for the static pass and, where RTSan would still fire,
+// an RtsanWaiver scope for the dynamic pass.
+#pragma once
+
+#if defined(KALMMIND_RTSAN) && defined(__clang__) && \
+    defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::nonblocking)
+#define KALMMIND_REALTIME [[clang::nonblocking]]
+#endif
+#endif
+#ifndef KALMMIND_REALTIME
+#define KALMMIND_REALTIME
+#endif
+
+#if defined(KALMMIND_RTSAN) && defined(__clang__)
+extern "C" {
+void __rtsan_disable(void);
+void __rtsan_enable(void);
+}
+#endif
+
+namespace kalmmind::common {
+
+// RAII escape hatch for the dynamic pass, mirroring a justified static
+// waiver: the enclosed scope is exempt from RTSan checking.  Every use
+// must sit next to a justified allow(RTn) waiver comment so the static
+// audit lists it.
+class RtsanWaiver {
+ public:
+  RtsanWaiver() {
+#if defined(KALMMIND_RTSAN) && defined(__clang__)
+    __rtsan_disable();
+#endif
+  }
+  ~RtsanWaiver() {
+#if defined(KALMMIND_RTSAN) && defined(__clang__)
+    __rtsan_enable();
+#endif
+  }
+  RtsanWaiver(const RtsanWaiver&) = delete;
+  RtsanWaiver& operator=(const RtsanWaiver&) = delete;
+};
+
+}  // namespace kalmmind::common

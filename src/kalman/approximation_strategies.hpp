@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "kalman/strategy.hpp"
 #include "linalg/gauss.hpp"
 #include "linalg/newton.hpp"
@@ -37,6 +38,7 @@ template <typename T>
 void classic_seed_into(Matrix<T>& seed, const Matrix<T>& s) {
   const double scale = linalg::one_norm(s) * linalg::inf_norm(s);
   if (scale == 0.0) {
+    // kalmmind-lint: allow(RT3) a zero innovation covariance is a degenerate model, rejected before serving; the gate cannot fire once a first step has succeeded
     throw std::invalid_argument("newton_classic_seed: zero matrix");
   }
   linalg::transpose_into(seed, s);
@@ -51,7 +53,7 @@ class NewtonClassicStrategy final : public InverseStrategy<T> {
       : iterations_(internal_iterations) {}
 
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
-                   std::size_t /*kf_iteration*/) override {
+                   std::size_t /*kf_iteration*/) KALMMIND_REALTIME override {
     detail::classic_seed_into(seed_, s);
     linalg::newton_invert_into(out, s, seed_, iterations_, ws_);
   }
@@ -128,9 +130,10 @@ class TaylorStrategy final : public InverseStrategy<T> {
   explicit TaylorStrategy(std::size_t order = 2) : order_(order) {}
 
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
-                   std::size_t /*kf_iteration*/) override {
+                   std::size_t /*kf_iteration*/) KALMMIND_REALTIME override {
     if (!anchored_) {
       s0_ = s;
+      // kalmmind-lint: allow(RT1,RT3) anchor branch runs exactly once, on the first iteration after reset — the calculation tier by design, before steady-state serving begins
       v0_ = linalg::invert_gauss(s);
       anchored_ = true;
       last_event_ = {InversePath::kCalculation, 0};
@@ -184,13 +187,14 @@ class IfkfStrategy final : public InverseStrategy<T> {
       : r_(std::move(r)), iterations_(iterations) {}
 
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
-                   std::size_t /*kf_iteration*/) override {
+                   std::size_t /*kf_iteration*/) KALMMIND_REALTIME override {
     const std::size_t n = s.rows();
     // S~ = S - R + diag(R): keep the (low-rank) signal structure, assume
     // independent measurement noise.
     assumed_ = s;
     if (!r_.empty()) {
       if (!r_.same_shape(s)) {
+        // kalmmind-lint: allow(RT3) shape-mismatch is a configuration bug caught on the first step, not a runtime condition
         throw std::invalid_argument("IfkfStrategy: R shape mismatch");
       }
       assumed_ -= r_;

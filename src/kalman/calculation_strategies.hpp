@@ -2,6 +2,7 @@
 // Cholesky and QR.  Each call computes the inverse directly.
 #pragma once
 
+#include "common/realtime.hpp"
 #include "kalman/strategy.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/gauss.hpp"
@@ -51,7 +52,8 @@ class CalculationStrategy final : public InverseStrategy<T> {
   // still allocate; the allocation-free guarantee covers the approximation
   // path, which is what runs every steady-state step (docs/performance.md).
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
-                   std::size_t /*kf_iteration*/) override {
+                   std::size_t /*kf_iteration*/) KALMMIND_REALTIME override {
+    // kalmmind-lint: allow(RT1,RT3) path A allocates and throws by documented design: direct solvers pivot/factorize internally, and eq. (2) budgets calculation iterations as the non-realtime tier
     out = calculate_inverse(method_, s);
   }
 

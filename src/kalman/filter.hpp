@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "kalman/health.hpp"
 #include "kalman/model.hpp"
 #include "kalman/strategy.hpp"
@@ -134,8 +135,9 @@ class KalmanFilter {
   // One KF iteration with measurement z; returns the new state estimate.
   // All temporaries live in the per-filter workspace: after the first step
   // this performs zero heap allocations (tests/kalman/workspace_test.cpp).
-  const Vector<T>& step(const Vector<T>& z) {
+  const Vector<T>& step(const Vector<T>& z) KALMMIND_REALTIME {
     if (z.size() != model_.z_dim()) {
+      // kalmmind-lint: allow(RT3) shape-mismatch is a caller bug, not a runtime condition; it aborts the step before any filter state mutates
       throw std::invalid_argument("KalmanFilter::step: bad measurement size");
     }
     if (health_.enabled()) {
@@ -190,11 +192,13 @@ class KalmanFilter {
             : inv_event.path == InversePath::kApproximation
                 ? "kf.s_inverse.approx"
                 : "kf.s_inverse.none";
+        // kalmmind-lint: allow(RT1,RT2) span emission runs only when tracing is enabled; production serving traces off, and the tracer lock is the audited cost of turning it on
         tracer.complete(path_name, "kf", t0_us, tracer.now_us() - t0_us,
                         "\"newton_iterations\":" +
                             std::to_string(inv_event.newton_iterations));
       }
       if (telemetry::enabled()) {
+        // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); steady-state steps only touch the returned counters' atomics
         auto& ft = detail::FilterTelemetry::get();
         switch (inv_event.path) {
           case InversePath::kCalculation: ft.invert_calculation.add(); break;
@@ -248,8 +252,10 @@ class KalmanFilter {
     }
 
     if (telemetry::enabled()) {
+      // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); steady-state steps only touch the returned counters' atomics
       detail::FilterTelemetry::get().step_allocations.add(
           linalg::thread_buffer_allocations() - allocs_before);
+      // kalmmind-lint: allow(RT1,RT2) gauge registration happens on the first report only; later reports store to the cached handle's atomic
       ws_reporter_.report(ws_.bytes());
     }
 
@@ -331,6 +337,7 @@ class KalmanFilter {
     health_.post_step(x_, p_, model_, *strategy_);
     last_inverse_event_ = {InversePath::kNone, 0};
     if (telemetry::enabled()) {
+      // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); steady-state steps only touch the returned counters' atomics
       auto& ft = detail::FilterTelemetry::get();
       ft.invert_none.add();
       ft.steps.add();
@@ -357,6 +364,7 @@ class KalmanFilter {
     health_.fallback_post_step(x_, model_);
     last_inverse_event_ = {InversePath::kNone, 0};
     if (telemetry::enabled()) {
+      // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); steady-state steps only touch the returned counters' atomics
       auto& ft = detail::FilterTelemetry::get();
       ft.invert_none.add();
       ft.steps.add();

@@ -369,6 +369,7 @@ class NumericalHealthMonitor {
     if ((stats_.last_faults & static_cast<unsigned>(f)) == 0) {
       stats_.last_faults |= static_cast<unsigned>(f);
       if (telemetry::enabled()) {
+        // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); fault accounting is one relaxed atomic add
         detail::HealthTelemetry::get().faults.add();
         auto& blackbox = telemetry::FlightRecorder::global();
         blackbox.record_here(telemetry::FlightEventKind::kHealthFault,
@@ -378,11 +379,11 @@ class NumericalHealthMonitor {
   }
 
   void note_recovery(RecoveryAction a) {
-    ++stats_.recoveries[static_cast<std::size_t>(a)];
+    const std::size_t ai = static_cast<std::size_t>(a);
+    ++stats_.recoveries[ai];
     if (telemetry::enabled()) {
-      detail::HealthTelemetry::get()
-          .recoveries[static_cast<std::size_t>(a)]
-          ->add();
+      // kalmmind-lint: allow(RT1,RT2) registry handles resolve once per process (function-local static); recovery accounting is one relaxed atomic add
+      detail::HealthTelemetry::get().recoveries[ai]->add();
       auto& blackbox = telemetry::FlightRecorder::global();
       blackbox.record_here(telemetry::FlightEventKind::kRecovery,
                            static_cast<std::uint64_t>(a), 0.0, to_string(a));
@@ -495,6 +496,7 @@ class NumericalHealthMonitor {
     if (stats_.fallback_active) return true;
     if constexpr (std::is_floating_point_v<T>) {
       try {
+        // kalmmind-lint: allow(RT1,RT3) fallback engagement solves the DARE once per divergence event — the recovery ladder's documented slow path, not steady-state serving
         SteadyState<T> ss = solve_steady_state(model, 1e-9, 2000);
         fallback_gain_ = std::move(ss.k);
         stats_.fallback_active = true;

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 
+#include "common/realtime.hpp"
 #include "kalman/calculation_strategies.hpp"
 #include "kalman/strategy.hpp"
 #include "linalg/newton.hpp"
@@ -58,7 +59,7 @@ class InterleavedStrategy final : public InverseStrategy<T> {
       : calc_method_(calc_method), config_(config), initial_config_(config) {}
 
   void invert_into(Matrix<T>& out, const Matrix<T>& s,
-                   std::size_t kf_iteration) override {
+                   std::size_t kf_iteration) KALMMIND_REALTIME override {
     if (force_calculation_ || config_.is_calculation_iteration(kf_iteration) ||
         !seed_ready_) {
       force_calculation_ = false;
@@ -69,6 +70,7 @@ class InterleavedStrategy final : public InverseStrategy<T> {
       // letting a diverged DSE point score `inf` instead of aborting the
       // sweep.
       try {
+        // kalmmind-lint: allow(RT1,RT3) path A allocates and throws by documented design: eq. (2) budgets calculation iterations as the non-realtime tier, and the first invert has no seed to approximate from
         out = calculate_inverse(calc_method_, s);
       } catch (const linalg::SingularMatrixError&) {
         out.resize_for_overwrite(s.rows(), s.cols());

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "kalman/filter.hpp"
 #include "kalman/model.hpp"
 #include "kalman/riccati.hpp"
@@ -41,8 +42,9 @@ class ConstantGainFilter {
 
   // Member scratch keeps the constant-gain step allocation-free too
   // (tests/kalman/workspace_test.cpp covers it alongside KalmanFilter).
-  const Vector<T>& step(const Vector<T>& z) {
+  const Vector<T>& step(const Vector<T>& z) KALMMIND_REALTIME {
     if (z.size() != model_.z_dim()) {
+      // kalmmind-lint: allow(RT3) shape-mismatch is a caller bug; it aborts before any state mutates
       throw std::invalid_argument("ConstantGainFilter::step: bad z size");
     }
     linalg::multiply_into(x_pred_, model_.f, x_);

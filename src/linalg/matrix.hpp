@@ -144,6 +144,7 @@ class Matrix {
     cols_ = cols;
     if (n == data_.size()) return;
     if (n > data_.capacity()) detail::note_buffer_alloc(n);
+    // kalmmind-lint: allow(RT1) grow-once contract: reallocates only when capacity grows, which the workspace pre-sizing in KalmanFilter's constructor makes a warm-up event, not a steady-state one
     data_.resize(n);
   }
 
@@ -269,6 +270,7 @@ class Vector {
   void resize_for_overwrite(std::size_t n) {
     if (n == data_.size()) return;
     if (n > data_.capacity()) detail::note_buffer_alloc(n);
+    // kalmmind-lint: allow(RT1) grow-once contract: reallocates only when capacity grows, which the workspace pre-sizing in KalmanFilter's constructor makes a warm-up event, not a steady-state one
     data_.resize(n);
   }
 

@@ -27,6 +27,7 @@ namespace kalmmind::linalg {
 
 namespace detail {
 inline void require(bool cond, const char* what) {
+  // kalmmind-lint: allow(RT3) shape preconditions are caller bugs: the gate aborts before any output is written and never fires on shapes the serve layer has already validated
   if (!cond) throw std::invalid_argument(what);
 }
 

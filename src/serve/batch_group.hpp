@@ -46,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "kalman/gain_schedule.hpp"
 #include "serve/session.hpp"
 #include "serve/stats.hpp"
@@ -166,22 +167,27 @@ class BatchGroup {
   // Fused pass over cohort_[begin, end), all at the same iteration n.
   void run_cohort(std::size_t begin, std::size_t end,
                   LatencyRecorder* recorder, StepResult* result,
-                  std::vector<std::shared_ptr<Session>>& members) {
+                  std::vector<std::shared_ptr<Session>>& members)
+      KALMMIND_REALTIME {
     const std::size_t n = cohort_[begin].n;
     const std::shared_ptr<const kalman::GainSchedule::Entry> entry =
+        // kalmmind-lint: allow(RT1,RT2) one bounded schedule-cache probe per cohort pass, amortized over every member; advance past a window boundary allocates the next entry for the whole fleet
         schedule_->at(n);
     if (!entry) {
       // Window miss: these members fell behind the bounded schedule.  The
       // popped bins go back to the queue head and the sessions continue
       // solo, in order.
       for (std::size_t i = begin; i < end; ++i) {
+        // kalmmind-lint: allow(RT1,RT2) window-miss fall-out: the member is leaving the realtime cohort, and the requeue takes its own session lock on the exit path only
         cohort_[i].session->requeue_front(std::move(cohort_[i].z));
+        // kalmmind-lint: allow(RT1,RT2,RT3) ejection rebuilds the member's solo filter outside the cohort's deadline — the documented fall-out slow path
         cohort_[i].session->eject_to_solo();
         if (telemetry::enabled()) {
           auto& blackbox = telemetry::FlightRecorder::global();
           blackbox.record(telemetry::FlightEventKind::kBatchFallOut,
                           cohort_[i].session->id(), 0, n, 0.0, "window_miss");
         }
+        // kalmmind-lint: allow(RT1,RT2) membership surgery runs only for a member that already fell out of the cohort; the surviving members' pass is untouched
         drop_member(cohort_[i].session->id(), result, members);
       }
       return;
@@ -223,10 +229,12 @@ class BatchGroup {
     const bool tracing = tracer.enabled();
     for (std::size_t i = 0; i < m; ++i) {
       Session* session = cohort_[begin + i].session;
+      // kalmmind-lint: allow(RT1,RT2) per-member result handoff takes the session's own lock, uncontended while the session is batched; the divergence branches inside (quarantine, postmortem) are the self-healing slow path
       const BatchVerdict verdict = session->note_batch_result(
           entry, xn_block_.row(i), per_step, recorder);
       ++result->steps;
       if (tracing) {
+        // kalmmind-lint: allow(RT1,RT2) span emission runs only when tracing is enabled; production serving traces off, and the tracer lock is the audited cost of turning it on
         tracer.complete("serve.step", "serve", tracer.to_us(t0),
                         per_step * 1e6,
                         "\"session\":" + std::to_string(session->id()) +
@@ -238,6 +246,7 @@ class BatchGroup {
           blackbox.record(telemetry::FlightEventKind::kBatchEject,
                           session->id(), 0, n, 0.0, "degraded");
         }
+        // kalmmind-lint: allow(RT1,RT2) an eject verdict is terminal for the member: surgery happens after its last realtime step
         drop_member(session->id(), result, members);
       }
     }

@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "common/status.hpp"
 #include "core/realtime.hpp"
 #include "kalman/factory.hpp"
@@ -609,7 +610,8 @@ class Session {
   // monitor had to engage its SSKF fallback — the serve layer treats that
   // as stream-level divergence (quarantine + restart clears the fallback).
   [[nodiscard]] Status guarded_step(const Vector<double>& z,
-                                    const Vector<double>** out) {
+                                    const Vector<double>** out)
+      KALMMIND_REALTIME {
     const Vector<double>& x = filter_.step(z);
     *out = &x;
     for (std::size_t i = 0; i < x.size(); ++i) {

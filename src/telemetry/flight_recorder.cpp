@@ -123,15 +123,18 @@ void FlightRecorder::record_impl(FlightEvent& event) {
   event.detail[sizeof(event.detail) - 1] = '\0';
   Stripe& stripe = stripe_of(event.session);
   {
+    // kalmmind-lint: allow(RT2) audited stripe lock: 16-way striping keys on session id, so a session's writer never contends with other sessions, and the critical section is a map probe plus a 64-byte copy
     std::lock_guard<std::mutex> lock(stripe.mu);
     Ring& ring = stripe.rings[event.session];
     if (ring.events.empty()) {
+      // kalmmind-lint: allow(RT1) ring storage is allocated once, on a session's first event; every later record writes in place
       ring.events.resize(capacity());
     }
     ring.events[ring.next] = event;
     ring.next = (ring.next + 1) % ring.events.size();
     ++ring.total;
   }
+  // kalmmind-lint: allow(RT1,RT2) the events-total handle resolves once (function-local static); each record adds one relaxed atomic increment
   events_counter().add(1);
 }
 

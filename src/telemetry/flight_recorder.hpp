@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/realtime.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -138,13 +139,13 @@ class FlightRecorder {
 
   // Journal one event.  A zero timestamp is stamped with the tracer's
   // now_us() so callers only fill what they know.  No-op while !enabled().
-  void record(FlightEvent event) {
+  void record(FlightEvent event) KALMMIND_REALTIME {
     if (!enabled()) return;
     record_impl(event);
   }
   void record(FlightEventKind kind, std::uint64_t session, std::uint64_t step,
               std::uint64_t arg = 0, double value = 0.0,
-              const char* detail = nullptr) {
+              const char* detail = nullptr) KALMMIND_REALTIME {
     if (!enabled()) return;
     FlightEvent e;
     e.session = session;
@@ -158,7 +159,8 @@ class FlightRecorder {
   // Like record(), with session/step taken from the thread's
   // ScopedFlightSession context (0/0 when none is active).
   void record_here(FlightEventKind kind, std::uint64_t arg = 0,
-                   double value = 0.0, const char* detail = nullptr) {
+                   double value = 0.0,
+                   const char* detail = nullptr) KALMMIND_REALTIME {
     if (!enabled()) return;
     const detail::FlightContext& ctx = detail::flight_context();
     FlightEvent e;

@@ -1,6 +1,6 @@
 // Suppression fixture: allow-file(R3) silences every literal finding in
 // the file; the test asserts zero findings.
-// kalmmind-lint: allow-file(R3)
+// kalmmind-lint: allow-file(R3) fixture exercises whole-file suppression
 #pragma once
 namespace fx {
 inline int scale(int x) { return int(x * 2.5); }

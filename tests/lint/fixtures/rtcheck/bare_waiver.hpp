@@ -1,0 +1,15 @@
+// rtcheck fixture: an allow(RT1) with no justification must NOT silence
+// the finding; the report appends a "waiver ignored" note instead.
+#pragma once
+#include <vector>
+namespace fx {
+class BareCache {
+ public:
+  void step() KALMMIND_REALTIME {
+    ring_.push_back(1);  // kalmmind-lint: allow(RT1)
+  }
+
+ private:
+  std::vector<int> ring_;
+};
+}  // namespace fx

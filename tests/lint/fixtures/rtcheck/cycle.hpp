@@ -1,0 +1,22 @@
+// rtcheck fixture: mutual recursion reachable from a root.  The BFS must
+// terminate and still report the one genuine violation inside the cycle.
+#pragma once
+namespace fx {
+
+inline void pong(int n);
+
+inline void ping(int n) {
+  if (n > 0) pong(n - 1);
+}
+
+inline void pong(int n) {
+  if (n > 0) ping(n - 1);
+  throw n;
+}
+
+class Loop {
+ public:
+  void step() KALMMIND_REALTIME { ping(3); }
+};
+
+}  // namespace fx

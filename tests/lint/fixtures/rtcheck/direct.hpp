@@ -1,0 +1,14 @@
+// rtcheck fixture: a realtime root violating RT1 in its own body.  The
+// test pins the exact line and the single-element chain.
+#pragma once
+namespace fx {
+class DirectFilter {
+ public:
+  void step() KALMMIND_REALTIME {
+    data_ = new int[4];
+  }
+
+ private:
+  int* data_ = nullptr;
+};
+}  // namespace fx

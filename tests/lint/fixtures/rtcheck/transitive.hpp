@@ -1,0 +1,23 @@
+// rtcheck fixture: the violation sits two call edges below the annotated
+// root.  The test pins the full reported chain root -> helper -> leaf and
+// the exact line of the allocation.
+#pragma once
+namespace fx {
+
+inline int* leaf_alloc() {
+  return new int[8];
+}
+
+inline int* helper() {
+  return leaf_alloc();
+}
+
+class Pipeline {
+ public:
+  void step() KALMMIND_REALTIME { buf_ = helper(); }
+
+ private:
+  int* buf_ = nullptr;
+};
+
+}  // namespace fx

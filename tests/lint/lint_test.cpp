@@ -157,6 +157,34 @@ TEST(LintSuppression, AllowLineSilencesOnlyThatLine) {
       << kalmmind::lint::format_findings(findings);
 }
 
+TEST(LintR6, BareAllowIsItselfAFinding) {
+  const std::string content =
+      "void* setup() {\n"
+      "  return new int[4];  // kalmmind-lint: allow(R1)\n"
+      "}\n";
+  auto findings =
+      kalmmind::lint::lint_file("src/hlskernel/bare.cpp", content);
+  EXPECT_EQ(keys(findings), (Keys{{"R6", 2}}))
+      << kalmmind::lint::format_findings(findings);
+}
+
+TEST(LintR6, BareAllowFileIsFlaggedAndJustifiedOnesAreNot) {
+  const std::string content =
+      "// kalmmind-lint: allow-file(R3)\n"
+      "int x = int(2.5);\n";
+  auto findings =
+      kalmmind::lint::lint_file("src/fixedpoint/bare.hpp", content);
+  EXPECT_EQ(keys(findings), (Keys{{"R6", 1}}))
+      << kalmmind::lint::format_findings(findings);
+
+  const std::string justified =
+      "// kalmmind-lint: allow-file(R3) fixture data, not arithmetic\n"
+      "int x = int(2.5);\n";
+  auto clean =
+      kalmmind::lint::lint_file("src/fixedpoint/ok.hpp", justified);
+  EXPECT_TRUE(clean.empty()) << kalmmind::lint::format_findings(clean);
+}
+
 TEST(LintClean, CleanKernelFixtureHasNoFindings) {
   auto findings = lint_fixture("clean/hlskernel/clean_kernel.hpp");
   EXPECT_TRUE(findings.empty())

@@ -1,0 +1,380 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace kalmmind::lint {
+
+std::string FunctionDef::display() const {
+  std::string out;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (i == 0 && segs[i] == "kalmmind") continue;  // implied project root
+    if (!out.empty()) out += "::";
+    out += segs[i];
+  }
+  return out;
+}
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::set<std::string>& non_call_keywords() {
+  static const std::set<std::string> kw = {
+      "if",       "for",      "while",     "switch",        "catch",
+      "return",   "co_return","sizeof",    "static_assert", "assert",
+      "defined",  "noexcept", "alignof",   "alignas",       "decltype",
+      "operator", "this",     "new",       "delete",        "throw",
+      "else",     "do",       "case",      "template",      "typename",
+      "requires", "constexpr"};
+  return kw;
+}
+
+// Scan backwards from `pos` (exclusive) over an optional `<...>` template
+// argument group and a `::`-qualified identifier.  Returns the segments
+// (outermost first) or empty when no identifier precedes `pos`; when
+// `begin_out` is given it receives the offset of the identifier's first
+// character.
+std::vector<std::string> ident_before(const std::string& text,
+                                      std::size_t pos,
+                                      std::size_t* begin_out = nullptr) {
+  std::size_t i = pos;
+  while (i > 0 && (text[i - 1] == ' ' || text[i - 1] == '\t' ||
+                   text[i - 1] == '\n')) {
+    --i;
+  }
+  // Skip one balanced <...> group (template arguments on the callee).
+  if (i > 0 && text[i - 1] == '>') {
+    int depth = 0;
+    std::size_t j = i;
+    while (j > 0) {
+      const char c = text[j - 1];
+      if (c == '>') ++depth;
+      if (c == '<' && --depth == 0) {
+        --j;
+        break;
+      }
+      // A template argument list has no parens/semicolons in this repo;
+      // bail out if this looks like a comparison instead.
+      if (c == '(' || c == ')' || c == ';' || c == '{' || c == '}') {
+        return {};
+      }
+      --j;
+    }
+    if (depth != 0) return {};
+    i = j;
+  }
+  std::vector<std::string> segs;
+  for (;;) {
+    std::size_t end = i;
+    while (i > 0 && ident_char(text[i - 1])) --i;
+    if (end == i) return {};  // no identifier here
+    segs.insert(segs.begin(), text.substr(i, end - i));
+    if (i >= 2 && text[i - 1] == ':' && text[i - 2] == ':') {
+      i -= 2;
+      // `::foo` with nothing before it (global qualifier): stop.
+      if (i == 0 || !ident_char(text[i - 1])) break;
+      continue;
+    }
+    break;
+  }
+  if (!segs.empty() &&
+      std::isdigit(static_cast<unsigned char>(segs.front()[0]))) {
+    return {};
+  }
+  if (begin_out != nullptr) *begin_out = i;
+  return segs;
+}
+
+// Is the identifier starting at `begin` a member-access expression
+// (`recv.name` / `recv->name`)?  If so, also extract the receiver ident
+// when it is trivially visible (not `)`/`]` from a call or index).
+bool member_access_before(const std::string& text, std::size_t begin,
+                          std::string* receiver, bool* arrow = nullptr) {
+  std::size_t i = begin;
+  if (i >= 1 && text[i - 1] == '.') {
+    i -= 1;
+  } else if (i >= 2 && text[i - 1] == '>' && text[i - 2] == '-') {
+    i -= 2;
+    if (arrow != nullptr) *arrow = true;
+  } else {
+    return false;
+  }
+  std::size_t end = i;
+  while (i > 0 && ident_char(text[i - 1])) --i;
+  if (end > i) *receiver = text.substr(i, end - i);
+  return true;
+}
+
+// The text since the last `{`, `}` or `;` — the scope header being opened.
+struct ChunkClass {
+  enum Kind { kNamespace, kClass, kFunction, kOther } kind = kOther;
+  std::vector<std::string> segs;  // namespace/class/function name segments
+  std::size_t name_pos = 0;       // offset of the function name in `text`
+  bool realtime = false;
+};
+
+// Find the first '(' at paren-depth 0 of the chunk that is directly
+// preceded by a (possibly qualified) identifier — the function-definition
+// heuristic shared with the R1 recursion scan.
+bool classify_function(const std::string& text, std::size_t begin,
+                       std::size_t end, ChunkClass& out) {
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (c == ')') {
+      if (depth > 0) --depth;
+      continue;
+    }
+    if (c != '(') continue;
+    if (depth > 0) {
+      ++depth;
+      continue;
+    }
+    std::size_t begin = 0;
+    auto segs = ident_before(text, i, &begin);
+    if (segs.empty() || non_call_keywords().count(segs.back())) {
+      ++depth;
+      continue;
+    }
+    // `cohort.push_back({...})` — a member-access expression with a
+    // brace-init argument is a call, never a definition.
+    std::string receiver;
+    if (member_access_before(text, begin, &receiver)) {
+      ++depth;
+      continue;
+    }
+    out.kind = ChunkClass::kFunction;
+    out.segs = std::move(segs);
+    out.name_pos = i;
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_scopes(const std::string& name) {
+  std::vector<std::string> segs;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t pos = name.find("::", start);
+    if (pos == std::string::npos) {
+      if (start < name.size()) segs.push_back(name.substr(start));
+      break;
+    }
+    if (pos > start) segs.push_back(name.substr(start, pos - start));
+    start = pos + 2;
+  }
+  return segs;
+}
+
+ChunkClass classify_chunk(const std::string& text, std::size_t begin,
+                          std::size_t end) {
+  ChunkClass out;
+  const std::string chunk = text.substr(begin, end - begin);
+  out.realtime = chunk.find("KALMMIND_REALTIME") != std::string::npos;
+
+  // namespace header: `namespace a::b` (or anonymous) at the chunk's end.
+  {
+    std::size_t tail = chunk.find_last_not_of(" \t\n");
+    std::string trimmed =
+        tail == std::string::npos ? std::string() : chunk.substr(0, tail + 1);
+    std::size_t ns = trimmed.rfind("namespace");
+    if (ns != std::string::npos &&
+        (ns == 0 || !ident_char(trimmed[ns - 1]))) {
+      std::string after = trimmed.substr(ns + 9);
+      // Everything after `namespace` must be the (optional) name.
+      bool name_only = true;
+      std::string name;
+      for (char c : after) {
+        if (ident_char(c) || c == ':') {
+          name += c;
+        } else if (c != ' ' && c != '\t' && c != '\n') {
+          name_only = false;
+          break;
+        }
+      }
+      if (name_only) {
+        out.kind = ChunkClass::kNamespace;
+        out.segs = split_scopes(name);
+        return out;
+      }
+    }
+  }
+
+  if (classify_function(text, begin, end, out)) return out;
+
+  // class/struct/enum-class header: take the LAST keyword so template
+  // parameter lists (`template <class T>`) don't shadow the real name.
+  for (std::size_t pos = chunk.size(); pos > 0;) {
+    std::size_t c = chunk.rfind("class", pos - 1);
+    std::size_t s = chunk.rfind("struct", pos - 1);
+    std::size_t u = chunk.rfind("union", pos - 1);
+    std::size_t k = std::string::npos;
+    std::size_t klen = 0;
+    for (auto [p, len] : {std::pair{c, std::size_t(5)},
+                          std::pair{s, std::size_t(6)},
+                          std::pair{u, std::size_t(5)}}) {
+      if (p != std::string::npos && (k == std::string::npos || p > k)) {
+        k = p;
+        klen = len;
+      }
+    }
+    if (k == std::string::npos) break;
+    pos = k;
+    if (k > 0 && ident_char(chunk[k - 1])) continue;  // substring of ident
+    std::size_t i = k + klen;
+    while (i < chunk.size() && std::isspace(static_cast<unsigned char>(
+                                   chunk[i]))) {
+      ++i;
+    }
+    // Skip alignas(...) between the keyword and the name.
+    if (chunk.compare(i, 7, "alignas") == 0) {
+      std::size_t close = chunk.find(')', i);
+      if (close == std::string::npos) break;
+      i = close + 1;
+      while (i < chunk.size() && std::isspace(static_cast<unsigned char>(
+                                     chunk[i]))) {
+        ++i;
+      }
+    }
+    std::size_t name_begin = i;
+    while (i < chunk.size() && ident_char(chunk[i])) ++i;
+    if (i > name_begin) {
+      out.kind = ChunkClass::kClass;
+      out.segs = {chunk.substr(name_begin, i - name_begin)};
+      return out;
+    }
+    break;
+  }
+
+  out.kind = ChunkClass::kOther;
+  return out;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> extract_functions(
+    const std::string& rel_path, const std::vector<std::string>& code,
+    std::set<std::string>* class_names) {
+  // Flatten into one buffer, blanking preprocessor lines so `#if
+  // defined(X)` never reads as a call and conditional braces cannot
+  // unbalance the scope stack.
+  std::string text;
+  std::vector<std::size_t> line_start;
+  line_start.reserve(code.size());
+  for (const std::string& line : code) {
+    line_start.push_back(text.size());
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') {
+      text.append(line.size(), ' ');
+    } else {
+      text += line;
+    }
+    text += '\n';
+  }
+  auto line_of = [&](std::size_t off) {
+    auto it = std::upper_bound(line_start.begin(), line_start.end(), off);
+    return std::size_t(it - line_start.begin()) - 1;
+  };
+
+  struct Scope {
+    ChunkClass::Kind kind = ChunkClass::kOther;
+    std::size_t n_segs = 0;      // segments this scope pushed
+    std::size_t func_index = std::size_t(-1);
+  };
+  std::vector<Scope> stack;
+  std::vector<std::string> scope_segs;
+  std::vector<FunctionDef> funcs;
+  struct Extent {
+    std::size_t begin = 0, end = 0;  // body offsets (exclusive of braces)
+  };
+  std::vector<Extent> extents;
+
+  std::size_t chunk_begin = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == ';') {
+      chunk_begin = i + 1;
+    } else if (c == '{') {
+      ChunkClass cc = classify_chunk(text, chunk_begin, i);
+      Scope scope;
+      scope.kind = cc.kind;
+      if (cc.kind == ChunkClass::kNamespace || cc.kind == ChunkClass::kClass) {
+        if (cc.kind == ChunkClass::kClass && class_names != nullptr) {
+          for (const auto& s : cc.segs) class_names->insert(s);
+        }
+        scope.n_segs = cc.segs.size();
+        for (auto& s : cc.segs) scope_segs.push_back(std::move(s));
+      } else if (cc.kind == ChunkClass::kFunction) {
+        FunctionDef fn;
+        fn.segs = scope_segs;
+        for (auto& s : cc.segs) fn.segs.push_back(std::move(s));
+        fn.file = rel_path;
+        fn.line = line_of(cc.name_pos);
+        fn.body_begin = line_of(i);
+        fn.realtime = cc.realtime;
+        scope.func_index = funcs.size();
+        funcs.push_back(std::move(fn));
+        extents.push_back({i + 1, i + 1});
+      }
+      stack.push_back(scope);
+      chunk_begin = i + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        const Scope& scope = stack.back();
+        if (scope.func_index != std::size_t(-1)) {
+          funcs[scope.func_index].body_end = line_of(i);
+          extents[scope.func_index].end = i;
+        }
+        scope_segs.resize(scope_segs.size() - scope.n_segs);
+        stack.pop_back();
+      }
+      chunk_begin = i + 1;
+    }
+  }
+  // Unterminated bodies (truncated file): close at EOF.
+  for (std::size_t f = 0; f < funcs.size(); ++f) {
+    if (extents[f].end < extents[f].begin) {
+      extents[f].end = text.size();
+      funcs[f].body_end = code.empty() ? 0 : code.size() - 1;
+    }
+  }
+
+  // Call-site extraction: find `ident(` / `a::b(` / `ident<T>(` matches and
+  // attribute each to the innermost function body containing it.
+  auto owner_of = [&](std::size_t off) {
+    std::size_t best = std::size_t(-1);
+    std::size_t best_span = std::size_t(-1);
+    for (std::size_t f = 0; f < funcs.size(); ++f) {
+      if (off < extents[f].begin || off >= extents[f].end) continue;
+      const std::size_t span = extents[f].end - extents[f].begin;
+      if (span < best_span) {
+        best = f;
+        best_span = span;
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '(') continue;
+    std::size_t begin = 0;
+    auto segs = ident_before(text, i, &begin);
+    if (segs.empty() || non_call_keywords().count(segs.back())) continue;
+    const std::size_t owner = owner_of(i);
+    if (owner == std::size_t(-1)) continue;
+    CallSite site;
+    site.line = line_of(i);
+    site.member_access =
+        member_access_before(text, begin, &site.receiver, &site.arrow);
+    site.segs = std::move(segs);
+    funcs[owner].calls.push_back(std::move(site));
+  }
+
+  return funcs;
+}
+
+}  // namespace kalmmind::lint

@@ -1,0 +1,67 @@
+// Heuristic function-level call-graph extraction for kalmmind-rtcheck.
+//
+// This is not a compiler: it is a brace-and-regex scanner over the same
+// comment-stripped text the line linter uses, tuned to the repo's idiom
+// (clang-format'ed C++20, one class per scope, no macros that open
+// braces).  It recovers, per translation unit:
+//
+//   * function *definitions* with their scope-qualified names
+//     (`kalmmind::kalman::KalmanFilter::step`), body extents, and whether
+//     the signature carries the KALMMIND_REALTIME annotation;
+//   * call sites inside each body, with whatever qualifier the call spells
+//     (`linalg::multiply_into`, `invert_into`, `detail::classic_seed_into`).
+//
+// Call resolution is name-based and deliberately conservative: an
+// unqualified call resolves to *every* known function with that terminal
+// name (virtual dispatch, overloads and shadowing all collapse to the
+// union), while a qualified call only resolves to functions whose
+// qualified name ends with the spelled segments — which is what keeps
+// `linalg::multiply_into` from resolving into `linalg::naive::
+// multiply_into`.  Unknown names (std::, libc, not-yet-seen) resolve to
+// nothing and end the walk, mirroring how RTSan treats uninstrumented
+// leaves.  The known blind spots — operator overloads, implicit
+// copy-assignment, destructors — are why the dynamic RTSan pass
+// (KALMMIND_RTSAN) exists as the complementary oracle.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kalmmind::lint {
+
+struct CallSite {
+  std::size_t line = 0;            // 0-based line index in the file
+  std::vector<std::string> segs;   // qualifier segments + terminal name
+  bool member_access = false;      // spelled `recv.name(` or `recv->name(`
+  bool arrow = false;              // `->` (pointer/smart-pointer) access
+  std::string receiver;            // the `recv` ident when trivially visible
+};
+
+struct FunctionDef {
+  std::vector<std::string> segs;  // enclosing scopes + name, outermost first
+  std::string file;               // rel path (generic) of the definition
+  std::size_t file_index = 0;     // index into the analyzer's file list
+  std::size_t line = 0;           // 0-based line index of the signature
+  std::size_t body_begin = 0;     // 0-based line of the opening brace
+  std::size_t body_end = 0;       // 0-based line of the closing brace
+  bool realtime = false;          // signature carries KALMMIND_REALTIME
+  std::vector<CallSite> calls;
+
+  const std::string& short_name() const { return segs.back(); }
+  // Human-readable qualified name without the project root namespace.
+  std::string display() const;
+};
+
+// Extract every function definition (with call sites) from one file.
+// `code` is the comment/literal-stripped text (source_model.hpp);
+// line indexes refer into it.  When `class_names` is given, every
+// class/struct scope name encountered is added to it — the analyzer uses
+// the set to tell member functions from free functions across files
+// (out-of-line definitions included).
+std::vector<FunctionDef> extract_functions(
+    const std::string& rel_path, const std::vector<std::string>& code,
+    std::set<std::string>* class_names = nullptr);
+
+}  // namespace kalmmind::lint

@@ -1,146 +1,17 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "source_model.hpp"
+
 namespace kalmmind::lint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Preprocessing: split into lines, strip comments and string/char literal
-// contents (replaced by spaces so columns and line numbers stay stable).
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-// State machine over the whole file; comment and literal *contents* become
-// spaces, delimiters are kept so expressions stay recognizable.
-std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
-  enum class State { kCode, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  for (const std::string& line : raw) {
-    std::string s(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kCode:
-          if (c == '/' && next == '/') {
-            i = line.size();  // rest of line is comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == '"') {
-            s[i] = '"';
-            state = State::kString;
-          } else if (c == '\'') {
-            s[i] = '\'';
-            state = State::kChar;
-          } else {
-            s[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kCode;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            s[i] = '"';
-            state = State::kCode;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            s[i] = '\'';
-            state = State::kCode;
-          }
-          break;
-      }
-    }
-    // A // comment or an unterminated literal ends with the line for our
-    // purposes (line continuations in macros are rare enough to ignore).
-    if (state == State::kString || state == State::kChar) state = State::kCode;
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: `kalmmind-lint: allow(R1,R3)` on a raw line silences those
-// rules for that line; `allow-file(...)` in the first 40 lines silences them
-// for the whole file.
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  std::set<std::string> file_rules;
-  std::vector<std::set<std::string>> line_rules;  // per line
-
-  bool allows(const std::string& rule, std::size_t line_idx) const {
-    if (file_rules.count(rule)) return true;
-    return line_idx < line_rules.size() && line_rules[line_idx].count(rule);
-  }
-};
-
-std::set<std::string> parse_rule_list(const std::string& text,
-                                      std::size_t paren_open) {
-  std::set<std::string> rules;
-  const std::size_t close = text.find(')', paren_open);
-  if (close == std::string::npos) return rules;
-  std::string inside = text.substr(paren_open + 1, close - paren_open - 1);
-  std::string token;
-  std::istringstream iss(inside);
-  while (std::getline(iss, token, ',')) {
-    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
-                token.end());
-    if (!token.empty()) rules.insert(token);
-  }
-  return rules;
-}
-
-Suppressions parse_suppressions(const std::vector<std::string>& raw) {
-  Suppressions sup;
-  sup.line_rules.resize(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    const std::string& line = raw[i];
-    if (std::size_t p = line.find("kalmmind-lint: allow-file(");
-        p != std::string::npos && i < 40) {
-      auto rules = parse_rule_list(line, line.find('(', p));
-      sup.file_rules.insert(rules.begin(), rules.end());
-    } else if (std::size_t q = line.find("kalmmind-lint: allow(");
-               q != std::string::npos) {
-      sup.line_rules[i] = parse_rule_list(line, line.find('(', q));
-    }
-  }
-  return sup;
-}
 
 // ---------------------------------------------------------------------------
 // R1: HLS-synthesizable subset.
@@ -449,16 +320,31 @@ void check_faults_gate(const std::vector<std::string>& raw,
   }
 }
 
+// ---------------------------------------------------------------------------
+// R6: suppression justification.
+// ---------------------------------------------------------------------------
+
+// Every allow()/allow-file() must carry a non-empty justification after the
+// closing parenthesis (docs/static_analysis.md).  R6 itself cannot be
+// suppressed — a waiver of the waiver rule would be circular.
+void check_suppression_justification(const Suppressions& sup,
+                                     const std::filesystem::path& rel_path,
+                                     std::vector<Finding>& out) {
+  for (const Suppression& s : sup.entries) {
+    if (!s.justification.empty()) continue;
+    const char* form = s.file_level ? "allow-file" : "allow";
+    out.push_back({rel_path.generic_string(), int(s.line) + 1, "R6",
+                   std::string("suppression '") + form +
+                       "(...)' carries no justification after the closing "
+                       "parenthesis"});
+  }
+}
+
 bool has_segment(const std::filesystem::path& p, const char* segment) {
   for (const auto& part : p) {
     if (part == segment) return true;
   }
   return false;
-}
-
-bool lintable_extension(const std::filesystem::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
 }
 
 }  // namespace
@@ -486,6 +372,8 @@ std::vector<Finding> lint_file(const std::filesystem::path& rel_path,
   if (rules.telemetry_guard)
     check_telemetry_guard(raw, code, rel_path, sup, out);
   if (rules.fault_gate) check_faults_gate(raw, code, rel_path, sup, out);
+  if (rules.suppression_justification)
+    check_suppression_justification(sup, rel_path, out);
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -497,22 +385,7 @@ std::vector<Finding> lint_dir(const std::filesystem::path& root,
                               const std::filesystem::path& dir,
                               std::vector<Finding>& out) {
   namespace fs = std::filesystem;
-  if (!fs::exists(dir)) return out;
-  std::vector<fs::path> files;
-  for (auto it = fs::recursive_directory_iterator(dir);
-       it != fs::recursive_directory_iterator(); ++it) {
-    const fs::path& p = it->path();
-    const std::string name = p.filename().string();
-    if (it->is_directory() &&
-        (name == "fixtures" || name == ".git" ||
-         name.rfind("build", 0) == 0)) {
-      it.disable_recursion_pending();
-      continue;
-    }
-    if (it->is_regular_file() && lintable_extension(p)) files.push_back(p);
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& p : files) {
+  for (const fs::path& p : collect_sources(dir)) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
@@ -535,6 +408,34 @@ std::string format_findings(const std::vector<Finding>& findings) {
   for (const Finding& f : findings) {
     ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
        << "\n";
+  }
+  return ss.str();
+}
+
+std::string format_findings_json(const std::vector<Finding>& findings) {
+  std::ostringstream ss;
+  ss << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    ss << (i ? ",\n " : "\n ") << "{\"file\":\"" << json_escape(f.file)
+       << "\",\"line\":" << f.line << ",\"rule\":\"" << json_escape(f.rule)
+       << "\",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  ss << (findings.empty() ? "]" : "\n]");
+  ss << "\n";
+  return ss.str();
+}
+
+std::string format_findings_github(const std::vector<Finding>& findings) {
+  // GitHub Actions workflow commands: one ::error annotation per finding.
+  // Message text must keep to one line; the file path is repo-relative,
+  // which is what the annotation API expects.
+  std::ostringstream ss;
+  for (const Finding& f : findings) {
+    std::string msg = f.message;
+    std::replace(msg.begin(), msg.end(), '\n', ' ');
+    ss << "::error file=" << f.file << ",line=" << f.line
+       << ",title=kalmmind-lint " << f.rule << "::" << msg << "\n";
   }
   return ss.str();
 }

@@ -23,11 +23,21 @@
 //                         drives) must sit inside a preprocessor region
 //                         conditioned on KALMMIND_FAULTS, so release
 //                         builds compile the chaos machinery out entirely.
+//   R6  suppression-      every allow()/allow-file() comment carries a
+//       justification     non-empty justification after the closing
+//                         parenthesis; a waiver nobody can audit is a
+//                         waiver nobody can trust.  R6 itself cannot be
+//                         suppressed.
 //
 // Suppression syntax (inside a comment, scanned on the raw line):
-//   // kalmmind-lint: allow(R1)        — this line only
-//   // kalmmind-lint: allow-file(R3)   — whole file (first 40 lines)
-// Multiple rules: allow(R1,R3).
+//   code;  // kalmmind-lint: allow(R1) why it is fine — this line only
+//   // kalmmind-lint: allow(R1) why it is fine        — on a comment-only
+//                                                       line: the NEXT line
+//   // kalmmind-lint: allow-file(R3) why it is fine   — whole file
+//                                                       (first 40 lines)
+// Multiple rules: allow(R1,R3).  The call-graph analyzer
+// (kalmmind-rtcheck, see rtcheck.hpp) shares this syntax for its RT1-RT5
+// waivers but additionally refuses bare waivers outright.
 //
 // The analysis is line-oriented and heuristic by design: it runs on every
 // commit in well under a second, needs no compiler, and the rules are
@@ -44,7 +54,7 @@ namespace kalmmind::lint {
 struct Finding {
   std::string file;  // path as given (relative to the lint root)
   int line = 0;      // 1-based
-  std::string rule;  // "R1".."R4"
+  std::string rule;  // "R1".."R6"
   std::string message;
 };
 
@@ -55,6 +65,7 @@ struct RuleSet {
   bool fixed_literal = false;     // R3: path contains a "fixedpoint" segment
   bool telemetry_guard = true;    // R4: off inside src/telemetry/
   bool fault_gate = true;         // R5: everywhere the linter runs
+  bool suppression_justification = true;  // R6: everywhere
 };
 
 // Classify a (relative) path into the rules that apply to it.
@@ -76,5 +87,11 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root);
 
 // "path:line: [R1] message" per finding.
 std::string format_findings(const std::vector<Finding>& findings);
+
+// Machine-readable outputs shared by the lint and rtcheck CLIs: a JSON
+// array of {file,line,rule,message} objects, and GitHub Actions ::error
+// workflow commands (one annotation per finding).
+std::string format_findings_json(const std::vector<Finding>& findings);
+std::string format_findings_github(const std::vector<Finding>& findings);
 
 }  // namespace kalmmind::lint

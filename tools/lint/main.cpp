@@ -32,9 +32,15 @@ void print_rules() {
   R4  telemetry-guard    outside src/telemetry/: include the umbrella
                          telemetry/telemetry.hpp, and guard tracer
                          .complete/.counter/.instant calls with enabled().
+  R5  fault-gate         fault-injection hooks stay behind KALMMIND_FAULTS
+                         preprocessor regions.
+  R6  suppression-       every allow()/allow-file() carries a non-empty
+      justification      justification after the closing parenthesis.
+                         R6 itself cannot be suppressed.
 suppressions:
-  // kalmmind-lint: allow(R1,R3)     this line
-  // kalmmind-lint: allow-file(R3)   whole file (first 40 lines)
+  // kalmmind-lint: allow(R1,R3) why it is fine     this line
+  // kalmmind-lint: allow-file(R3) why it is fine   whole file
+                                                    (first 40 lines)
 )";
 }
 
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   fs::path root = ".";
   bool quiet = false;
+  bool json = false;
+  bool github = false;
   std::vector<fs::path> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -59,9 +67,13 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--quiet" || arg == "-q") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--github") {
+      github = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: kalmmind-lint [--root DIR] [--list-rules] [-q] "
-                   "[paths...]\n";
+      std::cout << "usage: kalmmind-lint [--root DIR] [--list-rules] "
+                   "[--json] [--github] [-q] [paths...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "kalmmind-lint: unknown option " << arg << "\n";
@@ -103,10 +115,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!findings.empty()) {
+  if (json) {
+    std::cout << kalmmind::lint::format_findings_json(findings);
+  } else if (github) {
+    std::cout << kalmmind::lint::format_findings_github(findings);
+  } else if (!findings.empty()) {
     std::cout << kalmmind::lint::format_findings(findings);
   }
-  if (!quiet) {
+  if (!quiet && !json) {
     std::cout << "kalmmind-lint: " << findings.size() << " finding(s)\n";
   }
   return findings.empty() ? 0 : 1;

@@ -1,0 +1,241 @@
+#include "source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace kalmmind::lint {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw) {
+  enum class State { kCode, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string s(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of line is comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            s[i] = '"';
+            state = State::kString;
+          } else if (c == '\'') {
+            s[i] = '\'';
+            state = State::kChar;
+          } else {
+            s[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            s[i] = '"';
+            state = State::kCode;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            s[i] = '\'';
+            state = State::kCode;
+          }
+          break;
+      }
+    }
+    // A // comment or an unterminated literal ends with the line for our
+    // purposes (line continuations in macros are rare enough to ignore).
+    if (state == State::kString || state == State::kChar) state = State::kCode;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Parse one `allow(...)` occurrence: the rule list inside the parens plus
+// the justification text after the closing paren (stripped of a trailing
+// block-comment close).
+bool parse_allow(const std::string& line, std::size_t paren_open,
+                 Suppression& out) {
+  const std::size_t close = line.find(')', paren_open);
+  if (close == std::string::npos) return false;
+  std::string inside = line.substr(paren_open + 1, close - paren_open - 1);
+  std::istringstream iss(inside);
+  std::string token;
+  while (std::getline(iss, token, ',')) {
+    token.erase(std::remove_if(token.begin(), token.end(), ::isspace),
+                token.end());
+    if (!token.empty()) out.rules.insert(token);
+  }
+  std::string rest = line.substr(close + 1);
+  if (std::size_t star = rest.rfind("*/"); star != std::string::npos) {
+    rest = rest.substr(0, star);
+  }
+  out.justification = trim(rest);
+  return true;
+}
+
+}  // namespace
+
+bool Suppressions::allows(const std::string& rule, std::size_t line_idx,
+                          bool require_justification) const {
+  for (const Suppression& s : entries) {
+    if (!s.rules.count(rule)) continue;
+    if (!s.file_level && s.line != line_idx) continue;
+    if (require_justification && s.justification.empty()) continue;
+    return true;
+  }
+  return false;
+}
+
+const Suppression* Suppressions::find(const std::string& rule,
+                                      std::size_t line_idx) const {
+  const Suppression* bare = nullptr;
+  for (const Suppression& s : entries) {
+    if (!s.rules.count(rule)) continue;
+    if (!s.file_level && s.line != line_idx) continue;
+    if (!s.justification.empty()) return &s;
+    if (bare == nullptr) bare = &s;
+  }
+  return bare;
+}
+
+const Suppression* Suppressions::find_prefix(const std::string& prefix,
+                                             std::size_t line_idx) const {
+  const Suppression* bare = nullptr;
+  for (const Suppression& s : entries) {
+    if (!s.file_level && s.line != line_idx) continue;
+    bool named = false;
+    for (const std::string& r : s.rules) {
+      if (r.rfind(prefix, 0) == 0) {
+        named = true;
+        break;
+      }
+    }
+    if (!named) continue;
+    if (!s.justification.empty()) return &s;
+    if (bare == nullptr) bare = &s;
+  }
+  return bare;
+}
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw) {
+  Suppressions sup;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& line = raw[i];
+    // A waiver on a comment-only line governs the NEXT line, so long
+    // justifications don't force 200-column code lines; a trailing waiver
+    // governs its own line (the original form).
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool comment_only =
+        first != std::string::npos && line[first] == '/' &&
+        first + 1 < line.size() &&
+        (line[first + 1] == '/' || line[first + 1] == '*');
+    if (std::size_t p = line.find("kalmmind-lint: allow-file(");
+        p != std::string::npos && i < 40) {
+      Suppression s;
+      s.file_level = true;
+      s.line = i;
+      if (parse_allow(line, line.find('(', p), s)) {
+        sup.entries.push_back(std::move(s));
+      }
+    } else if (std::size_t q = line.find("kalmmind-lint: allow(");
+               q != std::string::npos) {
+      Suppression s;
+      s.line = comment_only ? i + 1 : i;
+      if (parse_allow(line, line.find('(', q), s)) {
+        sup.entries.push_back(std::move(s));
+      }
+    }
+  }
+  return sup;
+}
+
+bool lintable_extension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  if (!fs::exists(dir)) return files;
+  for (auto it = fs::recursive_directory_iterator(dir);
+       it != fs::recursive_directory_iterator(); ++it) {
+    const fs::path& p = it->path();
+    const std::string name = p.filename().string();
+    if (it->is_directory() &&
+        (name == "fixtures" || name == ".git" ||
+         name.rfind("build", 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && lintable_extension(p)) files.push_back(p);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace kalmmind::lint

@@ -1,0 +1,71 @@
+// Shared source-model machinery for the kalmmind static analyzers
+// (kalmmind-lint's line rules and kalmmind-rtcheck's call-graph pass).
+//
+// Both tools work on the same textual model of a C++ translation unit:
+//   * raw lines — exactly as read, used for suppression comments and for
+//     patterns that live inside string literals (#include paths);
+//   * code lines — comments and string/char literal *contents* replaced by
+//     spaces (delimiters kept) so expressions stay recognizable and line
+//     numbers stable;
+//   * suppressions — `kalmmind-lint: allow(R1,RT2) justification` comments,
+//     parsed with their justification text so rule R6 and the rtcheck
+//     waiver audit can enforce the justification contract.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace kalmmind::lint {
+
+// Split on '\n'; a trailing newline does not produce an empty final line.
+std::vector<std::string> split_lines(const std::string& text);
+
+// State machine over the whole file; comment and literal contents become
+// spaces, delimiters are kept.
+std::vector<std::string> strip_comments(const std::vector<std::string>& raw);
+
+// One `kalmmind-lint: allow(...)` / `allow-file(...)` comment.
+struct Suppression {
+  std::set<std::string> rules;
+  std::string justification;  // trimmed text after the closing paren
+  bool file_level = false;    // allow-file(...) in the first 40 lines
+  std::size_t line = 0;       // 0-based line index of the comment
+};
+
+struct Suppressions {
+  std::vector<Suppression> entries;
+
+  // Does any suppression (file-level or on `line_idx`) cover `rule`?
+  // `require_justification` is the rtcheck contract: a bare waiver does
+  // not count.
+  bool allows(const std::string& rule, std::size_t line_idx,
+              bool require_justification = false) const;
+
+  // The suppression that covers (rule, line_idx), or nullptr.  Justified
+  // entries win over bare ones so rtcheck can honor a justified line
+  // waiver even when a bare one also matches.
+  const Suppression* find(const std::string& rule,
+                          std::size_t line_idx) const;
+
+  // Any suppression naming a rule with prefix `prefix` on this line
+  // (rtcheck skips a whole line covered by a justified RT waiver).
+  const Suppression* find_prefix(const std::string& prefix,
+                                 std::size_t line_idx) const;
+};
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw);
+
+// .hpp/.cpp/.h/.cc
+bool lintable_extension(const std::filesystem::path& p);
+
+// Recursively collect lintable files under `dir`, sorted, skipping build
+// trees, fixture directories, and .git.
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& dir);
+
+// Minimal JSON string escaping for the --json finding outputs.
+std::string json_escape(const std::string& s);
+
+}  // namespace kalmmind::lint
