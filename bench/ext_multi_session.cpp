@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "linalg/simd/simd.hpp"
 #include "serve/serve.hpp"
 
 using namespace kalmmind;
@@ -196,15 +197,17 @@ int main() {
                  "  \"sessions\": %zu,\n"
                  "  \"bins\": %zu,\n"
                  "  \"workers\": %u,\n"
+                 "  \"simd_tier\": \"%s\",\n"
                  "  \"solo_steps_per_s\": %.1f,\n"
                  "  \"batched_steps_per_s\": %.1f,\n"
                  "  \"batched_speedup\": %.3f,\n"
                  "  \"batched_steps\": %zu,\n"
                  "  \"identical\": %s\n"
                  "}\n",
-                 spec.name.c_str(), fleet, bins, hw, solo.steps_per_s,
-                 batched.steps_per_s, batch_speedup, batched.batched_steps,
-                 all_identical ? "true" : "false");
+                 spec.name.c_str(), fleet, bins, hw,
+                 linalg::simd::tier_name(linalg::simd::active_tier()),
+                 solo.steps_per_s, batched.steps_per_s, batch_speedup,
+                 batched.batched_steps, all_identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
   }

@@ -9,14 +9,23 @@
 // live (tracing stays off, its opt-in default), Off flips the process-wide
 // telemetry::set_enabled kill switch.  With KALMMIND_TELEMETRY=OFF both
 // variants compile to the uninstrumented filter (docs/observability.md).
+//
+// The SIMD-dispatch tier series (BM_CovProductSyrkTier/<tier>,
+// BM_BatchedGemmX6Tier/<tier>) are registered at runtime, one per tier
+// usable on the host, so BENCH_kernels.json carries each tier as its own
+// series and scripts/bench_perf.sh can floor the vector tiers against the
+// scalar (PR4 blocked) baseline.  The custom context keys record the build
+// type and the dispatch resolution the numbers were taken under.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <utility>
 
 #include "fixedpoint/fixed.hpp"
 #include "kalman/factory.hpp"
 #include "kalman/filter.hpp"
 #include "linalg/linalg.hpp"
+#include "linalg/simd/simd.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace kalmmind::linalg;
@@ -348,6 +357,88 @@ void BM_FilterStepWorkspace(benchmark::State& state) {
 }
 BENCHMARK(BM_FilterStepWorkspace)->Arg(46)->Arg(164);
 
+// ---- runtime-dispatched SIMD tier series ----
+
+namespace simd = kalmmind::linalg::simd;
+
+// Forces a tier for one benchmark's duration and restores the previous
+// one, so the tier series cannot leak into later benchmarks.
+struct TierGuard {
+  explicit TierGuard(simd::Tier t) : prev(simd::active_tier()) {
+    simd::set_dispatch_tier(t);
+  }
+  ~TierGuard() { simd::set_dispatch_tier(prev); }
+  simd::Tier prev;
+};
+
+// The z x z innovation-covariance SYRK through the dispatch table with the
+// tier pinned — the kernel the serving covariance path spends its time in.
+void bench_syrk_tier(benchmark::State& state, simd::Tier tier) {
+  TierGuard guard(tier);
+  const std::size_t z_dim = std::size_t(state.range(0));
+  const std::size_t x_dim = 6;
+  Rng rng(3);
+  auto p_pred = random_spd<double>(x_dim, rng, 1.0).cast<float>();
+  auto h = random_matrix<float>(z_dim, x_dim, rng);
+  Matrix<float> hp, s;
+  multiply_into(hp, h, p_pred);
+  for (auto _ : state) {
+    multiply_bt_symmetric_into(s, hp, h);
+    benchmark::DoNotOptimize(s.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * z_dim * z_dim *
+                          x_dim);
+}
+
+// The batched x=6 small GEMM over an SoA session panel — the fused pass
+// BatchGroup::run_cohort pays per cohort (docs/serving.md).  double, like
+// the serving path.
+void bench_batched_gemm_tier(benchmark::State& state, simd::Tier tier) {
+  TierGuard guard(tier);
+  const std::size_t m = std::size_t(state.range(0));  // fleet width
+  const std::size_t x_dim = 6;
+  Rng rng(5);
+  auto f = random_matrix<double>(x_dim, x_dim, rng);
+  auto panel = random_matrix<double>(x_dim, m, rng);
+  Matrix<double> out;
+  for (auto _ : state) {
+    batched_multiply_into(out, f, panel);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * x_dim * x_dim *
+                          m);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Build-type stamp for scripts/bench_perf.sh: the checked-in baselines
+  // must come from an optimized build (the library_build_type key reflects
+  // how libbenchmark itself was built, not this binary).
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+  benchmark::AddCustomContext("kalmmind_build_type", "release");
+#else
+  benchmark::AddCustomContext("kalmmind_build_type", "debug");
+#endif
+  benchmark::AddCustomContext("kalmmind_simd_detected",
+                              simd::tier_name(simd::detect()));
+  benchmark::AddCustomContext("kalmmind_simd_active",
+                              simd::tier_name(simd::active_tier()));
+  for (const simd::Tier t : simd::available_tiers()) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_CovProductSyrkTier/") + simd::tier_name(t)).c_str(),
+        [t](benchmark::State& s) { bench_syrk_tier(s, t); })
+        ->Arg(46)
+        ->Arg(164);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BatchedGemmX6Tier/") + simd::tier_name(t)).c_str(),
+        [t](benchmark::State& s) { bench_batched_gemm_tier(s, t); })
+        ->Arg(32)
+        ->Arg(64);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,21 @@ case "$mode" in
 esac
 
 cmake -B build -S .
+
+# Refuse debug baselines outright: numbers from an unoptimized build are
+# not comparable to the checked-in JSON and must never overwrite it.  The
+# binary stamps kalmmind_build_type into its JSON context as a second gate
+# (the library_build_type key only reflects how libbenchmark was built).
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' build/CMakeCache.txt)"
+case "$build_type" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "bench_perf: refusing CMAKE_BUILD_TYPE='$build_type' build;" \
+         "reconfigure with -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+    ;;
+esac
+
 cmake --build build -j"$(nproc)" --target bench_micro_kernels
 
 ./build/bench/bench_micro_kernels \
@@ -53,6 +68,41 @@ print(f"syrk  {syrk:10.0f} ns")
 print(f"speedup {speedup:.2f}x (floor: 1.5x)")
 if speedup < 1.5:
     raise SystemExit("bench_perf: SYRK speedup below the 1.5x floor")
+EOF
+
+echo
+echo "== bench_perf: SIMD dispatch tiers (docs/performance.md) =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_kernels.json") as f:
+    data = json.load(f)
+if data["context"].get("kalmmind_build_type") != "release":
+    raise SystemExit(
+        "bench_perf: BENCH_kernels.json came from a non-release binary "
+        "(kalmmind_build_type != release); refusing the baseline")
+times = {b["name"]: b["real_time"] for b in data["benchmarks"]}
+
+# The vector tiers vs the PR4 blocked-scalar baseline, on the two series
+# the serving path cares about: the z=164 innovation-covariance SYRK and
+# the batched x=6 panel GEMM.  Floors only bind for tiers the host runs.
+floors = [
+    ("syrk z=164", "BM_CovProductSyrkTier/{}/164"),
+    ("batched x=6 gemm m=64", "BM_BatchedGemmX6Tier/{}/64"),
+]
+for label, pattern in floors:
+    scalar = times.get(pattern.format("scalar"))
+    if scalar is None:
+        raise SystemExit(f"bench_perf: scalar tier series missing ({label})")
+    for tier in ("avx2", "avx512", "neon"):
+        t = times.get(pattern.format(tier))
+        if t is None:
+            continue
+        speedup = scalar / t
+        print(f"{label:24s} {tier:7s} {speedup:5.2f}x vs scalar (floor: 1.3x)")
+        if speedup < 1.3:
+            raise SystemExit(
+                f"bench_perf: {tier} {label} below the 1.3x floor vs scalar")
 EOF
 
 cmake --build build -j"$(nproc)" --target bench_ext_multi_session

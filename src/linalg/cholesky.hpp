@@ -5,13 +5,22 @@
 #pragma once
 
 #include <cstddef>
+#include <type_traits>
 
 #include "linalg/errors.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd/scalar_kernels.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace kalmmind::linalg {
 
 // Lower-triangular factor L with A = L * L^t.
+//
+// Left-looking (column-at-a-time) order, dispatched per column through the
+// SIMD backend for float/double: column j only depends on columns < j, and
+// every element's subtraction chain still walks k ascending — the same
+// per-element arithmetic as the classic row-by-row loop, just computed in
+// column order so vector lanes can run down the rows below the diagonal.
 template <typename T>
 Matrix<T> cholesky_factor(const Matrix<T>& a) {
   if (!a.is_square()) {
@@ -19,19 +28,16 @@ Matrix<T> cholesky_factor(const Matrix<T>& a) {
   }
   const std::size_t n = a.rows();
   Matrix<T> l(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) {
-      T acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-      if (i == j) {
-        if (!(to_double(acc) > 0.0)) {
-          throw NotPositiveDefiniteError(
-              "cholesky_factor: non-positive diagonal at " + std::to_string(i));
-        }
-        l(i, j) = scalar_sqrt(acc);
-      } else {
-        l(i, j) = acc / l(j, j);
-      }
+  for (std::size_t j = 0; j < n; ++j) {
+    bool spd;
+    if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+      spd = simd::kernels<T>().chol_col(l.data(), a.data(), n, j);
+    } else {
+      spd = simd::scalar::chol_col(l.data(), a.data(), n, j);
+    }
+    if (!spd) {
+      throw NotPositiveDefiniteError(
+          "cholesky_factor: non-positive diagonal at " + std::to_string(j));
     }
   }
   return l;

@@ -5,10 +5,13 @@
 
 #include <cstddef>
 #include <numeric>
+#include <type_traits>
 #include <vector>
 
 #include "linalg/errors.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/simd/scalar_kernels.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace kalmmind::linalg {
 
@@ -97,11 +100,22 @@ LuDecomposition<T> lu_decompose(Matrix<T> a) {
       out.sign = -out.sign;
     }
     const T pivot = a(col, col);
+    // Elimination row update a(r, col+1..) -= factor * a(col, col+1..):
+    // elementwise, so it dispatches to the SIMD axpy_minus for
+    // float/double (each element is a single fused subtract — no
+    // accumulation order to preserve).
+    const T* pivot_row_tail = a.row(col) + col + 1;
+    const std::size_t tail = n - col - 1;
     for (std::size_t r = col + 1; r < n; ++r) {
       const T factor = a(r, col) / pivot;
       a(r, col) = factor;  // store L below the diagonal
       if (factor == T(0)) continue;
-      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+      T* target = a.row(r) + col + 1;
+      if constexpr (std::is_same_v<T, float> || std::is_same_v<T, double>) {
+        simd::kernels<T>().axpy_minus(target, factor, pivot_row_tail, tail);
+      } else {
+        simd::scalar::axpy_minus(target, factor, pivot_row_tail, tail);
+      }
     }
   }
   out.lu = std::move(a);

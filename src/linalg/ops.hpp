@@ -1,15 +1,22 @@
 // Dense kernels: matrix multiply (plain / transposed variants), the
 // SYRK-style symmetric covariance product, mat-vec, and small helpers.
 //
-// The heavy kernels are cache-blocked and register-tiled (kMr x kNr
-// accumulator tiles streamed over the shared dimension, kNc-column L2
-// panels) — see docs/performance.md for the parameter choices.  Every
-// kernel keeps the per-element accumulation order of the naive reference
-// (a single accumulator per output element, walking the shared dimension
-// in increasing order), so the only difference from the `naive` namespace
-// versions below is where the compiler contracts multiply-add into FMA —
-// a few ulps of each dot product, never a reordering;
-// tests/linalg/ops_test.cpp locks that in with ulp-scaled sweeps.
+// The heavy kernels route through the runtime-dispatched SIMD backend
+// (linalg/simd/simd.hpp): for float and double, each `_into` wrapper below
+// resolves the active KernelTable — selected once at load time by the
+// CPUID/arch probe, overridable with KALMMIND_SIMD= — and calls its
+// raw-pointer kernel.  Every other scalar type (the fixed-point formats,
+// etc.) takes the scalar-tier templates in linalg/simd/scalar_kernels.hpp
+// directly: the PR4 cache-blocked, register-tiled loops, unchanged.
+//
+// Numerical contract (docs/performance.md): every tier keeps the
+// per-element accumulation order of the naive reference (a single
+// accumulator per output element, walking the shared dimension in
+// increasing order), so the only difference from the `naive` namespace
+// versions below is FMA contraction — explicit in the vector tiers,
+// compiler-chosen in the scalar tier — a few ulps of each dot product,
+// never a reordering; tests/linalg/ops_test.cpp and
+// tests/linalg/simd_dispatch_test.cpp lock that in with ulp-scaled sweeps.
 //
 // Output contract: every `_into` kernel OVERWRITES its full output (it
 // never accumulates into prior contents) and sizes the output with
@@ -20,8 +27,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <stdexcept>
+#include <type_traits>
 
 #include "linalg/matrix.hpp"
+#include "linalg/simd/scalar_kernels.hpp"
+#include "linalg/simd/simd.hpp"
 
 namespace kalmmind::linalg {
 
@@ -31,136 +41,11 @@ inline void require(bool cond, const char* what) {
   if (!cond) throw std::invalid_argument(what);
 }
 
-// Blocking shape.  kMr rows of A are processed per strip: each loaded B
-// row is reused kMr times, and the strip's C rows (at most kMr * kNc
-// elements) stay L1-resident while the shared dimension streams by.  kNc
-// bounds the B panel touched per pass to keep it L2 resident on the
-// large-n DSE sweeps.  kNr is the dot-tile width of the transposed-B
-// kernels below.
-inline constexpr std::size_t kMr = 4;
-inline constexpr std::size_t kNr = 8;
-inline constexpr std::size_t kNc = 256;
-
-// Blocked C = A * B into a presized (resize_for_overwrite) output.
-//
-// Strip kernel: kMr rows of C are zeroed, then for each p the scalars
-// A(i..i+kMr, p) are broadcast against the contiguous row B(p, jc..jend)
-// — a unit-stride multiply-add the auto-vectorizer turns into wide FMAs
-// (register-array accumulator tiles defeat GCC's SLP pass; accumulating
-// into the L1-resident C strip does not).  Per output element this is
-// still one accumulator walked over p ascending — the naive order.
+// float/double go through the dispatched tables; everything else (the
+// fixed-point scalars) uses the scalar-tier templates directly.
 template <typename T>
-void gemm_nn(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t jc = 0; jc < n; jc += kNc) {
-    const std::size_t jend = std::min(jc + kNc, n);
-    const std::size_t w = jend - jc;
-    std::size_t i = 0;
-    for (; i + kMr <= m; i += kMr) {
-      const T* a0 = a.row(i);
-      const T* a1 = a.row(i + 1);
-      const T* a2 = a.row(i + 2);
-      const T* a3 = a.row(i + 3);
-      T* __restrict c0 = c.row(i) + jc;
-      T* __restrict c1 = c.row(i + 1) + jc;
-      T* __restrict c2 = c.row(i + 2) + jc;
-      T* __restrict c3 = c.row(i + 3) + jc;
-      for (std::size_t j = 0; j < w; ++j) {
-        c0[j] = T(0);
-        c1[j] = T(0);
-        c2[j] = T(0);
-        c3[j] = T(0);
-      }
-      for (std::size_t p = 0; p < k; ++p) {
-        const T* __restrict bp = b.row(p) + jc;
-        const T a0p = a0[p], a1p = a1[p], a2p = a2[p], a3p = a3[p];
-        for (std::size_t j = 0; j < w; ++j) {
-          const T bj = bp[j];
-          c0[j] += a0p * bj;
-          c1[j] += a1p * bj;
-          c2[j] += a2p * bj;
-          c3[j] += a3p * bj;
-        }
-      }
-    }
-    for (; i < m; ++i) {
-      const T* ai = a.row(i);
-      T* __restrict ci = c.row(i) + jc;
-      for (std::size_t j = 0; j < w; ++j) ci[j] = T(0);
-      for (std::size_t p = 0; p < k; ++p) {
-        const T aip = ai[p];
-        const T* __restrict bp = b.row(p) + jc;
-        for (std::size_t j = 0; j < w; ++j) ci[j] += aip * bp[j];
-      }
-    }
-  }
-}
-
-// Row-dot micro-kernel for C = A * B^t: a kMr x kMr tile of dot products
-// over contiguous rows of A and B.  Each element keeps its own
-// accumulator, p ascending.
-template <typename T>
-void gemm_nt(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  std::size_t i = 0;
-  for (; i + kMr <= m; i += kMr) {
-    const T* a0 = a.row(i);
-    const T* a1 = a.row(i + 1);
-    const T* a2 = a.row(i + 2);
-    const T* a3 = a.row(i + 3);
-    std::size_t j = 0;
-    for (; j + 2 <= n; j += 2) {
-      const T* bj0 = b.row(j);
-      const T* bj1 = b.row(j + 1);
-      T s00 = T(0), s01 = T(0), s10 = T(0), s11 = T(0);
-      T s20 = T(0), s21 = T(0), s30 = T(0), s31 = T(0);
-      for (std::size_t p = 0; p < k; ++p) {
-        const T b0 = bj0[p], b1 = bj1[p];
-        s00 += a0[p] * b0;
-        s01 += a0[p] * b1;
-        s10 += a1[p] * b0;
-        s11 += a1[p] * b1;
-        s20 += a2[p] * b0;
-        s21 += a2[p] * b1;
-        s30 += a3[p] * b0;
-        s31 += a3[p] * b1;
-      }
-      c.row(i)[j] = s00;
-      c.row(i)[j + 1] = s01;
-      c.row(i + 1)[j] = s10;
-      c.row(i + 1)[j + 1] = s11;
-      c.row(i + 2)[j] = s20;
-      c.row(i + 2)[j + 1] = s21;
-      c.row(i + 3)[j] = s30;
-      c.row(i + 3)[j + 1] = s31;
-    }
-    for (; j < n; ++j) {
-      const T* bj = b.row(j);
-      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
-      for (std::size_t p = 0; p < k; ++p) {
-        const T bp = bj[p];
-        s0 += a0[p] * bp;
-        s1 += a1[p] * bp;
-        s2 += a2[p] * bp;
-        s3 += a3[p] * bp;
-      }
-      c.row(i)[j] = s0;
-      c.row(i + 1)[j] = s1;
-      c.row(i + 2)[j] = s2;
-      c.row(i + 3)[j] = s3;
-    }
-  }
-  for (; i < m; ++i) {
-    const T* ai = a.row(i);
-    T* ci = c.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const T* bj = b.row(j);
-      T acc = T(0);
-      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-      ci[j] = acc;
-    }
-  }
-}
+inline constexpr bool kSimdDispatched =
+    std::is_same_v<T, float> || std::is_same_v<T, double>;
 }  // namespace detail
 
 // Reference kernels: the original unblocked loops, kept verbatim as the
@@ -231,8 +116,41 @@ template <typename T>
 void multiply_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(a.cols() == b.rows(), "multiply_into: inner dim mismatch");
   detail::require(&c != &a && &c != &b, "multiply_into: aliasing output");
-  c.resize_for_overwrite(a.rows(), b.cols());
-  detail::gemm_nn(c, a, b);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c.resize_for_overwrite(m, n);
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().gemm_nn(c.data(), a.data(), b.data(), m, k, n);
+  } else {
+    simd::scalar::gemm_nn(c.data(), a.data(), b.data(), m, k, n);
+  }
+}
+
+// Batched small-GEMM over an SoA panel: out(q x m) = coeff(q x k) *
+// panel(k x m), where m is the BATCH dimension (one column per session)
+// and coeff is a shared small operator (F, H, K at x = 6).  Shape-wise
+// this is multiply_into, but it dispatches through the table's dedicated
+// batched entry so tiers can specialize the serving path: vector lanes run
+// across the batch columns, amortizing one broadcast of the coefficient
+// across every session in the cohort — the layout strip-blocking cannot
+// exploit when the per-session matrices are only 6 wide.  Per output
+// element the accumulation order (and FMA policy) matches the solo gemv
+// path of the same tier, which is what makes BatchGroup's batched results
+// bit-identical to solo filter steps.
+template <typename T>
+void batched_multiply_into(Matrix<T>& out, const Matrix<T>& coeff,
+                           const Matrix<T>& panel) {
+  detail::require(coeff.cols() == panel.rows(),
+                  "batched_multiply_into: inner dim mismatch");
+  detail::require(&out != &coeff && &out != &panel,
+                  "batched_multiply_into: aliasing output");
+  const std::size_t q = coeff.rows(), k = coeff.cols(), m = panel.cols();
+  out.resize_for_overwrite(q, m);
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().batched_nn(out.data(), coeff.data(), panel.data(), q,
+                                  k, m);
+  } else {
+    simd::scalar::batched_nn(out.data(), coeff.data(), panel.data(), q, k, m);
+  }
 }
 
 template <typename T>
@@ -247,8 +165,13 @@ template <typename T>
 void multiply_bt_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(a.cols() == b.cols(), "multiply_bt_into: dim mismatch");
   detail::require(&c != &a && &c != &b, "multiply_bt_into: aliasing output");
-  c.resize_for_overwrite(a.rows(), b.rows());
-  detail::gemm_nt(c, a, b);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  c.resize_for_overwrite(m, n);
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().gemm_nt(c.data(), a.data(), b.data(), m, k, n);
+  } else {
+    simd::scalar::gemm_nt(c.data(), a.data(), b.data(), m, k, n);
+  }
 }
 
 template <typename T>
@@ -277,51 +200,10 @@ void multiply_bt_symmetric_into(Matrix<T>& c, const Matrix<T>& a,
                   "multiply_bt_symmetric_into: aliasing output");
   const std::size_t n = a.rows(), k = a.cols();
   c.resize_for_overwrite(n, n);
-  constexpr std::size_t kTile = 4;
-  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
-    const std::size_t ilim = std::min(i0 + kTile, n);
-    for (std::size_t j0 = i0; j0 < n; j0 += kTile) {
-      const std::size_t jlim = std::min(j0 + kTile, n);
-      if (j0 >= ilim && ilim == i0 + kTile && jlim == j0 + kTile) {
-        // Full off-diagonal tile: 4x4 register-tiled row dots.
-        const T* a0 = a.row(i0);
-        const T* a1 = a.row(i0 + 1);
-        const T* a2 = a.row(i0 + 2);
-        const T* a3 = a.row(i0 + 3);
-        for (std::size_t j = j0; j < jlim; ++j) {
-          const T* bj = b.row(j);
-          T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
-          for (std::size_t p = 0; p < k; ++p) {
-            const T bp = bj[p];
-            s0 += a0[p] * bp;
-            s1 += a1[p] * bp;
-            s2 += a2[p] * bp;
-            s3 += a3[p] * bp;
-          }
-          c.row(i0)[j] = s0;
-          c.row(i0 + 1)[j] = s1;
-          c.row(i0 + 2)[j] = s2;
-          c.row(i0 + 3)[j] = s3;
-        }
-      } else {
-        // Diagonal / edge tile: elementwise over the j >= i wedge.
-        for (std::size_t i = i0; i < ilim; ++i) {
-          const T* ai = a.row(i);
-          T* ci = c.row(i);
-          for (std::size_t j = std::max(j0, i); j < jlim; ++j) {
-            const T* bj = b.row(j);
-            T acc = T(0);
-            for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
-            ci[j] = acc;
-          }
-        }
-      }
-    }
-  }
-  // Mirror the strictly-lower triangle from the computed upper.
-  for (std::size_t i = 1; i < n; ++i) {
-    T* ci = c.row(i);
-    for (std::size_t j = 0; j < i; ++j) ci[j] = c.row(j)[i];
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().syrk_nt(c.data(), a.data(), b.data(), n, k);
+  } else {
+    simd::scalar::syrk_nt(c.data(), a.data(), b.data(), n, k);
   }
 }
 
@@ -347,42 +229,10 @@ void multiply_at_into(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   detail::require(&c != &a && &c != &b, "multiply_at_into: aliasing output");
   const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
   c.resize_for_overwrite(m, n);
-  // Same strip kernel as gemm_nn: C(i, :) accumulates broadcast-FMA terms
-  // A(p, i) * B(p, :) with p ascending, only the broadcast scalars now
-  // come from a column of A.
-  std::size_t i = 0;
-  for (; i + detail::kMr <= m; i += detail::kMr) {
-    T* __restrict c0 = c.row(i);
-    T* __restrict c1 = c.row(i + 1);
-    T* __restrict c2 = c.row(i + 2);
-    T* __restrict c3 = c.row(i + 3);
-    for (std::size_t j = 0; j < n; ++j) {
-      c0[j] = T(0);
-      c1[j] = T(0);
-      c2[j] = T(0);
-      c3[j] = T(0);
-    }
-    for (std::size_t p = 0; p < k; ++p) {
-      const T* ap = a.row(p) + i;
-      const T* __restrict bp = b.row(p);
-      const T a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
-      for (std::size_t j = 0; j < n; ++j) {
-        const T bj = bp[j];
-        c0[j] += a0 * bj;
-        c1[j] += a1 * bj;
-        c2[j] += a2 * bj;
-        c3[j] += a3 * bj;
-      }
-    }
-  }
-  for (; i < m; ++i) {
-    T* __restrict ci = c.row(i);
-    for (std::size_t j = 0; j < n; ++j) ci[j] = T(0);
-    for (std::size_t p = 0; p < k; ++p) {
-      const T aip = a.row(p)[i];
-      const T* __restrict bp = b.row(p);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().gemm_tn(c.data(), a.data(), b.data(), m, k, n);
+  } else {
+    simd::scalar::gemm_tn(c.data(), a.data(), b.data(), m, k, n);
   }
 }
 
@@ -399,11 +249,10 @@ void multiply_into(Vector<T>& y, const Matrix<T>& a, const Vector<T>& x) {
   detail::require(a.cols() == x.size(), "matvec: dim mismatch");
   detail::require(&y != &x, "matvec: aliasing output");
   y.resize_for_overwrite(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const T* ai = a.row(i);
-    T acc = T(0);
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += ai[j] * x[j];
-    y[i] = acc;
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().gemv(y.data(), a.data(), x.data(), a.rows(), a.cols());
+  } else {
+    simd::scalar::gemv(y.data(), a.data(), x.data(), a.rows(), a.cols());
   }
 }
 
@@ -435,7 +284,11 @@ void two_i_minus_product_into(Matrix<T>& out, const Matrix<T>& a,
                   "two_i_minus_product_into: aliasing output");
   const std::size_t n = a.rows();
   out.resize_for_overwrite(n, n);
-  detail::gemm_nn(out, a, v);
+  if constexpr (detail::kSimdDispatched<T>) {
+    simd::kernels<T>().gemm_nn(out.data(), a.data(), v.data(), n, n, n);
+  } else {
+    simd::scalar::gemm_nn(out.data(), a.data(), v.data(), n, n, n);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     T* oi = out.row(i);
     for (std::size_t j = 0; j < n; ++j) oi[j] = T(0) - oi[j];

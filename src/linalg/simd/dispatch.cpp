@@ -1,0 +1,188 @@
+// Load-time tier resolution and the dispatch mutators.
+//
+// A namespace-scope eager initializer probes the CPU, applies the
+// KALMMIND_SIMD= override and swaps the kernel-table atomics before
+// main() runs, so nothing on the realtime path ever touches CPUID,
+// getenv or table setup (kalmmind-rtcheck pins this: the probe and init
+// live only in this TU, which no KALMMIND_REALTIME root reaches).
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+#include "linalg/simd/tier_tables.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace kalmmind::linalg::simd {
+namespace {
+
+struct TierTables {
+  const KernelTable<float>* f;
+  const KernelTable<double>* d;
+};
+
+// Tables this binary carries (compiled-in tiers); nullptr otherwise.
+TierTables tables_for(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return {&detail::kScalarTableF, &detail::kScalarTableD};
+    case Tier::kAvx2:
+#if defined(KALMMIND_SIMD_HAVE_AVX2)
+      return {&detail::kAvx2TableF, &detail::kAvx2TableD};
+#else
+      return {nullptr, nullptr};
+#endif
+    case Tier::kAvx512:
+#if defined(KALMMIND_SIMD_HAVE_AVX512)
+      return {&detail::kAvx512TableF, &detail::kAvx512TableD};
+#else
+      return {nullptr, nullptr};
+#endif
+    case Tier::kNeon:
+#if defined(KALMMIND_SIMD_HAVE_NEON)
+      return {&detail::kNeonTableF, &detail::kNeonTableD};
+#else
+      return {nullptr, nullptr};
+#endif
+  }
+  return {nullptr, nullptr};
+}
+
+bool host_supports(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(__x86_64__) || defined(_M_X64)
+      // The x86-64-v4 set our AVX-512 TU is compiled against.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512cd") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+    case Tier::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is architecturally baseline on aarch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool usable(Tier tier) noexcept {
+  return tables_for(tier).f != nullptr && host_supports(tier);
+}
+
+// Captured once by the eager initializer below.  constinit, because the
+// initializer can run from ANY TU's static-init phase (the anchor is an
+// inline variable): a dynamically-initialized local here could be wiped
+// after the anchor already wrote it.
+constinit char g_env_value[64] = {};  // raw KALMMIND_SIMD, truncated
+constinit bool g_env_applied = false;
+constinit Tier g_detected = Tier::kScalar;
+
+void activate(Tier tier) {
+  const TierTables t = tables_for(tier);
+  detail::g_table_f.store(t.f, std::memory_order_release);
+  detail::g_table_d.store(t.d, std::memory_order_release);
+  detail::g_active_tier.store(tier, std::memory_order_release);
+  publish_tier_gauge();
+}
+
+}  // namespace
+
+// Eager load-time resolution, run by the single DispatchAnchor inline
+// variable's constructor (see simd.hpp).  The tables are constinit-seeded
+// with the scalar tier, so any static initializer that runs before this
+// one still computes correct results.
+detail::DispatchAnchor::DispatchAnchor() noexcept {
+  g_detected = detect();
+  Tier active = g_detected;
+  if (const char* env = std::getenv("KALMMIND_SIMD")) {
+    std::size_t len = 0;
+    while (env[len] != '\0' && len + 1 < sizeof(g_env_value)) {
+      g_env_value[len] = env[len];
+      ++len;
+    }
+    g_env_value[len] = '\0';
+    const std::string_view value(g_env_value, len);
+    if (const auto forced = parse_tier(value); forced && usable(*forced)) {
+      active = *forced;
+      g_env_applied = true;
+    }
+    // Unparsable or unavailable override: keep the probe result and leave
+    // env_applied false so dispatch_info() / `kalmmind simd-info` surface it.
+  }
+  activate(active);
+}
+
+Tier detect() noexcept {
+  Tier best = Tier::kScalar;
+  for (const Tier t : {Tier::kAvx2, Tier::kAvx512, Tier::kNeon}) {
+    if (usable(t)) best = t;
+  }
+  return best;
+}
+
+bool set_dispatch_tier(Tier tier) {
+  if (!usable(tier)) return false;
+  activate(tier);
+  return true;
+}
+
+std::vector<Tier> available_tiers() {
+  std::vector<Tier> out;
+  for (const Tier t :
+       {Tier::kScalar, Tier::kAvx2, Tier::kAvx512, Tier::kNeon}) {
+    if (usable(t)) out.push_back(t);
+  }
+  return out;
+}
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::optional<Tier> parse_tier(std::string_view name) noexcept {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  if (name == "neon") return Tier::kNeon;
+  return std::nullopt;
+}
+
+DispatchInfo dispatch_info() {
+  DispatchInfo info;
+  info.detected = g_detected;
+  info.active = active_tier();
+  info.env = g_env_value;
+  info.env_applied = g_env_applied;
+  return info;
+}
+
+void publish_tier_gauge() {
+  telemetry::MetricsRegistry::global()
+      .gauge("kalmmind.linalg.simd_tier")
+      .set(static_cast<double>(static_cast<int>(active_tier())));
+}
+
+}  // namespace kalmmind::linalg::simd

@@ -1,0 +1,98 @@
+// AVX2 + FMA tier (256-bit).  This TU is compiled with -march=x86-64-v3
+// (set per-source in src/linalg/CMakeLists.txt), overriding the global
+// -march so the compiler cannot leak wider ISA into this tier's code.
+// Partial (remainder) lanes use maskload/maskstore — no out-of-bounds
+// touches, which the ASan/UBSan CI leg pins down.
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "linalg/simd/tier_tables.hpp"
+#include "linalg/simd/vector_kernels.hpp"
+
+namespace kalmmind::linalg::simd {
+namespace {
+
+// Sliding-window mask tables: reading at offset (W - n) yields n all-ones
+// lanes followed by zeros.
+alignas(32) constexpr std::int64_t kMask64[8] = {-1, -1, -1, -1, 0, 0, 0, 0};
+alignas(32) constexpr std::int32_t kMask32[16] = {-1, -1, -1, -1, -1, -1, -1,
+                                                  -1, 0,  0,  0,  0,  0,  0,
+                                                  0,  0};
+
+struct TraitsF {
+  using Scalar = float;
+  using V = __m256;
+  static constexpr std::size_t W = 8;
+  static V zero() { return _mm256_setzero_ps(); }
+  static V load(const float* p) { return _mm256_loadu_ps(p); }
+  static void store(float* p, V v) { _mm256_storeu_ps(p, v); }
+  static __m256i mask(std::size_t n) {
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kMask32 + (W - n)));
+  }
+  static V load_partial(const float* p, std::size_t n) {
+    return _mm256_maskload_ps(p, mask(n));
+  }
+  static void store_partial(float* p, std::size_t n, V v) {
+    _mm256_maskstore_ps(p, mask(n), v);
+  }
+  static V broadcast(float x) { return _mm256_set1_ps(x); }
+  static V fmadd(V a, V b, V c) { return _mm256_fmadd_ps(a, b, c); }
+  static V fnmadd(V a, V b, V c) { return _mm256_fnmadd_ps(a, b, c); }
+  static V div(V a, V b) { return _mm256_div_ps(a, b); }
+  static float fmadd_s(float a, float b, float c) { return std::fmaf(a, b, c); }
+  static float fnmadd_s(float a, float b, float c) {
+    return std::fmaf(-a, b, c);
+  }
+  static float sqrt_s(float x) { return std::sqrt(x); }
+};
+
+struct TraitsD {
+  using Scalar = double;
+  using V = __m256d;
+  static constexpr std::size_t W = 4;
+  static V zero() { return _mm256_setzero_pd(); }
+  static V load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, V v) { _mm256_storeu_pd(p, v); }
+  static __m256i mask(std::size_t n) {
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kMask64 + (W - n)));
+  }
+  static V load_partial(const double* p, std::size_t n) {
+    return _mm256_maskload_pd(p, mask(n));
+  }
+  static void store_partial(double* p, std::size_t n, V v) {
+    _mm256_maskstore_pd(p, mask(n), v);
+  }
+  static V broadcast(double x) { return _mm256_set1_pd(x); }
+  static V fmadd(V a, V b, V c) { return _mm256_fmadd_pd(a, b, c); }
+  static V fnmadd(V a, V b, V c) { return _mm256_fnmadd_pd(a, b, c); }
+  static V div(V a, V b) { return _mm256_div_pd(a, b); }
+  static double fmadd_s(double a, double b, double c) {
+    return std::fma(a, b, c);
+  }
+  static double fnmadd_s(double a, double b, double c) {
+    return std::fma(-a, b, c);
+  }
+  static double sqrt_s(double x) { return std::sqrt(x); }
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable<float> kAvx2TableF{
+    &vec::gemm_nn<TraitsF>, &vec::gemm_nt<TraitsF>, &vec::gemm_tn<TraitsF>,
+    &vec::syrk_nt<TraitsF>, &vec::gemm_nn<TraitsF>, &vec::gemv<TraitsF>,
+    &vec::axpy_minus<TraitsF>, &vec::chol_col<TraitsF>};
+
+const KernelTable<double> kAvx2TableD{
+    &vec::gemm_nn<TraitsD>, &vec::gemm_nt<TraitsD>, &vec::gemm_tn<TraitsD>,
+    &vec::syrk_nt<TraitsD>, &vec::gemm_nn<TraitsD>, &vec::gemv<TraitsD>,
+    &vec::axpy_minus<TraitsD>, &vec::chol_col<TraitsD>};
+
+}  // namespace detail
+}  // namespace kalmmind::linalg::simd

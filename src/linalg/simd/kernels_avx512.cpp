@@ -1,0 +1,86 @@
+// AVX-512 tier (512-bit, F/CD/BW/DQ/VL).  Compiled with -march=x86-64-v4
+// per-source (src/linalg/CMakeLists.txt).  Remainders use native __mmask
+// masked loads/stores — the cleanest of the three tiers' tail strategies.
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/simd/tier_tables.hpp"
+#include "linalg/simd/vector_kernels.hpp"
+
+namespace kalmmind::linalg::simd {
+namespace {
+
+struct TraitsF {
+  using Scalar = float;
+  using V = __m512;
+  static constexpr std::size_t W = 16;
+  static V zero() { return _mm512_setzero_ps(); }
+  static V load(const float* p) { return _mm512_loadu_ps(p); }
+  static void store(float* p, V v) { _mm512_storeu_ps(p, v); }
+  static __mmask16 mask(std::size_t n) {
+    return static_cast<__mmask16>((1u << n) - 1u);
+  }
+  static V load_partial(const float* p, std::size_t n) {
+    return _mm512_maskz_loadu_ps(mask(n), p);
+  }
+  static void store_partial(float* p, std::size_t n, V v) {
+    _mm512_mask_storeu_ps(p, mask(n), v);
+  }
+  static V broadcast(float x) { return _mm512_set1_ps(x); }
+  static V fmadd(V a, V b, V c) { return _mm512_fmadd_ps(a, b, c); }
+  static V fnmadd(V a, V b, V c) { return _mm512_fnmadd_ps(a, b, c); }
+  static V div(V a, V b) { return _mm512_div_ps(a, b); }
+  static float fmadd_s(float a, float b, float c) { return std::fmaf(a, b, c); }
+  static float fnmadd_s(float a, float b, float c) {
+    return std::fmaf(-a, b, c);
+  }
+  static float sqrt_s(float x) { return std::sqrt(x); }
+};
+
+struct TraitsD {
+  using Scalar = double;
+  using V = __m512d;
+  static constexpr std::size_t W = 8;
+  static V zero() { return _mm512_setzero_pd(); }
+  static V load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, V v) { _mm512_storeu_pd(p, v); }
+  static __mmask8 mask(std::size_t n) {
+    return static_cast<__mmask8>((1u << n) - 1u);
+  }
+  static V load_partial(const double* p, std::size_t n) {
+    return _mm512_maskz_loadu_pd(mask(n), p);
+  }
+  static void store_partial(double* p, std::size_t n, V v) {
+    _mm512_mask_storeu_pd(p, mask(n), v);
+  }
+  static V broadcast(double x) { return _mm512_set1_pd(x); }
+  static V fmadd(V a, V b, V c) { return _mm512_fmadd_pd(a, b, c); }
+  static V fnmadd(V a, V b, V c) { return _mm512_fnmadd_pd(a, b, c); }
+  static V div(V a, V b) { return _mm512_div_pd(a, b); }
+  static double fmadd_s(double a, double b, double c) {
+    return std::fma(a, b, c);
+  }
+  static double fnmadd_s(double a, double b, double c) {
+    return std::fma(-a, b, c);
+  }
+  static double sqrt_s(double x) { return std::sqrt(x); }
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable<float> kAvx512TableF{
+    &vec::gemm_nn<TraitsF>, &vec::gemm_nt<TraitsF>, &vec::gemm_tn<TraitsF>,
+    &vec::syrk_nt<TraitsF>, &vec::gemm_nn<TraitsF>, &vec::gemv<TraitsF>,
+    &vec::axpy_minus<TraitsF>, &vec::chol_col<TraitsF>};
+
+const KernelTable<double> kAvx512TableD{
+    &vec::gemm_nn<TraitsD>, &vec::gemm_nt<TraitsD>, &vec::gemm_tn<TraitsD>,
+    &vec::syrk_nt<TraitsD>, &vec::gemm_nn<TraitsD>, &vec::gemv<TraitsD>,
+    &vec::axpy_minus<TraitsD>, &vec::chol_col<TraitsD>};
+
+}  // namespace detail
+}  // namespace kalmmind::linalg::simd

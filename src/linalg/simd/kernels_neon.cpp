@@ -1,0 +1,90 @@
+// NEON tier (aarch64 Advanced SIMD, 128-bit).  Only added to the build on
+// aarch64 hosts (src/linalg/CMakeLists.txt); AdvSIMD is baseline there, so
+// no per-source -march is needed.  NEON has no masked memory ops, so
+// partial lanes bounce through a small stack buffer — still never touching
+// memory past n elements.
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/simd/tier_tables.hpp"
+#include "linalg/simd/vector_kernels.hpp"
+
+namespace kalmmind::linalg::simd {
+namespace {
+
+struct TraitsF {
+  using Scalar = float;
+  using V = float32x4_t;
+  static constexpr std::size_t W = 4;
+  static V zero() { return vdupq_n_f32(0.0f); }
+  static V load(const float* p) { return vld1q_f32(p); }
+  static void store(float* p, V v) { vst1q_f32(p, v); }
+  static V load_partial(const float* p, std::size_t n) {
+    float buf[W] = {0.0f, 0.0f, 0.0f, 0.0f};
+    for (std::size_t i = 0; i < n; ++i) buf[i] = p[i];
+    return vld1q_f32(buf);
+  }
+  static void store_partial(float* p, std::size_t n, V v) {
+    float buf[W];
+    vst1q_f32(buf, v);
+    for (std::size_t i = 0; i < n; ++i) p[i] = buf[i];
+  }
+  static V broadcast(float x) { return vdupq_n_f32(x); }
+  static V fmadd(V a, V b, V c) { return vfmaq_f32(c, a, b); }
+  static V fnmadd(V a, V b, V c) { return vfmsq_f32(c, a, b); }
+  static V div(V a, V b) { return vdivq_f32(a, b); }
+  static float fmadd_s(float a, float b, float c) { return std::fmaf(a, b, c); }
+  static float fnmadd_s(float a, float b, float c) {
+    return std::fmaf(-a, b, c);
+  }
+  static float sqrt_s(float x) { return std::sqrt(x); }
+};
+
+struct TraitsD {
+  using Scalar = double;
+  using V = float64x2_t;
+  static constexpr std::size_t W = 2;
+  static V zero() { return vdupq_n_f64(0.0); }
+  static V load(const double* p) { return vld1q_f64(p); }
+  static void store(double* p, V v) { vst1q_f64(p, v); }
+  static V load_partial(const double* p, std::size_t n) {
+    double buf[W] = {0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) buf[i] = p[i];
+    return vld1q_f64(buf);
+  }
+  static void store_partial(double* p, std::size_t n, V v) {
+    double buf[W];
+    vst1q_f64(buf, v);
+    for (std::size_t i = 0; i < n; ++i) p[i] = buf[i];
+  }
+  static V broadcast(double x) { return vdupq_n_f64(x); }
+  static V fmadd(V a, V b, V c) { return vfmaq_f64(c, a, b); }
+  static V fnmadd(V a, V b, V c) { return vfmsq_f64(c, a, b); }
+  static V div(V a, V b) { return vdivq_f64(a, b); }
+  static double fmadd_s(double a, double b, double c) {
+    return std::fma(a, b, c);
+  }
+  static double fnmadd_s(double a, double b, double c) {
+    return std::fma(-a, b, c);
+  }
+  static double sqrt_s(double x) { return std::sqrt(x); }
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable<float> kNeonTableF{
+    &vec::gemm_nn<TraitsF>, &vec::gemm_nt<TraitsF>, &vec::gemm_tn<TraitsF>,
+    &vec::syrk_nt<TraitsF>, &vec::gemm_nn<TraitsF>, &vec::gemv<TraitsF>,
+    &vec::axpy_minus<TraitsF>, &vec::chol_col<TraitsF>};
+
+const KernelTable<double> kNeonTableD{
+    &vec::gemm_nn<TraitsD>, &vec::gemm_nt<TraitsD>, &vec::gemm_tn<TraitsD>,
+    &vec::syrk_nt<TraitsD>, &vec::gemm_nn<TraitsD>, &vec::gemv<TraitsD>,
+    &vec::axpy_minus<TraitsD>, &vec::chol_col<TraitsD>};
+
+}  // namespace detail
+}  // namespace kalmmind::linalg::simd

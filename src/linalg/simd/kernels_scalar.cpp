@@ -1,0 +1,20 @@
+// kScalar tier tables: the PR4 blocked kernels (scalar_kernels.hpp) bound
+// into KernelTable entries.  These seed the dispatch atomics, so they must
+// carry no static initialization of their own beyond constant tables.
+#include "linalg/simd/scalar_kernels.hpp"
+#include "linalg/simd/simd.hpp"
+
+namespace kalmmind::linalg::simd::detail {
+
+const KernelTable<float> kScalarTableF{
+    &scalar::gemm_nn<float>, &scalar::gemm_nt<float>, &scalar::gemm_tn<float>,
+    &scalar::syrk_nt<float>, &scalar::batched_nn<float>, &scalar::gemv<float>,
+    &scalar::axpy_minus<float>, &scalar::chol_col<float>};
+
+const KernelTable<double> kScalarTableD{
+    &scalar::gemm_nn<double>, &scalar::gemm_nt<double>,
+    &scalar::gemm_tn<double>, &scalar::syrk_nt<double>,
+    &scalar::batched_nn<double>, &scalar::gemv<double>,
+    &scalar::axpy_minus<double>, &scalar::chol_col<double>};
+
+}  // namespace kalmmind::linalg::simd::detail

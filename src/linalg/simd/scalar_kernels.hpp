@@ -1,0 +1,303 @@
+// Scalar-tier kernels: the PR4 cache-blocked/register-tiled loops behind
+// raw-pointer signatures.  These serve two roles:
+//  * the kScalar dispatch tier for float/double (the baseline every vector
+//    tier is benchmarked and bit-compared against), and
+//  * the generic template path in ops.hpp / lu.hpp / cholesky.hpp for
+//    scalar types the SIMD tables do not cover (Fx32/Fx64, etc.).
+//
+// Every kernel keeps one accumulator per output element and walks the
+// shared dimension ascending (the naive-reference order); fusion of
+// multiply-add is left to the compiler, exactly as PR4 shipped it.  All
+// matrices are dense row-major with no padding (Matrix<T>'s layout).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/scalar.hpp"
+
+namespace kalmmind::linalg::simd::scalar {
+
+// Blocking shape (see docs/performance.md).  kMr rows of A are processed
+// per strip: each loaded B row is reused kMr times and the strip's C rows
+// stay L1-resident while the shared dimension streams by.  kNc bounds the
+// B panel touched per pass to keep it L2-resident on large-n sweeps.
+inline constexpr std::size_t kMr = 4;
+inline constexpr std::size_t kNc = 256;
+
+// C = A * B: broadcast-FMA strips the auto-vectorizer handles well.
+template <typename T>
+void gemm_nn(T* c, const T* a, const T* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t jend = std::min(jc + kNc, n);
+    const std::size_t w = jend - jc;
+    std::size_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      const T* a0 = a + (i + 0) * k;
+      const T* a1 = a + (i + 1) * k;
+      const T* a2 = a + (i + 2) * k;
+      const T* a3 = a + (i + 3) * k;
+      T* __restrict c0 = c + (i + 0) * n + jc;
+      T* __restrict c1 = c + (i + 1) * n + jc;
+      T* __restrict c2 = c + (i + 2) * n + jc;
+      T* __restrict c3 = c + (i + 3) * n + jc;
+      for (std::size_t j = 0; j < w; ++j) {
+        c0[j] = T(0);
+        c1[j] = T(0);
+        c2[j] = T(0);
+        c3[j] = T(0);
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const T* __restrict bp = b + p * n + jc;
+        const T a0p = a0[p], a1p = a1[p], a2p = a2[p], a3p = a3[p];
+        for (std::size_t j = 0; j < w; ++j) {
+          const T bj = bp[j];
+          c0[j] += a0p * bj;
+          c1[j] += a1p * bj;
+          c2[j] += a2p * bj;
+          c3[j] += a3p * bj;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const T* ai = a + i * k;
+      T* __restrict ci = c + i * n + jc;
+      for (std::size_t j = 0; j < w; ++j) ci[j] = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T aip = ai[p];
+        const T* __restrict bp = b + p * n + jc;
+        for (std::size_t j = 0; j < w; ++j) ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+// C = A * B^t: kMr x 2 register tiles of row dots over contiguous rows.
+template <typename T>
+void gemm_nt(T* c, const T* a, const T* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    const T* a0 = a + (i + 0) * k;
+    const T* a1 = a + (i + 1) * k;
+    const T* a2 = a + (i + 2) * k;
+    const T* a3 = a + (i + 3) * k;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const T* bj0 = b + (j + 0) * k;
+      const T* bj1 = b + (j + 1) * k;
+      T s00 = T(0), s01 = T(0), s10 = T(0), s11 = T(0);
+      T s20 = T(0), s21 = T(0), s30 = T(0), s31 = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T b0 = bj0[p], b1 = bj1[p];
+        s00 += a0[p] * b0;
+        s01 += a0[p] * b1;
+        s10 += a1[p] * b0;
+        s11 += a1[p] * b1;
+        s20 += a2[p] * b0;
+        s21 += a2[p] * b1;
+        s30 += a3[p] * b0;
+        s31 += a3[p] * b1;
+      }
+      c[(i + 0) * n + j] = s00;
+      c[(i + 0) * n + j + 1] = s01;
+      c[(i + 1) * n + j] = s10;
+      c[(i + 1) * n + j + 1] = s11;
+      c[(i + 2) * n + j] = s20;
+      c[(i + 2) * n + j + 1] = s21;
+      c[(i + 3) * n + j] = s30;
+      c[(i + 3) * n + j + 1] = s31;
+    }
+    for (; j < n; ++j) {
+      const T* bj = b + j * k;
+      T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+      for (std::size_t p = 0; p < k; ++p) {
+        const T bp = bj[p];
+        s0 += a0[p] * bp;
+        s1 += a1[p] * bp;
+        s2 += a2[p] * bp;
+        s3 += a3[p] * bp;
+      }
+      c[(i + 0) * n + j] = s0;
+      c[(i + 1) * n + j] = s1;
+      c[(i + 2) * n + j] = s2;
+      c[(i + 3) * n + j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const T* ai = a + i * k;
+    T* ci = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const T* bj = b + j * k;
+      T acc = T(0);
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = acc;
+    }
+  }
+}
+
+// C = A^t * B: the gemm_nn strip kernel with broadcast scalars drawn from
+// a column of A.
+template <typename T>
+void gemm_tn(T* c, const T* a, const T* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    T* __restrict c0 = c + (i + 0) * n;
+    T* __restrict c1 = c + (i + 1) * n;
+    T* __restrict c2 = c + (i + 2) * n;
+    T* __restrict c3 = c + (i + 3) * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      c0[j] = T(0);
+      c1[j] = T(0);
+      c2[j] = T(0);
+      c3[j] = T(0);
+    }
+    for (std::size_t p = 0; p < k; ++p) {
+      const T* ap = a + p * m + i;
+      const T* __restrict bp = b + p * n;
+      const T a0 = ap[0], a1 = ap[1], a2 = ap[2], a3 = ap[3];
+      for (std::size_t j = 0; j < n; ++j) {
+        const T bj = bp[j];
+        c0[j] += a0 * bj;
+        c1[j] += a1 * bj;
+        c2[j] += a2 * bj;
+        c3[j] += a3 * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    T* __restrict ci = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) ci[j] = T(0);
+    for (std::size_t p = 0; p < k; ++p) {
+      const T aip = a[p * m + i];
+      const T* __restrict bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C = A * B^t for a symmetric product: upper triangle with the gemm_nt dot
+// order (bit-identical to the full product), lower mirrored.
+template <typename T>
+void syrk_nt(T* c, const T* a, const T* b, std::size_t n, std::size_t k) {
+  constexpr std::size_t kTile = 4;
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t ilim = std::min(i0 + kTile, n);
+    for (std::size_t j0 = i0; j0 < n; j0 += kTile) {
+      const std::size_t jlim = std::min(j0 + kTile, n);
+      if (j0 >= ilim && ilim == i0 + kTile && jlim == j0 + kTile) {
+        // Full off-diagonal tile: 4x4 register-tiled row dots.
+        const T* a0 = a + (i0 + 0) * k;
+        const T* a1 = a + (i0 + 1) * k;
+        const T* a2 = a + (i0 + 2) * k;
+        const T* a3 = a + (i0 + 3) * k;
+        for (std::size_t j = j0; j < jlim; ++j) {
+          const T* bj = b + j * k;
+          T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+          for (std::size_t p = 0; p < k; ++p) {
+            const T bp = bj[p];
+            s0 += a0[p] * bp;
+            s1 += a1[p] * bp;
+            s2 += a2[p] * bp;
+            s3 += a3[p] * bp;
+          }
+          c[(i0 + 0) * n + j] = s0;
+          c[(i0 + 1) * n + j] = s1;
+          c[(i0 + 2) * n + j] = s2;
+          c[(i0 + 3) * n + j] = s3;
+        }
+      } else {
+        // Diagonal / edge tile: elementwise over the j >= i wedge.
+        for (std::size_t i = i0; i < ilim; ++i) {
+          const T* ai = a + i * k;
+          T* ci = c + i * n;
+          for (std::size_t j = std::max(j0, i); j < jlim; ++j) {
+            const T* bj = b + j * k;
+            T acc = T(0);
+            for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+            ci[j] = acc;
+          }
+        }
+      }
+    }
+  }
+  // Mirror the strictly-lower triangle from the computed upper.
+  for (std::size_t i = 1; i < n; ++i) {
+    T* ci = c + i * n;
+    for (std::size_t j = 0; j < i; ++j) ci[j] = c[j * n + i];
+  }
+}
+
+// y = A * x (one sequential dot per row, as the filter always did).
+template <typename T>
+void gemv(T* y, const T* a, const T* x, std::size_t m, std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const T* ai = a + i * k;
+    T acc = T(0);
+    for (std::size_t j = 0; j < k; ++j) acc += ai[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+// Scalar-tier batched small-GEMM over an SoA panel: out(m x n) =
+// A(m x k) * B(k x n) with n the batch dimension.  Each batch column is
+// gathered and decoded through the SAME gemv instantiation the solo path
+// dispatches to — gather/scatter move bits, never arithmetic — so
+// batched-vs-solo bit-identity holds at the scalar tier even though the
+// compiler is free to contract multiply-add differently across loop
+// shapes (a strip-blocked gemm_nn and a sequential dot genuinely compile
+// to different FMA patterns; serving tests assert exact equality).  The
+// vector tiers get the same identity from their explicit per-lane FMA
+// instead, and keep the lane-amortized panel kernel.
+template <typename T>
+void batched_nn(T* out, const T* a, const T* b, std::size_t m, std::size_t k,
+                std::size_t n) {
+  thread_local std::vector<T> scratch;
+  thread_local std::size_t scratch_elements = 0;
+  if (scratch_elements < k + m) {
+    // kalmmind-lint: allow(RT1) grow-once column scratch: sized by the filter dims on first use, steady-state cohort passes never reallocate
+    scratch.resize(k + m);
+    scratch_elements = k + m;
+  }
+  T* x = scratch.data();
+  T* y = scratch.data() + k;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) x[p] = b[p * n + j];
+    gemv(y, a, x, m, k);
+    for (std::size_t q = 0; q < m; ++q) out[q * n + j] = y[q];
+  }
+}
+
+// y[j] -= alpha * x[j]: the LU elimination row update.
+template <typename T>
+void axpy_minus(T* __restrict y, T alpha, const T* __restrict x,
+                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) y[j] -= alpha * x[j];
+}
+
+// Column j of the Cholesky factor: the classic left-looking update with
+// every element's subtraction chain walked in ascending k (the order the
+// original row-by-row cholesky_factor used, so results are bit-identical
+// to the pre-dispatch implementation).  Returns false on a non-positive
+// pivot; the caller owns the throw.
+template <typename T>
+bool chol_col(T* l, const T* a, std::size_t n, std::size_t j) {
+  const T* lj = l + j * n;
+  T diag = a[j * n + j];
+  for (std::size_t p = 0; p < j; ++p) diag -= lj[p] * lj[p];
+  if (!(to_double(diag) > 0.0)) return false;
+  const T ljj = scalar_sqrt(diag);
+  l[j * n + j] = ljj;
+  for (std::size_t i = j + 1; i < n; ++i) {
+    const T* li = l + i * n;
+    T acc = a[i * n + j];
+    for (std::size_t p = 0; p < j; ++p) acc -= li[p] * lj[p];
+    l[i * n + j] = acc / ljj;
+  }
+  return true;
+}
+
+}  // namespace kalmmind::linalg::simd::scalar

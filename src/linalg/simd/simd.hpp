@@ -1,0 +1,177 @@
+// Runtime-dispatched SIMD kernel backend (docs/performance.md).
+//
+// PR4's cache-blocked kernels lean on compiler auto-vectorization, which
+// works for the broadcast-FMA GEMM strips but is structurally defeated by
+// the row-dot kernels (a dot product is a sequential dependence chain the
+// vectorizer may not reassociate).  This backend adds explicit intrinsics
+// implementations of the hot kernels — AVX2, AVX-512 and NEON — selected
+// ONCE at load time by a CPUID/arch probe and published through an atomic
+// per-scalar-type function-pointer table that linalg/ops.hpp, linalg/lu.hpp
+// and linalg/cholesky.hpp route through.
+//
+// Dispatch contract:
+//  * Resolution happens outside the realtime path: an eager initializer in
+//    dispatch.cpp probes the CPU, applies the KALMMIND_SIMD= env override
+//    and swaps the table pointers before main() runs.  kernels<T>() on the
+//    hot path is a single relaxed-free atomic pointer load — no locks, no
+//    lazy-init guard, no allocation.
+//  * The tables are pre-seeded with the scalar tier (the PR4 blocked
+//    kernels), so code running during static initialization — before the
+//    probe — still computes correct results.
+//  * KALMMIND_SIMD=scalar|avx2|avx512|neon forces a tier; an override the
+//    host cannot execute is ignored (the probe result stands) and surfaced
+//    via dispatch_info() / `kalmmind simd-info`.
+//  * set_dispatch_tier() is the test hook: it rebinds the active table to
+//    any AVAILABLE tier (compiled in and executable on this host) and
+//    returns false otherwise, so tests can sweep every host tier.
+//
+// Numerical contract (docs/performance.md): every tier keeps one
+// accumulator per output element and walks the shared dimension in
+// ascending order — the naive-reference order — so tiers differ from
+// `linalg::naive::` only by FMA contraction (the vector kernels fuse
+// multiply-add explicitly; the scalar tier leaves fusion to the compiler).
+// The symmetric kernel computes the upper triangle bit-identically to the
+// full product of the SAME tier and mirrors the lower triangle, preserving
+// the exact-symmetry guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace kalmmind::linalg::simd {
+
+// ISA tiers, ordered by preference within an architecture.  Values are
+// stable: they are exported as the kalmmind.linalg.simd_tier gauge.
+enum class Tier : int {
+  kScalar = 0,  // PR4 blocked kernels, compiler-scheduled
+  kAvx2 = 1,    // x86-64 AVX2 + FMA (256-bit)
+  kAvx512 = 2,  // x86-64 AVX-512 F/CD/BW/DQ/VL (512-bit, masked tails)
+  kNeon = 3,    // aarch64 Advanced SIMD (128-bit)
+};
+
+// Per-scalar-type kernel table.  All pointers are non-null in every
+// published table.  Raw-pointer signatures: matrices are row-major and
+// contiguous (Matrix<T> guarantees this), outputs are fully overwritten,
+// and output never aliases an input (enforced by the ops.hpp wrappers).
+template <typename T>
+struct KernelTable {
+  // C(m x n) = A(m x k) * B(k x n)
+  using GemmNnFn = void (*)(T* c, const T* a, const T* b, std::size_t m,
+                            std::size_t k, std::size_t n);
+  // C(m x n) = A(m x k) * B(n x k)^t
+  using GemmNtFn = void (*)(T* c, const T* a, const T* b, std::size_t m,
+                            std::size_t k, std::size_t n);
+  // C(m x n) = A(k x m)^t * B(k x n)
+  using GemmTnFn = void (*)(T* c, const T* a, const T* b, std::size_t m,
+                            std::size_t k, std::size_t n);
+  // C(n x n) = A(n x k) * B(n x k)^t for a product the caller knows is
+  // symmetric: upper triangle computed, lower mirrored from it.
+  using SyrkNtFn = void (*)(T* c, const T* a, const T* b, std::size_t n,
+                            std::size_t k);
+  // y(m) = A(m x k) * x(k)
+  using GemvFn = void (*)(T* y, const T* a, const T* x, std::size_t m,
+                          std::size_t k);
+  // y[j] -= alpha * x[j] for j < n (the LU elimination row update)
+  using AxpyMinusFn = void (*)(T* y, T alpha, const T* x, std::size_t n);
+  // Column j of the in-progress Cholesky factor L (n x n, row-major) from
+  // source matrix A: the diagonal sqrt plus every L(i > j, j).  Returns
+  // false if the pivot is not positive (caller throws).
+  using CholColFn = bool (*)(T* l, const T* a, std::size_t n, std::size_t j);
+
+  GemmNnFn gemm_nn;
+  GemmNtFn gemm_nt;
+  GemmTnFn gemm_tn;
+  SyrkNtFn syrk_nt;
+  // Batched small-GEMM over SoA panels: out(q x m) = coeff(q x k) *
+  // panel(k x m) where m is the batch (session) dimension.  Same shape
+  // family as gemm_nn, kept as its own entry so tiers can specialize the
+  // x=6 serving path independently of the general kernel.
+  GemmNnFn batched_nn;
+  GemvFn gemv;
+  AxpyMinusFn axpy_minus;
+  CholColFn chol_col;
+};
+
+namespace detail {
+// Scalar-tier tables (defined in kernels_scalar.cpp): the PR4 blocked
+// kernels behind raw-pointer signatures.  They seed the atomics below so
+// dispatch is valid even before the load-time probe runs.
+extern const KernelTable<float> kScalarTableF;
+extern const KernelTable<double> kScalarTableD;
+
+// Archive anchor, defined in dispatch.cpp: its constructor runs the
+// load-time CPU probe.  The inline variable is instantiated by every TU
+// that includes this header, so linking any kernel user pulls dispatch.cpp
+// out of the static library — without it, a binary that never names a
+// dispatch symbol would silently drop the resolver and run the scalar
+// seed tables forever.
+struct DispatchAnchor {
+  DispatchAnchor() noexcept;
+};
+inline DispatchAnchor g_dispatch_anchor{};
+
+inline constinit std::atomic<const KernelTable<float>*> g_table_f{
+    &kScalarTableF};
+inline constinit std::atomic<const KernelTable<double>*> g_table_d{
+    &kScalarTableD};
+inline constinit std::atomic<Tier> g_active_tier{Tier::kScalar};
+}  // namespace detail
+
+// The active kernel table for T (float or double only).  Hot-path safe:
+// one atomic load, never null.
+template <typename T>
+inline const KernelTable<T>& kernels() noexcept {
+  static_assert(std::is_same_v<T, float> || std::is_same_v<T, double>,
+                "SIMD dispatch covers float and double only");
+  if constexpr (std::is_same_v<T, float>) {
+    return *detail::g_table_f.load(std::memory_order_acquire);
+  } else {
+    return *detail::g_table_d.load(std::memory_order_acquire);
+  }
+}
+
+// Probe the host CPU (CPUID on x86-64, architecture on aarch64) for the
+// best tier this binary both compiled kernels for and can execute.  Pure
+// probe: no caching, no env override.  NOT realtime-safe; call at
+// construction/startup only.
+Tier detect() noexcept;
+
+// The tier the published tables currently implement.
+inline Tier active_tier() noexcept {
+  return detail::g_active_tier.load(std::memory_order_acquire);
+}
+
+// Test hook: rebind the active tables to `tier`.  Returns false (and
+// changes nothing) if the tier was not compiled in or the host cannot
+// execute it.  Not for the realtime path.
+bool set_dispatch_tier(Tier tier);
+
+// Every tier usable on this host (always contains Tier::kScalar), in
+// ascending Tier order.
+std::vector<Tier> available_tiers();
+
+const char* tier_name(Tier tier) noexcept;
+std::optional<Tier> parse_tier(std::string_view name) noexcept;
+
+// What the load-time resolution saw: the probed tier, the tier actually
+// activated, and the KALMMIND_SIMD override (empty when unset;
+// `env_applied` is false when the override was unparsable or unavailable
+// and therefore ignored).
+struct DispatchInfo {
+  Tier detected = Tier::kScalar;
+  Tier active = Tier::kScalar;
+  std::string_view env;   // raw KALMMIND_SIMD value seen at startup
+  bool env_applied = false;
+};
+DispatchInfo dispatch_info();
+
+// Re-export the active tier as the kalmmind.linalg.simd_tier gauge (the
+// numeric Tier value).  Called by the load-time init and set_dispatch_tier;
+// public so servers/CLIs that reset the registry can republish.
+void publish_tier_gauge();
+
+}  // namespace kalmmind::linalg::simd

@@ -1,0 +1,23 @@
+// Internal: extern declarations for the per-tier kernel tables, guarded by
+// the CMake-set KALMMIND_SIMD_HAVE_* macros.  Only dispatch.cpp and the
+// tier TUs include this.
+#pragma once
+
+#include "linalg/simd/simd.hpp"
+
+namespace kalmmind::linalg::simd::detail {
+
+#if defined(KALMMIND_SIMD_HAVE_AVX2)
+extern const KernelTable<float> kAvx2TableF;
+extern const KernelTable<double> kAvx2TableD;
+#endif
+#if defined(KALMMIND_SIMD_HAVE_AVX512)
+extern const KernelTable<float> kAvx512TableF;
+extern const KernelTable<double> kAvx512TableD;
+#endif
+#if defined(KALMMIND_SIMD_HAVE_NEON)
+extern const KernelTable<float> kNeonTableF;
+extern const KernelTable<double> kNeonTableD;
+#endif
+
+}  // namespace kalmmind::linalg::simd::detail

@@ -1,0 +1,365 @@
+// Vector kernel bodies shared by every intrinsics tier.
+//
+// Each tier translation unit (kernels_avx2.cpp, kernels_avx512.cpp,
+// kernels_neon.cpp) is compiled with that ISA's flags, defines a Traits
+// policy wrapping its vector type, and instantiates these bodies.  The
+// Traits contract:
+//
+//   using Scalar = float|double;        // element type
+//   using V = <native vector>;          // W lanes of Scalar
+//   static constexpr std::size_t W;     // lane count
+//   V    zero();
+//   V    load(const Scalar*);           // unaligned
+//   void store(Scalar*, V);             // unaligned
+//   V    load_partial(const Scalar*, std::size_t n);   // n < W lanes, rest 0
+//   void store_partial(Scalar*, std::size_t n, V);     // first n lanes only
+//   V    broadcast(Scalar);
+//   V    fmadd(V a, V b, V c);          // a*b + c, single rounding
+//   V    fnmadd(V a, V b, V c);         // -(a*b) + c, single rounding
+//   V    div(V a, V b);
+//   Scalar fmadd_s(Scalar a, Scalar b, Scalar c);   // fused scalar tail
+//   Scalar fnmadd_s(Scalar a, Scalar b, Scalar c);
+//
+// Numerical contract (docs/performance.md): every body keeps ONE
+// accumulator per output element and walks the shared dimension in
+// ascending order — the naive-reference order — with multiply-add fused
+// explicitly (lanes and scalar tails alike).  The only delta vs
+// linalg::naive:: is therefore FMA contraction, never a reordering.  The
+// j-partitioning into vector lanes is invisible to any single output
+// element, which is what keeps the symmetric kernel's upper triangle
+// bit-identical to the same tier's full product.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace kalmmind::linalg::simd::vec {
+
+// Grow-once pack scratch for the transposed-B panels of the _nt kernels.
+// One buffer per (tier TU, scalar type, thread); sized for the largest
+// panel seen, so steady-state filter traffic never reallocates.
+template <typename T>
+inline T* pack_buffer(std::size_t elements) {
+  thread_local std::vector<T> buf;
+  // High-water mark tracked separately so the steady-state path is a plain
+  // integer compare (no container method calls).
+  thread_local std::size_t buf_elements = 0;
+  if (buf_elements < elements) {
+    // kalmmind-lint: allow(RT1) grow-once pack scratch: reallocates only when a larger panel than ever seen arrives, which the fixed filter/serve shapes make a warm-up event, not a steady-state one
+    buf.resize(elements);
+    buf_elements = elements;
+  }
+  return buf.data();
+}
+
+// C(m x n) = A * B with B already row-major along n (the natural gemm_nn
+// layout).  TransA selects where the broadcast scalars come from:
+//   TransA = false: A is m x k, scalar = A(i, p)
+//   TransA = true : A is k x m, scalar = A(p, i)  (the gemm_tn kernel)
+// 4-row strips x 2-vector columns: 8 live accumulators, one B load shared
+// by 4 FMAs.
+template <class Tr, bool TransA>
+void gemm_broadcast(typename Tr::Scalar* c, const typename Tr::Scalar* a,
+                    const typename Tr::Scalar* b, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  using T = typename Tr::Scalar;
+  constexpr std::size_t W = Tr::W;
+  const auto a_at = [&](std::size_t i, std::size_t p) {
+    return TransA ? a[p * m + i] : a[i * k + p];
+  };
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    T* c0 = c + (i + 0) * n;
+    T* c1 = c + (i + 1) * n;
+    T* c2 = c + (i + 2) * n;
+    T* c3 = c + (i + 3) * n;
+    std::size_t j = 0;
+    for (; j + 2 * W <= n; j += 2 * W) {
+      auto s00 = Tr::zero(), s01 = Tr::zero();
+      auto s10 = Tr::zero(), s11 = Tr::zero();
+      auto s20 = Tr::zero(), s21 = Tr::zero();
+      auto s30 = Tr::zero(), s31 = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto b0 = Tr::load(b + p * n + j);
+        const auto b1 = Tr::load(b + p * n + j + W);
+        const auto a0 = Tr::broadcast(a_at(i + 0, p));
+        s00 = Tr::fmadd(a0, b0, s00);
+        s01 = Tr::fmadd(a0, b1, s01);
+        const auto a1 = Tr::broadcast(a_at(i + 1, p));
+        s10 = Tr::fmadd(a1, b0, s10);
+        s11 = Tr::fmadd(a1, b1, s11);
+        const auto a2 = Tr::broadcast(a_at(i + 2, p));
+        s20 = Tr::fmadd(a2, b0, s20);
+        s21 = Tr::fmadd(a2, b1, s21);
+        const auto a3 = Tr::broadcast(a_at(i + 3, p));
+        s30 = Tr::fmadd(a3, b0, s30);
+        s31 = Tr::fmadd(a3, b1, s31);
+      }
+      Tr::store(c0 + j, s00);
+      Tr::store(c0 + j + W, s01);
+      Tr::store(c1 + j, s10);
+      Tr::store(c1 + j + W, s11);
+      Tr::store(c2 + j, s20);
+      Tr::store(c2 + j + W, s21);
+      Tr::store(c3 + j, s30);
+      Tr::store(c3 + j + W, s31);
+    }
+    for (; j + W <= n; j += W) {
+      auto s0 = Tr::zero(), s1 = Tr::zero(), s2 = Tr::zero(),
+           s3 = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto bv = Tr::load(b + p * n + j);
+        s0 = Tr::fmadd(Tr::broadcast(a_at(i + 0, p)), bv, s0);
+        s1 = Tr::fmadd(Tr::broadcast(a_at(i + 1, p)), bv, s1);
+        s2 = Tr::fmadd(Tr::broadcast(a_at(i + 2, p)), bv, s2);
+        s3 = Tr::fmadd(Tr::broadcast(a_at(i + 3, p)), bv, s3);
+      }
+      Tr::store(c0 + j, s0);
+      Tr::store(c1 + j, s1);
+      Tr::store(c2 + j, s2);
+      Tr::store(c3 + j, s3);
+    }
+    if (j < n) {
+      const std::size_t rem = n - j;
+      auto s0 = Tr::zero(), s1 = Tr::zero(), s2 = Tr::zero(),
+           s3 = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto bv = Tr::load_partial(b + p * n + j, rem);
+        s0 = Tr::fmadd(Tr::broadcast(a_at(i + 0, p)), bv, s0);
+        s1 = Tr::fmadd(Tr::broadcast(a_at(i + 1, p)), bv, s1);
+        s2 = Tr::fmadd(Tr::broadcast(a_at(i + 2, p)), bv, s2);
+        s3 = Tr::fmadd(Tr::broadcast(a_at(i + 3, p)), bv, s3);
+      }
+      Tr::store_partial(c0 + j, rem, s0);
+      Tr::store_partial(c1 + j, rem, s1);
+      Tr::store_partial(c2 + j, rem, s2);
+      Tr::store_partial(c3 + j, rem, s3);
+    }
+  }
+  for (; i < m; ++i) {
+    T* ci = c + i * n;
+    std::size_t j = 0;
+    for (; j + W <= n; j += W) {
+      auto s = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        s = Tr::fmadd(Tr::broadcast(a_at(i, p)), Tr::load(b + p * n + j), s);
+      }
+      Tr::store(ci + j, s);
+    }
+    if (j < n) {
+      const std::size_t rem = n - j;
+      auto s = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        s = Tr::fmadd(Tr::broadcast(a_at(i, p)),
+                      Tr::load_partial(b + p * n + j, rem), s);
+      }
+      Tr::store_partial(ci + j, rem, s);
+    }
+  }
+}
+
+template <class Tr>
+void gemm_nn(typename Tr::Scalar* c, const typename Tr::Scalar* a,
+             const typename Tr::Scalar* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  gemm_broadcast<Tr, /*TransA=*/false>(c, a, b, m, k, n);
+}
+
+template <class Tr>
+void gemm_tn(typename Tr::Scalar* c, const typename Tr::Scalar* a,
+             const typename Tr::Scalar* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  gemm_broadcast<Tr, /*TransA=*/true>(c, a, b, m, k, n);
+}
+
+// Pack B (n x k) into B^t (k x n) so the _nt kernels can run the
+// unit-stride broadcast-FMA body.  The transpose moves bits, never
+// arithmetic, so it cannot perturb the numerical contract.
+template <typename T>
+const T* pack_bt(const T* b, std::size_t n, std::size_t k) {
+  T* bt = pack_buffer<T>(n * k);
+  for (std::size_t j = 0; j < n; ++j) {
+    const T* bj = b + j * k;
+    for (std::size_t p = 0; p < k; ++p) bt[p * n + j] = bj[p];
+  }
+  return bt;
+}
+
+// C = A * B^t: pack B^t, then the broadcast body.  This is the kernel the
+// row-dot scalar version could never auto-vectorize (each dot is a
+// sequential chain); with the pack, every lane still owns one output
+// element's full chain.
+template <class Tr>
+void gemm_nt(typename Tr::Scalar* c, const typename Tr::Scalar* a,
+             const typename Tr::Scalar* b, std::size_t m, std::size_t k,
+             std::size_t n) {
+  using T = typename Tr::Scalar;
+  const T* bt = pack_bt<T>(b, n, k);
+  gemm_broadcast<Tr, false>(c, a, bt, m, k, n);
+}
+
+// Symmetric C = A * B^t: pack B^t, compute row strips only from the
+// strip's first diagonal column onwards, mirror the strictly-lower
+// triangle.  Rows i0+1..i0+3 of a strip compute up to 3 elements left of
+// their own diagonal; the mirror pass overwrites them from the computed
+// upper triangle, so only upper values ever survive.  Per element the
+// accumulation is identical to gemm_nt above — the upper triangle is
+// bit-identical to this tier's full product.
+template <class Tr>
+void syrk_nt(typename Tr::Scalar* c, const typename Tr::Scalar* a,
+             const typename Tr::Scalar* b, std::size_t n, std::size_t k) {
+  using T = typename Tr::Scalar;
+  constexpr std::size_t W = Tr::W;
+  const T* bt = pack_bt<T>(b, n, k);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    T* c0 = c + (i + 0) * n;
+    T* c1 = c + (i + 1) * n;
+    T* c2 = c + (i + 2) * n;
+    T* c3 = c + (i + 3) * n;
+    std::size_t j = i;
+    for (; j + W <= n; j += W) {
+      auto s0 = Tr::zero(), s1 = Tr::zero(), s2 = Tr::zero(),
+           s3 = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto bv = Tr::load(bt + p * n + j);
+        s0 = Tr::fmadd(Tr::broadcast(a[(i + 0) * k + p]), bv, s0);
+        s1 = Tr::fmadd(Tr::broadcast(a[(i + 1) * k + p]), bv, s1);
+        s2 = Tr::fmadd(Tr::broadcast(a[(i + 2) * k + p]), bv, s2);
+        s3 = Tr::fmadd(Tr::broadcast(a[(i + 3) * k + p]), bv, s3);
+      }
+      Tr::store(c0 + j, s0);
+      Tr::store(c1 + j, s1);
+      Tr::store(c2 + j, s2);
+      Tr::store(c3 + j, s3);
+    }
+    if (j < n) {
+      const std::size_t rem = n - j;
+      auto s0 = Tr::zero(), s1 = Tr::zero(), s2 = Tr::zero(),
+           s3 = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        const auto bv = Tr::load_partial(bt + p * n + j, rem);
+        s0 = Tr::fmadd(Tr::broadcast(a[(i + 0) * k + p]), bv, s0);
+        s1 = Tr::fmadd(Tr::broadcast(a[(i + 1) * k + p]), bv, s1);
+        s2 = Tr::fmadd(Tr::broadcast(a[(i + 2) * k + p]), bv, s2);
+        s3 = Tr::fmadd(Tr::broadcast(a[(i + 3) * k + p]), bv, s3);
+      }
+      Tr::store_partial(c0 + j, rem, s0);
+      Tr::store_partial(c1 + j, rem, s1);
+      Tr::store_partial(c2 + j, rem, s2);
+      Tr::store_partial(c3 + j, rem, s3);
+    }
+  }
+  for (; i < n; ++i) {
+    T* ci = c + i * n;
+    std::size_t j = i;
+    for (; j + W <= n; j += W) {
+      auto s = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        s = Tr::fmadd(Tr::broadcast(a[i * k + p]), Tr::load(bt + p * n + j),
+                      s);
+      }
+      Tr::store(ci + j, s);
+    }
+    if (j < n) {
+      const std::size_t rem = n - j;
+      auto s = Tr::zero();
+      for (std::size_t p = 0; p < k; ++p) {
+        s = Tr::fmadd(Tr::broadcast(a[i * k + p]),
+                      Tr::load_partial(bt + p * n + j, rem), s);
+      }
+      Tr::store_partial(ci + j, rem, s);
+    }
+  }
+  for (i = 1; i < n; ++i) {
+    T* ci = c + i * n;
+    for (std::size_t j = 0; j < i; ++j) ci[j] = c[j * n + i];
+  }
+}
+
+// y = A * x: lanes across ROWS (each lane owns one row's sequential dot),
+// gathered through a small stack block.  The per-row chain is fused and
+// ascending, matching the solo matvec the serve batch path must stay
+// bit-identical to.
+template <class Tr>
+void gemv(typename Tr::Scalar* y, const typename Tr::Scalar* a,
+          const typename Tr::Scalar* x, std::size_t m, std::size_t k) {
+  using T = typename Tr::Scalar;
+  constexpr std::size_t W = Tr::W;
+  std::size_t i = 0;
+  for (; i + W <= m; i += W) {
+    auto acc = Tr::zero();
+    for (std::size_t p = 0; p < k; ++p) {
+      alignas(64) T lane[W];
+      for (std::size_t l = 0; l < W; ++l) lane[l] = a[(i + l) * k + p];
+      acc = Tr::fmadd(Tr::load(lane), Tr::broadcast(x[p]), acc);
+    }
+    Tr::store(y + i, acc);
+  }
+  for (; i < m; ++i) {
+    const T* ai = a + i * k;
+    T acc = T(0);
+    for (std::size_t p = 0; p < k; ++p) acc = Tr::fmadd_s(ai[p], x[p], acc);
+    y[i] = acc;
+  }
+}
+
+// y[j] -= alpha * x[j]: elementwise, so lane grouping is free.
+template <class Tr>
+void axpy_minus(typename Tr::Scalar* y, typename Tr::Scalar alpha,
+                const typename Tr::Scalar* x, std::size_t n) {
+  constexpr std::size_t W = Tr::W;
+  const auto av = Tr::broadcast(alpha);
+  std::size_t j = 0;
+  for (; j + W <= n; j += W) {
+    Tr::store(y + j, Tr::fnmadd(av, Tr::load(x + j), Tr::load(y + j)));
+  }
+  if (j < n) {
+    const std::size_t rem = n - j;
+    Tr::store_partial(
+        y + j, rem,
+        Tr::fnmadd(av, Tr::load_partial(x + j, rem),
+                   Tr::load_partial(y + j, rem)));
+  }
+}
+
+// Column j of the Cholesky factor: lanes across rows i > j, each lane
+// walking its own subtraction chain in ascending p (the scalar order).
+// The diagonal pivot is scalar.  Lane gathers stream 4 (or W) L rows in
+// parallel — stride-n loads, but each row is touched contiguously as p
+// ascends.
+template <class Tr>
+bool chol_col(typename Tr::Scalar* l, const typename Tr::Scalar* a,
+              std::size_t n, std::size_t j) {
+  using T = typename Tr::Scalar;
+  constexpr std::size_t W = Tr::W;
+  const T* lj = l + j * n;
+  T diag = a[j * n + j];
+  for (std::size_t p = 0; p < j; ++p) diag = Tr::fnmadd_s(lj[p], lj[p], diag);
+  if (!(double(diag) > 0.0)) return false;
+  const T ljj = Tr::sqrt_s(diag);
+  l[j * n + j] = ljj;
+  const auto ljj_v = Tr::broadcast(ljj);
+  std::size_t i = j + 1;
+  for (; i + W <= n; i += W) {
+    alignas(64) T lane[W];
+    for (std::size_t ll = 0; ll < W; ++ll) lane[ll] = a[(i + ll) * n + j];
+    auto acc = Tr::load(lane);
+    for (std::size_t p = 0; p < j; ++p) {
+      for (std::size_t ll = 0; ll < W; ++ll) lane[ll] = l[(i + ll) * n + p];
+      acc = Tr::fnmadd(Tr::load(lane), Tr::broadcast(lj[p]), acc);
+    }
+    acc = Tr::div(acc, ljj_v);
+    Tr::store(lane, acc);
+    for (std::size_t ll = 0; ll < W; ++ll) l[(i + ll) * n + j] = lane[ll];
+  }
+  for (; i < n; ++i) {
+    const T* li = l + i * n;
+    T acc = a[i * n + j];
+    for (std::size_t p = 0; p < j; ++p) acc = Tr::fnmadd_s(li[p], lj[p], acc);
+    l[i * n + j] = acc / ljj;
+  }
+  return true;
+}
+
+}  // namespace kalmmind::linalg::simd::vec

@@ -8,15 +8,20 @@
 // schedule (computed once per config, amortized across every member) and
 // fuses only the measurement-dependent remainder of the cohort:
 //
-//   X' = X F^t          one blocked gemm_nt over the state block
-//   N  = Z - X' H^t     innovation block
-//   X  = X' + N K_n^t   correction block
+//   X' = F X            one batched small-GEMM over the state panel
+//   N  = Z - H X'       innovation panel
+//   X  = X' + K_n N     correction panel
 //
-// where X/Z pack one session per row (state and measurement contiguous —
-// the structure-of-arrays layout the blocked kernels want).  Every output
-// element keeps the exact per-element accumulation shape of the solo
+// where X/Z pack one session per COLUMN (SoA panels: the batch dimension
+// is innermost, so linalg::batched_multiply_into runs vector lanes across
+// the cohort and one broadcast of each F/H/K coefficient feeds every
+// session — the only way to fill a vector unit when the per-session
+// operator is just x = 6 wide; see the batched series in
+// bench/micro_kernels).  Every output element keeps the exact per-element
+// accumulation shape (and per-tier FMA policy) of the dispatched solo
 // matvec (single accumulator, shared dimension ascending — see
-// linalg/ops.hpp), so a batched decode is bit-identical to the solo path.
+// linalg/ops.hpp and linalg/simd/simd.hpp), so a batched decode is
+// bit-identical to the solo path at any fixed dispatch tier.
 //
 // Scheduling: DecodeServer dispatches a group the way it dispatches a solo
 // session — one consumer at a time, `scheduled` flag at group granularity.
@@ -199,27 +204,30 @@ class BatchGroup {
     const std::size_t x_dim = cfg.model.x_dim();
     const std::size_t z_dim = cfg.model.z_dim();
 
-    // Gather the SoA blocks: one session per row.
-    x_block_.resize_for_overwrite(m, x_dim);
-    z_block_.resize_for_overwrite(m, z_dim);
+    // Gather the SoA panels: one session per COLUMN (batch dim innermost).
+    x_panel_.resize_for_overwrite(x_dim, m);
+    nu_panel_.resize_for_overwrite(z_dim, m);
     for (std::size_t i = 0; i < m; ++i) {
       const Vector<double>& x = cohort_[begin + i].session->batch_state();
-      double* xr = x_block_.row(i);
-      for (std::size_t j = 0; j < x_dim; ++j) xr[j] = x[j];
+      for (std::size_t j = 0; j < x_dim; ++j) x_panel_(j, i) = x[j];
       const Vector<double>& z = cohort_[begin + i].z;
-      double* zr = z_block_.row(i);
-      for (std::size_t j = 0; j < z_dim; ++j) zr[j] = z[j];
+      for (std::size_t j = 0; j < z_dim; ++j) nu_panel_(j, i) = z[j];
     }
 
-    // X' = X F^t ; N = Z - X' H^t ; X = X' + N K^t.  Same per-element
+    // X' = F X ; N = Z - H X' ; X = X' + K N.  Same per-element
     // accumulation as the solo matvecs (see the header comment).
-    linalg::multiply_bt_into(xp_block_, x_block_, cfg.model.f);
-    linalg::multiply_bt_into(hx_block_, xp_block_, cfg.model.h);
-    nu_block_ = z_block_;
-    nu_block_ -= hx_block_;
-    linalg::multiply_bt_into(corr_block_, nu_block_, entry->k);
-    xn_block_ = xp_block_;
-    xn_block_ += corr_block_;
+    linalg::batched_multiply_into(xp_panel_, cfg.model.f, x_panel_);
+    linalg::batched_multiply_into(hx_panel_, cfg.model.h, xp_panel_);
+    nu_panel_ -= hx_panel_;
+    linalg::batched_multiply_into(corr_panel_, entry->k, nu_panel_);
+    xp_panel_ += corr_panel_;
+
+    // Scatter back to one-session-per-row for the per-member handoff.
+    xn_block_.resize_for_overwrite(m, x_dim);
+    for (std::size_t i = 0; i < m; ++i) {
+      double* xr = xn_block_.row(i);
+      for (std::size_t j = 0; j < x_dim; ++j) xr[j] = xp_panel_(j, i);
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     const double per_step =
@@ -267,11 +275,12 @@ class BatchGroup {
   std::vector<std::shared_ptr<Session>> members_;
 
   // Pass-local scratch, reused across quanta (single consumer): the SoA
-  // state/measurement blocks and the cohort list.  Steady state allocates
-  // nothing once the cohort size stabilizes.
+  // state/measurement panels (dim x cohort) plus the row-major handoff
+  // block, and the cohort list.  Steady state allocates nothing once the
+  // cohort size stabilizes.
   std::vector<Item> cohort_;
-  Matrix<double> x_block_, z_block_, xp_block_, hx_block_, nu_block_,
-      corr_block_, xn_block_;
+  Matrix<double> x_panel_, xp_panel_, hx_panel_, nu_panel_, corr_panel_,
+      xn_block_;
 };
 
 }  // namespace kalmmind::serve

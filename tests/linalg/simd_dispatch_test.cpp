@@ -1,0 +1,224 @@
+// Runtime SIMD dispatch (docs/performance.md): every tier this host can
+// run, forced through set_dispatch_tier(), must agree with linalg::naive::
+// under the FMA-contraction-only contract — same accumulation order, the
+// only permitted delta is fused vs unfused multiply-add rounding — across
+// the paper's dims (x=6, z in {46, 164}) and odd/remainder shapes that
+// exercise each tier's partial-vector tails.  The symmetric kernel's
+// exact-symmetry guarantee and the batched panel kernel's bit-identity to
+// per-column solo products must hold per tier, not just on the default.
+#include "linalg/simd/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "linalg/linalg.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace kalmmind::linalg {
+namespace {
+
+namespace simd = kalmmind::linalg::simd;
+
+// Restores the entry tier even when an assertion aborts the test body.
+class TierGuard {
+ public:
+  explicit TierGuard(simd::Tier t) : prev_(simd::active_tier()) {
+    EXPECT_TRUE(simd::set_dispatch_tier(t))
+        << "tier " << simd::tier_name(t) << " reported available but "
+        << "refused to activate";
+  }
+  ~TierGuard() { simd::set_dispatch_tier(prev_); }
+
+ private:
+  simd::Tier prev_;
+};
+
+// FMA-contraction bound: one accumulator per element over a length-k sum
+// of O(1) terms leaves at most k half-ulp differences between fused and
+// unfused rounding.  The 4x slack absorbs the final rounding of either
+// side without ever excusing a reordered accumulation.
+double fma_tol(std::size_t k) {
+  return 4.0 * double(k) * std::numeric_limits<double>::epsilon();
+}
+
+// Paper dims (x=6 against both measurement sizes) plus remainder shapes:
+// dimensions straddling every tier's vector width (2/4/8/16 lanes) so the
+// masked / partial tails run, not just the full-vector body.
+const std::vector<std::tuple<int, int, int>> kShapes = {
+    {6, 6, 6},   {46, 6, 46},  {164, 6, 164}, {6, 46, 6},  {6, 164, 6},
+    {1, 1, 1},   {3, 5, 7},    {9, 2, 17},    {15, 6, 33}, {17, 17, 31},
+    {8, 8, 8},   {16, 4, 16},  {5, 164, 13},
+};
+
+TEST(SimdDispatch, AvailableTiersStartWithScalarAndIncludeDetected) {
+  const auto tiers = simd::available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::Tier::kScalar);
+  bool has_detected = false;
+  for (const simd::Tier t : tiers) {
+    if (t == simd::detect()) has_detected = true;
+  }
+  EXPECT_TRUE(has_detected);
+}
+
+TEST(SimdDispatch, SetDispatchTierAcceptsExactlyTheAvailableTiers) {
+  const simd::Tier entry = simd::active_tier();
+  const auto tiers = simd::available_tiers();
+  for (const simd::Tier t :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512,
+        simd::Tier::kNeon}) {
+    bool available = false;
+    for (const simd::Tier a : tiers) available = available || a == t;
+    EXPECT_EQ(simd::set_dispatch_tier(t), available)
+        << simd::tier_name(t);
+    if (!available) {
+      // A refused tier must leave the active table untouched.
+      EXPECT_NE(simd::active_tier(), t);
+    }
+  }
+  simd::set_dispatch_tier(entry);
+}
+
+TEST(SimdDispatch, ParseAndNameRoundTrip) {
+  for (const simd::Tier t :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512,
+        simd::Tier::kNeon}) {
+    const auto parsed = simd::parse_tier(simd::tier_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(simd::parse_tier("sse9").has_value());
+  EXPECT_FALSE(simd::parse_tier("").has_value());
+}
+
+TEST(SimdDispatch, TierGaugeTracksSetDispatchTier) {
+  if (!telemetry::kCompiledIn) GTEST_SKIP() << "telemetry compiled out";
+  const simd::Tier entry = simd::active_tier();
+  auto& gauge = telemetry::MetricsRegistry::global().gauge(
+      "kalmmind.linalg.simd_tier");
+  for (const simd::Tier t : simd::available_tiers()) {
+    TierGuard guard(t);
+    EXPECT_EQ(gauge.value(), double(int(t))) << simd::tier_name(t);
+  }
+  EXPECT_EQ(gauge.value(), double(int(entry)));
+}
+
+TEST(SimdDispatch, GemmFamilyMatchesNaivePerTierAcrossShapes) {
+  for (const simd::Tier tier : simd::available_tiers()) {
+    TierGuard guard(tier);
+    for (const auto& [m, k, n] : kShapes) {
+      SCOPED_TRACE(std::string(simd::tier_name(tier)) + " m=" +
+                   std::to_string(m) + " k=" + std::to_string(k) + " n=" +
+                   std::to_string(n));
+      Rng rng(std::uint64_t(m * 7919 + k * 131 + n + int(tier)));
+      const auto a = random_matrix<double>(m, k, rng);
+      const auto b = random_matrix<double>(k, n, rng);
+      const auto bt = b.transposed();  // n x k
+      const auto at = a.transposed();  // k x m
+
+      Matrix<double> got, want;
+      multiply_into(got, a, b);
+      naive::multiply_into(want, a, b);
+      testing::expect_matrix_near(got, want, fma_tol(k), "gemm_nn");
+
+      multiply_bt_into(got, a, bt);
+      naive::multiply_bt_into(want, a, bt);
+      testing::expect_matrix_near(got, want, fma_tol(k), "gemm_nt");
+
+      multiply_at_into(got, at, b);
+      naive::multiply_at_into(want, at, b);
+      testing::expect_matrix_near(got, want, fma_tol(k), "gemm_tn");
+    }
+  }
+}
+
+TEST(SimdDispatch, SymmetricKernelExactlySymmetricPerTier) {
+  for (const simd::Tier tier : simd::available_tiers()) {
+    TierGuard guard(tier);
+    for (const auto [n, k] : {std::pair{46, 6}, {164, 6}, {7, 5}, {17, 3},
+                              {33, 9}, {1, 1}}) {
+      SCOPED_TRACE(std::string(simd::tier_name(tier)) + " n=" +
+                   std::to_string(n) + " k=" + std::to_string(k));
+      // An A * B^t the caller knows is symmetric: B = A * S with S
+      // symmetric makes A S A^t symmetric.
+      Rng rng(std::uint64_t(n * 31 + k + int(tier)));
+      const auto a = random_matrix<double>(n, k, rng);
+      const auto s = random_spd<double>(std::size_t(k), rng, 1.0);
+      Matrix<double> b_mat;
+      multiply_into(b_mat, a, s);  // n x k
+
+      Matrix<double> sym, full, want;
+      multiply_bt_symmetric_into(sym, a, b_mat);
+      multiply_bt_into(full, a, b_mat);
+      naive::multiply_bt_into(want, a, b_mat);
+
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          // Exact symmetry, and the upper triangle bit-identical to the
+          // same tier's full product (the lower is its mirror).
+          ASSERT_EQ(sym(i, j), sym(j, i)) << i << "," << j;
+          if (j >= i) ASSERT_EQ(sym(i, j), full(i, j)) << i << "," << j;
+        }
+      }
+      testing::expect_matrix_near(sym, want, fma_tol(k), "syrk_nt");
+    }
+  }
+}
+
+TEST(SimdDispatch, BatchedPanelBitIdenticalToSoloColumnsPerTier) {
+  for (const simd::Tier tier : simd::available_tiers()) {
+    TierGuard guard(tier);
+    for (const auto [q, k, m] : {std::tuple{6, 6, 33}, {6, 6, 64}, {2, 6, 7},
+                                 {6, 2, 5}, {3, 3, 1}}) {
+      SCOPED_TRACE(std::string(simd::tier_name(tier)) + " q=" +
+                   std::to_string(q) + " k=" + std::to_string(k) + " m=" +
+                   std::to_string(m));
+      Rng rng(std::uint64_t(q * 1009 + k * 53 + m + int(tier)));
+      const auto coeff = random_matrix<double>(q, k, rng);
+      const auto panel = random_matrix<double>(k, m, rng);
+
+      Matrix<double> batched;
+      batched_multiply_into(batched, coeff, panel);
+
+      // Solo reference: each panel column through the same tier's
+      // matrix-vector product, the path a non-batched session takes.
+      Vector<double> col(static_cast<std::size_t>(k));
+      Vector<double> solo;
+      for (int j = 0; j < m; ++j) {
+        for (int p = 0; p < k; ++p) col[std::size_t(p)] = panel(p, j);
+        multiply_into(solo, coeff, col);
+        for (int i = 0; i < q; ++i) {
+          ASSERT_EQ(batched(i, j), solo[std::size_t(i)])
+              << "col " << j << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, CholeskyAndLuStayCorrectPerTier) {
+  for (const simd::Tier tier : simd::available_tiers()) {
+    TierGuard guard(tier);
+    for (const int n : {6, 17, 46}) {
+      SCOPED_TRACE(std::string(simd::tier_name(tier)) + " n=" +
+                   std::to_string(n));
+      Rng rng(std::uint64_t(n + 977 * int(tier)));
+      const auto a = random_spd<double>(std::size_t(n), rng, 2.0);
+      const auto inv_chol = invert_cholesky(a);
+      EXPECT_LT(inverse_residual(a, inv_chol), 1e-8);
+      const auto inv_lu = invert_lu(a);
+      EXPECT_LT(inverse_residual(a, inv_lu), 1e-8);
+    }
+    Matrix<double> indefinite(2, 2, {1.0, 2.0, 2.0, 1.0});
+    EXPECT_THROW(cholesky_factor(indefinite), NotPositiveDefiniteError);
+  }
+}
+
+}  // namespace
+}  // namespace kalmmind::linalg

@@ -1,0 +1,30 @@
+// rtcheck fixture: the SIMD dispatch shape.  A load-time probe does
+// getenv + CPUID work (RT4) and swaps a table pointer; the realtime root
+// only dereferences the published table.  The test pins that the probe is
+// flagged when a root reaches it and clean when only the lookup is
+// reachable — the guarantee linalg/simd/dispatch.cpp relies on.
+#pragma once
+namespace fx {
+
+struct ProbeFilter {
+  // The load-time resolver: environment override plus CPU probe.  Nothing
+  // marked KALMMIND_REALTIME may reach this.
+  void resolve_tier() {
+    const char* env = getenv("FX_SIMD");
+    (void)env;
+    probe_ok_ = __builtin_cpu_supports("avx2");
+  }
+
+  // The hot path: a plain table read, no probing.
+  void step() KALMMIND_REALTIME { value_ = table_[0]; }
+
+  // A bad hot path that re-resolves per step: the chain the analyzer must
+  // report (step_reprobe -> resolve_tier -> getenv/CPU probe).
+  void step_reprobe() KALMMIND_REALTIME { resolve_tier(); }
+
+  bool probe_ok_ = false;
+  int value_ = 0;
+  int table_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace fx

@@ -85,6 +85,23 @@ TEST(RtCheckWaiver, BareWaiverIsIgnoredWithANote) {
       << f.message;
 }
 
+// The SIMD-dispatch guarantee (src/linalg/simd/dispatch.cpp): getenv and
+// CPUID probing are RT4, so a load-time resolver is clean only while no
+// KALMMIND_REALTIME root reaches it.  The fixture has both shapes — a hot
+// path that just reads the published table, and one that re-resolves per
+// step — and the analyzer must flag exactly the latter's chain.
+TEST(RtCheckDispatchProbe, ProbeFlaggedOnlyWhenReachableFromRoot) {
+  RtReport report = check_fixture("rtcheck/dispatch_probe.hpp");
+  ASSERT_EQ(report.findings.size(), 2u) << dump(report);
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.rule, "RT4");
+    EXPECT_NE(f.message.find("fx::ProbeFilter::step_reprobe -> "
+                             "fx::ProbeFilter::resolve_tier"),
+              std::string::npos)
+        << f.message;
+  }
+}
+
 TEST(RtCheckCycle, MutualRecursionTerminatesAndStillReports) {
   RtReport report = check_fixture("rtcheck/cycle.hpp");
   ASSERT_EQ(report.findings.size(), 1u) << dump(report);

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/simd/simd.hpp"
 #include "serve/serve.hpp"
 #include "../kalman/kalman_test_util.hpp"
 
@@ -105,6 +106,53 @@ TEST(ServeBatchTest, BatchedFleetIsBitIdenticalToSolo) {
     EXPECT_TRUE(snap.batched);
     EXPECT_EQ(snap.batched_steps, kSteps);
   }
+}
+
+// The batched-vs-solo bit-identity bar again, once per SIMD tier the host
+// can run (docs/performance.md): the fused SoA panel passes must reproduce
+// the solo filter exactly under every dispatched kernel table, not just
+// whichever tier the probe picked.  The tier is process-global, so the
+// worker threads and the sequential reference run the same kernels.
+TEST(ServeBatchTest, BatchedFleetBitIdenticalToSoloOnEveryTier) {
+  const auto model = testing::small_model(6);
+  const SessionConfig cfg = batched_config(model);
+  constexpr std::size_t kSessions = 9;
+  constexpr std::size_t kSteps = 25;
+
+  const linalg::simd::Tier entry_tier = linalg::simd::active_tier();
+  for (const linalg::simd::Tier tier : linalg::simd::available_tiers()) {
+    SCOPED_TRACE(linalg::simd::tier_name(tier));
+    ASSERT_TRUE(linalg::simd::set_dispatch_tier(tier));
+
+    std::vector<std::vector<Vector<double>>> streams;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      streams.push_back(
+          testing::simulate_measurements(model, kSteps, 900 + s));
+    }
+    ServerOptions options;
+    options.workers = 2;
+    options.max_batch = 4;
+    DecodeServer server(options);
+    std::vector<SessionId> ids;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      ids.push_back(server.open_session(cfg));
+    }
+    for (std::size_t n = 0; n < kSteps; ++n) {
+      for (std::size_t s = 0; s < kSessions; ++s) {
+        ASSERT_EQ(server.submit(ids[s], streams[s][n]),
+                  PushResult::kAccepted);
+      }
+    }
+    server.drain();
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      SCOPED_TRACE(s);
+      expect_bit_identical(server.trajectory(ids[s]),
+                           sequential_trajectory(cfg, streams[s]));
+    }
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.total_batched_steps, kSessions * kSteps);
+  }
+  linalg::simd::set_dispatch_tier(entry_tier);
 }
 
 TEST(ServeBatchTest, MixedConfigsFormSeparateGroups) {

@@ -31,6 +31,12 @@
 // Pretty-prints a flight-recorder postmortem dump (blackbox_*.jsonl, see
 // docs/observability.md), optionally filtered.
 //
+//   kalmmind simd-info
+//
+// Prints the runtime SIMD kernel dispatch resolution (docs/performance.md):
+// the probed tier, the active tier, every tier usable on this host, and
+// whether a KALMMIND_SIMD= override was applied.
+//
 // Global flags (any subcommand, stripped before dispatch):
 //   --trace-out FILE    enable span tracing; write Chrome trace event JSON
 //                       (open in Perfetto or chrome://tracing)
@@ -50,6 +56,7 @@
 
 #include "core/kalmmind.hpp"
 #include "io/csv.hpp"
+#include "linalg/simd/simd.hpp"
 #include "neural/decode_quality.hpp"
 #include "serve/serve.hpp"
 #include "soc/soc_all.hpp"
@@ -180,9 +187,10 @@ struct CliOptions {
                "       %s telemetry-demo [--dataset NAME] [--iterations N]\n"
                "       %s blackbox FILE [--session N] [--kind NAME] "
                "[--last N]\n"
+               "       %s simd-info\n"
                "global: [--trace-out FILE] [--metrics-out FILE] "
                "[--blackbox-out DIR]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -653,6 +661,31 @@ int run_telemetry_demo(int argc, char** argv) {
   return 0;
 }
 
+// ---- simd-info: report the runtime kernel dispatch resolution ----
+
+int run_simd_info() {
+  const linalg::simd::DispatchInfo info = linalg::simd::dispatch_info();
+  std::printf("detected   : %s\n", linalg::simd::tier_name(info.detected));
+  std::printf("active     : %s\n", linalg::simd::tier_name(info.active));
+  std::string avail;
+  for (const linalg::simd::Tier t : linalg::simd::available_tiers()) {
+    if (!avail.empty()) avail += " ";
+    avail += linalg::simd::tier_name(t);
+  }
+  std::printf("available  : %s\n", avail.c_str());
+  if (info.env.empty()) {
+    std::printf("env        : KALMMIND_SIMD unset\n");
+  } else {
+    std::printf("env        : KALMMIND_SIMD=%.*s (%s)\n",
+                int(info.env.size()), info.env.data(),
+                info.env_applied ? "applied" : "ignored: unknown or "
+                                               "unavailable on this host");
+  }
+  std::printf("gauge      : kalmmind.linalg.simd_tier = %d\n",
+              static_cast<int>(info.active));
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -668,6 +701,8 @@ int main(int argc, char** argv) {
     rc = run_serve_bench(argc, argv);
   } else if (argc > 1 && !std::strcmp(argv[1], "blackbox")) {
     rc = run_blackbox(argc, argv);
+  } else if (argc > 1 && !std::strcmp(argv[1], "simd-info")) {
+    rc = run_simd_info();
   } else if (argc > 1 && !std::strcmp(argv[1], "telemetry-demo")) {
     // Demo defaults: always write a trace/metrics pair if no global flags.
     TelemetryOptions demo = telemetry_opt;

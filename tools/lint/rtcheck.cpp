@@ -51,6 +51,13 @@ const std::vector<RtPattern>& rt_patterns() {
         "stdio call");
     add("RT4", R"(\b(?:ofstream|ifstream|fstream|stringstream|ostringstream)\b)",
         "stream object");
+    // RT4 environment/CPU probing.  getenv walks the environment block (and
+    // races with setenv); CPUID-family probes serialize the pipeline.  Both
+    // belong in load-time dispatch resolution (linalg/simd/dispatch.cpp),
+    // never on a KALMMIND_REALTIME path.
+    add("RT4", R"(\b(?:std\s*::\s*)?getenv\s*\()", "environment probe");
+    add("RT4", R"(\b__builtin_cpu_(?:supports|init|is)\s*\()", "CPU probe");
+    add("RT4", R"(\b__get_cpuid(?:_count|_max)?\s*\()", "CPUID intrinsic");
     // RT5 sleeps and waits.
     add("RT5", R"(this_thread\s*::\s*(?:sleep_for|sleep_until|yield)\b)",
         "thread sleep/yield");
@@ -448,7 +455,8 @@ std::string rtcheck_rule_table() {
       "RT2  locking      lock_guard/unique_lock/scoped_lock/shared_lock,\n"
       "                  explicit .lock()/.try_lock()\n"
       "RT3  throw        any throw expression on the realtime path\n"
-      "RT4  blocking-io  cout/cerr/clog, printf-family, fopen, fstream types\n"
+      "RT4  blocking-io  cout/cerr/clog, printf-family, fopen, fstream types,\n"
+      "                  getenv, __builtin_cpu_supports/CPUID probes\n"
       "RT5  sleep/wait   this_thread sleeps/yield, condition_variable,\n"
       "                  .wait/.wait_for/.wait_until\n";
 }
