@@ -14,10 +14,17 @@
 //     independent work once per bin instead of once per session — the
 //     sessions/s ratio is written to BENCH_serve.json and floored by
 //     scripts/bench_perf.sh.
+//  3. Snapshot-replay migration (docs/robustness.md) at the paper's motor
+//     dims (x=6, z=164): a sharded cluster checkpoints every session
+//     through the SessionSnapshot wire codec, then drain-migrates one
+//     shard mid-stream.  The per-session checkpoint and migration
+//     (snapshot + restore + requeue) latencies go into BENCH_serve.json;
+//     bench_perf.sh floors migration at 5 ms/session, because failover
+//     that costs more than a 50 ms bin budget's tenth is an outage.
 //
-// Both experiments end with a determinism check: every served trajectory
-// (solo or batched) must be bit-identical to the same filter stepped
-// sequentially.
+// All experiments end with a determinism check: every served trajectory
+// (solo, batched, or migrated) must be bit-identical to the same filter
+// stepped sequentially.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -97,6 +104,93 @@ RunResult run_once(const neural::NeuralDataset& dataset,
     for (std::size_t n = 0; r.identical && n < served.size(); ++n) {
       for (std::size_t d = 0; d < served[n].size(); ++d) {
         if (served[n][d] != expect[n][d]) r.identical = false;
+      }
+    }
+    if (!r.identical) break;
+  }
+  return r;
+}
+
+struct MigrationResult {
+  std::size_t sessions = 0;
+  std::size_t migrated = 0;
+  double snapshot_ms_per_session = 0.0;
+  double migrate_ms_per_session = 0.0;
+  bool identical = true;
+};
+
+// Experiment 3: snapshot-replay migration at the paper's motor dims.
+MigrationResult run_migration_bench() {
+  neural::DatasetSpec spec = neural::motor_spec();
+  spec.test_steps = 100;
+  const neural::NeuralDataset dataset = neural::build_dataset(spec);
+  const serve::SessionConfig cfg = session_config(dataset);
+  const std::size_t half = dataset.test_measurements.size() / 2;
+
+  MigrationResult r;
+  r.sessions = 16;
+
+  serve::ClusterOptions options;
+  options.shards = 2;
+  // Lossless bench: after the drain migration one shard hosts the whole
+  // fleet, so the watermark must admit every outstanding bin at once.
+  options.high_watermark = r.sessions * cfg.queue_capacity + 1;
+  options.low_watermark = options.high_watermark / 2;
+  options.checkpoint_every_bins = 0;  // explicit checkpoints only
+  serve::ShardedDecodeServer cluster(options);
+  std::vector<serve::SessionId> ids;
+  for (std::size_t s = 0; s < r.sessions; ++s) {
+    ids.push_back(cluster.open_session(cfg));
+  }
+
+  // Decode the first half everywhere, then checkpoint the whole fleet
+  // through the SessionSnapshot codec.
+  for (std::size_t n = 0; n < half; ++n) {
+    for (const auto id : ids) (void)cluster.submit(id, dataset.test_measurements[n]);
+  }
+  cluster.drain();
+
+  const auto c0 = std::chrono::steady_clock::now();
+  const std::size_t snapped = cluster.checkpoint_all();
+  const double snap_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+          .count();
+  r.snapshot_ms_per_session =
+      snapped > 0 ? snap_s * 1e3 / double(snapped) : 0.0;
+
+  // Drain-migrate one shard: checkpoint + steal-queue + restore + requeue
+  // for every session it hosts, then a rebuild.
+  const std::size_t victim = cluster.shard_of(ids.front());
+  std::size_t victims = 0;
+  for (const auto id : ids) {
+    if (cluster.shard_of(id) == victim) ++victims;
+  }
+  const auto m0 = std::chrono::steady_clock::now();
+  const Status migrated = cluster.drain_shard(victim);
+  const double mig_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - m0)
+          .count();
+  r.migrated = migrated.ok() ? victims : 0;
+  r.migrate_ms_per_session =
+      r.migrated > 0 ? mig_s * 1e3 / double(r.migrated) : 1e9;
+
+  // Finish the stream and hold migration to the bit-identity bar.
+  for (std::size_t n = half; n < dataset.test_measurements.size(); ++n) {
+    for (const auto id : ids) (void)cluster.submit(id, dataset.test_measurements[n]);
+  }
+  cluster.drain();
+
+  kalman::KalmanFilter<double> sequential = cfg.filter.make_filter();
+  const auto seq = sequential.run(dataset.test_measurements);
+  for (const auto id : ids) {
+    const auto served = cluster.trajectory(id);
+    if (served.size() != seq.states.size()) {
+      r.identical = false;
+      break;
+    }
+    for (std::size_t n = 0; r.identical && n < served.size(); ++n) {
+      for (std::size_t d = 0; d < served[n].size(); ++d) {
+        if (served[n][d] != seq.states[n][d]) r.identical = false;
       }
     }
     if (!r.identical) break;
@@ -188,6 +282,22 @@ int main() {
               all_identical ? "bit-identical to sequential execution"
                             : "DIVERGED — serving bug");
 
+  // Snapshot-replay migration at the paper's motor dims (x=6, z=164).
+  const MigrationResult mig = run_migration_bench();
+  all_identical = all_identical && mig.identical;
+  std::printf("\next: snapshot-replay migration — motor x=6 z=164, "
+              "%zu sessions, 2 shards\n\n",
+              mig.sessions);
+  std::printf("checkpoint : %.3f ms/session (SessionSnapshot codec, "
+              "%zu sessions)\n",
+              mig.snapshot_ms_per_session, mig.sessions);
+  std::printf("migration  : %.3f ms/session (snapshot + restore + requeue, "
+              "%zu sessions drained)\n",
+              mig.migrate_ms_per_session, mig.migrated);
+  std::printf("trajectories %s after migration\n",
+              mig.identical ? "bit-identical to sequential execution"
+                            : "DIVERGED — migration bug");
+
   // Machine-readable record for scripts/bench_perf.sh and CI artifacts.
   if (FILE* f = std::fopen("BENCH_serve.json", "w")) {
     std::fprintf(f,
@@ -202,12 +312,22 @@ int main() {
                  "  \"batched_steps_per_s\": %.1f,\n"
                  "  \"batched_speedup\": %.3f,\n"
                  "  \"batched_steps\": %zu,\n"
-                 "  \"identical\": %s\n"
+                 "  \"identical\": %s,\n"
+                 "  \"migration\": {\n"
+                 "    \"dataset\": \"motor\",\n"
+                 "    \"sessions\": %zu,\n"
+                 "    \"migrated\": %zu,\n"
+                 "    \"snapshot_ms_per_session\": %.3f,\n"
+                 "    \"migrate_ms_per_session\": %.3f,\n"
+                 "    \"identical\": %s\n"
+                 "  }\n"
                  "}\n",
                  spec.name.c_str(), fleet, bins, hw,
                  linalg::simd::tier_name(linalg::simd::active_tier()),
                  solo.steps_per_s, batched.steps_per_s, batch_speedup,
-                 batched.batched_steps, all_identical ? "true" : "false");
+                 batched.batched_steps, all_identical ? "true" : "false",
+                 mig.sessions, mig.migrated, mig.snapshot_ms_per_session,
+                 mig.migrate_ms_per_session, mig.identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote BENCH_serve.json\n");
   }

@@ -126,4 +126,27 @@ if speedup < 2.0:
     raise SystemExit("bench_perf: batched speedup below the 2.0x floor")
 EOF
 
+echo
+echo "== bench_perf: snapshot-replay migration (motor x=6, z=164) =="
+python3 - <<'EOF'
+import json
+
+with open("BENCH_serve.json") as f:
+    data = json.load(f)
+mig = data.get("migration")
+if mig is None:
+    raise SystemExit("bench_perf: migration series missing from JSON")
+print(f"checkpoint {mig['snapshot_ms_per_session']:8.3f} ms/session")
+print(f"migration  {mig['migrate_ms_per_session']:8.3f} ms/session "
+      "(floor: 5 ms, snapshot + restore + requeue)")
+if not mig["identical"]:
+    raise SystemExit(
+        "bench_perf: migrated trajectories diverged from sequential")
+if mig["migrated"] == 0:
+    raise SystemExit("bench_perf: no sessions were migrated")
+if mig["migrate_ms_per_session"] > 5.0:
+    raise SystemExit(
+        "bench_perf: migration above the 5 ms/session ceiling")
+EOF
+
 echo "bench_perf: OK (BENCH_kernels.json + BENCH_serve.json refreshed)"

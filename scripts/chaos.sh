@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Chaos soak (docs/robustness.md): build with ASan+UBSan and the
 # KALMMIND_FAULTS injection hooks, run the robustness suites once, then
-# loop the seeded fault-storm test over a set of seeds.  Any failure
-# prints the seed; replay it with
+# loop the seeded fault storms over a set of seeds — both the measurement
+# fault storm and the cluster shard-kill storm (seeded fail_shard against
+# a streaming fleet; every stream must resume bit-identical on a healthy
+# shard and bin conservation must close).  Any failure prints the seed;
+# replay it with
 #   KALMMIND_CHAOS_SEED=<seed> ctest --test-dir build-chaos -R ServeChaos
 #
 # Usage: scripts/chaos.sh
@@ -25,10 +28,10 @@ cmake --build build-chaos -j"$(nproc)" \
 echo
 echo "== chaos: robustness suites, scheduled faults =="
 ctest --test-dir build-chaos --output-on-failure -j"$(nproc)" \
-  -R 'KalmanHealth|SocFaultInjection|ServeSelfHealing|ServeBlackbox'
+  -R 'KalmanHealth|SocFaultInjection|ServeSelfHealing|ServeBlackbox|ServeCluster'
 
 echo
-echo "== chaos: seeded fault storms (seeds: ${SEEDS}) =="
+echo "== chaos: seeded fault storms incl. shard kills (seeds: ${SEEDS}) =="
 for seed in ${SEEDS}; do
   echo "-- chaos seed ${seed}"
   KALMMIND_CHAOS_SEED="${seed}" \
@@ -46,6 +49,13 @@ mkdir -p "${ARTIFACTS}"
   --blackbox-out "${ARTIFACTS}" \
   --trace-out "${ARTIFACTS}/chaos_soak_trace.json" \
   telemetry-demo --dataset motor --iterations 25
+
+# A sharded drain migration under the sanitizers: checkpoint + restore +
+# requeue mid-stream, verified bit-identical inside the binary itself.
+./build-chaos/tools/kalmmind \
+  --blackbox-out "${ARTIFACTS}" \
+  --trace-out "${ARTIFACTS}/cluster_migration_trace.json" \
+  cluster-bench --dataset motor --shards 3 --sessions 6 --iterations 40
 ls -l "${ARTIFACTS}"
 
 echo

@@ -12,20 +12,39 @@
 
 namespace kalmmind {
 
+// Coarse disposition of a non-ok Status.  kInvalid is a permanent error
+// (bad config, malformed frame); kOverloaded and kUnavailable are transient
+// serving conditions a client should retry with backoff (admission control
+// rejected the bin, or the target is mid-migration/fenced).
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,
+  kOverloaded,
+  kUnavailable,
+};
+
 // The class itself is [[nodiscard]]: any call returning a Status — not just
 // the annotated factories below — warns if the result is dropped, so a
 // validation outcome cannot silently vanish before data reaches the filter.
 class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
-  constexpr Status() noexcept : message_(nullptr) {}
+  constexpr Status() noexcept : message_(nullptr), code_(StatusCode::kOk) {}
 
   [[nodiscard]] static constexpr Status Ok() noexcept { return Status(); }
 
   // `message` must point to a string literal (or any storage outliving the
   // Status); Status does not copy it.
   [[nodiscard]] static constexpr Status Invalid(const char* message) noexcept {
-    return Status(message);
+    return Status(message, StatusCode::kInvalid);
+  }
+  [[nodiscard]] static constexpr Status Overloaded(
+      const char* message) noexcept {
+    return Status(message, StatusCode::kOverloaded);
+  }
+  [[nodiscard]] static constexpr Status Unavailable(
+      const char* message) noexcept {
+    return Status(message, StatusCode::kUnavailable);
   }
 
   [[nodiscard]] constexpr bool ok() const noexcept {
@@ -33,16 +52,27 @@ class [[nodiscard]] Status {
   }
   constexpr explicit operator bool() const noexcept { return ok(); }
 
+  [[nodiscard]] constexpr StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] constexpr bool overloaded() const noexcept {
+    return code_ == StatusCode::kOverloaded;
+  }
+  // Transient conditions worth a retry (vs a permanent kInvalid).
+  [[nodiscard]] constexpr bool retryable() const noexcept {
+    return code_ == StatusCode::kOverloaded ||
+           code_ == StatusCode::kUnavailable;
+  }
+
   // Empty string when ok().
   constexpr const char* message() const noexcept {
     return message_ ? message_ : "";
   }
 
  private:
-  constexpr explicit Status(const char* message) noexcept
-      : message_(message) {}
+  constexpr explicit Status(const char* message, StatusCode code) noexcept
+      : message_(message), code_(code) {}
 
   const char* message_;  // nullptr <=> OK
+  StatusCode code_;
 };
 
 }  // namespace kalmmind

@@ -149,6 +149,11 @@ class GainScheduleCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    // Verified fingerprint collisions: the key matched a resident schedule
+    // whose config compared unequal.  Counted separately from misses — a
+    // collision means two live configs share a 64-bit fingerprint, which
+    // is worth alerting on, not just a cold cache.
+    std::uint64_t collisions = 0;
     std::size_t size = 0;  // schedules currently resident
   };
 
@@ -162,10 +167,29 @@ class GainScheduleCache {
   // Precondition: config.check().ok().
   std::shared_ptr<GainSchedule> acquire(const FilterConfig<double>& config) {
     auto& tm = telemetry_();
-    const std::uint64_t key = config.fingerprint();
+    std::uint64_t key = config.fingerprint();
     std::lock_guard<std::mutex> lock(mu_);
+#if defined(KALMMIND_FAULTS)
+    // Collision injection (docs/robustness.md): force every acquire onto
+    // one key so two different configs exercise the verified-collision
+    // path deterministically.
+    if (fault_forced_key_set_) key = fault_forced_key_;
+#endif
     if (auto it = map_.find(key); it != map_.end()) {
-      if (!(it->second.schedule->config() == config)) return nullptr;
+      if (!(it->second.schedule->config() == config)) {
+        // Verified collision: same 64-bit fingerprint, different config.
+        // Never alias — decline to share — but do not bury it as a plain
+        // miss: count it and journal it so an operator can see that two
+        // live configs are contending for one cache line.
+        tm.collisions.add();
+        ++stats_.collisions;
+        if (telemetry::enabled()) {
+          auto& blackbox = telemetry::FlightRecorder::global();
+          blackbox.record_here(
+              telemetry::FlightEventKind::kGainCacheCollision, key);
+        }
+        return nullptr;
+      }
       tm.hits.add();
       ++stats_.hits;
       if (telemetry::enabled()) {
@@ -206,6 +230,22 @@ class GainScheduleCache {
     return s;
   }
 
+#if defined(KALMMIND_FAULTS)
+  // Fault-injection hook (KALMMIND_FAULTS builds only): force every
+  // acquire() onto `key` regardless of the config's real fingerprint, so a
+  // test can make two different configs collide.  clear_fault_forced_key()
+  // restores real fingerprints.
+  void fault_force_key(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_forced_key_ = key;
+    fault_forced_key_set_ = true;
+  }
+  void clear_fault_forced_key() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_forced_key_set_ = false;
+  }
+#endif
+
  private:
   struct Node {
     std::shared_ptr<GainSchedule> schedule;
@@ -218,6 +258,7 @@ class GainScheduleCache {
     telemetry::Counter& hits;
     telemetry::Counter& misses;
     telemetry::Counter& evictions;
+    telemetry::Counter& collisions;
   };
   static CacheTelemetry& telemetry_() {
     static CacheTelemetry t{
@@ -227,6 +268,8 @@ class GainScheduleCache {
             "kalmmind.serve.gain_cache.misses"),
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.serve.gain_cache.evictions"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.gain_cache.collisions"),
     };
     return t;
   }
@@ -237,6 +280,10 @@ class GainScheduleCache {
   std::list<std::uint64_t> lru_;  // front = most recently used
   std::unordered_map<std::uint64_t, Node> map_;
   Stats stats_;
+#if defined(KALMMIND_FAULTS)
+  std::uint64_t fault_forced_key_ = 0;  // see fault_force_key()
+  bool fault_forced_key_set_ = false;
+#endif
 };
 
 }  // namespace kalmmind::kalman

@@ -32,6 +32,12 @@ DecodeServer::DecodeServer(ServerOptions options)
   if (options_.workers != ServerOptions::kManual) {
     pool_ = std::make_unique<ThreadPool>(options_.workers);
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    next_id_ = options_.session_id_base == kInvalidSession
+                   ? 1
+                   : options_.session_id_base;
+  }
 }
 
 DecodeServer::~DecodeServer() {
@@ -41,6 +47,14 @@ DecodeServer::~DecodeServer() {
     ready_.clear();
   }
   if (pool_) pool_->shutdown();  // in-flight batches finish, queued jobs park
+  // Account for the bins this teardown abandons: every queued-but-undecoded
+  // bin is counted into its session's discarded tally and the process-wide
+  // kalmmind.serve.discarded_total counter (the close_session satellite —
+  // nothing vanishes silently).
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, slot] : slots_) {
+    if (slot.session) slot.session->discard_queue();
+  }
 }
 
 SessionId DecodeServer::open_session(SessionConfig config, Status* status) {
@@ -142,12 +156,20 @@ PushResult DecodeServer::submit(SessionId id, Vector<double> z) {
   return result;
 }
 
-bool DecodeServer::close_session(SessionId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = slots_.find(id);
-  if (it == slots_.end()) return false;
-  if (!it->second.closed) sessions_open_gauge().add(-1.0);
-  it->second.closed = true;  // queued bins still decode; no new submits
+bool DecodeServer::close_session(SessionId id, CloseMode mode) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return false;
+    if (!it->second.closed) sessions_open_gauge().add(-1.0);
+    it->second.closed = true;  // no new submits either way
+    if (mode == CloseMode::kDiscard) session = it->second.session;
+  }
+  // kDiscard: drop the queued bins now, counted (a consumer that already
+  // popped a batch still finishes it — discard is queue surgery, not an
+  // interrupt).  kDrain keeps the historical behavior: they still decode.
+  if (session) session->discard_queue();
   return true;
 }
 
@@ -341,6 +363,181 @@ std::vector<Vector<double>> DecodeServer::trajectory(SessionId id) const {
   return session ? session->trajectory() : std::vector<Vector<double>>{};
 }
 
+std::vector<Vector<double>> DecodeServer::trajectory_slice(
+    SessionId id, std::size_t from, std::size_t to) const {
+  auto session = find(id);
+  return session ? session->trajectory_slice(from, to)
+                 : std::vector<Vector<double>>{};
+}
+
+[[nodiscard]] Status DecodeServer::checkpoint_session(
+    SessionId id, SessionSnapshot* out) const {
+  auto session = find(id);
+  if (!session) return Status::Invalid("checkpoint: unknown session");
+  Status s = session->checkpoint(out);
+  if (s.ok() && telemetry::enabled()) {
+    auto& blackbox = telemetry::FlightRecorder::global();
+    blackbox.record(telemetry::FlightEventKind::kSnapshotTaken, id, out->steps,
+                    out->iteration);
+  }
+  return s;
+}
+
+SessionId DecodeServer::restore_session(SessionConfig config,
+                                        const SessionSnapshot& snap,
+                                        Status* status) {
+  if (Status s = config.check(); !s.ok()) {
+    if (status) *status = s;
+    return kInvalidSession;
+  }
+  if (config.filter.fingerprint() != snap.config_fingerprint) {
+    if (status)
+      *status = Status::Invalid(
+          "restore: snapshot fingerprint does not match config");
+    return kInvalidSession;
+  }
+  if (snap.x.size() != config.filter.model.x_dim()) {
+    if (status)
+      *status = Status::Invalid("restore: state dimension mismatch");
+    return kInvalidSession;
+  }
+  // Bit-exact resumption needs the shared gain schedule: the restored
+  // session pulls K at exactly snap.iteration from the cache, which a solo
+  // filter's freshly-constructed strategy cannot reproduce mid-trajectory.
+  if (!options_.batching || !config.allow_batching ||
+      config.filter.options.health.enabled) {
+    if (status)
+      *status = Status::Invalid(
+          "restore: config is not batchable on this server (bit-exact "
+          "replay needs the shared gain schedule)");
+    return kInvalidSession;
+  }
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (status) *status = Status::Unavailable("DecodeServer: shutting down");
+      return kInvalidSession;
+    }
+    id = next_id_++;
+  }
+  std::shared_ptr<Session> session;
+  try {
+    session = std::make_shared<Session>(id, std::move(config));
+  } catch (const std::invalid_argument&) {
+    if (status) {
+      *status = Status::Invalid(
+          "SessionConfig: strategy is missing required parameters "
+          "(e.g. sskf/lite need StrategyMatrices::preloaded_inverse)");
+    }
+    return kInvalidSession;
+  }
+  // Replay against the (warm) gain-schedule cache, outside mu_: extending a
+  // cold schedule to snap.iteration computes that many K/P entries, and the
+  // admission lock must not pay for it.
+  telemetry::ScopedFlightSession flight(id, snap.steps);
+  const std::shared_ptr<kalman::GainSchedule> schedule =
+      cache_.acquire(session->config().filter);
+  if (!schedule) {
+    if (status)
+      *status =
+          Status::Invalid("restore: gain-schedule fingerprint collision");
+    return kInvalidSession;
+  }
+  std::shared_ptr<const kalman::GainSchedule::Entry> entry;
+  if (snap.iteration > 0) {
+    entry = schedule->at(std::size_t(snap.iteration) - 1);
+    if (!entry) {
+      if (status)
+        *status = Status::Invalid(
+            "restore: iteration already slid out of the schedule window");
+      return kInvalidSession;
+    }
+  }
+  session->prime_restore(snap, std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto git = groups_.find(schedule->fingerprint());
+    if (git != groups_.end() && git->second.group &&
+        (!(git->second.group->config() == session->config().filter) ||
+         git->second.group->schedule()->base() > snap.iteration)) {
+      if (status)
+        *status = Status::Invalid(
+            "restore: live batch group cannot host this snapshot");
+      return kInvalidSession;
+    }
+    GroupSlot& gslot = groups_[schedule->fingerprint()];
+    if (!gslot.group) gslot.group = std::make_shared<BatchGroup>(schedule);
+    Slot& slot = slots_[id];
+    slot.session = session;
+    session->enable_batching();
+    gslot.group->add(session);
+    slot.group = gslot.group;
+  }
+  sessions_open_gauge().add(1.0);
+  if (telemetry::enabled()) {
+    auto& blackbox = telemetry::FlightRecorder::global();
+    blackbox.record(telemetry::FlightEventKind::kSnapshotRestored, id,
+                    snap.steps, snap.iteration);
+  }
+  if (status) *status = Status::Ok();
+  return id;
+}
+
+bool DecodeServer::remove_session(SessionId id) {
+  std::shared_ptr<BatchGroup> group;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(id);
+    if (it == slots_.end()) return false;
+    Slot& slot = it->second;
+    if (slot.scheduled) {
+      // Pool mode: a worker may be inside the session right now — refuse.
+      // Manual mode with quiesced pumping (the migration contract): the
+      // ownership token is parked in ready_, so reclaim it here.
+      if (pool_) return false;
+      for (auto rit = ready_.begin(); rit != ready_.end();) {
+        if (!rit->is_group && rit->id == id) {
+          rit = ready_.erase(rit);
+          --scheduled_count_;
+        } else {
+          ++rit;
+        }
+      }
+    }
+    group = slot.group;
+    if (!slot.closed) sessions_open_gauge().add(-1.0);
+    slots_.erase(it);
+    drain_cv_.notify_all();
+  }
+  if (group) group->remove(id);
+  return true;
+}
+
+std::size_t DecodeServer::queued_now() const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(slots_.size());
+    for (const auto& [id, slot] : slots_) sessions.push_back(slot.session);
+  }
+  std::size_t queued = 0;
+  for (const auto& s : sessions) {
+    if (s) queued += s->queue_depth();
+  }
+  return queued;
+}
+
+bool DecodeServer::shed_oldest(SessionId id) {
+  auto session = find(id);
+  return session && session->shed_oldest();
+}
+
+std::deque<Vector<double>> DecodeServer::steal_queue(SessionId id) {
+  auto session = find(id);
+  return session ? session->steal_queue() : std::deque<Vector<double>>{};
+}
+
 std::vector<core::IterationTiming> DecodeServer::timings(SessionId id) const {
   auto session = find(id);
   return session ? session->timings() : std::vector<core::IterationTiming>{};
@@ -373,6 +570,7 @@ ServerStats DecodeServer::stats() const {
     out.total_deadline_misses += s.deadline_misses;
     out.total_rejected += s.rejected;
     out.total_dropped += s.dropped;
+    out.total_discarded += s.discarded;
     out.queued += s.queue_depth;
     out.total_invalid_steps += s.invalid_steps;
     out.total_restarts += s.restarts;
@@ -408,6 +606,7 @@ ServerStats DecodeServer::stats() const {
   out.gain_cache_hits = cache_stats.hits;
   out.gain_cache_misses = cache_stats.misses;
   out.gain_cache_evictions = cache_stats.evictions;
+  out.gain_cache_collisions = cache_stats.collisions;
   // Refresh the registry gauges from this authoritative snapshot, so a
   // --metrics-out dump and stats().to_string() always agree.
   auto& registry = telemetry::MetricsRegistry::global();
@@ -447,8 +646,10 @@ std::string ServerStats::to_string() const {
                 step_latency.max_s * 1e3, step_latency.samples);
   out += line;
   std::snprintf(line, sizeof(line),
-                "quality    : %zu deadline misses, %zu rejected, %zu dropped\n",
-                total_deadline_misses, total_rejected, total_dropped);
+                "quality    : %zu deadline misses, %zu rejected, %zu dropped, "
+                "%zu discarded\n",
+                total_deadline_misses, total_rejected, total_dropped,
+                total_discarded);
   out += line;
   double worst_p99 = 0.0;
   for (const auto& s : per_session) {

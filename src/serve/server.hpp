@@ -42,6 +42,7 @@
 #include "kalman/gain_schedule.hpp"
 #include "serve/batch_group.hpp"
 #include "serve/session.hpp"
+#include "serve/snapshot.hpp"
 #include "serve/stats.hpp"
 #include "serve/thread_pool.hpp"
 
@@ -63,6 +64,17 @@ struct ServerOptions {
   std::size_t gain_cache_capacity = 16;
   // Trailing K/P entries each schedule keeps (see GainSchedule).
   std::size_t gain_window = kalman::GainSchedule::kDefaultWindow;
+  // First session id this server hands out.  The cluster gives each shard
+  // (incarnation) a disjoint id range so flight-recorder journals — keyed
+  // by session id process-wide — never interleave across shards.  0 is
+  // kInvalidSession and is bumped to 1.
+  SessionId session_id_base = 1;
+};
+
+// What close_session does with bins that are queued but not yet decoded.
+enum class CloseMode {
+  kDrain,    // they still decode; the stream just stops accepting submits
+  kDiscard,  // they are dropped now and counted as discarded
 };
 
 class DecodeServer {
@@ -70,8 +82,11 @@ class DecodeServer {
   static constexpr SessionId kInvalidSession = 0;
 
   explicit DecodeServer(ServerOptions options = {});
-  // Drains nothing: queued-but-undecoded bins are discarded, in-flight
-  // batches finish, workers join.  Call drain() first for a lossless stop.
+  // Drains nothing: in-flight batches finish, workers join, and every
+  // queued-but-undecoded bin is discarded — but *counted*, into each
+  // session's discarded tally and kalmmind.serve.discarded_total, so a
+  // teardown never loses bins silently.  Call drain() first for a lossless
+  // stop.
   ~DecodeServer();
 
   DecodeServer(const DecodeServer&) = delete;
@@ -84,10 +99,12 @@ class DecodeServer {
   // Enqueue one measurement bin for decoding.
   PushResult submit(SessionId id, Vector<double> z);
 
-  // Stop accepting bins for the session; already-queued bins still decode.
-  // The session's trajectory/stats stay readable until the server dies.
-  // Returns false for an unknown id.
-  bool close_session(SessionId id);
+  // Stop accepting bins for the session.  kDrain (default): already-queued
+  // bins still decode.  kDiscard: they are dropped immediately and counted
+  // in the session's discarded tally (SessionStatsSnapshot::discarded and
+  // ServerStats::total_discarded).  The session's trajectory/stats stay
+  // readable until the server dies.  Returns false for an unknown id.
+  bool close_session(SessionId id, CloseMode mode = CloseMode::kDrain);
 
   // Block until every queued bin (across all sessions) has been decoded.
   // In manual mode this pumps the ready queue on the calling thread.
@@ -98,9 +115,47 @@ class DecodeServer {
   std::size_t poll();
 
   std::vector<Vector<double>> trajectory(SessionId id) const;
+  // Decoded states [from, to) clamped to what exists (incremental prefix
+  // copies for the cluster's post-failover trajectory concatenation).
+  std::vector<Vector<double>> trajectory_slice(SessionId id, std::size_t from,
+                                               std::size_t to) const;
   std::vector<core::IterationTiming> timings(SessionId id) const;
   SessionStatsSnapshot session_stats(SessionId id) const;
   ServerStats stats() const;
+
+  // --- checkpoint / restore / migration (serve/snapshot.hpp) --------------
+
+  // Capture the session's durable state.  Safe from any thread (reads only
+  // mu_-guarded mirrors); fails for unknown ids and for streams whose gain
+  // trajectory left the shared schedule (degraded/ejected/health-gated).
+  [[nodiscard]] Status checkpoint_session(SessionId id,
+                                          SessionSnapshot* out) const;
+
+  // Admit a session that resumes from a snapshot: its next decode runs at
+  // the snapshot's schedule iteration, pulling gains from this server's
+  // (warm) GainScheduleCache — so the continued trajectory is bit-identical
+  // to the uninterrupted run.  Requires a batchable config (batching on,
+  // allow_batching, health disabled) whose fingerprint matches the
+  // snapshot; otherwise returns kInvalidSession with the reason in
+  // `status`.
+  SessionId restore_session(SessionConfig config, const SessionSnapshot& snap,
+                            Status* status = nullptr);
+
+  // Fully remove a session (migration hand-off: its state now lives on
+  // another shard).  Manual-mode servers only, and the caller must have
+  // quiesced poll() calls; with a thread pool a scheduled session cannot be
+  // safely removed and this returns false.
+  bool remove_session(SessionId id);
+
+  // Current queued-bin total across sessions (O(sessions); the cluster's
+  // admission watermark refresh).
+  std::size_t queued_now() const;
+
+  // Evict the oldest queued bin of `id` (ShedPolicy::kDropOldest).
+  bool shed_oldest(SessionId id);
+
+  // Move the session's queued bins out for lossless drain-migration.
+  std::deque<Vector<double>> steal_queue(SessionId id);
 
   unsigned workers() const { return pool_ ? pool_->size() : 0; }
 

@@ -41,6 +41,7 @@
 #include "kalman/filter_config.hpp"
 #include "kalman/gain_schedule.hpp"
 #include "kalman/riccati.hpp"
+#include "serve/snapshot.hpp"
 #include "serve/stats.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -64,6 +65,7 @@ struct ServeTelemetry {
   telemetry::Counter& restarts;
   telemetry::Counter& degradations;
   telemetry::Counter& quarantine_dropped;
+  telemetry::Counter& discarded;
   telemetry::Gauge& queued_bins;
 
   static ServeTelemetry& get() {
@@ -86,6 +88,8 @@ struct ServeTelemetry {
             "kalmmind.serve.session_degradations_total"),
         telemetry::MetricsRegistry::global().counter(
             "kalmmind.serve.quarantine_dropped_total"),
+        telemetry::MetricsRegistry::global().counter(
+            "kalmmind.serve.discarded_total"),
         telemetry::MetricsRegistry::global().gauge(
             "kalmmind.serve.queued_bins"),
     };
@@ -102,10 +106,29 @@ enum class BackpressurePolicy {
 
 enum class PushResult {
   kAccepted,
-  kRejectedFull,    // kReject policy, queue at capacity
-  kDroppedOldest,   // accepted, but an older bin was evicted to make room
-  kUnknownSession,  // no such session / session closed
+  kRejectedFull,      // kReject policy, queue at capacity
+  kDroppedOldest,     // accepted, but an older bin was evicted to make room
+  kUnknownSession,    // no such session / session closed
+  kRejectedOverload,  // cluster admission control bounced the bin
 };
+
+// Status view of a submit outcome.  Queue-full and admission rejections are
+// kOverloaded (transient: retry with backoff, see serve/cluster.hpp);
+// unknown-session is permanent.
+[[nodiscard]] inline Status push_status(PushResult r) noexcept {
+  switch (r) {
+    case PushResult::kAccepted:
+    case PushResult::kDroppedOldest:
+      return Status::Ok();
+    case PushResult::kRejectedFull:
+      return Status::Overloaded("serve: session queue full");
+    case PushResult::kRejectedOverload:
+      return Status::Overloaded("serve: shard over admission watermark");
+    case PushResult::kUnknownSession:
+      return Status::Invalid("serve: unknown or closed session");
+  }
+  return Status::Invalid("serve: unrecognized push result");
+}
 
 // Serve-layer self-healing knobs (docs/robustness.md).  Quarantine backoff
 // counts *consumed bins*, not wall time: a quarantined session keeps
@@ -204,7 +227,12 @@ class Session {
       : id_(id),
         config_(std::move(config)),
         filter_(config_.filter.make_filter()),
-        workspace_bytes_(filter_.workspace_bytes()) {}
+        workspace_bytes_(filter_.workspace_bytes()),
+        ckpt_x_(config_.filter.model.x0),
+        // A health-gated filter's gain trajectory is measurement-dependent,
+        // so its stream can never be replayed from (config, iteration, x).
+        replayable_(!config_.filter.options.health.enabled),
+        fingerprint_(config_.filter.fingerprint()) {}
 
   SessionId id() const { return id_; }
   const SessionConfig& config() const { return config_; }
@@ -341,6 +369,11 @@ class Session {
 
       std::lock_guard<std::mutex> lock(mu_);
       ++steps_;
+      // Checkpoint mirror: the durable (iteration, x) of this stream, kept
+      // under mu_ so checkpoint() can run from any thread without touching
+      // the consumer-only filter (cheap: x_dim doubles at paper dims).
+      ckpt_x_ = *x;
+      ++ckpt_iteration_;
       // Sampled under the lock so stats() never reads filter_ while a
       // worker is stepping it (steady state: constant after the first step).
       workspace_bytes_ = filter_.workspace_bytes();
@@ -379,6 +412,19 @@ class Session {
     return states_;
   }
 
+  // Decoded states [from, to), clamped to what exists — the cluster copies
+  // incremental prefixes at checkpoint time (states_ is append-only for a
+  // healthy stream, so a slice bounded by SessionSnapshot::recorded_states
+  // is consistent with that snapshot).
+  std::vector<Vector<double>> trajectory_slice(std::size_t from,
+                                               std::size_t to) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    to = std::min(to, states_.size());
+    from = std::min(from, to);
+    return std::vector<Vector<double>>(states_.begin() + std::ptrdiff_t(from),
+                                       states_.begin() + std::ptrdiff_t(to));
+  }
+
   // Per-step wall-clock timings against the deadline — the same
   // IterationTiming rows core::analyze_realtime produces from the cycle
   // model, here measured instead of modeled.
@@ -397,6 +443,7 @@ class Session {
     s.deadline_misses = deadline_misses_;
     s.rejected = rejected_;
     s.dropped = dropped_;
+    s.discarded = discarded_;
     s.worst_step_s = worst_step_s_;
     s.mean_step_s = steps_ ? sum_step_s_ / double(steps_) : 0.0;
     s.workspace_bytes = workspace_bytes_;
@@ -430,6 +477,7 @@ class Session {
   void enable_batching() {
     std::lock_guard<std::mutex> lock(mu_);
     batched_ = true;
+    if (restored_) return;  // prime_restore() already seeded the estimate
     batch_x_ = config_.filter.model.x0;
     batch_iteration_ = 0;
   }
@@ -549,6 +597,10 @@ class Session {
     timing.kf_iteration = steps_;
     ++steps_;
     ++batched_steps_;
+    // Checkpoint mirror (see step_pending): batch_x_/batch_iteration_ are
+    // consumer-only, so checkpoint() reads these mu_-guarded copies.
+    ckpt_x_ = batch_x_;
+    ckpt_iteration_ = batch_iteration_;
     sum_step_s_ += seconds;
     worst_step_s_ = std::max(worst_step_s_, seconds);
     sample_latency_locked(seconds);
@@ -586,6 +638,133 @@ class Session {
     rebuild_filter_locked(config_.filter.strategy,
                           config_.filter.strategy_data);
     batched_ = false;
+    // The rebuilt strategy restarts its interleave sequence at 0 while the
+    // trajectory is at iteration n, so future gains leave the shared
+    // schedule — this stream can no longer be snapshot-replayed bit-exact.
+    replayable_ = false;
+  }
+
+  // --- checkpoint / restore (serve/snapshot.hpp, docs/robustness.md) ------
+
+  // Capture the durable state of this stream: (config fingerprint, schedule
+  // iteration, x) plus health rung and stat carryovers.  Reads only the
+  // mu_-guarded checkpoint mirrors, so it is safe from any thread while a
+  // consumer is mid-step.  Fails for streams whose gain trajectory has left
+  // the shared schedule (degraded, ejected, or health-gated): those cannot
+  // be replayed bit-exact from (config, iteration, x).
+  [[nodiscard]] Status checkpoint(SessionSnapshot* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!replayable_)
+      return Status::Invalid(
+          "Session: stream not replayable (degraded, ejected, or "
+          "health-gated)");
+    out->config_fingerprint = fingerprint_;
+    out->iteration = ckpt_iteration_;
+    out->x.resize(ckpt_x_.size());
+    for (std::size_t i = 0; i < ckpt_x_.size(); ++i) out->x[i] = ckpt_x_[i];
+    out->health_rung = std::uint8_t(state_);
+    out->backoff_remaining = backoff_remaining_;
+    out->steps = steps_;
+    out->batched_steps = batched_steps_;
+    out->deadline_misses = deadline_misses_;
+    out->invalid_steps = invalid_steps_;
+    out->restarts = restarts_;
+    out->degradations = degradations_;
+    out->quarantine_dropped = quarantine_dropped_;
+    out->rejected = rejected_;
+    out->dropped = dropped_;
+    out->discarded = discarded_;
+    out->sum_step_s = sum_step_s_;
+    out->worst_step_s = worst_step_s_;
+    out->recorded_states = states_.size();
+    return Status::Ok();
+  }
+
+  // Seed a *fresh* session (no bin consumed yet) from a snapshot: the next
+  // decode runs at schedule iteration snap.iteration from state snap.x, and
+  // every lifetime counter resumes its carried value so cluster accounting
+  // stays closed across the migration.  `entry` is the gain-schedule entry
+  // of iteration-1 (nullptr at iteration 0) — its p_after re-seeds a solo
+  // filter if the session later falls out of its batch group.  The caller
+  // (DecodeServer::restore_session) validates fingerprint and dimensions.
+  void prime_restore(const SessionSnapshot& snap,
+                     std::shared_ptr<const kalman::GainSchedule::Entry> entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    restored_ = true;
+    restore_iteration_ = snap.iteration;
+    ckpt_iteration_ = snap.iteration;
+    for (std::size_t i = 0; i < ckpt_x_.size(); ++i) ckpt_x_[i] = snap.x[i];
+    // Pre-consumption writes to the consumer-only batch state are safe: no
+    // consumer exists until the server schedules this session.
+    batch_x_ = ckpt_x_;
+    batch_iteration_ = snap.iteration;
+    last_entry_ = std::move(entry);
+    state_ = SessionState(snap.health_rung);
+    backoff_remaining_ = snap.backoff_remaining;
+    steps_ = snap.steps;
+    batched_steps_ = snap.batched_steps;
+    deadline_misses_ = snap.deadline_misses;
+    invalid_steps_ = snap.invalid_steps;
+    restarts_ = snap.restarts;
+    degradations_ = snap.degradations;
+    quarantine_dropped_ = snap.quarantine_dropped;
+    rejected_ = snap.rejected;
+    dropped_ = snap.dropped;
+    discarded_ = snap.discarded;
+    sum_step_s_ = snap.sum_step_s;
+    worst_step_s_ = snap.worst_step_s;
+  }
+
+  // Schedule iteration this session decodes from (0 unless restored).
+  std::size_t restore_iteration() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return restore_iteration_;
+  }
+
+  // Bins this session has fully consumed (decoded, diverged, or dropped
+  // while quarantined).  consumed() + queue_depth() + discarded == bins the
+  // session ever accepted.
+  std::size_t consumed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steps_ + invalid_steps_ + quarantine_dropped_;
+  }
+
+  // Drop every queued-but-undecoded bin, counting them as discarded (the
+  // close/teardown accounting satellite: nothing vanishes silently).
+  std::size_t discard_queue() {
+    auto& tm = detail::ServeTelemetry::get();
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = queue_.size();
+    if (n == 0) return 0;
+    queue_.clear();
+    discarded_ += n;
+    tm.discarded.add(n);
+    tm.queued_bins.add(-double(n));
+    return n;
+  }
+
+  // Move the queued bins out (lossless drain-migration: the cluster
+  // resubmits them to the session's new incarnation, in order).
+  std::deque<Vector<double>> steal_queue() {
+    auto& tm = detail::ServeTelemetry::get();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<Vector<double>> out = std::move(queue_);
+    queue_.clear();
+    if (!out.empty()) tm.queued_bins.add(-double(out.size()));
+    return out;
+  }
+
+  // Evict the oldest queued bin (ShedPolicy::kDropOldest under admission
+  // pressure).  Counted like a kDropOldest backpressure eviction.
+  bool shed_oldest() {
+    auto& tm = detail::ServeTelemetry::get();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    queue_.pop_front();
+    ++dropped_;
+    tm.dropped.add();
+    tm.queued_bins.add(-1.0);
+    return true;
   }
 
 #if defined(KALMMIND_FAULTS)
@@ -658,6 +837,10 @@ class Session {
     }
     consecutive_misses_ = 0;
     consecutive_hits_ = 0;
+    // The restart decodes from (x0, iteration 0) in both modes: mirror it
+    // so a checkpoint taken mid-quarantine replays the same restart.
+    ckpt_x_ = config_.filter.model.x0;
+    ckpt_iteration_ = 0;
     if (batched_) {
       batch_x_ = config_.filter.model.x0;
       batch_iteration_ = 0;
@@ -728,6 +911,7 @@ class Session {
     data.preloaded_inverse = degraded_inverse_;
     rebuild_filter_locked(spec, data);
     batched_ = false;  // a degraded session leaves its batch group for good
+    replayable_ = false;  // the sskf trajectory is off the shared schedule
     degraded_ = true;
     state_ = SessionState::kDegraded;
     ++degradations_;
@@ -790,6 +974,17 @@ class Session {
 
   mutable std::mutex mu_;  // guards everything below
   std::size_t workspace_bytes_ = 0;  // last sampled filter_.workspace_bytes()
+  // Checkpoint mirrors (serve/snapshot.hpp): the durable (iteration, x)
+  // duplicated under mu_ so checkpoint() never races the consumer-only
+  // filter/batch state.  Updated in the recorded-step bookkeeping sections
+  // and on quarantine restarts.
+  Vector<double> ckpt_x_;
+  std::size_t ckpt_iteration_ = 0;
+  bool replayable_;          // gains still on the shared schedule trajectory
+  const std::uint64_t fingerprint_;  // config_.filter.fingerprint()
+  bool restored_ = false;            // seeded from a snapshot
+  std::size_t restore_iteration_ = 0;
+  std::size_t discarded_ = 0;        // queued bins dropped at close/teardown
   std::deque<Vector<double>> queue_;
   std::vector<Vector<double>> states_;
   std::vector<core::IterationTiming> timings_;

@@ -122,6 +122,7 @@ struct SessionStatsSnapshot {
   std::size_t deadline_misses = 0;  // steps slower than the session deadline
   std::size_t rejected = 0;         // submits bounced by kReject backpressure
   std::size_t dropped = 0;          // bins evicted by kDropOldest
+  std::size_t discarded = 0;        // queued bins dropped at close/teardown
   double worst_step_s = 0.0;
   double mean_step_s = 0.0;
   std::size_t workspace_bytes = 0;  // filter step-workspace heap bytes
@@ -148,6 +149,7 @@ struct ServerStats {
   std::size_t total_deadline_misses = 0;
   std::size_t total_rejected = 0;
   std::size_t total_dropped = 0;
+  std::size_t total_discarded = 0;      // close/teardown-dropped queued bins
   std::size_t queued = 0;               // pending bins across all sessions
   double uptime_s = 0.0;
   double steps_per_second = 0.0;        // total_steps / uptime
@@ -168,6 +170,7 @@ struct ServerStats {
   std::uint64_t gain_cache_hits = 0;
   std::uint64_t gain_cache_misses = 0;
   std::uint64_t gain_cache_evictions = 0;
+  std::uint64_t gain_cache_collisions = 0;
   // SLO rollup (docs/observability.md): fraction of recorded steps that met
   // their session deadline (1.0 while no step has been recorded), also
   // exported as the kalmmind.serve.slo_attainment gauge.

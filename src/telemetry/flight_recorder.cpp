@@ -15,7 +15,9 @@ constexpr std::array<const char*, kFlightEventKindCount> kKindNames = {
     "batch_eject",     "batch_fall_out",     "deadline_miss",
     "invalid_step",    "degraded",           "restored",
     "quarantine",      "restart",            "failed",
-    "fault_injected",
+    "fault_injected",  "gain_cache_collision", "snapshot_taken",
+    "snapshot_restored", "session_migrated",  "shard_quarantined",
+    "admission_rejected",
 };
 
 // Handle-cached journal volume counter (docs/observability.md).

@@ -58,9 +58,17 @@ enum class FlightEventKind : std::uint8_t {
   kRestart,             // arg = restart ordinal
   kFailed,              // arg = restarts consumed
   kFaultInjected,       // arg = fault channel/word, detail = fault kind
+  // Sharded serving (docs/serving.md, serve/cluster.hpp).  Appended after
+  // the PR7 kinds so journaled indices stay stable across versions.
+  kGainCacheCollision,  // arg = colliding fingerprint (verified != config)
+  kSnapshotTaken,       // arg = schedule iteration, value = frame bytes
+  kSnapshotRestored,    // arg = schedule iteration, detail = shard label
+  kSessionMigrated,     // arg = target shard, detail = "drain"/"failover"
+  kShardQuarantined,    // arg = shard index, detail = reason
+  kAdmissionRejected,   // arg = shard index, value = pending estimate
 };
 
-inline constexpr std::size_t kFlightEventKindCount = 16;
+inline constexpr std::size_t kFlightEventKindCount = 22;
 
 // Stable snake_case names, used by the JSONL format and the blackbox CLI.
 const char* to_string(FlightEventKind kind) noexcept;

@@ -37,6 +37,8 @@ enum class FaultKind {
   kBitFlip,             // SoC memory word, applied via flip_word_bit
   kRegisterCorruption,  // MMIO register, applied via corrupt_register
   kFixedOverflow,       // fixed-point raw word, applied via corrupt_raw
+  kShardStall,          // cluster shard stops consuming (pump paused)
+  kShardFail,           // cluster shard dies (fenced + snapshot failover)
 };
 
 inline const char* to_string(FaultKind k) {
@@ -47,6 +49,8 @@ inline const char* to_string(FaultKind k) {
     case FaultKind::kBitFlip: return "bit_flip";
     case FaultKind::kRegisterCorruption: return "register_corruption";
     case FaultKind::kFixedOverflow: return "fixed_overflow";
+    case FaultKind::kShardStall: return "shard_stall";
+    case FaultKind::kShardFail: return "shard_fail";
   }
   return "?";
 }

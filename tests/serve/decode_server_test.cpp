@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -270,6 +271,53 @@ TEST(ServeDecodeServerTest, CleanShutdownWithQueuedWork) {
     // No drain() — destructor races the workers on purpose.
   }
   SUCCEED();
+}
+
+TEST(ServeDecodeServerTest, CloseModesDrainOrDiscardWithAccounting) {
+  const auto model = testing::small_model(4);
+  const auto zs = testing::simulate_measurements(model, 12);
+  DecodeServer server({/*workers=*/ServerOptions::kManual});
+
+  // kDrain (the default): queued bins still decode after close.
+  const SessionId drained = server.open_session(interleaved_config(model));
+  for (std::size_t n = 0; n < 5; ++n)
+    ASSERT_EQ(server.submit(drained, zs[n]), PushResult::kAccepted);
+  ASSERT_TRUE(server.close_session(drained, CloseMode::kDrain));
+  server.drain();
+  EXPECT_EQ(server.session_stats(drained).steps, 5u);
+  EXPECT_EQ(server.session_stats(drained).discarded, 0u);
+
+  // kDiscard: the queued tail is dropped now — and counted, never silent.
+  const SessionId discarded = server.open_session(interleaved_config(model));
+  for (std::size_t n = 0; n < 3; ++n)
+    ASSERT_EQ(server.submit(discarded, zs[n]), PushResult::kAccepted);
+  server.drain();
+  for (std::size_t n = 3; n < 10; ++n)
+    ASSERT_EQ(server.submit(discarded, zs[n]), PushResult::kAccepted);
+  ASSERT_TRUE(server.close_session(discarded, CloseMode::kDiscard));
+  EXPECT_EQ(server.submit(discarded, zs[0]), PushResult::kUnknownSession);
+  server.drain();
+  const auto stats = server.session_stats(discarded);
+  EXPECT_EQ(stats.steps, 3u);
+  EXPECT_EQ(stats.discarded, 7u);
+  EXPECT_EQ(server.stats().total_discarded, 7u);
+}
+
+TEST(ServeDecodeServerTest, TeardownCountsUndecodedBinsAsDiscarded) {
+  const auto model = testing::small_model(4);
+  const auto zs = testing::simulate_measurements(model, 8);
+  auto& counter = telemetry::MetricsRegistry::global().counter(
+      "kalmmind.serve.discarded_total");
+  const std::uint64_t before = counter.value();
+  {
+    DecodeServer server({/*workers=*/ServerOptions::kManual});
+    const SessionId id = server.open_session(interleaved_config(model));
+    for (const auto& z : zs)
+      ASSERT_EQ(server.submit(id, z), PushResult::kAccepted);
+    // Destroy with all 8 bins still queued: the destructor must count
+    // them, so a teardown never loses bins silently.
+  }
+  EXPECT_EQ(counter.value() - before, 8u);
 }
 
 TEST(ServeDecodeServerTest, TrajectoryRecordingCanBeDisabled) {

@@ -194,5 +194,35 @@ TEST(ServeGainCacheTest, ConcurrentWarmUpYieldsOneTrajectory) {
   }
 }
 
+#if defined(KALMMIND_FAULTS)
+// Two different configs forced onto one cache key: the ==-verification must
+// refuse to serve the wrong schedule (nullptr, counted as a collision, and
+// journaled) rather than silently decoding with another filter's gains.
+TEST(ServeGainCacheTest, InjectedFingerprintCollisionIsRefusedAndCounted) {
+  GainScheduleCache cache(4);
+  const FilterConfigD a = interleaved_config(4, 123);
+  FilterConfigD b = interleaved_config(4, 123);
+  b.strategy.calc_freq = 5;  // genuinely different trajectory
+
+  auto sa = cache.acquire(a);
+  ASSERT_NE(sa, nullptr);
+
+  // Force b to resolve to a's key: a verified collision, not a hit.
+  cache.fault_force_key(sa->fingerprint());
+  auto sb = cache.acquire(b);
+  EXPECT_EQ(sb, nullptr);
+
+  const GainScheduleCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+
+  // Collisions self-heal once real fingerprints are back.
+  cache.clear_fault_forced_key();
+  auto sb2 = cache.acquire(b);
+  ASSERT_NE(sb2, nullptr);
+  EXPECT_NE(sb2->fingerprint(), sa->fingerprint());
+}
+#endif  // KALMMIND_FAULTS
+
 }  // namespace
 }  // namespace kalmmind::serve

@@ -20,6 +20,14 @@
 // Streams N concurrent sessions of the dataset through the multi-session
 // DecodeServer and prints the throughput/latency/deadline stats snapshot.
 //
+//   kalmmind cluster-bench [--dataset NAME] [--shards N] [--sessions N]
+//                          [--iterations N] [--no-migrate]
+//
+// Streams N sessions through the ShardedDecodeServer, drain-migrates one
+// shard mid-stream (checkpoint + steal-queue + restore), prints the
+// cluster stats rollup plus migration latency, and verifies the migrated
+// trajectory bit-for-bit against a sequential filter (docs/serving.md).
+//
 //   kalmmind telemetry-demo [--dataset NAME] [--iterations N]
 //
 // Exercises every instrumented layer (filter spans, serve spans, batched
@@ -184,13 +192,14 @@ struct CliOptions {
                "          [--iterations N] [--seed N] [--csv PREFIX]\n"
                "          [--breakdown]\n"
                "       %s serve-bench ...   (see serve-bench --help)\n"
+               "       %s cluster-bench ...  (see cluster-bench --help)\n"
                "       %s telemetry-demo [--dataset NAME] [--iterations N]\n"
                "       %s blackbox FILE [--session N] [--kind NAME] "
                "[--last N]\n"
                "       %s simd-info\n"
                "global: [--trace-out FILE] [--metrics-out FILE] "
                "[--blackbox-out DIR]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0);
   std::exit(2);
 }
 
@@ -441,6 +450,164 @@ int run_serve_bench(int argc, char** argv) {
   if (telemetry::SpanTracer::global().enabled()) {
     trace_soc_invocation(dataset);
   }
+  return identical ? 0 : 1;
+}
+
+// ---- cluster-bench: sharded serving with a mid-stream migration ----
+
+struct ClusterBenchOptions {
+  std::string dataset = "motor";
+  std::size_t shards = 4;
+  std::size_t sessions = 8;
+  std::size_t iterations = 200;
+  bool migrate = true;  // drain one shard mid-stream, time the migration
+};
+
+[[noreturn]] void cluster_usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s cluster-bench [--dataset NAME] [--shards N]\n"
+               "          [--sessions N] [--iterations N] [--no-migrate]\n"
+               "  Streams N sessions through a ShardedDecodeServer (manual\n"
+               "  pumping), optionally drain-migrating one shard mid-stream\n"
+               "  and timing checkpoint+restore per session, then verifies\n"
+               "  one trajectory bit-for-bit against a sequential filter.\n",
+               argv0);
+  std::exit(2);
+}
+
+int run_cluster_bench(int argc, char** argv) {
+  ClusterBenchOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        cluster_usage_and_exit(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dataset")) {
+      opt.dataset = need_value("--dataset");
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      opt.shards = std::size_t(std::atoll(need_value("--shards")));
+    } else if (!std::strcmp(argv[i], "--sessions")) {
+      opt.sessions = std::size_t(std::atoll(need_value("--sessions")));
+    } else if (!std::strcmp(argv[i], "--iterations")) {
+      opt.iterations = std::size_t(std::atoll(need_value("--iterations")));
+    } else if (!std::strcmp(argv[i], "--no-migrate")) {
+      opt.migrate = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      cluster_usage_and_exit(argv[0]);
+    }
+  }
+  if (opt.shards == 0 || opt.sessions == 0 || opt.iterations == 0) {
+    std::fprintf(stderr, "--shards/--sessions/--iterations must be >= 1\n");
+    return 2;
+  }
+
+  neural::DatasetSpec spec;
+  if (opt.dataset == "motor") {
+    spec = neural::motor_spec();
+  } else if (opt.dataset == "somatosensory") {
+    spec = neural::somatosensory_spec();
+  } else if (opt.dataset == "hippocampus") {
+    spec = neural::hippocampus_spec();
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s'\n", opt.dataset.c_str());
+    return 2;
+  }
+  spec.test_steps = opt.iterations;
+  const neural::NeuralDataset dataset = neural::build_dataset(spec);
+
+  serve::SessionConfig session_cfg;
+  session_cfg.filter.model = dataset.model;
+  session_cfg.filter.strategy.kind = kalman::StrategyKind::kInterleaved;
+  session_cfg.filter.strategy.calc_freq = 3;
+  session_cfg.filter.strategy.approx = 2;
+  session_cfg.filter.strategy.policy = kalman::SeedPolicy::kPreviousIteration;
+  session_cfg.queue_capacity = opt.iterations;  // lossless for the bench
+  if (Status s = session_cfg.check(); !s.ok()) {
+    std::fprintf(stderr, "bad session config: %s\n", s.message());
+    return 2;
+  }
+
+  serve::ClusterOptions cluster_options;
+  cluster_options.shards = opt.shards;
+  cluster_options.high_watermark = opt.sessions * opt.iterations + 1;
+  cluster_options.low_watermark = cluster_options.high_watermark / 2;
+  Status cluster_status;
+  serve::ShardedDecodeServer cluster(cluster_options, &cluster_status);
+  if (!cluster_status.ok()) {
+    std::fprintf(stderr, "bad cluster options: %s\n", cluster_status.message());
+    return 2;
+  }
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < opt.sessions; ++i) {
+    Status status;
+    const serve::SessionId id = cluster.open_session(session_cfg, &status);
+    if (id == serve::ShardedDecodeServer::kInvalidSession) {
+      std::fprintf(stderr, "open_session failed: %s\n", status.message());
+      return 2;
+    }
+    ids.push_back(id);
+  }
+
+  std::printf("cluster-bench: %zu shards, %zu sessions x %zu bins, dataset "
+              "%s (x=%zu z=%zu)\n",
+              opt.shards, opt.sessions, dataset.test_measurements.size(),
+              dataset.spec.name.c_str(), dataset.model.x_dim(),
+              dataset.model.z_dim());
+
+  const std::size_t half = dataset.test_measurements.size() / 2;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t n = 0; n < half; ++n)
+    for (const auto id : ids)
+      (void)cluster.submit(id, dataset.test_measurements[n]);
+  cluster.drain();
+
+  double migrate_s = 0.0;
+  if (opt.migrate) {
+    const std::size_t victim = cluster.shard_of(ids.front());
+    const auto m0 = std::chrono::steady_clock::now();
+    if (Status s = cluster.drain_shard(victim); !s.ok()) {
+      std::fprintf(stderr, "drain_shard failed: %s\n", s.message());
+      return 2;
+    }
+    migrate_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - m0)
+            .count();
+  }
+
+  for (std::size_t n = half; n < dataset.test_measurements.size(); ++n)
+    for (const auto id : ids)
+      (void)cluster.submit(id, dataset.test_measurements[n]);
+  cluster.drain();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const serve::ClusterStats stats = cluster.stats();
+  std::printf("%s", stats.to_string().c_str());
+  std::printf("wall       : %.3f s  (%.1f steps/s)\n", wall,
+              double(stats.decoded) / wall);
+  if (opt.migrate && stats.sessions_migrated > 0) {
+    std::printf("migration  : %llu sessions drained losslessly in %.3f ms "
+                "(%.3f ms/session, checkpoint+restore+requeue)\n",
+                (unsigned long long)stats.sessions_migrated, migrate_s * 1e3,
+                migrate_s * 1e3 / double(stats.sessions_migrated));
+  }
+
+  // The survivability claim, checked live: the migrated stream must be
+  // bit-identical to one uninterrupted sequential filter.
+  kalman::KalmanFilter<double> sequential = session_cfg.filter.make_filter();
+  const auto seq = sequential.run(dataset.test_measurements);
+  const auto served = cluster.trajectory(ids.front());
+  bool identical = served.size() == seq.states.size();
+  for (std::size_t n = 0; identical && n < served.size(); ++n)
+    for (std::size_t d = 0; d < served[n].size(); ++d)
+      if (served[n][d] != seq.states[n][d]) identical = false;
+  std::printf("determinism: migrated trajectory %s sequential filter\n",
+              identical ? "bit-identical to" : "DIVERGES from");
   return identical ? 0 : 1;
 }
 
@@ -699,6 +866,8 @@ int main(int argc, char** argv) {
   int rc;
   if (argc > 1 && !std::strcmp(argv[1], "serve-bench")) {
     rc = run_serve_bench(argc, argv);
+  } else if (argc > 1 && !std::strcmp(argv[1], "cluster-bench")) {
+    rc = run_cluster_bench(argc, argv);
   } else if (argc > 1 && !std::strcmp(argv[1], "blackbox")) {
     rc = run_blackbox(argc, argv);
   } else if (argc > 1 && !std::strcmp(argv[1], "simd-info")) {
