@@ -66,6 +66,10 @@ struct ShardedDecodeServer::Route {
   SessionId local = kInvalidSession;
   SessionConfig config;  // for re-admission on another shard
   bool closed = false;
+  // The mode the client asked close_session for.  A close deferred by a
+  // fenced shard is re-applied to the restored incarnation with this mode,
+  // so kDiscard survives a migration instead of silently draining.
+  CloseMode close_mode = CloseMode::kDrain;
   bool dead = false;     // non-replayable stream lost its shard
 
   std::uint64_t accepted = 0;          // bins the cluster accepted
@@ -192,20 +196,24 @@ SessionId ShardedDecodeServer::open_session(SessionConfig config,
     if (status) *status = s;
     return kInvalidSession;
   }
+  // admin_mu_ is held across placement, the shard-local open, and the route
+  // insertion.  Releasing it in between would race tick()-driven failover:
+  // rebuild_locked() replaces the target's DecodeServer (use-after-free for
+  // a thread still inside open_session), and a migration sweep that has
+  // already collected its routes would strand the new local id on the
+  // condemned incarnation.  Opens are control-plane, so the serialization
+  // is the point, not a bottleneck.
+  std::lock_guard<std::mutex> admin(admin_mu_);
   SessionId id;
-  std::size_t target;
   {
-    std::lock_guard<std::mutex> admin(admin_mu_);
-    {
-      std::lock_guard<std::mutex> lock(routes_mu_);
-      id = next_session_++;
-    }
-    target = place(id, shards_.size());
-    if (target >= shards_.size()) {
-      if (status)
-        *status = Status::Unavailable("cluster: no shard accepting sessions");
-      return kInvalidSession;
-    }
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    id = next_session_++;
+  }
+  const std::size_t target = place(id, shards_.size());
+  if (target >= shards_.size()) {
+    if (status)
+      *status = Status::Unavailable("cluster: no shard accepting sessions");
+    return kInvalidSession;
   }
   Status open_status = Status::Ok();
   const SessionId local =
@@ -333,6 +341,7 @@ bool ShardedDecodeServer::close_session(SessionId id, CloseMode mode) {
     if (it == routes_.end() || it->second->closed || it->second->dead)
       return false;
     it->second->closed = true;
+    it->second->close_mode = mode;
     shard_index = it->second->shard;
     local = it->second->local;
   }
@@ -451,6 +460,57 @@ std::size_t ShardedDecodeServer::checkpoint_all() {
   return ok;
 }
 
+void ShardedDecodeServer::reap_routes_locked() {
+  // admin_mu_ held: no migration can rewrite a route's (shard, local) pair
+  // while we decide its fate.  A route is finished once it is dead, or
+  // closed with an empty queue (kDrain has worked the tail off; kDiscard
+  // emptied it at close).  Its counters fold into retired_ so the
+  // conservation law stays closed, then the route — and its shard-local
+  // slot — are erased; without this a long-running cluster's routes_ (and
+  // every stats()/checkpoint/migration sweep over it) grows forever.
+  std::vector<SessionId> candidates;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    for (auto& [id, route] : routes_)
+      if (route->dead || route->closed) candidates.push_back(id);
+  }
+  for (const SessionId id : candidates) {
+    Route* route = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      auto it = routes_.find(id);
+      if (it == routes_.end()) continue;
+      route = it->second.get();
+    }
+    SessionStatsSnapshot s;
+    if (route->dead) {
+      s = route->final_stats;
+    } else {
+      Shard& shard = *shards_[route->shard];
+      s = shard.server->session_stats(route->local);
+      if (s.queue_depth != 0) continue;  // kDrain still working the tail
+      // Free the shard-local slot too.  remove_session's manual-mode
+      // contract wants no poll() inside the server, so briefly quiesce —
+      // restoring the prior pause flag, which a stall fault may own.
+      const bool was_paused = shard.paused.load();
+      quiesce(shard);
+      shard.server->remove_session(route->local);
+      shard.paused.store(was_paused);
+    }
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    retired_.submitted += route->accepted;
+    retired_.rejected_overload += route->rejected_overload;
+    retired_.rejected_full += route->rejected_full;
+    retired_.decoded += s.steps;
+    retired_.invalid_steps += s.invalid_steps;
+    retired_.quarantine_dropped += s.quarantine_dropped;
+    retired_.dropped += s.dropped;
+    retired_.discarded += s.discarded + route->discarded_failover;
+    ++retired_.routes;
+    routes_.erase(id);
+  }
+}
+
 bool ShardedDecodeServer::restore_route(SessionId id, Route& route,
                                         std::size_t target,
                                         const char* reason,
@@ -552,9 +612,20 @@ bool ShardedDecodeServer::restore_route(SessionId id, Route& route,
       worst = Status::Unavailable("cluster: no shard could host a session");
       continue;
     }
-    if (route->closed)
+    // closed/close_mode are written by close_session under routes_mu_
+    // (concurrently — a close deferred by our fence), so re-read them
+    // under it.  Reading after the route rewrite means a deferral either
+    // lands here or applied itself directly to the new incarnation.
+    bool deferred_close = false;
+    CloseMode deferred_mode = CloseMode::kDrain;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      deferred_close = route->closed;
+      deferred_mode = route->close_mode;
+    }
+    if (deferred_close)
       shards_[route->shard]->server->close_session(route->local,
-                                                  CloseMode::kDrain);
+                                                  deferred_mode);
     {
       std::lock_guard<std::mutex> lock(source.adm_mu);
       ++source.migrations_out;
@@ -628,9 +699,18 @@ void ShardedDecodeServer::failover_shard_locked(std::size_t index,
       route->final_stats = final_stats;
       continue;
     }
-    if (route->closed)
+    // Same deferred-close re-read as the drain path (routes_mu_ guards
+    // closed/close_mode against a concurrent close_session).
+    bool deferred_close = false;
+    CloseMode deferred_mode = CloseMode::kDrain;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      deferred_close = route->closed;
+      deferred_mode = route->close_mode;
+    }
+    if (deferred_close)
       shards_[route->shard]->server->close_session(route->local,
-                                                  CloseMode::kDrain);
+                                                  deferred_mode);
   }
 }
 
@@ -665,12 +745,14 @@ void ShardedDecodeServer::tick() {
 
     bool demerit = false;
     bool stall = false;
-    // A shard with queued work whose pump gate is closed and that consumed
-    // nothing since the last tick is wedged (the in-process analogue of a
-    // dead consumer thread; the stall fault injects exactly this).
-    if (s.queued > 0 && steps_delta == 0 && shard.paused.load()) {
-      demerit = stall = true;
-    }
+    // A shard with queued work that consumed nothing since the last tick
+    // is wedged — pump gate closed (stall fault) or the pumpers genuinely
+    // stopped reaching it.  Scoring the observable condition alone keeps
+    // this rung reachable for real stalls, not just fault injection; the
+    // escalate_after_ticks * 2 consecutive sightings the ladder demands
+    // before quarantining filter out a tick that merely raced the pump
+    // loop (tick() must not outpace pumping — see the header).
+    if (s.queued > 0 && steps_delta == 0) demerit = stall = true;
     // SLO attainment below the floor while actually doing work.
     if (steps_delta > 0 && s.deadline_slo < options_.slo_floor) demerit = true;
     // Restart churn / divergence storms: the shard's sessions keep
@@ -729,6 +811,8 @@ void ShardedDecodeServer::tick() {
         (void)checkpoint_route(id, *route);
     }
   }
+
+  reap_routes_locked();
 }
 
 std::vector<Vector<double>> ShardedDecodeServer::trajectory(
@@ -831,6 +915,17 @@ ClusterStats ShardedDecodeServer::stats() const {
   }
 
   std::lock_guard<std::mutex> lock(routes_mu_);
+  // Sessions reaped by tick() live on as aggregate counters: the
+  // conservation law closes over live routes + retired totals.
+  out.sessions_reaped = retired_.routes;
+  out.submitted += retired_.submitted;
+  out.rejected_overload += retired_.rejected_overload;
+  out.rejected_full += retired_.rejected_full;
+  out.decoded += retired_.decoded;
+  out.invalid_steps += retired_.invalid_steps;
+  out.quarantine_dropped += retired_.quarantine_dropped;
+  out.dropped += retired_.dropped;
+  out.discarded += retired_.discarded;
   for (const auto& [id, route_ptr] : routes_) {
     const Route& route = *route_ptr;
     out.submitted += route.accepted;
@@ -863,11 +958,12 @@ std::string ClusterStats::to_string() const {
   out += line;
   std::snprintf(line, sizeof(line),
                 "  rejected: overload=%llu full=%llu | snapshots=%llu "
-                "migrations=%llu quarantines=%llu rebuilds=%llu\n",
+                "migrations=%llu reaped=%llu quarantines=%llu rebuilds=%llu\n",
                 (unsigned long long)rejected_overload,
                 (unsigned long long)rejected_full,
                 (unsigned long long)snapshots_taken,
                 (unsigned long long)sessions_migrated,
+                (unsigned long long)sessions_reaped,
                 (unsigned long long)shard_quarantines,
                 (unsigned long long)shard_rebuilds);
   out += line;

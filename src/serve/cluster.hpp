@@ -166,6 +166,7 @@ struct ClusterStats {
   std::uint64_t queued = 0;
   std::uint64_t snapshots_taken = 0;
   std::uint64_t sessions_migrated = 0;
+  std::uint64_t sessions_reaped = 0;   // finished routes folded into totals
   std::uint64_t shard_quarantines = 0;
   std::uint64_t shard_rebuilds = 0;
   double worst_shard_p99_s = 0.0;
@@ -198,6 +199,10 @@ class ShardedDecodeServer {
   // are Status::retryable() — see RetryingSubmitter.
   [[nodiscard]] Status submit(SessionId id, Vector<double> z);
 
+  // Stop accepting bins.  On a fenced (mid-migration) shard the close is
+  // deferred; the requested mode is remembered on the route and applied to
+  // the restored incarnation, so kDiscard keeps its discard semantics
+  // across a migration.
   bool close_session(SessionId id, CloseMode mode = CloseMode::kDrain);
 
   // One pumping pass: polls every active shard once and refreshes the
@@ -209,8 +214,14 @@ class ShardedDecodeServer {
   void drain();
 
   // One control-plane beat: refresh admission watermarks, score shard
-  // health, advance the ladder (probe/drain/quarantine/rebuild), and take
-  // cadence checkpoints.  Deterministic — tests drive it explicitly.
+  // health, advance the ladder (probe/drain/quarantine/rebuild), take
+  // cadence checkpoints, and reap finished sessions (closed-and-drained or
+  // dead routes fold their counters into the cluster totals and are
+  // erased, so routes_ stays bounded).  Deterministic — tests drive it
+  // explicitly.  Stall scoring reads the observable condition (queued
+  // bins, zero decode progress since the last tick), so tick() must run
+  // no faster than the pump cadence or an under-pumped shard reads as
+  // wedged.
   void tick();
 
   // Snapshot the session now (stored for failover; also journals
@@ -282,6 +293,10 @@ class ShardedDecodeServer {
   // Take one snapshot + prefix copy for the route (routes_mu_ held via
   // caller contract; see implementation).
   [[nodiscard]] Status checkpoint_route(SessionId id, Route& route);
+  // Fold finished routes (dead, or closed with a drained queue) into
+  // retired_ and erase them (admin_mu_ held) — routes_ stays bounded on a
+  // long-running cluster.
+  void reap_routes_locked();
   void refresh_admission(Shard& shard);
 
   ClusterOptions options_;
@@ -289,9 +304,24 @@ class ShardedDecodeServer {
   std::vector<std::pair<std::uint64_t, std::size_t>> ring_;  // sorted points
   std::atomic<std::uint64_t> next_id_base_{1};  // per-incarnation id ranges
 
-  mutable std::mutex routes_mu_;  // guards routes_ and next_session_
+  mutable std::mutex routes_mu_;  // guards routes_, next_session_, retired_
   std::unordered_map<SessionId, std::unique_ptr<Route>> routes_;
   SessionId next_session_ = 1;
+  // Counters folded out of reaped routes: the conservation law
+  // (decoded + ... == submitted) stays closed after the Route objects are
+  // gone.  queued is always zero at reap time, so it has no slot here.
+  struct RetiredTotals {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t decoded = 0;
+    std::uint64_t invalid_steps = 0;
+    std::uint64_t quarantine_dropped = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t discarded = 0;
+    std::uint64_t routes = 0;  // how many sessions were reaped
+  };
+  RetiredTotals retired_;
 
   // Serializes control-plane operations (tick, drain, failover, rebuild).
   mutable std::mutex admin_mu_;

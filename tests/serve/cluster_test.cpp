@@ -326,6 +326,193 @@ TEST(ServeClusterTest, CloseDiscardCountsQueuedBins) {
   expect_conservation(cluster.stats(), 10);
 }
 
+// tick() reaps finished routes: the closed session's counters fold into
+// the cluster totals (conservation keeps closing), its route and shard
+// slot are freed, and the id turns permanently unknown.
+TEST(ServeClusterTest, TickReapsFinishedRoutesAndKeepsConservation) {
+  const auto model = testing::small_model(4);
+  const SessionConfig cfg = interleaved_config(model);
+  constexpr std::size_t kSteps = 10;
+
+  ClusterOptions opts;
+  opts.shards = 2;
+  ShardedDecodeServer cluster(opts);
+  const SessionId keep = cluster.open_session(cfg);
+  const SessionId gone = cluster.open_session(cfg);
+  ASSERT_NE(keep, ShardedDecodeServer::kInvalidSession);
+  ASSERT_NE(gone, ShardedDecodeServer::kInvalidSession);
+  const auto zs = testing::simulate_measurements(model, kSteps, 21);
+
+  std::uint64_t attempts = 0;
+  for (std::size_t n = 0; n < kSteps; ++n) {
+    attempts += 2;
+    ASSERT_TRUE(cluster.submit(keep, zs[n]).ok());
+    ASSERT_TRUE(cluster.submit(gone, zs[n]).ok());
+  }
+  cluster.drain();
+  ASSERT_TRUE(cluster.close_session(gone, CloseMode::kDrain));
+  cluster.tick();
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.sessions_reaped, 1u);
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.decoded, 2 * kSteps);  // the reaped decodes still count
+  expect_conservation(stats, attempts);
+
+  // The reaped id is permanently unknown; the survivor keeps decoding.
+  EXPECT_TRUE(cluster.trajectory(gone).empty());
+  const Status st = cluster.submit(gone, zs[0]);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.retryable());
+  ASSERT_TRUE(cluster.submit(keep, zs[0]).ok());
+  cluster.drain();
+  EXPECT_EQ(cluster.stats().decoded, 2 * kSteps + 1);
+}
+
+// Stall detection without fault hooks: the pumpers simply stop reaching a
+// shard with a backlog.  The ladder must climb healthy -> probe ->
+// quarantine from the observable condition alone (queued bins, zero step
+// delta) and fail the sessions over to a pumped shard.
+TEST(ServeClusterTest, BackloggedUnpumpedShardEscalatesToQuarantine) {
+  const auto model = testing::small_model(4);
+  const SessionConfig cfg = interleaved_config(model);
+  constexpr std::size_t kSteps = 40;
+  constexpr std::size_t kCheckpointAt = 20;
+  constexpr std::size_t kQueuedAtStall = 8;
+
+  ClusterOptions opts;
+  opts.shards = 2;
+  opts.checkpoint_every_bins = 0;
+  opts.escalate_after_ticks = 2;
+  ShardedDecodeServer cluster(opts);
+  const SessionId id = cluster.open_session(cfg);
+  ASSERT_NE(id, ShardedDecodeServer::kInvalidSession);
+  const auto zs = testing::simulate_measurements(model, kSteps, 99);
+
+  std::uint64_t attempts = 0;
+  for (std::size_t n = 0; n < kCheckpointAt; ++n) {
+    ++attempts;
+    ASSERT_TRUE(cluster.submit(id, zs[n]).ok());
+  }
+  cluster.drain();
+  ASSERT_TRUE(cluster.checkpoint(id).ok());
+
+  // Queue a backlog and never pump again: a genuinely wedged deployment.
+  const std::size_t victim = cluster.shard_of(id);
+  for (std::size_t n = kCheckpointAt; n < kCheckpointAt + kQueuedAtStall;
+       ++n) {
+    ++attempts;
+    ASSERT_TRUE(cluster.submit(id, zs[n]).ok());
+  }
+  for (int i = 0; i < 6 && cluster.stats().shard_quarantines == 0; ++i)
+    cluster.tick();
+
+  EXPECT_EQ(cluster.stats().shard_quarantines, 1u);
+  EXPECT_NE(cluster.shard_of(id), victim);
+  EXPECT_EQ(cluster.next_expected_bin(id), kCheckpointAt);
+
+  for (std::size_t n = cluster.next_expected_bin(id); n < kSteps; ++n) {
+    ++attempts;
+    ASSERT_TRUE(cluster.submit(id, zs[n]).ok());
+  }
+  cluster.drain();
+
+  expect_bit_identical(cluster.trajectory(id), solo_trajectory(cfg, zs));
+  const ClusterStats stats = cluster.stats();
+  expect_conservation(stats, attempts);
+  EXPECT_EQ(stats.decoded, kSteps);
+  EXPECT_EQ(cluster.shard_state(victim), ShardState::kHealthy);  // rebuilt
+}
+
+// close(kDiscard) racing a drain migration: whichever interleaving wins —
+// applied on the source before the fence, deferred past it, or applied on
+// the restored incarnation — the queued tail must be *discarded*, never
+// silently decoded by a hard-coded kDrain in the migration path.
+TEST(ServeClusterTest, DiscardCloseKeepsSemanticsAcrossDrainMigration) {
+  const auto model = testing::small_model(4);
+  const SessionConfig cfg = interleaved_config(model);
+  constexpr std::size_t kHead = 12;
+  constexpr std::size_t kTail = 6;
+
+  ClusterOptions opts;
+  opts.shards = 2;
+  ShardedDecodeServer cluster(opts);
+  const SessionId id = cluster.open_session(cfg);
+  ASSERT_NE(id, ShardedDecodeServer::kInvalidSession);
+  const auto zs = testing::simulate_measurements(model, kHead + kTail, 13);
+
+  for (std::size_t n = 0; n < kHead; ++n)
+    ASSERT_TRUE(cluster.submit(id, zs[n]).ok());
+  cluster.drain();
+  for (std::size_t n = kHead; n < kHead + kTail; ++n)
+    ASSERT_TRUE(cluster.submit(id, zs[n]).ok());
+
+  const std::size_t victim = cluster.shard_of(id);
+  std::thread admin([&] {
+    const Status st = cluster.drain_shard(victim);
+    EXPECT_TRUE(st.ok()) << st.message();
+  });
+  ASSERT_TRUE(cluster.close_session(id, CloseMode::kDiscard));
+  admin.join();
+  cluster.drain();
+
+  const auto s = cluster.session_stats(id);
+  EXPECT_EQ(s.steps, kHead);
+  EXPECT_EQ(s.discarded, kTail);  // discard semantics survived the race
+  expect_conservation(cluster.stats(), kHead + kTail);
+}
+
+// open_session racing a rebuild storm: placement, the shard-local open,
+// and the route insertion happen under admin_mu_, so an open can neither
+// run inside a DecodeServer that a failover is destroying nor strand its
+// local id on an incarnation a migration sweep already condemned.
+TEST(ServeClusterTest, ConcurrentOpensSurviveDrainMigrations) {
+  const auto model = testing::small_model(4);
+  const SessionConfig cfg = interleaved_config(model);
+  constexpr std::size_t kSessions = 12;
+  constexpr std::size_t kSteps = 8;
+
+  ClusterOptions opts;
+  opts.shards = 3;
+  ShardedDecodeServer cluster(opts);
+
+  std::atomic<bool> stop{false};
+  std::thread admin([&] {
+    std::size_t s = 0;
+    while (!stop.load()) {
+      (void)cluster.drain_shard(s++ % 3);
+      std::this_thread::yield();
+    }
+  });
+
+  RetryingSubmitter::Policy policy;
+  policy.max_attempts = 100000;  // fences are transient; outlast them
+  RetryingSubmitter client(cluster, policy);
+  client.set_between_attempts([&] { cluster.pump(); });
+
+  std::vector<SessionId> ids;
+  std::vector<std::vector<Vector<double>>> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    Status status;
+    const SessionId id = cluster.open_session(cfg, &status);
+    ASSERT_NE(id, ShardedDecodeServer::kInvalidSession) << status.message();
+    ids.push_back(id);
+    streams.push_back(testing::simulate_measurements(model, kSteps, 4400 + s));
+    for (std::size_t n = 0; n < kSteps; ++n) {
+      const Status st = client.submit(ids[s], streams[s][n]);
+      ASSERT_TRUE(st.ok()) << st.message();
+    }
+  }
+  stop.store(true);
+  admin.join();
+  cluster.drain();
+
+  for (std::size_t s = 0; s < kSessions; ++s)
+    expect_bit_identical(cluster.trajectory(ids[s]),
+                         solo_trajectory(cfg, streams[s]));
+  EXPECT_EQ(cluster.stats().decoded, kSessions * kSteps);
+}
+
 TEST(ServeClusterTest, UnknownSessionIsPermanentNotRetryable) {
   ShardedDecodeServer cluster;
   const Status s = cluster.submit(999, Vector<double>(3));
